@@ -1,0 +1,293 @@
+//! The stochastic per-cell cost model.
+//!
+//! Seconds to color one cell =
+//! `implement_base × condition × skill × warmup × fill_style × cell_kind ×
+//! lognormal_noise`. Every factor is an observable from the paper:
+//! implements differ (§IV), students warm up (§III-C), fill styles differ
+//! (§IV), and intricate boundary cells — the Canadian maple leaf — "slowed
+//! progress" (§III-D). Noise is lognormal so times stay positive and
+//! multiplicative, sampled from a seeded ChaCha8 RNG for reproducibility.
+
+use crate::implement::Implement;
+use crate::student::StudentProfile;
+use flagsim_grid::FillStyle;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Whether a cell is interior to its color region or on a boundary with
+/// another color. Boundary cells need precision ("the intricate maple leaf
+/// … slowed progress") and cost more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellKind {
+    /// Surrounded by same-color cells; color freely.
+    #[default]
+    Interior,
+    /// Adjacent to a different color; careful edging required.
+    Boundary,
+}
+
+impl CellKind {
+    /// Time multiplier.
+    pub fn multiplier(self) -> f64 {
+        match self {
+            CellKind::Interior => 1.0,
+            CellKind::Boundary => 1.6,
+        }
+    }
+}
+
+/// Tunable model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Lognormal sigma for per-cell noise.
+    pub noise_sigma: f64,
+    /// Extra sigma added for [`FillStyle::Minimal`] (erratic dabs — the
+    /// paper's scribble advice exists to get "uniformity of time per
+    /// cell").
+    pub minimal_extra_sigma: f64,
+    /// Lognormal sigma for hand-off delays.
+    pub handoff_sigma: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            noise_sigma: 0.12,
+            minimal_extra_sigma: 0.25,
+            handoff_sigma: 0.20,
+        }
+    }
+}
+
+/// A seeded sampler of cell-coloring times and hand-off delays.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    rng: ChaCha8Rng,
+    params: CostParams,
+}
+
+impl CostModel {
+    /// Build with default parameters from a seed. Equal seeds ⇒ equal
+    /// sample streams.
+    pub fn new(seed: u64) -> Self {
+        CostModel::with_params(seed, CostParams::default())
+    }
+
+    /// Build with explicit parameters.
+    pub fn with_params(seed: u64, params: CostParams) -> Self {
+        CostModel {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            params,
+        }
+    }
+
+    /// A standard normal sample via Box–Muller (keeps us off external
+    /// distribution crates).
+    fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            let u2: f64 = self.rng.gen::<f64>();
+            if u1 > f64::EPSILON {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+
+    /// A lognormal multiplier with median 1.
+    fn lognormal(&mut self, sigma: f64) -> f64 {
+        (self.standard_normal() * sigma).exp()
+    }
+
+    /// Seconds for `student` to color one cell with `implement`, advancing
+    /// the student's warm-up curve. Panics if the implement is dead —
+    /// detecting dead markers is the caller's failure-injection hook, not
+    /// a time sample.
+    pub fn sample_cell_secs(
+        &mut self,
+        student: &mut StudentProfile,
+        implement: Implement,
+        fill: FillStyle,
+        kind: CellKind,
+    ) -> f64 {
+        assert!(
+            implement.is_usable(),
+            "cannot sample time for a dead implement"
+        );
+        let sigma = if fill.uniform_timing() {
+            self.params.noise_sigma
+        } else {
+            self.params.noise_sigma + self.params.minimal_extra_sigma
+        };
+        let secs = implement.effective_base_secs()
+            * student.skill
+            * student.warmup_multiplier()
+            * student.fatigue_multiplier()
+            * fill.work_factor()
+            * kind.multiplier()
+            * self.lognormal(sigma);
+        student.record_cell();
+        secs
+    }
+
+    /// Seconds to hand `implement` from one student to another.
+    pub fn sample_handoff_secs(&mut self, implement: Implement) -> f64 {
+        implement.kind.handoff_secs() * self.lognormal(self.params.handoff_sigma)
+    }
+
+    /// Whether the implement breaks on this use (crayons only, see
+    /// [`ImplementKind::breakage_prob`](crate::ImplementKind::breakage_prob)).
+    pub fn sample_breakage(&mut self, implement: Implement) -> bool {
+        let p = implement.kind.breakage_prob();
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implement::{Condition, ImplementKind};
+
+    fn avg_cell_secs(kind: ImplementKind, n: usize, seed: u64) -> f64 {
+        let mut model = CostModel::new(seed);
+        let mut student = StudentProfile::new("avg").without_warmup();
+        let implement = Implement::good(kind);
+        (0..n)
+            .map(|_| {
+                model.sample_cell_secs(
+                    &mut student,
+                    implement,
+                    FillStyle::Scribble,
+                    CellKind::Interior,
+                )
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn implement_ordering_survives_noise() {
+        let d = avg_cell_secs(ImplementKind::BingoDauber, 400, 1);
+        let tk = avg_cell_secs(ImplementKind::ThickMarker, 400, 2);
+        let tn = avg_cell_secs(ImplementKind::ThinMarker, 400, 3);
+        let c = avg_cell_secs(ImplementKind::Crayon, 400, 4);
+        assert!(d < tk && tk < tn && tn < c, "{d} {tk} {tn} {c}");
+    }
+
+    #[test]
+    fn mean_close_to_base() {
+        let avg = avg_cell_secs(ImplementKind::ThickMarker, 2000, 7);
+        // Lognormal with sigma .12 has mean ≈ base × exp(σ²/2) ≈ 1.007×.
+        assert!((avg - 2.0).abs() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sample = |seed| {
+            let mut m = CostModel::new(seed);
+            let mut s = StudentProfile::new("s");
+            (0..10)
+                .map(|_| {
+                    m.sample_cell_secs(
+                        &mut s,
+                        Implement::good(ImplementKind::ThickMarker),
+                        FillStyle::Scribble,
+                        CellKind::Interior,
+                    )
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+
+    #[test]
+    fn warmup_makes_early_cells_slower() {
+        let mut m = CostModel::with_params(
+            5,
+            CostParams {
+                noise_sigma: 0.0,
+                minimal_extra_sigma: 0.0,
+                handoff_sigma: 0.0,
+            },
+        );
+        let mut s = StudentProfile::new("s");
+        let imp = Implement::good(ImplementKind::ThickMarker);
+        let first = m.sample_cell_secs(&mut s, imp, FillStyle::Scribble, CellKind::Interior);
+        for _ in 0..300 {
+            let _ = m.sample_cell_secs(&mut s, imp, FillStyle::Scribble, CellKind::Interior);
+        }
+        let late = m.sample_cell_secs(&mut s, imp, FillStyle::Scribble, CellKind::Interior);
+        assert!(first > late * 1.5, "first {first}, late {late}");
+        assert!((late - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn boundary_cells_cost_more() {
+        let mut m = CostModel::with_params(
+            5,
+            CostParams {
+                noise_sigma: 0.0,
+                minimal_extra_sigma: 0.0,
+                handoff_sigma: 0.0,
+            },
+        );
+        let mut s = StudentProfile::new("s").without_warmup();
+        let imp = Implement::good(ImplementKind::ThickMarker);
+        let interior = m.sample_cell_secs(&mut s, imp, FillStyle::Scribble, CellKind::Interior);
+        let boundary = m.sample_cell_secs(&mut s, imp, FillStyle::Scribble, CellKind::Boundary);
+        assert!((boundary / interior - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_style_scales_work() {
+        let mut m = CostModel::with_params(
+            5,
+            CostParams {
+                noise_sigma: 0.0,
+                minimal_extra_sigma: 0.0,
+                handoff_sigma: 0.0,
+            },
+        );
+        let mut s = StudentProfile::new("s").without_warmup();
+        let imp = Implement::good(ImplementKind::ThickMarker);
+        let full = m.sample_cell_secs(&mut s, imp, FillStyle::Full, CellKind::Interior);
+        let min = m.sample_cell_secs(&mut s, imp, FillStyle::Minimal, CellKind::Interior);
+        assert!((full - 4.0).abs() < 1e-9);
+        assert!((min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead implement")]
+    fn dead_implement_panics() {
+        let mut m = CostModel::new(1);
+        let mut s = StudentProfile::new("s");
+        let dead = Implement {
+            kind: ImplementKind::ThickMarker,
+            condition: Condition::Dead,
+        };
+        let _ = m.sample_cell_secs(&mut s, dead, FillStyle::Scribble, CellKind::Interior);
+    }
+
+    #[test]
+    fn only_crayons_ever_break() {
+        let mut m = CostModel::new(99);
+        let mut crayon_breaks = 0;
+        for _ in 0..5000 {
+            if m.sample_breakage(Implement::good(ImplementKind::Crayon)) {
+                crayon_breaks += 1;
+            }
+            assert!(!m.sample_breakage(Implement::good(ImplementKind::ThickMarker)));
+        }
+        assert!(crayon_breaks > 0, "crayons should break occasionally");
+        assert!(crayon_breaks < 200, "but not constantly");
+    }
+
+    #[test]
+    fn handoff_positive_and_near_base() {
+        let mut m = CostModel::new(11);
+        let imp = Implement::good(ImplementKind::ThickMarker);
+        let avg: f64 =
+            (0..500).map(|_| m.sample_handoff_secs(imp)).sum::<f64>() / 500.0;
+        assert!(avg > 0.9 && avg < 1.6, "avg {avg}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Calibrated Likert cohort synthesis.
+//!
+//! We cannot resurvey the paper's students; what the paper publishes is
+//! the *median* per question per institution. The generator here samples a
+//! plausible response distribution around the target and then constrains
+//! the sorted middle so the sample median equals the target **exactly** —
+//! the published statistic is reproduced by construction while the rest of
+//! the distribution stays varied. This keeps the whole analysis pipeline
+//! honest: the medians in our regenerated tables are *computed* from
+//! responses by `flagsim_metrics::likert`, not copied.
+
+use crate::institution::Institution;
+use crate::survey::SurveyQuestion;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// One institution's synthetic responses to the whole survey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyCohort {
+    /// The institution.
+    pub institution: Institution,
+    /// Responses per question (one `u8` in 1..=5 per student). Questions
+    /// with no published median for this institution are absent — those
+    /// students weren't asked (Webster's NA rows) or the cell wasn't
+    /// reported.
+    pub responses: BTreeMap<SurveyQuestion, Vec<u8>>,
+}
+
+impl SurveyCohort {
+    /// The responses for one question, if collected.
+    pub fn question(&self, q: SurveyQuestion) -> Option<&[u8]> {
+        self.responses.get(&q).map(Vec::as_slice)
+    }
+
+    /// The measured median for one question.
+    pub fn median(&self, q: SurveyQuestion) -> Option<f64> {
+        self.question(q).and_then(flagsim_metrics::median)
+    }
+}
+
+/// Generate `n` Likert responses whose median is exactly `target` (which
+/// must be a half-point in `[1, 5]`; half-point targets require even `n`).
+pub fn responses_with_median(target: f64, n: usize, rng: &mut ChaCha8Rng) -> Vec<u8> {
+    assert!(n > 0, "empty cohort");
+    assert!(
+        (1.0..=5.0).contains(&target) && (target * 2.0).fract() == 0.0,
+        "target must be a half-point Likert value, got {target}"
+    );
+    let is_half = target.fract() != 0.0;
+    assert!(
+        !is_half || n.is_multiple_of(2),
+        "a half-point median needs an even sample"
+    );
+    // The two middle order statistics we must hit.
+    let (m_lo, m_hi) = if is_half {
+        (target.floor() as u8, target.ceil() as u8)
+    } else {
+        (target as u8, target as u8)
+    };
+
+    // Sample around the target: target ± {0,1,2} with decaying weights.
+    let mut out: Vec<u8> = (0..n)
+        .map(|_| {
+            let noise: i8 = match rng.gen_range(0..100) {
+                0..=54 => 0,
+                55..=84 => 1,
+                _ => 2,
+            };
+            let sign: i8 = if rng.gen::<bool>() { 1 } else { -1 };
+            (target.round() as i8 + sign * noise).clamp(1, 5) as u8
+        })
+        .collect();
+
+    // Constrain: sort, clamp halves, pin the middle.
+    out.sort_unstable();
+    let mid = n / 2;
+    if n % 2 == 1 {
+        for v in &mut out[..mid] {
+            *v = (*v).min(m_lo);
+        }
+        out[mid] = m_lo;
+        for v in &mut out[mid + 1..] {
+            *v = (*v).max(m_hi);
+        }
+    } else {
+        for v in &mut out[..mid.saturating_sub(1)] {
+            *v = (*v).min(m_lo);
+        }
+        out[mid - 1] = m_lo;
+        out[mid] = m_hi;
+        for v in &mut out[mid + 1..] {
+            *v = (*v).max(m_hi);
+        }
+    }
+    // Shuffle back so the constrained values aren't positionally obvious.
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Generate the survey cohort for one institution. Deterministic in
+/// `seed`.
+pub fn generate_survey_cohort(institution: Institution, seed: u64) -> SurveyCohort {
+    let n = institution.survey_cohort_size();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (institution as u64).wrapping_mul(0x9E37));
+    let mut responses = BTreeMap::new();
+    for q in SurveyQuestion::ALL {
+        if let Some(target) = q.published_median(institution) {
+            responses.insert(q, responses_with_median(target, n, &mut rng));
+        }
+    }
+    SurveyCohort {
+        institution,
+        responses,
+    }
+}
+
+/// Generate all six cohorts.
+pub fn generate_all_cohorts(seed: u64) -> Vec<SurveyCohort> {
+    Institution::ALL
+        .iter()
+        .map(|&i| generate_survey_cohort(i, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_medians_for_all_half_points() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for &target in &[1.0, 2.0, 3.0, 3.5, 4.0, 4.5, 5.0] {
+            for &n in &[2usize, 6, 14, 30, 40] {
+                let r = responses_with_median(target, n, &mut rng);
+                assert_eq!(r.len(), n);
+                assert_eq!(
+                    flagsim_metrics::median(&r),
+                    Some(target),
+                    "target {target} n {n}"
+                );
+                assert!(r.iter().all(|&v| (1..=5).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_samples_work_for_integer_targets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let r = responses_with_median(4.0, 29, &mut rng);
+        assert_eq!(flagsim_metrics::median(&r), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "even sample")]
+    fn half_point_with_odd_n_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = responses_with_median(4.5, 7, &mut rng);
+    }
+
+    #[test]
+    fn responses_are_varied_not_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r = responses_with_median(4.0, 40, &mut rng);
+        let distinct: std::collections::BTreeSet<u8> = r.iter().copied().collect();
+        assert!(distinct.len() >= 2, "suspiciously uniform cohort: {r:?}");
+    }
+
+    #[test]
+    fn cohorts_hit_every_published_median() {
+        for cohort in generate_all_cohorts(0xA55E55) {
+            for q in SurveyQuestion::ALL {
+                match q.published_median(cohort.institution) {
+                    Some(target) => {
+                        assert_eq!(
+                            cohort.median(q),
+                            Some(target),
+                            "{} {:?}",
+                            cohort.institution,
+                            q
+                        );
+                    }
+                    None => assert!(cohort.question(q).is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_survey_cohort(Institution::USI, 5);
+        let b = generate_survey_cohort(Institution::USI, 5);
+        let c = generate_survey_cohort(Institution::USI, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

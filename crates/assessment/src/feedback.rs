@@ -1,0 +1,298 @@
+//! Open-ended survey feedback (§V-A.1 and §V-A.2).
+//!
+//! The survey's two open questions asked for the most interesting thing
+//! learned and for improvement suggestions; the paper summarizes the
+//! recurring themes. This module encodes both taxonomies, provides a
+//! keyword classifier for free-text comments, and a synthetic comment
+//! generator so the classification pipeline can be exercised end to end.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Themes from "the most interesting thing they learned" (§V-A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LearnedTheme {
+    /// "better understood how parallel computing operates".
+    HowParallelismWorks,
+    /// "adding more processors does not always result in increased
+    /// efficiency … diminishing returns … even slowdowns".
+    DiminishingReturns,
+    /// "the hands-on nature … helped them visualize".
+    HandsOnVisualization,
+    /// "workload distribution, task synchronization, and coordination
+    /// challenges".
+    CoordinationChallenges,
+    /// "effective parallelism requires careful planning and appropriate
+    /// task allocation".
+    PlanningMatters,
+    /// "already familiar with parallel computing concepts".
+    AlreadyKnew,
+    /// "interest in applying their new knowledge to programming".
+    ApplyToProgramming,
+    /// "drawing parallels between teamwork and multiprocessor computing".
+    TeamworkAnalogy,
+}
+
+/// Themes from the improvement suggestions (§V-A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ImprovementTheme {
+    /// "better quality crayons or alternative coloring tools".
+    BetterImplements,
+    /// "making the tasks more engaging … more problem-solving".
+    MoreProblemSolving,
+    /// "integrating coding exercises".
+    IntegrateCoding,
+    /// "making the activity shorter to avoid redundancy".
+    MakeItShorter,
+    /// "clearer instructions and explanations".
+    ClearerInstructions,
+    /// "key vocabulary be introduced during the activity".
+    IntroduceVocabulary,
+    /// "larger paper sizes".
+    LargerPaper,
+    /// "improved classroom setup … organization of group work".
+    ClassroomSetup,
+    /// "a competitive element such as leaderboards or timed challenges".
+    Competition,
+    /// "worked well and did not require significant changes".
+    NoChanges,
+}
+
+impl LearnedTheme {
+    /// Every learned-theme, in the paper's narration order.
+    pub const ALL: [LearnedTheme; 8] = [
+        LearnedTheme::HowParallelismWorks,
+        LearnedTheme::DiminishingReturns,
+        LearnedTheme::HandsOnVisualization,
+        LearnedTheme::CoordinationChallenges,
+        LearnedTheme::PlanningMatters,
+        LearnedTheme::AlreadyKnew,
+        LearnedTheme::ApplyToProgramming,
+        LearnedTheme::TeamworkAnalogy,
+    ];
+
+    /// Keywords whose presence assigns a comment to this theme.
+    fn keywords(self) -> &'static [&'static str] {
+        match self {
+            LearnedTheme::HowParallelismWorks => &["how parallel", "operates", "cores work"],
+            LearnedTheme::DiminishingReturns => {
+                &["diminishing", "not always", "slowdown", "more processors"]
+            }
+            LearnedTheme::HandsOnVisualization => &["hands-on", "visualize", "fun and engaging"],
+            LearnedTheme::CoordinationChallenges => {
+                &["workload distribution", "synchronization", "coordination"]
+            }
+            LearnedTheme::PlanningMatters => &["planning", "task allocation"],
+            LearnedTheme::AlreadyKnew => &["already familiar", "already knew"],
+            LearnedTheme::ApplyToProgramming => &["apply", "to programming", "in my code"],
+            LearnedTheme::TeamworkAnalogy => &["teamwork", "like a team"],
+        }
+    }
+
+    /// A representative synthetic comment.
+    pub fn sample_comment(self) -> &'static str {
+        match self {
+            LearnedTheme::HowParallelismWorks => {
+                "I finally understood how parallel computing operates with multiple cores"
+            }
+            LearnedTheme::DiminishingReturns => {
+                "adding more processors does not always make it faster - diminishing returns!"
+            }
+            LearnedTheme::HandsOnVisualization => {
+                "the hands-on coloring helped me visualize the concepts, fun and engaging"
+            }
+            LearnedTheme::CoordinationChallenges => {
+                "workload distribution and synchronization between people is hard"
+            }
+            LearnedTheme::PlanningMatters => {
+                "parallelism needs careful planning and good task allocation"
+            }
+            LearnedTheme::AlreadyKnew => "I was already familiar with these concepts",
+            LearnedTheme::ApplyToProgramming => {
+                "I want to apply this to programming assignments"
+            }
+            LearnedTheme::TeamworkAnalogy => {
+                "working together was like a team of processors - teamwork!"
+            }
+        }
+    }
+}
+
+impl ImprovementTheme {
+    /// Every improvement theme.
+    pub const ALL: [ImprovementTheme; 10] = [
+        ImprovementTheme::BetterImplements,
+        ImprovementTheme::MoreProblemSolving,
+        ImprovementTheme::IntegrateCoding,
+        ImprovementTheme::MakeItShorter,
+        ImprovementTheme::ClearerInstructions,
+        ImprovementTheme::IntroduceVocabulary,
+        ImprovementTheme::LargerPaper,
+        ImprovementTheme::ClassroomSetup,
+        ImprovementTheme::Competition,
+        ImprovementTheme::NoChanges,
+    ];
+
+    fn keywords(self) -> &'static [&'static str] {
+        match self {
+            ImprovementTheme::BetterImplements => &["crayon", "marker", "breakage", "better tools"],
+            ImprovementTheme::MoreProblemSolving => &["problem-solving", "more engaging"],
+            ImprovementTheme::IntegrateCoding => &["coding", "code exercise"],
+            ImprovementTheme::MakeItShorter => &["shorter", "redundant", "too long"],
+            ImprovementTheme::ClearerInstructions => &["clearer", "instructions", "explain"],
+            ImprovementTheme::IntroduceVocabulary => &["vocabulary", "terms"],
+            ImprovementTheme::LargerPaper => &["larger paper", "bigger grid"],
+            ImprovementTheme::ClassroomSetup => &["classroom", "setup", "organization"],
+            ImprovementTheme::Competition => &["leaderboard", "competitive", "timed challenge"],
+            ImprovementTheme::NoChanges => &["worked well", "no changes", "keep it"],
+        }
+    }
+
+    /// A representative synthetic comment.
+    pub fn sample_comment(self) -> &'static str {
+        match self {
+            ImprovementTheme::BetterImplements => {
+                "please get better quality crayons, mine kept breaking - breakage everywhere"
+            }
+            ImprovementTheme::MoreProblemSolving => {
+                "make it more engaging with real problem-solving elements"
+            }
+            ImprovementTheme::IntegrateCoding => "add a coding exercise that matches the activity",
+            ImprovementTheme::MakeItShorter => "it felt redundant by the end, make it shorter",
+            ImprovementTheme::ClearerInstructions => {
+                "clearer instructions on how this relates to pipelining please"
+            }
+            ImprovementTheme::IntroduceVocabulary => {
+                "introduce the vocabulary during the activity, not after"
+            }
+            ImprovementTheme::LargerPaper => "larger paper would make group work easier",
+            ImprovementTheme::ClassroomSetup => {
+                "the classroom setup made collaboration awkward, fix the organization"
+            }
+            ImprovementTheme::Competition => "add a leaderboard, we got competitive anyway",
+            ImprovementTheme::NoChanges => "honestly it worked well, no changes needed",
+        }
+    }
+}
+
+/// Classify a free-text comment into learned themes (possibly several,
+/// possibly none).
+pub fn classify_learned(comment: &str) -> Vec<LearnedTheme> {
+    let lower = comment.to_ascii_lowercase();
+    LearnedTheme::ALL
+        .into_iter()
+        .filter(|t| t.keywords().iter().any(|k| lower.contains(k)))
+        .collect()
+}
+
+/// Classify a free-text comment into improvement themes.
+pub fn classify_improvement(comment: &str) -> Vec<ImprovementTheme> {
+    let lower = comment.to_ascii_lowercase();
+    ImprovementTheme::ALL
+        .into_iter()
+        .filter(|t| t.keywords().iter().any(|k| lower.contains(k)))
+        .collect()
+}
+
+/// Theme frequencies over a batch of comments.
+pub fn learned_frequencies(comments: &[String]) -> BTreeMap<LearnedTheme, usize> {
+    let mut out = BTreeMap::new();
+    for c in comments {
+        for t in classify_learned(c) {
+            *out.entry(t).or_default() += 1;
+        }
+    }
+    out
+}
+
+/// Generate a synthetic comment batch with roughly the emphasis the paper
+/// reports ("many students" on understanding/diminishing returns, "a few"
+/// on already-knew).
+pub fn generate_learned_comments(n: usize, seed: u64) -> Vec<String> {
+    let weighted: Vec<(LearnedTheme, usize)> = vec![
+        (LearnedTheme::HowParallelismWorks, 5),
+        (LearnedTheme::DiminishingReturns, 4),
+        (LearnedTheme::HandsOnVisualization, 4),
+        (LearnedTheme::CoordinationChallenges, 3),
+        (LearnedTheme::PlanningMatters, 2),
+        (LearnedTheme::AlreadyKnew, 1),
+        (LearnedTheme::ApplyToProgramming, 1),
+        (LearnedTheme::TeamworkAnalogy, 2),
+    ];
+    let mut pool: Vec<LearnedTheme> = weighted
+        .iter()
+        .flat_map(|&(t, w)| std::iter::repeat_n(t, w))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            pool.shuffle(&mut rng);
+            pool[0].sample_comment().to_owned()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sample_comment_classifies_to_its_theme() {
+        for t in LearnedTheme::ALL {
+            let themes = classify_learned(t.sample_comment());
+            assert!(themes.contains(&t), "{t:?} missed: {themes:?}");
+        }
+        for t in ImprovementTheme::ALL {
+            let themes = classify_improvement(t.sample_comment());
+            assert!(themes.contains(&t), "{t:?} missed: {themes:?}");
+        }
+    }
+
+    #[test]
+    fn unrelated_text_classifies_to_nothing() {
+        assert!(classify_learned("the weather was nice").is_empty());
+        assert!(classify_improvement("the weather was nice").is_empty());
+    }
+
+    #[test]
+    fn classification_is_case_insensitive() {
+        assert!(classify_improvement("BETTER QUALITY CRAYONS PLEASE")
+            .contains(&ImprovementTheme::BetterImplements));
+    }
+
+    #[test]
+    fn crayon_complaints_route_to_implements() {
+        // "the institution that used crayons got many complaints".
+        let themes = classify_improvement("these crayons are terrible");
+        assert_eq!(themes, vec![ImprovementTheme::BetterImplements]);
+    }
+
+    #[test]
+    fn generated_batch_emphasizes_understanding() {
+        let comments = generate_learned_comments(200, 7);
+        let freq = learned_frequencies(&comments);
+        let top = freq.iter().max_by_key(|(_, &c)| c).map(|(t, _)| *t).unwrap();
+        assert!(
+            matches!(
+                top,
+                LearnedTheme::HowParallelismWorks
+                    | LearnedTheme::DiminishingReturns
+                    | LearnedTheme::HandsOnVisualization
+            ),
+            "top theme {top:?}"
+        );
+        // "A few students reported that they were already familiar".
+        let already = freq.get(&LearnedTheme::AlreadyKnew).copied().unwrap_or(0);
+        assert!(already < comments.len() / 5, "already-knew too common");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            generate_learned_comments(20, 1),
+            generate_learned_comments(20, 1)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The six participating institutions.
+
+use std::fmt;
+
+/// The six universities that piloted the activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Institution {
+    /// Hawaii Pacific University.
+    HPU,
+    /// Knox College.
+    Knox,
+    /// Montclair State University.
+    Montclair,
+    /// Tennessee Tech University.
+    TNTech,
+    /// University of Southern Indiana.
+    USI,
+    /// Webster University.
+    Webster,
+}
+
+impl Institution {
+    /// All six, in the tables' column order.
+    pub const ALL: [Institution; 6] = [
+        Institution::HPU,
+        Institution::Knox,
+        Institution::Montclair,
+        Institution::TNTech,
+        Institution::USI,
+        Institution::Webster,
+    ];
+
+    /// Column header used in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Institution::HPU => "HPU",
+            Institution::Knox => "Knox",
+            Institution::Montclair => "Montclair",
+            Institution::TNTech => "TNTech",
+            Institution::USI => "USI",
+            Institution::Webster => "Webster",
+        }
+    }
+
+    /// Survey cohort size used by the synthetic generator. Even numbers,
+    /// because several published medians are half-points (4.5), which only
+    /// even-sized samples produce.
+    pub fn survey_cohort_size(self) -> usize {
+        match self {
+            Institution::HPU => 6,
+            Institution::Knox => 30,
+            Institution::Montclair => 24,
+            Institution::TNTech => 40,
+            Institution::USI => 14,
+            Institution::Webster => 22,
+        }
+    }
+
+    /// Pre/post quiz cohort size, for the three institutions in Fig. 8.
+    /// Sizes are inferred from the published percentages: every Fig. 8
+    /// percentage is an integer count over these totals (e.g. USI's 76.9%
+    /// = 10/13, TNTech's 87.2% = 150/172, HPU's 83.3% = 5/6).
+    pub fn quiz_cohort_size(self) -> Option<usize> {
+        match self {
+            Institution::USI => Some(13),
+            Institution::TNTech => Some(172),
+            Institution::HPU => Some(6),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Institution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_institutions_in_order() {
+        assert_eq!(Institution::ALL.len(), 6);
+        assert_eq!(Institution::ALL[0].name(), "HPU");
+        assert_eq!(Institution::ALL[5].name(), "Webster");
+    }
+
+    #[test]
+    fn survey_cohorts_are_even() {
+        for i in Institution::ALL {
+            assert_eq!(i.survey_cohort_size() % 2, 0, "{i} must be even");
+        }
+    }
+
+    #[test]
+    fn quiz_cohorts_match_fig8_denominators() {
+        assert_eq!(Institution::USI.quiz_cohort_size(), Some(13));
+        assert_eq!(Institution::TNTech.quiz_cohort_size(), Some(172));
+        assert_eq!(Institution::HPU.quiz_cohort_size(), Some(6));
+        assert_eq!(Institution::Knox.quiz_cohort_size(), None);
+        // The published percentages really are integer counts over these.
+        assert!((10.0_f64 / 13.0 * 100.0 - 76.9).abs() < 0.05);
+        assert!((150.0_f64 / 172.0 * 100.0 - 87.2).abs() < 0.05);
+        assert!((5.0_f64 / 6.0 * 100.0 - 83.3).abs() < 0.05);
+    }
+}

@@ -1,0 +1,356 @@
+//! The §V-C dependency-graph study: the flag of Jordan.
+//!
+//! 29 submissions were collected from a class of 65 (45% response rate).
+//! Classified: 10 perfect (34%), 7 mostly correct (24% — five split the
+//! triangle, one merged all stripes into a single task, one conveyed the
+//! layers spatially without arrows), the most common error was a linear
+//! chain, a couple were incomplete, and 4 (14%) showed no learning (drew
+//! the flag or wrote code). 59% of respondents were at least mostly
+//! correct. This module generates submissions in those archetypes and
+//! grades them with the rubric in `flagsim_taskgraph::grade`.
+
+use flagsim_taskgraph::grade::MostlyVariant;
+use flagsim_taskgraph::{classify, GradeOptions, SubmissionGrade, SubmittedGraph, TaskGraph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// The reference dependency graph for coloring the flag of Jordan
+/// (Fig. 9): three stripes → red triangle → white dot. Weights are
+/// nominal cell counts (they don't affect grading).
+pub fn reference_graph() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let black = g.add_task("black stripe", 48);
+    let white = g.add_task("white stripe", 48);
+    let green = g.add_task("green stripe", 48);
+    let tri = g.add_task("red triangle", 30);
+    let dot = g.add_task("white dot", 2);
+    for s in [black, white, green] {
+        g.add_dep(s, tri).expect("forward edge");
+    }
+    g.add_dep(tri, dot).expect("forward edge");
+    g
+}
+
+/// The grading allowances §V-C describes for this flag.
+pub fn grade_options() -> GradeOptions {
+    GradeOptions {
+        // "we counted the graph as correct if it omitted the box for
+        // drawing the white stripe".
+        optional_tasks: vec!["white stripe".into()],
+        // "splitting the red triangle into two parts … consistent with how
+        // they were creating this kind of triangle in the programming
+        // assignment".
+        splits: vec![(
+            "red triangle".into(),
+            vec!["top triangle".into(), "bottom triangle".into()],
+        )],
+        // "one who used one task for all the stripes".
+        merges: vec![(
+            "stripes".into(),
+            vec![
+                "black stripe".into(),
+                "white stripe".into(),
+                "green stripe".into(),
+            ],
+        )],
+    }
+}
+
+/// The submission archetypes observed in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Archetype {
+    /// Correct graph (possibly omitting the white stripe).
+    Perfect,
+    /// Triangle split into two right triangles.
+    SplitTriangle,
+    /// One task for all three stripes.
+    MergedStripes,
+    /// Correct layers conveyed spatially, arrows omitted.
+    SpatialNoArrows,
+    /// A single sequential chain of all tasks.
+    LinearChain,
+    /// Ran out of time mid-drawing.
+    Incomplete,
+    /// Drew the flag / wrote code instead.
+    NoLearning,
+}
+
+impl Archetype {
+    /// The §V-C counts (total 29).
+    pub fn observed_mix() -> Vec<(Archetype, usize)> {
+        vec![
+            (Archetype::Perfect, 10),
+            (Archetype::SplitTriangle, 5),
+            (Archetype::MergedStripes, 1),
+            (Archetype::SpatialNoArrows, 1),
+            (Archetype::LinearChain, 6),
+            (Archetype::Incomplete, 2),
+            (Archetype::NoLearning, 4),
+        ]
+    }
+
+    /// Build a submission of this archetype. `variant` selects small
+    /// deterministic variations (chain order, white-stripe omission) so a
+    /// cohort isn't 29 identical drawings.
+    pub fn submission(self, variant: u64) -> SubmittedGraph {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+        match self {
+            Archetype::Perfect => {
+                if variant.is_multiple_of(2) {
+                    // Full five-task version.
+                    SubmittedGraph::new(
+                        s(&[
+                            "black stripe",
+                            "white stripe",
+                            "green stripe",
+                            "red triangle",
+                            "white dot",
+                        ]),
+                        vec![(0, 3), (1, 3), (2, 3), (3, 4)],
+                    )
+                } else {
+                    // White stripe omitted (counted correct).
+                    SubmittedGraph::new(
+                        s(&["black stripe", "green stripe", "red triangle", "white dot"]),
+                        vec![(0, 2), (1, 2), (2, 3)],
+                    )
+                }
+            }
+            Archetype::SplitTriangle => SubmittedGraph::new(
+                s(&[
+                    "black stripe",
+                    "white stripe",
+                    "green stripe",
+                    "top triangle",
+                    "bottom triangle",
+                    "white dot",
+                ]),
+                vec![
+                    (0, 3),
+                    (1, 3),
+                    (2, 3),
+                    (0, 4),
+                    (1, 4),
+                    (2, 4),
+                    (3, 5),
+                    (4, 5),
+                ],
+            ),
+            Archetype::MergedStripes => SubmittedGraph::new(
+                s(&["stripes", "red triangle", "white dot"]),
+                vec![(0, 1), (1, 2)],
+            ),
+            Archetype::SpatialNoArrows => {
+                let mut sub = SubmittedGraph::new(
+                    s(&[
+                        "black stripe",
+                        "white stripe",
+                        "green stripe",
+                        "red triangle",
+                        "white dot",
+                    ]),
+                    vec![],
+                );
+                sub.spatial_only = true;
+                sub
+            }
+            Archetype::LinearChain => {
+                // Different students chain in different orders; all wrong
+                // the same way ("thought about the graph in terms of
+                // sequential code").
+                let orders: [[usize; 5]; 3] = [
+                    [0, 1, 2, 3, 4],
+                    [2, 1, 0, 3, 4],
+                    [0, 2, 1, 3, 4],
+                ];
+                let order = orders[(variant % 3) as usize];
+                let tasks = s(&[
+                    "black stripe",
+                    "white stripe",
+                    "green stripe",
+                    "red triangle",
+                    "white dot",
+                ]);
+                let edges = order.windows(2).map(|w| (w[0], w[1])).collect();
+                SubmittedGraph::new(tasks, edges)
+            }
+            Archetype::Incomplete => {
+                let mut sub = SubmittedGraph::new(
+                    s(&["black stripe", "white stripe", "green stripe"]),
+                    vec![(0, 1), (1, 2)],
+                );
+                sub.complete = false;
+                sub
+            }
+            Archetype::NoLearning => {
+                if variant.is_multiple_of(2) {
+                    // "drew the flag".
+                    SubmittedGraph::new(s(&["(a drawing of the flag)"]), vec![])
+                } else {
+                    // "started giving code to draw it".
+                    SubmittedGraph::new(s(&["for y in range(h):", "setPixel(x, y)"]), vec![(0, 1)])
+                }
+            }
+        }
+    }
+
+    /// The grade the rubric should assign this archetype.
+    pub fn expected_grade(self) -> SubmissionGrade {
+        match self {
+            Archetype::Perfect => SubmissionGrade::Perfect,
+            Archetype::SplitTriangle => SubmissionGrade::MostlyCorrect(MostlyVariant::SplitTask),
+            Archetype::MergedStripes => {
+                SubmissionGrade::MostlyCorrect(MostlyVariant::MergedTasks)
+            }
+            Archetype::SpatialNoArrows => {
+                SubmissionGrade::MostlyCorrect(MostlyVariant::SpatialNoArrows)
+            }
+            Archetype::LinearChain => SubmissionGrade::LinearChain,
+            Archetype::Incomplete => SubmissionGrade::Incomplete,
+            Archetype::NoLearning => SubmissionGrade::NoLearning,
+        }
+    }
+}
+
+/// The grading results for a batch of submissions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyResults {
+    /// Count per grade.
+    pub counts: BTreeMap<&'static str, usize>,
+    /// Total submissions.
+    pub total: usize,
+    /// Percent perfectly correct.
+    pub perfect_pct: f64,
+    /// Percent mostly correct (all variants).
+    pub mostly_pct: f64,
+    /// Percent at least mostly correct (the paper's 59%).
+    pub at_least_mostly_pct: f64,
+}
+
+fn grade_name(g: SubmissionGrade) -> &'static str {
+    match g {
+        SubmissionGrade::Perfect => "perfect",
+        SubmissionGrade::MostlyCorrect(_) => "mostly correct",
+        SubmissionGrade::LinearChain => "linear chain",
+        SubmissionGrade::Incomplete => "incomplete",
+        SubmissionGrade::IncorrectStructure => "incorrect structure",
+        SubmissionGrade::NoLearning => "no learning",
+    }
+}
+
+/// Grade a batch of submissions against the Jordan reference.
+pub fn grade_batch(submissions: &[SubmittedGraph]) -> StudyResults {
+    let reference = reference_graph();
+    let options = grade_options();
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut perfect = 0usize;
+    let mut mostly = 0usize;
+    for sub in submissions {
+        let grade = classify(sub, &reference, &options);
+        *counts.entry(grade_name(grade)).or_default() += 1;
+        match grade {
+            SubmissionGrade::Perfect => perfect += 1,
+            SubmissionGrade::MostlyCorrect(_) => mostly += 1,
+            _ => {}
+        }
+    }
+    let total = submissions.len();
+    let pct = |c: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / total as f64
+        }
+    };
+    StudyResults {
+        counts,
+        total,
+        perfect_pct: pct(perfect),
+        mostly_pct: pct(mostly),
+        at_least_mostly_pct: pct(perfect + mostly),
+    }
+}
+
+/// Generate the 29-submission synthetic class in the observed archetype
+/// mix, shuffled by `seed`.
+pub fn generate_submissions(seed: u64) -> Vec<SubmittedGraph> {
+    let mut subs = Vec::new();
+    let mut variant = 0u64;
+    for (arch, count) in Archetype::observed_mix() {
+        for _ in 0..count {
+            subs.push(arch.submission(variant));
+            variant += 1;
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    subs.shuffle(&mut rng);
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_fig9_shape() {
+        let g = reference_graph();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.roots().len(), 3);
+        assert_eq!(g.leaves().len(), 1);
+    }
+
+    #[test]
+    fn every_archetype_grades_as_expected() {
+        let reference = reference_graph();
+        let options = grade_options();
+        for (arch, _) in Archetype::observed_mix() {
+            for variant in 0..4 {
+                let sub = arch.submission(variant);
+                let grade = classify(&sub, &reference, &options);
+                assert_eq!(grade, arch.expected_grade(), "{arch:?} v{variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_mix_totals_29() {
+        let total: usize = Archetype::observed_mix().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 29);
+    }
+
+    #[test]
+    fn study_reproduces_section_vc_percentages() {
+        let subs = generate_submissions(2025);
+        assert_eq!(subs.len(), 29);
+        let results = grade_batch(&subs);
+        // "10 (34%) were perfectly correct. Seven (24%) more were mostly
+        // correct … made up 59% of the respondents."
+        assert_eq!(results.counts["perfect"], 10);
+        assert_eq!(results.counts["mostly correct"], 7);
+        assert!((results.perfect_pct - 34.5).abs() < 0.5);
+        assert!((results.mostly_pct - 24.1).abs() < 0.5);
+        assert!((results.at_least_mostly_pct - 58.6).abs() < 0.5);
+        assert_eq!(results.counts["linear chain"], 6);
+        assert_eq!(results.counts["incomplete"], 2);
+        assert_eq!(results.counts["no learning"], 4);
+        // Nothing fell into the catch-all bucket.
+        assert!(!results.counts.contains_key("incorrect structure"));
+    }
+
+    #[test]
+    fn shuffling_changes_order_not_results() {
+        let a = grade_batch(&generate_submissions(1));
+        let b = grade_batch(&generate_submissions(99));
+        assert_eq!(a, b);
+        assert_ne!(generate_submissions(1), generate_submissions(99));
+    }
+
+    #[test]
+    fn response_rate_context() {
+        // 29 of 65 ≈ 45%.
+        assert!((29.0_f64 / 65.0 * 100.0 - 44.6).abs() < 0.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! # flagsim-assessment
+//!
+//! The paper's evaluation instruments, executable.
+//!
+//! The activity was assessed with human subjects at six institutions; we
+//! cannot re-run humans, so this crate models each instrument and pairs it
+//! with a **calibrated synthetic cohort generator** whose outputs provably
+//! reproduce the paper's published statistics (the substitution is
+//! documented in `DESIGN.md`):
+//!
+//! * [`institution`] — the six sites (HPU, Knox, Montclair, TNTech, USI,
+//!   Webster) and cohort sizes consistent with the paper's percentages.
+//! * [`survey`] — the Fig. 5 ASPECT-style engagement survey: 18 questions
+//!   in three constructs, with the published Tables I–III medians as
+//!   calibration targets (including Webster's NA cells).
+//! * [`cohort`] — Likert cohort synthesis: plausible response
+//!   distributions whose medians are *exact* by construction.
+//! * [`quiz`] — the Fig. 7 five-concept pre/post quiz and the Fig. 8
+//!   transition targets (counts chosen to reproduce every published
+//!   percentage; unreported cells are consistent residuals).
+//! * [`jordan`] — the §V-C dependency-graph study: a generator for the
+//!   observed submission archetypes and a grading pipeline built on
+//!   `flagsim_taskgraph::grade`.
+//! * [`report`] — regenerates Tables I/II/III, the Fig. 6 series, the
+//!   Fig. 8 summary and the §V-C distribution as printable tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cohort;
+pub mod feedback;
+pub mod institution;
+pub mod jordan;
+pub mod longitudinal;
+pub mod quiz;
+pub mod report;
+pub mod survey;
+
+pub use institution::Institution;
+pub use quiz::Concept;
+pub use survey::{Construct, SurveyQuestion};

@@ -1,0 +1,162 @@
+//! The paper's future work, §VI: "with continued implementation and
+//! additional data collection, we plan to conduct a more in-depth
+//! statistical analysis to identify trends".
+//!
+//! This module runs that plan on synthetic data: simulate several course
+//! offerings (semesters), pool the per-concept pre/post transitions, and
+//! apply the proper paired test (McNemar) — showing exactly which
+//! conclusions the published single-offering data can and cannot support,
+//! and how many offerings it takes for the contention/pipelining gains to
+//! clear significance.
+
+use crate::institution::Institution;
+use crate::quiz::{self, Concept};
+use flagsim_metrics::inference::{mcnemar, TestResult};
+use flagsim_metrics::TransitionMatrix;
+
+/// One pooled concept analysis.
+#[derive(Debug, Clone)]
+pub struct ConceptTrend {
+    /// The concept.
+    pub concept: Concept,
+    /// Pooled transitions over all offerings.
+    pub pooled: TransitionMatrix,
+    /// McNemar's test on the pooled data (None = no discordant pairs).
+    pub test: Option<TestResult>,
+    /// Net gain in percentage points.
+    pub net_gain_pp: f64,
+}
+
+/// Pool `offerings` simulated semesters of the Fig. 8 quiz (each semester
+/// regenerates every institution's cohort with a fresh seed) and test
+/// each concept's gain.
+pub fn pooled_analysis(offerings: usize, seed: u64) -> Vec<ConceptTrend> {
+    assert!(offerings > 0, "need at least one offering");
+    let institutions = [Institution::USI, Institution::TNTech, Institution::HPU];
+    Concept::ALL
+        .iter()
+        .map(|&concept| {
+            let mut pooled = TransitionMatrix::default();
+            for semester in 0..offerings {
+                for inst in institutions {
+                    let records =
+                        quiz::generate_quiz_cohort(inst, seed ^ (semester as u64) << 32);
+                    let m = quiz::measure_transitions(&records, concept);
+                    pooled = TransitionMatrix::from_counts(
+                        pooled.retained + m.retained,
+                        pooled.gained + m.gained,
+                        pooled.lost + m.lost,
+                        pooled.stayed_incorrect + m.stayed_incorrect,
+                    );
+                }
+            }
+            ConceptTrend {
+                concept,
+                test: mcnemar(&pooled),
+                net_gain_pp: pooled.net_gain_pp(),
+                pooled,
+            }
+        })
+        .collect()
+}
+
+/// Render the future-work analysis.
+pub fn render_analysis(trends: &[ConceptTrend], alpha: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{:<20}{:>7}{:>9}{:>9}{:>12}{:>12}{:>14}\n",
+        "concept", "n", "gained", "lost", "net gain", "McNemar p", "significant?"
+    );
+    for t in trends {
+        let (p, sig) = match t.test {
+            Some(r) => (
+                format!("{:.4}", r.p_value),
+                if r.significant(alpha) { "YES" } else { "no" },
+            ),
+            None => ("—".to_owned(), "no"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<20}{:>7}{:>9}{:>9}{:>11.1}pp{:>12}{:>14}",
+            t.concept.name(),
+            t.pooled.total(),
+            t.pooled.gained,
+            t.pooled.lost,
+            t.net_gain_pp,
+            p,
+            sig,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_offering_matches_fig8_pools() {
+        let trends = pooled_analysis(1, 7);
+        assert_eq!(trends.len(), 5);
+        // Pool size = 13 + 172 + 6 per concept.
+        for t in &trends {
+            assert_eq!(t.pooled.total(), 191, "{:?}", t.concept);
+        }
+    }
+
+    #[test]
+    fn contention_gain_is_significant_even_in_one_offering() {
+        // Fig. 8's contention row: 49 gained vs 16 lost across the three
+        // institutions — McNemar clears 0.05 easily.
+        let trends = pooled_analysis(1, 7);
+        let contention = trends
+            .iter()
+            .find(|t| t.concept == Concept::Contention)
+            .unwrap();
+        assert!(contention.test.unwrap().significant(0.05));
+        assert!(contention.net_gain_pp > 10.0);
+    }
+
+    #[test]
+    fn task_decomposition_shows_no_significant_gain() {
+        // The paper: "Minimal improvement in learning" — gained 8 vs lost
+        // 14; no significant *gain* (if anything, slight loss).
+        let trends = pooled_analysis(1, 7);
+        let td = trends
+            .iter()
+            .find(|t| t.concept == Concept::TaskDecomposition)
+            .unwrap();
+        assert!(td.net_gain_pp < 5.0);
+        // A negative-direction result must not read as a learning gain.
+        if let Some(r) = td.test {
+            assert!(!r.significant(0.001) || td.net_gain_pp < 0.0);
+        }
+    }
+
+    #[test]
+    fn pooling_more_offerings_shrinks_p_values() {
+        let one = pooled_analysis(1, 7);
+        let five = pooled_analysis(5, 7);
+        let p = |trends: &[ConceptTrend], c: Concept| {
+            trends
+                .iter()
+                .find(|t| t.concept == c)
+                .unwrap()
+                .test
+                .map(|r| r.p_value)
+                .unwrap_or(1.0)
+        };
+        // Pipelining gains: real but modest; pooling makes them decisive.
+        assert!(p(&five, Concept::Pipelining) <= p(&one, Concept::Pipelining));
+        assert!(p(&five, Concept::Pipelining) < 0.001);
+    }
+
+    #[test]
+    fn render_mentions_every_concept() {
+        let text = render_analysis(&pooled_analysis(2, 1), 0.05);
+        for c in Concept::ALL {
+            assert!(text.contains(c.name()));
+        }
+        assert!(text.contains("McNemar"));
+    }
+}

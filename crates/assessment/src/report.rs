@@ -1,0 +1,361 @@
+//! Regenerating the paper's tables and figures.
+//!
+//! Each function computes its numbers from synthetic cohorts via the same
+//! statistics a real analysis would use (`flagsim_metrics`), then prints
+//! them side by side with the published values.
+
+use crate::cohort::{generate_all_cohorts, SurveyCohort};
+use crate::institution::Institution;
+use crate::jordan;
+use crate::quiz::{self, Concept};
+use crate::survey::{Construct, SurveyQuestion};
+use std::fmt::Write as _;
+
+/// One table cell: published vs measured median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The paper's value (None = NA).
+    pub published: Option<f64>,
+    /// Our regenerated value (None = not collected).
+    pub measured: Option<f64>,
+}
+
+impl Cell {
+    /// Whether measured matches published (both NA counts as a match).
+    pub fn matches(&self) -> bool {
+        match (self.published, self.measured) {
+            (None, None) => true,
+            (Some(a), Some(b)) => (a - b).abs() < 1e-9,
+            _ => false,
+        }
+    }
+}
+
+/// One row of a regenerated table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// The question.
+    pub question: SurveyQuestion,
+    /// Cells in [`Institution::ALL`] order.
+    pub cells: Vec<Cell>,
+}
+
+/// Regenerate one of Tables I–III from synthetic cohorts.
+pub fn regenerate_table(construct: Construct, seed: u64) -> Vec<TableRow> {
+    let cohorts = generate_all_cohorts(seed);
+    SurveyQuestion::of_construct(construct)
+        .into_iter()
+        .map(|q| TableRow {
+            question: q,
+            cells: cohorts
+                .iter()
+                .map(|c: &SurveyCohort| Cell {
+                    published: q.published_median(c.institution),
+                    measured: c.median(q),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn fmt_median(v: Option<f64>) -> String {
+    match v {
+        Some(m) => format!("{m:.1}"),
+        None => "NA".to_owned(),
+    }
+}
+
+/// Render a regenerated table, flagging any mismatch with `!`.
+pub fn render_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<72}", "Question");
+    for inst in Institution::ALL {
+        let _ = write!(out, "{:>11}", inst.name());
+    }
+    out.push('\n');
+    for row in rows {
+        let _ = write!(out, "{:<72}", truncate(row.question.label(), 71));
+        for cell in &row.cells {
+            let mark = if cell.matches() { "" } else { "!" };
+            let _ = write!(out, "{:>11}", format!("{}{}", fmt_median(cell.measured), mark));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+/// Whether every cell of every row matches its published value.
+pub fn table_matches(rows: &[TableRow]) -> bool {
+    rows.iter().all(|r| r.cells.iter().all(Cell::matches))
+}
+
+/// The Fig. 6 bar-chart series: per question, the measured median per
+/// institution (the chart plots exactly these numbers).
+pub fn fig6_series(seed: u64) -> Vec<(SurveyQuestion, Vec<Option<f64>>)> {
+    let cohorts = generate_all_cohorts(seed);
+    SurveyQuestion::ALL
+        .iter()
+        .filter(|q| {
+            Institution::ALL
+                .iter()
+                .any(|&i| q.published_median(i).is_some())
+        })
+        .map(|&q| {
+            (
+                q,
+                cohorts.iter().map(|c| c.median(q)).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Regenerate the Fig. 8 pre/post analysis: per concept and institution,
+/// the measured transition percentages from a synthetic cohort, next to
+/// the published values.
+pub fn fig8_report(seed: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20}{:>9}{:>11}{:>10}{:>9}{:>9}{:>9}",
+        "Concept", "Inst", "n", "retain%", "gain%", "loss%", "stay%"
+    );
+    for concept in Concept::ALL {
+        for inst in [Institution::USI, Institution::TNTech, Institution::HPU] {
+            let records = quiz::generate_quiz_cohort(inst, seed);
+            let m = quiz::measure_transitions(&records, concept);
+            let _ = writeln!(
+                out,
+                "{:<20}{:>9}{:>11}{:>10.1}{:>9.1}{:>9.1}{:>9.1}",
+                concept.name(),
+                inst.name(),
+                m.total(),
+                m.retained_pct(),
+                m.gained_pct(),
+                m.lost_pct(),
+                m.stayed_incorrect_pct()
+            );
+        }
+    }
+    out
+}
+
+/// Response histograms and agreement rates per question, pooled across
+/// institutions — the distribution view behind the medians (useful when
+/// arguing that a 4.0 median hides a long tail).
+pub fn histogram_report(seed: u64) -> String {
+    let cohorts = generate_all_cohorts(seed);
+    let mut out = format!(
+        "{:<72}{:>6}{:>22}{:>10}\n",
+        "Question", "n", "histogram 1..5", "agree%"
+    );
+    for q in SurveyQuestion::ALL {
+        let mut pooled: Vec<u8> = Vec::new();
+        for c in &cohorts {
+            if let Some(rs) = c.question(q) {
+                pooled.extend_from_slice(rs);
+            }
+        }
+        if pooled.is_empty() {
+            continue;
+        }
+        let summary = flagsim_metrics::LikertSummary::from_responses(&pooled);
+        let _ = writeln!(
+            out,
+            "{:<72}{:>6}{:>22}{:>9.0}%",
+            truncate(q.label(), 71),
+            summary.n,
+            format!("{:?}", summary.histogram),
+            summary.agreement.unwrap_or(0.0) * 100.0,
+        );
+    }
+    out
+}
+
+/// Regenerate the §V-C study summary.
+pub fn jordan_report(seed: u64) -> String {
+    let subs = jordan::generate_submissions(seed);
+    let results = jordan::grade_batch(&subs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Jordan dependency-graph study: {} submissions",
+        results.total
+    );
+    for (grade, count) in &results.counts {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>2} ({:.0}%)",
+            grade,
+            count,
+            100.0 * *count as f64 / results.total as f64
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  at least mostly correct: {:.0}% (paper: 59%)",
+        results.at_least_mostly_pct
+    );
+    out
+}
+
+/// The paper's complete §V, regenerated as one document: Tables I–III,
+/// the Fig. 6 series, response histograms, the Fig. 8 transitions, the
+/// §V-C study, and the §VI statistical analysis.
+pub fn full_report(seed: u64) -> String {
+    let mut out = String::new();
+    for (title, construct) in [
+        ("Table I — engagement medians", Construct::Engagement),
+        ("Table II — understanding medians", Construct::Understanding),
+        ("Table III — instructor medians", Construct::Instructor),
+    ] {
+        let rows = regenerate_table(construct, seed);
+        out.push_str(&render_table(title, &rows));
+        out.push('\n');
+    }
+    out.push_str("Fig. 6 series (medians per question per institution):\n");
+    for (q, medians) in fig6_series(seed) {
+        let cells: Vec<String> = medians
+            .iter()
+            .map(|m| m.map_or("NA".into(), |v| format!("{v:.1}")))
+            .collect();
+        let _ = writeln!(out, "  {:<72} {}", truncate(q.label(), 71), cells.join("  "));
+    }
+    out.push('\n');
+    out.push_str("Response histograms (pooled):\n");
+    out.push_str(&histogram_report(seed));
+    out.push('\n');
+    out.push_str("Fig. 8 — pre/post transitions:\n");
+    out.push_str(&fig8_report(seed));
+    out.push('\n');
+    out.push_str(&jordan_report(seed));
+    out.push('\n');
+    out.push_str("§VI statistical analysis (McNemar per concept, pooled):\n");
+    out.push_str(&crate::longitudinal::render_analysis(
+        &crate::longitudinal::pooled_analysis(1, seed),
+        0.05,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0x5EED;
+
+    #[test]
+    fn tables_match_published_values_exactly() {
+        for construct in [
+            Construct::Engagement,
+            Construct::Understanding,
+            Construct::Instructor,
+        ] {
+            let rows = regenerate_table(construct, SEED);
+            assert!(table_matches(&rows), "{construct:?} table mismatch");
+        }
+    }
+
+    #[test]
+    fn table_i_renders_with_na() {
+        let rows = regenerate_table(Construct::Engagement, SEED);
+        let s = render_table("Table I", &rows);
+        assert!(s.contains("I had fun"));
+        assert!(s.contains("NA")); // TNTech's missing interest cell
+        assert!(!s.contains('!'), "no mismatches expected:\n{s}");
+    }
+
+    #[test]
+    fn table_iii_has_websters_nas() {
+        let rows = regenerate_table(Construct::Instructor, SEED);
+        // Last column (Webster) of the last three rows is NA.
+        for row in &rows[1..] {
+            assert_eq!(row.cells[5].published, None);
+            assert_eq!(row.cells[5].measured, None);
+        }
+        assert!(table_matches(&rows));
+    }
+
+    #[test]
+    fn fig6_covers_15_published_questions() {
+        let series = fig6_series(SEED);
+        assert_eq!(series.len(), 15);
+        for (q, medians) in &series {
+            assert_eq!(medians.len(), 6, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn fig8_report_contains_key_rows() {
+        let s = fig8_report(SEED);
+        assert!(s.contains("Task Decomposition"));
+        assert!(s.contains("Pipelining"));
+        // TNTech cohort size shows up.
+        assert!(s.contains("172"));
+    }
+
+    #[test]
+    fn histogram_report_covers_published_questions() {
+        let s = histogram_report(SEED);
+        // 15 published questions (3 unpublished ones have no responses).
+        assert_eq!(s.lines().count(), 16);
+        assert!(s.contains("I had fun"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn jordan_report_shows_59_percent() {
+        let s = jordan_report(SEED);
+        assert!(s.contains("29 submissions"));
+        assert!(s.contains("59%"), "{s}");
+    }
+
+    #[test]
+    fn full_report_contains_every_section() {
+        let r = full_report(SEED);
+        for needle in [
+            "Table I",
+            "Table II",
+            "Table III",
+            "Fig. 6",
+            "histograms",
+            "Fig. 8",
+            "Jordan dependency-graph study",
+            "McNemar",
+        ] {
+            assert!(r.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn cell_matching_rules() {
+        assert!(Cell {
+            published: None,
+            measured: None
+        }
+        .matches());
+        assert!(Cell {
+            published: Some(4.5),
+            measured: Some(4.5)
+        }
+        .matches());
+        assert!(!Cell {
+            published: Some(4.5),
+            measured: Some(4.0)
+        }
+        .matches());
+        assert!(!Cell {
+            published: Some(4.0),
+            measured: None
+        }
+        .matches());
+    }
+}

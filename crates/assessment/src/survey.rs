@@ -1,0 +1,364 @@
+//! The Fig. 5 student engagement survey and the Tables I–III targets.
+
+use crate::institution::Institution;
+
+/// The three constructs the survey measures (§V: "the student experience
+/// …, their understanding …, and instructor effectiveness").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Construct {
+    /// Engagement: enjoyment, participation, focus (Table I).
+    Engagement,
+    /// Understanding: comprehension of material and concepts (Table II).
+    Understanding,
+    /// Instructor: preparedness, enthusiasm, availability (Table III).
+    Instructor,
+    /// Fig. 5 questions not broken out in any table.
+    Other,
+}
+
+/// One survey question (5-point Likert, 1 = Strongly Disagree … 5 =
+/// Strongly Agree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SurveyQuestion {
+    // Table I — engagement.
+    /// "I had fun during the activity".
+    HadFun,
+    /// "I made a valuable contribution to my group during the activity".
+    MadeContribution,
+    /// "I was focused during the activity".
+    WasFocused,
+    /// "I worked hard during the activity".
+    WorkedHard,
+    /// "The activity stimulated my interest in parallel computing".
+    StimulatedInterest,
+    // Table II — understanding.
+    /// "Explaining the material to my group improved my understanding of it".
+    ExplainingImproved,
+    /// "Having the material explained to me by my group members improved
+    /// my understanding of it".
+    ExplainedToMe,
+    /// "Group discussion during the activity contributed to my
+    /// understanding of parallel computing".
+    GroupDiscussion,
+    /// "I am confident in my understanding of the material presented
+    /// during the activity".
+    ConfidentUnderstanding,
+    /// "The activity increased my understanding of parallel computing".
+    IncreasedUnderstandingPdc,
+    /// "The activity increased my understanding of loops".
+    IncreasedUnderstandingLoops,
+    // Table III — instructor.
+    /// "The instructor seemed prepared for the activity".
+    InstructorPrepared,
+    /// "The instructor put a good deal of effort into my learning from the
+    /// activity".
+    InstructorEffort,
+    /// "The instructor's enthusiasm made me more interested in the
+    /// activity".
+    InstructorEnthusiasm,
+    /// "The instructor and/or TAs were available to answer questions
+    /// during the activity".
+    InstructorAvailable,
+    // Fig. 5 questions without published medians.
+    /// "Overall, the other members of my group made valuable contributions
+    /// during the activity".
+    GroupContributions,
+    /// "I would prefer to take a class that includes this group activity
+    /// over one that does not".
+    PreferClassWithActivity,
+    /// "I like that the activity tied into the class's current programming
+    /// assignment" (asked only where the programming assignment ran).
+    TiedToAssignment,
+}
+
+impl SurveyQuestion {
+    /// All 18 questions, in Fig. 5 table order (Table I, II, III, then the
+    /// unpublished three).
+    pub const ALL: [SurveyQuestion; 18] = [
+        SurveyQuestion::HadFun,
+        SurveyQuestion::MadeContribution,
+        SurveyQuestion::WasFocused,
+        SurveyQuestion::WorkedHard,
+        SurveyQuestion::StimulatedInterest,
+        SurveyQuestion::ExplainingImproved,
+        SurveyQuestion::ExplainedToMe,
+        SurveyQuestion::GroupDiscussion,
+        SurveyQuestion::ConfidentUnderstanding,
+        SurveyQuestion::IncreasedUnderstandingPdc,
+        SurveyQuestion::IncreasedUnderstandingLoops,
+        SurveyQuestion::InstructorPrepared,
+        SurveyQuestion::InstructorEffort,
+        SurveyQuestion::InstructorEnthusiasm,
+        SurveyQuestion::InstructorAvailable,
+        SurveyQuestion::GroupContributions,
+        SurveyQuestion::PreferClassWithActivity,
+        SurveyQuestion::TiedToAssignment,
+    ];
+
+    /// The question's construct (which table it appears in).
+    pub fn construct(self) -> Construct {
+        use SurveyQuestion::*;
+        match self {
+            HadFun | MadeContribution | WasFocused | WorkedHard | StimulatedInterest => {
+                Construct::Engagement
+            }
+            ExplainingImproved | ExplainedToMe | GroupDiscussion | ConfidentUnderstanding
+            | IncreasedUnderstandingPdc | IncreasedUnderstandingLoops => Construct::Understanding,
+            InstructorPrepared | InstructorEffort | InstructorEnthusiasm
+            | InstructorAvailable => Construct::Instructor,
+            GroupContributions | PreferClassWithActivity | TiedToAssignment => Construct::Other,
+        }
+    }
+
+    /// The question's row label as printed in the tables.
+    pub fn label(self) -> &'static str {
+        use SurveyQuestion::*;
+        match self {
+            HadFun => "I had fun during the activity",
+            MadeContribution => "I made a valuable contribution to my group",
+            WasFocused => "I was focused during the activity",
+            WorkedHard => "I worked hard during the activity",
+            StimulatedInterest => "The activity stimulated my interest in parallel computing",
+            ExplainingImproved => "Explaining material to my group improved my understanding",
+            ExplainedToMe => {
+                "Having material explained to me by my group improved my understanding"
+            }
+            GroupDiscussion => {
+                "Group discussion contributed to my understanding of parallel computing"
+            }
+            ConfidentUnderstanding => "I am confident in my understanding of the material presented",
+            IncreasedUnderstandingPdc => {
+                "The activity increased my understanding of parallel computing"
+            }
+            IncreasedUnderstandingLoops => "The activity increased my understanding of loops",
+            InstructorPrepared => "The instructor seemed prepared for the activity",
+            InstructorEffort => "The instructor put effort into my learning",
+            InstructorEnthusiasm => {
+                "The instructor's enthusiasm made me more interested in the activity"
+            }
+            InstructorAvailable => "The instructor and/or TAs were available to answer questions",
+            GroupContributions => {
+                "Overall, the other members of my group made valuable contributions"
+            }
+            PreferClassWithActivity => {
+                "I would prefer to take a class that includes this group activity"
+            }
+            TiedToAssignment => {
+                "I like that the activity tied into the class's current programming assignment"
+            }
+        }
+    }
+
+    /// The published median for this question at this institution
+    /// (Tables I–III). `None` means the paper reports NA or does not
+    /// report the cell (the three unpublished Fig. 5 questions, Webster's
+    /// omitted instructor rows, TNTech's missing interest row).
+    pub fn published_median(self, inst: Institution) -> Option<f64> {
+        use Institution::*;
+        use SurveyQuestion::*;
+        let row: [Option<f64>; 6] = match self {
+            // Table I, columns HPU, Knox, Montclair, TNTech, USI, Webster.
+            HadFun => [
+                Some(4.0),
+                Some(4.0),
+                Some(4.5),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+            ],
+            MadeContribution => [
+                Some(5.0),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(4.0),
+                Some(5.0),
+            ],
+            WasFocused => [
+                Some(4.5),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+            ],
+            WorkedHard => [
+                Some(4.5),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+            ],
+            StimulatedInterest => [
+                Some(4.5),
+                Some(4.0),
+                Some(3.5),
+                None,
+                Some(4.0),
+                Some(5.0),
+            ],
+            // Table II.
+            ExplainingImproved => [
+                Some(5.0),
+                Some(4.0),
+                Some(4.0),
+                Some(4.0),
+                Some(4.5),
+                Some(4.0),
+            ],
+            ExplainedToMe => [
+                Some(4.5),
+                Some(4.0),
+                Some(4.5),
+                Some(4.0),
+                Some(4.0),
+                Some(4.5),
+            ],
+            GroupDiscussion => [
+                Some(4.5),
+                Some(4.0),
+                Some(4.0),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+            ],
+            ConfidentUnderstanding => [
+                Some(4.5),
+                Some(4.0),
+                Some(4.0),
+                Some(4.0),
+                Some(4.0),
+                Some(5.0),
+            ],
+            IncreasedUnderstandingPdc => [
+                Some(5.0),
+                Some(4.0),
+                Some(4.5),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+            ],
+            IncreasedUnderstandingLoops => [
+                Some(3.0),
+                Some(4.0),
+                Some(5.0),
+                Some(3.0),
+                Some(4.0),
+                Some(4.0),
+            ],
+            // Table III.
+            InstructorPrepared => [
+                Some(5.0),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+            ],
+            InstructorEffort => [
+                Some(5.0),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+                None,
+            ],
+            InstructorEnthusiasm => [
+                Some(5.0),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+                None,
+            ],
+            InstructorAvailable => [
+                Some(5.0),
+                Some(4.0),
+                Some(5.0),
+                Some(5.0),
+                Some(5.0),
+                None,
+            ],
+            // Unpublished questions.
+            GroupContributions | PreferClassWithActivity | TiedToAssignment => {
+                [None, None, None, None, None, None]
+            }
+        };
+        let idx = match inst {
+            HPU => 0,
+            Knox => 1,
+            Montclair => 2,
+            TNTech => 3,
+            USI => 4,
+            Webster => 5,
+        };
+        row[idx]
+    }
+
+    /// Questions of one construct, in table row order.
+    pub fn of_construct(c: Construct) -> Vec<SurveyQuestion> {
+        SurveyQuestion::ALL
+            .iter()
+            .copied()
+            .filter(|q| q.construct() == c)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_questions_as_in_fig5() {
+        assert_eq!(SurveyQuestion::ALL.len(), 18);
+    }
+
+    #[test]
+    fn construct_row_counts_match_tables() {
+        assert_eq!(SurveyQuestion::of_construct(Construct::Engagement).len(), 5);
+        assert_eq!(
+            SurveyQuestion::of_construct(Construct::Understanding).len(),
+            6
+        );
+        assert_eq!(SurveyQuestion::of_construct(Construct::Instructor).len(), 4);
+        assert_eq!(SurveyQuestion::of_construct(Construct::Other).len(), 3);
+    }
+
+    #[test]
+    fn spot_check_published_medians() {
+        use Institution::*;
+        use SurveyQuestion::*;
+        // Table I first row.
+        assert_eq!(HadFun.published_median(HPU), Some(4.0));
+        assert_eq!(HadFun.published_median(USI), Some(5.0));
+        // NA cells.
+        assert_eq!(StimulatedInterest.published_median(TNTech), None);
+        assert_eq!(InstructorEffort.published_median(Webster), None);
+        // Table II loops row (the weak spot the paper calls out).
+        assert_eq!(IncreasedUnderstandingLoops.published_median(HPU), Some(3.0));
+        assert_eq!(
+            IncreasedUnderstandingLoops.published_median(TNTech),
+            Some(3.0)
+        );
+        // Knox is uniformly 4.0.
+        for q in SurveyQuestion::ALL {
+            if let Some(m) = q.published_median(Knox) {
+                assert_eq!(m, 4.0, "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn published_medians_are_valid_likert_values() {
+        for q in SurveyQuestion::ALL {
+            for i in Institution::ALL {
+                if let Some(m) = q.published_median(i) {
+                    assert!((1.0..=5.0).contains(&m));
+                    assert_eq!((m * 2.0).fract(), 0.0, "median {m} not a half-point");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out: marker
+//! stocking (E14), team-size sweeps (E15), grid scaling (E16), release
+//! policies, and list-scheduler priorities.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flagsim_agents::{ImplementKind, StudentProfile};
+use flagsim_core::config::{ActivityConfig, ReleasePolicy};
+use flagsim_core::partition::{CellOrder, PartitionStrategy};
+use flagsim_core::scenario::Scenario;
+use flagsim_core::work::PreparedFlag;
+use flagsim_core::TeamKit;
+use flagsim_flags::library;
+use flagsim_grid::Color;
+use flagsim_taskgraph::{list_schedule, Priority, TaskGraph};
+use std::hint::black_box;
+
+fn team(n: usize) -> Vec<StudentProfile> {
+    (1..=n)
+        .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+        .collect()
+}
+
+/// E14 — marker stocking sweep on scenario 4.
+fn bench_marker_stocking(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let cfg = ActivityConfig::default();
+    let sc = Scenario::fig1(4);
+    let mut g = c.benchmark_group("E14_marker_stocking");
+    for count in [1usize, 2, 4] {
+        let kit =
+            TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS).with_count_all(count);
+        g.bench_function(format!("markers_{count}"), |b| {
+            b.iter_batched(
+                || team(4),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E15 — team-size sweep on vertical slices.
+fn bench_team_size(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let cfg = ActivityConfig::default();
+    let mut g = c.benchmark_group("E15_team_size");
+    for p in [1u32, 4, 12] {
+        let sc = Scenario::new(
+            format!("slices x{p}"),
+            PartitionStrategy::VerticalSlices(p),
+            CellOrder::RowMajor,
+        );
+        g.bench_function(format!("students_{p}"), |b| {
+            b.iter_batched(
+                || team(p as usize),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E16 — grid-size sweep on scenario 3.
+fn bench_grid_scaling(c: &mut Criterion) {
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let cfg = ActivityConfig::default();
+    let sc = Scenario::fig1(3);
+    let mut g = c.benchmark_group("E16_grid_scaling");
+    for (w, h) in [(12u32, 8u32), (24, 16), (48, 32)] {
+        let flag = PreparedFlag::at_size(&library::mauritius(), w, h);
+        g.bench_function(format!("{w}x{h}"), |b| {
+            b.iter_batched(
+                || team(4),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Release-policy ablation on scenario 4.
+fn bench_release_policy(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let sc = Scenario::fig1(4);
+    let mut g = c.benchmark_group("ablation_release_policy");
+    for (name, policy) in [
+        ("keep_until_change", ReleasePolicy::KeepUntilColorChange),
+        ("release_each_cell", ReleasePolicy::ReleaseEachCell),
+    ] {
+        let cfg = ActivityConfig::default().with_policy(policy);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || team(4),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Scheduler-priority ablation on a layered-flag-shaped graph forest.
+fn bench_scheduler_priority(c: &mut Criterion) {
+    // A forest of layer chains with skewed weights — the worst case for
+    // naive priorities.
+    let mut graph = TaskGraph::new();
+    for chain in 0..8 {
+        let mut prev = None;
+        for depth in 0..6 {
+            let id = graph.add_task(
+                format!("c{chain}d{depth}"),
+                10 + (chain * 37 + depth * 13) % 90,
+            );
+            if let Some(p) = prev {
+                graph.add_dep(p, id).unwrap();
+            }
+            prev = Some(id);
+        }
+    }
+    let mut g = c.benchmark_group("ablation_scheduler_priority");
+    for (name, pr) in [
+        ("critical_path", Priority::CriticalPath),
+        ("fifo", Priority::Fifo),
+        ("longest_task", Priority::LongestTask),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(list_schedule(&graph, 4, pr)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_marker_stocking,
+    bench_team_size,
+    bench_grid_scaling,
+    bench_release_policy,
+    bench_scheduler_priority,
+);
+criterion_main!(ablations);

@@ -1,0 +1,216 @@
+//! Criterion benches, one group per paper artifact (E1–E13): they time
+//! the workload that regenerates each table/figure, so `cargo bench`
+//! doubles as a performance regression harness for the whole pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flagsim_agents::{ImplementKind, StudentProfile};
+use flagsim_assessment::report as arep;
+use flagsim_assessment::survey::Construct;
+use flagsim_assessment::{jordan, quiz};
+use flagsim_core::config::ActivityConfig;
+use flagsim_core::layered;
+use flagsim_core::partition::{CellOrder, PartitionStrategy};
+use flagsim_core::scenario::Scenario;
+use flagsim_core::work::PreparedFlag;
+use flagsim_core::TeamKit;
+use flagsim_flags::library;
+use flagsim_grid::Color;
+use flagsim_threads::{CellWorkload, ExecMode, ParallelColorer};
+use std::hint::black_box;
+
+fn team(n: usize) -> Vec<StudentProfile> {
+    (1..=n)
+        .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+        .collect()
+}
+
+/// E1 — the four Fig. 1 scenario simulations.
+fn bench_e1_scenarios(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let cfg = ActivityConfig::default();
+    let mut g = c.benchmark_group("E1_fig1_scenarios");
+    for n in 1..=4u8 {
+        let sc = Scenario::fig1(n);
+        let size = sc.team_size(&flag, &cfg);
+        g.bench_function(format!("scenario_{n}"), |b| {
+            b.iter_batched(
+                || team(size),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E2 — warm-up: back-to-back scenario 1 runs with persistent experience.
+fn bench_e2_warmup(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let cfg = ActivityConfig::default();
+    let sc = Scenario::fig1(1);
+    c.bench_function("E2_warmup_two_runs", |b| {
+        b.iter_batched(
+            || vec![StudentProfile::new("P1")],
+            |mut t| {
+                let r1 = sc.run(&flag, &mut t, &kit, &cfg).unwrap();
+                let r2 = sc.run(&flag, &mut t, &kit, &cfg).unwrap();
+                black_box((r1.completion, r2.completion))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// E3 — implement sweep.
+fn bench_e3_implements(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let cfg = ActivityConfig::default();
+    let sc = Scenario::fig1(1);
+    let mut g = c.benchmark_group("E3_implements");
+    for kind in ImplementKind::ALL {
+        let kit = TeamKit::uniform(kind, &Color::MAURITIUS);
+        g.bench_function(kind.name().replace(' ', "_"), |b| {
+            b.iter_batched(
+                || team(1),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E4 — the Webster comparison (France vs Canada, 3 students).
+fn bench_e4_webster(c: &mut Criterion) {
+    let cfg = ActivityConfig::default();
+    let mut g = c.benchmark_group("E4_webster");
+    for spec in [library::france(), library::canada()] {
+        let flag = PreparedFlag::new(&spec);
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let sc = Scenario::webster(3);
+        g.bench_function(spec.name.clone(), |b| {
+            b.iter_batched(
+                || team(3),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E5 — layered dependency scheduling across the library.
+fn bench_e5_dependencies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_layered_schedules");
+    for spec in [library::mauritius(), library::jordan(), library::great_britain()] {
+        g.bench_function(spec.name.clone(), |b| {
+            b.iter(|| black_box(layered::layered_speedup_curve(&spec, &[1, 2, 4, 8], 2000)))
+        });
+    }
+    g.finish();
+}
+
+/// E6/E7/E8 — regenerating Tables I–III from calibrated cohorts.
+fn bench_e678_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E678_tables");
+    for (name, construct) in [
+        ("table_I", Construct::Engagement),
+        ("table_II", Construct::Understanding),
+        ("table_III", Construct::Instructor),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(arep::regenerate_table(construct, 7)))
+        });
+    }
+    g.finish();
+}
+
+/// E9 — quiz cohort generation + transition measurement (Fig. 8).
+fn bench_e9_quiz(c: &mut Criterion) {
+    c.bench_function("E9_fig8_transitions", |b| {
+        b.iter(|| {
+            let records = quiz::generate_quiz_cohort(flagsim_assessment::Institution::TNTech, 7);
+            black_box(quiz::measure_transitions(
+                &records,
+                flagsim_assessment::Concept::Contention,
+            ))
+        })
+    });
+}
+
+/// E10 — Jordan submission generation + grading (§V-C).
+fn bench_e10_jordan(c: &mut Criterion) {
+    c.bench_function("E10_jordan_grading", |b| {
+        b.iter(|| black_box(jordan::grade_batch(&jordan::generate_submissions(7))))
+    });
+}
+
+/// E12 — real-thread executors on a 96×64 grid.
+fn bench_e12_threads(c: &mut Criterion) {
+    let flag = PreparedFlag::at_size(&library::mauritius(), 96, 64);
+    let assignments =
+        PartitionStrategy::VerticalSlices(4).assignments(&flag, CellOrder::RowMajor, &[]);
+    let colorer = ParallelColorer::new(&flag, CellWorkload::default());
+    let mut g = c.benchmark_group("E12_threads");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("sequential", ExecMode::Sequential),
+        ("static_4", ExecMode::Static),
+        ("shared_implements_4", ExecMode::SharedImplements),
+        ("dynamic_chunks_64", ExecMode::DynamicChunks { chunk: 64 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(colorer.run(&assignments, mode)))
+        });
+    }
+    g.bench_function("pipeline_4_stages", |b| {
+        b.iter(|| {
+            black_box(flagsim_threads::run_pipeline(
+                &flag,
+                4,
+                CellWorkload::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// E13 — pipelining strategies for scenario 4.
+fn bench_e13_pipeline(c: &mut Criterion) {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let cfg = ActivityConfig::default();
+    let scenarios = [
+        ("convoy", Scenario::fig1(4)),
+        ("alternating", Scenario::alternating_slices()),
+        ("pipelined", Scenario::pipelined_slices(&flag, 4, 4)),
+    ];
+    let mut g = c.benchmark_group("E13_pipeline");
+    for (name, sc) in scenarios {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || team(4),
+                |mut t| black_box(sc.run(&flag, &mut t, &kit, &cfg).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_e1_scenarios,
+    bench_e2_warmup,
+    bench_e3_implements,
+    bench_e4_webster,
+    bench_e5_dependencies,
+    bench_e678_tables,
+    bench_e9_quiz,
+    bench_e10_jordan,
+    bench_e12_threads,
+    bench_e13_pipeline,
+);
+criterion_main!(paper);

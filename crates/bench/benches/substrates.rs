@@ -1,0 +1,157 @@
+//! Substrate microbenches: rasterization, the DES engine under a
+//! contention ladder, task-graph algorithms, and the cost model. These
+//! guard the performance of the pieces every experiment stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flagsim_agents::{CostModel, Implement, ImplementKind, StudentProfile};
+use flagsim_desim::{Action, Engine, Process, SimDuration, SimTime};
+use flagsim_flags::library;
+use flagsim_grid::FillStyle;
+use flagsim_taskgraph::{analysis, list_schedule, Priority, TaskGraph};
+use std::hint::black_box;
+
+fn bench_rasterize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_rasterize");
+    for flag in library::all() {
+        g.bench_function(flag.name.clone(), |b| b.iter(|| black_box(flag.rasterize())));
+    }
+    g.finish();
+}
+
+/// N processes hammering one resource: the engine's worst case.
+struct Hammer {
+    rounds: usize,
+    done: usize,
+    rid: flagsim_desim::ResourceId,
+    holding: bool,
+}
+
+impl Process for Hammer {
+    fn next(&mut self, _now: SimTime) -> Action {
+        if self.holding {
+            self.holding = false;
+            self.done += 1;
+            return Action::Release(self.rid);
+        }
+        if self.done >= self.rounds {
+            return Action::Done;
+        }
+        self.holding = true;
+        Action::Acquire(self.rid)
+    }
+}
+
+fn bench_desim_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_desim_contention");
+    for procs in [2usize, 8, 32] {
+        g.bench_function(format!("{procs}_procs_x_100_rounds"), |b| {
+            b.iter(|| {
+                let mut eng = Engine::new();
+                let rid = eng.add_resource("hot", SimDuration::from_millis(1));
+                for _ in 0..procs {
+                    eng.add_process(Box::new(Hammer {
+                        rounds: 100,
+                        done: 0,
+                        rid,
+                        holding: false,
+                    }));
+                }
+                black_box(eng.run().end_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn wide_graph(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let src = g.add_task("src", 5);
+    let sink_weights: Vec<_> = (0..n).map(|i| g.add_task(format!("t{i}"), 10)).collect();
+    let sink = g.add_task("sink", 5);
+    for t in sink_weights {
+        g.add_dep(src, t).unwrap();
+        g.add_dep(t, sink).unwrap();
+    }
+    g
+}
+
+fn bench_taskgraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_taskgraph");
+    for n in [32usize, 256] {
+        let graph = wide_graph(n);
+        g.bench_function(format!("critical_path_{n}"), |b| {
+            b.iter(|| black_box(analysis::critical_path(&graph)))
+        });
+        g.bench_function(format!("list_schedule_{n}_p4"), |b| {
+            b.iter(|| black_box(list_schedule(&graph, 4, Priority::CriticalPath)))
+        });
+        g.bench_function(format!("transitive_reduction_{n}"), |b| {
+            b.iter(|| black_box(graph.transitive_reduction()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    c.bench_function("substrate_cost_model_1k_cells", |b| {
+        b.iter(|| {
+            let mut m = CostModel::new(7);
+            let mut s = StudentProfile::new("p");
+            let imp = Implement::good(ImplementKind::ThickMarker);
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += m.sample_cell_secs(
+                    &mut s,
+                    imp,
+                    FillStyle::Scribble,
+                    flagsim_agents::CellKind::Interior,
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_canvas_and_parse(c: &mut Criterion) {
+    use flagsim_grid::canvas::FlagCanvas;
+    use flagsim_grid::Color;
+    c.bench_function("substrate_canvas_mauritius_96x64", |b| {
+        b.iter(|| {
+            let mut canvas = FlagCanvas::new(96, 64);
+            let stripes = [Color::Red, Color::Blue, Color::Yellow, Color::Green];
+            for y in 0..canvas.height() {
+                for x in 0..canvas.width() {
+                    canvas.set_pixel(x, y, stripes[(y / 16) as usize]);
+                }
+            }
+            black_box(canvas.into_grid())
+        })
+    });
+    let texts: Vec<String> = library::all().iter().map(flagsim_flags::to_text).collect();
+    c.bench_function("substrate_parse_flag_dsl_library", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(flagsim_flags::parse(t).expect("library text parses"));
+            }
+        })
+    });
+}
+
+fn bench_jordan_grading_rubric(c: &mut Criterion) {
+    use flagsim_assessment::jordan;
+    let subs = jordan::generate_submissions(7);
+    c.bench_function("substrate_grade_29_submissions", |b| {
+        b.iter(|| black_box(jordan::grade_batch(&subs)))
+    });
+}
+
+criterion_group!(
+    substrates,
+    bench_rasterize,
+    bench_desim_contention,
+    bench_taskgraph,
+    bench_cost_model,
+    bench_canvas_and_parse,
+    bench_jordan_grading_rubric,
+);
+criterion_main!(substrates);

@@ -1,0 +1,43 @@
+//! The experiments harness: regenerates every table and figure of the
+//! paper and prints paper-vs-measured, experiment by experiment.
+//!
+//! Run with `cargo run -p flagsim-bench --bin experiments --release`.
+
+//! Pass `--json <path>` to also write the results as JSON.
+
+fn main() {
+    let experiments = flagsim_bench::all_experiments();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().expect("--json needs a path");
+            let json =
+                serde_json::to_string_pretty(&experiments).expect("experiments serialize");
+            std::fs::write(&path, json).expect("write JSON results");
+            eprintln!("wrote {path}");
+        }
+    }
+    let total = experiments.len();
+    let mut held = 0;
+    for e in &experiments {
+        println!("================================================================");
+        println!("{} — {}", e.id, e.artifact);
+        println!("paper: {}", e.expectation);
+        println!("----------------------------------------------------------------");
+        print!("{}", e.report);
+        println!(
+            "shape {}",
+            if e.holds {
+                held += 1;
+                "HOLDS"
+            } else {
+                "DOES NOT HOLD"
+            }
+        );
+    }
+    println!("================================================================");
+    println!("{held}/{total} experiment shapes hold");
+    if held != total {
+        std::process::exit(1);
+    }
+}

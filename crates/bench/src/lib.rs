@@ -1,0 +1,14 @@
+//! # flagsim-bench
+//!
+//! The experiment harness: one function per table/figure of the paper,
+//! each returning both structured results and a printable report. The
+//! `experiments` binary prints them all; the Criterion benches in
+//! `benches/` time the underlying workloads; the assertions live in the
+//! workspace integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::all_experiments;

@@ -1,0 +1,880 @@
+//! Command dispatch.
+
+use crate::submission::parse_submission;
+use flagsim_agents::{ImplementKind, StudentProfile};
+use flagsim_assessment::jordan;
+use flagsim_core::classroom::ClassroomSession;
+use flagsim_core::config::ActivityConfig;
+use flagsim_core::discussion;
+use flagsim_core::layered;
+use flagsim_core::scenario::Scenario;
+use flagsim_core::slides;
+use flagsim_core::work::PreparedFlag;
+use flagsim_core::TeamKit;
+use flagsim_flags::{library, FlagSpec};
+use flagsim_grid::render;
+use flagsim_taskgraph::{analysis, classify, list_schedule, Priority};
+use std::fmt::Write as _;
+
+/// A user-facing failure: message plus the usage hint to print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError {
+        message: message.into(),
+    })
+}
+
+const USAGE: &str = "\
+flagsim — the flag-coloring PDC activity simulator
+
+USAGE:
+  flagsim flags
+  flagsim render <flag> [ascii|ansi|ppm|svg] [WxH]
+  flagsim slides [<flag>]
+  flagsim run <1|2|3|4|pipelined|alternating> [--flag NAME] [--kind KIND]
+              [--seed N] [--markers N] [--gantt]
+  flagsim session [--repeat] [--seed N]
+  flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]
+  flagsim graph <flag> [--procs N]
+  flagsim grade <file>
+  flagsim parse <file>
+  flagsim pack --out DIR [--flag NAME] [--kind KIND] [--seed N]
+  flagsim vocab [<term>]
+  flagsim report [--seed N]
+  flagsim replay <1|2|3|4|pipelined|alternating> [--flag NAME] [--frames N]
+                 [--seed N]
+
+KIND: dauber | thick | thin | crayon (default thick)
+";
+
+/// Execute a command line (without the program name). Returns the text to
+/// print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_owned());
+    };
+    match cmd.as_str() {
+        "flags" => cmd_flags(),
+        "render" => cmd_render(&args[1..]),
+        "slides" => cmd_slides(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "session" => cmd_session(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "graph" => cmd_graph(&args[1..]),
+        "grade" => cmd_grade(&args[1..]),
+        "parse" => cmd_parse(&args[1..]),
+        "pack" => cmd_pack(&args[1..]),
+        "vocab" => cmd_vocab(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn find_flag(name: &str) -> Result<FlagSpec, CliError> {
+    library::by_name(name).ok_or_else(|| CliError {
+        message: format!(
+            "unknown flag {name:?}; available: {}",
+            library::all()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    })
+}
+
+fn parse_kind(s: &str) -> Result<ImplementKind, CliError> {
+    Ok(match s {
+        "dauber" => ImplementKind::BingoDauber,
+        "thick" => ImplementKind::ThickMarker,
+        "thin" => ImplementKind::ThinMarker,
+        "crayon" => ImplementKind::Crayon,
+        other => return err(format!("unknown implement kind {other:?}")),
+    })
+}
+
+/// Pull `--key value` and `--flag`-style switches out of an arg list.
+struct Opts {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+fn parse_opts(args: &[String], value_keys: &[&str]) -> Result<Opts, CliError> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if value_keys.contains(&key) {
+                let Some(value) = it.next() else {
+                    return err(format!("--{key} needs a value"));
+                };
+                options.push((key.to_owned(), Some(value.clone())));
+            } else {
+                options.push((key.to_owned(), None));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Opts {
+        positional,
+        options,
+    })
+}
+
+impl Opts {
+    fn value(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+    fn flag(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+}
+
+fn cmd_flags() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16}{:>8}{:>8}{:>10}{:>12}",
+        "flag", "width", "height", "layers", "layered?"
+    );
+    for f in library::all() {
+        let _ = writeln!(
+            out,
+            "{:<16}{:>8}{:>8}{:>10}{:>12}",
+            f.name,
+            f.default_width,
+            f.default_height,
+            f.layer_count(),
+            if f.is_layered() { "yes" } else { "flat" }
+        );
+    }
+    Ok(out)
+}
+
+fn parse_size(s: &str) -> Result<(u32, u32), CliError> {
+    let Some((w, h)) = s.split_once('x') else {
+        return err(format!("bad size {s:?}, expected WxH"));
+    };
+    let w: u32 = w.parse().map_err(|_| CliError {
+        message: format!("bad width {w:?}"),
+    })?;
+    let h: u32 = h.parse().map_err(|_| CliError {
+        message: format!("bad height {h:?}"),
+    })?;
+    if w == 0 || h == 0 {
+        return err("size must be nonzero");
+    }
+    Ok((w, h))
+}
+
+fn cmd_render(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &[])?;
+    let Some(name) = opts.positional.first() else {
+        return err("usage: flagsim render <flag> [ascii|ansi|ppm] [WxH]");
+    };
+    let flag = find_flag(name)?;
+    let mut mode = "ascii";
+    let mut size = (flag.default_width, flag.default_height);
+    for extra in &opts.positional[1..] {
+        match extra.as_str() {
+            "ascii" | "ansi" | "ppm" | "svg" => mode = extra,
+            s if s.contains('x') => size = parse_size(s)?,
+            other => return err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let grid = flag.rasterize_at(size.0, size.1);
+    Ok(match mode {
+        "ansi" => render::to_ansi(&grid),
+        "ppm" => render::to_ppm(&grid),
+        "svg" => render::to_svg(&grid, 24),
+        _ => format!(
+            "{}legend: {}\n",
+            render::to_ascii(&grid),
+            render::legend(&grid)
+        ),
+    })
+}
+
+fn cmd_slides(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &[])?;
+    let spec = match opts.positional.first() {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    Ok(slides::fig1_deck(&PreparedFlag::new(&spec)))
+}
+
+fn build_scenario(which: &str, flag: &PreparedFlag) -> Result<Scenario, CliError> {
+    Ok(match which {
+        "1" | "2" | "3" | "4" => Scenario::fig1(which.parse::<u8>().expect("digit")),
+        "pipelined" => Scenario::pipelined_slices(flag, 4, 4),
+        "alternating" => Scenario::alternating_slices(),
+        other => {
+            return err(format!(
+                "unknown scenario {other:?} (use 1-4, pipelined, alternating)"
+            ))
+        }
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["flag", "kind", "seed", "markers"])?;
+    let Some(which) = opts.positional.first() else {
+        return err("usage: flagsim run <1|2|3|4|pipelined|alternating> [options]");
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let markers: usize = opts
+        .value("markers")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --markers".into(),
+        })?;
+    if markers == 0 {
+        return err("--markers must be at least 1");
+    }
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let size = scenario.team_size(&flag, &cfg);
+    let mut team: Vec<StudentProfile> =
+        (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[])).with_count_all(markers);
+    let report = scenario
+        .run(&flag, &mut team, &kit, &cfg)
+        .map_err(|message| CliError { message })?;
+    let mut out = report.detail();
+    if opts.flag("gantt") {
+        let _ = writeln!(out, "\n{}", report.trace.gantt(72));
+    }
+    Ok(out)
+}
+
+fn cmd_session(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["seed"])?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let mut session = ClassroomSession::new(
+        &library::mauritius(),
+        ActivityConfig::default().with_seed(seed),
+    );
+    session.add_team("Daubers", 5, ImplementKind::BingoDauber);
+    session.add_team("ThickMk", 5, ImplementKind::ThickMarker);
+    session.add_team("ThinMk", 5, ImplementKind::ThinMarker);
+    let all = session
+        .run_core_activity(opts.flag("repeat"))
+        .map_err(|message| CliError { message })?;
+    let mut out = session.board_table();
+    // The debrief: lessons for team 2 (thick markers) plus the hardware
+    // lesson across teams.
+    let team_runs: Vec<_> = all.iter().map(|runs| runs[1].clone()).collect();
+    let lessons = discussion::detect_lessons(&team_runs);
+    let _ = write!(out, "\n{}", discussion::discussion_handout(&lessons));
+    let scenario1: Vec<(String, _)> = session
+        .teams()
+        .iter()
+        .zip(&all[0])
+        .map(|(t, r)| (t.name.clone(), r.clone()))
+        .collect();
+    if let Some(hw) = discussion::detect_hardware_lesson(&scenario1) {
+        let _ = writeln!(out, "{}. {} — {}", lessons.len() + 1, hw.concept.name(), hw.evidence);
+    }
+    Ok(out)
+}
+
+fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::advice;
+    let opts = parse_opts(args, &["flag", "kind", "team"])?;
+    let Some(which) = opts.positional.first() else {
+        return err("usage: flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]");
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let team: usize = opts
+        .value("team")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --team".into(),
+        })?;
+    let cfg = ActivityConfig::default();
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let results = advice::preflight(&flag, &scenario, &kit, team, &cfg);
+    Ok(advice::render_checklist(&results))
+}
+
+fn cmd_graph(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["procs"])?;
+    let Some(name) = opts.positional.first() else {
+        return err("usage: flagsim graph <flag> [--procs N]");
+    };
+    let spec = find_flag(name)?;
+    let procs: usize = opts
+        .value("procs")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --procs".into(),
+        })?;
+    if procs == 0 {
+        return err("--procs must be at least 1");
+    }
+    let g = layered::flag_taskgraph(&spec, 2000);
+    let mut out = g.to_dot(&spec.name);
+    let (path, span) = analysis::critical_path(&g);
+    let _ = writeln!(
+        out,
+        "work {:.0}s  span {:.0}s  parallelism {:.2}",
+        analysis::work(&g) as f64 / 1000.0,
+        span as f64 / 1000.0,
+        analysis::parallelism(&g)
+    );
+    let labels: Vec<&str> = path.iter().map(|&t| g.label(t)).collect();
+    let _ = writeln!(out, "critical path: {}", labels.join(" -> "));
+    let s = list_schedule(&g, procs, Priority::CriticalPath);
+    let _ = writeln!(out, "\nschedule on {procs} student(s):");
+    out.push_str(&s.gantt(&g, 60));
+    Ok(out)
+}
+
+fn cmd_grade(args: &[String]) -> Result<String, CliError> {
+    let Some(path) = args.first() else {
+        return err("usage: flagsim grade <file>");
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read {path}: {e}"),
+    })?;
+    grade_text(&text)
+}
+
+/// Grade a submission text against the Jordan reference (separated from
+/// the file I/O so tests can call it directly).
+pub fn grade_text(text: &str) -> Result<String, CliError> {
+    let sub = parse_submission(text).map_err(|message| CliError { message })?;
+    let grade = classify(&sub, &jordan::reference_graph(), &jordan::grade_options());
+    let mut out = format!("grade: {grade:?}\n");
+    let _ = writeln!(
+        out,
+        "counts toward the paper's \"at least mostly correct\": {}",
+        if grade.is_at_least_mostly_correct() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    Ok(out)
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::replay::Replay;
+    let opts = parse_opts(args, &["flag", "frames", "seed"])?;
+    let Some(which) = opts.positional.first() else {
+        return err("usage: flagsim replay <1|2|3|4|pipelined|alternating> [--frames N]");
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let frames: usize = opts
+        .value("frames")
+        .unwrap_or("6")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --frames".into(),
+        })?;
+    if frames == 0 {
+        return err("--frames must be at least 1");
+    }
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let assignments = scenario
+        .strategy
+        .assignments(&flag, scenario.order, &cfg.skip_colors);
+    let size = assignments.len();
+    let mut team: Vec<StudentProfile> =
+        (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
+    let kit = TeamKit::uniform(
+        parse_kind(opts.value("kind").unwrap_or("thick"))?,
+        &flag.colors_needed(&[]),
+    );
+    let report = flagsim_core::run_activity(
+        scenario.name.clone(),
+        &flag,
+        &assignments,
+        &mut team,
+        &kit,
+        &cfg,
+    )
+    .map_err(|message| CliError { message })?;
+    let replay = Replay::new(&report, &assignments);
+    let mut out = format!("{} — the flag filling in:\n\n", report.label);
+    for frame in replay.ascii_frames(frames) {
+        out.push_str(&frame);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["seed"])?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    Ok(flagsim_assessment::report::full_report(seed))
+}
+
+fn cmd_vocab(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::glossary;
+    match args.first() {
+        None => Ok(glossary::render_glossary()),
+        Some(word) => match glossary::lookup(word) {
+            Some(t) => Ok(format!(
+                "{}\n  what:  {}\n  where: {}\n  measured in: {}\n",
+                t.term, t.definition, t.seen_in_activity, t.experiment
+            )),
+            None => err(format!("no glossary entry matches {word:?}")),
+        },
+    }
+}
+
+fn cmd_pack(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["out", "flag", "kind", "seed"])?;
+    let Some(dir) = opts.value("out") else {
+        return err("usage: flagsim pack --out DIR [--flag NAME] [--kind KIND] [--seed N]");
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let files = build_pack(&spec, kind, seed).map_err(|message| CliError { message })?;
+    std::fs::create_dir_all(dir).map_err(|e| CliError {
+        message: format!("cannot create {dir}: {e}"),
+    })?;
+    let mut out = format!("instructor pack for {} in {dir}/:\n", spec.name);
+    for (name, content) in &files {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, content).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+        })?;
+        let _ = writeln!(out, "  {name} ({} bytes)", content.len());
+    }
+    Ok(out)
+}
+
+/// Build every file of the instructor pack in memory (separated from the
+/// filesystem so tests can inspect the contents).
+pub fn build_pack(
+    spec: &FlagSpec,
+    kind: ImplementKind,
+    seed: u64,
+) -> Result<Vec<(String, String)>, String> {
+    use flagsim_assessment::quiz::render_quiz_form;
+    use flagsim_core::advice;
+
+    let flag = PreparedFlag::new(spec);
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let mut files: Vec<(String, String)> = Vec::new();
+
+    // 1. The flag itself, printable and projectable.
+    files.push(("flag.txt".into(), render::to_ascii(&flag.reference)));
+    files.push(("flag.svg".into(), render::to_svg(&flag.reference, 24)));
+
+    // 2. The scenario slide deck (§IV: project the decomposition).
+    files.push(("slides.txt".into(), slides::fig1_deck(&flag)));
+
+    // 3. The dry-run checklist for every scenario.
+    let mut checklist = String::new();
+    for n in 1..=4u8 {
+        let sc = Scenario::fig1(n);
+        let results = advice::preflight(&flag, &sc, &kit, 5, &cfg);
+        let _ = writeln!(checklist, "--- {} ---", sc.name);
+        checklist.push_str(&advice::render_checklist(&results));
+        checklist.push('\n');
+    }
+    files.push(("checklist.txt".into(), checklist));
+
+    // 4. The pre/post quiz, student and grader copies, plus the
+    //    vocabulary handout the survey comments asked for.
+    files.push(("quiz.txt".into(), render_quiz_form(false)));
+    files.push(("quiz_key.txt".into(), render_quiz_form(true)));
+    files.push((
+        "vocabulary.txt".into(),
+        flagsim_core::glossary::render_glossary(),
+    ));
+
+    // 4b. The CSV bundle of a sample scenario-4 run, for a data-analysis
+    //     follow-up exercise.
+    // (appended below once the sample session has run)
+
+    // 5. A simulated sample session with the debrief, so the instructor
+    //    knows what numbers to expect on the board.
+    let mut team: Vec<StudentProfile> =
+        (1..=4).map(|i| StudentProfile::new(format!("P{i}"))).collect();
+    let mut runs = Vec::new();
+    for n in 1..=4u8 {
+        let r = Scenario::fig1(n).run(&flag, &mut team, &kit, &cfg)?;
+        runs.push(r);
+    }
+    let mut sample = String::from("Sample session (simulated — your times will differ):\n");
+    for r in &runs {
+        let _ = writeln!(sample, "  {}", r.board_line());
+    }
+    sample.push('\n');
+    sample.push_str(&discussion::discussion_handout(&discussion::detect_lessons(
+        &runs,
+    )));
+    let last = runs.last().expect("four runs");
+    sample.push('\n');
+    sample.push_str(&last.trace.gantt(72));
+    files.push(("sample_session.txt".into(), sample));
+    files.push((
+        "scenario4_gantt.svg".into(),
+        last.trace.svg_gantt(720),
+    ));
+    for (name, content) in last.to_csv_bundle() {
+        files.push((format!("scenario4_{name}"), content));
+    }
+
+    // 6. The dependency follow-up: the Jordan reference graph and a
+    //    4-student schedule (Knox's extension).
+    let jordan_spec = library::jordan();
+    let g = layered::flag_taskgraph(&jordan_spec, 2000);
+    files.push(("jordan_dependencies.dot".into(), g.to_dot("Jordan")));
+    let schedule = list_schedule(&g, 4, Priority::CriticalPath);
+    files.push((
+        "jordan_schedule.svg".into(),
+        schedule.svg_gantt(&g, 720),
+    ));
+    // The animated version — our substitute for the Webster instructor's
+    // schedule animations (reference [34] of the paper).
+    files.push((
+        "jordan_schedule_animated.svg".into(),
+        schedule.animated_svg(&g, 720, 0.00002),
+    ));
+
+    Ok(files)
+}
+
+fn cmd_parse(args: &[String]) -> Result<String, CliError> {
+    let Some(path) = args.first() else {
+        return err("usage: flagsim parse <file>");
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read {path}: {e}"),
+    })?;
+    parse_text(&text)
+}
+
+/// Validate + render a custom flag text (separated from file I/O for
+/// tests). Includes the linter's findings.
+pub fn parse_text(text: &str) -> Result<String, CliError> {
+    let flag = flagsim_flags::parse(text).map_err(|e| CliError {
+        message: e.to_string(),
+    })?;
+    let grid = flag.rasterize();
+    let lints = flagsim_flags::lint(&flag);
+    Ok(format!(
+        "parsed {:?}: {} layers, {}x{}, {}\n\n{}legend: {}\n\n{}",
+        flag.name,
+        flag.layer_count(),
+        flag.default_width,
+        flag.default_height,
+        if flag.is_layered() {
+            "layered (has dependencies)"
+        } else {
+            "flat (fully parallel)"
+        },
+        render::to_ascii(&grid),
+        render::legend(&grid),
+        flagsim_flags::render_lints(&lints),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runv(args: &[&str]) -> Result<String, CliError> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = runv(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(runv(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = runv(&["frobnicate"]).unwrap_err();
+        assert!(e.message.contains("unknown command"));
+        assert!(e.message.contains("USAGE"));
+    }
+
+    #[test]
+    fn flags_lists_the_library() {
+        let out = runv(&["flags"]).unwrap();
+        assert!(out.contains("Mauritius"));
+        assert!(out.contains("Great Britain"));
+        assert!(out.contains("flat"));
+        assert!(out.contains("yes"));
+    }
+
+    #[test]
+    fn render_ascii_and_sizes() {
+        let out = runv(&["render", "mauritius"]).unwrap();
+        assert!(out.contains("RRRRRRRRRRRR"));
+        let big = runv(&["render", "mauritius", "24x16"]).unwrap();
+        assert!(big.contains(&"R".repeat(24)));
+        let ppm = runv(&["render", "france", "ppm"]).unwrap();
+        assert!(ppm.starts_with("P3"));
+        assert!(runv(&["render", "narnia"]).is_err());
+        assert!(runv(&["render", "mauritius", "0x4"]).is_err());
+    }
+
+    #[test]
+    fn slides_show_the_deck() {
+        let out = runv(&["slides"]).unwrap();
+        assert!(out.contains("scenario 4"));
+        assert!(out.contains("P1 colors"));
+    }
+
+    #[test]
+    fn run_scenario_4_with_gantt() {
+        let out = runv(&["run", "4", "--seed", "7", "--gantt"]).unwrap();
+        assert!(out.contains("scenario 4"));
+        assert!(out.contains("correct"));
+        assert!(out.contains("marker:"), "contention detail expected:\n{out}");
+        assert!(out.contains('~'), "gantt should show waiting");
+    }
+
+    #[test]
+    fn run_with_extra_markers_removes_waiting() {
+        let out = runv(&["run", "4", "--markers", "4"]).unwrap();
+        // No contended marker line when fully stocked.
+        assert!(!out.contains("contended"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_nonsense() {
+        assert!(runv(&["run", "9"]).is_err());
+        assert!(runv(&["run", "1", "--kind", "quill"]).is_err());
+        assert!(runv(&["run", "1", "--markers", "0"]).is_err());
+        assert!(runv(&["run", "1", "--seed", "abc"]).is_err());
+        assert!(runv(&["run"]).is_err());
+    }
+
+    #[test]
+    fn check_runs_the_preflight() {
+        let out = runv(&["check", "4"]).unwrap();
+        assert!(out.contains("Dry-run checklist"));
+        assert!(out.contains("overall: Pass"));
+        let crayons = runv(&["check", "4", "--kind", "crayon"]).unwrap();
+        assert!(crayons.contains("overall: Warning"));
+        let small = runv(&["check", "4", "--team", "2"]).unwrap();
+        assert!(small.contains("overall: Blocker"));
+    }
+
+    #[test]
+    fn render_svg_mode() {
+        let out = runv(&["render", "poland", "svg"]).unwrap();
+        assert!(out.starts_with("<svg"));
+        assert_eq!(out.matches("<rect").count(), 60);
+    }
+
+    #[test]
+    fn session_prints_board_and_lessons() {
+        let out = runv(&["session", "--repeat"]).unwrap();
+        assert!(out.contains("scenario 1 (repeat)"));
+        assert!(out.contains("What did we just see?"));
+        assert!(out.contains("hardware differences"));
+    }
+
+    #[test]
+    fn graph_shows_dot_and_schedule() {
+        let out = runv(&["graph", "great britain"]).unwrap();
+        assert!(out.contains("digraph"));
+        assert!(out.contains("critical path: blue field -> white diagonals -> red cross"));
+        assert!(out.contains("parallelism 1.00"));
+        assert!(runv(&["graph", "great britain", "--procs", "0"]).is_err());
+    }
+
+    #[test]
+    fn grade_text_end_to_end() {
+        let perfect = "task black stripe\ntask green stripe\ntask red triangle\n\
+                       task white dot\nedge black stripe -> red triangle\n\
+                       edge green stripe -> red triangle\nedge red triangle -> white dot\n";
+        let out = grade_text(perfect).unwrap();
+        assert!(out.contains("Perfect"));
+        assert!(out.contains("yes"));
+        let chain = "task black stripe\ntask white stripe\ntask green stripe\n\
+                     task red triangle\ntask white dot\n\
+                     edge black stripe -> white stripe\nedge white stripe -> green stripe\n\
+                     edge green stripe -> red triangle\nedge red triangle -> white dot\n";
+        let out = grade_text(chain).unwrap();
+        assert!(out.contains("LinearChain"));
+        assert!(out.contains("no"));
+    }
+
+    #[test]
+    fn parse_text_end_to_end() {
+        let out = parse_text(
+            "flag \"Mini\" 4x2\nlayer \"top\" red hstripe 0 2\nlayer \"bottom\" green hstripe 1 2\n",
+        )
+        .unwrap();
+        assert!(out.contains("parsed \"Mini\""));
+        assert!(out.contains("flat (fully parallel)"));
+        assert!(out.contains("RRRR"));
+        assert!(parse_text("flag oops").is_err());
+    }
+
+    #[test]
+    fn pack_builds_every_artifact() {
+        let files = build_pack(
+            &library::mauritius(),
+            ImplementKind::ThickMarker,
+            7,
+        )
+        .unwrap();
+        let names: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "flag.txt",
+            "flag.svg",
+            "slides.txt",
+            "checklist.txt",
+            "quiz.txt",
+            "quiz_key.txt",
+            "sample_session.txt",
+            "scenario4_gantt.svg",
+            "jordan_dependencies.dot",
+            "jordan_schedule.svg",
+            "jordan_schedule_animated.svg",
+            "vocabulary.txt",
+            "scenario4_students.csv",
+            "scenario4_contention.csv",
+            "scenario4_events.csv",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // Spot-check content.
+        let get = |n: &str| &files.iter().find(|(name, _)| name == n).unwrap().1;
+        assert!(get("slides.txt").contains("scenario 4"));
+        assert!(get("quiz_key.txt").contains('*'));
+        assert!(get("sample_session.txt").contains("What did we just see?"));
+        assert!(get("jordan_dependencies.dot").contains("digraph"));
+        assert!(get("scenario4_gantt.svg").starts_with("<svg"));
+    }
+
+    #[test]
+    fn replay_shows_the_flag_filling_in() {
+        let out = runv(&["replay", "4", "--frames", "3"]).unwrap();
+        assert_eq!(out.matches("t =").count(), 3);
+        assert!(out.contains("(96/96 cells)"));
+        assert!(runv(&["replay", "4", "--frames", "0"]).is_err());
+        assert!(runv(&["replay"]).is_err());
+    }
+
+    #[test]
+    fn report_regenerates_the_evaluation() {
+        let out = runv(&["report"]).unwrap();
+        assert!(out.contains("Table I"));
+        assert!(out.contains("McNemar"));
+        assert!(!out.contains('!'), "no table mismatches expected");
+    }
+
+    #[test]
+    fn vocab_lists_and_looks_up() {
+        let all = runv(&["vocab"]).unwrap();
+        assert!(all.contains("contention"));
+        assert!(all.contains("pipelining"));
+        let one = runv(&["vocab", "speedup"]).unwrap();
+        assert!(one.contains("T1 / Tp"));
+        assert!(runv(&["vocab", "quantum"]).is_err());
+    }
+
+    #[test]
+    fn pack_writes_to_disk() {
+        let dir = std::env::temp_dir().join(format!("flagsim-pack-{}", std::process::id()));
+        let dir_s = dir.to_string_lossy().to_string();
+        let out = runv(&["pack", "--out", &dir_s]).unwrap();
+        assert!(out.contains("slides.txt"));
+        assert!(dir.join("quiz.txt").exists());
+        assert!(dir.join("flag.svg").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_requires_out() {
+        assert!(runv(&["pack"]).is_err());
+    }
+
+    #[test]
+    fn grade_and_parse_need_files() {
+        assert!(runv(&["grade"]).is_err());
+        assert!(runv(&["parse"]).is_err());
+        assert!(runv(&["grade", "/nonexistent/file"]).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! A text format for student dependency-graph submissions, so the §V-C
+//! rubric can grade transcriptions of real drawings:
+//!
+//! ```text
+//! # one task per line, then the arrows
+//! task black stripe
+//! task green stripe
+//! task red triangle
+//! task white dot
+//! edge black stripe -> red triangle
+//! edge green stripe -> red triangle
+//! edge red triangle -> white dot
+//! # optional markers:
+//! # spatial      (layout implied the layers, arrows omitted)
+//! # incomplete   (the drawing was unfinished)
+//! ```
+
+use flagsim_taskgraph::SubmittedGraph;
+
+/// Parse a submission file. Errors carry the 1-based line number.
+pub fn parse_submission(text: &str) -> Result<SubmittedGraph, String> {
+    let mut tasks: Vec<String> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut spatial = false;
+    let mut incomplete = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("task ") {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("line {lineno}: empty task name"));
+            }
+            if tasks.iter().any(|t| t.eq_ignore_ascii_case(name)) {
+                return Err(format!("line {lineno}: duplicate task {name:?}"));
+            }
+            tasks.push(name.to_owned());
+        } else if let Some(rest) = line.strip_prefix("edge ") {
+            let (from, to) = rest
+                .split_once("->")
+                .ok_or_else(|| format!("line {lineno}: edge needs 'a -> b'"))?;
+            let find = |name: &str| -> Result<usize, String> {
+                let name = name.trim();
+                tasks
+                    .iter()
+                    .position(|t| t.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| format!("line {lineno}: unknown task {name:?}"))
+            };
+            edges.push((find(from)?, find(to)?));
+        } else if line == "spatial" {
+            spatial = true;
+        } else if line == "incomplete" {
+            incomplete = true;
+        } else {
+            return Err(format!("line {lineno}: unrecognized line {line:?}"));
+        }
+    }
+    if tasks.is_empty() {
+        return Err("submission has no tasks".to_owned());
+    }
+    let mut sub = SubmittedGraph::new(tasks, edges);
+    sub.spatial_only = spatial;
+    sub.complete = !incomplete;
+    Ok(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_perfect_jordan_submission() {
+        let sub = parse_submission(
+            "# Jordan\ntask black stripe\ntask green stripe\ntask red triangle\n\
+             task white dot\nedge black stripe -> red triangle\n\
+             edge green stripe -> red triangle\nedge red triangle -> white dot\n",
+        )
+        .unwrap();
+        assert_eq!(sub.tasks.len(), 4);
+        assert_eq!(sub.edges.len(), 3);
+        assert!(sub.complete);
+        assert!(!sub.spatial_only);
+    }
+
+    #[test]
+    fn markers_set_flags() {
+        let sub = parse_submission("task a\ntask b\nspatial\nincomplete\n").unwrap();
+        assert!(sub.spatial_only);
+        assert!(!sub.complete);
+    }
+
+    #[test]
+    fn edge_names_match_case_insensitively() {
+        let sub =
+            parse_submission("task Black Stripe\ntask Dot\nedge black stripe -> DOT\n").unwrap();
+        assert_eq!(sub.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn errors_with_line_numbers() {
+        assert!(parse_submission("task a\nedge a -> missing\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse_submission("nonsense\n").unwrap_err().contains("line 1"));
+        assert!(parse_submission("task a\nedge a b\n")
+            .unwrap_err()
+            .contains("'a -> b'"));
+        assert!(parse_submission("").unwrap_err().contains("no tasks"));
+        assert!(parse_submission("task a\ntask A\n")
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end tests of the real `flagsim` binary (spawned as a process).
+
+use std::process::Command;
+
+fn flagsim(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flagsim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let (stdout, _, ok) = flagsim(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn render_flows_through_stdout() {
+    let (stdout, _, ok) = flagsim(&["render", "mauritius"]);
+    assert!(ok);
+    assert!(stdout.contains("RRRRRRRRRRRR"));
+}
+
+#[test]
+fn run_scenario_exits_zero_with_report() {
+    let (stdout, _, ok) = flagsim(&["run", "3", "--seed", "9"]);
+    assert!(ok);
+    assert!(stdout.contains("scenario 3"));
+    assert!(stdout.contains("correct"));
+}
+
+#[test]
+fn bad_command_exits_nonzero_with_stderr() {
+    let (_, stderr, ok) = flagsim(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn grade_reads_a_real_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("flagsim-sub-{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "task black stripe\ntask green stripe\ntask red triangle\ntask white dot\n\
+         edge black stripe -> red triangle\nedge green stripe -> red triangle\n\
+         edge red triangle -> white dot\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = flagsim(&["grade", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("Perfect"));
+}
+
+#[test]
+fn parse_lints_a_custom_flag_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("flagsim-flag-{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "flag \"Half\" 8x8\nlayer \"left\" red rect 0 0 0.5 1\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = flagsim(&["parse", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("cells are blank"), "{stdout}");
+}

@@ -1,0 +1,284 @@
+//! The §IV practical advice, as an executable pre-flight check.
+//!
+//! "It is important for the instructor to complete a 'dry run' of the
+//! activity … This also checks that the drawing implements are
+//! appropriate (Are the markers dead? Will they bleed through the
+//! paper?)". This module runs that dry run against a planned session:
+//! kit completeness and condition, team sizing, slide availability, and
+//! the crayon warning the survey comments earned.
+
+use crate::config::{ActivityConfig, TeamKit};
+use crate::scenario::Scenario;
+use crate::work::PreparedFlag;
+use flagsim_agents::{Condition, ImplementKind};
+use std::fmt::Write as _;
+
+/// Severity of a pre-flight finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// All good.
+    Pass,
+    /// Will work, but the paper's experience says you'll regret it.
+    Warning,
+    /// The activity cannot run as planned.
+    Blocker,
+}
+
+/// One pre-flight finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// What was checked.
+    pub check: String,
+    /// How it went.
+    pub severity: Severity,
+    /// Detail for the instructor.
+    pub detail: String,
+}
+
+/// Run the dry-run checklist for one planned scenario.
+pub fn preflight(
+    flag: &PreparedFlag,
+    scenario: &Scenario,
+    kit: &TeamKit,
+    team_size: usize,
+    config: &ActivityConfig,
+) -> Vec<CheckResult> {
+    let mut results = Vec::new();
+    let needed = flag.colors_needed(&config.skip_colors);
+
+    // 1. Kit completeness & condition ("Are the markers dead?").
+    match kit.check(&needed) {
+        Ok(()) => results.push(CheckResult {
+            check: "implements present and usable".into(),
+            severity: Severity::Pass,
+            detail: format!("{} colors covered", needed.len()),
+        }),
+        Err(e) => results.push(CheckResult {
+            check: "implements present and usable".into(),
+            severity: Severity::Blocker,
+            detail: e,
+        }),
+    }
+
+    // 2. Worn implements slow everyone down — warn.
+    let worn: Vec<String> = needed
+        .iter()
+        .filter_map(|&c| {
+            kit.implement(c).and_then(|i| {
+                (i.condition == Condition::Worn).then(|| format!("{c} {}", i.kind))
+            })
+        })
+        .collect();
+    results.push(if worn.is_empty() {
+        CheckResult {
+            check: "implement condition".into(),
+            severity: Severity::Pass,
+            detail: "no worn implements".into(),
+        }
+    } else {
+        CheckResult {
+            check: "implement condition".into(),
+            severity: Severity::Warning,
+            detail: format!("worn: {} (1.5x slower)", worn.join(", ")),
+        }
+    });
+
+    // 3. Crayons drew complaints at the institution that used them.
+    let crayons = needed
+        .iter()
+        .filter(|&&c| {
+            kit.implement(c)
+                .is_some_and(|i| i.kind == ImplementKind::Crayon)
+        })
+        .count();
+    results.push(if crayons > 0 {
+        CheckResult {
+            check: "crayon warning".into(),
+            severity: Severity::Warning,
+            detail: format!(
+                "{crayons} color(s) on crayons — expect breakage and survey complaints; \
+                 the paper's students 'preferred markers to crayons'"
+            ),
+        }
+    } else {
+        CheckResult {
+            check: "crayon warning".into(),
+            severity: Severity::Pass,
+            detail: "no crayons in the kit".into(),
+        }
+    });
+
+    // 4. Team sizing for the scenario.
+    let required = scenario.team_size(flag, config);
+    results.push(if team_size >= required {
+        CheckResult {
+            check: "team size".into(),
+            severity: Severity::Pass,
+            detail: format!("{team_size} students for {required} coloring roles (+ timer)"),
+        }
+    } else {
+        CheckResult {
+            check: "team size".into(),
+            severity: Severity::Blocker,
+            detail: format!("\"{}\" needs {required} students, team has {team_size}", scenario.name),
+        }
+    });
+
+    // 5. Slides: the decomposition must actually partition the flag.
+    let assignments = scenario
+        .strategy
+        .assignments(flag, scenario.order, &config.skip_colors);
+    results.push(
+        match crate::partition::verify_assignments(flag, &assignments, &config.skip_colors) {
+            Ok(()) => CheckResult {
+                check: "scenario slides / decomposition".into(),
+                severity: Severity::Pass,
+                detail: format!(
+                    "{} parts covering {} cells; numbered slides available",
+                    assignments.len(),
+                    flag.total_items(&config.skip_colors)
+                ),
+            },
+            Err(e) => CheckResult {
+                check: "scenario slides / decomposition".into(),
+                severity: Severity::Blocker,
+                detail: e,
+            },
+        },
+    );
+
+    // 6. Grid size sanity: enough cells per student to time meaningfully.
+    let per_student = flag.total_items(&config.skip_colors) / assignments.len().max(1);
+    results.push(if per_student >= 8 {
+        CheckResult {
+            check: "cells per student".into(),
+            severity: Severity::Pass,
+            detail: format!("{per_student} cells each"),
+        }
+    } else {
+        CheckResult {
+            check: "cells per student".into(),
+            severity: Severity::Warning,
+            detail: format!(
+                "only {per_student} cells each — times will be noisy; use a larger grid"
+            ),
+        }
+    });
+
+    results
+}
+
+/// Worst severity across findings.
+pub fn overall(results: &[CheckResult]) -> Severity {
+    results
+        .iter()
+        .map(|r| r.severity)
+        .max()
+        .unwrap_or(Severity::Pass)
+}
+
+/// Render the checklist for printing.
+pub fn render_checklist(results: &[CheckResult]) -> String {
+    let mut out = String::from("Dry-run checklist (§IV):\n");
+    for r in results {
+        let mark = match r.severity {
+            Severity::Pass => "ok",
+            Severity::Warning => "WARN",
+            Severity::Blocker => "BLOCK",
+        };
+        let _ = writeln!(out, "  [{mark:<5}] {:<36} {}", r.check, r.detail);
+    }
+    let _ = writeln!(out, "overall: {:?}", overall(results));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_agents::Implement;
+    use flagsim_flags::library;
+    use flagsim_grid::Color;
+
+    fn setup() -> (PreparedFlag, Scenario, ActivityConfig) {
+        (
+            PreparedFlag::new(&library::mauritius()),
+            Scenario::fig1(4),
+            ActivityConfig::default(),
+        )
+    }
+
+    #[test]
+    fn good_setup_passes() {
+        let (flag, sc, cfg) = setup();
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let results = preflight(&flag, &sc, &kit, 5, &cfg);
+        assert_eq!(overall(&results), Severity::Pass, "{results:#?}");
+        let text = render_checklist(&results);
+        assert!(text.contains("overall: Pass"));
+    }
+
+    #[test]
+    fn dead_marker_blocks() {
+        let (flag, sc, cfg) = setup();
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS)
+            .with_implement(
+                Color::Red,
+                Implement {
+                    kind: ImplementKind::ThickMarker,
+                    condition: Condition::Dead,
+                },
+            );
+        let results = preflight(&flag, &sc, &kit, 5, &cfg);
+        assert_eq!(overall(&results), Severity::Blocker);
+        assert!(render_checklist(&results).contains("dead"));
+    }
+
+    #[test]
+    fn crayons_warn() {
+        let (flag, sc, cfg) = setup();
+        let kit = TeamKit::uniform(ImplementKind::Crayon, &Color::MAURITIUS);
+        let results = preflight(&flag, &sc, &kit, 5, &cfg);
+        assert_eq!(overall(&results), Severity::Warning);
+        assert!(render_checklist(&results).contains("breakage"));
+    }
+
+    #[test]
+    fn small_team_blocks() {
+        let (flag, sc, cfg) = setup();
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let results = preflight(&flag, &sc, &kit, 2, &cfg);
+        assert_eq!(overall(&results), Severity::Blocker);
+    }
+
+    #[test]
+    fn tiny_grid_warns_about_noisy_times() {
+        let flag = PreparedFlag::at_size(&library::mauritius(), 4, 4);
+        let sc = Scenario::fig1(3);
+        let cfg = ActivityConfig::default();
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let results = preflight(&flag, &sc, &kit, 5, &cfg);
+        assert!(results
+            .iter()
+            .any(|r| r.check == "cells per student" && r.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn worn_kit_warns() {
+        let (flag, sc, cfg) = setup();
+        let kit = Color::MAURITIUS.iter().fold(
+            TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS),
+            |k, &c| {
+                k.with_implement(
+                    c,
+                    Implement {
+                        kind: ImplementKind::ThickMarker,
+                        condition: Condition::Worn,
+                    },
+                )
+            },
+        );
+        let results = preflight(&flag, &sc, &kit, 5, &cfg);
+        assert_eq!(overall(&results), Severity::Warning);
+        assert!(render_checklist(&results).contains("1.5x slower"));
+    }
+}

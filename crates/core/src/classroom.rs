@@ -1,0 +1,272 @@
+//! Whole-class sessions: multiple teams, scenario after scenario, times on
+//! the board.
+//!
+//! The paper's protocol: split the class into teams, hand out kits (often
+//! deliberately *different* kits — §IV argues the resulting unfairness
+//! usefully shows "the effect of different hardware"), run each scenario
+//! simultaneously across teams, and after each one "the instructor
+//! collects the completion time from each group, posting it publicly".
+
+use crate::config::{ActivityConfig, TeamKit};
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use crate::work::PreparedFlag;
+use flagsim_agents::{ImplementKind, StudentProfile};
+use flagsim_flags::FlagSpec;
+use std::fmt::Write as _;
+
+/// One team: students plus their kit.
+#[derive(Debug, Clone)]
+pub struct Team {
+    /// Team name ("Team 1").
+    pub name: String,
+    /// The students (warm-up experience persists across scenarios).
+    pub students: Vec<StudentProfile>,
+    /// Their drawing kit.
+    pub kit: TeamKit,
+}
+
+/// One line on the board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardEntry {
+    /// Team name.
+    pub team: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Completion time in seconds.
+    pub secs: f64,
+}
+
+/// A class session on one flag.
+#[derive(Debug, Clone)]
+pub struct ClassroomSession {
+    flag: PreparedFlag,
+    config: ActivityConfig,
+    teams: Vec<Team>,
+    board: Vec<BoardEntry>,
+    runs: u64,
+}
+
+impl ClassroomSession {
+    /// Start a session on `flag` with the given execution config.
+    pub fn new(flag: &FlagSpec, config: ActivityConfig) -> Self {
+        ClassroomSession {
+            flag: PreparedFlag::new(flag),
+            config,
+            teams: Vec::new(),
+            board: Vec::new(),
+            runs: 0,
+        }
+    }
+
+    /// Add a team of `size` students, all using implements of `kind`. The
+    /// kit covers every color the flag needs. Student skills vary slightly
+    /// and deterministically (seeded by team index).
+    pub fn add_team(&mut self, name: impl Into<String>, size: usize, kind: ImplementKind) {
+        let name = name.into();
+        let idx = self.teams.len() as u64;
+        let students = (1..=size)
+            .map(|i| {
+                // Small deterministic skill spread, no RNG needed.
+                let jitter = (((idx * 7 + i as u64 * 13) % 9) as f64 - 4.0) / 40.0;
+                StudentProfile::new(format!("{name}-P{i}")).with_skill(1.0 + jitter)
+            })
+            .collect();
+        let colors = self.flag.colors_needed(&self.config.skip_colors);
+        self.teams.push(Team {
+            name,
+            students,
+            kit: TeamKit::uniform(kind, &colors),
+        });
+    }
+
+    /// The prepared flag.
+    pub fn flag(&self) -> &PreparedFlag {
+        &self.flag
+    }
+
+    /// The teams.
+    pub fn teams(&self) -> &[Team] {
+        &self.teams
+    }
+
+    /// Run one scenario across every team ("starting all the teams …
+    /// simultaneously"), posting each completion time to the board.
+    /// Returns the per-team reports in team order.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<Vec<RunReport>, String> {
+        let mut reports = Vec::with_capacity(self.teams.len());
+        for team in &mut self.teams {
+            self.runs += 1;
+            let cfg = ActivityConfig {
+                seed: self
+                    .config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(self.runs),
+                ..self.config.clone()
+            };
+            let report = scenario.run(&self.flag, &mut team.students, &team.kit, &cfg)?;
+            self.board.push(BoardEntry {
+                team: team.name.clone(),
+                scenario: scenario.name.clone(),
+                secs: report.completion_secs(),
+            });
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Run the full core activity: scenario 1 (optionally twice — the
+    /// warm-up demonstration), then scenarios 2, 3 and 4. Returns all
+    /// reports grouped by scenario run.
+    pub fn run_core_activity(&mut self, repeat_first: bool) -> Result<Vec<Vec<RunReport>>, String> {
+        let mut all = Vec::new();
+        let s1 = Scenario::fig1(1);
+        all.push(self.run_scenario(&s1)?);
+        if repeat_first {
+            let again = Scenario::new(
+                "scenario 1 (repeat)",
+                s1.strategy.clone(),
+                s1.order,
+            );
+            all.push(self.run_scenario(&again)?);
+        }
+        for n in 2..=4 {
+            all.push(self.run_scenario(&Scenario::fig1(n))?);
+        }
+        Ok(all)
+    }
+
+    /// The board so far.
+    pub fn board(&self) -> &[BoardEntry] {
+        &self.board
+    }
+
+    /// Export the board as CSV (`team,scenario,seconds`).
+    pub fn board_csv(&self) -> String {
+        let mut out = String::from("team,scenario,seconds\n");
+        for e in &self.board {
+            let _ = writeln!(out, "{},{},{:.3}", e.team, e.scenario, e.secs);
+        }
+        out
+    }
+
+    /// The board formatted as the instructor would write it: one row per
+    /// scenario, one column per team.
+    pub fn board_table(&self) -> String {
+        let mut scenarios: Vec<&str> = Vec::new();
+        for e in &self.board {
+            if !scenarios.contains(&e.scenario.as_str()) {
+                scenarios.push(&e.scenario);
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:<44}", "scenario");
+        for t in &self.teams {
+            let _ = write!(out, "{:>12}", t.name);
+        }
+        out.push('\n');
+        for sc in scenarios {
+            let _ = write!(out, "{sc:<44}");
+            for t in &self.teams {
+                let entry = self
+                    .board
+                    .iter()
+                    .find(|e| e.scenario == sc && e.team == t.name);
+                match entry {
+                    Some(e) => {
+                        let _ = write!(out, "{:>11.1}s", e.secs);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>12}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    fn session() -> ClassroomSession {
+        let mut s = ClassroomSession::new(&library::mauritius(), ActivityConfig::default());
+        s.add_team("Team 1", 5, ImplementKind::BingoDauber);
+        s.add_team("Team 2", 5, ImplementKind::ThickMarker);
+        s.add_team("Team 3", 5, ImplementKind::ThinMarker);
+        s
+    }
+
+    #[test]
+    fn full_core_activity_posts_times() {
+        let mut s = session();
+        let all = s.run_core_activity(true).unwrap();
+        // 5 scenario runs × 3 teams.
+        assert_eq!(all.len(), 5);
+        assert_eq!(s.board().len(), 15);
+        let table = s.board_table();
+        assert!(table.contains("scenario 1 (repeat)"));
+        assert!(table.contains("Team 3"));
+    }
+
+    #[test]
+    fn repeat_of_scenario_1_is_faster_for_every_team() {
+        let mut s = session();
+        let all = s.run_core_activity(true).unwrap();
+        for (first, second) in all[0].iter().zip(&all[1]) {
+            assert!(
+                second.completion_secs() < first.completion_secs(),
+                "warm-up: {} then {}",
+                first.completion_secs(),
+                second.completion_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn implement_quality_orders_team_times() {
+        let mut s = session();
+        let all = s.run_core_activity(false).unwrap();
+        // Scenario 1: dauber team beats thick marker team beats thin.
+        let times: Vec<f64> = all[0].iter().map(RunReport::completion_secs).collect();
+        assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");
+    }
+
+    #[test]
+    fn times_fall_through_scenario_3_then_rise_in_4() {
+        let mut s = session();
+        let all = s.run_core_activity(false).unwrap();
+        for team_idx in 0..3 {
+            let t: Vec<f64> = all.iter().map(|r| r[team_idx].completion_secs()).collect();
+            assert!(t[1] < t[0], "scenario 2 faster than 1: {t:?}");
+            assert!(t[2] < t[1], "scenario 3 faster than 2: {t:?}");
+            assert!(t[3] > t[2], "scenario 4 slower than 3 (contention): {t:?}");
+        }
+    }
+
+    #[test]
+    fn board_csv_exports_every_entry() {
+        let mut s = session();
+        s.run_core_activity(false).unwrap();
+        let csv = s.board_csv();
+        assert!(csv.starts_with("team,scenario,seconds\n"));
+        assert_eq!(csv.lines().count(), 1 + 12); // header + 4 scenarios × 3 teams
+        assert!(csv.contains("Team 1,scenario 1: one student,"));
+    }
+
+    #[test]
+    fn deterministic_sessions() {
+        let run = || {
+            let mut s = session();
+            let all = s.run_core_activity(true).unwrap();
+            all.iter()
+                .flat_map(|r| r.iter().map(RunReport::completion_secs))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

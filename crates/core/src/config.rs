@@ -1,0 +1,241 @@
+//! Team configuration: who holds what.
+
+use flagsim_agents::{CostParams, Implement, ImplementKind};
+use flagsim_grid::{Color, FillStyle};
+use std::collections::BTreeMap;
+
+/// When a student puts a marker back in the middle of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReleasePolicy {
+    /// Hold the implement while consecutive cells share its color and
+    /// release on a color change — the coordinated "pass the drawing
+    /// implements around" strategy that produces the paper's pipelining
+    /// observation.
+    #[default]
+    KeepUntilColorChange,
+    /// Put the implement down after every single cell — maximally fair,
+    /// maximally churny (every cell pays a potential hand-off).
+    ReleaseEachCell,
+}
+
+/// The team's drawing kit: exactly one implement per color, as the paper
+/// prescribes ("Each team gets one drawing implement of each color") —
+/// which is precisely what makes scenario 4 contend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamKit {
+    implements: BTreeMap<Color, Implement>,
+    counts: BTreeMap<Color, usize>,
+}
+
+impl TeamKit {
+    /// A kit with one good implement of `kind` for each color in `colors`.
+    pub fn uniform(kind: ImplementKind, colors: &[Color]) -> Self {
+        TeamKit {
+            implements: colors
+                .iter()
+                .map(|&c| (c, Implement::good(kind)))
+                .collect(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Replace (or add) the implement for one color — mixed kits, worn
+    /// markers, failure injection.
+    pub fn with_implement(mut self, color: Color, implement: Implement) -> Self {
+        self.implements.insert(color, implement);
+        self
+    }
+
+    /// Stock `n ≥ 1` interchangeable implements of one color — the
+    /// paper's "extra resources would reduce the contention" extension.
+    pub fn with_count(mut self, color: Color, n: usize) -> Self {
+        assert!(n >= 1, "a kit needs at least one implement per color");
+        self.counts.insert(color, n);
+        self
+    }
+
+    /// Stock `n` implements of *every* color in the kit.
+    pub fn with_count_all(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a kit needs at least one implement per color");
+        let colors: Vec<Color> = self.implements.keys().copied().collect();
+        for c in colors {
+            self.counts.insert(c, n);
+        }
+        self
+    }
+
+    /// How many implements of this color the kit holds (default 1).
+    pub fn count(&self, color: Color) -> usize {
+        self.counts.get(&color).copied().unwrap_or(1)
+    }
+
+    /// The implement for a color, if the kit has one.
+    pub fn implement(&self, color: Color) -> Option<Implement> {
+        self.implements.get(&color).copied()
+    }
+
+    /// Colors this kit can color.
+    pub fn colors(&self) -> impl Iterator<Item = Color> + '_ {
+        self.implements.keys().copied()
+    }
+
+    /// Check the kit against the set of colors a run needs: every color
+    /// must be present and usable (§IV's dry-run checklist).
+    pub fn check(&self, needed: &[Color]) -> Result<(), String> {
+        for &c in needed {
+            match self.implement(c) {
+                None => return Err(format!("kit has no {c} implement")),
+                Some(i) if !i.is_usable() => {
+                    return Err(format!("the {c} {} is dead — replace it", i.kind))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything about how a run is executed (independent of the flag and
+/// the partition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityConfig {
+    /// Fill quality (scales per-cell work).
+    pub fill: FillStyle,
+    /// Marker discipline.
+    pub policy: ReleasePolicy,
+    /// RNG seed for the cost model — equal seeds, equal runs.
+    pub seed: u64,
+    /// Cost model noise parameters.
+    pub cost_params: CostParams,
+    /// Colors nobody colors because the paper is already that color
+    /// (white, usually).
+    pub skip_colors: Vec<Color>,
+    /// Optional class-period bell, in seconds: work not completed by then
+    /// is cut off (the paper's first Knox section "had less time").
+    pub deadline_secs: Option<f64>,
+}
+
+impl Default for ActivityConfig {
+    fn default() -> Self {
+        ActivityConfig {
+            fill: FillStyle::Scribble,
+            policy: ReleasePolicy::KeepUntilColorChange,
+            seed: 0xF1A6,
+            cost_params: CostParams::default(),
+            skip_colors: Vec::new(),
+            deadline_secs: None,
+        }
+    }
+}
+
+impl ActivityConfig {
+    /// Set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the release policy.
+    pub fn with_policy(mut self, policy: ReleasePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the fill style.
+    pub fn with_fill(mut self, fill: FillStyle) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Skip cells of these colors (blank paper stands in for them).
+    pub fn skipping(mut self, colors: &[Color]) -> Self {
+        self.skip_colors = colors.to_vec();
+        self
+    }
+
+    /// Ring the bell after `secs`: unfinished coloring is cut off.
+    pub fn with_deadline_secs(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "deadline must be positive");
+        self.deadline_secs = Some(secs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_agents::Condition;
+
+    #[test]
+    fn uniform_kit_has_all_colors() {
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        for c in Color::MAURITIUS {
+            assert_eq!(
+                kit.implement(c).unwrap().kind,
+                ImplementKind::ThickMarker
+            );
+        }
+        assert!(kit.implement(Color::White).is_none());
+        assert!(kit.check(&Color::MAURITIUS).is_ok());
+    }
+
+    #[test]
+    fn check_catches_missing_and_dead() {
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &[Color::Red]);
+        assert!(kit.check(&[Color::Red, Color::Blue]).is_err());
+        let kit = kit.with_implement(
+            Color::Red,
+            Implement {
+                kind: ImplementKind::ThickMarker,
+                condition: Condition::Dead,
+            },
+        );
+        let err = kit.check(&[Color::Red]).unwrap_err();
+        assert!(err.contains("dead"), "{err}");
+    }
+
+    #[test]
+    fn mixed_kit_overrides() {
+        let kit = TeamKit::uniform(ImplementKind::Crayon, &Color::MAURITIUS)
+            .with_implement(Color::Red, Implement::good(ImplementKind::BingoDauber));
+        assert_eq!(
+            kit.implement(Color::Red).unwrap().kind,
+            ImplementKind::BingoDauber
+        );
+        assert_eq!(
+            kit.implement(Color::Blue).unwrap().kind,
+            ImplementKind::Crayon
+        );
+    }
+
+    #[test]
+    fn counts_default_to_one_and_can_be_stocked() {
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS)
+            .with_count(Color::Red, 3);
+        assert_eq!(kit.count(Color::Red), 3);
+        assert_eq!(kit.count(Color::Blue), 1);
+        let full = kit.with_count_all(2);
+        assert_eq!(full.count(Color::Red), 2);
+        assert_eq!(full.count(Color::Green), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_count_rejected() {
+        let _ = TeamKit::uniform(ImplementKind::ThickMarker, &[Color::Red])
+            .with_count(Color::Red, 0);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ActivityConfig::default()
+            .with_seed(7)
+            .with_policy(ReleasePolicy::ReleaseEachCell)
+            .with_fill(FillStyle::Full)
+            .skipping(&[Color::White]);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.policy, ReleasePolicy::ReleaseEachCell);
+        assert_eq!(c.fill, FillStyle::Full);
+        assert_eq!(c.skip_colors, vec![Color::White]);
+    }
+}

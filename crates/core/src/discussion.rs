@@ -1,0 +1,303 @@
+//! The post-activity discussion, automated.
+//!
+//! After the scenarios, "the instructor leads a discussion about what the
+//! class observed", steering students toward the lessons of §III-C. This
+//! module is that instructor's cheat sheet: given the run reports of a
+//! session, it detects which phenomena actually occurred — speedup,
+//! warm-up, hardware differences, contention, pipelining — and emits each
+//! as a [`Lesson`] with the supporting numbers, ready to project.
+
+use crate::report::RunReport;
+use flagsim_metrics::{efficiency, speedup};
+use std::fmt::Write as _;
+
+/// A PDC concept the activity can surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Concept {
+    /// T₁/Tₚ fell as processors were added.
+    Speedup,
+    /// Speedup fell short of linear.
+    SublinearEfficiency,
+    /// A repeat run beat the first (system warm-up analogy).
+    Warmup,
+    /// Different implements gave different teams different times.
+    HardwareDifferences,
+    /// Students waited on shared implements.
+    Contention,
+    /// Processors idled before their first cell (pipeline fill).
+    PipelineFill,
+    /// Work was spread unevenly.
+    LoadImbalance,
+}
+
+impl Concept {
+    /// The classroom phrasing of the concept.
+    pub fn name(self) -> &'static str {
+        match self {
+            Concept::Speedup => "speedup",
+            Concept::SublinearEfficiency => "sublinear efficiency",
+            Concept::Warmup => "system warm-up",
+            Concept::HardwareDifferences => "hardware differences",
+            Concept::Contention => "contention",
+            Concept::PipelineFill => "pipeline fill time",
+            Concept::LoadImbalance => "load imbalance",
+        }
+    }
+}
+
+/// One detected lesson: the concept plus the evidence sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lesson {
+    /// Which concept.
+    pub concept: Concept,
+    /// Evidence from the runs, with numbers.
+    pub evidence: String,
+}
+
+/// Detect every lesson present in an ordered sequence of runs from one
+/// team (the order the scenarios were executed). The first run is the
+/// baseline; a run whose label contains "repeat" is compared to the run
+/// before it for the warm-up lesson.
+pub fn detect_lessons(runs: &[RunReport]) -> Vec<Lesson> {
+    let mut lessons = Vec::new();
+    if runs.is_empty() {
+        return lessons;
+    }
+    let base = &runs[0];
+
+    // Speedup: any later run materially faster than the baseline.
+    if let Some(best) = runs[1..]
+        .iter()
+        .filter(|r| r.students.len() > 1)
+        .min_by(|a, b| a.completion.cmp(&b.completion))
+    {
+        let s = best.speedup_vs(base);
+        if s > 1.2 {
+            lessons.push(Lesson {
+                concept: Concept::Speedup,
+                evidence: format!(
+                    "\"{}\" took {:.1}s against the one-student {:.1}s — a speedup of {:.2}x",
+                    best.label,
+                    best.completion_secs(),
+                    base.completion_secs(),
+                    s
+                ),
+            });
+            let p = best.students.len();
+            let e = efficiency(base.completion_secs(), best.completion_secs(), p);
+            if e < 0.95 {
+                lessons.push(Lesson {
+                    concept: Concept::SublinearEfficiency,
+                    evidence: format!(
+                        "with {p} students the speedup \"should\" be {p}x but was {:.2}x \
+                         (efficiency {:.2}) — where did the rest go?",
+                        s, e
+                    ),
+                });
+            }
+        }
+    }
+
+    // Warm-up: a "repeat" run beating its predecessor.
+    for w in runs.windows(2) {
+        if w[1].label.contains("repeat") && w[1].completion < w[0].completion {
+            lessons.push(Lesson {
+                concept: Concept::Warmup,
+                evidence: format!(
+                    "the repeat took {:.1}s against {:.1}s the first time ({:.0}% better) — \
+                     like a program running faster after caches warm and the JIT kicks in",
+                    w[1].completion_secs(),
+                    w[0].completion_secs(),
+                    100.0 * speedup(w[0].completion_secs(), w[1].completion_secs()) - 100.0
+                ),
+            });
+        }
+    }
+
+    // Contention: meaningful waiting anywhere.
+    for r in runs {
+        let wait = r.total_wait_secs();
+        if wait > r.completion_secs() * 0.1 {
+            let hottest = r
+                .contention
+                .iter()
+                .max_by(|a, b| a.stats.total_wait.cmp(&b.stats.total_wait));
+            let mut evidence = format!(
+                "in \"{}\" the team spent {wait:.1}s waiting for markers",
+                r.label
+            );
+            if let Some(h) = hottest {
+                let _ = write!(
+                    evidence,
+                    "; the {} marker alone cost {} across {} contended grabs",
+                    h.color, h.stats.total_wait, h.stats.contended_acquisitions
+                );
+            }
+            lessons.push(Lesson {
+                concept: Concept::Contention,
+                evidence,
+            });
+            // Pipeline fill: late first strokes in the same run.
+            let fill = r.pipeline_fill_secs();
+            if fill > r.completion_secs() * 0.1 {
+                lessons.push(Lesson {
+                    concept: Concept::PipelineFill,
+                    evidence: format!(
+                        "in \"{}\" the last student only started coloring at {fill:.1}s — \
+                         the pipeline takes time to fill",
+                        r.label
+                    ),
+                });
+            }
+            break; // one contention lesson is enough for the discussion
+        }
+    }
+
+    // Load imbalance: busy times spread widely in any multi-student run.
+    for r in runs {
+        if r.students.len() > 1 {
+            let busy = r.busy_secs_per_student();
+            let li = flagsim_metrics::load_imbalance(&busy);
+            if li > 0.25 {
+                lessons.push(Lesson {
+                    concept: Concept::LoadImbalance,
+                    evidence: format!(
+                        "in \"{}\" the busiest student colored {li:.0}% longer than average — \
+                         the task wasn't divided evenly",
+                        r.label,
+                        li = li * 100.0
+                    ),
+                });
+                break;
+            }
+        }
+    }
+
+    lessons
+}
+
+/// Detect the hardware-differences lesson across *teams*: same scenario,
+/// different kits, different times. `team_runs` pairs a team name with
+/// its report for one scenario.
+pub fn detect_hardware_lesson(team_runs: &[(String, RunReport)]) -> Option<Lesson> {
+    if team_runs.len() < 2 {
+        return None;
+    }
+    let fastest = team_runs
+        .iter()
+        .min_by(|a, b| a.1.completion.cmp(&b.1.completion))?;
+    let slowest = team_runs
+        .iter()
+        .max_by(|a, b| a.1.completion.cmp(&b.1.completion))?;
+    let ratio = slowest.1.completion_secs() / fastest.1.completion_secs();
+    (ratio > 1.2).then(|| Lesson {
+        concept: Concept::HardwareDifferences,
+        evidence: format!(
+            "on the same scenario, {} finished in {:.1}s and {} needed {:.1}s ({:.1}x) — \
+             you cannot compare times across different hardware",
+            fastest.0,
+            fastest.1.completion_secs(),
+            slowest.0,
+            slowest.1.completion_secs(),
+            ratio
+        ),
+    })
+}
+
+/// Render lessons as the discussion handout.
+pub fn discussion_handout(lessons: &[Lesson]) -> String {
+    let mut out = String::from("What did we just see?\n");
+    for (i, l) in lessons.iter().enumerate() {
+        let _ = writeln!(out, "{}. {} — {}", i + 1, l.concept.name(), l.evidence);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ActivityConfig;
+    use crate::scenario::Scenario;
+    use crate::work::PreparedFlag;
+    use crate::TeamKit;
+    use flagsim_agents::{ImplementKind, StudentProfile};
+    use flagsim_flags::library;
+    use flagsim_grid::Color;
+
+    fn session_runs() -> Vec<RunReport> {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let cfg = ActivityConfig::default();
+        let mut team: Vec<StudentProfile> =
+            (1..=4).map(|i| StudentProfile::new(format!("P{i}"))).collect();
+        let mut runs = Vec::new();
+        let s1 = Scenario::fig1(1);
+        runs.push(s1.run(&flag, &mut team, &kit, &cfg).unwrap());
+        let mut repeat = s1.run(&flag, &mut team, &kit, &cfg).unwrap();
+        repeat.label = "scenario 1 (repeat)".into();
+        runs.push(repeat);
+        for n in 2..=4 {
+            runs.push(Scenario::fig1(n).run(&flag, &mut team, &kit, &cfg).unwrap());
+        }
+        runs
+    }
+
+    fn has(lessons: &[Lesson], c: Concept) -> bool {
+        lessons.iter().any(|l| l.concept == c)
+    }
+
+    #[test]
+    fn full_session_surfaces_the_core_lessons() {
+        let lessons = detect_lessons(&session_runs());
+        assert!(has(&lessons, Concept::Speedup), "{lessons:#?}");
+        assert!(has(&lessons, Concept::SublinearEfficiency));
+        assert!(has(&lessons, Concept::Warmup));
+        assert!(has(&lessons, Concept::Contention));
+        assert!(has(&lessons, Concept::PipelineFill));
+    }
+
+    #[test]
+    fn solo_run_teaches_nothing_parallel() {
+        let runs = vec![session_runs().remove(0)];
+        let lessons = detect_lessons(&runs);
+        assert!(lessons.is_empty(), "{lessons:#?}");
+    }
+
+    #[test]
+    fn handout_renders_numbered_lines() {
+        let lessons = detect_lessons(&session_runs());
+        let text = discussion_handout(&lessons);
+        assert!(text.starts_with("What did we just see?"));
+        assert!(text.contains("1. speedup"));
+        assert!(text.contains("x")); // numbers present
+    }
+
+    #[test]
+    fn hardware_lesson_across_teams() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let cfg = ActivityConfig::default();
+        let mut runs = Vec::new();
+        for (name, kind) in [
+            ("Daubers", ImplementKind::BingoDauber),
+            ("Crayons", ImplementKind::Crayon),
+        ] {
+            let kit = TeamKit::uniform(kind, &Color::MAURITIUS);
+            let mut team = vec![StudentProfile::new("P1").without_warmup()];
+            let r = Scenario::fig1(1).run(&flag, &mut team, &kit, &cfg).unwrap();
+            runs.push((name.to_owned(), r));
+        }
+        let lesson = detect_hardware_lesson(&runs).expect("kits differ a lot");
+        assert_eq!(lesson.concept, Concept::HardwareDifferences);
+        assert!(lesson.evidence.contains("Daubers"));
+        assert!(lesson.evidence.contains("Crayons"));
+        // Identical kits → no lesson.
+        let same = vec![runs[0].clone(), runs[0].clone()];
+        assert!(detect_hardware_lesson(&same).is_none());
+        assert!(detect_hardware_lesson(&runs[..1]).is_none());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(detect_lessons(&[]).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! The activity's PDC vocabulary.
+//!
+//! A recurring improvement request in the survey was that "key vocabulary
+//! be introduced during the activity". This module is that handout: every
+//! term the activity teaches, defined in classroom language, tied to the
+//! moment in the activity where students *see* it, and cross-referenced
+//! to the experiment that measures it.
+
+/// One glossary entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Term {
+    /// The vocabulary word.
+    pub term: &'static str,
+    /// A CS1-friendly definition.
+    pub definition: &'static str,
+    /// Where the activity makes it visible.
+    pub seen_in_activity: &'static str,
+    /// The experiment in EXPERIMENTS.md that measures it.
+    pub experiment: &'static str,
+}
+
+/// All terms, in the order the activity surfaces them.
+pub fn terms() -> &'static [Term] {
+    &[
+        Term {
+            term: "task decomposition",
+            definition: "breaking a big job into smaller pieces that can run at the \
+                         same time",
+            seen_in_activity: "the scenario slides divide the flag into stripes or slices",
+            experiment: "E1",
+        },
+        Term {
+            term: "processor / core",
+            definition: "one worker that executes instructions; a multicore computer \
+                         has several working simultaneously",
+            seen_in_activity: "each coloring student is one processor",
+            experiment: "E1",
+        },
+        Term {
+            term: "speedup",
+            definition: "how many times faster the team finishes than one worker: \
+                         T1 / Tp",
+            seen_in_activity: "the times on the board shrink as students are added",
+            experiment: "E1",
+        },
+        Term {
+            term: "linear speedup",
+            definition: "the ideal: p workers finish p times faster",
+            seen_in_activity: "asking what the speedup *should* be with 4 students",
+            experiment: "E1",
+        },
+        Term {
+            term: "efficiency",
+            definition: "speedup divided by the number of workers — how much of each \
+                         worker you actually used",
+            seen_in_activity: "4 students rarely color 4 times faster",
+            experiment: "E15",
+        },
+        Term {
+            term: "system warm-up",
+            definition: "the first run of anything is slower: caches are cold, \
+                         workers unfamiliar",
+            seen_in_activity: "repeating scenario 1 is suddenly much faster",
+            experiment: "E2",
+        },
+        Term {
+            term: "contention",
+            definition: "workers competing for a shared resource only one can use \
+                         at a time",
+            seen_in_activity: "scenario 4: everyone needs the red marker first",
+            experiment: "E1, E14",
+        },
+        Term {
+            term: "dependency",
+            definition: "a task that cannot start until another finishes",
+            seen_in_activity: "layered flags: the background before the cross",
+            experiment: "E5, E10",
+        },
+        Term {
+            term: "pipelining",
+            definition: "overlapping stages of work so every worker stays busy, like \
+                         an assembly line",
+            seen_in_activity: "passing the markers around so each student always has \
+                              the right one",
+            experiment: "E13",
+        },
+        Term {
+            term: "pipeline fill",
+            definition: "the start-up lag before every stage of a pipeline has work",
+            seen_in_activity: "students idle until the first marker reaches them",
+            experiment: "E13",
+        },
+        Term {
+            term: "load balancing",
+            definition: "dividing the work so everyone finishes at about the same \
+                         time",
+            seen_in_activity: "the maple leaf's slice takes far longer than the bars",
+            experiment: "E4",
+        },
+        Term {
+            term: "scalability",
+            definition: "whether performance keeps growing as workers are added",
+            seen_in_activity: "adding a 5th, 6th, … student helps less and less",
+            experiment: "E15, E16",
+        },
+        Term {
+            term: "data parallelism",
+            definition: "the same operation applied to many data items at once",
+            seen_in_activity: "the GPU paintball wall: one barrel per pixel, one shot",
+            experiment: "E12",
+        },
+        Term {
+            term: "heterogeneous hardware",
+            definition: "different machines run at different speeds; timings only \
+                         compare on identical hardware",
+            seen_in_activity: "dauber teams demolish crayon teams every time",
+            experiment: "E3",
+        },
+    ]
+}
+
+/// Look a term up (case-insensitive, prefix-tolerant).
+pub fn lookup(word: &str) -> Option<&'static Term> {
+    let w = word.trim().to_ascii_lowercase();
+    terms()
+        .iter()
+        .find(|t| t.term == w)
+        .or_else(|| terms().iter().find(|t| t.term.starts_with(&w)))
+}
+
+/// Render the handout.
+pub fn render_glossary() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("PDC vocabulary (introduce these during the activity):\n\n");
+    for t in terms() {
+        let _ = writeln!(out, "{}", t.term);
+        let _ = writeln!(out, "    what:  {}", t.definition);
+        let _ = writeln!(out, "    where: {}", t.seen_in_activity);
+        let _ = writeln!(out, "    measured in: {}\n", t.experiment);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_quiz_concepts_and_more() {
+        let names: Vec<&str> = terms().iter().map(|t| t.term).collect();
+        for required in [
+            "task decomposition",
+            "speedup",
+            "contention",
+            "scalability",
+            "pipelining",
+            "load balancing",
+            "dependency",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        assert!(terms().len() >= 12);
+    }
+
+    #[test]
+    fn every_entry_is_complete_and_cites_an_experiment() {
+        for t in terms() {
+            assert!(!t.definition.is_empty());
+            assert!(!t.seen_in_activity.is_empty());
+            assert!(t.experiment.starts_with('E'), "{}", t.term);
+        }
+    }
+
+    #[test]
+    fn lookup_is_forgiving() {
+        assert_eq!(lookup("Speedup").unwrap().term, "speedup");
+        assert_eq!(lookup("  pipeline fill ").unwrap().term, "pipeline fill");
+        assert_eq!(lookup("pipel").unwrap().term, "pipelining");
+        assert!(lookup("quantum").is_none());
+    }
+
+    #[test]
+    fn handout_renders_every_term() {
+        let text = render_glossary();
+        for t in terms() {
+            assert!(text.contains(t.term));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Layered flags and their dependency graphs — the Knox follow-up.
+//!
+//! Complicated flags are easiest to color in layers (the Painter's
+//! algorithm), but "this approach also limits parallelism by introducing
+//! dependencies: the background must be colored before the diagonals,
+//! which must be colored before the rectilinear lines". This module turns
+//! any [`FlagSpec`] into a [`TaskGraph`] (one task per layer, weighted by
+//! the cells that layer paints) and analyzes/schedules it.
+
+use flagsim_flags::FlagSpec;
+use flagsim_taskgraph::analysis;
+use flagsim_taskgraph::{list_schedule, Priority, Schedule, TaskGraph};
+
+/// Build a task graph for coloring `flag` in layers: one task per layer,
+/// weight = (cells the layer paints) × `ms_per_cell`, edges where layers
+/// overlap (reduced to the minimal Fig. 9-style graph).
+pub fn flag_taskgraph(flag: &FlagSpec, ms_per_cell: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let ids: Vec<_> = (0..flag.layer_count())
+        .map(|li| {
+            let cells = flag.layer_cells(li).len() as u64;
+            g.add_task(flag.layers[li].name.clone(), cells * ms_per_cell)
+        })
+        .collect();
+    for (i, j) in flag.layer_dependencies() {
+        g.add_dep(ids[i], ids[j])
+            .expect("layer dependencies are forward edges");
+    }
+    g.transitive_reduction()
+}
+
+/// One point of a layered speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredPoint {
+    /// Processor count.
+    pub p: usize,
+    /// Scheduled makespan (ms).
+    pub makespan_ms: u64,
+    /// Speedup vs one processor.
+    pub speedup: f64,
+}
+
+/// Schedule the layered coloring of `flag` on `p` students.
+pub fn layered_schedule(flag: &FlagSpec, p: usize, ms_per_cell: u64) -> (TaskGraph, Schedule) {
+    let g = flag_taskgraph(flag, ms_per_cell);
+    let s = list_schedule(&g, p, Priority::CriticalPath);
+    (g, s)
+}
+
+/// Layered speedup curve over processor counts: how little extra students
+/// help once the layer chain dominates.
+pub fn layered_speedup_curve(flag: &FlagSpec, ps: &[usize], ms_per_cell: u64) -> Vec<LayeredPoint> {
+    let g = flag_taskgraph(flag, ms_per_cell);
+    let t1 = list_schedule(&g, 1, Priority::CriticalPath).makespan;
+    ps.iter()
+        .map(|&p| {
+            let m = list_schedule(&g, p, Priority::CriticalPath).makespan;
+            LayeredPoint {
+                p,
+                makespan_ms: m,
+                speedup: t1 as f64 / m.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// The maximum useful parallelism of a flag's layered coloring
+/// (work / span).
+pub fn layered_parallelism(flag: &FlagSpec, ms_per_cell: u64) -> f64 {
+    analysis::parallelism(&flag_taskgraph(flag, ms_per_cell))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    #[test]
+    fn great_britain_graph_is_a_chain() {
+        let g = flag_taskgraph(&library::great_britain(), 2000);
+        assert_eq!(g.len(), 3);
+        // Blue → white → red, reduced: exactly 2 edges.
+        assert_eq!(g.edge_count(), 2);
+        let blue = g.find("blue field").unwrap();
+        let white = g.find("white diagonals").unwrap();
+        let red = g.find("red cross").unwrap();
+        assert!(g.reaches(blue, white));
+        assert!(g.reaches(white, red));
+        // A chain has parallelism 1.
+        assert!((layered_parallelism(&library::great_britain(), 2000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jordan_graph_matches_fig9() {
+        let g = flag_taskgraph(&library::jordan(), 2000);
+        assert_eq!(g.len(), 5);
+        let tri = g.find("red triangle").unwrap();
+        let dot = g.find("white dot").unwrap();
+        // Reduced graph: three stripes → triangle, triangle → dot. The
+        // white-stripe → dot overlap is transitive and must be gone.
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.preds(tri).count(), 3);
+        assert_eq!(g.preds(dot).count(), 1);
+        assert_eq!(g.roots().len(), 3);
+    }
+
+    #[test]
+    fn mauritius_graph_is_fully_parallel() {
+        let g = flag_taskgraph(&library::mauritius(), 2000);
+        assert_eq!(g.edge_count(), 0);
+        assert!(layered_parallelism(&library::mauritius(), 2000) >= 4.0);
+    }
+
+    #[test]
+    fn gb_speedup_saturates_mauritius_does_not() {
+        let ps = [1, 2, 4];
+        let gb = layered_speedup_curve(&library::great_britain(), &ps, 2000);
+        let mu = layered_speedup_curve(&library::mauritius(), &ps, 2000);
+        // GB: chain ⇒ no speedup at all from extra students.
+        assert!((gb[2].speedup - 1.0).abs() < 1e-9, "{:?}", gb[2]);
+        // Mauritius: 4 equal stripes ⇒ 4× at p = 4.
+        assert!((mu[2].speedup - 4.0).abs() < 1e-9, "{:?}", mu[2]);
+    }
+
+    #[test]
+    fn jordan_speedup_is_between() {
+        let curve = layered_speedup_curve(&library::jordan(), &[1, 4], 2000);
+        let s4 = curve[1].speedup;
+        assert!(s4 > 1.5 && s4 < 4.0, "Jordan speedup at 4: {s4}");
+    }
+
+    #[test]
+    fn schedules_are_valid() {
+        for flag in library::all() {
+            for p in [1, 2, 4] {
+                let (g, s) = layered_schedule(&flag, p, 1000);
+                s.validate(&g)
+                    .unwrap_or_else(|e| panic!("{} p={p}: {e}", flag.name));
+            }
+        }
+    }
+}

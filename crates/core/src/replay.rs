@@ -1,0 +1,212 @@
+//! Run replay: watch the flag fill in.
+//!
+//! The Webster instructor used animations to show schedules; the
+//! activity-level counterpart is watching the *grid* fill cell by cell.
+//! A [`Replay`] reconstructs, from a run's trace, when every cell was
+//! finished, and renders the grid at any instant — ASCII frames for the
+//! terminal, or a full frame sequence for a flip-book handout.
+
+use crate::report::RunReport;
+use crate::work::WorkItem;
+use flagsim_desim::{EventKind, SimTime};
+use flagsim_grid::{render, CellId, Color, Grid};
+
+/// One cell's completion record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCompletion {
+    /// The cell.
+    pub cell: CellId,
+    /// Its color.
+    pub color: Color,
+    /// Which student colored it.
+    pub student: usize,
+    /// When the coloring stroke finished (ms).
+    pub finished_ms: u64,
+}
+
+/// A reconstructed run timeline.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    width: u32,
+    height: u32,
+    completions: Vec<CellCompletion>,
+    end_ms: u64,
+}
+
+impl Replay {
+    /// Build from a run report and the assignments it executed. The k-th
+    /// work event of student i corresponds to `assignments[i][k]` — the
+    /// engine polls work strictly in assignment order.
+    pub fn new(report: &RunReport, assignments: &[Vec<WorkItem>]) -> Self {
+        let mut completions = Vec::new();
+        for (i, items) in assignments.iter().enumerate() {
+            let mut k = 0usize;
+            for e in report.trace.events.iter().filter(|e| e.proc.index() == i) {
+                if let EventKind::WorkStart { dur } = e.kind {
+                    let finished = e.time + dur;
+                    if finished <= report.trace.end_time {
+                        if let Some(item) = items.get(k) {
+                            completions.push(CellCompletion {
+                                cell: item.cell,
+                                color: item.color,
+                                student: i,
+                                finished_ms: finished.millis(),
+                            });
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        completions.sort_by_key(|c| c.finished_ms);
+        Replay {
+            width: report.grid.width(),
+            height: report.grid.height(),
+            completions,
+            end_ms: report.trace.end_time.millis(),
+        }
+    }
+
+    /// Total runtime in milliseconds.
+    pub fn end_ms(&self) -> u64 {
+        self.end_ms
+    }
+
+    /// All completions in time order.
+    pub fn completions(&self) -> &[CellCompletion] {
+        &self.completions
+    }
+
+    /// The grid as it looked at time `t`.
+    pub fn grid_at(&self, t: SimTime) -> Grid {
+        let mut grid = Grid::new(self.width, self.height);
+        for c in &self.completions {
+            if c.finished_ms <= t.millis() {
+                grid.paint(c.cell, c.color);
+            }
+        }
+        grid
+    }
+
+    /// Cells finished by time `t`.
+    pub fn progress_at(&self, t: SimTime) -> usize {
+        self.completions
+            .iter()
+            .take_while(|c| c.finished_ms <= t.millis())
+            .count()
+    }
+
+    /// Render `frames` evenly spaced ASCII frames (including the final
+    /// state), each with a progress caption.
+    pub fn ascii_frames(&self, frames: usize) -> Vec<String> {
+        assert!(frames > 0, "need at least one frame");
+        let total = self.completions.len().max(1);
+        (1..=frames)
+            .map(|i| {
+                let t = SimTime(self.end_ms * i as u64 / frames as u64);
+                let grid = self.grid_at(t);
+                let done = self.progress_at(t);
+                format!(
+                    "t = {:>7.1}s  ({done}/{total} cells)\n{}",
+                    t.as_secs_f64(),
+                    render::to_ascii(&grid)
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ActivityConfig;
+    use crate::partition::{CellOrder, PartitionStrategy};
+    use crate::run_activity;
+    use crate::work::PreparedFlag;
+    use crate::TeamKit;
+    use flagsim_agents::{ImplementKind, StudentProfile};
+    use flagsim_flags::library;
+
+    fn run() -> (RunReport, Vec<Vec<WorkItem>>, PreparedFlag) {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::VerticalSlices(4).assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut team: Vec<StudentProfile> = (1..=4)
+            .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+            .collect();
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &pf.colors_needed(&[]));
+        let report = run_activity(
+            "replay",
+            &pf,
+            &assignments,
+            &mut team,
+            &kit,
+            &ActivityConfig::default().with_seed(3),
+        )
+        .unwrap();
+        (report, assignments, pf)
+    }
+
+    #[test]
+    fn replay_reconstructs_every_cell() {
+        let (report, assignments, pf) = run();
+        let replay = Replay::new(&report, &assignments);
+        assert_eq!(replay.completions().len(), 96);
+        // Final frame equals the reference flag.
+        let final_grid = replay.grid_at(SimTime(replay.end_ms()));
+        assert!(flagsim_grid::diff(&final_grid, &pf.reference).is_identical());
+        // Start frame is blank.
+        assert_eq!(replay.grid_at(SimTime::ZERO).blank_cells(), 96);
+    }
+
+    #[test]
+    fn progress_is_monotone() {
+        let (report, assignments, _) = run();
+        let replay = Replay::new(&report, &assignments);
+        let mut last = 0;
+        for i in 0..=20 {
+            let t = SimTime(replay.end_ms() * i / 20);
+            let p = replay.progress_at(t);
+            assert!(p >= last, "progress went backwards at {t}");
+            last = p;
+        }
+        assert_eq!(last, 96);
+    }
+
+    #[test]
+    fn frames_render_with_captions() {
+        let (report, assignments, _) = run();
+        let replay = Replay::new(&report, &assignments);
+        let frames = replay.ascii_frames(4);
+        assert_eq!(frames.len(), 4);
+        assert!(frames[0].contains("t ="));
+        assert!(frames[3].contains("(96/96 cells)"));
+        // Earlier frames have more blanks than later ones.
+        let blanks = |f: &str| f.matches('.').count();
+        assert!(blanks(&frames[0]) >= blanks(&frames[3]));
+    }
+
+    #[test]
+    fn deadline_replays_stay_partial() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut team = vec![StudentProfile::new("P1").without_warmup()];
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &pf.colors_needed(&[]));
+        let report = run_activity(
+            "bell",
+            &pf,
+            &assignments,
+            &mut team,
+            &kit,
+            &ActivityConfig::default().with_deadline_secs(60.0),
+        )
+        .unwrap();
+        let replay = Replay::new(&report, &assignments);
+        assert!(replay.completions().len() < 96);
+        let final_grid = replay.grid_at(SimTime(replay.end_ms()));
+        assert!(final_grid.blank_cells() > 0);
+        // The replay's final grid matches the report's partial grid.
+        assert!(flagsim_grid::diff(&final_grid, &report.grid).is_identical());
+    }
+}

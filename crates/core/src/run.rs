@@ -1,0 +1,554 @@
+//! Wiring the activity into the DES engine.
+//!
+//! Each student becomes a [`Process`] walking their assigned cell list;
+//! each color's single implement becomes an exclusive resource. Per-cell
+//! durations are pre-sampled (they depend only on the student's own
+//! history, not on interleaving), so the DES run itself is exact.
+
+use crate::config::{ActivityConfig, ReleasePolicy, TeamKit};
+use crate::report::{ColorContention, RunReport, StudentStats};
+use crate::work::{PreparedFlag, WorkItem};
+use flagsim_agents::{CostModel, StudentProfile};
+use flagsim_desim::{Action, Engine, Process, ResourceId, SimDuration, SimTime};
+use flagsim_grid::{Color, Grid};
+use std::collections::BTreeMap;
+
+/// Seconds to fetch a replacement when an implement breaks mid-cell.
+const REPLACEMENT_DELAY_SECS: f64 = 12.0;
+
+/// One pre-timed unit of work for the state machine.
+#[derive(Debug, Clone, Copy)]
+struct TimedItem {
+    resource: ResourceId,
+    dur: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    NeedItem,
+    DidWork,
+}
+
+/// A student as a DES process.
+struct StudentProc {
+    name: String,
+    items: Vec<TimedItem>,
+    policy: ReleasePolicy,
+    pos: usize,
+    step: Step,
+    held: Option<ResourceId>,
+    pending: Option<ResourceId>,
+}
+
+impl Process for StudentProc {
+    fn next(&mut self, _now: SimTime) -> Action {
+        loop {
+            match self.step {
+                Step::DidWork => {
+                    self.pos += 1;
+                    self.step = Step::NeedItem;
+                    if self.policy == ReleasePolicy::ReleaseEachCell {
+                        if let Some(r) = self.held.take() {
+                            return Action::Release(r);
+                        }
+                    }
+                }
+                Step::NeedItem => {
+                    // Resolve a pending acquire: being polled means granted.
+                    if let Some(r) = self.pending.take() {
+                        self.held = Some(r);
+                    }
+                    let Some(item) = self.items.get(self.pos).copied() else {
+                        if let Some(r) = self.held.take() {
+                            return Action::Release(r);
+                        }
+                        return Action::Done;
+                    };
+                    match self.held {
+                        Some(h) if h == item.resource => {
+                            self.step = Step::DidWork;
+                            return Action::Work(item.dur);
+                        }
+                        Some(h) => {
+                            self.held = None;
+                            return Action::Release(h);
+                        }
+                        None => {
+                            self.pending = Some(item.resource);
+                            return Action::Acquire(item.resource);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Run the activity: `assignments[i]` is the cell list for `team[i]`.
+///
+/// The `team` profiles are mutated — their warm-up experience advances, so
+/// running scenario 1 twice with the same team reproduces the paper's
+/// "second run is significantly better" observation.
+///
+/// Errors if the kit is missing or has dead implements for a needed color
+/// (the §IV dry-run would have caught it), or if assignments don't match
+/// the team.
+pub fn run_activity(
+    label: impl Into<String>,
+    flag: &PreparedFlag,
+    assignments: &[Vec<WorkItem>],
+    team: &mut [StudentProfile],
+    kit: &TeamKit,
+    config: &ActivityConfig,
+) -> Result<RunReport, String> {
+    let label = label.into();
+    if assignments.len() != team.len() {
+        return Err(format!(
+            "{} assignments for {} students",
+            assignments.len(),
+            team.len()
+        ));
+    }
+
+    // Which colors does this run actually need?
+    let mut needed: Vec<Color> = Vec::new();
+    for part in assignments {
+        for item in part {
+            if !needed.contains(&item.color) {
+                needed.push(item.color);
+            }
+        }
+    }
+    needed.sort_unstable();
+    kit.check(&needed)?;
+
+    let mut cost = CostModel::with_params(config.seed, config.cost_params.clone());
+
+    // One resource per needed color; hand-off latency sampled per marker.
+    let mut engine = Engine::new();
+    let mut res_of_color: BTreeMap<Color, ResourceId> = BTreeMap::new();
+    for &c in &needed {
+        let implement = kit.implement(c).expect("checked above");
+        let handoff = SimDuration::from_secs_f64(cost.sample_handoff_secs(implement));
+        let rid = engine.add_resource_pool(
+            format!("{c} {}", implement.kind),
+            kit.count(c),
+            handoff,
+        );
+        res_of_color.insert(c, rid);
+    }
+
+    // Pre-sample durations student-major (deterministic, interleaving-free).
+    // Crayons occasionally break mid-cell (§V: "to avoid breakage"); a
+    // break costs the student a fetch-a-replacement delay on that cell.
+    let mut breakages: u64 = 0;
+    let mut procs: Vec<StudentProc> = Vec::with_capacity(team.len());
+    for (student, items) in team.iter_mut().zip(assignments) {
+        let timed: Vec<TimedItem> = items
+            .iter()
+            .map(|item| {
+                let implement = kit.implement(item.color).expect("checked above");
+                let mut secs = cost.sample_cell_secs(student, implement, config.fill, item.kind);
+                if cost.sample_breakage(implement) {
+                    breakages += 1;
+                    secs += REPLACEMENT_DELAY_SECS;
+                }
+                TimedItem {
+                    resource: res_of_color[&item.color],
+                    dur: SimDuration::from_secs_f64(secs),
+                }
+            })
+            .collect();
+        procs.push(StudentProc {
+            name: student.name.clone(),
+            items: timed,
+            policy: config.policy,
+            pos: 0,
+            step: Step::NeedItem,
+            held: None,
+            pending: None,
+        });
+    }
+    for p in procs {
+        engine.add_process(Box::new(p));
+    }
+
+    let trace = match config.deadline_secs {
+        Some(secs) => {
+            let deadline = SimTime::ZERO + SimDuration::from_secs_f64(secs);
+            engine.run_until(deadline)
+        }
+        None => engine.run(),
+    };
+
+    // Cells each student actually completed: one WorkStart per cell, in
+    // assignment order; a cell counts if its work finished by the end of
+    // the trace (with a deadline, in-flight work at the bell is lost).
+    let completed: Vec<usize> = (0..team.len())
+        .map(|i| {
+            trace
+                .events
+                .iter()
+                .filter(|e| e.proc.index() == i)
+                .filter(|e| {
+                    matches!(e.kind, flagsim_desim::EventKind::WorkStart { dur }
+                        if e.time + dur <= trace.end_time)
+                })
+                .count()
+        })
+        .collect();
+
+    // Reconstruct the colored grid (only what was completed) and verify.
+    let mut grid = Grid::new(flag.width, flag.height);
+    for (part, &done) in assignments.iter().zip(&completed) {
+        for item in &part[..done.min(part.len())] {
+            grid.paint(item.cell, item.color);
+        }
+    }
+    let correct = grid.iter().all(|(id, got)| {
+        let want = flag.reference.get(id);
+        if config.skip_colors.contains(&want) {
+            got == Color::Blank || got == want
+        } else {
+            got == want
+        }
+    });
+
+    let students = trace
+        .procs
+        .iter()
+        .zip(assignments)
+        .zip(&completed)
+        .map(|((p, items), &done)| StudentStats {
+            name: p.name.clone(),
+            cells: items.len(),
+            completed: done.min(items.len()),
+            busy: p.busy,
+            waiting: p.waiting,
+            idle: p.idle(),
+            finished_at: p.finished_at.unwrap_or(trace.end_time),
+        })
+        .collect();
+
+    let contention = needed
+        .iter()
+        .map(|&c| ColorContention {
+            color: c,
+            stats: trace.resources[res_of_color[&c].index()].stats.clone(),
+        })
+        .collect();
+
+    Ok(RunReport {
+        label,
+        flag_name: flag.name.clone(),
+        completion: trace.makespan(),
+        students,
+        contention,
+        grid,
+        correct,
+        breakages,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{CellOrder, PartitionStrategy};
+    use flagsim_agents::{Condition, Implement, ImplementKind};
+    use flagsim_flags::library;
+
+    fn team(n: usize) -> Vec<StudentProfile> {
+        (1..=n)
+            .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+            .collect()
+    }
+
+    fn kit() -> TeamKit {
+        TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS)
+    }
+
+    fn run_scenario(strategy: PartitionStrategy, n: usize, seed: u64) -> RunReport {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments = strategy.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t = team(n);
+        run_activity(
+            "test",
+            &pf,
+            &assignments,
+            &mut t,
+            &kit(),
+            &ActivityConfig::default().with_seed(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solo_run_completes_correctly() {
+        let r = run_scenario(PartitionStrategy::Solo, 1, 1);
+        assert!(r.correct);
+        assert!(r.completion.as_secs_f64() > 0.0);
+        assert_eq!(r.students.len(), 1);
+        assert_eq!(r.students[0].cells, 96);
+        // Solo: no contention at all.
+        assert_eq!(r.total_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn more_students_are_faster_without_contention() {
+        let s1 = run_scenario(PartitionStrategy::Solo, 1, 1);
+        let s2 = run_scenario(PartitionStrategy::HorizontalBands(2), 2, 1);
+        let s3 = run_scenario(PartitionStrategy::HorizontalBands(4), 4, 1);
+        assert!(s2.completion < s1.completion);
+        assert!(s3.completion < s2.completion);
+        // Stripe partitions never share a marker.
+        assert_eq!(s2.total_wait_secs(), 0.0);
+        assert_eq!(s3.total_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn vertical_slices_contend() {
+        let s3 = run_scenario(PartitionStrategy::HorizontalBands(4), 4, 1);
+        let s4 = run_scenario(PartitionStrategy::VerticalSlices(4), 4, 1);
+        // Scenario 4 is slower than scenario 3 and shows real waiting.
+        assert!(s4.completion > s3.completion);
+        assert!(s4.total_wait_secs() > 0.0);
+        let red = s4
+            .contention
+            .iter()
+            .find(|c| c.color == Color::Red)
+            .unwrap();
+        // All four students queue on red at the start: 3 contended grants.
+        assert_eq!(red.stats.acquisitions, 4);
+        assert_eq!(red.stats.contended_acquisitions, 3);
+        assert_eq!(red.stats.max_queue_len, 3);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_scenario(PartitionStrategy::VerticalSlices(4), 4, 42);
+        let b = run_scenario(PartitionStrategy::VerticalSlices(4), 4, 42);
+        assert_eq!(a.completion, b.completion);
+        let c = run_scenario(PartitionStrategy::VerticalSlices(4), 4, 43);
+        assert_ne!(a.completion, c.completion);
+    }
+
+    #[test]
+    fn dead_marker_fails_the_dry_run_check() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t = team(1);
+        let bad_kit = kit().with_implement(
+            Color::Yellow,
+            Implement {
+                kind: ImplementKind::ThickMarker,
+                condition: Condition::Dead,
+            },
+        );
+        let err = run_activity(
+            "test",
+            &pf,
+            &assignments,
+            &mut t,
+            &bad_kit,
+            &ActivityConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("dead"));
+    }
+
+    #[test]
+    fn mismatched_team_size_rejected() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::HorizontalBands(4).assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t = team(2);
+        assert!(run_activity(
+            "test",
+            &pf,
+            &assignments,
+            &mut t,
+            &kit(),
+            &ActivityConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn warmup_advances_across_runs() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments = PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t = vec![StudentProfile::new("P1")]; // with warm-up
+        let cfg = ActivityConfig::default();
+        let first = run_activity("run 1", &pf, &assignments, &mut t, &kit(), &cfg).unwrap();
+        let second = run_activity("run 2", &pf, &assignments, &mut t, &kit(), &cfg).unwrap();
+        assert!(
+            second.completion.as_secs_f64() < first.completion.as_secs_f64() * 0.95,
+            "second run {} should beat first {}",
+            second.completion,
+            first.completion
+        );
+    }
+
+    #[test]
+    fn release_each_cell_is_no_faster() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::VerticalSlices(4).assignments(&pf, CellOrder::RowMajor, &[]);
+        let run = |policy| {
+            let mut t = team(4);
+            run_activity(
+                "p",
+                &pf,
+                &assignments,
+                &mut t,
+                &kit(),
+                &ActivityConfig::default().with_policy(policy),
+            )
+            .unwrap()
+        };
+        let keep = run(ReleasePolicy::KeepUntilColorChange);
+        let each = run(ReleasePolicy::ReleaseEachCell);
+        assert!(each.completion >= keep.completion);
+    }
+
+    #[test]
+    fn extra_markers_dissolve_scenario_4_contention() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::VerticalSlices(4).assignments(&pf, CellOrder::RowMajor, &[]);
+        let run_with = |kit: TeamKit| {
+            let mut t = team(4);
+            run_activity(
+                "kit sweep",
+                &pf,
+                &assignments,
+                &mut t,
+                &kit,
+                &ActivityConfig::default(),
+            )
+            .unwrap()
+        };
+        let one = run_with(kit());
+        let four = run_with(kit().with_count_all(4));
+        // With a marker of each color per student, nobody ever waits.
+        assert_eq!(four.total_wait_secs(), 0.0);
+        assert!(one.total_wait_secs() > 0.0);
+        assert!(four.completion < one.completion);
+        // Intermediate stocking helps monotonically.
+        let two = run_with(kit().with_count_all(2));
+        assert!(two.total_wait_secs() < one.total_wait_secs());
+        assert!(two.completion <= one.completion);
+    }
+
+    #[test]
+    fn class_bell_cuts_the_run_short() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments = PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        // A full solo run takes ~190s without warm-up; ring the bell at 60.
+        let mut t = team(1);
+        let cut = run_activity(
+            "bell",
+            &pf,
+            &assignments,
+            &mut t,
+            &kit(),
+            &ActivityConfig::default().with_deadline_secs(60.0),
+        )
+        .unwrap();
+        assert!(!cut.correct, "incomplete flag cannot be correct");
+        assert!(cut.grid.blank_cells() > 0);
+        let done = cut.students[0].completed;
+        assert!(done > 0 && done < 96, "completed {done}");
+        assert!((cut.completion_secs() - 60.0).abs() < 1e-9);
+        // Painted prefix matches the reference cell-for-cell.
+        for item in &assignments[0][..done] {
+            assert_eq!(cut.grid.get(item.cell), pf.reference.get(item.cell));
+        }
+        // A generous deadline changes nothing.
+        let mut t2 = team(1);
+        let full = run_activity(
+            "no bell",
+            &pf,
+            &assignments,
+            &mut t2,
+            &kit(),
+            &ActivityConfig::default().with_deadline_secs(100_000.0),
+        )
+        .unwrap();
+        assert!(full.correct);
+        assert_eq!(full.students[0].completed, 96);
+    }
+
+    #[test]
+    fn crayons_break_markers_do_not() {
+        let pf = PreparedFlag::at_size(&library::mauritius(), 48, 32); // 1536 cells
+        let assignments = PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        let run_with = |kind: ImplementKind| {
+            let mut t = team(1);
+            run_activity(
+                "breakage",
+                &pf,
+                &assignments,
+                &mut t,
+                &TeamKit::uniform(kind, &Color::MAURITIUS),
+                &ActivityConfig::default().with_seed(5),
+            )
+            .unwrap()
+        };
+        let crayon = run_with(ImplementKind::Crayon);
+        let marker = run_with(ImplementKind::ThickMarker);
+        assert!(crayon.breakages > 0, "1536 crayon cells should break a few");
+        assert_eq!(marker.breakages, 0);
+        assert!(crayon.correct && marker.correct);
+    }
+
+    #[test]
+    fn dropout_rebalanced_run_still_completes() {
+        use crate::partition::rebalance_dropout;
+        let pf = PreparedFlag::new(&library::mauritius());
+        let a = PartitionStrategy::HorizontalBands(4).assignments(&pf, CellOrder::RowMajor, &[]);
+        let rebalanced = rebalance_dropout(&a, 1, 6);
+        let mut t = team(4);
+        let r = run_activity(
+            "dropout",
+            &pf,
+            &rebalanced,
+            &mut t,
+            &kit(),
+            &ActivityConfig::default(),
+        )
+        .unwrap();
+        assert!(r.correct);
+        assert_eq!(r.students[1].cells, 6);
+    }
+
+    #[test]
+    fn skip_colors_verifies_blank_cells() {
+        let pf = PreparedFlag::new(&library::jordan());
+        let skip = [Color::White];
+        let assignments =
+            PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &skip);
+        let mut t = team(1);
+        let jk = TeamKit::uniform(
+            ImplementKind::ThickMarker,
+            &[Color::Black, Color::Green, Color::Red],
+        );
+        let r = run_activity(
+            "jordan no white",
+            &pf,
+            &assignments,
+            &mut t,
+            &jk,
+            &ActivityConfig::default().skipping(&skip),
+        )
+        .unwrap();
+        assert!(r.correct);
+        assert!(r.grid.blank_cells() > 0);
+    }
+}

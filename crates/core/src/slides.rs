@@ -1,0 +1,108 @@
+//! Scenario slides.
+//!
+//! §IV: "We strongly suggest projecting slides with each scenario during
+//! the activity to show the task decomposition. Number the cells to
+//! efficiently convey the order in which they should be filled." This
+//! module renders exactly those slides as text: per-student panels with
+//! 1-based execution numbers on the cells, plus a color-coded overview.
+
+use crate::partition::assignment_region;
+use crate::scenario::Scenario;
+use crate::work::{PreparedFlag, WorkItem};
+use flagsim_grid::render;
+use std::fmt::Write as _;
+
+/// Render the slide for one scenario: a header, the flag overview, and a
+/// numbered panel per student.
+pub fn scenario_slide(scenario: &Scenario, flag: &PreparedFlag) -> String {
+    let assignments = scenario
+        .strategy
+        .assignments(flag, scenario.order, &[]);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", scenario.name);
+    let _ = writeln!(out, "flag: {} ({}x{})", flag.name, flag.width, flag.height);
+    out.push('\n');
+    out.push_str(&render::to_ascii(&flag.reference));
+    let _ = writeln!(out, "legend: {}", render::legend(&flag.reference));
+    for (i, items) in assignments.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "\nP{} colors {} cells in this order:",
+            i + 1,
+            items.len()
+        );
+        out.push_str(&panel(flag, items));
+    }
+    out
+}
+
+/// The numbered panel for one student's assignment.
+pub fn panel(flag: &PreparedFlag, items: &[WorkItem]) -> String {
+    render::to_numbered(&flag.reference, &assignment_region(items))
+}
+
+/// All four Fig. 1 slides in activity order, separated by blank lines —
+/// the full deck the instructor projects.
+pub fn fig1_deck(flag: &PreparedFlag) -> String {
+    (1..=4u8)
+        .map(|n| scenario_slide(&Scenario::fig1(n), flag))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    fn flag() -> PreparedFlag {
+        PreparedFlag::new(&library::mauritius())
+    }
+
+    #[test]
+    fn scenario_1_numbers_every_cell() {
+        let slide = scenario_slide(&Scenario::fig1(1), &flag());
+        assert!(slide.contains("P1 colors 96 cells"));
+        // Cell 1 and the wrap past 99 both visible.
+        assert!(slide.contains(" 1 "));
+        // 96 cells: numbers print modulo 100, so no wrap artifacts here,
+        // but none of the panel rows may contain unnumbered cells.
+        let panel_lines: Vec<&str> = slide
+            .lines()
+            .filter(|l| l.contains(' ') && l.chars().any(|c| c.is_ascii_digit()))
+            .collect();
+        assert!(!panel_lines.is_empty());
+        assert!(!slide.contains(".."), "scenario 1 leaves no cell unnumbered");
+    }
+
+    #[test]
+    fn scenario_3_panels_are_disjoint() {
+        let slide = scenario_slide(&Scenario::fig1(3), &flag());
+        for i in 1..=4 {
+            assert!(slide.contains(&format!("P{i} colors 24 cells")));
+        }
+        // Each panel shows 72 unnumbered cells (the other stripes).
+        assert!(slide.contains(".."));
+    }
+
+    #[test]
+    fn deck_contains_all_four() {
+        let deck = fig1_deck(&flag());
+        for n in 1..=4 {
+            assert!(deck.contains(&format!("scenario {n}")), "missing slide {n}");
+        }
+        assert!(deck.contains("legend: R=red B=blue Y=yellow G=green"));
+    }
+
+    #[test]
+    fn panel_numbering_follows_execution_order() {
+        let pf = flag();
+        let assignments = Scenario::fig1(4)
+            .strategy
+            .assignments(&pf, Scenario::fig1(4).order, &[]);
+        let p1 = panel(&pf, &assignments[0]);
+        // P1's slice is the left 3 columns; first row starts " 1  2  3".
+        let first_line = p1.lines().next().unwrap();
+        assert!(first_line.starts_with(" 1  2  3"), "{first_line:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Repeated-run sweeps.
+//!
+//! One classroom run is a single noisy sample; every quantitative claim
+//! in EXPERIMENTS.md comes from running a scenario across many seeds with
+//! fresh teams. This module is that harness, public: give it a scenario
+//! and a configuration, get summary statistics and the raw reports.
+
+use crate::config::{ActivityConfig, TeamKit};
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use crate::work::PreparedFlag;
+use flagsim_agents::StudentProfile;
+use flagsim_metrics::RunStats;
+
+/// The result of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Completion-seconds statistics across repetitions.
+    pub completion: RunStats,
+    /// Total-waiting statistics across repetitions.
+    pub waiting: RunStats,
+    /// Every run, in repetition order.
+    pub reports: Vec<RunReport>,
+}
+
+impl SweepResult {
+    /// The mean completion time in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        self.completion.mean
+    }
+}
+
+/// Run `scenario` `reps` times, each with a fresh team of `team_size`
+/// students (warm-up enabled or not) and a seed derived from
+/// `config.seed` and the repetition index. Panics if any run fails or
+/// produces a wrong flag — a sweep is a measurement, not a fault drill.
+pub fn sweep(
+    scenario: &Scenario,
+    flag: &PreparedFlag,
+    kit: &TeamKit,
+    config: &ActivityConfig,
+    team_size: usize,
+    warmup: bool,
+    reps: u64,
+) -> SweepResult {
+    assert!(reps > 0, "need at least one repetition");
+    let mut reports = Vec::with_capacity(reps as usize);
+    for rep in 0..reps {
+        let mut team: Vec<StudentProfile> = (1..=team_size)
+            .map(|i| {
+                let s = StudentProfile::new(format!("P{i}"));
+                if warmup {
+                    s
+                } else {
+                    s.without_warmup()
+                }
+            })
+            .collect();
+        let cfg = ActivityConfig {
+            seed: config.seed.wrapping_add(rep.wrapping_mul(0x9E37_79B9)),
+            ..config.clone()
+        };
+        let report = scenario
+            .run(flag, &mut team, kit, &cfg)
+            .expect("sweep run failed");
+        assert!(
+            report.correct || cfg.deadline_secs.is_some(),
+            "sweep produced a wrong flag"
+        );
+        reports.push(report);
+    }
+    let completions: Vec<f64> = reports.iter().map(RunReport::completion_secs).collect();
+    let waits: Vec<f64> = reports.iter().map(RunReport::total_wait_secs).collect();
+    SweepResult {
+        completion: RunStats::from_sample(&completions),
+        waiting: RunStats::from_sample(&waits),
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_agents::ImplementKind;
+    use flagsim_flags::library;
+    use flagsim_metrics::clearly_different;
+
+    #[test]
+    fn sweep_statistics_separate_scenarios() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let cfg = ActivityConfig::default();
+        let s1 = sweep(&Scenario::fig1(1), &flag, &kit, &cfg, 1, false, 16);
+        let s3 = sweep(&Scenario::fig1(3), &flag, &kit, &cfg, 4, false, 16);
+        assert_eq!(s1.reports.len(), 16);
+        assert!(s1.mean_secs() > s3.mean_secs());
+        assert!(clearly_different(&s1.completion, &s3.completion));
+        assert_eq!(s3.waiting.max, 0.0, "stripes never contend");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let cfg = ActivityConfig::default().with_seed(9);
+        let a = sweep(&Scenario::fig1(4), &flag, &kit, &cfg, 4, false, 8);
+        let b = sweep(&Scenario::fig1(4), &flag, &kit, &cfg, 4, false, 8);
+        assert_eq!(a.completion, b.completion);
+        assert_eq!(a.waiting, b.waiting);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_panics() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let _ = sweep(
+            &Scenario::fig1(1),
+            &flag,
+            &kit,
+            &ActivityConfig::default(),
+            1,
+            false,
+            0,
+        );
+    }
+}

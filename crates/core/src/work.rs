@@ -1,0 +1,211 @@
+//! Work items: what one student colors, cell by cell.
+
+use flagsim_agents::CellKind;
+use flagsim_flags::FlagSpec;
+use flagsim_grid::{CellId, Color, Coord, Grid};
+
+/// One cell of coloring work: where, what color, and how fiddly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// The cell to color.
+    pub cell: CellId,
+    /// The color it must receive (the flag's final visible color).
+    pub color: Color,
+    /// Interior or boundary (boundary cells take precision time — the
+    /// maple-leaf effect).
+    pub kind: CellKind,
+}
+
+/// A flag prepared for the activity: its flat raster (final colors) and a
+/// per-cell difficulty classification.
+#[derive(Debug, Clone)]
+pub struct PreparedFlag {
+    /// The flag spec this was built from.
+    pub name: String,
+    /// Raster width.
+    pub width: u32,
+    /// Raster height.
+    pub height: u32,
+    /// The reference raster (what a correct coloring must produce).
+    pub reference: Grid,
+    /// Per-cell kinds, indexed by `CellId`.
+    kinds: Vec<CellKind>,
+}
+
+impl PreparedFlag {
+    /// Prepare a flag at its recommended size.
+    pub fn new(flag: &FlagSpec) -> Self {
+        Self::at_size(flag, flag.default_width, flag.default_height)
+    }
+
+    /// Prepare a flag at an explicit raster size.
+    pub fn at_size(flag: &FlagSpec, width: u32, height: u32) -> Self {
+        let reference = flag.rasterize_flat_at(width, height);
+        let kinds = classify_cells(&reference);
+        PreparedFlag {
+            name: flag.name.clone(),
+            width,
+            height,
+            reference,
+            kinds,
+        }
+    }
+
+    /// The difficulty kind of a cell.
+    pub fn kind(&self, cell: CellId) -> CellKind {
+        self.kinds[cell.index()]
+    }
+
+    /// The work item for one cell (None if the cell is blank in the
+    /// reference — nothing to color).
+    pub fn item(&self, cell: CellId) -> Option<WorkItem> {
+        let color = self.reference.get(cell);
+        color.is_painted().then_some(WorkItem {
+            cell,
+            color,
+            kind: self.kind(cell),
+        })
+    }
+
+    /// Work items for a sequence of cells, in order, skipping blank cells
+    /// and cells whose color is in `skip` (the "white is just the paper"
+    /// shortcut the paper allows for Jordan).
+    pub fn items<'a>(
+        &'a self,
+        cells: impl IntoIterator<Item = CellId> + 'a,
+        skip: &'a [Color],
+    ) -> impl Iterator<Item = WorkItem> + 'a {
+        cells
+            .into_iter()
+            .filter_map(move |c| self.item(c))
+            .filter(move |it| !skip.contains(&it.color))
+    }
+
+    /// All colors that actually need coloring (present in the reference
+    /// and not skipped).
+    pub fn colors_needed(&self, skip: &[Color]) -> Vec<Color> {
+        let mut out = Vec::new();
+        for (_, c) in self.reference.iter() {
+            if c.is_painted() && !skip.contains(&c) && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Total number of colorable cells (not blank, not skipped).
+    pub fn total_items(&self, skip: &[Color]) -> usize {
+        self.reference
+            .iter()
+            .filter(|(_, c)| c.is_painted() && !skip.contains(c))
+            .count()
+    }
+
+    /// Count of boundary cells among colorable cells — a crude intricacy
+    /// score (Canada ≫ France).
+    pub fn boundary_cells(&self, skip: &[Color]) -> usize {
+        self.reference
+            .iter()
+            .filter(|&(id, c)| {
+                c.is_painted() && !skip.contains(&c) && self.kind(id) == CellKind::Boundary
+            })
+            .count()
+    }
+}
+
+/// Classify every cell of a raster: a cell is a boundary cell if any of
+/// its 4-neighbors has a different color (students must edge carefully
+/// there). Grid edges don't count — the paper's grids have margins, and
+/// running a marker to the paper's edge needs no precision.
+pub fn classify_cells(grid: &Grid) -> Vec<CellKind> {
+    let (w, h) = (grid.width(), grid.height());
+    let mut kinds = Vec::with_capacity(grid.len());
+    for y in 0..h {
+        for x in 0..w {
+            let own = grid.get_at(Coord::new(x, y));
+            let mut boundary = false;
+            let neighbors = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            for (nx, ny) in neighbors {
+                if nx < w && ny < h && grid.get_at(Coord::new(nx, ny)) != own {
+                    boundary = true;
+                    break;
+                }
+            }
+            kinds.push(if boundary {
+                CellKind::Boundary
+            } else {
+                CellKind::Interior
+            });
+        }
+    }
+    kinds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    #[test]
+    fn mauritius_boundary_cells_are_stripe_edges() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        // 12×8, stripes of 2 rows: rows 1,2,3,4,5,6 touch a different
+        // stripe above or below → 6 rows × 12 cols = 72 boundary cells.
+        assert_eq!(pf.boundary_cells(&[]), 72);
+        assert_eq!(pf.total_items(&[]), 96);
+        // Top-left cell is interior (edges don't count).
+        assert_eq!(pf.kind(CellId(0)), CellKind::Interior);
+        // A cell in row 1 touches row 2 (blue) → boundary.
+        assert_eq!(pf.kind(Coord::new(0, 1).to_id(12)), CellKind::Boundary);
+    }
+
+    #[test]
+    fn canada_is_more_intricate_than_france() {
+        let fr = PreparedFlag::new(&library::france());
+        let ca = PreparedFlag::new(&library::canada());
+        let fr_frac = fr.boundary_cells(&[]) as f64 / fr.total_items(&[]) as f64;
+        let ca_frac = ca.boundary_cells(&[]) as f64 / ca.total_items(&[]) as f64;
+        assert!(
+            ca_frac > fr_frac * 1.5,
+            "Canada {ca_frac:.2} vs France {fr_frac:.2}"
+        );
+    }
+
+    #[test]
+    fn items_skip_blank_and_skipped_colors() {
+        let flag = library::jordan();
+        let pf = PreparedFlag::new(&flag);
+        let all: Vec<_> = pf.items(pf.reference.ids(), &[]).collect();
+        assert_eq!(all.len(), pf.total_items(&[]));
+        let no_white: Vec<_> = pf.items(pf.reference.ids(), &[Color::White]).collect();
+        assert!(no_white.len() < all.len());
+        assert!(no_white.iter().all(|it| it.color != Color::White));
+        assert_eq!(no_white.len(), pf.total_items(&[Color::White]));
+    }
+
+    #[test]
+    fn colors_needed_respects_skip() {
+        let pf = PreparedFlag::new(&library::jordan());
+        let with = pf.colors_needed(&[]);
+        assert!(with.contains(&Color::White));
+        let without = pf.colors_needed(&[Color::White]);
+        assert!(!without.contains(&Color::White));
+        assert_eq!(without.len(), with.len() - 1);
+    }
+
+    #[test]
+    fn item_returns_none_for_blank() {
+        // A flag that leaves cells blank: Jordan with everything white
+        // skipped isn't blank in the raster; build a custom check instead.
+        let mut grid = Grid::new(2, 1);
+        grid.paint(CellId(0), Color::Red);
+        let kinds = classify_cells(&grid);
+        // Red cell borders a blank cell → boundary.
+        assert_eq!(kinds[0], CellKind::Boundary);
+    }
+}

@@ -1,0 +1,678 @@
+//! The event loop.
+
+use crate::resource::{ResourceId, ResourceState};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EventKind, ProcReport, ResourceReport, Trace, TraceEvent};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a process within an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a process wants to do next. The engine performs the action and
+/// polls the process again when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Be busy for a duration (coloring a cell), then get polled again.
+    Work(SimDuration),
+    /// Acquire an exclusive resource, waiting FIFO if it is held. The
+    /// process is polled again once it holds the resource.
+    Acquire(ResourceId),
+    /// Release a held resource and get polled again immediately.
+    Release(ResourceId),
+    /// Sleep until an absolute time (e.g. a staggered start).
+    WaitUntil(SimTime),
+    /// Finished; the process is never polled again.
+    Done,
+}
+
+/// A simulated actor, advanced as a state machine.
+///
+/// The engine calls [`Process::next`] exactly once per completed action:
+/// after the initial wake-up, after each `Work` finishes, after each
+/// `Acquire` is granted, after each `Release`/`WaitUntil` completes. The
+/// implementation must therefore advance its internal state on every call.
+pub trait Process {
+    /// The next action, given the current simulation time.
+    fn next(&mut self, now: SimTime) -> Action;
+
+    /// Display name used in traces.
+    fn name(&self) -> String {
+        "process".to_owned()
+    }
+}
+
+/// A [`Process`] built from a closure — handy for tests and small sims
+/// that don't warrant a named state machine:
+///
+/// ```
+/// use flagsim_desim::{Action, Engine, FnProcess, SimDuration};
+///
+/// let mut eng = Engine::new();
+/// let mut remaining = 3;
+/// eng.add_process(Box::new(FnProcess::new("worker", move |_now| {
+///     if remaining == 0 {
+///         Action::Done
+///     } else {
+///         remaining -= 1;
+///         Action::Work(SimDuration::from_millis(10))
+///     }
+/// })));
+/// assert_eq!(eng.run().end_time.millis(), 30);
+/// ```
+pub struct FnProcess<F: FnMut(SimTime) -> Action> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut(SimTime) -> Action> FnProcess<F> {
+    /// Wrap a closure as a process.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnProcess {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: FnMut(SimTime) -> Action> Process for FnProcess<F> {
+    fn next(&mut self, now: SimTime) -> Action {
+        (self.f)(now)
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Runnable,
+    Working,
+    WaitingFor(ResourceId),
+    Sleeping,
+    Finished,
+}
+
+struct ProcSlot {
+    process: Box<dyn Process>,
+    state: ProcState,
+    busy: SimDuration,
+    waiting: SimDuration,
+    wait_started: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+/// The deterministic discrete-event engine.
+///
+/// Build one, add resources and processes, then [`Engine::run`] to
+/// completion. Event ordering is `(time, insertion sequence)` so equal-time
+/// events fire in the order they were scheduled; resource queues are FIFO.
+/// The same inputs always produce the same [`Trace`].
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64, ProcId)>>,
+    procs: Vec<ProcSlot>,
+    resources: Vec<ResourceState>,
+    events: Vec<TraceEvent>,
+    max_events: u64,
+    processed: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: Vec::new(),
+            resources: Vec::new(),
+            events: Vec::new(),
+            // Generous live-lock guard; a classroom run is ~1e3 events.
+            max_events: 50_000_000,
+            processed: 0,
+        }
+    }
+
+    /// Lower the live-lock guard (mainly for tests).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Register an exclusive resource with a hand-off latency applied when
+    /// it passes from one process to a waiting one.
+    pub fn add_resource(&mut self, label: impl Into<String>, handoff: SimDuration) -> ResourceId {
+        self.add_resource_pool(label, 1, handoff)
+    }
+
+    /// Register a pool of `capacity` interchangeable units of a resource —
+    /// e.g. a team with *two* red markers. Grants are still FIFO across
+    /// the pool.
+    pub fn add_resource_pool(
+        &mut self,
+        label: impl Into<String>,
+        capacity: usize,
+        handoff: SimDuration,
+    ) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources
+            .push(ResourceState::new(label.into(), capacity, handoff));
+        id
+    }
+
+    /// Register a process, waking it at time zero.
+    pub fn add_process(&mut self, process: Box<dyn Process>) -> ProcId {
+        self.add_process_at(process, SimTime::ZERO)
+    }
+
+    /// Register a process, waking it first at `start`.
+    pub fn add_process_at(&mut self, process: Box<dyn Process>, start: SimTime) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        self.procs.push(ProcSlot {
+            process,
+            state: ProcState::Runnable,
+            busy: SimDuration::ZERO,
+            waiting: SimDuration::ZERO,
+            wait_started: None,
+            finished_at: None,
+        });
+        self.schedule(start, id);
+        id
+    }
+
+    fn schedule(&mut self, at: SimTime, pid: ProcId) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, pid)));
+    }
+
+    fn record(&mut self, pid: ProcId, kind: EventKind) {
+        self.events.push(TraceEvent {
+            time: self.now,
+            proc: pid,
+            kind,
+        });
+    }
+
+    /// Run until no events remain, consuming the engine and returning the
+    /// trace. Panics if the live-lock guard trips or a process misbehaves
+    /// (releasing a resource it doesn't hold, acting after `Done`,
+    /// re-acquiring a resource it already holds).
+    pub fn run(self) -> Trace {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until no events remain **or the bell rings**: events scheduled
+    /// after `deadline` are not processed (work in flight past the
+    /// deadline does not complete). The classroom reality behind §V-C's
+    /// response-rate note — "the first of the three sections … had less
+    /// time". The trace's `end_time` is the deadline when work was cut
+    /// off, and unfinished processes report `finished_at: None`.
+    pub fn run_until(mut self, deadline: SimTime) -> Trace {
+        let mut cut_off = false;
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t > deadline {
+                cut_off = true;
+                break;
+            }
+            let Some(Reverse((t, _, pid))) = self.queue.pop() else {
+                unreachable!("peeked");
+            };
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            self.processed += 1;
+            assert!(
+                self.processed <= self.max_events,
+                "live-lock guard tripped after {} events",
+                self.processed
+            );
+            self.advance(pid);
+        }
+        if cut_off {
+            self.now = deadline;
+        }
+        self.into_trace()
+    }
+
+    /// Poll `pid` repeatedly until it blocks, sleeps, works, or finishes.
+    fn advance(&mut self, pid: ProcId) {
+        loop {
+            let state = self.procs[pid.index()].state;
+            assert!(
+                state != ProcState::Finished,
+                "process {} acted after Done",
+                pid.0
+            );
+            let action = self.procs[pid.index()].process.next(self.now);
+            match action {
+                Action::Work(dur) => {
+                    self.procs[pid.index()].state = ProcState::Working;
+                    self.procs[pid.index()].busy += dur;
+                    self.record(pid, EventKind::WorkStart { dur });
+                    let wake = self.now + dur;
+                    self.schedule(wake, pid);
+                    return;
+                }
+                Action::Acquire(rid) => {
+                    let res = &mut self.resources[rid.index()];
+                    assert!(
+                        !res.holds(pid),
+                        "process {} re-acquired resource {:?}",
+                        pid.0,
+                        rid
+                    );
+                    if res.has_free_unit() && res.waiters.is_empty() {
+                        res.holders.push(pid);
+                        res.stats.acquisitions += 1;
+                        self.record(pid, EventKind::Acquired(rid));
+                        // Granted instantly; keep polling at the same time.
+                        continue;
+                    }
+                    res.waiters.push_back(pid);
+                    res.stats.max_queue_len = res.stats.max_queue_len.max(res.waiters.len());
+                    self.procs[pid.index()].state = ProcState::WaitingFor(rid);
+                    self.procs[pid.index()].wait_started = Some(self.now);
+                    self.record(pid, EventKind::Blocked(rid));
+                    return;
+                }
+                Action::Release(rid) => {
+                    let res = &mut self.resources[rid.index()];
+                    let pos = res.holders.iter().position(|&h| h == pid);
+                    assert!(
+                        pos.is_some(),
+                        "process {} released resource {:?} it does not hold",
+                        pid.0,
+                        rid
+                    );
+                    res.holders.swap_remove(pos.expect("checked above"));
+                    self.record(pid, EventKind::Released(rid));
+                    if let Some(next_pid) = self.resources[rid.index()].waiters.pop_front() {
+                        self.grant_after_handoff(rid, next_pid);
+                    }
+                    // The releasing process keeps going at the same time.
+                    continue;
+                }
+                Action::WaitUntil(t) => {
+                    assert!(t >= self.now, "WaitUntil into the past");
+                    self.procs[pid.index()].state = ProcState::Sleeping;
+                    self.schedule(t, pid);
+                    return;
+                }
+                Action::Done => {
+                    self.procs[pid.index()].state = ProcState::Finished;
+                    self.procs[pid.index()].finished_at = Some(self.now);
+                    self.record(pid, EventKind::Finished);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hand a released resource to the next FIFO waiter, charging the
+    /// hand-off latency before the waiter is polled again.
+    fn grant_after_handoff(&mut self, rid: ResourceId, pid: ProcId) {
+        let handoff = self.resources[rid.index()].handoff;
+        let grant_time = self.now + handoff;
+        let started = self.procs[pid.index()]
+            .wait_started
+            .take()
+            .expect("waiter had no wait_started");
+        // Wait covers queue time plus the hand-off itself.
+        let waited = grant_time - started;
+        let res = &mut self.resources[rid.index()];
+        res.holders.push(pid); // in transit counts as held
+        res.stats.acquisitions += 1;
+        res.stats.contended_acquisitions += 1;
+        res.stats.handoffs += 1;
+        res.stats.total_wait += waited;
+        let slot = &mut self.procs[pid.index()];
+        slot.waiting += waited;
+        slot.state = ProcState::Runnable;
+        self.record(pid, EventKind::Acquired(rid));
+        self.schedule(grant_time, pid);
+    }
+
+    fn into_trace(self) -> Trace {
+        let procs = self
+            .procs
+            .iter()
+            .map(|p| ProcReport {
+                name: p.process.name(),
+                busy: p.busy,
+                waiting: p.waiting,
+                finished_at: p.finished_at,
+            })
+            .collect();
+        let resources = self
+            .resources
+            .iter()
+            .map(|r| ResourceReport {
+                label: r.label.clone(),
+                stats: r.stats.clone(),
+            })
+            .collect();
+        Trace {
+            end_time: self.now,
+            procs,
+            resources,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that performs a fixed script of actions.
+    struct Scripted {
+        name: String,
+        script: Vec<Action>,
+        cursor: usize,
+    }
+
+    impl Scripted {
+        fn new(name: &str, script: Vec<Action>) -> Box<Self> {
+            Box::new(Scripted {
+                name: name.to_owned(),
+                script,
+                cursor: 0,
+            })
+        }
+    }
+
+    impl Process for Scripted {
+        fn next(&mut self, _now: SimTime) -> Action {
+            let a = self.script[self.cursor];
+            self.cursor += 1;
+            a
+        }
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn single_worker_timing() {
+        let mut eng = Engine::new();
+        eng.add_process(Scripted::new(
+            "solo",
+            vec![Action::Work(ms(100)), Action::Work(ms(50)), Action::Done],
+        ));
+        let trace = eng.run();
+        assert_eq!(trace.end_time, SimTime(150));
+        assert_eq!(trace.procs[0].busy, ms(150));
+        assert_eq!(trace.procs[0].waiting, ms(0));
+        assert_eq!(trace.procs[0].finished_at, Some(SimTime(150)));
+    }
+
+    #[test]
+    fn two_independent_workers_overlap() {
+        let mut eng = Engine::new();
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![Action::Work(ms(100)), Action::Done],
+            ));
+        }
+        let trace = eng.run();
+        // Parallel: both finish at 100, not 200.
+        assert_eq!(trace.end_time, SimTime(100));
+        assert_eq!(trace.makespan(), ms(100));
+    }
+
+    #[test]
+    fn contention_serializes_and_charges_waiting() {
+        let mut eng = Engine::new();
+        let marker = eng.add_resource("red marker", ms(0));
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(marker),
+                    Action::Work(ms(100)),
+                    Action::Release(marker),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.run();
+        assert_eq!(trace.end_time, SimTime(200));
+        // First-come-first-served: "a" was scheduled first.
+        assert_eq!(trace.procs[0].waiting, ms(0));
+        assert_eq!(trace.procs[1].waiting, ms(100));
+        let stats = &trace.resources[0].stats;
+        assert_eq!(stats.acquisitions, 2);
+        assert_eq!(stats.contended_acquisitions, 1);
+        assert_eq!(stats.handoffs, 1);
+        assert_eq!(stats.total_wait, ms(100));
+        assert_eq!(stats.max_queue_len, 1);
+    }
+
+    #[test]
+    fn handoff_latency_delays_the_waiter() {
+        let mut eng = Engine::new();
+        let marker = eng.add_resource("marker", ms(30));
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(marker),
+                    Action::Work(ms(100)),
+                    Action::Release(marker),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.run();
+        // b waits 100 (queue) + 30 (hand-off) then works 100.
+        assert_eq!(trace.end_time, SimTime(230));
+        assert_eq!(trace.procs[1].waiting, ms(130));
+        // First acquisition was uncontended (no hand-off).
+        assert_eq!(trace.resources[0].stats.handoffs, 1);
+    }
+
+    #[test]
+    fn fifo_order_among_waiters() {
+        let mut eng = Engine::new();
+        let marker = eng.add_resource("marker", ms(0));
+        for name in ["a", "b", "c"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(marker),
+                    Action::Work(ms(10)),
+                    Action::Release(marker),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.run();
+        // Finish order must be a, b, c at 10, 20, 30.
+        let finishes: Vec<_> = trace
+            .procs
+            .iter()
+            .map(|p| p.finished_at.unwrap().millis())
+            .collect();
+        assert_eq!(finishes, vec![10, 20, 30]);
+        assert_eq!(trace.resources[0].stats.max_queue_len, 2);
+    }
+
+    #[test]
+    fn wait_until_staggers_start() {
+        let mut eng = Engine::new();
+        eng.add_process(Scripted::new(
+            "late",
+            vec![
+                Action::WaitUntil(SimTime(500)),
+                Action::Work(ms(10)),
+                Action::Done,
+            ],
+        ));
+        let trace = eng.run();
+        assert_eq!(trace.end_time, SimTime(510));
+    }
+
+    #[test]
+    fn add_process_at_delays_first_poll() {
+        let mut eng = Engine::new();
+        eng.add_process_at(
+            Scripted::new("late", vec![Action::Work(ms(5)), Action::Done]),
+            SimTime(100),
+        );
+        let trace = eng.run();
+        assert_eq!(trace.end_time, SimTime(105));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_without_hold_panics() {
+        let mut eng = Engine::new();
+        let r = eng.add_resource("m", ms(0));
+        eng.add_process(Scripted::new("bad", vec![Action::Release(r), Action::Done]));
+        let _ = eng.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquired")]
+    fn reacquire_panics() {
+        let mut eng = Engine::new();
+        let r = eng.add_resource("m", ms(0));
+        eng.add_process(Scripted::new(
+            "bad",
+            vec![Action::Acquire(r), Action::Acquire(r), Action::Done],
+        ));
+        let _ = eng.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "live-lock")]
+    fn livelock_guard_trips() {
+        struct Spinner;
+        impl Process for Spinner {
+            fn next(&mut self, _now: SimTime) -> Action {
+                Action::Work(SimDuration::ZERO)
+            }
+        }
+        let mut eng = Engine::new();
+        eng.set_max_events(100);
+        eng.add_process(Box::new(Spinner));
+        let _ = eng.run();
+    }
+
+    #[test]
+    fn resource_pool_grants_up_to_capacity() {
+        let mut eng = Engine::new();
+        let pool = eng.add_resource_pool("two markers", 2, ms(0));
+        for name in ["a", "b", "c"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(pool),
+                    Action::Work(ms(100)),
+                    Action::Release(pool),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.run();
+        // a and b run together; c waits for one release.
+        assert_eq!(trace.end_time, SimTime(200));
+        assert_eq!(trace.procs[0].waiting, ms(0));
+        assert_eq!(trace.procs[1].waiting, ms(0));
+        assert_eq!(trace.procs[2].waiting, ms(100));
+        assert_eq!(trace.resources[0].stats.contended_acquisitions, 1);
+    }
+
+    #[test]
+    fn capacity_equal_to_demand_removes_contention() {
+        let mut eng = Engine::new();
+        let pool = eng.add_resource_pool("four markers", 4, ms(50));
+        for name in ["a", "b", "c", "d"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(pool),
+                    Action::Work(ms(100)),
+                    Action::Release(pool),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.run();
+        assert_eq!(trace.end_time, SimTime(100));
+        assert_eq!(trace.total_waiting(), ms(0));
+        assert_eq!(trace.resources[0].stats.handoffs, 0);
+    }
+
+    #[test]
+    fn deadline_cuts_off_unfinished_work() {
+        let build = || {
+            let mut eng = Engine::new();
+            eng.add_process(Scripted::new(
+                "slow",
+                vec![
+                    Action::Work(ms(100)),
+                    Action::Work(ms(100)),
+                    Action::Work(ms(100)),
+                    Action::Done,
+                ],
+            ));
+            eng
+        };
+        // Bell at 150ms: only the first work completed.
+        let cut = build().run_until(SimTime(150));
+        assert_eq!(cut.end_time, SimTime(150));
+        assert_eq!(cut.procs[0].finished_at, None);
+        // Work *started* before the bell still counts as busy time booked.
+        assert_eq!(cut.procs[0].busy, ms(200));
+        // Bell after the end: identical to run().
+        let full = build().run_until(SimTime(10_000));
+        assert_eq!(full.end_time, SimTime(300));
+        assert_eq!(full.procs[0].finished_at, Some(SimTime(300)));
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let build = || {
+            let mut eng = Engine::new();
+            let m = eng.add_resource("m", ms(7));
+            for name in ["a", "b", "c", "d"] {
+                eng.add_process(Scripted::new(
+                    name,
+                    vec![
+                        Action::Work(ms(13)),
+                        Action::Acquire(m),
+                        Action::Work(ms(31)),
+                        Action::Release(m),
+                        Action::Work(ms(5)),
+                        Action::Done,
+                    ],
+                ));
+            }
+            eng.run()
+        };
+        let t1 = build();
+        let t2 = build();
+        assert_eq!(t1.end_time, t2.end_time);
+        assert_eq!(t1.events, t2.events);
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulation time.
+//!
+//! Time is measured in integer milliseconds. The activity's real
+//! completion times are tens of seconds to a few minutes, so `u64`
+//! milliseconds gives more than enough range and keeps event ordering
+//! exact (no float ties).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulation time (milliseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Milliseconds since the epoch.
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reports).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The duration from `earlier` to `self`. Panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(earlier <= self, "time went backwards: {earlier} > {self}");
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Build from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Build from float seconds, rounding to the nearest millisecond.
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds.
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(1500);
+        assert_eq!(t, SimTime(1500));
+        assert_eq!(t.as_secs_f64(), 1.5);
+        assert_eq!(t - SimTime(500), SimDuration(1000));
+        let mut d = SimDuration::from_millis(2);
+        d += SimDuration::from_millis(3);
+        assert_eq!(d, SimDuration(5));
+    }
+
+    #[test]
+    fn from_secs_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0014), SimDuration(1));
+        assert_eq!(SimDuration::from_secs_f64(0.0016), SimDuration(2));
+        assert_eq!(SimDuration::from_secs_f64(2.5), SimDuration(2500));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_secs_f64(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_backwards() {
+        let _ = SimTime(1).since(SimTime(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(2500).to_string(), "2.500s");
+        assert_eq!(SimDuration(40).to_string(), "0.040s");
+    }
+}

@@ -1,0 +1,508 @@
+//! Simulation traces: accounting, event logs, and ASCII Gantt charts.
+
+use crate::engine::ProcId;
+use crate::resource::{ResourceId, ResourceStats};
+use crate::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// What happened at one moment, for one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Began a chunk of work of the given duration.
+    WorkStart {
+        /// How long the work will take.
+        dur: SimDuration,
+    },
+    /// Was granted a resource (instantly or after waiting + hand-off; the
+    /// event is logged when the grant is decided).
+    Acquired(ResourceId),
+    /// Joined a resource's FIFO wait queue.
+    Blocked(ResourceId),
+    /// Released a resource.
+    Released(ResourceId),
+    /// Finished for good.
+    Finished,
+}
+
+/// One log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which process.
+    pub proc: ProcId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Per-process accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcReport {
+    /// Display name.
+    pub name: String,
+    /// Total time spent working.
+    pub busy: SimDuration,
+    /// Total time spent blocked on resources (including hand-offs).
+    pub waiting: SimDuration,
+    /// When the process issued `Done` (None if it never finished).
+    pub finished_at: Option<SimTime>,
+}
+
+impl ProcReport {
+    /// Idle time: elapsed lifetime not spent busy or waiting.
+    pub fn idle(&self) -> SimDuration {
+        match self.finished_at {
+            Some(t) => {
+                let lifetime = t - SimTime::ZERO;
+                SimDuration(
+                    lifetime
+                        .millis()
+                        .saturating_sub(self.busy.millis() + self.waiting.millis()),
+                )
+            }
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Fraction of lifetime spent busy, in `[0, 1]` (1 if never finished).
+    pub fn utilization(&self) -> f64 {
+        match self.finished_at {
+            Some(t) if t > SimTime::ZERO => self.busy.as_secs_f64() / t.as_secs_f64(),
+            _ => 1.0,
+        }
+    }
+}
+
+/// Per-resource report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceReport {
+    /// Display label.
+    pub label: String,
+    /// Contention statistics.
+    pub stats: ResourceStats,
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Time of the last event — the completion time the activity's timer
+    /// student would report.
+    pub end_time: SimTime,
+    /// Per-process accounting, indexed by [`ProcId`].
+    pub procs: Vec<ProcReport>,
+    /// Per-resource contention stats, indexed by [`ResourceId`].
+    pub resources: Vec<ResourceReport>,
+    /// Full event log in chronological order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The makespan (end time as a duration from zero).
+    pub fn makespan(&self) -> SimDuration {
+        self.end_time - SimTime::ZERO
+    }
+
+    /// Sum of all processes' busy time — the total "work".
+    pub fn total_busy(&self) -> SimDuration {
+        self.procs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.busy)
+    }
+
+    /// Sum of all processes' waiting time — the total contention cost.
+    pub fn total_waiting(&self) -> SimDuration {
+        self.procs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.waiting)
+    }
+
+    /// Events for one process, in order.
+    pub fn events_for(&self, pid: ProcId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.proc == pid)
+    }
+
+    /// Render an ASCII Gantt chart, one row per process, `width` characters
+    /// across the full makespan: `#` busy, `~` waiting, `.` idle.
+    ///
+    /// The chart is a visual aid (the paper projects scenario slides; our
+    /// equivalent is a terminal), not a precise plot: each character cell
+    /// shows the dominant state in its time bucket.
+    pub fn gantt(&self, width: usize) -> String {
+        assert!(width > 0, "gantt width must be nonzero");
+        let total = self.end_time.millis().max(1);
+        let name_w = self
+            .procs
+            .iter()
+            .map(|p| p.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        for (idx, proc) in self.procs.iter().enumerate() {
+            let pid = ProcId(idx as u32);
+            // Build busy/wait intervals from the event log.
+            let mut busy_iv: Vec<(u64, u64)> = Vec::new();
+            let mut wait_iv: Vec<(u64, u64)> = Vec::new();
+            let mut blocked_since: Option<u64> = None;
+            for e in self.events_for(pid) {
+                match e.kind {
+                    EventKind::WorkStart { dur } => {
+                        busy_iv.push((e.time.millis(), e.time.millis() + dur.millis()));
+                    }
+                    EventKind::Blocked(_) => blocked_since = Some(e.time.millis()),
+                    EventKind::Acquired(_) => {
+                        if let Some(s) = blocked_since.take() {
+                            wait_iv.push((s, e.time.millis()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let _ = write!(out, "{:>name_w$} |", proc.name);
+            for i in 0..width {
+                let t0 = total * i as u64 / width as u64;
+                let t1 = (total * (i + 1) as u64 / width as u64).max(t0 + 1);
+                let overlap = |ivs: &[(u64, u64)]| {
+                    ivs.iter()
+                        .map(|&(a, b)| b.min(t1).saturating_sub(a.max(t0)))
+                        .sum::<u64>()
+                };
+                let b = overlap(&busy_iv);
+                let w = overlap(&wait_iv);
+                out.push(if b == 0 && w == 0 {
+                    '.'
+                } else if b >= w {
+                    '#'
+                } else {
+                    '~'
+                });
+            }
+            out.push_str("|\n");
+        }
+        let _ = writeln!(
+            out,
+            "{:>name_w$} |{}| {}",
+            "",
+            "-".repeat(width),
+            self.end_time
+        );
+        out
+    }
+
+    /// Export the event log as CSV (`time_ms,proc,proc_name,kind,resource`)
+    /// for spreadsheet-side analysis of a run.
+    pub fn events_csv(&self) -> String {
+        let mut out = String::from("time_ms,proc,proc_name,kind,resource\n");
+        for e in &self.events {
+            let name = self
+                .procs
+                .get(e.proc.index())
+                .map(|p| p.name.as_str())
+                .unwrap_or("?");
+            let (kind, res) = match e.kind {
+                EventKind::WorkStart { dur } => (format!("work:{}", dur.millis()), String::new()),
+                EventKind::Acquired(r) => ("acquired".to_owned(), r.index().to_string()),
+                EventKind::Blocked(r) => ("blocked".to_owned(), r.index().to_string()),
+                EventKind::Released(r) => ("released".to_owned(), r.index().to_string()),
+                EventKind::Finished => ("finished".to_owned(), String::new()),
+            };
+            let _ = writeln!(out, "{},{},{},{},{}", e.time.millis(), e.proc.index(), name, kind, res);
+        }
+        out
+    }
+
+    /// Render per-resource holding timelines: one row per resource, `#`
+    /// where some process holds it (including hand-off transit), `.` where
+    /// it sits free. Shows at a glance which marker is the bottleneck.
+    pub fn resource_gantt(&self, width: usize) -> String {
+        assert!(width > 0, "gantt width must be nonzero");
+        let total = self.end_time.millis().max(1);
+        let name_w = self
+            .resources
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        for (ri, res) in self.resources.iter().enumerate() {
+            // Build held intervals: matched Acquired/Released per process.
+            let mut held: Vec<(u64, u64)> = Vec::new();
+            let mut open: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+            for e in &self.events {
+                match e.kind {
+                    EventKind::Acquired(r) if r.index() == ri => {
+                        open.insert(e.proc.0, e.time.millis());
+                    }
+                    EventKind::Released(r) if r.index() == ri => {
+                        if let Some(start) = open.remove(&e.proc.0) {
+                            held.push((start, e.time.millis()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Unreleased holds extend to the end.
+            for (_, start) in open {
+                held.push((start, total));
+            }
+            let _ = write!(out, "{:>name_w$} |", res.label);
+            for i in 0..width {
+                let t0 = total * i as u64 / width as u64;
+                let t1 = (total * (i + 1) as u64 / width as u64).max(t0 + 1);
+                let overlap: u64 = held
+                    .iter()
+                    .map(|&(a, b)| b.min(t1).saturating_sub(a.max(t0)))
+                    .sum();
+                out.push(if overlap * 2 >= (t1 - t0) { '#' } else { '.' });
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// A per-process utilization table (busy/wait/idle percent of each
+    /// process's lifetime).
+    pub fn utilization_table(&self) -> String {
+        let mut out = format!(
+            "{:<16}{:>8}{:>8}{:>8}\n",
+            "process", "busy%", "wait%", "idle%"
+        );
+        for p in &self.procs {
+            let lifetime = p
+                .finished_at
+                .map(|t| t.millis())
+                .unwrap_or(self.end_time.millis())
+                .max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<16}{:>7.1}%{:>7.1}%{:>7.1}%",
+                p.name,
+                100.0 * p.busy.millis() as f64 / lifetime,
+                100.0 * p.waiting.millis() as f64 / lifetime,
+                100.0 * p.idle().millis() as f64 / lifetime,
+            );
+        }
+        out
+    }
+
+    /// Render the per-process timeline as an SVG Gantt chart (busy bars in
+    /// color, waiting bars hatched gray) — a projectable version of
+    /// [`Trace::gantt`]. Pure text output.
+    pub fn svg_gantt(&self, width_px: u32) -> String {
+        assert!(width_px > 0);
+        let total = self.end_time.millis().max(1) as f64;
+        let row_h = 24u32;
+        let label_w = 120u32;
+        let height = row_h * (self.procs.len() as u32 + 1);
+        let scale = |ms: u64| label_w as f64 + (ms as f64 / total) * (width_px - label_w) as f64;
+        let mut out = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height}\" \
+             viewBox=\"0 0 {width_px} {height}\" font-family=\"monospace\" font-size=\"12\">\n"
+        );
+        for (idx, proc) in self.procs.iter().enumerate() {
+            let pid = ProcId(idx as u32);
+            let y = row_h * idx as u32 + 4;
+            let _ = writeln!(
+                out,
+                "  <text x=\"4\" y=\"{}\">{}</text>",
+                y + 12,
+                proc.name
+            );
+            let mut blocked_since: Option<u64> = None;
+            for e in self.events_for(pid) {
+                match e.kind {
+                    EventKind::WorkStart { dur } => {
+                        let x0 = scale(e.time.millis());
+                        let x1 = scale(e.time.millis() + dur.millis());
+                        let _ = writeln!(
+                            out,
+                            "  <rect x=\"{x0:.1}\" y=\"{y}\" width=\"{:.1}\" height=\"16\" \
+                             fill=\"#4a90d9\"/>",
+                            (x1 - x0).max(0.5)
+                        );
+                    }
+                    EventKind::Blocked(_) => blocked_since = Some(e.time.millis()),
+                    EventKind::Acquired(_) => {
+                        if let Some(s) = blocked_since.take() {
+                            let x0 = scale(s);
+                            let x1 = scale(e.time.millis());
+                            let _ = writeln!(
+                                out,
+                                "  <rect x=\"{x0:.1}\" y=\"{y}\" width=\"{:.1}\" height=\"16\" \
+                                 fill=\"#c0c0c0\"/>",
+                                (x1 - x0).max(0.5)
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  <text x=\"{label_w}\" y=\"{}\">0s .. {}</text>",
+            height - 6,
+            self.end_time
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// A compact one-line summary, e.g. for classroom "times on the board".
+    pub fn summary(&self) -> String {
+        format!(
+            "makespan {} | work {} | waiting {} | {} procs",
+            self.makespan(),
+            self.total_busy(),
+            self.total_waiting(),
+            self.procs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            end_time: SimTime(100),
+            procs: vec![
+                ProcReport {
+                    name: "P1".into(),
+                    busy: SimDuration(60),
+                    waiting: SimDuration(20),
+                    finished_at: Some(SimTime(100)),
+                },
+                ProcReport {
+                    name: "P2".into(),
+                    busy: SimDuration(50),
+                    waiting: SimDuration(0),
+                    finished_at: Some(SimTime(50)),
+                },
+            ],
+            resources: vec![],
+            events: vec![
+                TraceEvent {
+                    time: SimTime(0),
+                    proc: ProcId(0),
+                    kind: EventKind::WorkStart {
+                        dur: SimDuration(60),
+                    },
+                },
+                TraceEvent {
+                    time: SimTime(60),
+                    proc: ProcId(0),
+                    kind: EventKind::Blocked(ResourceId(0)),
+                },
+                TraceEvent {
+                    time: SimTime(80),
+                    proc: ProcId(0),
+                    kind: EventKind::Acquired(ResourceId(0)),
+                },
+                TraceEvent {
+                    time: SimTime(0),
+                    proc: ProcId(1),
+                    kind: EventKind::WorkStart {
+                        dur: SimDuration(50),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let t = sample_trace();
+        assert_eq!(t.makespan(), SimDuration(100));
+        assert_eq!(t.total_busy(), SimDuration(110));
+        assert_eq!(t.total_waiting(), SimDuration(20));
+    }
+
+    #[test]
+    fn proc_report_idle_and_utilization() {
+        let t = sample_trace();
+        assert_eq!(t.procs[0].idle(), SimDuration(20)); // 100 - 60 - 20
+        assert!((t.procs[0].utilization() - 0.6).abs() < 1e-12);
+        assert_eq!(t.procs[1].idle(), SimDuration(0));
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let t = sample_trace();
+        let g = t.gantt(10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // P1: 6 busy buckets, 2 wait buckets, 2 idle.
+        assert!(lines[0].contains("######~~"));
+        // P2: 5 busy buckets then idle.
+        assert!(lines[1].contains("#####....."));
+        assert!(lines[2].contains("0.100s"));
+    }
+
+    #[test]
+    fn events_for_filters() {
+        let t = sample_trace();
+        assert_eq!(t.events_for(ProcId(0)).count(), 3);
+        assert_eq!(t.events_for(ProcId(1)).count(), 1);
+    }
+
+    #[test]
+    fn summary_mentions_makespan() {
+        let t = sample_trace();
+        assert!(t.summary().contains("makespan 0.100s"));
+    }
+
+    fn trace_with_resource() -> Trace {
+        let mut t = sample_trace();
+        t.resources = vec![ResourceReport {
+            label: "red marker".into(),
+            stats: Default::default(),
+        }];
+        // P1 acquires at 80 and never releases (runs to end at 100).
+        t
+    }
+
+    #[test]
+    fn events_csv_rows() {
+        let t = sample_trace();
+        let csv = t.events_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ms,proc,proc_name,kind,resource");
+        assert_eq!(lines.len(), 5); // header + 4 events
+        assert!(lines[1].starts_with("0,0,P1,work:60,"));
+        assert!(lines[2].contains("blocked,0"));
+        assert!(lines[3].contains("acquired,0"));
+    }
+
+    #[test]
+    fn resource_gantt_marks_held_tail() {
+        let t = trace_with_resource();
+        let g = t.resource_gantt(10);
+        // Acquired at 80ms of 100 → last two buckets held.
+        assert!(g.contains("........##"), "{g}");
+        assert!(g.starts_with("red marker |"));
+    }
+
+    #[test]
+    fn svg_gantt_draws_busy_and_wait_bars() {
+        let t = sample_trace();
+        let svg = t.svg_gantt(600);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("#4a90d9"), "busy bars present");
+        assert!(svg.contains("#c0c0c0"), "wait bars present");
+        assert!(svg.contains(">P1<"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn utilization_table_sums_to_100() {
+        let t = sample_trace();
+        let table = t.utilization_table();
+        assert!(table.contains("P1"));
+        // P1: 60 busy + 20 wait + 20 idle of 100.
+        assert!(table.contains("60.0%"));
+        assert!(table.contains("20.0%"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Flag layers.
+
+use crate::Shape;
+use flagsim_grid::Color;
+
+/// One painting step of a flag: a color applied to the union of some
+/// shapes. Layers are painted in order (painter's algorithm), so later
+/// layers overpaint earlier ones where they overlap — exactly the layered
+/// technique the paper teaches with the flag of Great Britain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Human-readable name ("blue background", "white saltire", …) used in
+    /// dependency graphs and reports.
+    pub name: String,
+    /// The paint color.
+    pub color: Color,
+    /// The shapes this layer covers; a point is painted if it is inside
+    /// any of them.
+    pub shapes: Vec<Shape>,
+}
+
+impl Layer {
+    /// Construct a single-shape layer.
+    pub fn new(name: impl Into<String>, color: Color, shape: Shape) -> Self {
+        Layer {
+            name: name.into(),
+            color,
+            shapes: vec![shape],
+        }
+    }
+
+    /// Construct a multi-shape layer.
+    pub fn from_shapes(name: impl Into<String>, color: Color, shapes: Vec<Shape>) -> Self {
+        Layer {
+            name: name.into(),
+            color,
+            shapes,
+        }
+    }
+
+    /// Whether the layer paints the point `(u, v)`.
+    pub fn contains(&self, u: f64, v: f64) -> bool {
+        self.shapes.iter().any(|s| s.contains(u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::pt;
+
+    #[test]
+    fn multi_shape_layer_is_a_union() {
+        let l = Layer::from_shapes(
+            "bars",
+            Color::Red,
+            vec![
+                Shape::Rect {
+                    u0: 0.0,
+                    v0: 0.0,
+                    u1: 0.1,
+                    v1: 1.0,
+                },
+                Shape::Rect {
+                    u0: 0.9,
+                    v0: 0.0,
+                    u1: 1.0,
+                    v1: 1.0,
+                },
+            ],
+        );
+        assert!(l.contains(0.05, 0.5));
+        assert!(l.contains(0.95, 0.5));
+        assert!(!l.contains(0.5, 0.5));
+    }
+
+    #[test]
+    fn single_shape_constructor() {
+        let l = Layer::new(
+            "triangle",
+            Color::Green,
+            Shape::Triangle {
+                a: pt(0.0, 0.0),
+                b: pt(1.0, 0.0),
+                c: pt(0.0, 1.0),
+            },
+        );
+        assert_eq!(l.name, "triangle");
+        assert!(l.contains(0.1, 0.1));
+        assert!(!l.contains(0.9, 0.9));
+    }
+}

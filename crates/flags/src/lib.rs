@@ -1,0 +1,37 @@
+//! # flagsim-flags
+//!
+//! Declarative flag specifications and a painter's-algorithm rasterizer.
+//!
+//! The activity's flags are described as ordered **layers** of colored
+//! **shapes** in a resolution-independent unit square, then rasterized onto
+//! a [`flagsim_grid::Grid`] of any size. Layer order matters: the paper's
+//! Knox variation teaches dependencies through exactly this — the flag of
+//! Great Britain "is most easily created by coloring the entire flag blue,
+//! then adding the crossing diagonal white lines, and then finally coloring
+//! the red vertical and horizontal lines", the same idea as the Painter's
+//! algorithm in 3D graphics.
+//!
+//! * [`shape::Shape`] — point-containment geometry (rects, stripes,
+//!   triangles, discs, diagonal bands, polygons, stars, a maple leaf).
+//! * [`Layer`] — a named color painting a union of shapes.
+//! * [`FlagSpec`] — an ordered stack of layers, with rasterization,
+//!   per-layer cell regions, and layer-overlap (dependency) extraction.
+//! * [`library`] — every flag the paper uses: Mauritius (Fig. 1), France
+//!   and Canada (Fig. 2, Webster variation), Great Britain (Fig. 3) and
+//!   Jordan (Fig. 4, Knox variation), plus a few extras for examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod library;
+pub mod lint;
+pub mod parse;
+pub mod shape;
+pub mod spec;
+
+pub use layer::Layer;
+pub use lint::{lint, render_lints, Lint, LintLevel};
+pub use parse::{parse, to_text, ParseError};
+pub use shape::Shape;
+pub use spec::FlagSpec;

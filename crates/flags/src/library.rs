@@ -1,0 +1,615 @@
+//! The paper's flags, plus a few extras for examples.
+//!
+//! * [`mauritius`] — the core activity's flag (Fig. 1): four equal
+//!   horizontal stripes, red/blue/yellow/green, chosen because it "provides
+//!   a natural subdivision of the task into equal-sized parts for two and
+//!   four people".
+//! * [`france`] / [`canada`] — the Webster variation (Fig. 2): a simple
+//!   tricolor versus an intricate maple leaf, used to teach load balancing.
+//! * [`great_britain`] — the Knox follow-up (Fig. 3): three layers (blue
+//!   field, white diagonals, red cross) that introduce dependencies.
+//! * [`jordan`] — the dependency-graph assessment flag (Fig. 4): three
+//!   stripes, a red triangle, and a white dot (star).
+//! * [`germany`], [`netherlands`], [`texas`] — extras for custom runs.
+
+use crate::shape::{pt, Pt, Shape};
+use crate::{FlagSpec, Layer};
+use flagsim_grid::Color;
+
+/// Flag of Mauritius: four equal horizontal stripes (red, blue, yellow,
+/// green). Flat — no layer overlaps, so it parallelizes perfectly in
+/// theory; only implement contention (scenario 4) spoils it.
+pub fn mauritius() -> FlagSpec {
+    let layers = Color::MAURITIUS
+        .iter()
+        .enumerate()
+        .map(|(i, &color)| {
+            Layer::new(
+                format!("{} stripe", color.name()),
+                color,
+                Shape::HStripe {
+                    index: i as u32,
+                    count: 4,
+                },
+            )
+        })
+        .collect();
+    FlagSpec::new("Mauritius", 12, 8, layers)
+}
+
+/// Flag of France: three equal vertical stripes (blue, white, red). The
+/// Webster variation's "simpler" flag with near-perfect 3-way balance.
+pub fn france() -> FlagSpec {
+    let colors = [Color::Blue, Color::White, Color::Red];
+    let layers = colors
+        .iter()
+        .enumerate()
+        .map(|(i, &color)| {
+            Layer::new(
+                format!("{} stripe", color.name()),
+                color,
+                Shape::VStripe {
+                    index: i as u32,
+                    count: 3,
+                },
+            )
+        })
+        .collect();
+    FlagSpec::new("France", 24, 12, layers)
+}
+
+/// The maple-leaf polygon in unit-square coordinates of the *central pale*
+/// (mapped into the flag by [`canada`]). A stylized 23-vertex leaf —
+/// recognizable on a coarse grid, intricate enough to slow careful
+/// colorers down (the point of the Webster comparison).
+fn maple_leaf_local() -> Vec<Pt> {
+    vec![
+        pt(0.50, 0.06), // top tip
+        pt(0.42, 0.22),
+        pt(0.30, 0.16),
+        pt(0.34, 0.34),
+        pt(0.16, 0.30),
+        pt(0.20, 0.42),
+        pt(0.08, 0.46),
+        pt(0.24, 0.60),
+        pt(0.18, 0.70),
+        pt(0.40, 0.68),
+        pt(0.46, 0.66),
+        pt(0.46, 0.86), // stem left
+        pt(0.54, 0.86), // stem right
+        pt(0.54, 0.66),
+        pt(0.60, 0.68),
+        pt(0.82, 0.70),
+        pt(0.76, 0.60),
+        pt(0.92, 0.46),
+        pt(0.80, 0.42),
+        pt(0.84, 0.30),
+        pt(0.66, 0.34),
+        pt(0.70, 0.16),
+        pt(0.58, 0.22),
+    ]
+}
+
+/// Flag of Canada: red side pales (¼ width each), white center with a red
+/// maple leaf. The paper gave students "gridded paper with the maple leaf
+/// outlined" (Fig. 2).
+pub fn canada() -> FlagSpec {
+    // Map the local leaf into the central half [0.25, 0.75] × [0.08, 0.92].
+    let leaf: Vec<Pt> = maple_leaf_local()
+        .into_iter()
+        .map(|p| pt(0.25 + p.u * 0.5, 0.08 + p.v * 0.84))
+        .collect();
+    FlagSpec::new(
+        "Canada",
+        24,
+        12,
+        vec![
+            Layer::new("white field", Color::White, Shape::Full),
+            Layer::from_shapes(
+                "red side stripes",
+                Color::Red,
+                vec![
+                    Shape::Rect {
+                        u0: 0.0,
+                        v0: 0.0,
+                        u1: 0.25,
+                        v1: 1.0,
+                    },
+                    Shape::Rect {
+                        u0: 0.75,
+                        v0: 0.0,
+                        u1: 1.0,
+                        v1: 1.0,
+                    },
+                ],
+            ),
+            Layer::new("red maple leaf", Color::Red, Shape::Polygon(leaf)),
+        ],
+    )
+}
+
+/// Flag of Great Britain, "flag coloring assignment version" (Fig. 3):
+/// blue field, then white crossing diagonals (plus the white plus behind
+/// the red one), then the red vertical/horizontal lines. Three layers with
+/// a strict dependency chain — the paper's canonical example of layering
+/// limiting parallelism.
+pub fn great_britain() -> FlagSpec {
+    let aspect = 2.0;
+    FlagSpec::new(
+        "Great Britain",
+        24,
+        12,
+        vec![
+            Layer::new("blue field", Color::Blue, Shape::Full),
+            Layer::from_shapes(
+                "white diagonals",
+                Color::White,
+                vec![
+                    Shape::Band {
+                        a: pt(0.0, 0.0),
+                        b: pt(1.0, 1.0),
+                        halfwidth: 0.05,
+                        aspect,
+                    },
+                    Shape::Band {
+                        a: pt(0.0, 1.0),
+                        b: pt(1.0, 0.0),
+                        halfwidth: 0.05,
+                        aspect,
+                    },
+                    Shape::Cross {
+                        center: pt(0.5, 0.5),
+                        arm_w: 0.14,
+                        arm_h: 0.28,
+                    },
+                ],
+            ),
+            Layer::new(
+                "red cross",
+                Color::Red,
+                Shape::Cross {
+                    center: pt(0.5, 0.5),
+                    arm_w: 0.08,
+                    arm_h: 0.16,
+                },
+            ),
+        ],
+    )
+}
+
+/// Flag of Jordan (Fig. 4): black/white/green horizontal stripes, a red
+/// hoist triangle, and a white dot (standing in for the seven-pointed
+/// star). Its reference dependency graph (Fig. 9) is: stripes → triangle
+/// → dot.
+pub fn jordan() -> FlagSpec {
+    FlagSpec::new(
+        "Jordan",
+        16,
+        9,
+        vec![
+            Layer::new("black stripe", Color::Black, Shape::HStripe { index: 0, count: 3 }),
+            Layer::new("white stripe", Color::White, Shape::HStripe { index: 1, count: 3 }),
+            Layer::new("green stripe", Color::Green, Shape::HStripe { index: 2, count: 3 }),
+            Layer::new(
+                "red triangle",
+                Color::Red,
+                Shape::Triangle {
+                    a: pt(0.0, 0.0),
+                    b: pt(0.0, 1.0),
+                    c: pt(0.45, 0.5),
+                },
+            ),
+            Layer::new(
+                "white dot",
+                Color::White,
+                Shape::Disc {
+                    center: pt(0.15, 0.5),
+                    r: 0.055,
+                    aspect: 16.0 / 9.0,
+                },
+            ),
+        ],
+    )
+}
+
+/// Flag of Germany: black/red/gold horizontal stripes. A flat 3-stripe
+/// extra for custom scenarios.
+pub fn germany() -> FlagSpec {
+    let colors = [Color::Black, Color::Red, Color::Yellow];
+    let layers = colors
+        .iter()
+        .enumerate()
+        .map(|(i, &color)| {
+            Layer::new(
+                format!("{} stripe", color.name()),
+                color,
+                Shape::HStripe {
+                    index: i as u32,
+                    count: 3,
+                },
+            )
+        })
+        .collect();
+    FlagSpec::new("Germany", 15, 9, layers)
+}
+
+/// Flag of the Netherlands: red/white/blue horizontal stripes.
+pub fn netherlands() -> FlagSpec {
+    let colors = [Color::Red, Color::White, Color::Blue];
+    let layers = colors
+        .iter()
+        .enumerate()
+        .map(|(i, &color)| {
+            Layer::new(
+                format!("{} stripe", color.name()),
+                color,
+                Shape::HStripe {
+                    index: i as u32,
+                    count: 3,
+                },
+            )
+        })
+        .collect();
+    FlagSpec::new("Netherlands", 12, 8, layers)
+}
+
+/// Flag of Texas: blue hoist pale with a white star, white upper fly, red
+/// lower fly. Mildly layered (the star sits on the blue pale).
+pub fn texas() -> FlagSpec {
+    FlagSpec::new(
+        "Texas",
+        18,
+        12,
+        vec![
+            Layer::new(
+                "blue pale",
+                Color::Blue,
+                Shape::Rect {
+                    u0: 0.0,
+                    v0: 0.0,
+                    u1: 1.0 / 3.0,
+                    v1: 1.0,
+                },
+            ),
+            Layer::new(
+                "white fly stripe",
+                Color::White,
+                Shape::Rect {
+                    u0: 1.0 / 3.0,
+                    v0: 0.0,
+                    u1: 1.0,
+                    v1: 0.5,
+                },
+            ),
+            Layer::new(
+                "red fly stripe",
+                Color::Red,
+                Shape::Rect {
+                    u0: 1.0 / 3.0,
+                    v0: 0.5,
+                    u1: 1.0,
+                    v1: 1.0,
+                },
+            ),
+            Layer::new(
+                "white star",
+                Color::White,
+                Shape::Star {
+                    center: pt(1.0 / 6.0, 0.5),
+                    r: 0.13,
+                    inner: 0.5,
+                    points: 5,
+                    aspect: 1.5,
+                },
+            ),
+        ],
+    )
+}
+
+/// Flag of Poland: white over red. The smallest possible stripe flag —
+/// handy for tests and for two-student micro-activities.
+pub fn poland() -> FlagSpec {
+    FlagSpec::new(
+        "Poland",
+        10,
+        6,
+        vec![
+            Layer::new("white stripe", Color::White, Shape::HStripe { index: 0, count: 2 }),
+            Layer::new("red stripe", Color::Red, Shape::HStripe { index: 1, count: 2 }),
+        ],
+    )
+}
+
+/// Flag of Ukraine: blue over yellow.
+pub fn ukraine() -> FlagSpec {
+    FlagSpec::new(
+        "Ukraine",
+        12,
+        8,
+        vec![
+            Layer::new("blue stripe", Color::Blue, Shape::HStripe { index: 0, count: 2 }),
+            Layer::new("yellow stripe", Color::Yellow, Shape::HStripe { index: 1, count: 2 }),
+        ],
+    )
+}
+
+/// Flag of Japan: a red disc on a white field — the simplest *layered*
+/// flag (two layers, one dependency), a gentle first dependency example.
+pub fn japan() -> FlagSpec {
+    FlagSpec::new(
+        "Japan",
+        15,
+        10,
+        vec![
+            Layer::new("white field", Color::White, Shape::Full),
+            Layer::new(
+                "red disc",
+                Color::Red,
+                Shape::Disc {
+                    center: pt(0.5, 0.5),
+                    r: 0.2,
+                    aspect: 1.5,
+                },
+            ),
+        ],
+    )
+}
+
+/// Flag of Czechia: white over red horizontal stripes with a blue hoist
+/// triangle — structurally between Poland (flat) and Jordan (stripes +
+/// triangle + dot), so a good second dependency-graph exercise.
+pub fn czechia() -> FlagSpec {
+    FlagSpec::new(
+        "Czechia",
+        15,
+        10,
+        vec![
+            Layer::new("white stripe", Color::White, Shape::HStripe { index: 0, count: 2 }),
+            Layer::new("red stripe", Color::Red, Shape::HStripe { index: 1, count: 2 }),
+            Layer::new(
+                "blue triangle",
+                Color::Blue,
+                Shape::Triangle {
+                    a: pt(0.0, 0.0),
+                    b: pt(0.0, 1.0),
+                    c: pt(0.4, 0.5),
+                },
+            ),
+        ],
+    )
+}
+
+/// Flag of Switzerland: a white cross on red (square flag).
+pub fn switzerland() -> FlagSpec {
+    FlagSpec::new(
+        "Switzerland",
+        12,
+        12,
+        vec![
+            Layer::new("red field", Color::Red, Shape::Full),
+            Layer::new(
+                "white cross",
+                Color::White,
+                Shape::Cross {
+                    center: pt(0.5, 0.5),
+                    arm_w: 0.2,
+                    arm_h: 0.2,
+                },
+            ),
+        ],
+    )
+}
+
+/// Every flag in the library, paper flags first.
+pub fn all() -> Vec<FlagSpec> {
+    vec![
+        mauritius(),
+        france(),
+        canada(),
+        great_britain(),
+        jordan(),
+        germany(),
+        netherlands(),
+        texas(),
+        poland(),
+        ukraine(),
+        japan(),
+        czechia(),
+        switzerland(),
+    ]
+}
+
+/// Look up a flag by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<FlagSpec> {
+    all().into_iter().find(|f| f.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_grid::render::to_ascii;
+
+    #[test]
+    fn mauritius_is_flat_with_equal_stripes() {
+        let f = mauritius();
+        assert!(!f.is_layered());
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        // Four stripes of 12×2 = 24 cells each.
+        for (li, color) in Color::MAURITIUS.iter().enumerate() {
+            assert_eq!(f.layer_cells(li).len(), 24, "stripe {li}");
+            assert_eq!(g.cells_of_color(*color).len(), 24);
+        }
+    }
+
+    #[test]
+    fn mauritius_golden_raster() {
+        let g = mauritius().rasterize();
+        let expected = "\
+RRRRRRRRRRRR
+RRRRRRRRRRRR
+BBBBBBBBBBBB
+BBBBBBBBBBBB
+YYYYYYYYYYYY
+YYYYYYYYYYYY
+GGGGGGGGGGGG
+GGGGGGGGGGGG
+";
+        assert_eq!(to_ascii(&g), expected);
+    }
+
+    #[test]
+    fn france_golden_raster() {
+        let g = france().rasterize();
+        let row = format!("{}{}{}\n", "B".repeat(8), "W".repeat(8), "R".repeat(8));
+        let expected = row.repeat(12);
+        assert_eq!(to_ascii(&g), expected);
+    }
+
+    #[test]
+    fn great_britain_is_a_three_layer_chain() {
+        let f = great_britain();
+        assert_eq!(f.layer_count(), 3);
+        // Blue → white, blue → red, white → red: all overlap.
+        assert_eq!(f.layer_dependencies(), vec![(0, 1), (0, 2), (1, 2)]);
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        // All three colors visible.
+        for c in [Color::Blue, Color::White, Color::Red] {
+            assert!(!g.cells_of_color(c).is_empty(), "{c} missing");
+        }
+        // The center cell is red (on the cross).
+        assert_eq!(
+            f.color_at(0.5, 0.5),
+            Color::Red
+        );
+        // Layered coloring costs extra strokes.
+        assert!(f.layered_overhead() > 1.2);
+    }
+
+    #[test]
+    fn jordan_structure_matches_fig9() {
+        let f = jordan();
+        assert_eq!(f.layer_count(), 5);
+        let deps = f.layer_dependencies();
+        // Triangle (3) overlaps all three stripes (0,1,2); the dot (4) sits
+        // on the triangle, which itself sits on the middle (white) stripe —
+        // so the raw overlap graph has (1,4) too; Fig. 9 of the paper shows
+        // the transitive reduction (stripes → triangle → dot), which the
+        // taskgraph crate computes.
+        assert!(deps.contains(&(0, 3)));
+        assert!(deps.contains(&(1, 3)));
+        assert!(deps.contains(&(2, 3)));
+        assert!(deps.contains(&(3, 4)));
+        assert!(deps.contains(&(1, 4))); // transitive edge, reduced later
+        assert!(!deps.contains(&(0, 4)));
+        assert!(!deps.contains(&(2, 4)));
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        // The white dot survives on top of the triangle.
+        assert!(!g.cells_of_color(Color::White).is_empty());
+        assert!(!g.cells_of_color(Color::Red).is_empty());
+    }
+
+    #[test]
+    fn canada_center_is_heavier_than_sides() {
+        let f = canada();
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        // The leaf paints a nontrivial number of red cells in the middle.
+        let leaf = f.layer_cells(2);
+        assert!(leaf.len() >= 12, "leaf covers {} cells", leaf.len());
+        // Leaf strictly inside the central half.
+        let w = f.default_width;
+        for id in leaf.iter() {
+            let x = id.to_coord(w).x;
+            assert!(x >= w / 4 && x < 3 * w / 4, "leaf cell {id} escapes the pale");
+        }
+    }
+
+    #[test]
+    fn texas_star_sits_on_the_pale() {
+        let f = texas();
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        let star = f.visible_cells(3);
+        assert!(!star.is_empty());
+        let w = f.default_width;
+        for id in star.iter() {
+            assert!(id.to_coord(w).x < w / 3, "star cell {id} escapes the pale");
+        }
+    }
+
+    #[test]
+    fn simple_tricolors_are_flat() {
+        for f in [france(), germany(), netherlands()] {
+            assert!(!f.is_layered(), "{} should be flat", f.name);
+            assert!(f.rasterize().is_complete(), "{} incomplete", f.name);
+        }
+    }
+
+    #[test]
+    fn czechia_triangle_depends_on_both_stripes() {
+        let f = czechia();
+        let deps = f.layer_dependencies();
+        assert!(deps.contains(&(0, 2)));
+        assert!(deps.contains(&(1, 2)));
+        assert!(!deps.contains(&(0, 1)));
+        assert!(f.rasterize().is_complete());
+        assert_eq!(f.color_at(0.1, 0.5), Color::Blue);
+        assert_eq!(f.color_at(0.9, 0.25), Color::White);
+        assert_eq!(f.color_at(0.9, 0.75), Color::Red);
+    }
+
+    #[test]
+    fn library_lookup() {
+        assert_eq!(all().len(), 13);
+        assert!(by_name("mauritius").is_some());
+        assert!(by_name("GREAT BRITAIN").is_some());
+        assert!(by_name("narnia").is_none());
+    }
+
+    #[test]
+    fn two_stripe_flags_are_flat() {
+        for f in [poland(), ukraine()] {
+            assert!(!f.is_layered(), "{}", f.name);
+            assert_eq!(f.layer_count(), 2);
+            assert!(f.rasterize().is_complete());
+        }
+    }
+
+    #[test]
+    fn japan_is_the_minimal_layered_flag() {
+        let f = japan();
+        assert!(f.is_layered());
+        assert_eq!(f.layer_dependencies(), vec![(0, 1)]);
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        // The disc is visible and round-ish: more than one row and column.
+        let disc = f.visible_cells(1);
+        assert!(disc.len() >= 9, "disc covers {} cells", disc.len());
+        // Centered: the middle cell is red.
+        assert_eq!(f.color_at(0.5, 0.5), Color::Red);
+        assert_eq!(f.color_at(0.05, 0.05), Color::White);
+    }
+
+    #[test]
+    fn switzerland_cross_is_white_on_red() {
+        let f = switzerland();
+        assert!(f.is_layered());
+        let g = f.rasterize();
+        assert!(g.is_complete());
+        assert_eq!(f.color_at(0.5, 0.1), Color::White); // vertical arm
+        assert_eq!(f.color_at(0.1, 0.5), Color::White); // horizontal arm
+        assert_eq!(f.color_at(0.15, 0.15), Color::Red); // quadrant
+    }
+
+    #[test]
+    fn every_flag_rasterizes_completely_at_default_and_double_size() {
+        for f in all() {
+            assert!(f.rasterize().is_complete(), "{} incomplete", f.name);
+            let g2 = f.rasterize_at(f.default_width * 2, f.default_height * 2);
+            assert!(g2.is_complete(), "{} incomplete at 2x", f.name);
+        }
+    }
+}

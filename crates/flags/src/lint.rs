@@ -1,0 +1,192 @@
+//! Flag-spec linting.
+//!
+//! Custom flags arrive via the text DSL; before an instructor prints 30
+//! handouts, lint the spec: invisible layers (fully overpainted — wasted
+//! coloring), empty layers (shapes that miss every cell at the default
+//! raster), out-of-unit-square geometry, and blank cells (regions no
+//! layer covers, fine only if that's the intended paper-white).
+
+use crate::FlagSpec;
+
+/// Lint severities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Probably a mistake.
+    Warning,
+    /// Worth knowing, often intentional.
+    Note,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Severity.
+    pub level: LintLevel,
+    /// Layer index the finding concerns (None = whole flag).
+    pub layer: Option<usize>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Lint a flag at its default raster size.
+pub fn lint(flag: &FlagSpec) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let (w, h) = (flag.default_width, flag.default_height);
+
+    for li in 0..flag.layer_count() {
+        let painted = flag.layer_cells_at(li, w, h);
+        let visible = flag.visible_cells_at(li, w, h);
+        let name = &flag.layers[li].name;
+        if painted.is_empty() {
+            out.push(Lint {
+                level: LintLevel::Warning,
+                layer: Some(li),
+                message: format!(
+                    "layer {li} ({name:?}) paints no cells at {w}x{h} — shape too small \
+                     or off the flag"
+                ),
+            });
+        } else if visible.is_empty() {
+            out.push(Lint {
+                level: LintLevel::Warning,
+                layer: Some(li),
+                message: format!(
+                    "layer {li} ({name:?}) is completely overpainted by later layers — \
+                     students would color {} cells for nothing",
+                    painted.len()
+                ),
+            });
+        } else if visible.len() * 4 < painted.len() {
+            out.push(Lint {
+                level: LintLevel::Note,
+                layer: Some(li),
+                message: format!(
+                    "layer {li} ({name:?}): only {}/{} painted cells stay visible — \
+                     heavy overpainting; consider a flat decomposition",
+                    visible.len(),
+                    painted.len()
+                ),
+            });
+        }
+    }
+
+    let blank = (w as usize * h as usize) - flag.painted_region().len();
+    if blank > 0 {
+        out.push(Lint {
+            level: LintLevel::Note,
+            layer: None,
+            message: format!(
+                "{blank} cells are blank (no layer covers them) — fine if paper-white \
+                 is intended"
+            ),
+        });
+    }
+    out
+}
+
+/// Render lints for the CLI.
+pub fn render_lints(lints: &[Lint]) -> String {
+    use std::fmt::Write as _;
+    if lints.is_empty() {
+        return "no lints — the spec looks clean\n".to_owned();
+    }
+    let mut out = String::new();
+    for l in lints {
+        let tag = match l.level {
+            LintLevel::Warning => "warning",
+            LintLevel::Note => "note",
+        };
+        let _ = writeln!(out, "{tag}: {}", l.message);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::pt;
+    use crate::{library, Layer, Shape};
+    use flagsim_grid::Color;
+
+    #[test]
+    fn library_flags_have_no_warnings() {
+        for flag in library::all() {
+            let warnings: Vec<_> = lint(&flag)
+                .into_iter()
+                .filter(|l| l.level == LintLevel::Warning)
+                .collect();
+            assert!(warnings.is_empty(), "{}: {warnings:?}", flag.name);
+        }
+    }
+
+    #[test]
+    fn invisible_layer_is_flagged() {
+        let flag = FlagSpec::new(
+            "buried",
+            8,
+            8,
+            vec![
+                Layer::new("hidden", Color::Red, Shape::Full),
+                Layer::new("cover", Color::Blue, Shape::Full),
+            ],
+        );
+        let lints = lint(&flag);
+        assert!(lints
+            .iter()
+            .any(|l| l.level == LintLevel::Warning && l.message.contains("overpainted")));
+    }
+
+    #[test]
+    fn empty_layer_is_flagged() {
+        let flag = FlagSpec::new(
+            "tiny dot",
+            4,
+            4,
+            vec![
+                Layer::new("bg", Color::Blue, Shape::Full),
+                Layer::new(
+                    "dot",
+                    Color::White,
+                    Shape::Disc {
+                        center: pt(0.2, 0.2),
+                        r: 0.01, // misses every cell center at 4x4
+                        aspect: 1.0,
+                    },
+                ),
+            ],
+        );
+        let lints = lint(&flag);
+        assert!(lints
+            .iter()
+            .any(|l| l.level == LintLevel::Warning && l.message.contains("paints no cells")));
+    }
+
+    #[test]
+    fn blank_cells_are_noted() {
+        let flag = FlagSpec::new(
+            "half",
+            8,
+            8,
+            vec![Layer::new(
+                "left",
+                Color::Red,
+                Shape::Rect {
+                    u0: 0.0,
+                    v0: 0.0,
+                    u1: 0.5,
+                    v1: 1.0,
+                },
+            )],
+        );
+        let lints = lint(&flag);
+        assert!(lints
+            .iter()
+            .any(|l| l.level == LintLevel::Note && l.message.contains("32 cells are blank")));
+        assert!(render_lints(&lints).contains("note:"));
+    }
+
+    #[test]
+    fn clean_spec_renders_clean() {
+        assert!(render_lints(&[]).contains("no lints"));
+    }
+}

@@ -1,0 +1,503 @@
+//! A compact text format for flag specifications.
+//!
+//! Instructors shouldn't need Rust to add a flag. The format is
+//! line-oriented:
+//!
+//! ```text
+//! # comment
+//! flag "Test" 12x8
+//! layer "background" blue full
+//! layer "left half" red rect 0 0 0.5 1
+//! layer "white details" white band 0 0 1 1 0.05
+//! + cross 0.5 0.5 0.14 0.28
+//! ```
+//!
+//! One `flag` header, then `layer` lines (name, color, shape); `+` lines
+//! add more shapes to the current layer. Shapes take unit-square
+//! coordinates; `disc`, `band` and `star` get the flag's aspect ratio
+//! automatically. Colors are the named palette (`red`, `blue`, `yellow`,
+//! `green`, `white`, `black`, `orange`) or `rgb R G B`.
+//!
+//! [`to_text`] writes the same format back out; `parse(to_text(f))`
+//! reproduces `f`.
+
+use crate::shape::{pt, Pt, Shape};
+use crate::{FlagSpec, Layer};
+use flagsim_grid::Color;
+use std::fmt::Write as _;
+
+/// A parse failure, with the 1-based line it happened on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Split a line into tokens, keeping `"quoted strings"` whole.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => {
+                if quoted {
+                    out.push(std::mem::take(&mut cur));
+                }
+                quoted = !quoted;
+            }
+            c if c.is_whitespace() && !quoted => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_f64(tok: &str, line: usize) -> Result<f64, ParseError> {
+    tok.parse::<f64>()
+        .map_err(|_| ParseError {
+            line,
+            message: format!("expected a number, got {tok:?}"),
+        })
+        .and_then(|v| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                err(line, format!("non-finite number {tok:?}"))
+            }
+        })
+}
+
+fn parse_color(tokens: &[String], line: usize) -> Result<(Color, usize), ParseError> {
+    let name = tokens
+        .first()
+        .ok_or_else(|| ParseError {
+            line,
+            message: "missing color".into(),
+        })?
+        .as_str();
+    if name == "rgb" {
+        if tokens.len() < 4 {
+            return err(line, "rgb needs three components");
+        }
+        let comp = |i: usize| -> Result<u8, ParseError> {
+            tokens[i].parse::<u8>().map_err(|_| ParseError {
+                line,
+                message: format!("bad rgb component {:?}", tokens[i]),
+            })
+        };
+        return Ok((Color::Rgb(comp(1)?, comp(2)?, comp(3)?), 4));
+    }
+    let color = match name {
+        "red" => Color::Red,
+        "blue" => Color::Blue,
+        "yellow" => Color::Yellow,
+        "green" => Color::Green,
+        "white" => Color::White,
+        "black" => Color::Black,
+        "orange" => Color::Orange,
+        other => return err(line, format!("unknown color {other:?}")),
+    };
+    Ok((color, 1))
+}
+
+fn parse_shape(tokens: &[String], aspect: f64, line: usize) -> Result<Shape, ParseError> {
+    let kind = tokens
+        .first()
+        .ok_or_else(|| ParseError {
+            line,
+            message: "missing shape".into(),
+        })?
+        .as_str();
+    let args: Result<Vec<f64>, ParseError> =
+        tokens[1..].iter().map(|t| parse_f64(t, line)).collect();
+    let args = args?;
+    let need = |n: usize| -> Result<(), ParseError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("{kind} takes {n} numbers, got {}", args.len()),
+            )
+        }
+    };
+    Ok(match kind {
+        "full" => {
+            need(0)?;
+            Shape::Full
+        }
+        "rect" => {
+            need(4)?;
+            Shape::Rect {
+                u0: args[0],
+                v0: args[1],
+                u1: args[2],
+                v1: args[3],
+            }
+        }
+        "hstripe" => {
+            need(2)?;
+            Shape::HStripe {
+                index: args[0] as u32,
+                count: args[1] as u32,
+            }
+        }
+        "vstripe" => {
+            need(2)?;
+            Shape::VStripe {
+                index: args[0] as u32,
+                count: args[1] as u32,
+            }
+        }
+        "triangle" => {
+            need(6)?;
+            Shape::Triangle {
+                a: pt(args[0], args[1]),
+                b: pt(args[2], args[3]),
+                c: pt(args[4], args[5]),
+            }
+        }
+        "disc" => {
+            need(3)?;
+            Shape::Disc {
+                center: pt(args[0], args[1]),
+                r: args[2],
+                aspect,
+            }
+        }
+        "band" => {
+            need(5)?;
+            Shape::Band {
+                a: pt(args[0], args[1]),
+                b: pt(args[2], args[3]),
+                halfwidth: args[4],
+                aspect,
+            }
+        }
+        "cross" => {
+            need(4)?;
+            Shape::Cross {
+                center: pt(args[0], args[1]),
+                arm_w: args[2],
+                arm_h: args[3],
+            }
+        }
+        "star" => {
+            need(5)?;
+            Shape::Star {
+                center: pt(args[0], args[1]),
+                r: args[2],
+                inner: args[3],
+                points: args[4] as u32,
+                aspect,
+            }
+        }
+        "polygon" => {
+            if args.len() < 6 || args.len() % 2 != 0 {
+                return err(line, "polygon needs at least three u v pairs");
+            }
+            Shape::Polygon(args.chunks(2).map(|c| pt(c[0], c[1])).collect())
+        }
+        other => return err(line, format!("unknown shape {other:?}")),
+    })
+}
+
+/// Parse a flag from the text format.
+pub fn parse(text: &str) -> Result<FlagSpec, ParseError> {
+    let mut header: Option<(String, u32, u32)> = None;
+    let mut layers: Vec<Layer> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens = tokenize(line);
+        match tokens[0].as_str() {
+            "flag" => {
+                if header.is_some() {
+                    return err(lineno, "duplicate flag header");
+                }
+                if tokens.len() != 3 {
+                    return err(lineno, "usage: flag \"Name\" WxH");
+                }
+                let (w, h) = tokens[2]
+                    .split_once('x')
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: format!("bad size {:?}, expected WxH", tokens[2]),
+                    })?;
+                let w: u32 = w.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    message: format!("bad width {w:?}"),
+                })?;
+                let h: u32 = h.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    message: format!("bad height {h:?}"),
+                })?;
+                if w == 0 || h == 0 {
+                    return err(lineno, "size must be nonzero");
+                }
+                header = Some((tokens[1].clone(), w, h));
+            }
+            "layer" => {
+                let Some((_, w, h)) = &header else {
+                    return err(lineno, "layer before flag header");
+                };
+                if tokens.len() < 3 {
+                    return err(lineno, "usage: layer \"name\" color shape …");
+                }
+                let aspect = f64::from(*w) / f64::from(*h);
+                let name = tokens[1].clone();
+                let (color, used) = parse_color(&tokens[2..], lineno)?;
+                let shape = parse_shape(&tokens[2 + used..], aspect, lineno)?;
+                layers.push(Layer::new(name, color, shape));
+            }
+            "+" => {
+                let Some((_, w, h)) = &header else {
+                    return err(lineno, "shape continuation before flag header");
+                };
+                let aspect = f64::from(*w) / f64::from(*h);
+                let Some(last) = layers.last_mut() else {
+                    return err(lineno, "shape continuation before any layer");
+                };
+                last.shapes.push(parse_shape(&tokens[1..], aspect, lineno)?);
+            }
+            other => return err(lineno, format!("unknown directive {other:?}")),
+        }
+    }
+    let Some((name, w, h)) = header else {
+        return err(1, "missing flag header");
+    };
+    if layers.is_empty() {
+        return err(1, "flag has no layers");
+    }
+    Ok(FlagSpec::new(name, w, h, layers))
+}
+
+fn write_pt(out: &mut String, p: Pt) {
+    let _ = write!(out, " {} {}", p.u, p.v);
+}
+
+fn shape_text(shape: &Shape) -> String {
+    let mut s = String::new();
+    match shape {
+        Shape::Full => s.push_str("full"),
+        Shape::Rect { u0, v0, u1, v1 } => {
+            let _ = write!(s, "rect {u0} {v0} {u1} {v1}");
+        }
+        Shape::HStripe { index, count } => {
+            let _ = write!(s, "hstripe {index} {count}");
+        }
+        Shape::VStripe { index, count } => {
+            let _ = write!(s, "vstripe {index} {count}");
+        }
+        Shape::Triangle { a, b, c } => {
+            s.push_str("triangle");
+            write_pt(&mut s, *a);
+            write_pt(&mut s, *b);
+            write_pt(&mut s, *c);
+        }
+        Shape::Disc { center, r, .. } => {
+            let _ = write!(s, "disc {} {} {r}", center.u, center.v);
+        }
+        Shape::Band {
+            a, b, halfwidth, ..
+        } => {
+            s.push_str("band");
+            write_pt(&mut s, *a);
+            write_pt(&mut s, *b);
+            let _ = write!(s, " {halfwidth}");
+        }
+        Shape::Cross {
+            center,
+            arm_w,
+            arm_h,
+        } => {
+            let _ = write!(s, "cross {} {} {arm_w} {arm_h}", center.u, center.v);
+        }
+        Shape::Star {
+            center,
+            r,
+            inner,
+            points,
+            ..
+        } => {
+            let _ = write!(s, "star {} {} {r} {inner} {points}", center.u, center.v);
+        }
+        Shape::Polygon(pts) => {
+            s.push_str("polygon");
+            for p in pts {
+                write_pt(&mut s, *p);
+            }
+        }
+    }
+    s
+}
+
+fn color_text(c: Color) -> String {
+    match c {
+        Color::Rgb(r, g, b) => format!("rgb {r} {g} {b}"),
+        other => other.name().to_owned(),
+    }
+}
+
+/// Write a flag back to the text format.
+pub fn to_text(flag: &FlagSpec) -> String {
+    let mut out = format!(
+        "flag \"{}\" {}x{}\n",
+        flag.name, flag.default_width, flag.default_height
+    );
+    for layer in &flag.layers {
+        let _ = writeln!(
+            out,
+            "layer \"{}\" {} {}",
+            layer.name,
+            color_text(layer.color),
+            shape_text(&layer.shapes[0])
+        );
+        for shape in &layer.shapes[1..] {
+            let _ = writeln!(out, "+ {}", shape_text(shape));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn parse_minimal_flag() {
+        let f = parse(
+            r#"
+            # a test flag
+            flag "Half" 8x4
+            layer "background" blue full
+            layer "left" red rect 0 0 0.5 1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(f.name, "Half");
+        assert_eq!((f.default_width, f.default_height), (8, 4));
+        assert_eq!(f.layer_count(), 2);
+        assert_eq!(f.color_at(0.25, 0.5), Color::Red);
+        assert_eq!(f.color_at(0.75, 0.5), Color::Blue);
+    }
+
+    #[test]
+    fn continuation_lines_extend_the_layer() {
+        let f = parse(
+            r#"
+            flag "Bars" 10x10
+            layer "bars" red rect 0 0 0.1 1
+            + rect 0.9 0 1 1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(f.layer_count(), 1);
+        assert_eq!(f.layers[0].shapes.len(), 2);
+        assert!(f.layers[0].contains(0.05, 0.5));
+        assert!(f.layers[0].contains(0.95, 0.5));
+        assert!(!f.layers[0].contains(0.5, 0.5));
+    }
+
+    #[test]
+    fn rgb_and_every_shape_kind_parse() {
+        let f = parse(
+            r#"
+            flag "Zoo" 16x8
+            layer "bg" rgb 10 20 30 full
+            layer "s1" red hstripe 0 4
+            layer "s2" blue vstripe 1 4
+            layer "t" green triangle 0 0 0 1 0.4 0.5
+            layer "d" white disc 0.5 0.5 0.1
+            layer "b" yellow band 0 0 1 1 0.05
+            layer "c" black cross 0.5 0.5 0.1 0.2
+            layer "st" orange star 0.5 0.5 0.2 0.5 5
+            layer "p" red polygon 0.1 0.1 0.9 0.1 0.5 0.9
+            "#,
+        )
+        .unwrap();
+        assert_eq!(f.layer_count(), 9);
+        assert_eq!(f.layers[0].color, Color::Rgb(10, 20, 30));
+        // Shapes with aspect got the flag's 2.0.
+        match &f.layers[4].shapes[0] {
+            Shape::Disc { aspect, .. } => assert_eq!(*aspect, 2.0),
+            other => panic!("expected disc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("flag \"X\" 4x4\nlayer \"a\" mauve full\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("mauve"));
+
+        let e = parse("layer \"a\" red full\n").unwrap_err();
+        assert!(e.message.contains("before flag header"));
+
+        let e = parse("flag \"X\" 4x4\nlayer \"a\" red rect 1 2 3\n").unwrap_err();
+        assert!(e.message.contains("4 numbers"));
+
+        let e = parse("flag \"X\" 0x4\nlayer \"a\" red full\n").unwrap_err();
+        assert!(e.message.contains("nonzero"));
+
+        let e = parse("flag \"X\" 4x4\n+ rect 0 0 1 1\n").unwrap_err();
+        assert!(e.message.contains("before any layer"));
+
+        assert!(parse("").is_err());
+        assert!(parse("flag \"X\" 4x4\n").is_err()); // no layers
+    }
+
+    #[test]
+    fn library_roundtrips_through_text() {
+        for flag in library::all() {
+            let text = to_text(&flag);
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", flag.name));
+            assert_eq!(parsed.name, flag.name);
+            assert_eq!(parsed.layer_count(), flag.layer_count());
+            // Same raster — the real equivalence that matters.
+            let a = flag.rasterize();
+            let b = parsed.rasterize();
+            assert!(
+                flagsim_grid::diff(&a, &b).is_identical(),
+                "{} raster changed through text roundtrip",
+                flag.name
+            );
+        }
+    }
+
+    #[test]
+    fn quoted_names_keep_spaces() {
+        let f = parse("flag \"Two Words\" 4x4\nlayer \"long layer name\" red full\n").unwrap();
+        assert_eq!(f.name, "Two Words");
+        assert_eq!(f.layers[0].name, "long layer name");
+    }
+}

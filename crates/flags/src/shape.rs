@@ -1,0 +1,386 @@
+//! Resolution-independent shape geometry.
+//!
+//! Shapes live in the unit square: `u` runs 0→1 left-to-right, `v` runs
+//! 0→1 top-to-bottom. Rasterization tests each cell's *center*, so a shape
+//! covers a cell iff it contains the center point. All geometry is pure
+//! `f64` point-in-shape testing; no anti-aliasing (gridded paper has none).
+
+/// A point in the unit square (`u` rightward, `v` downward).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pt {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub u: f64,
+    /// Vertical coordinate in `[0, 1]` (0 = top).
+    pub v: f64,
+}
+
+/// Shorthand constructor for a [`Pt`].
+pub const fn pt(u: f64, v: f64) -> Pt {
+    Pt { u, v }
+}
+
+/// A testable shape in the unit square.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// The whole flag.
+    Full,
+    /// Axis-aligned rectangle `[u0, u1) × [v0, v1)`.
+    Rect {
+        /// Left edge.
+        u0: f64,
+        /// Top edge.
+        v0: f64,
+        /// Right edge (exclusive).
+        u1: f64,
+        /// Bottom edge (exclusive).
+        v1: f64,
+    },
+    /// Horizontal stripe `index` of `count` equal stripes (0 = top).
+    HStripe {
+        /// Stripe index from the top.
+        index: u32,
+        /// Total number of stripes.
+        count: u32,
+    },
+    /// Vertical stripe `index` of `count` equal stripes (0 = left).
+    VStripe {
+        /// Stripe index from the left.
+        index: u32,
+        /// Total number of stripes.
+        count: u32,
+    },
+    /// Triangle with vertices `a`, `b`, `c`.
+    Triangle {
+        /// First vertex.
+        a: Pt,
+        /// Second vertex.
+        b: Pt,
+        /// Third vertex.
+        c: Pt,
+    },
+    /// Disc centered at `center` with radius `r` (in `u` units; `v`
+    /// distances are scaled by `aspect` = width/height so discs stay round
+    /// on non-square flags).
+    Disc {
+        /// Center point.
+        center: Pt,
+        /// Radius in `u` units.
+        r: f64,
+        /// Flag aspect ratio (width / height) used to keep the disc round.
+        aspect: f64,
+    },
+    /// A band of half-width `halfwidth` around the infinite line through
+    /// `a` and `b` (distance measured in aspect-corrected space). Used for
+    /// the diagonals of the Union Jack's saltire.
+    Band {
+        /// One point on the center line.
+        a: Pt,
+        /// Another point on the center line.
+        b: Pt,
+        /// Half the band's width, in `u` units.
+        halfwidth: f64,
+        /// Flag aspect ratio (width / height).
+        aspect: f64,
+    },
+    /// An upright cross: a vertical bar of width `arm_w` and a horizontal
+    /// bar of height `arm_h`, both through `center`.
+    Cross {
+        /// Crossing point of the two bars.
+        center: Pt,
+        /// Width of the vertical bar (in `u` units).
+        arm_w: f64,
+        /// Height of the horizontal bar (in `v` units).
+        arm_h: f64,
+    },
+    /// Simple polygon (even-odd fill rule). Vertices in order; the closing
+    /// edge is implicit.
+    Polygon(Vec<Pt>),
+    /// A `points`-pointed star centered at `center`, outer radius `r`,
+    /// inner radius `r * inner`, first point straight up. Rendered via the
+    /// even-odd polygon rule.
+    Star {
+        /// Center of the star.
+        center: Pt,
+        /// Outer radius in `u` units.
+        r: f64,
+        /// Inner/outer radius ratio in `(0, 1)`.
+        inner: f64,
+        /// Number of points (≥ 3).
+        points: u32,
+        /// Flag aspect ratio (width / height).
+        aspect: f64,
+    },
+}
+
+impl Shape {
+    /// Whether the shape contains the point `(u, v)`.
+    pub fn contains(&self, u: f64, v: f64) -> bool {
+        match self {
+            Shape::Full => (0.0..1.0).contains(&u) && (0.0..1.0).contains(&v),
+            Shape::Rect { u0, v0, u1, v1 } => u >= *u0 && u < *u1 && v >= *v0 && v < *v1,
+            Shape::HStripe { index, count } => {
+                let lo = *index as f64 / *count as f64;
+                let hi = (*index + 1) as f64 / *count as f64;
+                v >= lo && v < hi
+            }
+            Shape::VStripe { index, count } => {
+                let lo = *index as f64 / *count as f64;
+                let hi = (*index + 1) as f64 / *count as f64;
+                u >= lo && u < hi
+            }
+            Shape::Triangle { a, b, c } => point_in_triangle(pt(u, v), *a, *b, *c),
+            Shape::Disc { center, r, aspect } => {
+                let du = u - center.u;
+                let dv = (v - center.v) / aspect;
+                du * du + dv * dv <= r * r
+            }
+            Shape::Band {
+                a,
+                b,
+                halfwidth,
+                aspect,
+            } => {
+                // Work in aspect-corrected space so "width" is isotropic.
+                let (ax, ay) = (a.u, a.v / aspect);
+                let (bx, by) = (b.u, b.v / aspect);
+                let (px, py) = (u, v / aspect);
+                let (dx, dy) = (bx - ax, by - ay);
+                let len = (dx * dx + dy * dy).sqrt();
+                if len == 0.0 {
+                    return false;
+                }
+                let dist = ((px - ax) * dy - (py - ay) * dx).abs() / len;
+                dist <= *halfwidth
+            }
+            Shape::Cross {
+                center,
+                arm_w,
+                arm_h,
+            } => {
+                (u - center.u).abs() <= arm_w / 2.0 || (v - center.v).abs() <= arm_h / 2.0
+            }
+            Shape::Polygon(verts) => point_in_polygon(pt(u, v), verts),
+            Shape::Star {
+                center,
+                r,
+                inner,
+                points,
+                aspect,
+            } => {
+                let verts = star_vertices(*center, *r, *inner, *points, *aspect);
+                point_in_polygon(pt(u, v), &verts)
+            }
+        }
+    }
+
+    /// A crude area estimate via an `n × n` sample of the unit square
+    /// (cell centers). Used to weight layer tasks by work.
+    pub fn sample_area(&self, n: u32) -> f64 {
+        let mut hits = 0u64;
+        for j in 0..n {
+            for i in 0..n {
+                let u = (i as f64 + 0.5) / n as f64;
+                let v = (j as f64 + 0.5) / n as f64;
+                if self.contains(u, v) {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / (n as f64 * n as f64)
+    }
+}
+
+fn sign(p: Pt, q: Pt, r: Pt) -> f64 {
+    (p.u - r.u) * (q.v - r.v) - (q.u - r.u) * (p.v - r.v)
+}
+
+fn point_in_triangle(p: Pt, a: Pt, b: Pt, c: Pt) -> bool {
+    let d1 = sign(p, a, b);
+    let d2 = sign(p, b, c);
+    let d3 = sign(p, c, a);
+    let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+    let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+    !(has_neg && has_pos)
+}
+
+/// Even-odd rule point-in-polygon.
+fn point_in_polygon(p: Pt, verts: &[Pt]) -> bool {
+    if verts.len() < 3 {
+        return false;
+    }
+    let mut inside = false;
+    let mut j = verts.len() - 1;
+    for i in 0..verts.len() {
+        let (vi, vj) = (verts[i], verts[j]);
+        if (vi.v > p.v) != (vj.v > p.v) {
+            let x = (vj.u - vi.u) * (p.v - vi.v) / (vj.v - vi.v) + vi.u;
+            if p.u < x {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Vertices of a star polygon, alternating outer/inner radii, starting
+/// straight up from the center.
+pub fn star_vertices(center: Pt, r: f64, inner: f64, points: u32, aspect: f64) -> Vec<Pt> {
+    assert!(points >= 3, "a star needs at least 3 points");
+    let n = points * 2;
+    (0..n)
+        .map(|k| {
+            let radius = if k % 2 == 0 { r } else { r * inner };
+            let theta = std::f64::consts::PI * (k as f64 / points as f64) - std::f64::consts::FRAC_PI_2;
+            pt(
+                center.u + radius * theta.cos(),
+                center.v + radius * theta.sin() * aspect,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_covers_unit_square_only() {
+        assert!(Shape::Full.contains(0.0, 0.0));
+        assert!(Shape::Full.contains(0.999, 0.999));
+        assert!(!Shape::Full.contains(1.0, 0.5));
+        assert!(!Shape::Full.contains(-0.01, 0.5));
+    }
+
+    #[test]
+    fn hstripe_partitions_v_axis() {
+        for (v, idx) in [(0.1, 0), (0.3, 1), (0.6, 2), (0.9, 3)] {
+            for index in 0..4 {
+                let s = Shape::HStripe { index, count: 4 };
+                assert_eq!(s.contains(0.5, v), index == idx, "v={v} index={index}");
+            }
+        }
+    }
+
+    #[test]
+    fn vstripe_partitions_u_axis() {
+        let s = Shape::VStripe { index: 1, count: 3 };
+        assert!(!s.contains(0.2, 0.5));
+        assert!(s.contains(0.5, 0.5));
+        assert!(!s.contains(0.8, 0.5));
+    }
+
+    #[test]
+    fn triangle_contains_centroid_not_outside() {
+        let (a, b, c) = (pt(0.0, 0.0), pt(0.0, 1.0), pt(0.5, 0.5));
+        let t = Shape::Triangle { a, b, c };
+        assert!(t.contains(0.16, 0.5)); // centroid-ish
+        assert!(!t.contains(0.6, 0.5));
+        assert!(!t.contains(0.3, 0.05));
+    }
+
+    #[test]
+    fn triangle_winding_does_not_matter() {
+        let t1 = Shape::Triangle {
+            a: pt(0.0, 0.0),
+            b: pt(1.0, 0.0),
+            c: pt(0.5, 1.0),
+        };
+        let t2 = Shape::Triangle {
+            a: pt(0.5, 1.0),
+            b: pt(1.0, 0.0),
+            c: pt(0.0, 0.0),
+        };
+        for (u, v) in [(0.5, 0.5), (0.1, 0.05), (0.9, 0.9), (0.5, 0.01)] {
+            assert_eq!(t1.contains(u, v), t2.contains(u, v), "at ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn disc_respects_aspect() {
+        // aspect 2 (twice as wide as tall): the v axis is physically
+        // shorter, so v offsets count *half* in u units.
+        let d = Shape::Disc {
+            center: pt(0.5, 0.5),
+            r: 0.2,
+            aspect: 2.0,
+        };
+        assert!(d.contains(0.65, 0.5)); // 0.15 horizontal < r
+        assert!(!d.contains(0.75, 0.5)); // 0.25 horizontal > r
+        assert!(d.contains(0.5, 0.85)); // 0.35 vertical = 0.175 corrected < r
+        assert!(!d.contains(0.5, 0.95)); // 0.45 vertical = 0.225 corrected > r
+    }
+
+    #[test]
+    fn band_measures_perpendicular_distance() {
+        // Diagonal of a square flag (aspect 1), halfwidth 0.1.
+        let b = Shape::Band {
+            a: pt(0.0, 0.0),
+            b: pt(1.0, 1.0),
+            halfwidth: 0.1,
+            aspect: 1.0,
+        };
+        assert!(b.contains(0.5, 0.5));
+        assert!(b.contains(0.5, 0.6)); // dist ≈ 0.07
+        assert!(!b.contains(0.5, 0.8)); // dist ≈ 0.21
+    }
+
+    #[test]
+    fn degenerate_band_contains_nothing() {
+        let b = Shape::Band {
+            a: pt(0.5, 0.5),
+            b: pt(0.5, 0.5),
+            halfwidth: 0.5,
+            aspect: 1.0,
+        };
+        assert!(!b.contains(0.5, 0.5));
+    }
+
+    #[test]
+    fn cross_is_union_of_bars() {
+        let c = Shape::Cross {
+            center: pt(0.5, 0.5),
+            arm_w: 0.2,
+            arm_h: 0.2,
+        };
+        assert!(c.contains(0.5, 0.05)); // on the vertical bar
+        assert!(c.contains(0.05, 0.5)); // on the horizontal bar
+        assert!(!c.contains(0.2, 0.2)); // in a quadrant
+    }
+
+    #[test]
+    fn polygon_even_odd() {
+        // Unit diamond.
+        let p = Shape::Polygon(vec![pt(0.5, 0.0), pt(1.0, 0.5), pt(0.5, 1.0), pt(0.0, 0.5)]);
+        assert!(p.contains(0.5, 0.5));
+        assert!(!p.contains(0.05, 0.05));
+        // Degenerate polygon is empty.
+        assert!(!Shape::Polygon(vec![pt(0.0, 0.0), pt(1.0, 1.0)]).contains(0.5, 0.5));
+    }
+
+    #[test]
+    fn star_contains_center_and_points_up() {
+        let s = Shape::Star {
+            center: pt(0.5, 0.5),
+            r: 0.4,
+            inner: 0.5,
+            points: 5,
+            aspect: 1.0,
+        };
+        assert!(s.contains(0.5, 0.5));
+        assert!(s.contains(0.5, 0.15)); // top point reaches up
+        assert!(!s.contains(0.5, 0.95));
+    }
+
+    #[test]
+    fn sample_area_half_rect() {
+        let r = Shape::Rect {
+            u0: 0.0,
+            v0: 0.0,
+            u1: 0.5,
+            v1: 1.0,
+        };
+        let a = r.sample_area(64);
+        assert!((a - 0.5).abs() < 0.02, "area {a}");
+    }
+}

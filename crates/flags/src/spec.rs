@@ -1,0 +1,309 @@
+//! Flag specifications and rasterization.
+
+use crate::Layer;
+use flagsim_grid::{Color, Coord, Grid, Region};
+
+/// A complete flag: a name, a recommended raster size, and an ordered stack
+/// of [`Layer`]s painted bottom-to-top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlagSpec {
+    /// The flag's name ("Mauritius", "Great Britain", …).
+    pub name: String,
+    /// Recommended raster width in cells (the paper's gridded handouts are
+    /// small — tens of cells — so defaults are classroom-sized).
+    pub default_width: u32,
+    /// Recommended raster height in cells.
+    pub default_height: u32,
+    /// Painting layers, bottom (painted first) to top.
+    pub layers: Vec<Layer>,
+}
+
+impl FlagSpec {
+    /// Construct a spec. Panics if there are no layers or the default size
+    /// is degenerate.
+    pub fn new(
+        name: impl Into<String>,
+        default_width: u32,
+        default_height: u32,
+        layers: Vec<Layer>,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a flag needs at least one layer");
+        assert!(
+            default_width > 0 && default_height > 0,
+            "default size must be nonzero"
+        );
+        FlagSpec {
+            name: name.into(),
+            default_width,
+            default_height,
+            layers,
+        }
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Aspect ratio (width / height) of the default raster.
+    pub fn aspect(&self) -> f64 {
+        self.default_width as f64 / self.default_height as f64
+    }
+
+    /// The topmost layer covering `(u, v)`, if any.
+    pub fn top_layer_at(&self, u: f64, v: f64) -> Option<usize> {
+        self.layers.iter().rposition(|l| l.contains(u, v))
+    }
+
+    /// The final visible color at `(u, v)` (blank where no layer paints).
+    pub fn color_at(&self, u: f64, v: f64) -> Color {
+        self.top_layer_at(u, v)
+            .map(|i| self.layers[i].color)
+            .unwrap_or(Color::Blank)
+    }
+
+    /// Rasterize at the recommended size. See [`FlagSpec::rasterize_at`].
+    pub fn rasterize(&self) -> Grid {
+        self.rasterize_at(self.default_width, self.default_height)
+    }
+
+    /// Rasterize by painting every layer in order — the *layered* rendering
+    /// that overpaints (cells covered by several layers receive several
+    /// strokes, as a student coloring layer-by-layer would do).
+    pub fn rasterize_at(&self, width: u32, height: u32) -> Grid {
+        let mut grid = Grid::new(width, height);
+        for li in 0..self.layers.len() {
+            for id in self.layer_cells_at(li, width, height).iter() {
+                grid.paint(id, self.layers[li].color);
+            }
+        }
+        grid
+    }
+
+    /// Rasterize painting each cell exactly once with its final visible
+    /// color — the *flat* rendering (how the core activity colors
+    /// Mauritius: nobody overpaints, every cell gets one stroke).
+    pub fn rasterize_flat(&self) -> Grid {
+        self.rasterize_flat_at(self.default_width, self.default_height)
+    }
+
+    /// Flat rasterization at an explicit size. Cells not covered by any
+    /// layer stay blank.
+    pub fn rasterize_flat_at(&self, width: u32, height: u32) -> Grid {
+        let mut grid = Grid::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let (u, v) = cell_center(x, y, width, height);
+                let c = self.color_at(u, v);
+                if c.is_painted() {
+                    grid.paint_at(Coord::new(x, y), c);
+                }
+            }
+        }
+        grid
+    }
+
+    /// All cells layer `li` paints (including cells later layers will
+    /// overpaint), in row-major order, at the recommended size.
+    pub fn layer_cells(&self, li: usize) -> Region {
+        self.layer_cells_at(li, self.default_width, self.default_height)
+    }
+
+    /// All cells layer `li` paints at an explicit raster size.
+    pub fn layer_cells_at(&self, li: usize, width: u32, height: u32) -> Region {
+        let layer = &self.layers[li];
+        let mut r = Region::new();
+        for y in 0..height {
+            for x in 0..width {
+                let (u, v) = cell_center(x, y, width, height);
+                if layer.contains(u, v) {
+                    r.push(Coord::new(x, y).to_id(width));
+                }
+            }
+        }
+        r
+    }
+
+    /// Cells where layer `li` is the topmost (visible) layer, at the
+    /// recommended size. In a flat coloring these are the only cells the
+    /// layer's color actually fills.
+    pub fn visible_cells(&self, li: usize) -> Region {
+        self.visible_cells_at(li, self.default_width, self.default_height)
+    }
+
+    /// Visible cells of a layer at an explicit raster size.
+    pub fn visible_cells_at(&self, li: usize, width: u32, height: u32) -> Region {
+        let mut r = Region::new();
+        for y in 0..height {
+            for x in 0..width {
+                let (u, v) = cell_center(x, y, width, height);
+                if self.top_layer_at(u, v) == Some(li) {
+                    r.push(Coord::new(x, y).to_id(width));
+                }
+            }
+        }
+        r
+    }
+
+    /// The region of every cell covered by any layer.
+    pub fn painted_region(&self) -> Region {
+        let (w, h) = (self.default_width, self.default_height);
+        let mut r = Region::new();
+        for y in 0..h {
+            for x in 0..w {
+                let (u, v) = cell_center(x, y, w, h);
+                if self.top_layer_at(u, v).is_some() {
+                    r.push(Coord::new(x, y).to_id(w));
+                }
+            }
+        }
+        r
+    }
+
+    /// Layer dependency pairs `(i, j)` with `i < j`: layer `j` must wait
+    /// for layer `i` because they paint overlapping cells (painting them in
+    /// the wrong order would produce the wrong flag). This is exactly the
+    /// dependency structure the Knox follow-up activity has students draw.
+    ///
+    /// Pairs are reported at the recommended raster size and are already
+    /// transitively complete over *direct* overlaps only — callers wanting
+    /// a minimal graph can apply transitive reduction from the taskgraph
+    /// crate.
+    pub fn layer_dependencies(&self) -> Vec<(usize, usize)> {
+        let (w, h) = (self.default_width, self.default_height);
+        let regions: Vec<Region> = (0..self.layers.len())
+            .map(|li| self.layer_cells_at(li, w, h))
+            .collect();
+        let mut deps = Vec::new();
+        for j in 1..regions.len() {
+            for i in 0..j {
+                if regions[i].overlaps(&regions[j]) {
+                    deps.push((i, j));
+                }
+            }
+        }
+        deps
+    }
+
+    /// Whether any two layers overlap at all. Flags like Mauritius are
+    /// "flat" (disjoint stripes — fully parallelizable); flags like Great
+    /// Britain are layered (dependencies limit parallelism).
+    pub fn is_layered(&self) -> bool {
+        !self.layer_dependencies().is_empty()
+    }
+
+    /// Total strokes a layered coloring performs (sum of all layer cell
+    /// counts) versus the flat cell count — the "extra work" price of the
+    /// painter's-algorithm approach.
+    pub fn layered_overhead(&self) -> f64 {
+        let painted = self.painted_region().len();
+        if painted == 0 {
+            return 0.0;
+        }
+        let strokes: usize = (0..self.layers.len())
+            .map(|li| self.layer_cells(li).len())
+            .sum();
+        strokes as f64 / painted as f64
+    }
+}
+
+/// The unit-square center of cell `(x, y)` on a `width × height` raster.
+#[inline]
+pub fn cell_center(x: u32, y: u32, width: u32, height: u32) -> (f64, f64) {
+    (
+        (x as f64 + 0.5) / width as f64,
+        (y as f64 + 0.5) / height as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn two_layer_flag() -> FlagSpec {
+        FlagSpec::new(
+            "test",
+            8,
+            4,
+            vec![
+                Layer::new("background", Color::Blue, Shape::Full),
+                Layer::new(
+                    "left half",
+                    Color::Red,
+                    Shape::Rect {
+                        u0: 0.0,
+                        v0: 0.0,
+                        u1: 0.5,
+                        v1: 1.0,
+                    },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn top_layer_wins() {
+        let f = two_layer_flag();
+        assert_eq!(f.color_at(0.25, 0.5), Color::Red);
+        assert_eq!(f.color_at(0.75, 0.5), Color::Blue);
+        assert_eq!(f.top_layer_at(0.25, 0.5), Some(1));
+    }
+
+    #[test]
+    fn layered_raster_overpaints_flat_does_not() {
+        let f = two_layer_flag();
+        let layered = f.rasterize();
+        let flat = f.rasterize_flat();
+        // Same final colors…
+        assert!(flagsim_grid::diff(&layered, &flat).is_identical());
+        // …but different stroke counts: layered paints 32 + 16, flat 32.
+        assert_eq!(layered.total_strokes(), 48);
+        assert_eq!(flat.total_strokes(), 32);
+    }
+
+    #[test]
+    fn visible_vs_painted_cells() {
+        let f = two_layer_flag();
+        assert_eq!(f.layer_cells(0).len(), 32); // background paints all
+        assert_eq!(f.visible_cells(0).len(), 16); // but shows only right half
+        assert_eq!(f.layer_cells(1).len(), 16);
+        assert_eq!(f.visible_cells(1).len(), 16);
+    }
+
+    #[test]
+    fn dependencies_detected() {
+        let f = two_layer_flag();
+        assert_eq!(f.layer_dependencies(), vec![(0, 1)]);
+        assert!(f.is_layered());
+    }
+
+    #[test]
+    fn disjoint_layers_have_no_dependencies() {
+        let f = FlagSpec::new(
+            "stripes",
+            6,
+            4,
+            vec![
+                Layer::new("top", Color::Red, Shape::HStripe { index: 0, count: 2 }),
+                Layer::new("bottom", Color::Green, Shape::HStripe { index: 1, count: 2 }),
+            ],
+        );
+        assert!(f.layer_dependencies().is_empty());
+        assert!(!f.is_layered());
+        assert!((f.layered_overhead() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layered_overhead_counts_overpainting() {
+        let f = two_layer_flag();
+        // 48 strokes for 32 painted cells = 1.5×.
+        assert!((f.layered_overhead() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_spec_rejected() {
+        let _ = FlagSpec::new("empty", 4, 4, vec![]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: rasterization invariants that must hold for every flag
+//! in the library at any raster size.
+
+use flagsim_flags::shape::pt;
+use flagsim_flags::{library, parse, to_text, FlagSpec, Layer, Shape};
+use flagsim_grid::region::verify_partition;
+use flagsim_grid::{Color, Region};
+use proptest::prelude::*;
+
+fn frac() -> impl Strategy<Value = f64> {
+    // Coordinates with limited precision so text round-trips are exact.
+    (0u32..=100).prop_map(|v| f64::from(v) / 100.0)
+}
+
+fn color_strategy() -> impl Strategy<Value = Color> {
+    prop_oneof![
+        Just(Color::Red),
+        Just(Color::Blue),
+        Just(Color::Yellow),
+        Just(Color::Green),
+        Just(Color::White),
+        Just(Color::Black),
+        Just(Color::Orange),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Color::Rgb(r, g, b)),
+    ]
+}
+
+/// Shapes whose text form round-trips exactly. `aspect` must match the
+/// flag's width/height ratio, because the DSL derives it from the header.
+fn shape_strategy(aspect: f64) -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Full),
+        (frac(), frac(), frac(), frac()).prop_map(|(a, b, c, d)| Shape::Rect {
+            u0: a.min(c),
+            v0: b.min(d),
+            u1: a.max(c),
+            v1: b.max(d),
+        }),
+        (0u32..4, 1u32..5).prop_map(|(i, n)| Shape::HStripe {
+            index: i.min(n - 1),
+            count: n,
+        }),
+        (0u32..4, 1u32..5).prop_map(|(i, n)| Shape::VStripe {
+            index: i.min(n - 1),
+            count: n,
+        }),
+        (frac(), frac(), frac(), frac(), frac(), frac()).prop_map(|(a, b, c, d, e, f)| {
+            Shape::Triangle {
+                a: pt(a, b),
+                b: pt(c, d),
+                c: pt(e, f),
+            }
+        }),
+        (frac(), frac(), frac()).prop_map(move |(u, v, r)| Shape::Disc {
+            center: pt(u, v),
+            r: r / 2.0,
+            aspect,
+        }),
+        (frac(), frac(), frac(), frac()).prop_map(|(u, v, w, h)| Shape::Cross {
+            center: pt(u, v),
+            arm_w: w / 2.0,
+            arm_h: h / 2.0,
+        }),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = FlagSpec> {
+    (2u32..20, 2u32..16).prop_flat_map(|(w, h)| {
+        let aspect = f64::from(w) / f64::from(h);
+        proptest::collection::vec((color_strategy(), shape_strategy(aspect)), 1..5).prop_map(
+            move |layers| {
+                let layers = layers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (color, shape))| Layer::new(format!("layer {i}"), color, shape))
+                    .collect();
+                FlagSpec::new("prop flag", w, h, layers)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Layered and flat rasterizations agree on final colors.
+    #[test]
+    fn layered_equals_flat(idx in 0usize..13, w in 4u32..48, h in 4u32..48) {
+        let flag = &library::all()[idx];
+        let layered = flag.rasterize_at(w, h);
+        let flat = flag.rasterize_flat_at(w, h);
+        prop_assert!(flagsim_grid::diff(&layered, &flat).is_identical(),
+            "{} at {w}x{h}", flag.name);
+    }
+
+    /// Visible-cell regions partition the painted region exactly.
+    #[test]
+    fn visible_regions_partition(idx in 0usize..13, scale in 1u32..4) {
+        let flag = &library::all()[idx];
+        let (w, h) = (flag.default_width * scale, flag.default_height * scale);
+        let parts: Vec<Region> = (0..flag.layer_count())
+            .map(|li| flag.visible_cells_at(li, w, h))
+            .collect();
+        // Painted region at the same size.
+        let mut whole = Region::new();
+        for p in &parts {
+            for id in p.iter() {
+                whole.push(id);
+            }
+        }
+        // Each visible region must be a subset of its painted region, and
+        // together they must tile `whole` without overlap.
+        prop_assert!(verify_partition(&whole, &parts).is_ok(), "{}", flag.name);
+        for (li, part) in parts.iter().enumerate() {
+            let painted = flag.layer_cells_at(li, w, h);
+            for id in part.iter() {
+                prop_assert!(painted.contains(id),
+                    "{}: visible cell {id} of layer {li} not painted by it", flag.name);
+            }
+        }
+    }
+
+    /// Rasterization is deterministic.
+    #[test]
+    fn rasterize_deterministic(idx in 0usize..13) {
+        let flag = &library::all()[idx];
+        let a = flag.rasterize();
+        let b = flag.rasterize();
+        prop_assert!(flagsim_grid::diff(&a, &b).is_identical());
+    }
+
+    /// Arbitrary generated specs survive the text DSL round-trip with an
+    /// identical raster.
+    #[test]
+    fn generated_specs_roundtrip_through_text(spec in spec_strategy()) {
+        let text = to_text(&spec);
+        let parsed = parse(&text)
+            .unwrap_or_else(|e| panic!("unparseable own output: {e}\n{text}"));
+        prop_assert_eq!(parsed.layer_count(), spec.layer_count());
+        let a = spec.rasterize();
+        let b = parsed.rasterize();
+        prop_assert!(flagsim_grid::diff(&a, &b).is_identical(), "raster changed:\n{}", text);
+    }
+
+    /// Dependencies only ever point forward (i < j), involve real overlap,
+    /// and flat flags report none.
+    #[test]
+    fn dependencies_are_forward_overlaps(idx in 0usize..13) {
+        let flag = &library::all()[idx];
+        let (w, h) = (flag.default_width, flag.default_height);
+        for (i, j) in flag.layer_dependencies() {
+            prop_assert!(i < j);
+            let ri = flag.layer_cells_at(i, w, h);
+            let rj = flag.layer_cells_at(j, w, h);
+            prop_assert!(ri.overlaps(&rj));
+        }
+    }
+}

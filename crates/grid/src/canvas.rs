@@ -1,0 +1,209 @@
+//! The CS1 "flag coloring" programming-assignment API.
+//!
+//! The unplugged activity is the paper's translation of an existing CS1
+//! assignment (its reference \[9\]) in which "students practice loops by
+//! drawing flags using a library that allows them to set pixel values".
+//! This module *is* that library, sized for week-3 students: a canvas, a
+//! `set_pixel`, and nothing they haven't met yet. The convenience helpers
+//! (`fill_rect`, `h_stripe`, `v_stripe`) are the loops they write,
+//! provided for graders and tests.
+//!
+//! ```
+//! use flagsim_grid::canvas::FlagCanvas;
+//! use flagsim_grid::Color;
+//!
+//! // The assignment: draw the flag of Mauritius with loops.
+//! let mut canvas = FlagCanvas::new(12, 8);
+//! let stripes = [Color::Red, Color::Blue, Color::Yellow, Color::Green];
+//! for y in 0..canvas.height() {
+//!     for x in 0..canvas.width() {
+//!         canvas.set_pixel(x, y, stripes[(y / 2) as usize]);
+//!     }
+//! }
+//! assert!(canvas.grid().is_complete());
+//! ```
+
+use crate::{Color, Coord, Grid};
+
+/// A student-facing pixel canvas. Out-of-bounds writes are counted (not
+/// panicked — week-3 students get a gentle report, not a crash) and
+/// ignored.
+#[derive(Debug, Clone)]
+pub struct FlagCanvas {
+    grid: Grid,
+    out_of_bounds_writes: u64,
+}
+
+impl FlagCanvas {
+    /// A blank canvas.
+    pub fn new(width: u32, height: u32) -> Self {
+        FlagCanvas {
+            grid: Grid::new(width, height),
+            out_of_bounds_writes: 0,
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> u32 {
+        self.grid.width()
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> u32 {
+        self.grid.height()
+    }
+
+    /// THE assignment primitive: set one pixel. Off-canvas coordinates
+    /// are recorded and ignored.
+    pub fn set_pixel(&mut self, x: u32, y: u32, color: Color) {
+        if x < self.width() && y < self.height() && color.is_painted() {
+            self.grid.paint_at(Coord::new(x, y), color);
+        } else {
+            self.out_of_bounds_writes += 1;
+        }
+    }
+
+    /// How many writes missed the canvas (or tried to paint blank) — the
+    /// graders' first diagnostic for off-by-one loop bounds.
+    pub fn out_of_bounds_writes(&self) -> u64 {
+        self.out_of_bounds_writes
+    }
+
+    /// Fill a rectangle `[x0, x1) × [y0, y1)` — the loop nest every
+    /// solution contains, provided for reference solutions.
+    pub fn fill_rect(&mut self, x0: u32, y0: u32, x1: u32, y1: u32, color: Color) {
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.set_pixel(x, y, color);
+            }
+        }
+    }
+
+    /// Horizontal stripe `index` of `count` equal stripes.
+    pub fn h_stripe(&mut self, index: u32, count: u32, color: Color) {
+        assert!(count > 0 && index < count, "stripe {index} of {count}");
+        let top = self.height() * index / count;
+        let bottom = self.height() * (index + 1) / count;
+        self.fill_rect(0, top, self.width(), bottom, color);
+    }
+
+    /// Vertical stripe `index` of `count` equal stripes.
+    pub fn v_stripe(&mut self, index: u32, count: u32, color: Color) {
+        assert!(count > 0 && index < count, "stripe {index} of {count}");
+        let left = self.width() * index / count;
+        let right = self.width() * (index + 1) / count;
+        self.fill_rect(left, 0, right, self.height(), color);
+    }
+
+    /// The finished drawing.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Consume the canvas, returning the grid.
+    pub fn into_grid(self) -> Grid {
+        self.grid
+    }
+
+    /// Grade a submission against a reference raster: fraction of matching
+    /// cells plus the out-of-bounds diagnostic.
+    pub fn grade_against(&self, reference: &Grid) -> CanvasGrade {
+        let diff = crate::diff(&self.grid, reference);
+        CanvasGrade {
+            similarity: diff.similarity(),
+            mismatched_cells: diff.mismatches.len(),
+            out_of_bounds_writes: self.out_of_bounds_writes,
+        }
+    }
+}
+
+/// The autograder's verdict on a canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanvasGrade {
+    /// Fraction of cells matching the reference, in `[0, 1]`.
+    pub similarity: f64,
+    /// Cells that differ.
+    pub mismatched_cells: usize,
+    /// Writes that missed the canvas (loop-bounds bugs).
+    pub out_of_bounds_writes: u64,
+}
+
+impl CanvasGrade {
+    /// A pass: pixel-perfect and no stray writes.
+    pub fn is_perfect(&self) -> bool {
+        self.mismatched_cells == 0 && self.out_of_bounds_writes == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_pixel_and_bounds() {
+        let mut c = FlagCanvas::new(4, 3);
+        c.set_pixel(0, 0, Color::Red);
+        c.set_pixel(3, 2, Color::Blue);
+        c.set_pixel(4, 0, Color::Red); // off the right edge
+        c.set_pixel(0, 3, Color::Red); // off the bottom
+        c.set_pixel(1, 1, Color::Blank); // can't paint blank
+        assert_eq!(c.grid().get_at(Coord::new(0, 0)), Color::Red);
+        assert_eq!(c.grid().get_at(Coord::new(3, 2)), Color::Blue);
+        assert_eq!(c.out_of_bounds_writes(), 3);
+    }
+
+    #[test]
+    fn stripes_tile_the_canvas() {
+        let mut c = FlagCanvas::new(12, 8);
+        for (i, color) in Color::MAURITIUS.iter().enumerate() {
+            c.h_stripe(i as u32, 4, *color);
+        }
+        assert!(c.grid().is_complete());
+        assert_eq!(c.out_of_bounds_writes(), 0);
+        assert_eq!(c.grid().cells_of_color(Color::Yellow).len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe 4 of 4")]
+    fn stripe_index_checked() {
+        let mut c = FlagCanvas::new(4, 4);
+        c.h_stripe(4, 4, Color::Red);
+    }
+
+    #[test]
+    fn grading_catches_mistakes() {
+        // Reference: Poland (white over red).
+        let mut reference = FlagCanvas::new(10, 6);
+        reference.h_stripe(0, 2, Color::White);
+        reference.h_stripe(1, 2, Color::Red);
+        let reference = reference.into_grid();
+
+        // A buggy submission: upside-down flag.
+        let mut buggy = FlagCanvas::new(10, 6);
+        buggy.h_stripe(0, 2, Color::Red);
+        buggy.h_stripe(1, 2, Color::White);
+        let grade = buggy.grade_against(&reference);
+        assert!(!grade.is_perfect());
+        assert_eq!(grade.mismatched_cells, 60);
+        assert_eq!(grade.similarity, 0.0);
+
+        // A correct submission.
+        let mut good = FlagCanvas::new(10, 6);
+        good.h_stripe(0, 2, Color::White);
+        good.h_stripe(1, 2, Color::Red);
+        assert!(good.grade_against(&reference).is_perfect());
+    }
+
+    #[test]
+    fn off_by_one_loops_show_in_the_diagnostic() {
+        let mut c = FlagCanvas::new(4, 4);
+        // The classic `<=` bug.
+        for y in 0..=c.height() {
+            for x in 0..=c.width() {
+                c.set_pixel(x, y, Color::Green);
+            }
+        }
+        assert!(c.grid().is_complete());
+        assert_eq!(c.out_of_bounds_writes(), 9); // the extra row + column
+    }
+}

@@ -1,0 +1,112 @@
+//! Cell addressing.
+//!
+//! Cells are addressed two ways: as `(col, row)` coordinates ([`Coord`],
+//! used by geometry code such as shape containment tests) and as a flat
+//! row-major index ([`CellId`], used by regions, partitions and the
+//! simulator, where a compact `u32` keeps hot structures small — see the
+//! "Smaller Integers" advice in the Rust Performance Book).
+
+use std::fmt;
+
+/// A `(col, row)` coordinate on a grid. `x` grows rightward, `y` downward
+/// (raster convention), matching how the paper's figures are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Column, 0-based from the left edge.
+    pub x: u32,
+    /// Row, 0-based from the top edge.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Coord { x, y }
+    }
+
+    /// Flat row-major cell id for a grid of the given width.
+    #[inline]
+    pub const fn to_id(self, width: u32) -> CellId {
+        CellId(self.y * width + self.x)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u32, u32)> for Coord {
+    fn from((x, y): (u32, u32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// A flat row-major cell index into a [`Grid`](crate::Grid).
+///
+/// The numbering matches the paper's practice of numbering cells on the
+/// scenario slides "to efficiently convey the order in which they should be
+/// filled": id 0 is the top-left cell, ids increase left-to-right then
+/// top-to-bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The flat index as a `usize`, for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Convert back to a coordinate given the grid width.
+    #[inline]
+    pub const fn to_coord(self, width: u32) -> Coord {
+        Coord {
+            x: self.0 % width,
+            y: self.0 / width,
+        }
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for CellId {
+    fn from(v: u32) -> Self {
+        CellId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_id_roundtrip() {
+        let width = 12;
+        for y in 0..8 {
+            for x in 0..width {
+                let c = Coord::new(x, y);
+                assert_eq!(c.to_id(width).to_coord(width), c);
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_numbering_starts_top_left() {
+        assert_eq!(Coord::new(0, 0).to_id(10), CellId(0));
+        assert_eq!(Coord::new(9, 0).to_id(10), CellId(9));
+        assert_eq!(Coord::new(0, 1).to_id(10), CellId(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Coord::new(3, 4).to_string(), "(3, 4)");
+        assert_eq!(CellId(7).to_string(), "#7");
+    }
+}

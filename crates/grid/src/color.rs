@@ -1,0 +1,187 @@
+//! The activity's color palette.
+//!
+//! The paper's core activity uses the flag of Mauritius, whose "four
+//! equally-sized stripes" are red, blue, yellow and green — conveniently,
+//! each team gets "one drawing implement of each color". Variations add the
+//! French flag (blue/white/red), the Canadian flag (red/white), the flag of
+//! Great Britain (blue/white/red) and the flag of Jordan
+//! (black/white/green/red). We model colors as a small closed enum plus an
+//! escape hatch for arbitrary RGB so that renderers and custom flags stay
+//! flexible.
+
+use std::fmt;
+
+/// A drawable color.
+///
+/// Named variants cover every color used by the flags in the paper; the
+/// [`Color::Rgb`] variant supports custom flags. `Blank` represents an
+/// unfilled cell of gridded paper (which the paper notes can stand in for
+/// white: students were allowed to omit the white stripe of Jordan because
+/// "the background is initially white").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Color {
+    /// Unfilled paper. Renders as white but is distinct from painted White.
+    Blank,
+    /// Red (Mauritius stripe 1, Canada, France, Great Britain, Jordan).
+    Red,
+    /// Blue (Mauritius stripe 2, France, Great Britain).
+    Blue,
+    /// Yellow (Mauritius stripe 3).
+    Yellow,
+    /// Green (Mauritius stripe 4, Jordan).
+    Green,
+    /// Painted white (France, Canada, Great Britain, Jordan).
+    White,
+    /// Black (Jordan).
+    Black,
+    /// Orange (spare palette color for custom flags).
+    Orange,
+    /// An arbitrary 24-bit color for custom flags.
+    Rgb(u8, u8, u8),
+}
+
+impl Color {
+    /// The four colors of the flag of Mauritius in stripe order
+    /// (top to bottom): red, blue, yellow, green.
+    pub const MAURITIUS: [Color; 4] = [Color::Red, Color::Blue, Color::Yellow, Color::Green];
+
+    /// All named, paintable colors (excludes `Blank` and `Rgb`).
+    pub const NAMED: [Color; 7] = [
+        Color::Red,
+        Color::Blue,
+        Color::Yellow,
+        Color::Green,
+        Color::White,
+        Color::Black,
+        Color::Orange,
+    ];
+
+    /// Whether this color represents actual paint (anything except `Blank`).
+    #[inline]
+    pub fn is_painted(self) -> bool {
+        self != Color::Blank
+    }
+
+    /// 24-bit sRGB value used by the renderers.
+    pub fn rgb(self) -> (u8, u8, u8) {
+        match self {
+            Color::Blank => (0xF5, 0xF5, 0xF0),
+            Color::Red => (0xEA, 0x26, 0x39),
+            Color::Blue => (0x1A, 0x20, 0x6D),
+            Color::Yellow => (0xFF, 0xD5, 0x00),
+            Color::Green => (0x00, 0xA5, 0x51),
+            Color::White => (0xFF, 0xFF, 0xFF),
+            Color::Black => (0x14, 0x14, 0x14),
+            Color::Orange => (0xF7, 0x7F, 0x00),
+            Color::Rgb(r, g, b) => (r, g, b),
+        }
+    }
+
+    /// One-character code used by the ASCII renderer and by compact golden
+    /// tests: `.` blank, `R`ed, `B`lue, `Y`ellow, `G`reen, `W`hite,
+    /// `K` black (as in CMYK), `O`range, `#` custom.
+    pub fn code(self) -> char {
+        match self {
+            Color::Blank => '.',
+            Color::Red => 'R',
+            Color::Blue => 'B',
+            Color::Yellow => 'Y',
+            Color::Green => 'G',
+            Color::White => 'W',
+            Color::Black => 'K',
+            Color::Orange => 'O',
+            Color::Rgb(..) => '#',
+        }
+    }
+
+    /// Inverse of [`Color::code`] for the named palette.
+    ///
+    /// Returns `None` for characters that do not name a palette color
+    /// (including `#`, which is not invertible).
+    pub fn from_code(c: char) -> Option<Color> {
+        Some(match c {
+            '.' => Color::Blank,
+            'R' => Color::Red,
+            'B' => Color::Blue,
+            'Y' => Color::Yellow,
+            'G' => Color::Green,
+            'W' => Color::White,
+            'K' => Color::Black,
+            'O' => Color::Orange,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable lowercase name (matches the paper's prose:
+    /// "red, blue, yellow, and green").
+    pub fn name(self) -> &'static str {
+        match self {
+            Color::Blank => "blank",
+            Color::Red => "red",
+            Color::Blue => "blue",
+            Color::Yellow => "yellow",
+            Color::Green => "green",
+            Color::White => "white",
+            Color::Black => "black",
+            Color::Orange => "orange",
+            Color::Rgb(..) => "custom",
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Color::Rgb(r, g, b) => write!(f, "rgb({r},{g},{b})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mauritius_palette_order_matches_paper() {
+        // "four equally-sized stripes colored red, blue, yellow, and green"
+        assert_eq!(
+            Color::MAURITIUS,
+            [Color::Red, Color::Blue, Color::Yellow, Color::Green]
+        );
+    }
+
+    #[test]
+    fn code_roundtrip_for_named_palette() {
+        for c in Color::NAMED {
+            assert_eq!(Color::from_code(c.code()), Some(c), "roundtrip for {c}");
+        }
+        assert_eq!(Color::from_code('.'), Some(Color::Blank));
+    }
+
+    #[test]
+    fn from_code_rejects_unknown() {
+        assert_eq!(Color::from_code('z'), None);
+        assert_eq!(Color::from_code('#'), None);
+    }
+
+    #[test]
+    fn blank_is_not_painted() {
+        assert!(!Color::Blank.is_painted());
+        for c in Color::NAMED {
+            assert!(c.is_painted());
+        }
+        assert!(Color::Rgb(1, 2, 3).is_painted());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Color::Red.to_string(), "red");
+        assert_eq!(Color::Rgb(1, 2, 3).to_string(), "rgb(1,2,3)");
+    }
+
+    #[test]
+    fn rgb_variant_passes_through() {
+        assert_eq!(Color::Rgb(9, 8, 7).rgb(), (9, 8, 7));
+    }
+}

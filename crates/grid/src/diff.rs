@@ -1,0 +1,86 @@
+//! Grid comparison.
+//!
+//! Used in tests and the verification harness to confirm that every
+//! execution strategy (sequential reference, simulated teams, real threads)
+//! produces the identical flag — the activity's correctness criterion: the
+//! finished picture must be the same no matter how the work was divided.
+
+use crate::{CellId, Grid};
+
+/// The difference between two grids of equal dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridDiff {
+    /// Cells whose colors differ, with `(id, left_color_code, right_color_code)`.
+    pub mismatches: Vec<(CellId, char, char)>,
+    /// Total number of cells compared.
+    pub total: usize,
+}
+
+impl GridDiff {
+    /// Whether the grids are identical.
+    pub fn is_identical(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Fraction of cells that match, in `[0, 1]`.
+    pub fn similarity(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        1.0 - self.mismatches.len() as f64 / self.total as f64
+    }
+}
+
+/// Compare two grids cell-by-cell. Panics if dimensions differ (comparing
+/// different flags is a caller bug, not a diff result).
+pub fn diff(left: &Grid, right: &Grid) -> GridDiff {
+    assert_eq!(
+        (left.width(), left.height()),
+        (right.width(), right.height()),
+        "grids must have equal dimensions"
+    );
+    let mismatches = left
+        .iter()
+        .zip(right.iter())
+        .filter(|&((_id, a), (_, b))| a != b).map(|((id, a), (_, b))| (id, a.code(), b.code()))
+        .collect();
+    GridDiff {
+        mismatches,
+        total: left.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Color;
+
+    #[test]
+    fn identical_grids() {
+        let a = Grid::parse("RG\nBY\n").unwrap();
+        let d = diff(&a, &a.clone());
+        assert!(d.is_identical());
+        assert_eq!(d.similarity(), 1.0);
+    }
+
+    #[test]
+    fn reports_each_mismatch() {
+        let a = Grid::parse("RR\nRR\n").unwrap();
+        let mut b = a.clone();
+        b.paint(CellId(1), Color::Blue);
+        b.paint(CellId(3), Color::Green);
+        let d = diff(&a, &b);
+        assert_eq!(d.mismatches.len(), 2);
+        assert_eq!(d.mismatches[0], (CellId(1), 'R', 'B'));
+        assert_eq!(d.mismatches[1], (CellId(3), 'R', 'G'));
+        assert!((d.similarity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Grid::new(2, 2);
+        let b = Grid::new(3, 2);
+        let _ = diff(&a, &b);
+    }
+}

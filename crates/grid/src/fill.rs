@@ -1,0 +1,72 @@
+//! Cell fill quality.
+//!
+//! Section IV of the paper observes "a wide variety of how well students
+//! colored the grid cells; some completely covered the paper and others
+//! added a minimal amount of color", and recommends "a back and forth
+//! scribble that touches all edges of the cell" as the middle road. Fill
+//! style matters to the simulation because it scales per-cell work: a full
+//! fill takes longer than a scribble, which takes longer than a token dab —
+//! and the paper notes classes drifted toward minimal fills "to minimize
+//! the tedium of coloring and to reduce the time as they got competitive".
+
+/// How thoroughly a cell is covered with color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FillStyle {
+    /// Complete coverage of the cell.
+    Full,
+    /// The paper's recommended "back and forth scribble that touches all
+    /// edges of the cell" — the default.
+    #[default]
+    Scribble,
+    /// "A minimal amount of color" — the competitive-student shortcut.
+    Minimal,
+}
+
+impl FillStyle {
+    /// Work multiplier relative to a scribble fill (the calibration unit).
+    ///
+    /// Full coverage costs roughly twice a scribble; a minimal dab roughly
+    /// half. These ratios only need to be *ordered* correctly for the
+    /// paper's lessons to reproduce; absolute values are a free calibration.
+    pub fn work_factor(self) -> f64 {
+        match self {
+            FillStyle::Full => 2.0,
+            FillStyle::Scribble => 1.0,
+            FillStyle::Minimal => 0.5,
+        }
+    }
+
+    /// Whether this style achieves "uniformity of time per cell", which the
+    /// paper says the scribble makes possible. Minimal fills are erratic —
+    /// the cost model adds extra variance for them.
+    pub fn uniform_timing(self) -> bool {
+        !matches!(self, FillStyle::Minimal)
+    }
+
+    /// All styles, for sweeps.
+    pub const ALL: [FillStyle; 3] = [FillStyle::Full, FillStyle::Scribble, FillStyle::Minimal];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_ordering_full_gt_scribble_gt_minimal() {
+        assert!(FillStyle::Full.work_factor() > FillStyle::Scribble.work_factor());
+        assert!(FillStyle::Scribble.work_factor() > FillStyle::Minimal.work_factor());
+    }
+
+    #[test]
+    fn scribble_is_default_and_unit() {
+        assert_eq!(FillStyle::default(), FillStyle::Scribble);
+        assert_eq!(FillStyle::Scribble.work_factor(), 1.0);
+    }
+
+    #[test]
+    fn minimal_fills_are_not_uniform() {
+        assert!(FillStyle::Full.uniform_timing());
+        assert!(FillStyle::Scribble.uniform_timing());
+        assert!(!FillStyle::Minimal.uniform_timing());
+    }
+}

@@ -1,0 +1,47 @@
+//! # flagsim-grid
+//!
+//! Pixel-grid raster substrate for the flag-coloring activity simulator.
+//!
+//! The unplugged activity described in the paper has students fill in
+//! "pixels" (cells of gridded paper) with colored drawing implements. This
+//! crate provides the paper-and-grid part of that world:
+//!
+//! * [`Color`] — the activity's palette (the flag of Mauritius needs red,
+//!   blue, yellow and green; other flags add white, black, orange, …) plus
+//!   arbitrary RGB for rendering.
+//! * [`Grid`] — a row-major raster of cells, the "gridded paper".
+//! * [`CellId`] / [`Coord`] — stable cell addressing.
+//! * [`Region`] — an *ordered* set of cells: the paper numbers cells to
+//!   "efficiently convey the order in which they should be filled"
+//!   (Section IV), so order is a first-class part of a region.
+//! * [`FillStyle`] — how thoroughly a student covers a cell (Section IV's
+//!   advice about scribble-fills versus complete coverage), which scales the
+//!   per-cell work.
+//! * [`render`] — ASCII / ANSI-truecolor / PPM renderers (no GUI; the
+//!   calibration notes for this reproduction explicitly rule one out).
+//! * [`partition`] — geometric helpers for splitting a grid among
+//!   "processors" (rows, columns, blocks, contiguous spans, cyclic).
+//!
+//! Everything here is deterministic and allocation-conscious; the simulator
+//! layers stochastic timing on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canvas;
+pub mod cell;
+pub mod color;
+pub mod diff;
+pub mod fill;
+pub mod partition;
+pub mod region;
+pub mod render;
+
+mod raster;
+
+pub use cell::{CellId, Coord};
+pub use color::Color;
+pub use diff::{diff, GridDiff};
+pub use fill::FillStyle;
+pub use raster::Grid;
+pub use region::Region;

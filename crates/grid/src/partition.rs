@@ -1,0 +1,228 @@
+//! Geometric grid partitions.
+//!
+//! These helpers carve a grid (or any rectangular sub-area) into the
+//! work-assignment shapes the activity uses: horizontal stripes (scenarios
+//! 2 and 3 of Figure 1), vertical slices (scenario 4), blocks, and cyclic
+//! interleavings. Higher-level, *flag-aware* partitions (e.g. "the red and
+//! blue stripes") live in `flagsim-core`; this module is pure geometry.
+
+use crate::{Coord, Region};
+#[cfg(test)]
+use crate::CellId;
+
+/// A rectangular area of a grid: columns `[x0, x1)` × rows `[y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: u32,
+    /// Top edge (inclusive).
+    pub y0: u32,
+    /// Right edge (exclusive).
+    pub x1: u32,
+    /// Bottom edge (exclusive).
+    pub y1: u32,
+}
+
+impl Rect {
+    /// Construct; panics on inverted edges.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// A rect covering an entire `width × height` grid.
+    pub fn full(width: u32, height: u32) -> Self {
+        Rect::new(0, 0, width, height)
+    }
+
+    /// Width in cells.
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in cells.
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0
+    }
+
+    /// Number of cells.
+    pub fn area(&self) -> usize {
+        self.width() as usize * self.height() as usize
+    }
+
+    /// Whether a coordinate lies inside.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x >= self.x0 && c.x < self.x1 && c.y >= self.y0 && c.y < self.y1
+    }
+
+    /// Cells of this rect in row-major order, as ids on a grid of width
+    /// `grid_width`.
+    pub fn region(&self, grid_width: u32) -> Region {
+        let mut r = Region::new();
+        for y in self.y0..self.y1 {
+            for x in self.x0..self.x1 {
+                r.push(Coord::new(x, y).to_id(grid_width));
+            }
+        }
+        r
+    }
+
+    /// Cells in column-major order (top-to-bottom, then next column) — the
+    /// natural fill order for a vertical slice, matching how scenario 4's
+    /// students work down their slice stripe by stripe.
+    pub fn region_column_major(&self, grid_width: u32) -> Region {
+        let mut r = Region::new();
+        for x in self.x0..self.x1 {
+            for y in self.y0..self.y1 {
+                r.push(Coord::new(x, y).to_id(grid_width));
+            }
+        }
+        r
+    }
+}
+
+/// Split `[0, extent)` into `n` contiguous near-equal spans (larger first).
+fn spans(extent: u32, n: u32) -> Vec<(u32, u32)> {
+    assert!(n > 0, "cannot split into zero parts");
+    let base = extent / n;
+    let extra = extent % n;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + u32::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Split a rect into `n` horizontal bands (stacked top to bottom). With
+/// `n = 4` on the Mauritius flag this is exactly scenario 3's "each of them
+/// doing one stripe".
+pub fn horizontal_bands(rect: Rect, n: u32) -> Vec<Rect> {
+    spans(rect.height(), n)
+        .into_iter()
+        .map(|(a, b)| Rect::new(rect.x0, rect.y0 + a, rect.x1, rect.y0 + b))
+        .collect()
+}
+
+/// Split a rect into `n` vertical slices (left to right) — scenario 4's
+/// decomposition, where "each of them is responsible for a vertical slice
+/// of the flag which includes part of each stripe".
+pub fn vertical_slices(rect: Rect, n: u32) -> Vec<Rect> {
+    spans(rect.width(), n)
+        .into_iter()
+        .map(|(a, b)| Rect::new(rect.x0 + a, rect.y0, rect.x0 + b, rect.y1))
+        .collect()
+}
+
+/// Split a rect into a `cols × rows` grid of blocks, row-major.
+pub fn blocks(rect: Rect, cols: u32, rows: u32) -> Vec<Rect> {
+    let hs = spans(rect.width(), cols);
+    let vs = spans(rect.height(), rows);
+    let mut out = Vec::with_capacity((cols * rows) as usize);
+    for &(ya, yb) in &vs {
+        for &(xa, xb) in &hs {
+            out.push(Rect::new(
+                rect.x0 + xa,
+                rect.y0 + ya,
+                rect.x0 + xb,
+                rect.y0 + yb,
+            ));
+        }
+    }
+    out
+}
+
+/// Assign the cells of a `width × height` grid to `n` parts round-robin by
+/// row-major index — a cyclic distribution, useful as a load-balancing
+/// baseline in the benchmarks.
+pub fn cyclic(width: u32, height: u32, n: usize) -> Vec<Region> {
+    Rect::full(width, height).region(width).split_cyclic(n)
+}
+
+/// Row-major ids of an entire grid, split into `n` contiguous chunks — a
+/// "block" 1-D distribution ignoring geometry.
+pub fn contiguous(width: u32, height: u32, n: usize) -> Vec<Region> {
+    Rect::full(width, height).region(width).split_contiguous(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::verify_partition;
+
+    #[test]
+    fn rect_region_row_major() {
+        let r = Rect::new(1, 1, 3, 3).region(4);
+        // Grid width 4: (1,1)=5, (2,1)=6, (1,2)=9, (2,2)=10.
+        assert_eq!(
+            r.cells(),
+            &[CellId(5), CellId(6), CellId(9), CellId(10)]
+        );
+    }
+
+    #[test]
+    fn rect_region_column_major() {
+        let r = Rect::new(0, 0, 2, 2).region_column_major(4);
+        assert_eq!(r.cells(), &[CellId(0), CellId(4), CellId(1), CellId(5)]);
+    }
+
+    #[test]
+    fn horizontal_bands_cover_exactly() {
+        let full = Rect::full(12, 8);
+        let bands = horizontal_bands(full, 4);
+        assert_eq!(bands.len(), 4);
+        assert!(bands.iter().all(|b| b.height() == 2 && b.width() == 12));
+        let whole = full.region(12);
+        let parts: Vec<Region> = bands.iter().map(|b| b.region(12)).collect();
+        verify_partition(&whole, &parts).unwrap();
+    }
+
+    #[test]
+    fn vertical_slices_cover_exactly() {
+        let full = Rect::full(12, 8);
+        let slices = vertical_slices(full, 4);
+        assert!(slices.iter().all(|s| s.width() == 3 && s.height() == 8));
+        let whole = full.region(12);
+        let parts: Vec<Region> = slices.iter().map(|s| s.region_column_major(12)).collect();
+        verify_partition(&whole, &parts).unwrap();
+    }
+
+    #[test]
+    fn uneven_split_puts_larger_parts_first() {
+        let bands = horizontal_bands(Rect::full(5, 7), 3);
+        assert_eq!(
+            bands.iter().map(Rect::height).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn blocks_tile_exactly() {
+        let full = Rect::full(10, 6);
+        let tiles = blocks(full, 2, 3);
+        assert_eq!(tiles.len(), 6);
+        let whole = full.region(10);
+        let parts: Vec<Region> = tiles.iter().map(|b| b.region(10)).collect();
+        verify_partition(&whole, &parts).unwrap();
+    }
+
+    #[test]
+    fn cyclic_and_contiguous_partition() {
+        let whole = Rect::full(6, 4).region(6);
+        for n in 1..=5 {
+            verify_partition(&whole, &cyclic(6, 4, n)).unwrap();
+            verify_partition(&whole, &contiguous(6, 4, n)).unwrap();
+        }
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = Rect::new(2, 2, 4, 4);
+        assert!(r.contains(Coord::new(2, 2)));
+        assert!(r.contains(Coord::new(3, 3)));
+        assert!(!r.contains(Coord::new(4, 3)));
+        assert!(!r.contains(Coord::new(1, 2)));
+    }
+}

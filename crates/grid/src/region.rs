@@ -1,0 +1,252 @@
+//! Ordered cell regions.
+//!
+//! A [`Region`] is the unit of work assignment in the activity: "P1 colors
+//! the red and blue stripes" is a region, and the numbers printed on the
+//! scenario slides give the order in which its cells should be filled.
+//! Regions therefore preserve insertion order *and* support set queries.
+
+use crate::CellId;
+use std::collections::BTreeSet;
+
+/// An ordered collection of distinct cells.
+///
+/// Iteration yields cells in the order they were added (the "execution
+/// order" from the paper's Figure 1); membership tests and set algebra use
+/// an internal sorted set. Duplicate inserts are ignored, keeping the first
+/// position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Region {
+    order: Vec<CellId>,
+    members: BTreeSet<CellId>,
+}
+
+impl Region {
+    /// An empty region.
+    pub fn new() -> Self {
+        Region::default()
+    }
+
+    /// Build from an iterator of ids, de-duplicating while preserving the
+    /// first occurrence order.
+    pub fn from_ids<I: IntoIterator<Item = CellId>>(ids: I) -> Self {
+        let mut r = Region::new();
+        for id in ids {
+            r.push(id);
+        }
+        r
+    }
+
+    /// Append a cell; returns `true` if it was newly added.
+    pub fn push(&mut self, id: CellId) -> bool {
+        if self.members.insert(id) {
+            self.order.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: CellId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// The cells in execution order.
+    #[inline]
+    pub fn cells(&self) -> &[CellId] {
+        &self.order
+    }
+
+    /// Iterate in execution order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = CellId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The `i`-th cell in execution order.
+    pub fn get(&self, i: usize) -> Option<CellId> {
+        self.order.get(i).copied()
+    }
+
+    /// Whether two regions share any cell.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        // Iterate the smaller set for efficiency.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.members.iter().any(|id| large.members.contains(id))
+    }
+
+    /// Cells present in both regions, in `self`'s order.
+    pub fn intersection(&self, other: &Region) -> Region {
+        Region::from_ids(self.iter().filter(|id| other.contains(*id)))
+    }
+
+    /// Cells of `self` not in `other`, in `self`'s order.
+    pub fn difference(&self, other: &Region) -> Region {
+        Region::from_ids(self.iter().filter(|id| !other.contains(*id)))
+    }
+
+    /// All cells of `self` then the new cells of `other`.
+    pub fn union(&self, other: &Region) -> Region {
+        Region::from_ids(self.iter().chain(other.iter()))
+    }
+
+    /// Split the region into `n` contiguous chunks of near-equal size
+    /// (sizes differ by at most one, larger chunks first) — the activity's
+    /// way of dividing a stripe among students. Panics if `n == 0`.
+    pub fn split_contiguous(&self, n: usize) -> Vec<Region> {
+        assert!(n > 0, "cannot split into zero parts");
+        let len = self.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0;
+        for i in 0..n {
+            let take = base + usize::from(i < extra);
+            out.push(Region::from_ids(
+                self.order[idx..idx + take].iter().copied(),
+            ));
+            idx += take;
+        }
+        out
+    }
+
+    /// Split round-robin ("cyclic" distribution): cell `i` goes to part
+    /// `i mod n`. Panics if `n == 0`.
+    pub fn split_cyclic(&self, n: usize) -> Vec<Region> {
+        assert!(n > 0, "cannot split into zero parts");
+        let mut out = vec![Region::new(); n];
+        for (i, id) in self.iter().enumerate() {
+            out[i % n].push(id);
+        }
+        out
+    }
+}
+
+impl FromIterator<CellId> for Region {
+    fn from_iter<T: IntoIterator<Item = CellId>>(iter: T) -> Self {
+        Region::from_ids(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Region {
+    type Item = CellId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, CellId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter().copied()
+    }
+}
+
+/// Verify that `parts` is an exact partition of `whole`: every cell of
+/// `whole` appears in exactly one part and no part contains foreign cells.
+/// Returns a human-readable description of the first violation.
+pub fn verify_partition(whole: &Region, parts: &[Region]) -> Result<(), String> {
+    let mut seen = BTreeSet::new();
+    for (i, part) in parts.iter().enumerate() {
+        for id in part.iter() {
+            if !whole.contains(id) {
+                return Err(format!("part {i} contains foreign cell {id}"));
+            }
+            if !seen.insert(id) {
+                return Err(format!("cell {id} assigned to more than one part"));
+            }
+        }
+    }
+    if seen.len() != whole.len() {
+        let missing = whole.iter().find(|id| !seen.contains(id)).unwrap();
+        return Err(format!("cell {missing} not covered by any part"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Region {
+        Region::from_ids(v.iter().map(|&i| CellId(i)))
+    }
+
+    #[test]
+    fn preserves_insertion_order_and_dedups() {
+        let r = ids(&[5, 3, 5, 9, 3]);
+        assert_eq!(r.cells(), &[CellId(5), CellId(3), CellId(9)]);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(CellId(9)));
+        assert!(!r.contains(CellId(4)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[3, 4, 5]);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersection(&b), ids(&[3, 4]));
+        assert_eq!(a.difference(&b), ids(&[1, 2]));
+        assert_eq!(a.union(&b), ids(&[1, 2, 3, 4, 5]));
+        let c = ids(&[7, 8]);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn split_contiguous_balances_sizes() {
+        let r = ids(&[0, 1, 2, 3, 4, 5, 6]);
+        let parts = r.split_contiguous(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(Region::len).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+        verify_partition(&r, &parts).unwrap();
+    }
+
+    #[test]
+    fn split_contiguous_more_parts_than_cells() {
+        let r = ids(&[0, 1]);
+        let parts = r.split_contiguous(4);
+        assert_eq!(
+            parts.iter().map(Region::len).collect::<Vec<_>>(),
+            vec![1, 1, 0, 0]
+        );
+        verify_partition(&r, &parts).unwrap();
+    }
+
+    #[test]
+    fn split_cyclic_interleaves() {
+        let r = ids(&[10, 11, 12, 13, 14]);
+        let parts = r.split_cyclic(2);
+        assert_eq!(parts[0], ids(&[10, 12, 14]));
+        assert_eq!(parts[1], ids(&[11, 13]));
+        verify_partition(&r, &parts).unwrap();
+    }
+
+    #[test]
+    fn verify_partition_detects_violations() {
+        let whole = ids(&[0, 1, 2]);
+        assert!(verify_partition(&whole, &[ids(&[0, 1])]).is_err()); // missing 2
+        assert!(verify_partition(&whole, &[ids(&[0, 1]), ids(&[1, 2])]).is_err()); // dup 1
+        assert!(verify_partition(&whole, &[ids(&[0, 1, 2, 3])]).is_err()); // foreign 3
+        assert!(verify_partition(&whole, &[ids(&[0]), ids(&[2, 1])]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_zero_panics() {
+        ids(&[1]).split_contiguous(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Text renderers.
+//!
+//! The calibration notes for this reproduction rule out a GUI ("GUI crates
+//! immature; more effort than value"), so flags render as text: a compact
+//! ASCII code form (used by golden tests and [`crate::Grid::parse`]), an
+//! ANSI-truecolor form for terminals, and PPM (P3) for anything that wants
+//! an actual image file.
+
+use crate::{Color, Coord, Grid};
+use std::fmt::Write as _;
+
+/// Render one [`Color::code`] character per cell, rows separated by `\n`,
+/// with a trailing newline. Inverse of [`Grid::parse`].
+pub fn to_ascii(grid: &Grid) -> String {
+    let mut out = String::with_capacity((grid.width() as usize + 1) * grid.height() as usize);
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            out.push(grid.get_at(Coord::new(x, y)).code());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render using ANSI truecolor background escapes, two spaces per cell so
+/// cells are roughly square in a terminal. Ends each row with a reset and
+/// newline.
+pub fn to_ansi(grid: &Grid) -> String {
+    let mut out = String::new();
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            let (r, g, b) = grid.get_at(Coord::new(x, y)).rgb();
+            let _ = write!(out, "\x1b[48;2;{r};{g};{b}m  ");
+        }
+        out.push_str("\x1b[0m\n");
+    }
+    out
+}
+
+/// Render as a plain-text PPM (P3) image, one pixel per cell.
+pub fn to_ppm(grid: &Grid) -> String {
+    let mut out = format!("P3\n{} {}\n255\n", grid.width(), grid.height());
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            let (r, g, b) = grid.get_at(Coord::new(x, y)).rgb();
+            let _ = writeln!(out, "{r} {g} {b}");
+        }
+    }
+    out
+}
+
+/// Render as an SVG document, `cell` pixels per cell, with hairline grid
+/// lines like the activity's gridded paper. Pure text output — printable
+/// handouts without any graphics dependency.
+pub fn to_svg(grid: &Grid, cell: u32) -> String {
+    assert!(cell > 0, "cell size must be nonzero");
+    let (w, h) = (grid.width() * cell, grid.height() * cell);
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n"
+    );
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            let (r, g, b) = grid.get_at(Coord::new(x, y)).rgb();
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{cell}\" height=\"{cell}\" \
+                 fill=\"rgb({r},{g},{b})\" stroke=\"#999\" stroke-width=\"0.5\"/>",
+                x * cell,
+                y * cell,
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render a numbered-cell view of an execution order, mimicking the paper's
+/// scenario slides where "the numbers indicat\[e\] the execution order".
+/// Cells not in `order` print as `..`; numbers are 1-based and shown modulo
+/// 100 to keep the layout fixed-width.
+pub fn to_numbered(grid: &Grid, order: &crate::Region) -> String {
+    let mut numbers = vec![None; grid.len()];
+    for (i, id) in order.iter().enumerate() {
+        numbers[id.index()] = Some(i + 1);
+    }
+    let mut out = String::new();
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            let idx = Coord::new(x, y).to_id(grid.width()).index();
+            match numbers[idx] {
+                Some(n) => {
+                    let _ = write!(out, "{:>2}", n % 100);
+                }
+                None => out.push_str(".."),
+            }
+            out.push(' ');
+        }
+        // Drop the trailing space on each row.
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-line legend mapping color codes to names for the colors present in
+/// the grid, e.g. `R=red B=blue Y=yellow G=green`.
+pub fn legend(grid: &Grid) -> String {
+    let mut seen: Vec<Color> = Vec::new();
+    for (_, c) in grid.iter() {
+        if c.is_painted() && !seen.contains(&c) {
+            seen.push(c);
+        }
+    }
+    seen.iter()
+        .map(|c| format!("{}={}", c.code(), c.name()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellId, Region};
+
+    fn sample() -> Grid {
+        Grid::parse("RB\nYG\n").unwrap()
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let g = sample();
+        assert_eq!(to_ascii(&g), "RB\nYG\n");
+        assert_eq!(Grid::parse(&to_ascii(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn ansi_contains_truecolor_escapes_and_resets() {
+        let s = to_ansi(&sample());
+        assert!(s.contains("\x1b[48;2;"));
+        assert_eq!(s.matches("\x1b[0m\n").count(), 2);
+    }
+
+    #[test]
+    fn ppm_header_and_pixel_count() {
+        let s = to_ppm(&sample());
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("P3"));
+        assert_eq!(lines.next(), Some("2 2"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(lines.count(), 4);
+    }
+
+    #[test]
+    fn svg_has_one_rect_per_cell() {
+        let s = to_svg(&sample(), 16);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<rect").count(), 4);
+        assert!(s.contains("width=\"32\" height=\"32\""));
+        // The red cell's fill is present.
+        let (r, g, b) = Color::Red.rgb();
+        assert!(s.contains(&format!("rgb({r},{g},{b})")));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn svg_zero_cell_panics() {
+        let _ = to_svg(&sample(), 0);
+    }
+
+    #[test]
+    fn numbered_view_marks_order() {
+        let g = Grid::new(3, 1);
+        let order = Region::from_ids([CellId(2), CellId(0)]);
+        let s = to_numbered(&g, &order);
+        assert_eq!(s, " 2 ..  1\n");
+    }
+
+    #[test]
+    fn legend_lists_present_colors_once() {
+        assert_eq!(legend(&sample()), "R=red B=blue Y=yellow G=green");
+        let blank = Grid::new(2, 2);
+        assert_eq!(legend(&blank), "");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the grid substrate: partition coverage, region
+//! algebra laws, and render/parse roundtrips.
+
+use flagsim_grid::partition::{blocks, contiguous, cyclic, horizontal_bands, vertical_slices, Rect};
+use flagsim_grid::region::verify_partition;
+use flagsim_grid::render::to_ascii;
+use flagsim_grid::{CellId, Color, Grid, Region};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..40, 1u32..40)
+}
+
+proptest! {
+    /// Every geometric partition covers every cell exactly once.
+    #[test]
+    fn partitions_are_exact((w, h) in dims(), n in 1u32..9) {
+        let full = Rect::full(w, h);
+        let whole = full.region(w);
+
+        let bands: Vec<Region> =
+            horizontal_bands(full, n).iter().map(|r| r.region(w)).collect();
+        prop_assert!(verify_partition(&whole, &bands).is_ok());
+
+        let slices: Vec<Region> =
+            vertical_slices(full, n).iter().map(|r| r.region_column_major(w)).collect();
+        prop_assert!(verify_partition(&whole, &slices).is_ok());
+
+        let tiles: Vec<Region> =
+            blocks(full, n.min(w), n.min(h)).iter().map(|r| r.region(w)).collect();
+        prop_assert!(verify_partition(&whole, &tiles).is_ok());
+
+        prop_assert!(verify_partition(&whole, &cyclic(w, h, n as usize)).is_ok());
+        prop_assert!(verify_partition(&whole, &contiguous(w, h, n as usize)).is_ok());
+    }
+
+    /// Contiguous split sizes differ by at most one and are ordered
+    /// largest-first.
+    #[test]
+    fn split_sizes_balanced(len in 0usize..200, n in 1usize..9) {
+        let region = Region::from_ids((0..len as u32).map(CellId));
+        let parts = region.split_contiguous(n);
+        prop_assert_eq!(parts.len(), n);
+        let sizes: Vec<usize> = parts.iter().map(Region::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        prop_assert!(sizes.windows(2).all(|wnd| wnd[0] >= wnd[1]));
+        prop_assert_eq!(sizes.iter().sum::<usize>(), len);
+    }
+
+    /// Region set algebra obeys the usual identities.
+    #[test]
+    fn region_algebra(a in proptest::collection::vec(0u32..300, 0..60),
+                      b in proptest::collection::vec(0u32..300, 0..60)) {
+        let ra = Region::from_ids(a.iter().copied().map(CellId));
+        let rb = Region::from_ids(b.iter().copied().map(CellId));
+        let inter = ra.intersection(&rb);
+        let diff = ra.difference(&rb);
+        // intersection ∪ difference == a, and they are disjoint.
+        prop_assert!(!inter.overlaps(&diff));
+        prop_assert_eq!(inter.len() + diff.len(), ra.len());
+        for id in inter.iter() {
+            prop_assert!(ra.contains(id) && rb.contains(id));
+        }
+        // union contains both and nothing else.
+        let uni = ra.union(&rb);
+        for id in ra.iter().chain(rb.iter()) {
+            prop_assert!(uni.contains(id));
+        }
+        for id in uni.iter() {
+            prop_assert!(ra.contains(id) || rb.contains(id));
+        }
+        // overlap is symmetric and consistent with intersection.
+        prop_assert_eq!(ra.overlaps(&rb), rb.overlaps(&ra));
+        prop_assert_eq!(ra.overlaps(&rb), !inter.is_empty());
+    }
+
+    /// ASCII render/parse is a lossless roundtrip for named-palette grids.
+    #[test]
+    fn ascii_roundtrip((w, h) in dims(), seed in any::<u64>()) {
+        let palette = [
+            Color::Blank, Color::Red, Color::Blue, Color::Yellow,
+            Color::Green, Color::White, Color::Black, Color::Orange,
+        ];
+        let mut g = Grid::new(w, h);
+        let mut state = seed;
+        for id in g.ids().collect::<Vec<_>>() {
+            // Cheap xorshift so the test has no RNG dependency.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let c = palette[(state % palette.len() as u64) as usize];
+            if c.is_painted() {
+                g.paint(id, c);
+            }
+        }
+        let text = to_ascii(&g);
+        let parsed = Grid::parse(&text).unwrap();
+        prop_assert_eq!(flagsim_grid::diff(&g, &parsed).is_identical(), true);
+    }
+
+    /// Cyclic split puts cell i into part i mod n.
+    #[test]
+    fn cyclic_placement(len in 1usize..100, n in 1usize..8) {
+        let region = Region::from_ids((0..len as u32).map(CellId));
+        let parts = region.split_cyclic(n);
+        for (i, id) in region.iter().enumerate() {
+            prop_assert!(parts[i % n].contains(id));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Statistical inference for pre/post designs.
+//!
+//! The paper's §VI promises "a more in-depth statistical analysis" as
+//! future work; this module supplies the standard tools for its data
+//! shape. For *paired* pre/post correctness the right test is
+//! **McNemar's**: it looks only at the discordant pairs (students who
+//! changed answer), exactly the `gained`/`lost` cells of a
+//! [`TransitionMatrix`]. A two-proportion z-test
+//! is included for unpaired comparisons (e.g. between institutions).
+//! Normal CDF via the Abramowitz–Stegun erf approximation — accurate to
+//! ~1.5e-7, far tighter than any classroom n warrants.
+
+use crate::transition::TransitionMatrix;
+
+/// The error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Result of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Significant at the given alpha?
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// McNemar's test (with the standard continuity correction) on a paired
+/// pre/post transition matrix: did the proportion answering correctly
+/// *change*? Returns `None` when there are no discordant pairs (no one
+/// changed their answer — nothing to test).
+pub fn mcnemar(m: &TransitionMatrix) -> Option<TestResult> {
+    let b = m.gained as f64; // wrong → right
+    let c = m.lost as f64; // right → wrong
+    if b + c == 0.0 {
+        return None;
+    }
+    let chi2 = ((b - c).abs() - 1.0).max(0.0).powi(2) / (b + c);
+    // Chi-square with 1 dof: p = 2·(1 − Φ(√χ²)).
+    let p = 2.0 * (1.0 - normal_cdf(chi2.sqrt()));
+    Some(TestResult {
+        statistic: chi2,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Two-proportion z-test (pooled): `x1/n1` vs `x2/n2`, two-sided.
+/// Returns `None` on empty samples or degenerate pooled proportions.
+pub fn two_proportion_z(x1: usize, n1: usize, x2: usize, n2: usize) -> Option<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    let (p1, p2) = (x1 as f64 / n1 as f64, x2 as f64 / n2 as f64);
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        return None;
+    }
+    let z = (p1 - p2) / se;
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mcnemar_detects_real_change() {
+        // 20 gained, 2 lost out of 60: a clear improvement.
+        let m = TransitionMatrix::from_counts(30, 20, 2, 8);
+        let r = mcnemar(&m).unwrap();
+        assert!(r.significant(0.01), "p = {}", r.p_value);
+        // χ² with continuity correction: (|20−2|−1)²/22 = 289/22 ≈ 13.1.
+        assert!((r.statistic - 289.0 / 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mcnemar_null_when_balanced() {
+        // 10 gained, 10 lost: no net change.
+        let m = TransitionMatrix::from_counts(30, 10, 10, 10);
+        let r = mcnemar(&m).unwrap();
+        assert!(!r.significant(0.05), "p = {}", r.p_value);
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn mcnemar_none_without_discordant_pairs() {
+        let m = TransitionMatrix::from_counts(30, 0, 0, 10);
+        assert!(mcnemar(&m).is_none());
+    }
+
+    #[test]
+    fn small_samples_are_not_significant() {
+        // HPU-sized cohorts (n = 6) can't reach significance with 1 gain.
+        let m = TransitionMatrix::from_counts(5, 1, 0, 0);
+        let r = mcnemar(&m).unwrap();
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn two_proportion_z_works() {
+        // 80/100 vs 50/100: obviously different.
+        let r = two_proportion_z(80, 100, 50, 100).unwrap();
+        assert!(r.significant(0.01));
+        assert!(r.statistic > 4.0);
+        // Equal proportions: z = 0.
+        let same = two_proportion_z(50, 100, 50, 100).unwrap();
+        assert!(same.statistic.abs() < 1e-12);
+        assert!((same.p_value - 1.0).abs() < 1e-8);
+        // Degenerate cases.
+        assert!(two_proportion_z(0, 0, 1, 2).is_none());
+        assert!(two_proportion_z(0, 10, 0, 10).is_none());
+        assert!(two_proportion_z(10, 10, 10, 10).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Likert-scale statistics.
+//!
+//! The engagement survey uses "a Likert scale ranging from 1 (Strongly
+//! Disagree) to 5 (Strongly Agree)" and the paper reports *medians* per
+//! question per institution, including half-point values (4.5) that arise
+//! from even-sized samples. Responses may be missing (Webster's NA rows in
+//! Table III), so summaries operate on whatever responses exist.
+
+/// The median of Likert responses, averaging the two middle values for
+/// even counts (which is how the paper's 4.5s arise). Returns `None` for
+/// an empty slice (an NA cell in the tables).
+pub fn median(responses: &[u8]) -> Option<f64> {
+    if responses.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        responses.iter().all(|&r| (1..=5).contains(&r)),
+        "Likert responses must be 1..=5"
+    );
+    let mut sorted = responses.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        f64::from(sorted[n / 2])
+    } else {
+        f64::from(sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    })
+}
+
+/// Summary statistics for one question's responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikertSummary {
+    /// Number of responses.
+    pub n: usize,
+    /// Median (None if no responses).
+    pub median: Option<f64>,
+    /// Mean (None if no responses).
+    pub mean: Option<f64>,
+    /// Histogram of counts for scores 1..=5.
+    pub histogram: [usize; 5],
+    /// Fraction of responses ≥ 4 ("agree or strongly agree").
+    pub agreement: Option<f64>,
+}
+
+impl LikertSummary {
+    /// Summarize a slice of responses (values outside 1..=5 are rejected).
+    pub fn from_responses(responses: &[u8]) -> Self {
+        let mut histogram = [0usize; 5];
+        for &r in responses {
+            assert!((1..=5).contains(&r), "Likert response out of range: {r}");
+            histogram[(r - 1) as usize] += 1;
+        }
+        let n = responses.len();
+        let mean = (n > 0).then(|| responses.iter().map(|&r| f64::from(r)).sum::<f64>() / n as f64);
+        let agreement = (n > 0).then(|| {
+            responses.iter().filter(|&&r| r >= 4).count() as f64 / n as f64
+        });
+        LikertSummary {
+            n,
+            median: median(responses),
+            mean,
+            histogram,
+            agreement,
+        }
+    }
+
+    /// Format the median the way the tables do: one decimal, or "NA".
+    pub fn median_display(&self) -> String {
+        match self.median {
+            Some(m) => format!("{m:.1}"),
+            None => "NA".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_count_median() {
+        assert_eq!(median(&[5, 3, 4]), Some(4.0));
+        assert_eq!(median(&[1]), Some(1.0));
+    }
+
+    #[test]
+    fn even_count_half_point_median() {
+        // This is how Table I's 4.5s happen.
+        assert_eq!(median(&[4, 5]), Some(4.5));
+        assert_eq!(median(&[3, 4, 5, 5]), Some(4.5));
+        assert_eq!(median(&[4, 4, 5, 5]), Some(4.5));
+    }
+
+    #[test]
+    fn empty_is_na() {
+        assert_eq!(median(&[]), None);
+        let s = LikertSummary::from_responses(&[]);
+        assert_eq!(s.median_display(), "NA");
+        assert_eq!(s.mean, None);
+        assert_eq!(s.agreement, None);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = LikertSummary::from_responses(&[5, 5, 4, 3, 5]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.median, Some(5.0));
+        assert_eq!(s.histogram, [0, 0, 1, 1, 3]);
+        assert!((s.mean.unwrap() - 4.4).abs() < 1e-12);
+        assert!((s.agreement.unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(s.median_display(), "5.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = LikertSummary::from_responses(&[6]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Parallel performance metrics.
+//!
+//! The quiz's own definition (Fig. 7, Q2): "Speedup is defined as the
+//! ratio of the time taken to solve a problem on a single processor to the
+//! time taken on a parallel system" — true. Everything else here follows
+//! from that ratio.
+
+/// Speedup `S(p) = T₁ / Tₚ`. Panics on non-positive times.
+pub fn speedup(t1_secs: f64, tp_secs: f64) -> f64 {
+    assert!(
+        t1_secs > 0.0 && tp_secs > 0.0,
+        "times must be positive: t1={t1_secs}, tp={tp_secs}"
+    );
+    t1_secs / tp_secs
+}
+
+/// Parallel efficiency `E(p) = S(p) / p` — 1.0 is linear speedup, the
+/// "what *should* the speedup be" answer the instructor leads students to.
+pub fn efficiency(t1_secs: f64, tp_secs: f64, p: usize) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    speedup(t1_secs, tp_secs) / p as f64
+}
+
+/// Amdahl's law: predicted speedup on `p` processors when a fraction
+/// `serial` of the work cannot be parallelized.
+pub fn amdahl_speedup(serial: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial), "serial fraction in [0,1]");
+    assert!(p > 0);
+    1.0 / (serial + (1.0 - serial) / p as f64)
+}
+
+/// Gustafson's law: scaled speedup when the parallel part grows with `p`.
+pub fn gustafson_speedup(serial: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial), "serial fraction in [0,1]");
+    assert!(p > 0);
+    p as f64 - serial * (p as f64 - 1.0)
+}
+
+/// Karp–Flatt metric: the experimentally determined serial fraction
+/// implied by a measured speedup on `p > 1` processors. Rising values with
+/// `p` indicate overheads like contention — exactly what scenario 4 adds.
+pub fn karp_flatt(measured_speedup: f64, p: usize) -> f64 {
+    assert!(p > 1, "Karp–Flatt needs p > 1");
+    assert!(measured_speedup > 0.0);
+    let p = p as f64;
+    (1.0 / measured_speedup - 1.0 / p) / (1.0 - 1.0 / p)
+}
+
+/// Fit Amdahl's law to measured `(p, speedup)` points: the least-squares
+/// serial fraction over the Karp–Flatt estimates of each point (p > 1).
+/// Returns `None` if no usable points exist. This is how the harness
+/// turns a team-size sweep into "the activity behaves like a program
+/// that is X% serial".
+pub fn fit_amdahl_serial_fraction(points: &[(usize, f64)]) -> Option<f64> {
+    let estimates: Vec<f64> = points
+        .iter()
+        .filter(|&&(p, s)| p > 1 && s > 0.0)
+        .map(|&(p, s)| karp_flatt(s, p))
+        .collect();
+    if estimates.is_empty() {
+        return None;
+    }
+    Some((estimates.iter().sum::<f64>() / estimates.len() as f64).clamp(0.0, 1.0))
+}
+
+/// Load imbalance of per-worker busy times: `max/mean − 1`. Zero means
+/// perfect balance (the French flag's three equal stripes); large values
+/// mean someone got the maple leaf.
+pub fn load_imbalance(busy_secs: &[f64]) -> f64 {
+    assert!(!busy_secs.is_empty(), "no workers");
+    let max = busy_secs.iter().copied().fold(f64::MIN, f64::max);
+    let mean = busy_secs.iter().sum::<f64>() / busy_secs.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    max / mean - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert_eq!(speedup(100.0, 50.0), 2.0);
+        assert_eq!(efficiency(100.0, 50.0, 2), 1.0);
+        assert!((efficiency(100.0, 30.0, 4) - 100.0 / 30.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        let _ = speedup(0.0, 1.0);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        // No serial part: linear.
+        assert_eq!(amdahl_speedup(0.0, 8), 8.0);
+        // All serial: no speedup.
+        assert_eq!(amdahl_speedup(1.0, 8), 1.0);
+        // 10% serial caps speedup below 10.
+        let s = amdahl_speedup(0.1, 1024);
+        assert!(s < 10.0 && s > 9.0, "{s}");
+        // Monotone in p.
+        assert!(amdahl_speedup(0.2, 4) > amdahl_speedup(0.2, 2));
+    }
+
+    #[test]
+    fn gustafson_grows_linearly() {
+        assert_eq!(gustafson_speedup(0.0, 8), 8.0);
+        assert_eq!(gustafson_speedup(1.0, 8), 1.0);
+        let g = gustafson_speedup(0.1, 8);
+        assert!((g - (8.0 - 0.1 * 7.0)).abs() < 1e-12);
+        // Gustafson ≥ Amdahl for same serial fraction and p.
+        assert!(g > amdahl_speedup(0.1, 8));
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        // If the measured speedup *is* Amdahl's prediction, Karp–Flatt
+        // returns the serial fraction.
+        for serial in [0.05, 0.2, 0.5] {
+            for p in [2, 4, 8] {
+                let s = amdahl_speedup(serial, p);
+                let e = karp_flatt(s, p);
+                assert!((e - serial).abs() < 1e-12, "serial {serial}, p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn karp_flatt_zero_for_linear() {
+        assert!(karp_flatt(4.0, 4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_fit_recovers_known_fraction() {
+        for serial in [0.1, 0.3, 0.6] {
+            let points: Vec<(usize, f64)> = [2usize, 4, 8]
+                .iter()
+                .map(|&p| (p, amdahl_speedup(serial, p)))
+                .collect();
+            let fit = fit_amdahl_serial_fraction(&points).unwrap();
+            assert!((fit - serial).abs() < 1e-9, "serial {serial} fit {fit}");
+        }
+    }
+
+    #[test]
+    fn amdahl_fit_edge_cases() {
+        assert_eq!(fit_amdahl_serial_fraction(&[]), None);
+        assert_eq!(fit_amdahl_serial_fraction(&[(1, 1.0)]), None);
+        // Perfectly linear speedups fit to zero serial fraction.
+        let linear: Vec<(usize, f64)> = vec![(2, 2.0), (4, 4.0)];
+        assert!(fit_amdahl_serial_fraction(&linear).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_cases() {
+        assert_eq!(load_imbalance(&[10.0, 10.0, 10.0]), 0.0);
+        // One worker with double load: max 20, mean 13.33 → 0.5.
+        let li = load_imbalance(&[10.0, 10.0, 20.0]);
+        assert!((li - 0.5).abs() < 1e-12);
+        assert_eq!(load_imbalance(&[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Pre/post quiz transition analysis.
+//!
+//! Fig. 8 reports, per concept per institution, the four fractions of a
+//! paired pre/post outcome: students who **retained** a correct answer,
+//! **gained** correctness (wrong → right — "learning"), **lost** it
+//! (right → wrong — "knowledge loss"), and **stayed incorrect**
+//! ("incorrect retention"). A [`TransitionMatrix`] holds the counts and
+//! derives the percentages the paper prints.
+
+/// Paired pre/post outcomes for one question over one cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionMatrix {
+    /// Correct before and after.
+    pub retained: usize,
+    /// Incorrect before, correct after.
+    pub gained: usize,
+    /// Correct before, incorrect after.
+    pub lost: usize,
+    /// Incorrect before and after.
+    pub stayed_incorrect: usize,
+}
+
+impl TransitionMatrix {
+    /// Tally from paired response correctness.
+    pub fn from_pairs(pairs: &[(bool, bool)]) -> Self {
+        let mut m = TransitionMatrix::default();
+        for &(pre, post) in pairs {
+            match (pre, post) {
+                (true, true) => m.retained += 1,
+                (false, true) => m.gained += 1,
+                (true, false) => m.lost += 1,
+                (false, false) => m.stayed_incorrect += 1,
+            }
+        }
+        m
+    }
+
+    /// Build directly from counts.
+    pub fn from_counts(retained: usize, gained: usize, lost: usize, stayed_incorrect: usize) -> Self {
+        TransitionMatrix {
+            retained,
+            gained,
+            lost,
+            stayed_incorrect,
+        }
+    }
+
+    /// Cohort size.
+    pub fn total(&self) -> usize {
+        self.retained + self.gained + self.lost + self.stayed_incorrect
+    }
+
+    fn pct(&self, count: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.total() as f64
+        }
+    }
+
+    /// Percent retained-correct (Fig. 8's "retained correct answers").
+    pub fn retained_pct(&self) -> f64 {
+        self.pct(self.retained)
+    }
+
+    /// Percent gained (Fig. 8's "growth"/"learning gains").
+    pub fn gained_pct(&self) -> f64 {
+        self.pct(self.gained)
+    }
+
+    /// Percent lost (Fig. 8's "knowledge loss"/"reduction").
+    pub fn lost_pct(&self) -> f64 {
+        self.pct(self.lost)
+    }
+
+    /// Percent stayed-incorrect (Fig. 8's "incorrect retention").
+    pub fn stayed_incorrect_pct(&self) -> f64 {
+        self.pct(self.stayed_incorrect)
+    }
+
+    /// Fraction correct on the pre-quiz.
+    pub fn pre_correct_pct(&self) -> f64 {
+        self.pct(self.retained + self.lost)
+    }
+
+    /// Fraction correct on the post-quiz.
+    pub fn post_correct_pct(&self) -> f64 {
+        self.pct(self.retained + self.gained)
+    }
+
+    /// Net learning: post-correct minus pre-correct, in percentage points.
+    pub fn net_gain_pp(&self) -> f64 {
+        self.post_correct_pct() - self.pre_correct_pct()
+    }
+
+    /// Normalized learning gain (Hake gain): fraction of the students who
+    /// *could* improve who did. `None` when everyone was already correct.
+    pub fn normalized_gain(&self) -> Option<f64> {
+        let could_improve = self.gained + self.stayed_incorrect;
+        (could_improve > 0).then(|| self.gained as f64 / could_improve as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_pairs() {
+        let m = TransitionMatrix::from_pairs(&[
+            (true, true),
+            (true, true),
+            (false, true),
+            (true, false),
+            (false, false),
+        ]);
+        assert_eq!(m.retained, 2);
+        assert_eq!(m.gained, 1);
+        assert_eq!(m.lost, 1);
+        assert_eq!(m.stayed_incorrect, 1);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let m = TransitionMatrix::from_counts(10, 5, 3, 8);
+        let sum = m.retained_pct() + m.gained_pct() + m.lost_pct() + m.stayed_incorrect_pct();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_post_and_net() {
+        // USI contention row of Fig. 8: 46.2% pre-correct, 38.5% gained.
+        // With n = 13: retained 6, gained 5, lost 0, stayed 2 → 46.2/38.5.
+        let m = TransitionMatrix::from_counts(6, 5, 0, 2);
+        assert!((m.pre_correct_pct() - 46.2).abs() < 0.1);
+        assert!((m.gained_pct() - 38.5).abs() < 0.1);
+        assert!((m.post_correct_pct() - 84.6).abs() < 0.1);
+        assert!((m.net_gain_pp() - 38.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn normalized_gain() {
+        let m = TransitionMatrix::from_counts(5, 3, 0, 2);
+        assert!((m.normalized_gain().unwrap() - 0.6).abs() < 1e-12);
+        // Everyone already correct → undefined.
+        let full = TransitionMatrix::from_counts(10, 0, 0, 0);
+        assert_eq!(full.normalized_gain(), None);
+    }
+
+    #[test]
+    fn empty_cohort_is_zeroes() {
+        let m = TransitionMatrix::default();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.retained_pct(), 0.0);
+        assert_eq!(m.net_gain_pp(), 0.0);
+    }
+}

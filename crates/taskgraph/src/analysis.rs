@@ -1,0 +1,173 @@
+//! Work/span analysis.
+//!
+//! The quantities behind the discussion the instructor leads after the
+//! activity: how much *total* coloring there is (work), the longest chain
+//! of dependent coloring steps (span / critical path), and what those two
+//! numbers say about the best possible completion time on `p` students —
+//! the work law `T_p ≥ work / p` and the span law `T_p ≥ span`.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Total work: the sum of all task weights.
+pub fn work(g: &TaskGraph) -> u64 {
+    g.ids().map(|t| g.weight(t)).sum()
+}
+
+/// Span (critical-path length): the weight of the heaviest dependency
+/// chain. Zero for an empty graph.
+pub fn span(g: &TaskGraph) -> u64 {
+    critical_path(g).1
+}
+
+/// The critical path itself and its total weight: the chain of tasks that
+/// lower-bounds every schedule. Ties are broken deterministically (smaller
+/// task ids win).
+pub fn critical_path(g: &TaskGraph) -> (Vec<TaskId>, u64) {
+    if g.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let order = g.topo_order();
+    // dist[t] = weight of heaviest path ending at t (inclusive).
+    let mut dist: Vec<u64> = vec![0; g.len()];
+    let mut best_pred: Vec<Option<TaskId>> = vec![None; g.len()];
+    for &t in &order {
+        let own = g.weight(t);
+        let mut best = 0;
+        let mut pred = None;
+        for p in g.preds(t) {
+            if dist[p.index()] > best {
+                best = dist[p.index()];
+                pred = Some(p);
+            }
+        }
+        dist[t.index()] = best + own;
+        best_pred[t.index()] = pred;
+    }
+    let end = g
+        .ids()
+        .max_by_key(|t| (dist[t.index()], std::cmp::Reverse(t.0)))
+        .expect("nonempty");
+    let total = dist[end.index()];
+    let mut path = vec![end];
+    let mut cur = end;
+    while let Some(p) = best_pred[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    (path, total)
+}
+
+/// The maximum useful parallelism `work / span` — adding students beyond
+/// this cannot help (the Knox lesson: the Union Jack's layer chain caps
+/// speedup no matter the team size). Returns `f64::INFINITY` for an empty
+/// graph with zero span.
+pub fn parallelism(g: &TaskGraph) -> f64 {
+    let s = span(g);
+    if s == 0 {
+        return f64::INFINITY;
+    }
+    work(g) as f64 / s as f64
+}
+
+/// Lower bound on any `p`-processor schedule: `max(⌈work/p⌉, span)` — the
+/// work and span laws combined.
+pub fn makespan_lower_bound(g: &TaskGraph, p: usize) -> u64 {
+    assert!(p > 0, "need at least one processor");
+    let w = work(g);
+    let per_proc = w.div_ceil(p as u64);
+    per_proc.max(span(g))
+}
+
+/// Upper bound achieved by any greedy schedule (Graham/Brent):
+/// `work/p + span`. A sanity envelope for the list scheduler.
+pub fn greedy_upper_bound(g: &TaskGraph, p: usize) -> u64 {
+    assert!(p > 0, "need at least one processor");
+    work(g) / p as u64 + span(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(weights: &[u64]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let ids: Vec<TaskId> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| g.add_task(format!("t{i}"), w))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn independent(weights: &[u64]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_task(format!("t{i}"), w);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_span_equals_work() {
+        let g = chain(&[5, 10, 15]);
+        assert_eq!(work(&g), 30);
+        assert_eq!(span(&g), 30);
+        assert!((parallelism(&g) - 1.0).abs() < 1e-12);
+        let (path, total) = critical_path(&g);
+        assert_eq!(total, 30);
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn independent_tasks_span_is_max() {
+        let g = independent(&[5, 10, 15]);
+        assert_eq!(work(&g), 30);
+        assert_eq!(span(&g), 15);
+        assert!((parallelism(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_critical_path_picks_heavier_branch() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 10);
+        let b = g.add_task("b", 20);
+        let c = g.add_task("c", 30);
+        let d = g.add_task("d", 40);
+        g.add_dep(a, b).unwrap();
+        g.add_dep(a, c).unwrap();
+        g.add_dep(b, d).unwrap();
+        g.add_dep(c, d).unwrap();
+        let (path, total) = critical_path(&g);
+        assert_eq!(total, 80); // a + c + d
+        assert_eq!(path, vec![a, c, d]);
+        assert_eq!(work(&g), 100);
+    }
+
+    #[test]
+    fn bounds_behave() {
+        let g = independent(&[10, 10, 10, 10]);
+        assert_eq!(makespan_lower_bound(&g, 1), 40);
+        assert_eq!(makespan_lower_bound(&g, 2), 20);
+        assert_eq!(makespan_lower_bound(&g, 8), 10); // span dominates
+        assert!(greedy_upper_bound(&g, 2) >= makespan_lower_bound(&g, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(work(&g), 0);
+        assert_eq!(span(&g), 0);
+        assert!(parallelism(&g).is_infinite());
+        assert_eq!(critical_path(&g).0.len(), 0);
+    }
+
+    #[test]
+    fn zero_weight_tasks_do_not_break_path() {
+        let g = chain(&[0, 0, 7]);
+        assert_eq!(span(&g), 7);
+    }
+}

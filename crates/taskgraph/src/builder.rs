@@ -1,0 +1,131 @@
+//! Ergonomic graph construction by label.
+//!
+//! The rest of the crate works with [`TaskId`](crate::TaskId)s; humans (and the CLI)
+//! think in labels. The builder accepts tasks and edges by label, in any
+//! order (edges may name tasks that arrive later), and reports all
+//! problems at build time.
+
+use crate::graph::TaskGraph;
+
+/// Accumulates labeled tasks and label-to-label edges.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    tasks: Vec<(String, u64)>,
+    edges: Vec<(String, String)>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Add a task (label must be unique, case-insensitively).
+    pub fn task(mut self, label: impl Into<String>, weight: u64) -> Self {
+        self.tasks.push((label.into(), weight));
+        self
+    }
+
+    /// Add a dependency `from → to` by label (order of calls irrelevant).
+    pub fn dep(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Build, reporting duplicate labels, unknown edge endpoints, or
+    /// cycles.
+    pub fn build(self) -> Result<TaskGraph, String> {
+        let mut g = TaskGraph::new();
+        for (label, weight) in &self.tasks {
+            if g.find(label).is_some()
+                || g.ids().any(|t| g.label(t).eq_ignore_ascii_case(label))
+            {
+                return Err(format!("duplicate task label {label:?}"));
+            }
+            g.add_task(label.clone(), *weight);
+        }
+        for (from, to) in &self.edges {
+            let find = |label: &str| {
+                g.ids()
+                    .find(|&t| g.label(t).eq_ignore_ascii_case(label))
+                    .ok_or_else(|| format!("edge references unknown task {label:?}"))
+            };
+            let (f, t) = (find(from)?, find(to)?);
+            g.add_dep(f, t)?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn builds_fig9_by_label() {
+        let g = GraphBuilder::new()
+            .task("black stripe", 48)
+            .task("white stripe", 48)
+            .task("green stripe", 48)
+            .task("red triangle", 30)
+            .task("white dot", 2)
+            .dep("black stripe", "red triangle")
+            .dep("white stripe", "red triangle")
+            .dep("green stripe", "red triangle")
+            .dep("red triangle", "white dot")
+            .build()
+            .unwrap();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(analysis::span(&g), 48 + 30 + 2);
+    }
+
+    #[test]
+    fn edges_may_precede_tasks_in_call_order() {
+        // dep() before the second task() — still fine, edges resolve at
+        // build.
+        let g = GraphBuilder::new()
+            .task("a", 1)
+            .dep("a", "b")
+            .task("b", 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn labels_resolve_case_insensitively() {
+        let g = GraphBuilder::new()
+            .task("Blue Field", 10)
+            .task("Red Cross", 5)
+            .dep("blue field", "RED CROSS")
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(GraphBuilder::new()
+            .task("a", 1)
+            .task("A", 2)
+            .build()
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(GraphBuilder::new()
+            .task("a", 1)
+            .dep("a", "ghost")
+            .build()
+            .unwrap_err()
+            .contains("unknown task"));
+        assert!(GraphBuilder::new()
+            .task("a", 1)
+            .task("b", 1)
+            .dep("a", "b")
+            .dep("b", "a")
+            .build()
+            .unwrap_err()
+            .contains("cycle"));
+    }
+}

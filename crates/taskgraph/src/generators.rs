@@ -1,0 +1,161 @@
+//! Synthetic DAG generators for tests, benches and demonstrations.
+//!
+//! Beyond the flags' own graphs, the scheduling discussion benefits from
+//! classic shapes: chains (no parallelism), independent sets (perfect
+//! parallelism), fork–joins, layered random DAGs, and series–parallel
+//! compositions. All generators are deterministic (seeded xorshift — no
+//! RNG dependency in this crate).
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// A tiny deterministic xorshift for the random generators.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // Splitmix-style scramble so adjacent seeds diverge (a plain
+        // `seed | 1` would alias 42 and 43).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift((z ^ (z >> 31)) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let x = &mut self.0;
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A chain of `n` tasks with the given weights cycle.
+pub fn chain(n: usize, weights: &[u64]) -> TaskGraph {
+    assert!(n > 0 && !weights.is_empty());
+    let mut g = TaskGraph::new();
+    let mut prev: Option<TaskId> = None;
+    for i in 0..n {
+        let t = g.add_task(format!("c{i}"), weights[i % weights.len()]);
+        if let Some(p) = prev {
+            g.add_dep(p, t).expect("forward edge");
+        }
+        prev = Some(t);
+    }
+    g
+}
+
+/// `n` independent tasks.
+pub fn independent(n: usize, weights: &[u64]) -> TaskGraph {
+    assert!(n > 0 && !weights.is_empty());
+    let mut g = TaskGraph::new();
+    for i in 0..n {
+        g.add_task(format!("i{i}"), weights[i % weights.len()]);
+    }
+    g
+}
+
+/// Fork–join: a source, `width` parallel tasks, a sink.
+pub fn fork_join(width: usize, src_w: u64, mid_w: u64, sink_w: u64) -> TaskGraph {
+    assert!(width > 0);
+    let mut g = TaskGraph::new();
+    let src = g.add_task("fork", src_w);
+    let sink_pred: Vec<TaskId> = (0..width)
+        .map(|i| {
+            let t = g.add_task(format!("branch{i}"), mid_w);
+            g.add_dep(src, t).expect("forward");
+            t
+        })
+        .collect();
+    let sink = g.add_task("join", sink_w);
+    for t in sink_pred {
+        g.add_dep(t, sink).expect("forward");
+    }
+    g
+}
+
+/// A layered random DAG: `layers` levels of `width` tasks; each task
+/// depends on 1..=`fan_in` random tasks of the previous level. Weights in
+/// `1..=max_weight`. Deterministic in `seed`.
+pub fn layered_random(
+    layers: usize,
+    width: usize,
+    fan_in: usize,
+    max_weight: u64,
+    seed: u64,
+) -> TaskGraph {
+    assert!(layers > 0 && width > 0 && fan_in > 0 && max_weight > 0);
+    let mut rng = XorShift::new(seed);
+    let mut g = TaskGraph::new();
+    let mut prev_level: Vec<TaskId> = Vec::new();
+    for l in 0..layers {
+        let level: Vec<TaskId> = (0..width)
+            .map(|i| g.add_task(format!("l{l}t{i}"), 1 + rng.below(max_weight)))
+            .collect();
+        if !prev_level.is_empty() {
+            for &t in &level {
+                let k = 1 + rng.below(fan_in as u64) as usize;
+                for _ in 0..k {
+                    let p = prev_level[rng.below(prev_level.len() as u64) as usize];
+                    let _ = g.add_dep(p, t); // duplicates are no-ops
+                }
+            }
+        }
+        prev_level = level;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::{list_schedule, Priority};
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let g = chain(10, &[5]);
+        assert_eq!(g.len(), 10);
+        assert_eq!(analysis::span(&g), 50);
+        assert!((analysis::parallelism(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_is_perfectly_parallel() {
+        let g = independent(8, &[5]);
+        assert_eq!(g.edge_count(), 0);
+        assert!((analysis::parallelism(&g) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(6, 1, 10, 1);
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(analysis::span(&g), 12);
+        assert_eq!(analysis::work(&g), 62);
+    }
+
+    #[test]
+    fn layered_random_is_schedulable_and_deterministic() {
+        let a = layered_random(5, 6, 3, 50, 42);
+        let b = layered_random(5, 6, 3, 50, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        // Every non-root level task has at least one predecessor.
+        for t in a.ids() {
+            let label = a.label(t).to_owned();
+            if !label.starts_with("l0") {
+                assert!(a.preds(t).count() >= 1, "{label}");
+            }
+        }
+        for p in [1, 2, 4] {
+            let s = list_schedule(&a, p, Priority::CriticalPath);
+            s.validate(&a).unwrap();
+        }
+        // Different seeds differ.
+        assert_ne!(a, layered_random(5, 6, 3, 50, 43));
+    }
+}

@@ -1,0 +1,536 @@
+//! Grading student-drawn dependency graphs — the Section V-C rubric.
+//!
+//! At Knox, students drew a dependency graph for coloring the flag of
+//! Jordan, and the submissions were classified as: **perfect** (34%),
+//! **mostly correct** (24% — split the red triangle in two, merged all
+//! stripes into one task, or conveyed the dependencies spatially without
+//! arrows), **linear chain** (the most common error: thinking in
+//! sequential code), **incomplete**, or **no learning** (drew the flag or
+//! wrote code instead). This module implements that rubric generically:
+//! given a reference [`TaskGraph`] and per-flag allowances (optional
+//! tasks, allowed splits/merges), it classifies any [`SubmittedGraph`].
+
+use crate::graph::TaskGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A student's submission, as transcribed from paper: task labels in their
+/// own words (matched case-insensitively) and arrows between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmittedGraph {
+    /// Task labels as written.
+    pub tasks: Vec<String>,
+    /// Arrows `(from, to)` as indices into `tasks`.
+    pub edges: Vec<(usize, usize)>,
+    /// The student conveyed ordering spatially (layout implies layers) but
+    /// omitted the arrows — one real submission did this and was counted
+    /// mostly correct.
+    pub spatial_only: bool,
+    /// Whether the drawing was finished (a couple of real submissions
+    /// weren't).
+    pub complete: bool,
+}
+
+impl SubmittedGraph {
+    /// A finished, arrow-bearing submission.
+    pub fn new(tasks: Vec<String>, edges: Vec<(usize, usize)>) -> Self {
+        SubmittedGraph {
+            tasks,
+            edges,
+            spatial_only: false,
+            complete: true,
+        }
+    }
+}
+
+/// Flag-specific grading allowances.
+#[derive(Debug, Clone, Default)]
+pub struct GradeOptions {
+    /// Reference tasks that may be omitted entirely (Jordan's white stripe:
+    /// "the background is initially white so a white stripe can be achieved
+    /// by not drawing anything").
+    pub optional_tasks: Vec<String>,
+    /// Allowed task splits: `(canonical, parts)` — a student may replace
+    /// `canonical` with the given part labels (Jordan's red triangle split
+    /// into two right triangles). Using a split caps the grade at
+    /// mostly-correct.
+    pub splits: Vec<(String, Vec<String>)>,
+    /// Allowed task merges: `(merged label, members)` — one submitted task
+    /// standing for several reference tasks ("stripes" for all three).
+    /// Using a merge caps the grade at mostly-correct.
+    pub merges: Vec<(String, Vec<String>)>,
+}
+
+/// The mostly-correct sub-variants observed in Section V-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MostlyVariant {
+    /// Split a reference task into allowed parts (e.g. the red triangle
+    /// into two right triangles) without refining the dependencies.
+    SplitTask,
+    /// Merged several reference tasks into one (e.g. one task for all the
+    /// stripes).
+    MergedTasks,
+    /// Correct grouping and ordering conveyed spatially, arrows omitted.
+    SpatialNoArrows,
+}
+
+/// The rubric's outcome for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubmissionGrade {
+    /// Dependency structure exactly matches the reference (up to optional
+    /// task omission).
+    Perfect,
+    /// Correct understanding with an allowed deviation.
+    MostlyCorrect(MostlyVariant),
+    /// A single sequential chain — "they either thought about the graph in
+    /// terms of sequential code or misunderstood the meaning of a
+    /// dependency".
+    LinearChain,
+    /// Unfinished drawing.
+    Incomplete,
+    /// Structurally wrong in some other way (tasks right, dependencies
+    /// neither correct nor a chain).
+    IncorrectStructure,
+    /// No evidence of the concept — drew the flag, wrote code, or used
+    /// unrecognizable tasks.
+    NoLearning,
+}
+
+impl SubmissionGrade {
+    /// Whether the paper would count this among the "at least mostly
+    /// correct" 59%.
+    pub fn is_at_least_mostly_correct(self) -> bool {
+        matches!(
+            self,
+            SubmissionGrade::Perfect | SubmissionGrade::MostlyCorrect(_)
+        )
+    }
+}
+
+fn norm(s: &str) -> String {
+    s.trim().to_ascii_lowercase()
+}
+
+/// Classify a submission against a reference graph.
+pub fn classify(
+    submission: &SubmittedGraph,
+    reference: &TaskGraph,
+    options: &GradeOptions,
+) -> SubmissionGrade {
+    let ref_labels: BTreeMap<String, crate::graph::TaskId> = reference
+        .ids()
+        .map(|t| (norm(reference.label(t)), t))
+        .collect();
+    let optional: BTreeSet<String> = options.optional_tasks.iter().map(|s| norm(s)).collect();
+
+    // Map each submitted task index to the set of canonical reference
+    // labels it stands for.
+    let mut mapping: Vec<Option<BTreeSet<String>>> = Vec::with_capacity(submission.tasks.len());
+    let mut used_split = false;
+    let mut used_merge = false;
+    for label in &submission.tasks {
+        let l = norm(label);
+        if ref_labels.contains_key(&l) {
+            mapping.push(Some(BTreeSet::from([l])));
+            continue;
+        }
+        // Split part?
+        if let Some((canon, _)) = options
+            .splits
+            .iter()
+            .find(|(_, parts)| parts.iter().any(|p| norm(p) == l))
+        {
+            used_split = true;
+            mapping.push(Some(BTreeSet::from([norm(canon)])));
+            continue;
+        }
+        // Merge label?
+        if let Some((_, members)) = options.merges.iter().find(|(m, _)| norm(m) == l) {
+            used_merge = true;
+            mapping.push(Some(members.iter().map(|m| norm(m)).collect()));
+            continue;
+        }
+        mapping.push(None);
+    }
+
+    let recognized = mapping.iter().flatten().count();
+    if recognized == 0 {
+        return SubmissionGrade::NoLearning;
+    }
+    if !submission.complete {
+        return SubmissionGrade::Incomplete;
+    }
+
+    // Coverage: every required reference task must be represented.
+    let covered: BTreeSet<String> = mapping.iter().flatten().flatten().cloned().collect();
+    let required: BTreeSet<String> = ref_labels
+        .keys()
+        .filter(|l| !optional.contains(*l))
+        .cloned()
+        .collect();
+    if !required.is_subset(&covered) {
+        return SubmissionGrade::Incomplete;
+    }
+
+    // Unrecognized extra tasks beyond the reference are fine as long as the
+    // real structure is right; they simply don't participate.
+
+    // Spatial submissions with no arrows: correct grouping earns
+    // mostly-correct.
+    if submission.spatial_only && submission.edges.is_empty() {
+        return SubmissionGrade::MostlyCorrect(MostlyVariant::SpatialNoArrows);
+    }
+
+    // Canonicalized submitted dependency closure.
+    let sub_closure = canonical_closure(submission, &mapping);
+
+    // Reference closure restricted to required ∪ covered-optional tasks.
+    let mut ref_closure: BTreeSet<(String, String)> = BTreeSet::new();
+    for (a, b) in reference.transitive_closure() {
+        let (la, lb) = (norm(reference.label(a)), norm(reference.label(b)));
+        let a_in = covered.contains(&la);
+        let b_in = covered.contains(&lb);
+        if a_in && b_in {
+            ref_closure.insert((la, lb));
+        }
+    }
+
+    if sub_closure == ref_closure {
+        return if used_split {
+            SubmissionGrade::MostlyCorrect(MostlyVariant::SplitTask)
+        } else if used_merge {
+            SubmissionGrade::MostlyCorrect(MostlyVariant::MergedTasks)
+        } else {
+            SubmissionGrade::Perfect
+        };
+    }
+
+    // Linear chain: the submitted tasks form one total order.
+    if is_chain(submission) && submission.tasks.len() >= 3 {
+        return SubmissionGrade::LinearChain;
+    }
+
+    SubmissionGrade::IncorrectStructure
+}
+
+/// The transitive closure of the submission's arrows, expressed over
+/// canonical labels (split parts collapse; merge labels expand).
+fn canonical_closure(
+    submission: &SubmittedGraph,
+    mapping: &[Option<BTreeSet<String>>],
+) -> BTreeSet<(String, String)> {
+    let n = submission.tasks.len();
+    // Closure over submitted indices first (Floyd-Warshall-ish; n is tiny).
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in &submission.edges {
+        if a < n && b < n {
+            reach[a][b] = true;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let row_k = reach[k].clone();
+                for (j, r) in reach[i].iter_mut().enumerate() {
+                    if row_k[j] {
+                        *r = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if !reach[i][j] {
+                continue;
+            }
+            let (Some(from), Some(to)) = (&mapping[i], &mapping[j]) else {
+                continue;
+            };
+            for f in from {
+                for t in to {
+                    if f != t {
+                        out.insert((f.clone(), t.clone()));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the submitted arrows form a single chain covering all tasks:
+/// exactly one start, one end, everyone else one-in-one-out, connected.
+fn is_chain(submission: &SubmittedGraph) -> bool {
+    let n = submission.tasks.len();
+    if n == 0 {
+        return false;
+    }
+    let mut indeg = vec![0usize; n];
+    let mut outdeg = vec![0usize; n];
+    for &(a, b) in &submission.edges {
+        if a >= n || b >= n {
+            return false;
+        }
+        outdeg[a] += 1;
+        indeg[b] += 1;
+    }
+    if submission.edges.len() != n - 1 {
+        return false;
+    }
+    let starts = (0..n).filter(|&i| indeg[i] == 0).count();
+    let ends = (0..n).filter(|&i| outdeg[i] == 0).count();
+    starts == 1
+        && ends == 1
+        && (0..n).all(|i| indeg[i] <= 1 && outdeg[i] <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 9 reference: three stripes → red triangle → white dot.
+    fn jordan_reference() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let black = g.add_task("black stripe", 10);
+        let white = g.add_task("white stripe", 10);
+        let green = g.add_task("green stripe", 10);
+        let tri = g.add_task("red triangle", 8);
+        let dot = g.add_task("white dot", 1);
+        for s in [black, white, green] {
+            g.add_dep(s, tri).unwrap();
+        }
+        g.add_dep(tri, dot).unwrap();
+        g
+    }
+
+    fn jordan_options() -> GradeOptions {
+        GradeOptions {
+            optional_tasks: vec!["white stripe".into()],
+            splits: vec![(
+                "red triangle".into(),
+                vec!["top triangle".into(), "bottom triangle".into()],
+            )],
+            merges: vec![(
+                "stripes".into(),
+                vec![
+                    "black stripe".into(),
+                    "white stripe".into(),
+                    "green stripe".into(),
+                ],
+            )],
+        }
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_submission() {
+        let sub = SubmittedGraph::new(
+            s(&[
+                "black stripe",
+                "white stripe",
+                "green stripe",
+                "red triangle",
+                "white dot",
+            ]),
+            vec![(0, 3), (1, 3), (2, 3), (3, 4)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::Perfect
+        );
+    }
+
+    #[test]
+    fn perfect_with_omitted_white_stripe() {
+        // "we counted the graph as correct if it omitted the box for
+        // drawing the white stripe".
+        let sub = SubmittedGraph::new(
+            s(&["black stripe", "green stripe", "red triangle", "white dot"]),
+            vec![(0, 2), (1, 2), (2, 3)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::Perfect
+        );
+    }
+
+    #[test]
+    fn split_triangle_is_mostly_correct() {
+        // 5 students split the triangle horizontally into two right
+        // triangles; none refined the dependencies, still mostly correct.
+        let sub = SubmittedGraph::new(
+            s(&[
+                "black stripe",
+                "white stripe",
+                "green stripe",
+                "top triangle",
+                "bottom triangle",
+                "white dot",
+            ]),
+            vec![
+                (0, 3),
+                (1, 3),
+                (2, 3),
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 5),
+                (4, 5),
+            ],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::MostlyCorrect(MostlyVariant::SplitTask)
+        );
+    }
+
+    #[test]
+    fn merged_stripes_is_mostly_correct() {
+        // "one who used one task for all the stripes".
+        let sub = SubmittedGraph::new(
+            s(&["stripes", "red triangle", "white dot"]),
+            vec![(0, 1), (1, 2)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::MostlyCorrect(MostlyVariant::MergedTasks)
+        );
+    }
+
+    #[test]
+    fn spatial_without_arrows_is_mostly_correct() {
+        let mut sub = SubmittedGraph::new(
+            s(&[
+                "black stripe",
+                "white stripe",
+                "green stripe",
+                "red triangle",
+                "white dot",
+            ]),
+            vec![],
+        );
+        sub.spatial_only = true;
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::MostlyCorrect(MostlyVariant::SpatialNoArrows)
+        );
+    }
+
+    #[test]
+    fn linear_chain_detected() {
+        // "the most common error ... a linear chain of tasks".
+        let sub = SubmittedGraph::new(
+            s(&[
+                "black stripe",
+                "white stripe",
+                "green stripe",
+                "red triangle",
+                "white dot",
+            ]),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::LinearChain
+        );
+    }
+
+    #[test]
+    fn incomplete_detected() {
+        let mut sub = SubmittedGraph::new(
+            s(&["black stripe", "green stripe"]),
+            vec![(0, 1)],
+        );
+        sub.complete = false;
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::Incomplete
+        );
+        // Missing required tasks is also incomplete even if "finished".
+        let sub2 = SubmittedGraph::new(s(&["black stripe", "red triangle"]), vec![(0, 1)]);
+        assert_eq!(
+            classify(&sub2, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::Incomplete
+        );
+    }
+
+    #[test]
+    fn no_learning_detected() {
+        // "they drew the flag or started giving code to draw it".
+        let sub = SubmittedGraph::new(s(&["for loop", "draw()"]), vec![(0, 1)]);
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::NoLearning
+        );
+    }
+
+    #[test]
+    fn reversed_dependency_is_incorrect_structure() {
+        // Dot before triangle, triangle before stripes: wrong but not a
+        // chain (stripes fan in).
+        let sub = SubmittedGraph::new(
+            s(&[
+                "white dot",
+                "red triangle",
+                "black stripe",
+                "white stripe",
+                "green stripe",
+            ]),
+            vec![(0, 1), (1, 2), (1, 3), (1, 4)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::IncorrectStructure
+        );
+    }
+
+    #[test]
+    fn extra_redundant_edges_still_perfect() {
+        // Adding stripe → dot edges doesn't change the closure.
+        let sub = SubmittedGraph::new(
+            s(&[
+                "black stripe",
+                "white stripe",
+                "green stripe",
+                "red triangle",
+                "white dot",
+            ]),
+            vec![(0, 3), (1, 3), (2, 3), (3, 4), (0, 4), (1, 4), (2, 4)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::Perfect
+        );
+    }
+
+    #[test]
+    fn at_least_mostly_correct_helper() {
+        assert!(SubmissionGrade::Perfect.is_at_least_mostly_correct());
+        assert!(SubmissionGrade::MostlyCorrect(MostlyVariant::SplitTask)
+            .is_at_least_mostly_correct());
+        assert!(!SubmissionGrade::LinearChain.is_at_least_mostly_correct());
+        assert!(!SubmissionGrade::NoLearning.is_at_least_mostly_correct());
+    }
+
+    #[test]
+    fn labels_match_case_insensitively() {
+        let sub = SubmittedGraph::new(
+            s(&[
+                "Black Stripe",
+                "WHITE STRIPE",
+                "green stripe ",
+                "Red Triangle",
+                "White Dot",
+            ]),
+            vec![(0, 3), (1, 3), (2, 3), (3, 4)],
+        );
+        assert_eq!(
+            classify(&sub, &jordan_reference(), &jordan_options()),
+            SubmissionGrade::Perfect
+        );
+    }
+}

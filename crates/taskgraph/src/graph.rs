@@ -1,0 +1,344 @@
+//! The weighted task DAG.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies a task within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Task {
+    label: String,
+    weight: u64,
+}
+
+/// A directed acyclic graph of labeled, weighted tasks.
+///
+/// Weights are integer work units (milliseconds in the activity model —
+/// the time to color that element of the flag). Edges point from a
+/// prerequisite to its dependent: `a → b` means *b must wait for a*, e.g.
+/// "blue field" → "white diagonals" for the flag of Great Britain.
+///
+/// Edges may be inserted in any order; acyclicity is checked on insertion
+/// (an edge that would close a cycle is rejected with an error).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    succs: Vec<BTreeSet<TaskId>>,
+    preds: Vec<BTreeSet<TaskId>>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task with a display label and a work weight, returning its id.
+    pub fn add_task(&mut self, label: impl Into<String>, weight: u64) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task {
+            label: label.into(),
+            weight,
+        });
+        self.succs.push(BTreeSet::new());
+        self.preds.push(BTreeSet::new());
+        id
+    }
+
+    /// Add a dependency edge `from → to` (to waits for from). Fails if the
+    /// edge would create a cycle; duplicates are ignored. Self-edges are
+    /// cycles by definition.
+    pub fn add_dep(&mut self, from: TaskId, to: TaskId) -> Result<(), String> {
+        assert!(from.index() < self.len() && to.index() < self.len(), "unknown task id");
+        if from == to || self.reaches(to, from) {
+            return Err(format!("edge {from} -> {to} would create a cycle"));
+        }
+        self.succs[from.index()].insert(to);
+        self.preds[to.index()].insert(from);
+        Ok(())
+    }
+
+    /// Whether `from` reaches `to` via directed edges (DFS).
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.len()];
+        while let Some(t) = stack.pop() {
+            if t == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[t.index()], true) {
+                continue;
+            }
+            stack.extend(self.succs[t.index()].iter().copied());
+        }
+        false
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(BTreeSet::len).sum()
+    }
+
+    /// A task's label.
+    pub fn label(&self, id: TaskId) -> &str {
+        &self.tasks[id.index()].label
+    }
+
+    /// A task's work weight.
+    pub fn weight(&self, id: TaskId) -> u64 {
+        self.tasks[id.index()].weight
+    }
+
+    /// Find a task by exact label.
+    pub fn find(&self, label: &str) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .position(|t| t.label == label)
+            .map(|i| TaskId(i as u32))
+    }
+
+    /// All task ids.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = TaskId> + 'static {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Direct successors (dependents) of a task.
+    pub fn succs(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[id.index()].iter().copied()
+    }
+
+    /// Direct predecessors (prerequisites) of a task.
+    pub fn preds(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[id.index()].iter().copied()
+    }
+
+    /// All edges `(from, to)`.
+    pub fn edges(&self) -> Vec<(TaskId, TaskId)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for id in self.ids() {
+            for s in self.succs(id) {
+                out.push((id, s));
+            }
+        }
+        out
+    }
+
+    /// Tasks with no prerequisites.
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.ids().filter(|t| self.preds[t.index()].is_empty()).collect()
+    }
+
+    /// Tasks with no dependents.
+    pub fn leaves(&self) -> Vec<TaskId> {
+        self.ids().filter(|t| self.succs[t.index()].is_empty()).collect()
+    }
+
+    /// A topological order (Kahn's algorithm; ties broken by task id so the
+    /// order is deterministic).
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let mut indeg: Vec<usize> = self.preds.iter().map(BTreeSet::len).collect();
+        let mut ready: BTreeSet<TaskId> = self
+            .ids()
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(&t) = ready.iter().next() {
+            ready.remove(&t);
+            out.push(t);
+            for s in self.succs(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.insert(s);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.len(), "graph has a cycle");
+        out
+    }
+
+    /// The transitive closure as a set of `(from, to)` pairs.
+    pub fn transitive_closure(&self) -> BTreeSet<(TaskId, TaskId)> {
+        let mut closure = BTreeSet::new();
+        // Reverse topological order: successors' reach sets are complete.
+        let order = self.topo_order();
+        let mut reach: Vec<BTreeSet<TaskId>> = vec![BTreeSet::new(); self.len()];
+        for &t in order.iter().rev() {
+            let mut r = BTreeSet::new();
+            for s in self.succs(t) {
+                r.insert(s);
+                r.extend(reach[s.index()].iter().copied());
+            }
+            for &to in &r {
+                closure.insert((t, to));
+            }
+            reach[t.index()] = r;
+        }
+        closure
+    }
+
+    /// A new graph with the same tasks but the transitive reduction of the
+    /// edges — the minimal graph with the same reachability. This is the
+    /// form the paper draws in Fig. 9 (stripes → triangle → dot, with no
+    /// redundant stripe → dot edges).
+    pub fn transitive_reduction(&self) -> TaskGraph {
+        let mut out = TaskGraph::new();
+        for t in &self.tasks {
+            out.add_task(t.label.clone(), t.weight);
+        }
+        for (from, to) in self.edges() {
+            // Keep from→to only if no other successor of `from` reaches `to`.
+            let redundant = self
+                .succs(from)
+                .filter(|&m| m != to)
+                .any(|m| self.reaches(m, to));
+            if !redundant {
+                out.add_dep(from, to).expect("reduction preserves acyclicity");
+            }
+        }
+        out
+    }
+
+    /// GraphViz DOT output with labels and weights.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = format!("digraph \"{name}\" {{\n  rankdir=TB;\n");
+        for id in self.ids() {
+            s.push_str(&format!(
+                "  {} [label=\"{} ({})\"];\n",
+                id,
+                self.label(id),
+                self.weight(id)
+            ));
+        }
+        for (a, b) in self.edges() {
+            s.push_str(&format!("  {a} -> {b};\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: a → b, a → c, b → d, c → d.
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 10);
+        let b = g.add_task("b", 20);
+        let c = g.add_task("c", 30);
+        let d = g.add_task("d", 40);
+        g.add_dep(a, b).unwrap();
+        g.add_dep(a, c).unwrap();
+        g.add_dep(b, d).unwrap();
+        g.add_dep(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.leaves(), vec![d]);
+        assert_eq!(g.find("c"), Some(c));
+        assert_eq!(g.find("zzz"), None);
+        assert_eq!(g.label(b), "b");
+        assert_eq!(g.weight(d), 40);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let (mut g, [a, _, _, d]) = diamond();
+        assert!(g.add_dep(d, a).is_err());
+        assert!(g.add_dep(a, a).is_err());
+        // Graph unchanged.
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let (mut g, [a, b, ..]) = diamond();
+        g.add_dep(a, b).unwrap();
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let (g, _) = diamond();
+        let order = g.topo_order();
+        assert_eq!(order.len(), 4);
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for (from, to) in g.edges() {
+            assert!(pos(from) < pos(to));
+        }
+    }
+
+    #[test]
+    fn reaches_is_transitive() {
+        let (g, [a, b, _, d]) = diamond();
+        assert!(g.reaches(a, d));
+        assert!(g.reaches(b, d));
+        assert!(!g.reaches(d, a));
+        assert!(!g.reaches(b, TaskId(2))); // b does not reach c
+        assert!(g.reaches(a, a));
+    }
+
+    #[test]
+    fn closure_counts_paths() {
+        let (g, [a, b, c, d]) = diamond();
+        let closure = g.transitive_closure();
+        assert_eq!(closure.len(), 5); // ab ac ad bd cd
+        assert!(closure.contains(&(a, d)));
+        assert!(!closure.contains(&(b, c)));
+    }
+
+    #[test]
+    fn reduction_removes_redundant_edge() {
+        let (mut g, [a, _, _, d]) = diamond();
+        // Add the redundant a → d edge; reduction must strip it.
+        g.add_dep(a, d).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        let red = g.transitive_reduction();
+        assert_eq!(red.edge_count(), 4);
+        assert_eq!(red.transitive_closure(), g.transitive_closure());
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let (g, _) = diamond();
+        let dot = g.to_dot("diamond");
+        assert!(dot.contains("digraph \"diamond\""));
+        assert!(dot.contains("t0 [label=\"a (10)\"]"));
+        assert!(dot.contains("t0 -> t1;"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # flagsim-taskgraph
+//!
+//! Dependency graphs for layered flag coloring — and for anything else.
+//!
+//! The paper's Knox follow-up activity formalizes what students discover
+//! when coloring the flag of Great Britain in layers: "vertices are tasks
+//! and directed edges denote dependencies". This crate provides that
+//! formalism as a reusable substrate:
+//!
+//! * [`TaskGraph`] — a weighted DAG with labeled tasks: construction,
+//!   cycle detection, topological orders, transitive closure/reduction.
+//! * [`analysis`] — work, span (critical path), the work/span laws, and
+//!   the parallelism bound `work / span`.
+//! * [`schedule`] — deterministic list scheduling onto `p` processors with
+//!   pluggable priorities (critical-path/HLF, FIFO, longest-task), plus
+//!   schedule validation and an ASCII Gantt.
+//! * [`grade`] — the Section V-C rubric for classifying student-drawn
+//!   dependency graphs (perfect / mostly correct / linear chain /
+//!   incomplete / no learning), generalized over a reference graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod generators;
+pub mod grade;
+pub mod graph;
+pub mod schedule;
+
+pub use builder::GraphBuilder;
+pub use grade::{classify, GradeOptions, SubmissionGrade, SubmittedGraph};
+pub use graph::{TaskGraph, TaskId};
+pub use schedule::{list_schedule, Priority, Schedule};

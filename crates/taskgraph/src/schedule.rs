@@ -1,0 +1,488 @@
+//! Deterministic list scheduling.
+//!
+//! Schedules a [`TaskGraph`] onto `p` identical processors: repeatedly pick
+//! the highest-priority ready task and place it on the processor that can
+//! start it earliest. This is the classic non-preemptive list scheduler —
+//! simple, deterministic, and within Graham's bound of optimal — which is
+//! all the activity analysis needs (we're explaining classroom phenomena,
+//! not shaving makespans).
+
+#[cfg(test)]
+use crate::analysis;
+use crate::graph::{TaskGraph, TaskId};
+use std::fmt::Write as _;
+
+/// Task-ordering heuristics for the list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Highest Level First: prioritize tasks with the longest downstream
+    /// critical path (weight-inclusive). The default, and the one that
+    /// matches how a well-coordinated team attacks a layered flag.
+    #[default]
+    CriticalPath,
+    /// First-in-first-out by task id — what an unplanned team does.
+    Fifo,
+    /// Heaviest task first, ignoring structure.
+    LongestTask,
+}
+
+/// One placed task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The task.
+    pub task: TaskId,
+    /// Which processor runs it.
+    pub proc: usize,
+    /// Start time.
+    pub start: u64,
+    /// Finish time (start + weight).
+    pub finish: u64,
+}
+
+/// A complete schedule of a graph on `p` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of processors.
+    pub procs: usize,
+    /// Placements in the order they were scheduled.
+    pub placements: Vec<Placement>,
+    /// Completion time.
+    pub makespan: u64,
+}
+
+impl Schedule {
+    /// The placement of a given task.
+    pub fn placement(&self, task: TaskId) -> Option<&Placement> {
+        self.placements.iter().find(|p| p.task == task)
+    }
+
+    /// Total busy time of one processor.
+    pub fn proc_busy(&self, proc: usize) -> u64 {
+        self.placements
+            .iter()
+            .filter(|p| p.proc == proc)
+            .map(|p| p.finish - p.start)
+            .sum()
+    }
+
+    /// Idle time of one processor within the makespan.
+    pub fn proc_idle(&self, proc: usize) -> u64 {
+        self.makespan - self.proc_busy(proc)
+    }
+
+    /// Average processor utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        let busy: u64 = (0..self.procs).map(|p| self.proc_busy(p)).sum();
+        busy as f64 / (self.makespan * self.procs as u64) as f64
+    }
+
+    /// Check the schedule against its graph: every task placed exactly
+    /// once, processors never overlap, dependencies respected.
+    pub fn validate(&self, g: &TaskGraph) -> Result<(), String> {
+        if self.placements.len() != g.len() {
+            return Err(format!(
+                "{} placements for {} tasks",
+                self.placements.len(),
+                g.len()
+            ));
+        }
+        for t in g.ids() {
+            let pl = self
+                .placement(t)
+                .ok_or_else(|| format!("task {t} not placed"))?;
+            if pl.finish - pl.start != g.weight(t) {
+                return Err(format!("task {t} placed with wrong duration"));
+            }
+            for pre in g.preds(t) {
+                let pp = self
+                    .placement(pre)
+                    .ok_or_else(|| format!("pred {pre} not placed"))?;
+                if pp.finish > pl.start {
+                    return Err(format!(
+                        "dependency violated: {pre} finishes at {} but {t} starts at {}",
+                        pp.finish, pl.start
+                    ));
+                }
+            }
+        }
+        // Processor exclusivity.
+        for proc in 0..self.procs {
+            let mut spans: Vec<(u64, u64)> = self
+                .placements
+                .iter()
+                .filter(|p| p.proc == proc)
+                .map(|p| (p.start, p.finish))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                if w[0].1 > w[1].0 {
+                    return Err(format!("processor {proc} double-booked"));
+                }
+            }
+        }
+        // Makespan consistency.
+        let max_finish = self.placements.iter().map(|p| p.finish).max().unwrap_or(0);
+        if max_finish != self.makespan {
+            return Err(format!(
+                "makespan {} != max finish {max_finish}",
+                self.makespan
+            ));
+        }
+        Ok(())
+    }
+
+    /// Export placements as CSV (`task,label,proc,start,finish`) in
+    /// schedule order.
+    pub fn to_csv(&self, g: &TaskGraph) -> String {
+        let mut out = String::from("task,label,proc,start,finish\n");
+        for p in &self.placements {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                p.task.index(),
+                g.label(p.task),
+                p.proc,
+                p.start,
+                p.finish
+            );
+        }
+        out
+    }
+
+    /// Render the schedule as an SVG Gantt (one lane per processor, task
+    /// labels inside the bars). Pure text output for handouts.
+    pub fn svg_gantt(&self, g: &TaskGraph, width_px: u32) -> String {
+        assert!(width_px > 0);
+        let total = self.makespan.max(1) as f64;
+        let row_h = 26u32;
+        let label_w = 48u32;
+        let height = row_h * (self.procs as u32 + 1);
+        let scale = |t: u64| label_w as f64 + (t as f64 / total) * (width_px - label_w) as f64;
+        let palette = ["#4a90d9", "#50b36a", "#e2a93b", "#c75d5d", "#8a6fc9", "#4fb3b3"];
+        let mut out = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height}\" \
+             viewBox=\"0 0 {width_px} {height}\" font-family=\"monospace\" font-size=\"11\">\n"
+        );
+        for proc in 0..self.procs {
+            let y = row_h * proc as u32 + 4;
+            let _ = writeln!(out, "  <text x=\"4\" y=\"{}\">P{proc}</text>", y + 13);
+            for p in self.placements.iter().filter(|p| p.proc == proc) {
+                let x0 = scale(p.start);
+                let w = (scale(p.finish) - x0).max(1.0);
+                let fill = palette[p.task.index() % palette.len()];
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{x0:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"18\" \
+                     fill=\"{fill}\" stroke=\"#333\" stroke-width=\"0.5\"/>"
+                );
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{:.1}\" y=\"{}\" fill=\"#fff\">{}</text>",
+                    x0 + 3.0,
+                    y + 13,
+                    g.label(p.task)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  <text x=\"{label_w}\" y=\"{}\">makespan {}</text>",
+            height - 6,
+            self.makespan
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Render the schedule as an *animated* SVG: task bars sweep in at
+    /// their scheduled moments (SMIL animation, `secs_per_unit` wall
+    /// seconds per weight unit). This is our stand-in for the paper's
+    /// reference \[34\] — the Webster instructor's "custom-created
+    /// animations to visualize schedules with different numbers of
+    /// processors".
+    pub fn animated_svg(&self, g: &TaskGraph, width_px: u32, secs_per_unit: f64) -> String {
+        assert!(width_px > 0 && secs_per_unit > 0.0);
+        let total = self.makespan.max(1) as f64;
+        let row_h = 26u32;
+        let label_w = 48u32;
+        let height = row_h * (self.procs as u32 + 1);
+        let scale = |t: u64| label_w as f64 + (t as f64 / total) * (width_px - label_w) as f64;
+        let palette = ["#4a90d9", "#50b36a", "#e2a93b", "#c75d5d", "#8a6fc9", "#4fb3b3"];
+        let mut out = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height}\" \
+             viewBox=\"0 0 {width_px} {height}\" font-family=\"monospace\" font-size=\"11\">\n"
+        );
+        for proc in 0..self.procs {
+            let y = row_h * proc as u32 + 4;
+            let _ = writeln!(out, "  <text x=\"4\" y=\"{}\">P{proc}</text>", y + 13);
+            for p in self.placements.iter().filter(|p| p.proc == proc) {
+                let x0 = scale(p.start);
+                let w = (scale(p.finish) - x0).max(1.0);
+                let fill = palette[p.task.index() % palette.len()];
+                let begin = p.start as f64 * secs_per_unit;
+                let dur = ((p.finish - p.start) as f64 * secs_per_unit).max(0.01);
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{x0:.1}\" y=\"{y}\" width=\"0\" height=\"18\" \
+                     fill=\"{fill}\" stroke=\"#333\" stroke-width=\"0.5\">\
+                     <animate attributeName=\"width\" begin=\"{begin:.2}s\" \
+                     dur=\"{dur:.2}s\" from=\"0\" to=\"{w:.1}\" fill=\"freeze\"/></rect>"
+                );
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{:.1}\" y=\"{}\" fill=\"#fff\" opacity=\"0\">{}\
+                     <animate attributeName=\"opacity\" begin=\"{begin:.2}s\" dur=\"0.01s\" \
+                     from=\"0\" to=\"1\" fill=\"freeze\"/></text>",
+                    x0 + 3.0,
+                    y + 13,
+                    g.label(p.task)
+                );
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// ASCII Gantt: one row per processor, labels at start positions.
+    pub fn gantt(&self, g: &TaskGraph, width: usize) -> String {
+        assert!(width > 0);
+        let total = self.makespan.max(1);
+        let mut out = String::new();
+        for proc in 0..self.procs {
+            let mut row = vec![b'.'; width];
+            for p in self.placements.iter().filter(|p| p.proc == proc) {
+                let a = (p.start as usize * width) / total as usize;
+                let b = (((p.finish as usize) * width) / total as usize).max(a + 1);
+                let label = g.label(p.task).as_bytes();
+                for (k, slot) in row[a..b.min(width)].iter_mut().enumerate() {
+                    *slot = if k < label.len() { label[k] } else { b'#' };
+                }
+            }
+            let _ = writeln!(out, "P{proc} |{}|", String::from_utf8_lossy(&row));
+        }
+        let _ = writeln!(out, "    makespan = {}", self.makespan);
+        out
+    }
+}
+
+/// Schedule `g` on `p` processors with the given priority. Deterministic:
+/// ties break by task id, then by processor index.
+pub fn list_schedule(g: &TaskGraph, p: usize, priority: Priority) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    // Priority ranks (higher = schedule sooner).
+    let rank: Vec<u64> = match priority {
+        Priority::CriticalPath => downward_rank(g),
+        Priority::Fifo => g.ids().map(|t| u64::MAX - u64::from(t.0)).collect(),
+        Priority::LongestTask => g.ids().map(|t| g.weight(t)).collect(),
+    };
+
+    let n = g.len();
+    let mut placed: Vec<Option<Placement>> = vec![None; n];
+    let mut proc_free: Vec<u64> = vec![0; p];
+    let mut scheduled = 0usize;
+    let mut placements = Vec::with_capacity(n);
+
+    while scheduled < n {
+        // Ready = unplaced with all preds placed.
+        let candidate = g
+            .ids()
+            .filter(|t| placed[t.index()].is_none())
+            .filter(|t| g.preds(*t).all(|pr| placed[pr.index()].is_some()))
+            .max_by_key(|t| (rank[t.index()], std::cmp::Reverse(t.0)))
+            .expect("acyclic graph always has a ready task");
+        let ready_at = g
+            .preds(candidate)
+            .map(|pr| placed[pr.index()].unwrap().finish)
+            .max()
+            .unwrap_or(0);
+        // Earliest-start processor.
+        let (proc, &free) = proc_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &f)| (f.max(ready_at), i))
+            .unwrap();
+        let start = free.max(ready_at);
+        let finish = start + g.weight(candidate);
+        let pl = Placement {
+            task: candidate,
+            proc,
+            start,
+            finish,
+        };
+        placed[candidate.index()] = Some(pl);
+        proc_free[proc] = finish;
+        placements.push(pl);
+        scheduled += 1;
+    }
+    let makespan = placements.iter().map(|p| p.finish).max().unwrap_or(0);
+    Schedule {
+        procs: p,
+        placements,
+        makespan,
+    }
+}
+
+/// Downward rank: task weight plus the heaviest chain below it — the HLF
+/// priority.
+fn downward_rank(g: &TaskGraph) -> Vec<u64> {
+    let order = g.topo_order();
+    let mut rank = vec![0u64; g.len()];
+    for &t in order.iter().rev() {
+        let below = g.succs(t).map(|s| rank[s.index()]).max().unwrap_or(0);
+        rank[t.index()] = g.weight(t) + below;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fork_join() -> TaskGraph {
+        // a → {b,c,d} → e, weights 10 each.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 10);
+        let b = g.add_task("b", 10);
+        let c = g.add_task("c", 10);
+        let d = g.add_task("d", 10);
+        let e = g.add_task("e", 10);
+        for m in [b, c, d] {
+            g.add_dep(a, m).unwrap();
+            g.add_dep(m, e).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn single_proc_serializes() {
+        let g = fork_join();
+        let s = list_schedule(&g, 1, Priority::CriticalPath);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan, 50);
+        assert_eq!(s.proc_busy(0), 50);
+        assert_eq!(s.proc_idle(0), 0);
+    }
+
+    #[test]
+    fn three_procs_exploit_fork() {
+        let g = fork_join();
+        let s = list_schedule(&g, 3, Priority::CriticalPath);
+        s.validate(&g).unwrap();
+        // a(10) then b,c,d in parallel (10) then e(10).
+        assert_eq!(s.makespan, 30);
+    }
+
+    #[test]
+    fn extra_procs_do_not_beat_span() {
+        let g = fork_join();
+        let s = list_schedule(&g, 16, Priority::CriticalPath);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan, analysis::span(&g));
+    }
+
+    #[test]
+    fn schedule_within_theory_bounds() {
+        let g = fork_join();
+        for p in 1..=6 {
+            for pr in [Priority::CriticalPath, Priority::Fifo, Priority::LongestTask] {
+                let s = list_schedule(&g, p, pr);
+                s.validate(&g).unwrap();
+                assert!(s.makespan >= analysis::makespan_lower_bound(&g, p));
+                assert!(s.makespan <= analysis::greedy_upper_bound(&g, p));
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_priority_beats_or_ties_fifo_on_skewed_graph() {
+        // Two chains: long chain (30,30) and short tasks; CP priority should
+        // start the long chain first.
+        let mut g = TaskGraph::new();
+        let a1 = g.add_task("a1", 30);
+        let a2 = g.add_task("a2", 30);
+        g.add_dep(a1, a2).unwrap();
+        for i in 0..4 {
+            g.add_task(format!("s{i}"), 10);
+        }
+        let cp = list_schedule(&g, 2, Priority::CriticalPath);
+        let ff = list_schedule(&g, 2, Priority::Fifo);
+        cp.validate(&g).unwrap();
+        ff.validate(&g).unwrap();
+        assert!(cp.makespan <= ff.makespan);
+        assert_eq!(cp.makespan, 60);
+    }
+
+    #[test]
+    fn utilization_and_idle() {
+        let g = fork_join();
+        let s = list_schedule(&g, 3, Priority::CriticalPath);
+        // Work 50, makespan 30, 3 procs → 50/90.
+        assert!((s.utilization() - 50.0 / 90.0).abs() < 1e-12);
+        let total_idle: u64 = (0..3).map(|p| s.proc_idle(p)).sum();
+        assert_eq!(total_idle, 40);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let g = fork_join();
+        let s = list_schedule(&g, 2, Priority::CriticalPath);
+        let chart = s.gantt(&g, 40);
+        assert_eq!(chart.lines().count(), 3);
+        assert!(chart.contains("P0 |"));
+        assert!(chart.contains("makespan"));
+    }
+
+    #[test]
+    fn animated_svg_has_timed_sweeps() {
+        let g = fork_join();
+        let s = list_schedule(&g, 2, Priority::CriticalPath);
+        let svg = s.animated_svg(&g, 640, 0.1);
+        assert_eq!(svg.matches("<animate attributeName=\"width\"").count(), 5);
+        assert!(svg.contains("begin=\"0.00s\""));
+        assert!(svg.contains("fill=\"freeze\""));
+        // A task starting at weight-10 begins at 1.0s with 0.1 s/unit.
+        assert!(svg.contains("begin=\"1.00s\""), "{svg}");
+    }
+
+    #[test]
+    fn svg_gantt_has_a_bar_per_task() {
+        let g = fork_join();
+        let s = list_schedule(&g, 2, Priority::CriticalPath);
+        let svg = s.svg_gantt(&g, 640);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains(">a<") || svg.contains(">a</text>"));
+        assert!(svg.contains("makespan"));
+    }
+
+    #[test]
+    fn csv_export_lists_every_placement() {
+        let g = fork_join();
+        let s = list_schedule(&g, 2, Priority::CriticalPath);
+        let csv = s.to_csv(&g);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "task,label,proc,start,finish");
+        assert_eq!(lines.len(), 6); // header + 5 tasks
+        assert!(lines.iter().any(|l| l.contains(",a,")));
+    }
+
+    #[test]
+    fn validate_catches_tampering() {
+        let g = fork_join();
+        let mut s = list_schedule(&g, 2, Priority::CriticalPath);
+        s.placements[0].start += 1; // break duration
+        assert!(s.validate(&g).is_err());
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let g = TaskGraph::new();
+        let s = list_schedule(&g, 2, Priority::CriticalPath);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan, 0);
+        assert_eq!(s.utilization(), 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: random DAGs must satisfy the work/span laws, schedule
+//! validity, and closure/reduction identities.
+
+use flagsim_taskgraph::analysis::{
+    critical_path, greedy_upper_bound, makespan_lower_bound, span, work,
+};
+use flagsim_taskgraph::{list_schedule, Priority, TaskGraph};
+use proptest::prelude::*;
+
+/// Build a random DAG: `n` tasks, edges only forward (i → j with i < j),
+/// so acyclicity is guaranteed by construction.
+fn random_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..18).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(1u64..100, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2);
+        (weights, edges).prop_map(|(weights, edges)| {
+            let mut g = TaskGraph::new();
+            let ids: Vec<_> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| g.add_task(format!("t{i}"), w))
+                .collect();
+            for (a, b) in edges {
+                if a < b {
+                    g.add_dep(ids[a], ids[b]).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every list schedule is valid and sits inside the theory envelope.
+    #[test]
+    fn schedules_valid_and_bounded(g in random_dag(), p in 1usize..6) {
+        for pr in [Priority::CriticalPath, Priority::Fifo, Priority::LongestTask] {
+            let s = list_schedule(&g, p, pr);
+            prop_assert!(s.validate(&g).is_ok(), "invalid schedule: {pr:?}");
+            prop_assert!(s.makespan >= makespan_lower_bound(&g, p));
+            prop_assert!(s.makespan <= greedy_upper_bound(&g, p));
+        }
+    }
+
+    /// One processor serializes exactly the work; enough processors hit
+    /// the span for chain-free... rather: makespan is non-increasing in p
+    /// is NOT guaranteed for list scheduling in general, but the p=1 case
+    /// must equal work and p=n with critical-path priority must be ≥ span.
+    #[test]
+    fn single_proc_equals_work(g in random_dag()) {
+        let s = list_schedule(&g, 1, Priority::CriticalPath);
+        prop_assert_eq!(s.makespan, work(&g));
+    }
+
+    /// The critical path is a real dependency chain whose weights sum to
+    /// the span.
+    #[test]
+    fn critical_path_is_a_chain(g in random_dag()) {
+        let (path, total) = critical_path(&g);
+        prop_assert_eq!(total, span(&g));
+        let sum: u64 = path.iter().map(|&t| g.weight(t)).sum();
+        prop_assert_eq!(sum, total);
+        for w in path.windows(2) {
+            prop_assert!(g.reaches(w[0], w[1]), "path edge not a dependency");
+        }
+    }
+
+    /// Transitive reduction preserves reachability with a minimal edge set.
+    #[test]
+    fn reduction_preserves_closure(g in random_dag()) {
+        let red = g.transitive_reduction();
+        prop_assert_eq!(red.transitive_closure(), g.transitive_closure());
+        prop_assert!(red.edge_count() <= g.edge_count());
+        // Reducing twice changes nothing.
+        let red2 = red.transitive_reduction();
+        prop_assert_eq!(red.edge_count(), red2.edge_count());
+    }
+
+    /// Topological order is a permutation respecting every edge.
+    #[test]
+    fn topo_order_is_valid(g in random_dag()) {
+        let order = g.topo_order();
+        prop_assert_eq!(order.len(), g.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for (a, b) in g.edges() {
+            prop_assert!(pos[&a] < pos[&b]);
+        }
+    }
+
+    /// Span never exceeds work; parallelism ≥ 1.
+    #[test]
+    fn span_le_work(g in random_dag()) {
+        prop_assert!(span(&g) <= work(&g));
+    }
+}

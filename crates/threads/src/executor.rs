@@ -1,0 +1,326 @@
+//! Real-thread flag coloring.
+
+use crate::workload::CellWorkload;
+use flagsim_core::work::{PreparedFlag, WorkItem};
+use flagsim_grid::{Color, Grid};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-worker result: painted strokes, busy time, work checksum.
+type WorkerResult = (Vec<(u32, Color)>, Duration, u64);
+
+/// How the work is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread does everything (the baseline `T₁`).
+    Sequential,
+    /// One thread per partition, no shared implements — scenario 2/3 on
+    /// silicon.
+    Static,
+    /// One thread per partition, but one mutex per *color* that a thread
+    /// must hold while coloring a cell of that color — scenario 4's
+    /// single-marker rule, with the OS lock queue playing the waiting
+    /// students.
+    SharedImplements,
+    /// All threads pull fixed-size chunks from a shared queue — dynamic
+    /// load balancing (what the classroom can't easily do, but a runtime
+    /// can).
+    DynamicChunks {
+        /// Cells per grab.
+        chunk: usize,
+    },
+}
+
+/// The result of a parallel coloring.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Mode used.
+    pub mode: ExecMode,
+    /// Threads used.
+    pub threads: usize,
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Per-thread busy time (sum of their own cell work).
+    pub per_thread_busy: Vec<Duration>,
+    /// The colored grid.
+    pub grid: Grid,
+    /// Checksum of all cell computations (proves the work happened).
+    pub checksum: u64,
+    /// Cells colored.
+    pub cells: usize,
+}
+
+impl Outcome {
+    /// Whether the colored grid matches the reference exactly on the
+    /// colored cells.
+    pub fn verify(&self, flag: &PreparedFlag) -> bool {
+        self.grid
+            .iter()
+            .all(|(id, c)| !c.is_painted() || c == flag.reference.get(id))
+    }
+
+    /// Wall seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+}
+
+/// The parallel colorer: a prepared flag plus a per-cell workload.
+pub struct ParallelColorer<'a> {
+    flag: &'a PreparedFlag,
+    workload: CellWorkload,
+}
+
+impl<'a> ParallelColorer<'a> {
+    /// Build for a flag with a workload.
+    pub fn new(flag: &'a PreparedFlag, workload: CellWorkload) -> Self {
+        ParallelColorer { flag, workload }
+    }
+
+    /// Execute `assignments` under `mode`. For `Sequential`, assignments
+    /// are concatenated onto one thread; for `DynamicChunks` they are
+    /// concatenated into a shared queue served by `assignments.len()`
+    /// threads.
+    pub fn run(&self, assignments: &[Vec<WorkItem>], mode: ExecMode) -> Outcome {
+        match mode {
+            ExecMode::Sequential => {
+                let all: Vec<WorkItem> =
+                    assignments.iter().flatten().copied().collect();
+                self.run_static(std::slice::from_ref(&all), mode)
+            }
+            ExecMode::Static => self.run_static(assignments, mode),
+            ExecMode::SharedImplements => self.run_shared(assignments),
+            ExecMode::DynamicChunks { chunk } => self.run_dynamic(assignments, chunk),
+        }
+    }
+
+    /// Per-thread buffers, merged after the join — no shared mutable grid,
+    /// no locks, no unsafe.
+    fn run_static(&self, assignments: &[Vec<WorkItem>], mode: ExecMode) -> Outcome {
+        let workload = self.workload;
+        let start = Instant::now();
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|items| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let mut buf = Vec::with_capacity(items.len());
+                        let mut sum = 0u64;
+                        for item in items {
+                            sum ^= workload.color_one_cell(item.kind, u64::from(item.cell.0));
+                            buf.push((item.cell.0, item.color));
+                        }
+                        (buf, t0.elapsed(), sum)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let wall = start.elapsed();
+        self.merge(results, mode, assignments.iter().map(Vec::len).sum(), wall)
+    }
+
+    /// One mutex per color: a thread must hold the color's "marker" while
+    /// coloring a cell of that color (it re-locks only on color change,
+    /// like the classroom's keep-until-color-change policy).
+    fn run_shared(&self, assignments: &[Vec<WorkItem>]) -> Outcome {
+        let workload = self.workload;
+        // Build the marker set.
+        let mut colors: Vec<Color> = Vec::new();
+        for part in assignments {
+            for item in part {
+                if !colors.contains(&item.color) {
+                    colors.push(item.color);
+                }
+            }
+        }
+        let markers: BTreeMap<Color, Mutex<()>> =
+            colors.iter().map(|&c| (c, Mutex::new(()))).collect();
+        let markers = &markers;
+
+        let start = Instant::now();
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|items| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let mut buf = Vec::with_capacity(items.len());
+                        let mut sum = 0u64;
+                        let mut i = 0;
+                        while i < items.len() {
+                            let color = items[i].color;
+                            let _marker = markers[&color].lock();
+                            // Color the whole same-color run under one hold.
+                            while i < items.len() && items[i].color == color {
+                                let item = items[i];
+                                sum ^= workload
+                                    .color_one_cell(item.kind, u64::from(item.cell.0));
+                                buf.push((item.cell.0, item.color));
+                                i += 1;
+                            }
+                        }
+                        (buf, t0.elapsed(), sum)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let wall = start.elapsed();
+        self.merge(
+            results,
+            ExecMode::SharedImplements,
+            assignments.iter().map(Vec::len).sum(),
+            wall,
+        )
+    }
+
+    /// A shared atomic cursor over the concatenated work list; threads
+    /// grab `chunk` cells at a time.
+    fn run_dynamic(&self, assignments: &[Vec<WorkItem>], chunk: usize) -> Outcome {
+        assert!(chunk > 0, "chunk must be nonzero");
+        let workload = self.workload;
+        let all: Vec<WorkItem> = assignments.iter().flatten().copied().collect();
+        let threads = assignments.len().max(1);
+        let cursor = AtomicUsize::new(0);
+        let (all_ref, cursor_ref) = (&all, &cursor);
+
+        let start = Instant::now();
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let mut buf = Vec::new();
+                        let mut sum = 0u64;
+                        loop {
+                            let at = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
+                            if at >= all_ref.len() {
+                                break;
+                            }
+                            let end = (at + chunk).min(all_ref.len());
+                            for item in &all_ref[at..end] {
+                                sum ^= workload
+                                    .color_one_cell(item.kind, u64::from(item.cell.0));
+                                buf.push((item.cell.0, item.color));
+                            }
+                        }
+                        (buf, t0.elapsed(), sum)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let wall = start.elapsed();
+        self.merge(results, ExecMode::DynamicChunks { chunk }, all.len(), wall)
+    }
+
+    fn merge(
+        &self,
+        results: Vec<WorkerResult>,
+        mode: ExecMode,
+        cells: usize,
+        wall: Duration,
+    ) -> Outcome {
+        let mut grid = Grid::new(self.flag.width, self.flag.height);
+        let mut checksum = 0u64;
+        let mut per_thread_busy = Vec::with_capacity(results.len());
+        let threads = results.len();
+        for (buf, busy, sum) in results {
+            for (cell, color) in buf {
+                grid.paint(flagsim_grid::CellId(cell), color);
+            }
+            per_thread_busy.push(busy);
+            checksum ^= sum;
+        }
+        Outcome {
+            mode,
+            threads,
+            wall,
+            per_thread_busy,
+            grid,
+            checksum,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_core::partition::{CellOrder, PartitionStrategy};
+    use flagsim_core::work::PreparedFlag;
+    use flagsim_flags::library;
+
+    fn setup() -> (PreparedFlag, Vec<Vec<WorkItem>>) {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments =
+            PartitionStrategy::VerticalSlices(4).assignments(&pf, CellOrder::RowMajor, &[]);
+        (pf, assignments)
+    }
+
+    #[test]
+    fn every_mode_produces_the_same_flag() {
+        let (pf, assignments) = setup();
+        let colorer = ParallelColorer::new(&pf, CellWorkload::default());
+        let modes = [
+            ExecMode::Sequential,
+            ExecMode::Static,
+            ExecMode::SharedImplements,
+            ExecMode::DynamicChunks { chunk: 8 },
+        ];
+        let mut checksums = Vec::new();
+        for mode in modes {
+            let out = colorer.run(&assignments, mode);
+            assert!(out.verify(&pf), "{mode:?} colored the wrong flag");
+            assert_eq!(out.cells, 96, "{mode:?}");
+            assert!(out.grid.is_complete(), "{mode:?}");
+            checksums.push(out.checksum);
+        }
+        // All modes did the identical computation.
+        assert!(checksums.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn static_uses_one_thread_per_part() {
+        let (pf, assignments) = setup();
+        let colorer = ParallelColorer::new(&pf, CellWorkload::default());
+        let out = colorer.run(&assignments, ExecMode::Static);
+        assert_eq!(out.threads, 4);
+        assert_eq!(out.per_thread_busy.len(), 4);
+        let seq = colorer.run(&assignments, ExecMode::Sequential);
+        assert_eq!(seq.threads, 1);
+    }
+
+    #[test]
+    fn dynamic_covers_everything_with_tiny_chunks() {
+        let (pf, assignments) = setup();
+        let colorer = ParallelColorer::new(&pf, CellWorkload::default());
+        let out = colorer.run(&assignments, ExecMode::DynamicChunks { chunk: 1 });
+        assert!(out.verify(&pf));
+        assert!(out.grid.is_complete());
+    }
+
+    #[test]
+    fn skipped_colors_leave_blanks_and_still_verify() {
+        let pf = PreparedFlag::new(&library::jordan());
+        let skip = [Color::White];
+        let assignments =
+            PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &skip);
+        let colorer = ParallelColorer::new(&pf, CellWorkload::default());
+        let out = colorer.run(&assignments, ExecMode::Sequential);
+        assert!(out.verify(&pf));
+        assert!(!out.grid.is_complete()); // white cells left blank
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_chunk_panics() {
+        let (pf, assignments) = setup();
+        let colorer = ParallelColorer::new(&pf, CellWorkload::default());
+        let _ = colorer.run(&assignments, ExecMode::DynamicChunks { chunk: 0 });
+    }
+}

@@ -1,0 +1,121 @@
+//! The CPU-barrel vs GPU-volley contrast.
+//!
+//! The Webster classroom showed NVIDIA's paintball demo: a CPU is "a
+//! single barrel … repeatedly aimed and fired to produce one dot at a
+//! time", a GPU "uses one barrel per pixel so that the entire image … is
+//! drawn in a single shot". This module makes the contrast quantitative:
+//! a device is characterized by how many cells it colors per trigger pull
+//! and how long a pull takes; the whole image costs
+//! `ceil(cells / barrels) × pull_time`.
+
+use flagsim_core::work::PreparedFlag;
+
+/// A paintball device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaintballDevice {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Barrels firing simultaneously.
+    pub barrels: usize,
+    /// Seconds per trigger pull (aim + fire + re-aim). One barrel re-aims
+    /// fast; a wall of barrels takes longer to set up per volley — but
+    /// only fires once.
+    pub secs_per_shot: f64,
+}
+
+impl PaintballDevice {
+    /// The single-barrel CPU gun from the video.
+    pub fn cpu() -> Self {
+        PaintballDevice {
+            name: "CPU (one barrel)",
+            barrels: 1,
+            secs_per_shot: 0.5,
+        }
+    }
+
+    /// The one-barrel-per-pixel GPU wall, sized to an image.
+    pub fn gpu(pixels: usize) -> Self {
+        PaintballDevice {
+            name: "GPU (one barrel per pixel)",
+            barrels: pixels.max(1),
+            secs_per_shot: 5.0,
+        }
+    }
+
+    /// Trigger pulls needed for `cells` pixels.
+    pub fn shots_for(&self, cells: usize) -> usize {
+        cells.div_ceil(self.barrels)
+    }
+
+    /// Seconds to paint `cells` pixels.
+    pub fn secs_for(&self, cells: usize) -> f64 {
+        self.shots_for(cells) as f64 * self.secs_per_shot
+    }
+}
+
+/// The comparison for one flag: shots and seconds for CPU vs GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotComparison {
+    /// Colorable cells in the flag.
+    pub cells: usize,
+    /// CPU shots (== cells).
+    pub cpu_shots: usize,
+    /// CPU seconds.
+    pub cpu_secs: f64,
+    /// GPU shots (== 1).
+    pub gpu_shots: usize,
+    /// GPU seconds.
+    pub gpu_secs: f64,
+}
+
+/// Compare the devices on a prepared flag.
+pub fn compare(flag: &PreparedFlag) -> ShotComparison {
+    let cells = flag.total_items(&[]);
+    let cpu = PaintballDevice::cpu();
+    let gpu = PaintballDevice::gpu(cells);
+    ShotComparison {
+        cells,
+        cpu_shots: cpu.shots_for(cells),
+        cpu_secs: cpu.secs_for(cells),
+        gpu_shots: gpu.shots_for(cells),
+        gpu_secs: gpu.secs_for(cells),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    #[test]
+    fn cpu_needs_one_shot_per_cell_gpu_one_total() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let c = compare(&pf);
+        assert_eq!(c.cells, 96);
+        assert_eq!(c.cpu_shots, 96);
+        assert_eq!(c.gpu_shots, 1);
+        assert!(c.cpu_secs > c.gpu_secs);
+    }
+
+    #[test]
+    fn partial_volley_rounds_up() {
+        let half_wall = PaintballDevice {
+            name: "half",
+            barrels: 50,
+            secs_per_shot: 1.0,
+        };
+        assert_eq!(half_wall.shots_for(96), 2);
+        assert_eq!(half_wall.shots_for(100), 2);
+        assert_eq!(half_wall.shots_for(101), 3);
+        assert_eq!(half_wall.shots_for(0), 0);
+    }
+
+    #[test]
+    fn mona_lisa_scale() {
+        // The video's image is far larger than our grids; the contrast
+        // only grows with size.
+        let small = compare(&PreparedFlag::new(&library::mauritius()));
+        let big = compare(&PreparedFlag::at_size(&library::mauritius(), 120, 80));
+        assert!(big.cpu_secs / big.gpu_secs > small.cpu_secs / small.gpu_secs);
+    }
+}

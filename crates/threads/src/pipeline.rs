@@ -1,0 +1,192 @@
+//! A real staged pipeline.
+//!
+//! §III-C: the coordinated marker-passing of scenario 4 "mimick\[s\] the
+//! movement of data through an arithmetic pipeline where the data is
+//! being passed between stages as it is needed", and "the pipeline takes
+//! time to fill (the processors are idle until they get the first
+//! implement)". This module builds that pipeline out of actual threads:
+//! one stage per stripe color, connected by channels; the work units are
+//! flag columns flowing through the stages. Stage `k` colors a column's
+//! cells of stripe `k`, then passes the column on.
+
+use crate::workload::CellWorkload;
+use flagsim_core::work::PreparedFlag;
+use flagsim_grid::{CellId, Color, Coord, Grid};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One work unit: a column index plus the strokes already applied.
+struct Unit {
+    column: u32,
+    strokes: Vec<(CellId, Color)>,
+    checksum: u64,
+}
+
+/// The result of a pipeline execution.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Stages (one per color band).
+    pub stages: usize,
+    /// Columns pushed through.
+    pub columns: u32,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+    /// Wall-clock until the *first* column left the last stage — the
+    /// pipeline fill time the paper talks about.
+    pub fill: Duration,
+    /// The colored grid.
+    pub grid: Grid,
+    /// Work checksum (all stages really computed).
+    pub checksum: u64,
+}
+
+impl PipelineOutcome {
+    /// Whether the grid matches the reference on painted cells.
+    pub fn verify(&self, flag: &PreparedFlag) -> bool {
+        self.grid
+            .iter()
+            .all(|(id, c)| !c.is_painted() || c == flag.reference.get(id))
+    }
+}
+
+/// Run the flag through a `bands`-stage pipeline: stage `k` owns the
+/// `k`-th horizontal band and colors each passing column's cells inside
+/// it. Works for any flag (stages just paint whatever the reference says
+/// their band's cells are).
+pub fn run_pipeline(flag: &PreparedFlag, bands: u32, workload: CellWorkload) -> PipelineOutcome {
+    assert!(bands > 0 && bands <= flag.height, "bad band count");
+    let width = flag.width;
+    let height = flag.height;
+    let band_rows: Vec<(u32, u32)> = (0..bands)
+        .map(|k| {
+            let top = height * k / bands;
+            let bottom = height * (k + 1) / bands;
+            (top, bottom)
+        })
+        .collect();
+
+    let start = Instant::now();
+    let (outcome_tx, outcome_rx) = mpsc::channel::<Unit>();
+    let (first_tx, first_rx) = mpsc::channel::<Duration>();
+
+    std::thread::scope(|scope| {
+        // Build the chain back-to-front: last stage sends to outcome_tx.
+        let mut next_tx = outcome_tx.clone();
+        for k in (0..bands as usize).rev() {
+            let (tx, rx) = mpsc::channel::<Unit>();
+            let (top, bottom) = band_rows[k];
+            let stage_out = next_tx.clone();
+            let reference = &flag.reference;
+            let first_tx = first_tx.clone();
+            let is_last = k == bands as usize - 1;
+            scope.spawn(move || {
+                let mut first_sent = false;
+                for mut unit in rx {
+                    for y in top..bottom {
+                        let id = Coord::new(unit.column, y).to_id(width);
+                        let color = reference.get(id);
+                        if color.is_painted() {
+                            unit.checksum ^= workload
+                                .color_one_cell(flagsim_agents::CellKind::Interior, u64::from(id.0));
+                            unit.strokes.push((id, color));
+                        }
+                    }
+                    if is_last && !first_sent {
+                        first_sent = true;
+                        let _ = first_tx.send(start.elapsed());
+                    }
+                    if stage_out.send(unit).is_err() {
+                        break;
+                    }
+                }
+            });
+            next_tx = tx;
+        }
+        drop(outcome_tx);
+        drop(first_tx);
+
+        // Feed the columns in order.
+        for column in 0..width {
+            next_tx
+                .send(Unit {
+                    column,
+                    strokes: Vec::with_capacity(height as usize),
+                    checksum: 0,
+                })
+                .expect("pipeline alive");
+        }
+        drop(next_tx);
+    });
+
+    // Collect.
+    let mut grid = Grid::new(width, height);
+    let mut checksum = 0u64;
+    let mut columns = 0u32;
+    for unit in outcome_rx {
+        for (id, color) in unit.strokes {
+            grid.paint(id, color);
+        }
+        checksum ^= unit.checksum;
+        columns += 1;
+    }
+    let wall = start.elapsed();
+    let fill = first_rx.recv().unwrap_or(wall);
+    PipelineOutcome {
+        stages: bands as usize,
+        columns,
+        wall,
+        fill,
+        grid,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    #[test]
+    fn pipeline_colors_mauritius_correctly() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let out = run_pipeline(&flag, 4, CellWorkload::default());
+        assert_eq!(out.stages, 4);
+        assert_eq!(out.columns, 12);
+        assert!(out.verify(&flag));
+        assert!(out.grid.is_complete());
+        assert!(out.fill <= out.wall);
+    }
+
+    #[test]
+    fn single_stage_degenerates_to_sequential() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let out = run_pipeline(&flag, 1, CellWorkload::default());
+        assert!(out.verify(&flag));
+        assert!(out.grid.is_complete());
+    }
+
+    #[test]
+    fn works_on_layered_flags_too() {
+        let flag = PreparedFlag::new(&library::great_britain());
+        let out = run_pipeline(&flag, 3, CellWorkload::default());
+        assert!(out.verify(&flag));
+        assert!(out.grid.is_complete());
+    }
+
+    #[test]
+    fn checksum_matches_band_count_independence() {
+        // Same cells, different staging: the total computation (xor over
+        // per-cell spins keyed by cell id) must be identical.
+        let flag = PreparedFlag::new(&library::mauritius());
+        let a = run_pipeline(&flag, 1, CellWorkload::default());
+        let b = run_pipeline(&flag, 4, CellWorkload::default());
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad band count")]
+    fn too_many_bands_panics() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let _ = run_pipeline(&flag, 999, CellWorkload::default());
+    }
+}

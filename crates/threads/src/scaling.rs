@@ -1,0 +1,117 @@
+//! Thread-count scaling sweeps.
+//!
+//! The multicore counterpart of the classroom's team-size sweep: run the
+//! same flag at several thread counts, collect wall times, and fit the
+//! implied serial fraction. On a single-core host every point ties — the
+//! "technology differences matter" lesson — but the API is what a
+//! multicore user runs to see the real curve.
+
+use crate::executor::{ExecMode, ParallelColorer};
+use crate::workload::CellWorkload;
+use flagsim_core::partition::{CellOrder, PartitionStrategy};
+use flagsim_core::work::PreparedFlag;
+use std::time::Duration;
+
+/// One point of a thread-scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Threads used.
+    pub threads: u32,
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Wall-clock speedup vs the 1-thread point.
+    pub speedup: f64,
+    /// Whether the flag came out correct.
+    pub verified: bool,
+}
+
+/// Run the vertical-slice partition at each thread count (repeating
+/// `reps` times and keeping the fastest — standard practice for
+/// wall-clock microbenchmarks) and return the curve.
+pub fn speedup_curve(
+    flag: &PreparedFlag,
+    thread_counts: &[u32],
+    workload: CellWorkload,
+    reps: usize,
+) -> Vec<ScalePoint> {
+    assert!(reps > 0, "need at least one repetition");
+    let colorer = ParallelColorer::new(flag, workload);
+    let mut points = Vec::with_capacity(thread_counts.len());
+    let mut t1: Option<Duration> = None;
+    for &threads in thread_counts {
+        assert!(threads > 0, "zero threads");
+        let assignments = PartitionStrategy::VerticalSlices(threads)
+            .assignments(flag, CellOrder::RowMajor, &[]);
+        let mode = if threads == 1 {
+            ExecMode::Sequential
+        } else {
+            ExecMode::Static
+        };
+        let mut best: Option<(Duration, bool)> = None;
+        for _ in 0..reps {
+            let out = colorer.run(&assignments, mode);
+            let verified = out.verify(flag);
+            let candidate = (out.wall, verified);
+            best = Some(match best {
+                Some(b) if b.0 <= candidate.0 => b,
+                _ => candidate,
+            });
+        }
+        let (wall, verified) = best.expect("reps > 0");
+        let base = *t1.get_or_insert(wall);
+        points.push(ScalePoint {
+            threads,
+            wall,
+            speedup: base.as_secs_f64() / wall.as_secs_f64().max(1e-12),
+            verified,
+        });
+    }
+    points
+}
+
+/// The serial fraction implied by a measured curve (Karp–Flatt average),
+/// if the curve has usable multi-thread points.
+pub fn implied_serial_fraction(points: &[ScalePoint]) -> Option<f64> {
+    let pts: Vec<(usize, f64)> = points
+        .iter()
+        .map(|p| (p.threads as usize, p.speedup))
+        .collect();
+    flagsim_metrics::fit_amdahl_serial_fraction(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_flags::library;
+
+    #[test]
+    fn curve_covers_requested_counts_and_verifies() {
+        let flag = PreparedFlag::at_size(&library::mauritius(), 48, 32);
+        let points = speedup_curve(&flag, &[1, 2, 4], CellWorkload::default(), 2);
+        assert_eq!(points.len(), 3);
+        assert_eq!(
+            points.iter().map(|p| p.threads).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert!(points.iter().all(|p| p.verified));
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+        // Speedups are positive whatever the host's core count.
+        assert!(points.iter().all(|p| p.speedup > 0.0));
+    }
+
+    #[test]
+    fn implied_serial_fraction_exists_for_multithread_curves() {
+        let flag = PreparedFlag::at_size(&library::mauritius(), 24, 16);
+        let points = speedup_curve(&flag, &[1, 2], CellWorkload::default(), 1);
+        // May be large on a 1-core host, but it must be a sane fraction.
+        let f = implied_serial_fraction(&points).unwrap();
+        assert!((0.0..=1.0).contains(&f), "{f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threads")]
+    fn zero_threads_panics() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let _ = speedup_curve(&flag, &[0], CellWorkload::default(), 1);
+    }
+}

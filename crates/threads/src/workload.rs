@@ -1,0 +1,94 @@
+//! Simulated per-cell CPU work.
+//!
+//! Coloring a cell becomes a deterministic spin of arithmetic the
+//! optimizer cannot remove. Work units (not wall-time sleeps) keep the
+//! executor honest: threads genuinely compute, so lock contention and
+//! scheduling effects are real, and the "boundary cells are fiddlier"
+//! cost shows up as more iterations.
+
+use flagsim_agents::CellKind;
+use std::hint::black_box;
+
+/// How much CPU work one cell costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellWorkload {
+    /// Spin iterations for an interior cell.
+    pub interior_iters: u32,
+    /// Spin iterations for a boundary cell (careful edging).
+    pub boundary_iters: u32,
+}
+
+impl Default for CellWorkload {
+    fn default() -> Self {
+        // ~a few microseconds per cell on contemporary hardware: large
+        // enough to dominate thread-coordination noise on a realistic
+        // grid, small enough for fast tests.
+        CellWorkload {
+            interior_iters: 2_000,
+            boundary_iters: 3_200,
+        }
+    }
+}
+
+impl CellWorkload {
+    /// A workload scaled by `factor` (for benches that sweep work size).
+    pub fn scaled(factor: u32) -> Self {
+        let base = CellWorkload::default();
+        CellWorkload {
+            interior_iters: base.interior_iters * factor,
+            boundary_iters: base.boundary_iters * factor,
+        }
+    }
+
+    /// Iterations for a cell kind.
+    pub fn iters(&self, kind: CellKind) -> u32 {
+        match kind {
+            CellKind::Interior => self.interior_iters,
+            CellKind::Boundary => self.boundary_iters,
+        }
+    }
+
+    /// Perform the work for one cell and return a value derived from it
+    /// (so the computation is observably used).
+    pub fn color_one_cell(&self, kind: CellKind, seed: u64) -> u64 {
+        spin(self.iters(kind), seed)
+    }
+}
+
+/// The spin kernel: `iters` rounds of a splitmix-style mix, kept alive
+/// with `black_box`.
+pub fn spin(iters: u32, seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 31;
+        x = black_box(x);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_costs_more() {
+        let w = CellWorkload::default();
+        assert!(w.iters(CellKind::Boundary) > w.iters(CellKind::Interior));
+    }
+
+    #[test]
+    fn spin_is_deterministic_and_seed_sensitive() {
+        assert_eq!(spin(1000, 7), spin(1000, 7));
+        assert_ne!(spin(1000, 7), spin(1000, 8));
+        assert_ne!(spin(1000, 7), spin(1001, 7));
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let w = CellWorkload::scaled(3);
+        let base = CellWorkload::default();
+        assert_eq!(w.interior_iters, base.interior_iters * 3);
+        assert_eq!(w.boundary_iters, base.boundary_iters * 3);
+    }
+}

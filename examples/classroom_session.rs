@@ -1,0 +1,66 @@
+//! A full class session, the way the paper runs it: several teams with
+//! deliberately different drawing implements (§IV: the unfairness "does
+//! show the effect of different hardware"), scenario 1 run twice (the
+//! system-warmup demonstration), and the completion times posted publicly
+//! after every scenario.
+//!
+//! Run with: `cargo run --example classroom_session`
+
+use flagsim::agents::ImplementKind;
+use flagsim::core::classroom::ClassroomSession;
+use flagsim::core::config::ActivityConfig;
+use flagsim::flags::library;
+use flagsim::metrics::{efficiency, speedup};
+
+fn main() {
+    let mut session = ClassroomSession::new(
+        &library::mauritius(),
+        ActivityConfig::default().with_seed(42),
+    );
+    session.add_team("Daubers", 5, ImplementKind::BingoDauber);
+    session.add_team("ThickMk", 5, ImplementKind::ThickMarker);
+    session.add_team("ThinMk", 5, ImplementKind::ThinMarker);
+    session.add_team("Crayons", 5, ImplementKind::Crayon);
+
+    let all = session
+        .run_core_activity(/* repeat scenario 1 */ true)
+        .expect("session runs");
+
+    println!("{}", session.board_table());
+
+    // The post-activity discussion, with numbers.
+    let first: Vec<f64> = all[0].iter().map(|r| r.completion_secs()).collect();
+    let repeat: Vec<f64> = all[1].iter().map(|r| r.completion_secs()).collect();
+    println!("Warm-up: every team's repeat of scenario 1 beat its first run:");
+    for (team, (f, s)) in session.teams().iter().zip(first.iter().zip(&repeat)) {
+        println!(
+            "  {:<8} {:>6.1}s -> {:>6.1}s  ({:.0}% faster — caching/JIT analogy)",
+            team.name,
+            f,
+            s,
+            100.0 * (f - s) / f
+        );
+    }
+
+    println!("\nSpeedup and efficiency vs scenario 1 (per team):");
+    for (ti, team) in session.teams().iter().enumerate() {
+        let t1 = all[1][ti].completion_secs(); // warmed-up baseline
+        for (si, procs) in [(2usize, 2usize), (3, 4), (4, 4)] {
+            let tp = all[si].len();
+            let _ = tp;
+            let r = &all[si][ti];
+            println!(
+                "  {:<8} {:<38} speedup {:>4.2}x  efficiency {:>4.2}",
+                team.name,
+                r.label,
+                speedup(t1, r.completion_secs()),
+                efficiency(t1, r.completion_secs(), procs),
+            );
+        }
+    }
+
+    println!("\nScenario 4 contention detail (ThickMk team):");
+    println!("{}", all[4][1].detail());
+    println!("Gantt ('#' coloring, '~' waiting for a marker, '.' idle):");
+    println!("{}", all[4][1].trace.gantt(72));
+}

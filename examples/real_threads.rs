@@ -1,0 +1,48 @@
+//! The activity on real cores: the same partitions, executed by OS
+//! threads over calibrated per-cell work, with a per-color mutex playing
+//! the team's single marker.
+//!
+//! Run with: `cargo run --release --example real_threads`
+
+use flagsim::core::partition::{CellOrder, PartitionStrategy};
+use flagsim::core::work::PreparedFlag;
+use flagsim::flags::library;
+use flagsim::threads::{CellWorkload, ExecMode, ParallelColorer};
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host cores: {cores}\n");
+
+    let flag = PreparedFlag::at_size(&library::mauritius(), 192, 128);
+    let colorer = ParallelColorer::new(&flag, CellWorkload::default());
+
+    println!("{:<36}{:>9}{:>12}{:>10}", "mode", "threads", "wall", "ok");
+    for threads in [1u32, 2, 4] {
+        let assignments = PartitionStrategy::VerticalSlices(threads)
+            .assignments(&flag, CellOrder::RowMajor, &[]);
+        for mode in [ExecMode::Static, ExecMode::SharedImplements] {
+            let out = colorer.run(&assignments, mode);
+            println!(
+                "{:<36}{:>9}{:>12.3?}{:>10}",
+                format!("{mode:?}"),
+                out.threads,
+                out.wall,
+                out.verify(&flag)
+            );
+        }
+    }
+    let all = PartitionStrategy::VerticalSlices(4).assignments(&flag, CellOrder::RowMajor, &[]);
+    let dynamic = colorer.run(&all, ExecMode::DynamicChunks { chunk: 256 });
+    println!(
+        "{:<36}{:>9}{:>12.3?}{:>10}",
+        "DynamicChunks { chunk: 256 }",
+        dynamic.threads,
+        dynamic.wall,
+        dynamic.verify(&flag)
+    );
+    println!(
+        "\nEvery mode colors the identical flag; wall-clock speedup tracks the\n\
+         host's core count — on a single-core host the lines tie, which is the\n\
+         activity's own 'technology differences matter' lesson."
+    );
+}

@@ -1,0 +1,63 @@
+//! The Webster variation: load balancing with the French and Canadian
+//! flags, plus the NVIDIA paintball CPU-vs-GPU contrast the Webster
+//! instructor showed in class.
+//!
+//! Run with: `cargo run --example webster_flags`
+
+use flagsim::agents::{ImplementKind, StudentProfile};
+use flagsim::core::config::ActivityConfig;
+use flagsim::core::scenario::Scenario;
+use flagsim::core::work::PreparedFlag;
+use flagsim::core::TeamKit;
+use flagsim::flags::library;
+use flagsim::grid::render;
+use flagsim::metrics::{load_imbalance, speedup};
+use flagsim::threads::gpu;
+
+fn main() {
+    let cfg = ActivityConfig::default().with_seed(7);
+    for spec in [library::france(), library::canada()] {
+        let flag = PreparedFlag::new(&spec);
+        println!("=== {} ===", spec.name);
+        println!("{}", render::to_ascii(&flag.reference));
+        println!(
+            "colorable cells: {}, boundary (fiddly) cells: {}",
+            flag.total_items(&[]),
+            flag.boundary_cells(&[])
+        );
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let mut solo = vec![StudentProfile::new("P1").without_warmup()];
+        let mut trio: Vec<StudentProfile> = (1..=3)
+            .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+            .collect();
+        let r1 = Scenario::webster(1).run(&flag, &mut solo, &kit, &cfg).unwrap();
+        let r3 = Scenario::webster(3).run(&flag, &mut trio, &kit, &cfg).unwrap();
+        let busy = r3.busy_secs_per_student();
+        println!(
+            "1 student: {:>6.1}s | 3 students: {:>6.1}s | speedup {:.2}x",
+            r1.completion_secs(),
+            r3.completion_secs(),
+            speedup(r1.completion_secs(), r3.completion_secs())
+        );
+        println!(
+            "per-student coloring time: {:?} -> load imbalance {:.2}",
+            busy.iter().map(|b| (b * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            load_imbalance(&busy)
+        );
+        println!(
+            "(the student with the maple-leaf slice holds everyone up — load balancing!)\n"
+        );
+    }
+
+    println!("=== The paintball video, quantified ===");
+    let flag = PreparedFlag::at_size(&library::canada(), 96, 48);
+    let c = gpu::compare(&flag);
+    println!(
+        "CPU (one barrel):          {} shots, {:.0}s",
+        c.cpu_shots, c.cpu_secs
+    );
+    println!(
+        "GPU (one barrel per pixel): {} shot, {:.0}s — extreme data parallelism",
+        c.gpu_shots, c.gpu_secs
+    );
+}

@@ -1,0 +1,30 @@
+//! # flagsim — facade crate
+//!
+//! A simulation suite reproducing *"A Visual Unplugged Activity to
+//! Introduce PDC"* (IPDPSW 2025): a discrete-event model of the
+//! flag-coloring classroom activity, the substrates it needs, and the
+//! assessment analytics that regenerate every table and figure in the
+//! paper. See `DESIGN.md` for the system inventory and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! This crate re-exports the workspace crates under short names:
+//!
+//! ```
+//! use flagsim::flags::library;
+//! let mauritius = library::mauritius();
+//! let grid = mauritius.rasterize();
+//! assert!(grid.is_complete());
+//! ```
+
+pub mod prelude;
+pub mod tutorial;
+
+pub use flagsim_agents as agents;
+pub use flagsim_assessment as assessment;
+pub use flagsim_core as core;
+pub use flagsim_desim as desim;
+pub use flagsim_flags as flags;
+pub use flagsim_grid as grid;
+pub use flagsim_metrics as metrics;
+pub use flagsim_taskgraph as taskgraph;
+pub use flagsim_threads as threads;

@@ -1,0 +1,107 @@
+//! # A guided tour of `flagsim`
+//!
+//! This module is documentation only — a walkthrough from "color one
+//! flag" to "regenerate the paper's evaluation". Every snippet compiles
+//! and runs as a doctest.
+//!
+//! ## 1. Flags are layered specs; grids are paper
+//!
+//! ```
+//! use flagsim::flags::library;
+//! use flagsim::grid::render;
+//!
+//! let mauritius = library::mauritius();
+//! let grid = mauritius.rasterize();
+//! assert!(grid.is_complete());
+//! assert_eq!(grid.cells_of_color(flagsim::grid::Color::Red).len(), 24);
+//! // Print it: render::to_ascii / to_ansi / to_ppm / to_svg.
+//! assert!(render::to_ascii(&grid).starts_with("RRRRRRRRRRRR"));
+//! ```
+//!
+//! ## 2. Scenarios run students over partitions
+//!
+//! ```
+//! use flagsim::agents::{ImplementKind, StudentProfile};
+//! use flagsim::core::{config::ActivityConfig, scenario::Scenario,
+//!                     work::PreparedFlag, TeamKit};
+//! use flagsim::flags::library;
+//!
+//! let flag = PreparedFlag::new(&library::mauritius());
+//! let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+//! let mut team: Vec<_> = (1..=4)
+//!     .map(|i| StudentProfile::new(format!("P{i}")))
+//!     .collect();
+//! let cfg = ActivityConfig::default().with_seed(1);
+//!
+//! let solo = Scenario::fig1(1).run(&flag, &mut team, &kit, &cfg).unwrap();
+//! let slices = Scenario::fig1(4).run(&flag, &mut team, &kit, &cfg).unwrap();
+//! assert!(solo.correct && slices.correct);
+//! // Scenario 4 contends on the single marker of each color:
+//! assert!(slices.total_wait_secs() > 0.0);
+//! ```
+//!
+//! ## 3. Speedup, efficiency, and what ate the difference
+//!
+//! ```
+//! # use flagsim::agents::{ImplementKind, StudentProfile};
+//! # use flagsim::core::{config::ActivityConfig, scenario::Scenario,
+//! #                     work::PreparedFlag, TeamKit};
+//! # use flagsim::flags::library;
+//! # let flag = PreparedFlag::new(&library::mauritius());
+//! # let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+//! # let mut team: Vec<_> = (1..=4)
+//! #     .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+//! #     .collect();
+//! # let cfg = ActivityConfig::default().with_seed(1);
+//! # let solo = Scenario::fig1(1).run(&flag, &mut team, &kit, &cfg).unwrap();
+//! # let stripes = Scenario::fig1(3).run(&flag, &mut team, &kit, &cfg).unwrap();
+//! use flagsim::metrics::{efficiency, speedup};
+//! let s = stripes.speedup_vs(&solo);
+//! assert!(s > 2.0 && s < 4.2);
+//! assert!(efficiency(solo.completion_secs(), stripes.completion_secs(), 4) <= 1.05);
+//! ```
+//!
+//! ## 4. Dependencies cap parallelism (the Knox lesson)
+//!
+//! ```
+//! use flagsim::core::layered;
+//! use flagsim::flags::library;
+//!
+//! // The Union Jack's three layers form a chain: no speedup, ever.
+//! let p = layered::layered_parallelism(&library::great_britain(), 2000);
+//! assert!((p - 1.0).abs() < 1e-9);
+//! // Mauritius is flat: four stripes, fourfold parallelism.
+//! let p = layered::layered_parallelism(&library::mauritius(), 2000);
+//! assert!(p >= 4.0);
+//! ```
+//!
+//! ## 5. The assessment pipeline regenerates the paper's tables
+//!
+//! ```
+//! use flagsim::assessment::report;
+//! use flagsim::assessment::survey::Construct;
+//!
+//! let rows = report::regenerate_table(Construct::Engagement, 7);
+//! assert!(report::table_matches(&rows)); // equals Table I exactly
+//! ```
+//!
+//! ## 6. And the §V-C rubric grades real submissions
+//!
+//! ```
+//! use flagsim::assessment::jordan;
+//! use flagsim::taskgraph::{classify, SubmissionGrade, SubmittedGraph};
+//!
+//! let chain = SubmittedGraph::new(
+//!     ["black stripe", "white stripe", "green stripe", "red triangle", "white dot"]
+//!         .iter().map(|s| s.to_string()).collect(),
+//!     vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+//! );
+//! assert_eq!(
+//!     classify(&chain, &jordan::reference_graph(), &jordan::grade_options()),
+//!     SubmissionGrade::LinearChain, // "sequential-code thinking"
+//! );
+//! ```
+//!
+//! From here: `examples/` for full programs, `flagsim-cli` for the
+//! command-line workflow, and `flagsim-bench`'s `experiments` binary for
+//! the complete paper-vs-measured ledger.

@@ -1,0 +1,100 @@
+//! Golden rasters for the paper's flags: the exact ASCII art every
+//! execution path must reproduce. If a geometry change alters any of
+//! these, the diff shows up as a picture, not a number.
+
+use flagsim::flags::library;
+use flagsim::grid::render::to_ascii;
+
+#[test]
+fn mauritius_golden() {
+    let expected = "\
+RRRRRRRRRRRR
+RRRRRRRRRRRR
+BBBBBBBBBBBB
+BBBBBBBBBBBB
+YYYYYYYYYYYY
+YYYYYYYYYYYY
+GGGGGGGGGGGG
+GGGGGGGGGGGG
+";
+    assert_eq!(to_ascii(&library::mauritius().rasterize()), expected);
+}
+
+#[test]
+fn jordan_golden() {
+    // 16×9: three stripes (black/white/green), red hoist triangle
+    // (including the hoist edge, so every row starts red), white dot at
+    // the triangle's middle.
+    let expected = "\
+RKKKKKKKKKKKKKKK
+RRKKKKKKKKKKKKKK
+RRRRKKKKKKKKKKKK
+RRRRRRWWWWWWWWWW
+RRWRRRRWWWWWWWWW
+RRRRRRWWWWWWWWWW
+RRRRGGGGGGGGGGGG
+RRGGGGGGGGGGGGGG
+RGGGGGGGGGGGGGGG
+";
+    assert_eq!(to_ascii(&library::jordan().rasterize()), expected);
+}
+
+#[test]
+fn great_britain_golden_structure() {
+    let text = to_ascii(&library::great_britain().rasterize());
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 12);
+    // Center row crosses the red horizontal bar.
+    assert!(lines[6].chars().all(|c| c == 'R'), "{:?}", lines[6]);
+    // The diagonals pass through the corners, so corners are white…
+    for (y, x) in [(0usize, 0usize), (0, 23), (11, 0), (11, 23)] {
+        assert_eq!(lines[y].as_bytes()[x], b'W', "corner ({x},{y})");
+    }
+    // …and the quadrant fields just off the diagonals are blue.
+    assert_eq!(lines[1].as_bytes()[6], b'B');
+    assert_eq!(lines[10].as_bytes()[17], b'B');
+    // The vertical red bar crosses the top row at the center.
+    assert_eq!(lines[0].as_bytes()[12], b'R');
+}
+
+#[test]
+fn canada_golden_structure() {
+    let text = to_ascii(&library::canada().rasterize());
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 12);
+    // Side pales are solid red (first and last 6 columns).
+    for line in &lines {
+        assert!(line[..6].chars().all(|c| c == 'R'), "{line:?}");
+        assert!(line[18..].chars().all(|c| c == 'R'), "{line:?}");
+    }
+    // The leaf: red cells strictly inside the white pale.
+    let leaf_cells: usize = lines
+        .iter()
+        .map(|l| l[6..18].chars().filter(|&c| c == 'R').count())
+        .sum();
+    assert!(leaf_cells >= 12, "leaf too small: {leaf_cells}");
+    // Top and bottom rows of the pale are white (the leaf floats).
+    assert!(lines[0][6..18].chars().all(|c| c == 'W'));
+    assert!(lines[11][6..18].chars().all(|c| c == 'W'));
+}
+
+#[test]
+fn france_golden() {
+    let row = format!("{}{}{}\n", "B".repeat(8), "W".repeat(8), "R".repeat(8));
+    assert_eq!(to_ascii(&library::france().rasterize()), row.repeat(12));
+}
+
+#[test]
+fn all_flags_round_trip_their_own_ascii() {
+    use flagsim::grid::Grid;
+    for flag in library::all() {
+        let grid = flag.rasterize();
+        let text = to_ascii(&grid);
+        let parsed = Grid::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", flag.name));
+        assert!(
+            flagsim::grid::diff(&grid, &parsed).is_identical(),
+            "{}",
+            flag.name
+        );
+    }
+}

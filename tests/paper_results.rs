@@ -1,0 +1,118 @@
+//! The reproduction ledger as a test suite: every experiment in
+//! EXPERIMENTS.md must hold, table cells must equal the published values,
+//! and the cross-crate consistency laws must bind.
+
+use flagsim::core::layered;
+use flagsim::flags::library;
+use flagsim::taskgraph::analysis;
+
+#[test]
+fn all_experiment_shapes_hold() {
+    for e in flagsim_bench::all_experiments() {
+        assert!(
+            e.holds,
+            "{} ({}) lost its shape:\nexpected: {}\n{}",
+            e.id, e.artifact, e.expectation, e.report
+        );
+    }
+}
+
+#[test]
+fn tables_regenerate_byte_exact_medians() {
+    use flagsim::assessment::report as arep;
+    use flagsim::assessment::survey::Construct;
+    for construct in [
+        Construct::Engagement,
+        Construct::Understanding,
+        Construct::Instructor,
+    ] {
+        // Several seeds: calibration must not depend on a lucky seed.
+        for seed in [1u64, 99, 0xDEAD_BEEF] {
+            let rows = arep::regenerate_table(construct, seed);
+            assert!(arep::table_matches(&rows), "{construct:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn quiz_transitions_regenerate_for_any_seed() {
+    use flagsim::assessment::quiz::{fig8_target, generate_quiz_cohort, measure_transitions};
+    use flagsim::assessment::{Concept, Institution};
+    for seed in [7u64, 1234] {
+        for inst in [Institution::USI, Institution::TNTech, Institution::HPU] {
+            let records = generate_quiz_cohort(inst, seed);
+            for concept in Concept::ALL {
+                assert_eq!(
+                    measure_transitions(&records, concept),
+                    fig8_target(inst, concept).unwrap().matrix,
+                    "{inst} {concept:?} seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn jordan_study_distribution_is_seed_independent() {
+    use flagsim::assessment::jordan;
+    for seed in [0u64, 42, 2025] {
+        let r = jordan::grade_batch(&jordan::generate_submissions(seed));
+        assert_eq!(r.total, 29, "seed {seed}");
+        assert_eq!(r.counts["perfect"], 10);
+        assert_eq!(r.counts["mostly correct"], 7);
+        assert!((r.at_least_mostly_pct - 58.6).abs() < 0.1);
+    }
+}
+
+/// The DES and the task-graph theory must agree: a simulated layered run
+/// can never beat the work/span lower bound of its own graph.
+#[test]
+fn simulation_respects_scheduling_theory() {
+    for spec in [library::great_britain(), library::jordan()] {
+        let g = layered::flag_taskgraph(&spec, 2000);
+        for p in [1usize, 2, 4] {
+            let (_, schedule) = layered::layered_schedule(&spec, p, 2000);
+            let lb = analysis::makespan_lower_bound(&g, p);
+            let ub = analysis::greedy_upper_bound(&g, p);
+            assert!(
+                schedule.makespan >= lb && schedule.makespan <= ub,
+                "{} p={p}: {} outside [{lb}, {ub}]",
+                spec.name,
+                schedule.makespan
+            );
+        }
+    }
+}
+
+/// Amdahl's law, observed from the simulation side: scenario 4's measured
+/// speedup implies a serial fraction (Karp–Flatt) well above scenario 3's.
+#[test]
+fn contention_shows_up_in_karp_flatt() {
+    use flagsim::agents::{ImplementKind, StudentProfile};
+    use flagsim::core::config::ActivityConfig;
+    use flagsim::core::scenario::Scenario;
+    use flagsim::core::work::PreparedFlag;
+    use flagsim::core::TeamKit;
+    use flagsim::metrics::karp_flatt;
+
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+    let cfg = ActivityConfig::default();
+    let team = |n: usize| -> Vec<StudentProfile> {
+        (1..=n)
+            .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+            .collect()
+    };
+    let mut t1 = team(1);
+    let base = Scenario::fig1(1).run(&flag, &mut t1, &kit, &cfg).unwrap();
+    let mut t3 = team(4);
+    let s3 = Scenario::fig1(3).run(&flag, &mut t3, &kit, &cfg).unwrap();
+    let mut t4 = team(4);
+    let s4 = Scenario::fig1(4).run(&flag, &mut t4, &kit, &cfg).unwrap();
+    let e3 = karp_flatt(s3.speedup_vs(&base), 4);
+    let e4 = karp_flatt(s4.speedup_vs(&base), 4);
+    assert!(
+        e4 > e3 + 0.1,
+        "contention must raise the implied serial fraction: {e3:.3} vs {e4:.3}"
+    );
+}
