@@ -11,8 +11,7 @@ fn main() {
     while let Some(arg) = args.next() {
         if arg == "--json" {
             let path = args.next().expect("--json needs a path");
-            let json =
-                serde_json::to_string_pretty(&experiments).expect("experiments serialize");
+            let json = flagsim_bench::experiments_to_json(&experiments);
             std::fs::write(&path, json).expect("write JSON results");
             eprintln!("wrote {path}");
         }

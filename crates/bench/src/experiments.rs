@@ -17,7 +17,7 @@ use flagsim_threads::{CellWorkload, ExecMode, ParallelColorer};
 use std::fmt::Write as _;
 
 /// A regenerated experiment: id, what the paper reports, what we measured.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// Experiment id from DESIGN.md ("E1" …).
     pub id: &'static str,
@@ -670,6 +670,45 @@ pub fn e19_statistics() -> Experiment {
         report,
         holds: contention_sig && pipelining_sig && td_gain < 5.0,
     }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize experiments as pretty-printed JSON (hand-rolled — the build
+/// environment has no serde).
+pub fn experiments_to_json(experiments: &[Experiment]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in experiments.iter().enumerate() {
+        out.push_str("  {\n");
+        for (key, val) in [
+            ("id", e.id),
+            ("artifact", e.artifact),
+            ("expectation", e.expectation),
+            ("report", e.report.as_str()),
+        ] {
+            let _ = write!(out, "    \"{key}\": \"");
+            json_escape(val, &mut out);
+            out.push_str("\",\n");
+        }
+        let _ = write!(out, "    \"holds\": {}\n  }}", e.holds);
+        out.push_str(if i + 1 < experiments.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
 }
 
 /// Every experiment, in id order.

@@ -11,4 +11,4 @@
 
 pub mod experiments;
 
-pub use experiments::all_experiments;
+pub use experiments::{all_experiments, experiments_to_json};

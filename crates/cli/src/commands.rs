@@ -6,6 +6,7 @@ use flagsim_assessment::jordan;
 use flagsim_core::classroom::ClassroomSession;
 use flagsim_core::config::ActivityConfig;
 use flagsim_core::discussion;
+use flagsim_core::faults::{FaultPlan, RecoveryPolicy};
 use flagsim_core::layered;
 use flagsim_core::scenario::Scenario;
 use flagsim_core::slides;
@@ -46,6 +47,10 @@ USAGE:
   flagsim slides [<flag>]
   flagsim run <1|2|3|4|pipelined|alternating> [--flag NAME] [--kind KIND]
               [--seed N] [--markers N] [--gantt]
+  flagsim faults <1|2|3|4|pipelined|alternating> (--plan SPEC | --random)
+                 [--policy rebalance|spare:SECS|abort] [--flag NAME]
+                 [--kind KIND] [--seed N]
+  flagsim faults --demo-deadlock
   flagsim session [--repeat] [--seed N]
   flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]
   flagsim graph <flag> [--procs N]
@@ -58,6 +63,11 @@ USAGE:
                  [--seed N]
 
 KIND: dauber | thick | thin | crayon (default thick)
+
+PLAN SPEC: comma-separated fault events —
+  break:COLOR@SECS  dryout:COLOR@SECS  dropout:STUDENT@SECS
+  late:STUDENT@SECS  fumble:COLOR+SECS  bell@SECS
+  e.g. \"break:blue@20,dropout:2@30,bell@120\"
 ";
 
 /// Execute a command line (without the program name). Returns the text to
@@ -71,6 +81,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "render" => cmd_render(&args[1..]),
         "slides" => cmd_slides(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "faults" => cmd_faults(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
@@ -279,6 +290,132 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "\n{}", report.trace.gantt(72));
     }
     Ok(out)
+}
+
+fn parse_policy(s: &str) -> Result<RecoveryPolicy, CliError> {
+    if s == "rebalance" {
+        return Ok(RecoveryPolicy::Rebalance);
+    }
+    if s == "abort" {
+        return Ok(RecoveryPolicy::AbortAndReport);
+    }
+    if let Some(d) = s.strip_prefix("spare:") {
+        let secs: f64 = d.parse().map_err(|_| CliError {
+            message: format!("bad spare delay {d:?}"),
+        })?;
+        if !secs.is_finite() || secs < 0.0 {
+            return err("spare delay must be finite and non-negative");
+        }
+        return Ok(RecoveryPolicy::SpareSwap {
+            replacement_delay_secs: secs,
+        });
+    }
+    err(format!(
+        "unknown policy {s:?} (use rebalance, spare:SECS, or abort)"
+    ))
+}
+
+/// Two processes, two markers, opposite acquisition order: the textbook
+/// circular wait. The engine's stall detector catches it and reports the
+/// full wait-for graph instead of hanging or panicking.
+fn demo_deadlock() -> String {
+    use flagsim_desim::{Action, Engine, FnProcess, SimDuration, SimError};
+    use std::collections::VecDeque;
+
+    let mut engine = Engine::new();
+    let red = engine.add_resource("red marker", SimDuration::ZERO);
+    let blue = engine.add_resource("blue marker", SimDuration::ZERO);
+    let script = |actions: Vec<Action>| {
+        let mut queue: VecDeque<Action> = actions.into();
+        move |_now| queue.pop_front().unwrap_or(Action::Done)
+    };
+    engine.add_process(Box::new(FnProcess::new(
+        "grabs-red-then-blue",
+        script(vec![
+            Action::Acquire(red),
+            Action::Work(SimDuration::from_secs_f64(1.0)),
+            Action::Acquire(blue),
+        ]),
+    )));
+    engine.add_process(Box::new(FnProcess::new(
+        "grabs-blue-then-red",
+        script(vec![
+            Action::Acquire(blue),
+            Action::Work(SimDuration::from_secs_f64(1.0)),
+            Action::Acquire(red),
+        ]),
+    )));
+    let mut out = String::from(
+        "Two students, two markers, opposite grab order — the classic\n\
+         circular wait. Instead of hanging, the engine reports:\n\n",
+    );
+    match engine.try_run() {
+        Err(SimError::Stalled { waiters }) => {
+            let _ = writeln!(out, "error: {}", SimError::Stalled { waiters: waiters.clone() });
+            let _ = writeln!(
+                out,
+                "\nEvery blocked student appears with what they hold and what\n\
+                 they wait for — enough to see the cycle and pick a victim."
+            );
+            debug_assert!(!waiters.is_empty());
+        }
+        Err(other) => {
+            let _ = writeln!(out, "unexpected error: {other}");
+        }
+        Ok(_) => {
+            let _ = writeln!(out, "unexpectedly completed (engine bug?)");
+        }
+    }
+    out
+}
+
+fn cmd_faults(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["plan", "policy", "flag", "kind", "seed"])?;
+    if opts.flag("demo-deadlock") {
+        return Ok(demo_deadlock());
+    }
+    let Some(which) = opts.positional.first() else {
+        return err(
+            "usage: flagsim faults <1|2|3|4|pipelined|alternating> (--plan SPEC | --random) \
+             [--policy P] [options], or flagsim faults --demo-deadlock",
+        );
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let size = scenario.team_size(&flag, &cfg);
+    let colors = flag.colors_needed(&[]);
+    let mut plan = match (opts.value("plan"), opts.flag("random")) {
+        (Some(spec), false) => {
+            FaultPlan::parse(spec, "cli plan").map_err(|message| CliError { message })?
+        }
+        (None, true) => FaultPlan::random(seed, size, &colors),
+        (Some(_), true) => return err("--plan and --random are mutually exclusive"),
+        (None, false) => return err("faults needs --plan SPEC or --random"),
+    };
+    if let Some(p) = opts.value("policy") {
+        plan = plan.with_policy(parse_policy(p)?);
+    }
+    let mut team: Vec<StudentProfile> =
+        (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
+    let kit = TeamKit::uniform(kind, &colors);
+    let report = scenario
+        .run_with_faults(&flag, &mut team, &kit, &cfg, &plan)
+        .map_err(|message| CliError { message })?;
+    // detail() already appends the resilience report's render.
+    Ok(report.detail())
 }
 
 fn cmd_session(args: &[String]) -> Result<String, CliError> {
@@ -716,6 +853,57 @@ mod tests {
         let out = runv(&["run", "4", "--markers", "4"]).unwrap();
         // No contended marker line when fully stocked.
         assert!(!out.contains("contended"), "{out}");
+    }
+
+    #[test]
+    fn faults_runs_a_plan_and_prints_the_resilience_report() {
+        let out = runv(&[
+            "faults", "3", "--plan", "break:blue@10,dropout:2@20", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("fault(s) planned"), "{out}");
+        assert!(out.contains("blue implement broke"), "{out}");
+        assert!(out.contains("dropped out"), "{out}");
+        assert!(out.contains("correct"), "survivors still finish: {out}");
+    }
+
+    #[test]
+    fn faults_abort_policy_reports_the_abort() {
+        let out = runv(&[
+            "faults", "1", "--plan", "break:red@5", "--policy", "abort",
+        ])
+        .unwrap();
+        assert!(out.contains("aborted"), "{out}");
+        assert!(out.contains("WRONG FLAG"), "{out}");
+    }
+
+    #[test]
+    fn faults_random_plan_is_seeded() {
+        let a = runv(&["faults", "4", "--random", "--seed", "11"]).unwrap();
+        let b = runv(&["faults", "4", "--random", "--seed", "11"]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("fault(s) planned"), "{a}");
+    }
+
+    #[test]
+    fn faults_rejects_bad_input() {
+        assert!(runv(&["faults", "3"]).is_err());
+        assert!(runv(&["faults", "3", "--plan", "nonsense"]).is_err());
+        assert!(runv(&["faults", "3", "--plan", "bell@60", "--policy", "what"]).is_err());
+        assert!(
+            runv(&["faults", "3", "--plan", "bell@60", "--random"]).is_err(),
+            "--plan and --random together must be rejected"
+        );
+    }
+
+    #[test]
+    fn faults_demo_deadlock_prints_the_wait_for_graph() {
+        let out = runv(&["faults", "--demo-deadlock"]).unwrap();
+        assert!(out.contains("stalled"), "{out}");
+        assert!(out.contains("wait-for graph"), "{out}");
+        assert!(out.contains("red marker"), "{out}");
+        assert!(out.contains("blue marker"), "{out}");
+        assert!(out.contains("held by"), "{out}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! collects the completion time from each group, posting it publicly".
 
 use crate::config::{ActivityConfig, TeamKit};
+use crate::faults::FaultPlan;
 use crate::report::RunReport;
 use crate::scenario::Scenario;
 use crate::work::PreparedFlag;
@@ -37,6 +38,19 @@ pub struct BoardEntry {
     pub secs: f64,
 }
 
+/// A team whose run failed outright (bad kit, engine stall, …). The
+/// session records it and the class moves on — one team's mishap must not
+/// end the lesson.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionIncident {
+    /// Team name.
+    pub team: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// What went wrong.
+    pub error: String,
+}
+
 /// A class session on one flag.
 #[derive(Debug, Clone)]
 pub struct ClassroomSession {
@@ -44,6 +58,7 @@ pub struct ClassroomSession {
     config: ActivityConfig,
     teams: Vec<Team>,
     board: Vec<BoardEntry>,
+    incidents: Vec<SessionIncident>,
     runs: u64,
 }
 
@@ -55,6 +70,7 @@ impl ClassroomSession {
             config,
             teams: Vec::new(),
             board: Vec::new(),
+            incidents: Vec::new(),
             runs: 0,
         }
     }
@@ -80,6 +96,21 @@ impl ClassroomSession {
         });
     }
 
+    /// Add a team of `size` students with an explicit kit — the §IV
+    /// "different hardware" setup, or a deliberately faulty kit for a
+    /// resilience drill.
+    pub fn add_team_with_kit(&mut self, name: impl Into<String>, size: usize, kit: TeamKit) {
+        let name = name.into();
+        let idx = self.teams.len() as u64;
+        let students = (1..=size)
+            .map(|i| {
+                let jitter = (((idx * 7 + i as u64 * 13) % 9) as f64 - 4.0) / 40.0;
+                StudentProfile::new(format!("{name}-P{i}")).with_skill(1.0 + jitter)
+            })
+            .collect();
+        self.teams.push(Team { name, students, kit });
+    }
+
     /// The prepared flag.
     pub fn flag(&self) -> &PreparedFlag {
         &self.flag
@@ -92,8 +123,20 @@ impl ClassroomSession {
 
     /// Run one scenario across every team ("starting all the teams …
     /// simultaneously"), posting each completion time to the board.
-    /// Returns the per-team reports in team order.
+    /// Returns the reports of the teams that finished, in team order; a
+    /// team whose run fails becomes a [`SessionIncident`] and the session
+    /// continues with the rest of the class.
     pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<Vec<RunReport>, String> {
+        self.run_scenario_with_faults(scenario, &FaultPlan::none())
+    }
+
+    /// [`ClassroomSession::run_scenario`] under an injected [`FaultPlan`]
+    /// applied to every team — the whole-class fault drill.
+    pub fn run_scenario_with_faults(
+        &mut self,
+        scenario: &Scenario,
+        plan: &FaultPlan,
+    ) -> Result<Vec<RunReport>, String> {
         let mut reports = Vec::with_capacity(self.teams.len());
         for team in &mut self.teams {
             self.runs += 1;
@@ -105,13 +148,24 @@ impl ClassroomSession {
                     .wrapping_add(self.runs),
                 ..self.config.clone()
             };
-            let report = scenario.run(&self.flag, &mut team.students, &team.kit, &cfg)?;
-            self.board.push(BoardEntry {
-                team: team.name.clone(),
-                scenario: scenario.name.clone(),
-                secs: report.completion_secs(),
-            });
-            reports.push(report);
+            match scenario.run_with_faults(&self.flag, &mut team.students, &team.kit, &cfg, plan)
+            {
+                Ok(report) => {
+                    self.board.push(BoardEntry {
+                        team: team.name.clone(),
+                        scenario: scenario.name.clone(),
+                        secs: report.completion_secs(),
+                    });
+                    reports.push(report);
+                }
+                Err(error) => {
+                    self.incidents.push(SessionIncident {
+                        team: team.name.clone(),
+                        scenario: scenario.name.clone(),
+                        error,
+                    });
+                }
+            }
         }
         Ok(reports)
     }
@@ -140,6 +194,11 @@ impl ClassroomSession {
     /// The board so far.
     pub fn board(&self) -> &[BoardEntry] {
         &self.board
+    }
+
+    /// Teams whose runs failed, in the order the failures happened.
+    pub fn incidents(&self) -> &[SessionIncident] {
+        &self.incidents
     }
 
     /// Export the board as CSV (`team,scenario,seconds`).
@@ -256,6 +315,50 @@ mod tests {
         assert!(csv.starts_with("team,scenario,seconds\n"));
         assert_eq!(csv.lines().count(), 1 + 12); // header + 4 scenarios × 3 teams
         assert!(csv.contains("Team 1,scenario 1: one student,"));
+    }
+
+    #[test]
+    fn one_dead_kit_does_not_end_the_lesson() {
+        use flagsim_agents::{Condition, Implement};
+        use flagsim_grid::Color;
+        let mut s = ClassroomSession::new(&library::mauritius(), ActivityConfig::default());
+        s.add_team("Team 1", 5, ImplementKind::ThickMarker);
+        let dead_kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS)
+            .with_implement(
+                Color::Yellow,
+                Implement {
+                    kind: ImplementKind::ThickMarker,
+                    condition: Condition::Dead,
+                },
+            );
+        s.add_team_with_kit("Team 2", 5, dead_kit);
+        s.add_team("Team 3", 5, ImplementKind::ThickMarker);
+        let reports = s.run_scenario(&Scenario::fig1(1)).unwrap();
+        // Teams 1 and 3 finished; Team 2's dead marker became an incident.
+        assert_eq!(reports.len(), 2);
+        assert_eq!(s.board().len(), 2);
+        assert_eq!(s.incidents().len(), 1);
+        assert_eq!(s.incidents()[0].team, "Team 2");
+        assert!(s.incidents()[0].error.contains("dead"));
+        // The session keeps working afterwards.
+        let again = s.run_scenario(&Scenario::fig1(3)).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(s.incidents().len(), 2);
+    }
+
+    #[test]
+    fn whole_class_fault_drill_attaches_resilience() {
+        use crate::faults::FaultPlan;
+        use flagsim_grid::Color;
+        let mut s = session();
+        let plan = FaultPlan::new("drill").break_implement(Color::Red, 10.0);
+        let reports = s.run_scenario_with_faults(&Scenario::fig1(3), &plan).unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.correct);
+            assert!(r.resilience.is_some());
+        }
+        assert!(s.incidents().is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod advice;
 pub mod classroom;
 pub mod config;
 pub mod discussion;
+pub mod faults;
 pub mod glossary;
 pub mod layered;
 pub mod partition;
@@ -39,8 +40,9 @@ pub mod sweep;
 pub mod work;
 
 pub use config::{ActivityConfig, ReleasePolicy, TeamKit};
+pub use faults::{FaultEvent, FaultPlan, RecoveryPolicy, ResilienceReport};
 pub use partition::{CellOrder, PartitionStrategy};
 pub use report::RunReport;
-pub use run::run_activity;
+pub use run::{run_activity, run_activity_with_faults};
 pub use scenario::Scenario;
 pub use work::WorkItem;

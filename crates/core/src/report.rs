@@ -1,5 +1,6 @@
 //! Run reports — what the activity measures.
 
+use crate::faults::ResilienceReport;
 use flagsim_desim::resource::ResourceStats;
 use flagsim_desim::{SimDuration, SimTime, Trace};
 use flagsim_grid::{Color, Grid};
@@ -12,7 +13,8 @@ pub struct StudentStats {
     pub name: String,
     /// Cells assigned.
     pub cells: usize,
-    /// Cells actually completed (equals `cells` unless the bell rang).
+    /// Cells actually completed — differs from `cells` when the bell rang,
+    /// the student dropped out, or they adopted a dropout's orphaned work.
     pub completed: usize,
     /// Time spent coloring.
     pub busy: SimDuration,
@@ -54,6 +56,9 @@ pub struct RunReport {
     /// Implements that broke during the run (crayons, mostly) — each cost
     /// a replacement delay.
     pub breakages: u64,
+    /// How the run weathered an injected [`crate::faults::FaultPlan`] —
+    /// `None` when no faults were planned.
+    pub resilience: Option<ResilienceReport>,
     /// The raw engine trace (Gantt, event log).
     pub trace: Trace,
 }
@@ -188,6 +193,9 @@ impl RunReport {
                 );
             }
         }
+        if let Some(res) = &self.resilience {
+            out.push_str(&res.render());
+        }
         out
     }
 }
@@ -214,6 +222,7 @@ mod tests {
             grid: Grid::new(2, 2),
             correct: true,
             breakages: 0,
+            resilience: None,
             trace: Trace {
                 end_time: SimTime(100_000),
                 procs: vec![],

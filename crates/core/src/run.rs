@@ -4,14 +4,28 @@
 //! each color's single implement becomes an exclusive resource. Per-cell
 //! durations are pre-sampled (they depend only on the student's own
 //! history, not on interleaving), so the DES run itself is exact.
+//!
+//! Fault injection ([`run_activity_with_faults`]) threads a shared
+//! [`faults::FaultPlan`] through the same state machine: students consult
+//! the live fault state at every poll, so dropouts leave at their next
+//! natural pause, broken implements are discovered by the next student to
+//! use them, and orphaned cells sit in a shared pool that survivors adopt
+//! after finishing their own work. Orphaned cells keep their pre-sampled
+//! durations — the adopting survivor colors at the dropout's pace — a
+//! deliberate simplification that keeps the DES exact.
 
 use crate::config::{ActivityConfig, ReleasePolicy, TeamKit};
+use crate::faults::{
+    FaultEvent, FaultPlan, Incident, RecoveryAction, ResilienceReport,
+};
 use crate::report::{ColorContention, RunReport, StudentStats};
 use crate::work::{PreparedFlag, WorkItem};
 use flagsim_agents::{CostModel, StudentProfile};
 use flagsim_desim::{Action, Engine, Process, ResourceId, SimDuration, SimTime};
 use flagsim_grid::{Color, Grid};
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 /// Seconds to fetch a replacement when an implement breaks mid-cell.
 const REPLACEMENT_DELAY_SECS: f64 = 12.0;
@@ -21,6 +35,7 @@ const REPLACEMENT_DELAY_SECS: f64 = 12.0;
 struct TimedItem {
     resource: ResourceId,
     dur: SimDuration,
+    work: WorkItem,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,8 +44,90 @@ enum Step {
     DidWork,
 }
 
+/// What using an implement costs once the live fault state has its say.
+enum UseOutcome {
+    /// Usable; the swap delay (zero when nothing was broken).
+    Ok(SimDuration),
+    /// The policy aborted the run; the caller should wind down.
+    Abort,
+}
+
+/// Mutable state shared by every student process during a faulted run:
+/// pending dropouts, broken implements, the orphaned-work pool, and the
+/// incident/action log that becomes the [`ResilienceReport`].
+struct LiveFaultState {
+    abort_on_fault: bool,
+    spare_delay_secs: Option<f64>,
+    dropout_at: Vec<Option<SimTime>>,
+    /// resource index -> (break time, color, verb for the incident log).
+    broken: BTreeMap<usize, (SimTime, Color, &'static str)>,
+    orphans: VecDeque<TimedItem>,
+    aborted: Option<SimTime>,
+    incidents: Vec<Incident>,
+    actions: Vec<RecoveryAction>,
+    time_lost_secs: f64,
+    adopted: Vec<usize>,
+    /// Per student, every cell whose work actually started, in order —
+    /// under rebalancing this is the ground truth for painting the grid.
+    started: Vec<Vec<WorkItem>>,
+}
+
+impl LiveFaultState {
+    fn new(team_size: usize, plan: &FaultPlan) -> Self {
+        LiveFaultState {
+            abort_on_fault: plan.policy.aborts(),
+            spare_delay_secs: plan.policy.spare_delay_secs(),
+            dropout_at: vec![None; team_size],
+            broken: BTreeMap::new(),
+            orphans: VecDeque::new(),
+            aborted: None,
+            incidents: Vec::new(),
+            actions: Vec::new(),
+            time_lost_secs: 0.0,
+            adopted: vec![0; team_size],
+            started: vec![Vec::new(); team_size],
+        }
+    }
+
+    /// A student is about to color with resource `r` at `now`: discover
+    /// any break scheduled before `now` and either pay the spare swap or
+    /// abort the run, per policy.
+    fn use_implement(&mut self, r: ResourceId, now: SimTime) -> UseOutcome {
+        let Some(&(broke_at, color, verb)) = self.broken.get(&r.index()) else {
+            return UseOutcome::Ok(SimDuration::ZERO);
+        };
+        if broke_at > now {
+            return UseOutcome::Ok(SimDuration::ZERO);
+        }
+        self.broken.remove(&r.index());
+        self.incidents.push(Incident {
+            at_secs: broke_at.as_secs_f64(),
+            what: format!("the {color} implement {verb}"),
+        });
+        match self.spare_delay_secs {
+            None => {
+                self.aborted = Some(now);
+                self.actions.push(RecoveryAction::Aborted {
+                    at_secs: now.as_secs_f64(),
+                });
+                UseOutcome::Abort
+            }
+            Some(delay) => {
+                self.actions.push(RecoveryAction::SpareSwapped {
+                    color,
+                    at_secs: now.as_secs_f64(),
+                    delay_secs: delay,
+                });
+                self.time_lost_secs += delay;
+                UseOutcome::Ok(SimDuration::from_secs_f64(delay))
+            }
+        }
+    }
+}
+
 /// A student as a DES process.
 struct StudentProc {
+    idx: usize,
     name: String,
     items: Vec<TimedItem>,
     policy: ReleasePolicy,
@@ -38,11 +135,61 @@ struct StudentProc {
     step: Step,
     held: Option<ResourceId>,
     pending: Option<ResourceId>,
+    dropped: bool,
+    live: Rc<RefCell<LiveFaultState>>,
 }
 
 impl Process for StudentProc {
-    fn next(&mut self, _now: SimTime) -> Action {
+    fn next(&mut self, now: SimTime) -> Action {
         loop {
+            // Faults first: a global abort, or this student's dropout
+            // falling due. Both are noticed at the student's next natural
+            // pause — exactly when a real student would look up.
+            if !self.dropped {
+                let mut live = self.live.borrow_mut();
+                let dropout_due = live.dropout_at[self.idx].is_some_and(|t| t <= now);
+                if dropout_due {
+                    live.dropout_at[self.idx] = None;
+                    live.incidents.push(Incident {
+                        at_secs: now.as_secs_f64(),
+                        what: format!("{} dropped out", self.name),
+                    });
+                    // Cells not yet started (the one under the hand, when
+                    // `DidWork`, is finished) go back on the table.
+                    let cut = match self.step {
+                        Step::DidWork => self.pos + 1,
+                        Step::NeedItem => self.pos,
+                    };
+                    let leftover = self.items.split_off(cut.min(self.items.len()));
+                    if live.abort_on_fault {
+                        live.aborted = Some(now);
+                        live.actions.push(RecoveryAction::Aborted {
+                            at_secs: now.as_secs_f64(),
+                        });
+                    } else if !leftover.is_empty() {
+                        live.actions.push(RecoveryAction::WorkRebalanced {
+                            student: self.idx,
+                            cells: leftover.len(),
+                            at_secs: now.as_secs_f64(),
+                        });
+                        live.orphans.extend(leftover);
+                    }
+                    self.dropped = true;
+                } else if live.aborted.is_some() {
+                    self.dropped = true;
+                }
+            }
+            if self.dropped {
+                // Wind down: hand back whatever we hold (including a
+                // grant that landed while we were deciding to leave).
+                if let Some(r) = self.pending.take() {
+                    self.held = Some(r);
+                }
+                if let Some(r) = self.held.take() {
+                    return Action::Release(r);
+                }
+                return Action::Done;
+            }
             match self.step {
                 Step::DidWork => {
                     self.pos += 1;
@@ -58,16 +205,39 @@ impl Process for StudentProc {
                     if let Some(r) = self.pending.take() {
                         self.held = Some(r);
                     }
-                    let Some(item) = self.items.get(self.pos).copied() else {
-                        if let Some(r) = self.held.take() {
-                            return Action::Release(r);
+                    let item = match self.items.get(self.pos).copied() {
+                        Some(item) => item,
+                        None => {
+                            // Own list done: adopt orphaned work, if any.
+                            let adopted = self.live.borrow_mut().orphans.pop_front();
+                            match adopted {
+                                Some(it) => {
+                                    self.live.borrow_mut().adopted[self.idx] += 1;
+                                    self.items.push(it);
+                                    continue;
+                                }
+                                None => {
+                                    if let Some(r) = self.held.take() {
+                                        return Action::Release(r);
+                                    }
+                                    return Action::Done;
+                                }
+                            }
                         }
-                        return Action::Done;
                     };
                     match self.held {
                         Some(h) if h == item.resource => {
-                            self.step = Step::DidWork;
-                            return Action::Work(item.dur);
+                            // About to color: does the implement still work?
+                            let outcome =
+                                self.live.borrow_mut().use_implement(item.resource, now);
+                            match outcome {
+                                UseOutcome::Abort => continue,
+                                UseOutcome::Ok(swap_delay) => {
+                                    self.step = Step::DidWork;
+                                    self.live.borrow_mut().started[self.idx].push(item.work);
+                                    return Action::Work(item.dur + swap_delay);
+                                }
+                            }
                         }
                         Some(h) => {
                             self.held = None;
@@ -105,6 +275,24 @@ pub fn run_activity(
     kit: &TeamKit,
     config: &ActivityConfig,
 ) -> Result<RunReport, String> {
+    run_activity_with_faults(label, flag, assignments, team, kit, config, &FaultPlan::none())
+}
+
+/// [`run_activity`] with a [`FaultPlan`] injected. The run survives every
+/// planned mishap (or aborts cleanly, per the plan's policy) and attaches
+/// a [`ResilienceReport`] to the returned report whenever the plan is
+/// non-empty. Engine-level failures (a stall, a tripped live-lock guard)
+/// come back as `Err` strings instead of panicking, so batch drivers can
+/// record them and keep going.
+pub fn run_activity_with_faults(
+    label: impl Into<String>,
+    flag: &PreparedFlag,
+    assignments: &[Vec<WorkItem>],
+    team: &mut [StudentProfile],
+    kit: &TeamKit,
+    config: &ActivityConfig,
+    plan: &FaultPlan,
+) -> Result<RunReport, String> {
     let label = label.into();
     if assignments.len() != team.len() {
         return Err(format!(
@@ -113,6 +301,7 @@ pub fn run_activity(
             team.len()
         ));
     }
+    plan.validate(team.len())?;
 
     // Which colors does this run actually need?
     let mut needed: Vec<Color> = Vec::new();
@@ -126,6 +315,24 @@ pub fn run_activity(
     needed.sort_unstable();
     kit.check(&needed)?;
 
+    // Ambient faults that shape the run before it starts: the earliest
+    // bell wins over any configured deadline, and fumbles pad the hand-off
+    // latency of their color. Faults naming colors this run never uses
+    // are planned-but-cannot-bite and stay out of the incident log.
+    let mut deadline_secs = config.deadline_secs;
+    let mut fumble_extra: BTreeMap<Color, f64> = BTreeMap::new();
+    for e in &plan.events {
+        match e {
+            FaultEvent::DeadlineBell { at_secs } => {
+                deadline_secs = Some(deadline_secs.map_or(*at_secs, |d| d.min(*at_secs)));
+            }
+            FaultEvent::HandoffFumble { color, extra_secs } => {
+                *fumble_extra.entry(*color).or_insert(0.0) += extra_secs;
+            }
+            _ => {}
+        }
+    }
+
     let mut cost = CostModel::with_params(config.seed, config.cost_params.clone());
 
     // One resource per needed color; hand-off latency sampled per marker.
@@ -133,13 +340,54 @@ pub fn run_activity(
     let mut res_of_color: BTreeMap<Color, ResourceId> = BTreeMap::new();
     for &c in &needed {
         let implement = kit.implement(c).expect("checked above");
-        let handoff = SimDuration::from_secs_f64(cost.sample_handoff_secs(implement));
+        let mut handoff_secs = cost.sample_handoff_secs(implement);
+        handoff_secs += fumble_extra.get(&c).copied().unwrap_or(0.0);
         let rid = engine.add_resource_pool(
             format!("{c} {}", implement.kind),
             kit.count(c),
-            handoff,
+            SimDuration::from_secs_f64(handoff_secs),
         );
         res_of_color.insert(c, rid);
+    }
+
+    // The shared live fault state, primed from the plan.
+    let live = Rc::new(RefCell::new(LiveFaultState::new(team.len(), plan)));
+    let mut start_at: Vec<SimTime> = vec![SimTime::ZERO; team.len()];
+    {
+        let mut st = live.borrow_mut();
+        for e in &plan.events {
+            match e {
+                FaultEvent::ImplementBreaks { color, at_secs }
+                | FaultEvent::ImplementDriesOut { color, at_secs } => {
+                    if let Some(rid) = res_of_color.get(color) {
+                        let verb = if matches!(e, FaultEvent::ImplementBreaks { .. }) {
+                            "broke"
+                        } else {
+                            "dried out"
+                        };
+                        st.broken.insert(
+                            rid.index(),
+                            (SimTime::ZERO + SimDuration::from_secs_f64(*at_secs), *color, verb),
+                        );
+                    }
+                }
+                FaultEvent::Dropout { student, at_secs } => {
+                    st.dropout_at[*student] =
+                        Some(SimTime::ZERO + SimDuration::from_secs_f64(*at_secs));
+                }
+                FaultEvent::LateArrival { student, at_secs } => {
+                    let t = SimTime::ZERO + SimDuration::from_secs_f64(*at_secs);
+                    start_at[*student] = start_at[*student].max(t);
+                    if *at_secs > 0.0 {
+                        st.incidents.push(Incident {
+                            at_secs: *at_secs,
+                            what: format!("P{} arrived {at_secs:.1}s late", student + 1),
+                        });
+                    }
+                }
+                FaultEvent::HandoffFumble { .. } | FaultEvent::DeadlineBell { .. } => {}
+            }
+        }
     }
 
     // Pre-sample durations student-major (deterministic, interleaving-free).
@@ -147,7 +395,7 @@ pub fn run_activity(
     // break costs the student a fetch-a-replacement delay on that cell.
     let mut breakages: u64 = 0;
     let mut procs: Vec<StudentProc> = Vec::with_capacity(team.len());
-    for (student, items) in team.iter_mut().zip(assignments) {
+    for (idx, (student, items)) in team.iter_mut().zip(assignments).enumerate() {
         let timed: Vec<TimedItem> = items
             .iter()
             .map(|item| {
@@ -160,10 +408,12 @@ pub fn run_activity(
                 TimedItem {
                     resource: res_of_color[&item.color],
                     dur: SimDuration::from_secs_f64(secs),
+                    work: *item,
                 }
             })
             .collect();
         procs.push(StudentProc {
+            idx,
             name: student.name.clone(),
             items: timed,
             policy: config.policy,
@@ -171,23 +421,31 @@ pub fn run_activity(
             step: Step::NeedItem,
             held: None,
             pending: None,
+            dropped: false,
+            live: Rc::clone(&live),
         });
     }
-    for p in procs {
-        engine.add_process(Box::new(p));
+    for (idx, p) in procs.into_iter().enumerate() {
+        engine.add_process_at(Box::new(p), start_at[idx]);
     }
 
-    let trace = match config.deadline_secs {
+    let result = match deadline_secs {
         Some(secs) => {
             let deadline = SimTime::ZERO + SimDuration::from_secs_f64(secs);
-            engine.run_until(deadline)
+            engine.try_run_until(deadline)
         }
-        None => engine.run(),
+        None => engine.try_run(),
     };
+    let trace = result.map_err(|e| format!("simulation failed: {e}"))?;
 
-    // Cells each student actually completed: one WorkStart per cell, in
-    // assignment order; a cell counts if its work finished by the end of
-    // the trace (with a deadline, in-flight work at the bell is lost).
+    // The engine (and every boxed process) is gone; reclaim the log.
+    let mut state = Rc::try_unwrap(live)
+        .map_err(|_| "fault state still shared after the run".to_owned())?
+        .into_inner();
+
+    // Cells each student actually completed: one WorkStart per started
+    // cell, in start order; a cell counts if its work finished by the end
+    // of the trace (with a deadline, in-flight work at the bell is lost).
     let completed: Vec<usize> = (0..team.len())
         .map(|i| {
             trace
@@ -202,10 +460,12 @@ pub fn run_activity(
         })
         .collect();
 
-    // Reconstruct the colored grid (only what was completed) and verify.
+    // Reconstruct the colored grid from the per-student started-cell logs
+    // (which, unlike the static assignments, account for adopted orphan
+    // work) and verify it.
     let mut grid = Grid::new(flag.width, flag.height);
-    for (part, &done) in assignments.iter().zip(&completed) {
-        for item in &part[..done.min(part.len())] {
+    for (log, &done) in state.started.iter().zip(&completed) {
+        for item in &log[..done.min(log.len())] {
             grid.paint(item.cell, item.color);
         }
     }
@@ -218,7 +478,7 @@ pub fn run_activity(
         }
     });
 
-    let students = trace
+    let students: Vec<StudentStats> = trace
         .procs
         .iter()
         .zip(assignments)
@@ -226,7 +486,7 @@ pub fn run_activity(
         .map(|((p, items), &done)| StudentStats {
             name: p.name.clone(),
             cells: items.len(),
-            completed: done.min(items.len()),
+            completed: done,
             busy: p.busy,
             waiting: p.waiting,
             idle: p.idle(),
@@ -234,13 +494,68 @@ pub fn run_activity(
         })
         .collect();
 
-    let contention = needed
+    let contention: Vec<ColorContention> = needed
         .iter()
         .map(|&c| ColorContention {
             color: c,
             stats: trace.resources[res_of_color[&c].index()].stats.clone(),
         })
         .collect();
+
+    // Post-run fault accounting: fumbles bite once per observed hand-off,
+    // the bell bites only if it actually cut the run short, and adopted
+    // orphans become recovery actions.
+    let resilience = if plan.is_empty() {
+        None
+    } else {
+        for e in &plan.events {
+            if let FaultEvent::HandoffFumble { color, extra_secs } = e {
+                let handoffs = contention
+                    .iter()
+                    .find(|c| c.color == *color)
+                    .map_or(0, |c| c.stats.handoffs);
+                if handoffs > 0 {
+                    state.incidents.push(Incident {
+                        at_secs: 0.0,
+                        what: format!(
+                            "every {color} hand-off fumbled (+{extra_secs:.1}s x {handoffs})"
+                        ),
+                    });
+                    state.time_lost_secs += extra_secs * handoffs as f64;
+                }
+            }
+        }
+        let bell = plan.events.iter().any(|e| {
+            matches!(e, FaultEvent::DeadlineBell { at_secs }
+                if deadline_secs == Some(*at_secs)
+                    && (trace.end_time.as_secs_f64() - at_secs).abs() < 1e-9)
+        });
+        if bell {
+            state.incidents.push(Incident {
+                at_secs: trace.end_time.as_secs_f64(),
+                what: "the bell rang with work unfinished".to_owned(),
+            });
+        }
+        for (i, &n) in state.adopted.iter().enumerate() {
+            if n > 0 {
+                state
+                    .actions
+                    .push(RecoveryAction::CellsAdopted { student: i, cells: n });
+            }
+        }
+        state
+            .incidents
+            .sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
+        Some(ResilienceReport {
+            plan_label: plan.label.clone(),
+            policy: plan.policy,
+            faults_planned: plan.events.len(),
+            incidents: state.incidents,
+            actions: state.actions,
+            time_lost_secs: state.time_lost_secs,
+            aborted: state.aborted.is_some(),
+        })
+    };
 
     Ok(RunReport {
         label,
@@ -251,6 +566,7 @@ pub fn run_activity(
         grid,
         correct,
         breakages,
+        resilience,
         trace,
     })
 }
@@ -258,6 +574,7 @@ pub fn run_activity(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::RecoveryPolicy;
     use crate::partition::{CellOrder, PartitionStrategy};
     use flagsim_agents::{Condition, Implement, ImplementKind};
     use flagsim_flags::library;
@@ -287,6 +604,27 @@ mod tests {
         .unwrap()
     }
 
+    fn run_faulted(
+        strategy: PartitionStrategy,
+        n: usize,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> RunReport {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments = strategy.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t = team(n);
+        run_activity_with_faults(
+            "faulted",
+            &pf,
+            &assignments,
+            &mut t,
+            &kit(),
+            &ActivityConfig::default().with_seed(seed),
+            plan,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn solo_run_completes_correctly() {
         let r = run_scenario(PartitionStrategy::Solo, 1, 1);
@@ -296,6 +634,8 @@ mod tests {
         assert_eq!(r.students[0].cells, 96);
         // Solo: no contention at all.
         assert_eq!(r.total_wait_secs(), 0.0);
+        // No plan, no resilience report.
+        assert!(r.resilience.is_none());
     }
 
     #[test]
@@ -550,5 +890,195 @@ mod tests {
         .unwrap();
         assert!(r.correct);
         assert!(r.grid.blank_cells() > 0);
+    }
+
+    // ---- fault injection ----
+
+    #[test]
+    fn broken_implement_spare_swap_recovers() {
+        let base = run_scenario(PartitionStrategy::Solo, 1, 3);
+        let plan = FaultPlan::new("snap").break_implement(Color::Blue, 20.0);
+        let r = run_faulted(PartitionStrategy::Solo, 1, 3, &plan);
+        assert!(r.correct, "a spare swap should still finish the flag");
+        let res = r.resilience.as_ref().unwrap();
+        assert_eq!(res.faults_planned, 1);
+        assert_eq!(res.incidents.len(), 1, "{res:?}");
+        assert!(res.incidents[0].what.contains("blue implement broke"));
+        assert!(res
+            .actions
+            .iter()
+            .any(|a| matches!(a, RecoveryAction::SpareSwapped { color: Color::Blue, .. })));
+        assert!(res.time_lost_secs > 0.0);
+        assert!(!res.aborted);
+        assert!(
+            r.completion > base.completion,
+            "the swap delay must show up in the completion time"
+        );
+    }
+
+    #[test]
+    fn dropout_mid_run_rebalances_to_survivors() {
+        let base = run_scenario(PartitionStrategy::HorizontalBands(4), 4, 3);
+        let plan = FaultPlan::new("office call").dropout(1, 10.0);
+        let r = run_faulted(PartitionStrategy::HorizontalBands(4), 4, 3, &plan);
+        assert!(r.correct, "survivors should finish the dropout's stripe");
+        let res = r.resilience.as_ref().unwrap();
+        assert!(res.incidents.iter().any(|i| i.what.contains("dropped out")));
+        assert!(res
+            .actions
+            .iter()
+            .any(|a| matches!(a, RecoveryAction::WorkRebalanced { student: 1, .. })));
+        assert!(res
+            .actions
+            .iter()
+            .any(|a| matches!(a, RecoveryAction::CellsAdopted { .. })));
+        assert!(r.students[1].completed < r.students[1].cells);
+        // Three students doing four students' work is slower.
+        assert!(r.completion > base.completion);
+    }
+
+    #[test]
+    fn abort_policy_stops_the_run_cleanly() {
+        let base = run_scenario(PartitionStrategy::Solo, 1, 3);
+        let plan = FaultPlan::new("give up")
+            .break_implement(Color::Red, 5.0)
+            .with_policy(RecoveryPolicy::AbortAndReport);
+        let r = run_faulted(PartitionStrategy::Solo, 1, 3, &plan);
+        let res = r.resilience.as_ref().unwrap();
+        assert!(res.aborted);
+        assert!(res
+            .actions
+            .iter()
+            .any(|a| matches!(a, RecoveryAction::Aborted { .. })));
+        assert!(!r.correct, "an aborted run leaves the flag unfinished");
+        assert!(r.completion < base.completion);
+    }
+
+    #[test]
+    fn late_arrival_delays_their_part() {
+        let base = run_scenario(PartitionStrategy::HorizontalBands(2), 2, 3);
+        let plan = FaultPlan::new("overslept").late_arrival(1, 40.0);
+        let r = run_faulted(PartitionStrategy::HorizontalBands(2), 2, 3, &plan);
+        assert!(r.correct);
+        assert!(r.completion > base.completion);
+        assert!(r.students[1].finished_at.as_secs_f64() > 40.0);
+        let res = r.resilience.as_ref().unwrap();
+        assert!(res.incidents.iter().any(|i| i.what.contains("late")));
+    }
+
+    #[test]
+    fn bell_fault_matches_configured_deadline() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments = PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t1 = team(1);
+        let via_config = run_activity(
+            "config bell",
+            &pf,
+            &assignments,
+            &mut t1,
+            &kit(),
+            &ActivityConfig::default().with_deadline_secs(60.0),
+        )
+        .unwrap();
+        let mut t2 = team(1);
+        let via_fault = run_activity_with_faults(
+            "fault bell",
+            &pf,
+            &assignments,
+            &mut t2,
+            &kit(),
+            &ActivityConfig::default(),
+            &FaultPlan::new("bell").bell(60.0),
+        )
+        .unwrap();
+        assert_eq!(via_config.completion, via_fault.completion);
+        assert_eq!(
+            via_config.students[0].completed,
+            via_fault.students[0].completed
+        );
+        let res = via_fault.resilience.as_ref().unwrap();
+        assert!(res.incidents.iter().any(|i| i.what.contains("bell")));
+    }
+
+    #[test]
+    fn fumbles_charge_every_handoff() {
+        let base = run_scenario(PartitionStrategy::VerticalSlices(4), 4, 3);
+        let plan = FaultPlan::new("butterfingers").fumble(Color::Red, 3.0);
+        let r = run_faulted(PartitionStrategy::VerticalSlices(4), 4, 3, &plan);
+        assert!(r.correct);
+        // Slower hand-offs reshuffle downstream queue arrivals, so the
+        // makespan may move either way (a Graham-style anomaly) — but it
+        // must move, and the bill must match the observed hand-offs.
+        assert_ne!(r.completion, base.completion);
+        let res = r.resilience.as_ref().unwrap();
+        assert!(res.incidents.iter().any(|i| i.what.contains("fumbled")));
+        let red_handoffs = r
+            .contention
+            .iter()
+            .find(|c| c.color == Color::Red)
+            .unwrap()
+            .stats
+            .handoffs;
+        assert!(red_handoffs > 0);
+        assert!((res.time_lost_secs - 3.0 * red_handoffs as f64).abs() < 1e-9);
+        // Every red wait got 3s longer than the fault-free run's.
+        let base_red_wait = base
+            .contention
+            .iter()
+            .find(|c| c.color == Color::Red)
+            .unwrap()
+            .stats
+            .total_wait;
+        let red_wait = r
+            .contention
+            .iter()
+            .find(|c| c.color == Color::Red)
+            .unwrap()
+            .stats
+            .total_wait;
+        assert!(red_wait > base_red_wait);
+    }
+
+    #[test]
+    fn fault_that_cannot_bite_leaves_an_empty_incident_log() {
+        // Breaking a color long after the run ends: planned, never bites.
+        let plan = FaultPlan::new("too late").break_implement(Color::Red, 1e6);
+        let r = run_faulted(PartitionStrategy::Solo, 1, 3, &plan);
+        assert!(r.correct);
+        let res = r.resilience.as_ref().unwrap();
+        assert_eq!(res.faults_planned, 1);
+        assert!(res.incidents.is_empty());
+        assert_eq!(res.time_lost_secs, 0.0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let plan = FaultPlan::new("drill")
+            .break_implement(Color::Yellow, 15.0)
+            .dropout(2, 25.0)
+            .fumble(Color::Red, 2.0);
+        let a = run_faulted(PartitionStrategy::VerticalSlices(4), 4, 9, &plan);
+        let b = run_faulted(PartitionStrategy::VerticalSlices(4), 4, 9, &plan);
+        assert_eq!(a.completion, b.completion);
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.grid, b.grid);
+    }
+
+    #[test]
+    fn plan_validation_is_enforced() {
+        let pf = PreparedFlag::new(&library::mauritius());
+        let assignments = PartitionStrategy::Solo.assignments(&pf, CellOrder::RowMajor, &[]);
+        let mut t = team(1);
+        let err = run_activity_with_faults(
+            "bad",
+            &pf,
+            &assignments,
+            &mut t,
+            &kit(),
+            &ActivityConfig::default(),
+            &FaultPlan::new("bad").dropout(3, 10.0),
+        )
+        .unwrap_err();
+        assert!(err.contains("student #4"), "{err}");
     }
 }

@@ -1,9 +1,10 @@
 //! The activity's scenarios (Fig. 1 and the variations).
 
 use crate::config::{ActivityConfig, TeamKit};
+use crate::faults::FaultPlan;
 use crate::partition::{verify_assignments, CellOrder, PartitionStrategy};
 use crate::report::RunReport;
-use crate::run::run_activity;
+use crate::run::run_activity_with_faults;
 use crate::work::PreparedFlag;
 use flagsim_agents::StudentProfile;
 
@@ -125,6 +126,20 @@ impl Scenario {
         kit: &TeamKit,
         config: &ActivityConfig,
     ) -> Result<RunReport, String> {
+        self.run_with_faults(flag, team, kit, config, &FaultPlan::none())
+    }
+
+    /// [`Scenario::run`] under an injected [`FaultPlan`] — the fault drill
+    /// version of the activity. The returned report carries a
+    /// [`crate::faults::ResilienceReport`] when the plan is non-empty.
+    pub fn run_with_faults(
+        &self,
+        flag: &PreparedFlag,
+        team: &mut [StudentProfile],
+        kit: &TeamKit,
+        config: &ActivityConfig,
+        plan: &FaultPlan,
+    ) -> Result<RunReport, String> {
         let assignments = self
             .strategy
             .assignments(flag, self.order, &config.skip_colors);
@@ -137,13 +152,14 @@ impl Scenario {
                 team.len()
             ));
         }
-        run_activity(
+        run_activity_with_faults(
             self.name.clone(),
             flag,
             &assignments,
             &mut team[..needed],
             kit,
             config,
+            plan,
         )
     }
 }

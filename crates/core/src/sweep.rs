@@ -6,11 +6,21 @@
 //! and a configuration, get summary statistics and the raw reports.
 
 use crate::config::{ActivityConfig, TeamKit};
+use crate::faults::FaultPlan;
 use crate::report::RunReport;
 use crate::scenario::Scenario;
 use crate::work::PreparedFlag;
 use flagsim_agents::StudentProfile;
 use flagsim_metrics::RunStats;
+
+/// One repetition of a sweep that failed to produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepFailure {
+    /// Repetition index (0-based).
+    pub rep: u64,
+    /// What went wrong, as reported by the run.
+    pub error: String,
+}
 
 /// The result of a sweep.
 #[derive(Debug, Clone)]
@@ -19,8 +29,11 @@ pub struct SweepResult {
     pub completion: RunStats,
     /// Total-waiting statistics across repetitions.
     pub waiting: RunStats,
-    /// Every run, in repetition order.
+    /// Every successful run, in repetition order.
     pub reports: Vec<RunReport>,
+    /// Repetitions that failed (always empty from the panicking
+    /// [`sweep`]; [`try_sweep`] records them and keeps going).
+    pub failures: Vec<SweepFailure>,
 }
 
 impl SweepResult {
@@ -44,7 +57,54 @@ pub fn sweep(
     reps: u64,
 ) -> SweepResult {
     assert!(reps > 0, "need at least one repetition");
+    let result = try_sweep(
+        scenario,
+        flag,
+        kit,
+        config,
+        team_size,
+        warmup,
+        reps,
+        &FaultPlan::none(),
+    )
+    .expect("sweep run failed");
+    if let Some(f) = result.failures.first() {
+        // Preserve the historical contract: a measurement sweep panics on
+        // the first failed repetition instead of soldiering on.
+        std::panic::panic_any(format!("sweep run failed: rep {}: {}", f.rep, f.error));
+    }
+    assert!(
+        result
+            .reports
+            .iter()
+            .all(|r| r.correct || config.deadline_secs.is_some()),
+        "sweep produced a wrong flag"
+    );
+    result
+}
+
+/// Fault-tolerant sweep: run `scenario` `reps` times under `plan`,
+/// recording failed repetitions in [`SweepResult::failures`] instead of
+/// panicking, so one bad seed cannot sink a whole measurement campaign.
+///
+/// Errors only when no statistics can be produced at all: zero
+/// repetitions requested, or every repetition failed.
+#[allow(clippy::too_many_arguments)]
+pub fn try_sweep(
+    scenario: &Scenario,
+    flag: &PreparedFlag,
+    kit: &TeamKit,
+    config: &ActivityConfig,
+    team_size: usize,
+    warmup: bool,
+    reps: u64,
+    plan: &FaultPlan,
+) -> Result<SweepResult, String> {
+    if reps == 0 {
+        return Err("need at least one repetition".to_owned());
+    }
     let mut reports = Vec::with_capacity(reps as usize);
+    let mut failures = Vec::new();
     for rep in 0..reps {
         let mut team: Vec<StudentProfile> = (1..=team_size)
             .map(|i| {
@@ -60,22 +120,26 @@ pub fn sweep(
             seed: config.seed.wrapping_add(rep.wrapping_mul(0x9E37_79B9)),
             ..config.clone()
         };
-        let report = scenario
-            .run(flag, &mut team, kit, &cfg)
-            .expect("sweep run failed");
-        assert!(
-            report.correct || cfg.deadline_secs.is_some(),
-            "sweep produced a wrong flag"
-        );
-        reports.push(report);
+        match scenario.run_with_faults(flag, &mut team, kit, &cfg, plan) {
+            Ok(report) => reports.push(report),
+            Err(error) => failures.push(SweepFailure { rep, error }),
+        }
+    }
+    if reports.is_empty() {
+        let first = failures.first().expect("reps > 0");
+        return Err(format!(
+            "all {reps} repetitions failed; first: rep {}: {}",
+            first.rep, first.error
+        ));
     }
     let completions: Vec<f64> = reports.iter().map(RunReport::completion_secs).collect();
     let waits: Vec<f64> = reports.iter().map(RunReport::total_wait_secs).collect();
-    SweepResult {
+    Ok(SweepResult {
         completion: RunStats::from_sample(&completions),
         waiting: RunStats::from_sample(&waits),
         reports,
-    }
+        failures,
+    })
 }
 
 #[cfg(test)]
@@ -107,6 +171,52 @@ mod tests {
         let b = sweep(&Scenario::fig1(4), &flag, &kit, &cfg, 4, false, 8);
         assert_eq!(a.completion, b.completion);
         assert_eq!(a.waiting, b.waiting);
+    }
+
+    #[test]
+    fn faulted_sweep_completes_all_32_seeds() {
+        // Acceptance: a 32-seed sweep with a break-one-implement fault
+        // plan completes every run with a ResilienceReport and zero
+        // panics or lost repetitions.
+        use flagsim_grid::Color;
+        let flag = PreparedFlag::new(&library::mauritius());
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let cfg = ActivityConfig::default().with_seed(7);
+        let plan = crate::faults::FaultPlan::new("break one implement")
+            .break_implement(Color::Blue, 15.0);
+        let result = try_sweep(&Scenario::fig1(4), &flag, &kit, &cfg, 4, false, 32, &plan)
+            .expect("faulted sweep must produce statistics");
+        assert_eq!(result.reports.len(), 32);
+        assert!(result.failures.is_empty(), "{:?}", result.failures);
+        for r in &result.reports {
+            let res = r.resilience.as_ref().expect("every run carries a report");
+            assert_eq!(res.faults_planned, 1);
+            assert!(!res.aborted);
+            assert!(r.correct, "spare swap should always finish the flag");
+        }
+        // The fault actually bit in every run (blue is always used after 15s).
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| !r.resilience.as_ref().unwrap().incidents.is_empty()));
+    }
+
+    #[test]
+    fn try_sweep_zero_reps_is_an_error() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+        let err = try_sweep(
+            &Scenario::fig1(1),
+            &flag,
+            &kit,
+            &ActivityConfig::default(),
+            1,
+            false,
+            0,
+            &crate::faults::FaultPlan::none(),
+        )
+        .unwrap_err();
+        assert!(err.contains("at least one repetition"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The event loop.
 
+use crate::error::{SimError, WaitEdge, WaitForGraph};
 use crate::resource::{ResourceId, ResourceState};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventKind, ProcReport, ResourceReport, Trace, TraceEvent};
@@ -149,7 +150,9 @@ impl Engine {
         }
     }
 
-    /// Lower the live-lock guard (mainly for tests).
+    /// Configure the event-budget watchdog: runs that process more than
+    /// `max` events fail with [`SimError::EventBudgetExceeded`] instead of
+    /// spinning forever on a live-locked workload.
     pub fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
     }
@@ -209,11 +212,34 @@ impl Engine {
     }
 
     /// Run until no events remain, consuming the engine and returning the
-    /// trace. Panics if the live-lock guard trips or a process misbehaves
-    /// (releasing a resource it doesn't hold, acting after `Done`,
-    /// re-acquiring a resource it already holds).
+    /// trace. Panicking compatibility wrapper around [`Engine::try_run`]:
+    /// panics (with the [`SimError`] message) if the event budget trips or
+    /// a process misbehaves — releasing a resource it doesn't hold, acting
+    /// after `Done`, re-acquiring a resource it already holds — or if the
+    /// run stalls with blocked waiters.
     pub fn run(self) -> Trace {
-        self.run_until(SimTime(u64::MAX))
+        match self.try_run() {
+            Ok(trace) => trace,
+            Err(e) => std::panic::panic_any(e.to_string()),
+        }
+    }
+
+    /// Run until no events remain **or the bell rings**. Panicking
+    /// compatibility wrapper around [`Engine::try_run_until`].
+    pub fn run_until(self, deadline: SimTime) -> Trace {
+        match self.try_run_until(deadline) {
+            Ok(trace) => trace,
+            Err(e) => std::panic::panic_any(e.to_string()),
+        }
+    }
+
+    /// Run until no events remain, consuming the engine. Returns a typed
+    /// [`SimError`] instead of panicking: misuse by a process, a tripped
+    /// event budget, or a stall (the queue drained while processes still
+    /// wait on resources — e.g. a circular wait) all surface as `Err`,
+    /// with [`SimError::Stalled`] carrying the full wait-for graph.
+    pub fn try_run(self) -> Result<Trace, SimError> {
+        self.try_run_until(SimTime(u64::MAX))
     }
 
     /// Run until no events remain **or the bell rings**: events scheduled
@@ -222,7 +248,10 @@ impl Engine {
     /// response-rate note — "the first of the three sections … had less
     /// time". The trace's `end_time` is the deadline when work was cut
     /// off, and unfinished processes report `finished_at: None`.
-    pub fn run_until(mut self, deadline: SimTime) -> Trace {
+    ///
+    /// Stall detection only applies to runs that drain naturally: a run
+    /// cut off by the bell legitimately leaves processes blocked.
+    pub fn try_run_until(mut self, deadline: SimTime) -> Result<Trace, SimError> {
         let mut cut_off = false;
         while let Some(&Reverse((t, _, _))) = self.queue.peek() {
             if t > deadline {
@@ -230,33 +259,73 @@ impl Engine {
                 break;
             }
             let Some(Reverse((t, _, pid))) = self.queue.pop() else {
-                unreachable!("peeked");
+                // peek() just returned Some; pop() cannot fail.
+                break;
             };
-            debug_assert!(t >= self.now, "event queue went backwards");
+            if t < self.now {
+                return Err(SimError::InvariantViolated {
+                    detail: format!(
+                        "event queue went backwards ({}ms after {}ms)",
+                        t.millis(),
+                        self.now.millis()
+                    ),
+                    at: self.now,
+                });
+            }
             self.now = t;
             self.processed += 1;
-            assert!(
-                self.processed <= self.max_events,
-                "live-lock guard tripped after {} events",
-                self.processed
-            );
-            self.advance(pid);
+            if self.processed > self.max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    processed: self.processed,
+                    budget: self.max_events,
+                    at: self.now,
+                });
+            }
+            self.advance(pid)?;
         }
         if cut_off {
             self.now = deadline;
+        } else {
+            let waiters = self.wait_for_graph();
+            if !waiters.is_empty() {
+                return Err(SimError::Stalled { waiters });
+            }
         }
-        self.into_trace()
+        Ok(self.into_trace())
+    }
+
+    /// Snapshot the wait-for graph: one edge per process blocked on a
+    /// resource, with the resource's current holders.
+    fn wait_for_graph(&self) -> WaitForGraph {
+        let mut edges = Vec::new();
+        for (ridx, res) in self.resources.iter().enumerate() {
+            for (queue_position, &wpid) in res.waiters.iter().enumerate() {
+                edges.push(WaitEdge {
+                    proc: wpid,
+                    proc_name: self.procs[wpid.index()].process.name(),
+                    resource: ResourceId(ridx as u32),
+                    resource_label: res.label.clone(),
+                    holders: res.holders.clone(),
+                    queue_position,
+                });
+            }
+        }
+        WaitForGraph {
+            edges,
+            at: self.now,
+        }
     }
 
     /// Poll `pid` repeatedly until it blocks, sleeps, works, or finishes.
-    fn advance(&mut self, pid: ProcId) {
+    fn advance(&mut self, pid: ProcId) -> Result<(), SimError> {
         loop {
             let state = self.procs[pid.index()].state;
-            assert!(
-                state != ProcState::Finished,
-                "process {} acted after Done",
-                pid.0
-            );
+            if state == ProcState::Finished {
+                return Err(SimError::ActedAfterDone {
+                    proc: pid,
+                    at: self.now,
+                });
+            }
             let action = self.procs[pid.index()].process.next(self.now);
             match action {
                 Action::Work(dur) => {
@@ -265,16 +334,19 @@ impl Engine {
                     self.record(pid, EventKind::WorkStart { dur });
                     let wake = self.now + dur;
                     self.schedule(wake, pid);
-                    return;
+                    return Ok(());
                 }
                 Action::Acquire(rid) => {
                     let res = &mut self.resources[rid.index()];
-                    assert!(
-                        !res.holds(pid),
-                        "process {} re-acquired resource {:?}",
-                        pid.0,
-                        rid
-                    );
+                    if res.holds(pid) {
+                        return Err(SimError::ReacquireHeld {
+                            proc: pid,
+                            proc_name: self.procs[pid.index()].process.name(),
+                            resource: rid,
+                            resource_label: self.resources[rid.index()].label.clone(),
+                            at: self.now,
+                        });
+                    }
                     if res.has_free_unit() && res.waiters.is_empty() {
                         res.holders.push(pid);
                         res.stats.acquisitions += 1;
@@ -287,36 +359,44 @@ impl Engine {
                     self.procs[pid.index()].state = ProcState::WaitingFor(rid);
                     self.procs[pid.index()].wait_started = Some(self.now);
                     self.record(pid, EventKind::Blocked(rid));
-                    return;
+                    return Ok(());
                 }
                 Action::Release(rid) => {
                     let res = &mut self.resources[rid.index()];
-                    let pos = res.holders.iter().position(|&h| h == pid);
-                    assert!(
-                        pos.is_some(),
-                        "process {} released resource {:?} it does not hold",
-                        pid.0,
-                        rid
-                    );
-                    res.holders.swap_remove(pos.expect("checked above"));
+                    let Some(pos) = res.holders.iter().position(|&h| h == pid) else {
+                        return Err(SimError::ReleaseWithoutHold {
+                            proc: pid,
+                            proc_name: self.procs[pid.index()].process.name(),
+                            resource: rid,
+                            resource_label: self.resources[rid.index()].label.clone(),
+                            at: self.now,
+                        });
+                    };
+                    res.holders.swap_remove(pos);
                     self.record(pid, EventKind::Released(rid));
                     if let Some(next_pid) = self.resources[rid.index()].waiters.pop_front() {
-                        self.grant_after_handoff(rid, next_pid);
+                        self.grant_after_handoff(rid, next_pid)?;
                     }
                     // The releasing process keeps going at the same time.
                     continue;
                 }
                 Action::WaitUntil(t) => {
-                    assert!(t >= self.now, "WaitUntil into the past");
+                    if t < self.now {
+                        return Err(SimError::WaitUntilPast {
+                            proc: pid,
+                            target: t,
+                            at: self.now,
+                        });
+                    }
                     self.procs[pid.index()].state = ProcState::Sleeping;
                     self.schedule(t, pid);
-                    return;
+                    return Ok(());
                 }
                 Action::Done => {
                     self.procs[pid.index()].state = ProcState::Finished;
                     self.procs[pid.index()].finished_at = Some(self.now);
                     self.record(pid, EventKind::Finished);
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -324,13 +404,19 @@ impl Engine {
 
     /// Hand a released resource to the next FIFO waiter, charging the
     /// hand-off latency before the waiter is polled again.
-    fn grant_after_handoff(&mut self, rid: ResourceId, pid: ProcId) {
+    fn grant_after_handoff(&mut self, rid: ResourceId, pid: ProcId) -> Result<(), SimError> {
         let handoff = self.resources[rid.index()].handoff;
         let grant_time = self.now + handoff;
-        let started = self.procs[pid.index()]
-            .wait_started
-            .take()
-            .expect("waiter had no wait_started");
+        let Some(started) = self.procs[pid.index()].wait_started.take() else {
+            return Err(SimError::InvariantViolated {
+                detail: format!(
+                    "waiter {} granted \"{}\" without a recorded wait start",
+                    pid.0,
+                    self.resources[rid.index()].label
+                ),
+                at: self.now,
+            });
+        };
         // Wait covers queue time plus the hand-off itself.
         let waited = grant_time - started;
         let res = &mut self.resources[rid.index()];
@@ -344,6 +430,7 @@ impl Engine {
         slot.state = ProcState::Runnable;
         self.record(pid, EventKind::Acquired(rid));
         self.schedule(grant_time, pid);
+        Ok(())
     }
 
     fn into_trace(self) -> Trace {
@@ -543,29 +630,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not hold")]
-    fn release_without_hold_panics() {
+    fn release_without_hold_is_typed_error() {
         let mut eng = Engine::new();
         let r = eng.add_resource("m", ms(0));
         eng.add_process(Scripted::new("bad", vec![Action::Release(r), Action::Done]));
-        let _ = eng.run();
+        let err = eng.try_run().unwrap_err();
+        match &err {
+            SimError::ReleaseWithoutHold {
+                proc,
+                proc_name,
+                resource,
+                resource_label,
+                at,
+            } => {
+                assert_eq!(proc.index(), 0);
+                assert_eq!(proc_name, "bad");
+                assert_eq!(*resource, r);
+                assert_eq!(resource_label, "m");
+                assert_eq!(*at, SimTime::ZERO);
+            }
+            other => panic!("expected ReleaseWithoutHold, got {other:?}"),
+        }
+        assert!(err.to_string().contains("does not hold"));
     }
 
     #[test]
-    #[should_panic(expected = "re-acquired")]
-    fn reacquire_panics() {
+    fn reacquire_is_typed_error() {
         let mut eng = Engine::new();
         let r = eng.add_resource("m", ms(0));
         eng.add_process(Scripted::new(
             "bad",
             vec![Action::Acquire(r), Action::Acquire(r), Action::Done],
         ));
-        let _ = eng.run();
+        let err = eng.try_run().unwrap_err();
+        assert!(
+            matches!(&err, SimError::ReacquireHeld { proc, resource, .. }
+                if proc.index() == 0 && *resource == r),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("re-acquired"));
     }
 
     #[test]
-    #[should_panic(expected = "live-lock")]
-    fn livelock_guard_trips() {
+    fn livelock_guard_is_typed_error() {
         struct Spinner;
         impl Process for Spinner {
             fn next(&mut self, _now: SimTime) -> Action {
@@ -575,7 +682,141 @@ mod tests {
         let mut eng = Engine::new();
         eng.set_max_events(100);
         eng.add_process(Box::new(Spinner));
+        let err = eng.try_run().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::EventBudgetExceeded {
+                    processed: 101,
+                    budget: 100,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("live-lock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn run_compat_wrapper_still_panics() {
+        // `run()` is the documented panicking wrapper; legacy callers keep
+        // the old message substrings.
+        let mut eng = Engine::new();
+        let r = eng.add_resource("m", ms(0));
+        eng.add_process(Scripted::new("bad", vec![Action::Release(r), Action::Done]));
         let _ = eng.run();
+    }
+
+    #[test]
+    fn circular_wait_stalls_with_wait_for_graph() {
+        // p0: holds A, wants B. p1: holds B, wants A. Classic deadlock:
+        // the queue drains with both blocked, and try_run reports the full
+        // wait-for graph instead of hanging.
+        let mut eng = Engine::new();
+        let a = eng.add_resource("marker A", ms(0));
+        let b = eng.add_resource("marker B", ms(0));
+        eng.add_process(Scripted::new(
+            "p0",
+            vec![
+                Action::Acquire(a),
+                Action::Work(ms(10)),
+                Action::Acquire(b),
+                Action::Done,
+            ],
+        ));
+        eng.add_process(Scripted::new(
+            "p1",
+            vec![
+                Action::Acquire(b),
+                Action::Work(ms(10)),
+                Action::Acquire(a),
+                Action::Done,
+            ],
+        ));
+        let err = eng.try_run().unwrap_err();
+        let SimError::Stalled { waiters } = &err else {
+            panic!("expected Stalled, got {err:?}");
+        };
+        assert_eq!(waiters.len(), 2, "{}", waiters.render());
+        // p0 waits on B (held by p1); p1 waits on A (held by p0).
+        let on_b = waiters.edges.iter().find(|e| e.resource_label == "marker B").unwrap();
+        assert_eq!(on_b.proc.index(), 0);
+        assert_eq!(on_b.holders, vec![ProcId(1)]);
+        let on_a = waiters.edges.iter().find(|e| e.resource_label == "marker A").unwrap();
+        assert_eq!(on_a.proc.index(), 1);
+        assert_eq!(on_a.holders, vec![ProcId(0)]);
+        let rendered = err.to_string();
+        assert!(rendered.contains("stalled"), "{rendered}");
+        assert!(rendered.contains("marker A"), "{rendered}");
+    }
+
+    #[test]
+    fn finish_while_holding_starves_waiter_into_stall() {
+        // A holder that never releases: the waiter starves, and the stall
+        // report names the culprit as the holder.
+        let mut eng = Engine::new();
+        let m = eng.add_resource("m", ms(0));
+        eng.add_process(Scripted::new(
+            "hog",
+            vec![Action::Acquire(m), Action::Work(ms(5)), Action::Done],
+        ));
+        eng.add_process(Scripted::new(
+            "starved",
+            vec![Action::Acquire(m), Action::Done],
+        ));
+        let err = eng.try_run().unwrap_err();
+        let SimError::Stalled { waiters } = err else {
+            panic!("expected Stalled");
+        };
+        assert_eq!(waiters.len(), 1);
+        assert_eq!(waiters.edges[0].proc_name, "starved");
+        assert_eq!(waiters.edges[0].holders, vec![ProcId(0)]);
+    }
+
+    #[test]
+    fn deadline_cutoff_is_not_a_stall() {
+        // Blocked-at-the-bell is a legitimate outcome, not a deadlock.
+        let mut eng = Engine::new();
+        let m = eng.add_resource("m", ms(0));
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(m),
+                    Action::Work(ms(100)),
+                    Action::Release(m),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.try_run_until(SimTime(50)).expect("cutoff is ok");
+        assert_eq!(trace.end_time, SimTime(50));
+        assert_eq!(trace.procs[1].finished_at, None);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_clean_workloads() {
+        let build = || {
+            let mut eng = Engine::new();
+            let m = eng.add_resource("m", ms(3));
+            for name in ["a", "b"] {
+                eng.add_process(Scripted::new(
+                    name,
+                    vec![
+                        Action::Acquire(m),
+                        Action::Work(ms(20)),
+                        Action::Release(m),
+                        Action::Done,
+                    ],
+                ));
+            }
+            eng
+        };
+        let ok = build().try_run().expect("clean workload");
+        let compat = build().run();
+        assert_eq!(ok.end_time, compat.end_time);
+        assert_eq!(ok.events, compat.events);
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Typed simulation errors and deadlock/stall diagnostics.
+//!
+//! Every way a run can go wrong — process misuse, a circular wait, a
+//! runaway event loop — surfaces as a [`SimError`] from
+//! [`Engine::try_run`](crate::Engine::try_run) instead of a panic, so a
+//! batch sweep can record the failure and keep going. When the event queue
+//! drains while processes still wait on resources, the error carries the
+//! full wait-for graph: who waits on what, who holds it, and where in the
+//! queue each waiter sits.
+
+use crate::engine::ProcId;
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One edge of the wait-for graph: a process stuck waiting on a resource,
+/// with the processes currently holding that resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The waiting process.
+    pub proc: ProcId,
+    /// Its display name.
+    pub proc_name: String,
+    /// The resource it waits for.
+    pub resource: ResourceId,
+    /// The resource's label.
+    pub resource_label: String,
+    /// Processes holding (or in hand-off transit toward) the resource.
+    pub holders: Vec<ProcId>,
+    /// Position in the resource's FIFO queue (0 = next in line).
+    pub queue_position: usize,
+}
+
+impl fmt::Display for WaitEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let holders: Vec<String> = self.holders.iter().map(|h| format!("P{}", h.index())).collect();
+        write!(
+            f,
+            "P{} ({}) waits for \"{}\" [queue #{}] held by {{{}}}",
+            self.proc.index(),
+            self.proc_name,
+            self.resource_label,
+            self.queue_position,
+            if holders.is_empty() {
+                "nobody".to_owned()
+            } else {
+                holders.join(", ")
+            }
+        )
+    }
+}
+
+/// The wait-for graph at the moment a run stalled: every blocked process
+/// and the holders it is waiting behind.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WaitForGraph {
+    /// One edge per blocked process.
+    pub edges: Vec<WaitEdge>,
+    /// Simulation time at which the stall was detected.
+    pub at: SimTime,
+}
+
+impl WaitForGraph {
+    /// True when no process is blocked.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of blocked processes.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Multi-line human-readable rendering, one edge per line.
+    pub fn render(&self) -> String {
+        let mut out = format!("wait-for graph at t={}ms:\n", self.at.millis());
+        for e in &self.edges {
+            out.push_str("  ");
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A structured simulation failure. Display messages keep the key phrases
+/// of the old panic messages ("does not hold", "re-acquired", "live-lock")
+/// so downstream matching stays stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A process released a resource it does not hold.
+    ReleaseWithoutHold {
+        /// The offending process.
+        proc: ProcId,
+        /// Its display name.
+        proc_name: String,
+        /// The resource it tried to release.
+        resource: ResourceId,
+        /// The resource's label.
+        resource_label: String,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// A process acquired a resource it already holds.
+    ReacquireHeld {
+        /// The offending process.
+        proc: ProcId,
+        /// Its display name.
+        proc_name: String,
+        /// The resource it tried to re-acquire.
+        resource: ResourceId,
+        /// The resource's label.
+        resource_label: String,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// A process was polled again after returning `Done`.
+    ActedAfterDone {
+        /// The offending process.
+        proc: ProcId,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// A process asked to sleep until a time already in the past.
+    WaitUntilPast {
+        /// The offending process.
+        proc: ProcId,
+        /// The requested wake time.
+        target: SimTime,
+        /// The current time (later than `target`).
+        at: SimTime,
+    },
+    /// The event queue drained while processes still waited on resources —
+    /// a deadlock or starvation. Carries the full wait-for graph.
+    Stalled {
+        /// Who waits on what, and who holds it.
+        waiters: WaitForGraph,
+    },
+    /// The event-budget watchdog tripped (live-lock guard): more events
+    /// were processed than the configured budget allows.
+    EventBudgetExceeded {
+        /// Events processed when the watchdog fired.
+        processed: u64,
+        /// The configured budget.
+        budget: u64,
+        /// When it fired.
+        at: SimTime,
+    },
+    /// An internal invariant broke — a bug in the engine itself, reported
+    /// instead of crashing the caller.
+    InvariantViolated {
+        /// What broke.
+        detail: String,
+        /// When it was noticed.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ReleaseWithoutHold {
+                proc,
+                proc_name,
+                resource_label,
+                at,
+                ..
+            } => write!(
+                f,
+                "process {} ({proc_name}) released resource \"{resource_label}\" it does not hold at t={}ms",
+                proc.index(),
+                at.millis()
+            ),
+            SimError::ReacquireHeld {
+                proc,
+                proc_name,
+                resource_label,
+                at,
+                ..
+            } => write!(
+                f,
+                "process {} ({proc_name}) re-acquired resource \"{resource_label}\" it already holds at t={}ms",
+                proc.index(),
+                at.millis()
+            ),
+            SimError::ActedAfterDone { proc, at } => write!(
+                f,
+                "process {} acted after Done at t={}ms",
+                proc.index(),
+                at.millis()
+            ),
+            SimError::WaitUntilPast { proc, target, at } => write!(
+                f,
+                "process {} asked to WaitUntil t={}ms which is in the past at t={}ms",
+                proc.index(),
+                target.millis(),
+                at.millis()
+            ),
+            SimError::Stalled { waiters } => write!(
+                f,
+                "simulation stalled with {} blocked process(es); {}",
+                waiters.len(),
+                waiters.render().trim_end()
+            ),
+            SimError::EventBudgetExceeded {
+                processed,
+                budget,
+                at,
+            } => write!(
+                f,
+                "live-lock guard tripped after {processed} events (budget {budget}) at t={}ms",
+                at.millis()
+            ),
+            SimError::InvariantViolated { detail, at } => {
+                write!(f, "engine invariant violated at t={}ms: {detail}", at.millis())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> WaitEdge {
+        WaitEdge {
+            proc: ProcId(1),
+            proc_name: "P1".into(),
+            resource: ResourceId(0),
+            resource_label: "red marker".into(),
+            holders: vec![ProcId(0)],
+            queue_position: 0,
+        }
+    }
+
+    #[test]
+    fn display_keeps_legacy_phrases() {
+        let rel = SimError::ReleaseWithoutHold {
+            proc: ProcId(3),
+            proc_name: "x".into(),
+            resource: ResourceId(1),
+            resource_label: "m".into(),
+            at: SimTime(10),
+        };
+        assert!(rel.to_string().contains("does not hold"));
+        let re = SimError::ReacquireHeld {
+            proc: ProcId(3),
+            proc_name: "x".into(),
+            resource: ResourceId(1),
+            resource_label: "m".into(),
+            at: SimTime(10),
+        };
+        assert!(re.to_string().contains("re-acquired"));
+        let budget = SimError::EventBudgetExceeded {
+            processed: 101,
+            budget: 100,
+            at: SimTime(0),
+        };
+        assert!(budget.to_string().contains("live-lock"));
+    }
+
+    #[test]
+    fn wait_for_graph_renders_every_edge() {
+        let g = WaitForGraph {
+            edges: vec![edge()],
+            at: SimTime(42),
+        };
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 1);
+        let s = g.render();
+        assert!(s.contains("t=42ms"));
+        assert!(s.contains("red marker"));
+        assert!(s.contains("held by {P0}"));
+        let stalled = SimError::Stalled { waiters: g };
+        assert!(stalled.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn empty_graph_reports_empty() {
+        let g = WaitForGraph::default();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+}

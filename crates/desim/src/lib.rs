@@ -25,16 +25,24 @@
 //! * **Tracing built in.** The [`Trace`] records per-process busy/wait
 //!   accounting, per-resource contention stats, and a full event log that
 //!   higher layers render as Gantt charts.
+//! * **Typed failures.** Misuse (releasing a resource you don't hold,
+//!   re-acquiring, acting after `Done`), live-lock (the event-budget
+//!   watchdog), and deadlock/starvation (the queue drains with blocked
+//!   waiters) surface as [`SimError`] from [`Engine::try_run`], with
+//!   stalls carrying the full [`WaitForGraph`]. [`Engine::run`] stays as
+//!   the panicking wrapper for infallible workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod resource;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Action, Engine, FnProcess, ProcId, Process};
+pub use error::{SimError, WaitEdge, WaitForGraph};
 pub use resource::ResourceId;
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventKind, Trace, TraceEvent};

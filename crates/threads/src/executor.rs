@@ -1,15 +1,56 @@
 //! Real-thread flag coloring.
+//!
+//! Workers run inside `catch_unwind`, so one panicking thread downs only
+//! itself: its strokes are discarded, its panic message lands in
+//! [`Outcome::worker_faults`], and the survivors keep coloring. The
+//! per-color marker mutexes recover from poisoning, so a worker that dies
+//! while holding a marker does not wedge the rest of the team — the
+//! threaded analogue of the classroom's "pick up the dropped marker and
+//! keep going".
 
 use crate::workload::CellWorkload;
 use flagsim_core::work::{PreparedFlag, WorkItem};
 use flagsim_grid::{Color, Grid};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Per-worker result: painted strokes, busy time, work checksum.
 type WorkerResult = (Vec<(u32, Color)>, Duration, u64);
+
+/// A worker thread that died mid-run (panicked), with the panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Worker index (position in the assignment list / spawn order).
+    pub worker: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Deterministic fault injection: down one worker after it colors a set
+/// number of cells. `(worker, after_cells)`; `after_cells == 0` downs the
+/// worker before it touches any work.
+type Injection = Option<(usize, usize)>;
+
+fn trip_injected(inject: Injection, worker: usize, done: usize) {
+    if let Some((fw, after)) = inject {
+        if fw == worker && done >= after {
+            panic!("injected fault: worker {worker} downed after {done} cells");
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_owned()
+    }
+}
 
 /// How the work is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +83,8 @@ pub struct Outcome {
     pub threads: usize,
     /// Wall-clock time.
     pub wall: Duration,
-    /// Per-thread busy time (sum of their own cell work).
+    /// Per-thread busy time (sum of their own cell work; zero for a
+    /// worker that died).
     pub per_thread_busy: Vec<Duration>,
     /// The colored grid.
     pub grid: Grid,
@@ -50,6 +92,9 @@ pub struct Outcome {
     pub checksum: u64,
     /// Cells colored.
     pub cells: usize,
+    /// Workers that panicked mid-run; their strokes were discarded, the
+    /// rest of the team finished.
+    pub worker_faults: Vec<WorkerFault>,
 }
 
 impl Outcome {
@@ -65,18 +110,36 @@ impl Outcome {
     pub fn wall_secs(&self) -> f64 {
         self.wall.as_secs_f64()
     }
+
+    /// True when every worker survived.
+    pub fn all_workers_survived(&self) -> bool {
+        self.worker_faults.is_empty()
+    }
 }
 
 /// The parallel colorer: a prepared flag plus a per-cell workload.
 pub struct ParallelColorer<'a> {
     flag: &'a PreparedFlag,
     workload: CellWorkload,
+    inject: Injection,
 }
 
 impl<'a> ParallelColorer<'a> {
     /// Build for a flag with a workload.
     pub fn new(flag: &'a PreparedFlag, workload: CellWorkload) -> Self {
-        ParallelColorer { flag, workload }
+        ParallelColorer {
+            flag,
+            workload,
+            inject: None,
+        }
+    }
+
+    /// Down worker `worker` with a deliberate panic after it colors
+    /// `after_cells` cells (0 = before any work) — for resilience tests
+    /// and demos.
+    pub fn with_injected_panic(mut self, worker: usize, after_cells: usize) -> Self {
+        self.inject = Some((worker, after_cells));
+        self
     }
 
     /// Execute `assignments` under `mode`. For `Sequential`, assignments
@@ -100,24 +163,31 @@ impl<'a> ParallelColorer<'a> {
     /// no locks, no unsafe.
     fn run_static(&self, assignments: &[Vec<WorkItem>], mode: ExecMode) -> Outcome {
         let workload = self.workload;
+        let inject = self.inject;
         let start = Instant::now();
-        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .iter()
-                .map(|items| {
+                .enumerate()
+                .map(|(w, items)| {
                     scope.spawn(move || {
-                        let t0 = Instant::now();
-                        let mut buf = Vec::with_capacity(items.len());
-                        let mut sum = 0u64;
-                        for item in items {
-                            sum ^= workload.color_one_cell(item.kind, u64::from(item.cell.0));
-                            buf.push((item.cell.0, item.color));
-                        }
-                        (buf, t0.elapsed(), sum)
+                        catch_unwind(AssertUnwindSafe(|| {
+                            trip_injected(inject, w, 0);
+                            let t0 = Instant::now();
+                            let mut buf = Vec::with_capacity(items.len());
+                            let mut sum = 0u64;
+                            for (done, item) in items.iter().enumerate() {
+                                sum ^= workload
+                                    .color_one_cell(item.kind, u64::from(item.cell.0));
+                                buf.push((item.cell.0, item.color));
+                                trip_injected(inject, w, done + 1);
+                            }
+                            (buf, t0.elapsed(), sum)
+                        }))
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles.into_iter().map(Self::collect_worker).collect()
         });
         let wall = start.elapsed();
         self.merge(results, mode, assignments.iter().map(Vec::len).sum(), wall)
@@ -128,6 +198,7 @@ impl<'a> ParallelColorer<'a> {
     /// like the classroom's keep-until-color-change policy).
     fn run_shared(&self, assignments: &[Vec<WorkItem>]) -> Outcome {
         let workload = self.workload;
+        let inject = self.inject;
         // Build the marker set.
         let mut colors: Vec<Color> = Vec::new();
         for part in assignments {
@@ -142,32 +213,40 @@ impl<'a> ParallelColorer<'a> {
         let markers = &markers;
 
         let start = Instant::now();
-        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .iter()
-                .map(|items| {
+                .enumerate()
+                .map(|(w, items)| {
                     scope.spawn(move || {
-                        let t0 = Instant::now();
-                        let mut buf = Vec::with_capacity(items.len());
-                        let mut sum = 0u64;
-                        let mut i = 0;
-                        while i < items.len() {
-                            let color = items[i].color;
-                            let _marker = markers[&color].lock();
-                            // Color the whole same-color run under one hold.
-                            while i < items.len() && items[i].color == color {
-                                let item = items[i];
-                                sum ^= workload
-                                    .color_one_cell(item.kind, u64::from(item.cell.0));
-                                buf.push((item.cell.0, item.color));
-                                i += 1;
+                        catch_unwind(AssertUnwindSafe(|| {
+                            trip_injected(inject, w, 0);
+                            let t0 = Instant::now();
+                            let mut buf = Vec::with_capacity(items.len());
+                            let mut sum = 0u64;
+                            let mut i = 0;
+                            while i < items.len() {
+                                let color = items[i].color;
+                                // The lock recovers from poisoning, so a
+                                // marker dropped by a dead worker is
+                                // picked up, not mourned.
+                                let _marker = markers[&color].lock();
+                                // Color the whole same-color run under one hold.
+                                while i < items.len() && items[i].color == color {
+                                    let item = items[i];
+                                    sum ^= workload
+                                        .color_one_cell(item.kind, u64::from(item.cell.0));
+                                    buf.push((item.cell.0, item.color));
+                                    i += 1;
+                                    trip_injected(inject, w, i);
+                                }
                             }
-                        }
-                        (buf, t0.elapsed(), sum)
+                            (buf, t0.elapsed(), sum)
+                        }))
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles.into_iter().map(Self::collect_worker).collect()
         });
         let wall = start.elapsed();
         self.merge(
@@ -183,44 +262,63 @@ impl<'a> ParallelColorer<'a> {
     fn run_dynamic(&self, assignments: &[Vec<WorkItem>], chunk: usize) -> Outcome {
         assert!(chunk > 0, "chunk must be nonzero");
         let workload = self.workload;
+        let inject = self.inject;
         let all: Vec<WorkItem> = assignments.iter().flatten().copied().collect();
         let threads = assignments.len().max(1);
         let cursor = AtomicUsize::new(0);
         let (all_ref, cursor_ref) = (&all, &cursor);
 
         let start = Instant::now();
-        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
-                        let t0 = Instant::now();
-                        let mut buf = Vec::new();
-                        let mut sum = 0u64;
-                        loop {
-                            let at = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
-                            if at >= all_ref.len() {
-                                break;
+                        catch_unwind(AssertUnwindSafe(|| {
+                            trip_injected(inject, w, 0);
+                            let t0 = Instant::now();
+                            let mut buf = Vec::new();
+                            let mut sum = 0u64;
+                            let mut done = 0;
+                            loop {
+                                let at = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
+                                if at >= all_ref.len() {
+                                    break;
+                                }
+                                let end = (at + chunk).min(all_ref.len());
+                                for item in &all_ref[at..end] {
+                                    sum ^= workload
+                                        .color_one_cell(item.kind, u64::from(item.cell.0));
+                                    buf.push((item.cell.0, item.color));
+                                    done += 1;
+                                    trip_injected(inject, w, done);
+                                }
                             }
-                            let end = (at + chunk).min(all_ref.len());
-                            for item in &all_ref[at..end] {
-                                sum ^= workload
-                                    .color_one_cell(item.kind, u64::from(item.cell.0));
-                                buf.push((item.cell.0, item.color));
-                            }
-                        }
-                        (buf, t0.elapsed(), sum)
+                            (buf, t0.elapsed(), sum)
+                        }))
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles.into_iter().map(Self::collect_worker).collect()
         });
         let wall = start.elapsed();
         self.merge(results, ExecMode::DynamicChunks { chunk }, all.len(), wall)
     }
 
+    /// Join one worker, folding both a caught panic and a panic that
+    /// somehow escaped the catch (e.g. in the timing code) into the same
+    /// error shape.
+    fn collect_worker(
+        h: std::thread::ScopedJoinHandle<'_, std::thread::Result<WorkerResult>>,
+    ) -> Result<WorkerResult, String> {
+        match h.join() {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(payload)) | Err(payload) => Err(panic_message(payload)),
+        }
+    }
+
     fn merge(
         &self,
-        results: Vec<WorkerResult>,
+        results: Vec<Result<WorkerResult, String>>,
         mode: ExecMode,
         cells: usize,
         wall: Duration,
@@ -228,13 +326,22 @@ impl<'a> ParallelColorer<'a> {
         let mut grid = Grid::new(self.flag.width, self.flag.height);
         let mut checksum = 0u64;
         let mut per_thread_busy = Vec::with_capacity(results.len());
+        let mut worker_faults = Vec::new();
         let threads = results.len();
-        for (buf, busy, sum) in results {
-            for (cell, color) in buf {
-                grid.paint(flagsim_grid::CellId(cell), color);
+        for (worker, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((buf, busy, sum)) => {
+                    for (cell, color) in buf {
+                        grid.paint(flagsim_grid::CellId(cell), color);
+                    }
+                    per_thread_busy.push(busy);
+                    checksum ^= sum;
+                }
+                Err(message) => {
+                    per_thread_busy.push(Duration::ZERO);
+                    worker_faults.push(WorkerFault { worker, message });
+                }
             }
-            per_thread_busy.push(busy);
-            checksum ^= sum;
         }
         Outcome {
             mode,
@@ -244,6 +351,7 @@ impl<'a> ParallelColorer<'a> {
             grid,
             checksum,
             cells,
+            worker_faults,
         }
     }
 }
@@ -278,6 +386,7 @@ mod tests {
             assert!(out.verify(&pf), "{mode:?} colored the wrong flag");
             assert_eq!(out.cells, 96, "{mode:?}");
             assert!(out.grid.is_complete(), "{mode:?}");
+            assert!(out.all_workers_survived(), "{mode:?}");
             checksums.push(out.checksum);
         }
         // All modes did the identical computation.
@@ -322,5 +431,62 @@ mod tests {
         let (pf, assignments) = setup();
         let colorer = ParallelColorer::new(&pf, CellWorkload::default());
         let _ = colorer.run(&assignments, ExecMode::DynamicChunks { chunk: 0 });
+    }
+
+    #[test]
+    fn panicking_worker_downs_only_itself_in_static_mode() {
+        let (pf, assignments) = setup();
+        let colorer =
+            ParallelColorer::new(&pf, CellWorkload::default()).with_injected_panic(1, 3);
+        let out = colorer.run(&assignments, ExecMode::Static);
+        assert_eq!(out.worker_faults.len(), 1);
+        assert_eq!(out.worker_faults[0].worker, 1);
+        assert!(out.worker_faults[0].message.contains("injected fault"));
+        // The dead worker's strokes are discarded wholesale; the other
+        // three slices (24 cells each) are painted and correct.
+        assert!(out.verify(&pf));
+        assert!(!out.grid.is_complete());
+        let painted = out.grid.iter().filter(|(_, c)| c.is_painted()).count();
+        assert_eq!(painted, 72);
+        assert_eq!(out.per_thread_busy[1], Duration::ZERO);
+        assert!(out.per_thread_busy[0] > Duration::ZERO);
+    }
+
+    #[test]
+    fn marker_dropped_by_dead_worker_is_recovered() {
+        // Worker 1 dies *while holding a color mutex* (mid same-color
+        // run). The poisoned lock must be recovered so the other three
+        // workers still finish their slices — no hang, no cascade.
+        let (pf, assignments) = setup();
+        let colorer =
+            ParallelColorer::new(&pf, CellWorkload::default()).with_injected_panic(1, 2);
+        let out = colorer.run(&assignments, ExecMode::SharedImplements);
+        assert_eq!(out.worker_faults.len(), 1);
+        assert_eq!(out.worker_faults[0].worker, 1);
+        assert!(out.verify(&pf));
+        let painted = out.grid.iter().filter(|(_, c)| c.is_painted()).count();
+        assert_eq!(painted, 72, "three survivors paint their 24-cell slices");
+        // Exactly one worker idle (the dead one).
+        let dead = out
+            .per_thread_busy
+            .iter()
+            .filter(|b| **b == Duration::ZERO)
+            .count();
+        assert_eq!(dead, 1);
+    }
+
+    #[test]
+    fn dynamic_survivors_drain_the_whole_queue() {
+        // Worker 0 dies before touching any work; the other three drain
+        // the shared queue, so the flag still completes.
+        let (pf, assignments) = setup();
+        let colorer =
+            ParallelColorer::new(&pf, CellWorkload::default()).with_injected_panic(0, 0);
+        let out = colorer.run(&assignments, ExecMode::DynamicChunks { chunk: 8 });
+        assert_eq!(out.worker_faults.len(), 1);
+        assert_eq!(out.worker_faults[0].worker, 0);
+        assert!(out.verify(&pf));
+        assert!(out.grid.is_complete(), "survivors cover the dead worker's share");
+        assert_eq!(out.per_thread_busy[0], Duration::ZERO);
     }
 }

@@ -1,0 +1,191 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion` that
+//! flagsim's benches use. The build environment has no crates registry, so
+//! the workspace points `criterion` here.
+//!
+//! It keeps the API shape (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `criterion_group!`/`criterion_main!`) but replaces the statistical
+//! machinery with a short fixed-iteration timer: each benchmark runs a
+//! warm-up pass plus a handful of timed iterations and prints the mean.
+//! Good enough to smoke the benches and eyeball regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How many timed iterations each benchmark runs.
+const ITERS: u32 = 5;
+
+/// Batch sizing hints (accepted for API compatibility; batches are always
+/// one input per iteration here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream; one per iteration here.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up pass, untimed.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = ITERS;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+        let mut total = Duration::ZERO;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = ITERS;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("bench {name:<56} (no measurement)");
+    } else {
+        let mean = b.elapsed / b.iters;
+        println!("bench {name:<56} {mean:>12.3?}/iter ({} iters)", b.iters);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup { _c: self, name }
+    }
+}
+
+/// A named group; ids are printed as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed iteration count stands.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        // one warm-up + ITERS timed
+        assert_eq!(calls, 1 + ITERS);
+    }
+
+    #[test]
+    fn iter_batched_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut setups = 0u32;
+        g.bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 1 + ITERS);
+    }
+}
