@@ -1,0 +1,58 @@
+//! Serial-vs-parallel sweep throughput benchmark.
+//!
+//! ```text
+//! cargo run -p flagsim-bench --release --bin sweep_bench -- \
+//!     [--reps N] [--jobs N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Defaults: 256 reps, one job per core, `BENCH_sweep.json`. `--smoke`
+//! shrinks the run (8 reps, 2 jobs) so CI can exercise the parallel
+//! path on every push without burning minutes.
+//!
+//! Exits non-zero if the parallel sweep's statistics diverge from the
+//! serial sweep's — determinism is a correctness gate. The ≥2× speedup
+//! goal is only reachable with ≥2 physical cores, so it is reported,
+//! not asserted.
+
+fn main() {
+    let mut reps: u64 = 256;
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            "--smoke" => {
+                reps = 8;
+                jobs = 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: sweep_bench [--reps N] [--jobs N] [--out PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = flagsim_bench::run_sweep_bench(reps, jobs);
+    println!("{}", bench.summary());
+    std::fs::write(&out_path, bench.to_json()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    if !bench.deterministic {
+        eprintln!("FAIL: parallel sweep statistics diverged from serial");
+        std::process::exit(1);
+    }
+}

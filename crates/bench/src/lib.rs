@@ -10,5 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep_bench;
 
 pub use experiments::{all_experiments, experiments_to_json};
+pub use sweep_bench::{run_sweep_bench, SweepBench};

@@ -51,6 +51,9 @@ USAGE:
                  [--policy rebalance|spare:SECS|abort] [--flag NAME]
                  [--kind KIND] [--seed N]
   flagsim faults --demo-deadlock
+  flagsim sweep <1|2|3|4|pipelined|alternating> [--reps M] [--jobs N]
+                [--flag NAME] [--kind KIND] [--seed N] [--team N]
+                [--warmup] [--stream] [--progress]
   flagsim session [--repeat] [--seed N]
   flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]
   flagsim graph <flag> [--procs N]
@@ -82,6 +85,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "slides" => cmd_slides(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
@@ -416,6 +420,126 @@ fn cmd_faults(args: &[String]) -> Result<String, CliError> {
         .map_err(|message| CliError { message })?;
     // detail() already appends the resilience report's render.
     Ok(report.detail())
+}
+
+/// `flagsim sweep` — the measurement campaign front door: run a scenario
+/// across many seeds on `--jobs` worker threads and print the summary
+/// statistics. The job count never changes the numbers, only the
+/// wall-clock time.
+fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::sweep::SweepRunner;
+
+    let opts = parse_opts(
+        args,
+        &["flag", "kind", "seed", "reps", "jobs", "team"],
+    )?;
+    let Some(which) = opts.positional.first() else {
+        return err(
+            "usage: flagsim sweep <1|2|3|4|pipelined|alternating> [--reps M] [--jobs N] \
+             [--flag NAME] [--kind KIND] [--seed N] [--team N] [--warmup] [--stream] \
+             [--progress]",
+        );
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let reps: u64 = opts
+        .value("reps")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --reps".into(),
+        })?;
+    if reps == 0 {
+        return err("--reps must be at least 1");
+    }
+    let jobs: usize = match opts.value("jobs") {
+        Some(j) => j.parse().map_err(|_| CliError {
+            message: "bad --jobs".into(),
+        })?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    if jobs == 0 {
+        return err("--jobs must be at least 1");
+    }
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let team: usize = match opts.value("team") {
+        Some(t) => t.parse().map_err(|_| CliError {
+            message: "bad --team".into(),
+        })?,
+        None => scenario.team_size(&flag, &cfg),
+    };
+    let stream = opts.flag("stream");
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let mut runner = SweepRunner::new(&scenario, &flag, &kit, &cfg)
+        .team_size(team)
+        .warmup(opts.flag("warmup"))
+        .reps(reps)
+        .jobs(jobs)
+        .retain_reports(!stream);
+    let step = (reps / 10).max(1);
+    if opts.flag("progress") {
+        runner = runner.on_progress(move |p| {
+            if p.completed % step == 0 || p.completed == p.total {
+                eprintln!("sweep: {}/{} rep(s) done, {} failed", p.completed, p.total, p.failed);
+            }
+        });
+    }
+    let result = runner.run().map_err(|e| CliError {
+        message: e.to_string(),
+    })?;
+    let mut out = format!(
+        "{} — {}, {} rep(s), {} job(s), seed {}{}\n\n",
+        scenario.name,
+        spec.name,
+        reps,
+        jobs,
+        seed,
+        if stream {
+            ", streaming statistics (reports dropped)"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "{:<12}{:>6}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "metric", "n", "mean s", "stddev", "min", "median", "max"
+    );
+    for (label, s) in [("completion", &result.completion), ("waiting", &result.waiting)] {
+        let _ = writeln!(
+            out,
+            "{:<12}{:>6}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+            label, s.n, s.mean, s.stddev, s.min, s.median, s.max
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ncompletion {} (mean ± 95% CI)",
+        result.completion.display_secs()
+    );
+    if !result.failures.is_empty() {
+        let first = &result.failures[0];
+        let _ = writeln!(
+            out,
+            "{} repetition(s) failed; first: rep {}: {}",
+            result.failures.len(),
+            first.rep,
+            first.error
+        );
+    }
+    Ok(out)
 }
 
 fn cmd_session(args: &[String]) -> Result<String, CliError> {
@@ -904,6 +1028,56 @@ mod tests {
         assert!(out.contains("red marker"), "{out}");
         assert!(out.contains("blue marker"), "{out}");
         assert!(out.contains("held by"), "{out}");
+    }
+
+    #[test]
+    fn sweep_reports_statistics() {
+        let out = runv(&["sweep", "4", "--reps", "6", "--jobs", "2", "--seed", "9"]).unwrap();
+        assert!(out.contains("scenario 4"), "{out}");
+        assert!(out.contains("6 rep(s), 2 job(s), seed 9"), "{out}");
+        assert!(out.contains("completion"), "{out}");
+        assert!(out.contains("waiting"), "{out}");
+        assert!(out.contains("95% CI"), "{out}");
+        assert!(!out.contains("failed"), "{out}");
+    }
+
+    #[test]
+    fn sweep_statistics_are_job_count_invariant() {
+        // The whole point of the deterministic merge: only the header's
+        // job count differs between a serial and a parallel sweep.
+        let serial = runv(&["sweep", "4", "--reps", "8", "--jobs", "1", "--seed", "3"]).unwrap();
+        let par = runv(&["sweep", "4", "--reps", "8", "--jobs", "4", "--seed", "3"]).unwrap();
+        let stats = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(stats(&serial), stats(&par));
+        assert_ne!(serial.lines().next(), par.lines().next());
+    }
+
+    #[test]
+    fn sweep_streaming_mode_matches_retained_mean() {
+        let retained = runv(&["sweep", "3", "--reps", "8", "--seed", "5"]).unwrap();
+        let streamed =
+            runv(&["sweep", "3", "--reps", "8", "--seed", "5", "--stream"]).unwrap();
+        assert!(streamed.contains("streaming statistics"), "{streamed}");
+        // n/mean/stddev/min agree either way (the P² median is an
+        // estimate, so the last two columns may differ in rounding).
+        let head = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("completion") && !l.contains("CI"))
+                .map(|l| l.split_whitespace().take(5).map(String::from).collect::<Vec<_>>())
+        };
+        assert_eq!(head(&retained), head(&streamed));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(runv(&["sweep"]).is_err());
+        assert!(runv(&["sweep", "9"]).is_err());
+        assert!(runv(&["sweep", "4", "--reps", "0"]).is_err());
+        assert!(runv(&["sweep", "4", "--jobs", "0"]).is_err());
+        assert!(runv(&["sweep", "4", "--reps", "abc"]).is_err());
+        // A team too small for the scenario fails every repetition.
+        let e = runv(&["sweep", "3", "--team", "1", "--reps", "2"]).unwrap_err();
+        assert!(e.message.contains("all 2 repetitions failed"), "{e}");
     }
 
     #[test]

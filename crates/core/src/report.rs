@@ -126,7 +126,7 @@ impl RunReport {
             let _ = writeln!(
                 students,
                 "{},{},{},{:.3},{:.3},{:.3},{:.3}",
-                s.name,
+                flagsim_desim::csv_field(&s.name),
                 s.cells,
                 s.completed,
                 s.busy.as_secs_f64(),

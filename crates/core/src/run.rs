@@ -489,7 +489,7 @@ pub fn run_activity_with_faults(
             completed: done,
             busy: p.busy,
             waiting: p.waiting,
-            idle: p.idle(),
+            idle: p.idle(trace.end_time),
             finished_at: p.finished_at.unwrap_or(trace.end_time),
         })
         .collect();

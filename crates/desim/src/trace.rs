@@ -5,6 +5,25 @@ use crate::resource::{ResourceId, ResourceStats};
 use crate::time::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
+/// Quote a CSV field RFC-4180-style when it contains a comma, quote, or
+/// line break: the field is wrapped in double quotes and embedded quotes
+/// are doubled. Fields without delimiters pass through unchanged.
+pub fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains([',', '"', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut quoted = String::with_capacity(s.len() + 2);
+    quoted.push('"');
+    for c in s.chars() {
+        if c == '"' {
+            quoted.push('"');
+        }
+        quoted.push(c);
+    }
+    quoted.push('"');
+    std::borrow::Cow::Owned(quoted)
+}
+
 /// What happened at one moment, for one process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -49,26 +68,33 @@ pub struct ProcReport {
 }
 
 impl ProcReport {
-    /// Idle time: elapsed lifetime not spent busy or waiting.
-    pub fn idle(&self) -> SimDuration {
-        match self.finished_at {
-            Some(t) => {
-                let lifetime = t - SimTime::ZERO;
-                SimDuration(
-                    lifetime
-                        .millis()
-                        .saturating_sub(self.busy.millis() + self.waiting.millis()),
-                )
-            }
-            None => SimDuration::ZERO,
-        }
+    /// The lifetime rates are computed against: from t=0 until the
+    /// process finished, or until `trace_end` for a process that never
+    /// finished — a downed worker is down for the whole run, not absent
+    /// from it.
+    pub fn lifetime(&self, trace_end: SimTime) -> SimDuration {
+        self.finished_at.unwrap_or(trace_end) - SimTime::ZERO
     }
 
-    /// Fraction of lifetime spent busy, in `[0, 1]` (1 if never finished).
-    pub fn utilization(&self) -> f64 {
-        match self.finished_at {
-            Some(t) if t > SimTime::ZERO => self.busy.as_secs_f64() / t.as_secs_f64(),
-            _ => 1.0,
+    /// Idle time: elapsed lifetime not spent busy or waiting.
+    pub fn idle(&self, trace_end: SimTime) -> SimDuration {
+        SimDuration(
+            self.lifetime(trace_end)
+                .millis()
+                .saturating_sub(self.busy.millis() + self.waiting.millis()),
+        )
+    }
+
+    /// Fraction of lifetime spent busy, in `[0, 1]` (0 for a zero-length
+    /// lifetime). A process that never finished is measured against
+    /// `trace_end`, so a downed or stalled worker reports its true (low)
+    /// utilization instead of a spurious 100%.
+    pub fn utilization(&self, trace_end: SimTime) -> f64 {
+        let lifetime = self.lifetime(trace_end);
+        if lifetime.millis() == 0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / lifetime.as_secs_f64()
         }
     }
 }
@@ -190,15 +216,18 @@ impl Trace {
     }
 
     /// Export the event log as CSV (`time_ms,proc,proc_name,kind,resource`)
-    /// for spreadsheet-side analysis of a run.
+    /// for spreadsheet-side analysis of a run. Process names are quoted
+    /// RFC-4180-style when they contain a delimiter, so a name like
+    /// `P1, helper` cannot corrupt the column layout.
     pub fn events_csv(&self) -> String {
         let mut out = String::from("time_ms,proc,proc_name,kind,resource\n");
         for e in &self.events {
-            let name = self
-                .procs
-                .get(e.proc.index())
-                .map(|p| p.name.as_str())
-                .unwrap_or("?");
+            let name = csv_field(
+                self.procs
+                    .get(e.proc.index())
+                    .map(|p| p.name.as_str())
+                    .unwrap_or("?"),
+            );
             let (kind, res) = match e.kind {
                 EventKind::WorkStart { dur } => (format!("work:{}", dur.millis()), String::new()),
                 EventKind::Acquired(r) => ("acquired".to_owned(), r.index().to_string()),
@@ -269,18 +298,14 @@ impl Trace {
             "process", "busy%", "wait%", "idle%"
         );
         for p in &self.procs {
-            let lifetime = p
-                .finished_at
-                .map(|t| t.millis())
-                .unwrap_or(self.end_time.millis())
-                .max(1) as f64;
+            let lifetime = p.lifetime(self.end_time).millis().max(1) as f64;
             let _ = writeln!(
                 out,
                 "{:<16}{:>7.1}%{:>7.1}%{:>7.1}%",
                 p.name,
                 100.0 * p.busy.millis() as f64 / lifetime,
                 100.0 * p.waiting.millis() as f64 / lifetime,
-                100.0 * p.idle().millis() as f64 / lifetime,
+                100.0 * p.idle(self.end_time).millis() as f64 / lifetime,
             );
         }
         out
@@ -423,9 +448,44 @@ mod tests {
     #[test]
     fn proc_report_idle_and_utilization() {
         let t = sample_trace();
-        assert_eq!(t.procs[0].idle(), SimDuration(20)); // 100 - 60 - 20
-        assert!((t.procs[0].utilization() - 0.6).abs() < 1e-12);
-        assert_eq!(t.procs[1].idle(), SimDuration(0));
+        let end = t.end_time;
+        assert_eq!(t.procs[0].idle(end), SimDuration(20)); // 100 - 60 - 20
+        assert!((t.procs[0].utilization(end) - 0.6).abs() < 1e-12);
+        assert_eq!(t.procs[1].idle(end), SimDuration(0));
+    }
+
+    #[test]
+    fn downed_worker_utilization_measured_against_trace_end() {
+        // Regression: a process that never finished used to report
+        // utilization 1.0 — a downed worker showing 100% busy. It is
+        // now measured against the trace end time.
+        let p = ProcReport {
+            name: "downed".into(),
+            busy: SimDuration(30),
+            waiting: SimDuration(10),
+            finished_at: None,
+        };
+        let end = SimTime(100);
+        assert!((p.utilization(end) - 0.3).abs() < 1e-12);
+        assert_eq!(p.idle(end), SimDuration(60));
+        assert_eq!(p.lifetime(end), SimDuration(100));
+        // Degenerate zero-length trace: no division by zero, 0 not 100%.
+        assert_eq!(p.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_table_shows_downed_worker_as_idle_not_busy() {
+        let mut t = sample_trace();
+        t.procs.push(ProcReport {
+            name: "P3".into(),
+            busy: SimDuration(0),
+            waiting: SimDuration(0),
+            finished_at: None,
+        });
+        let table = t.utilization_table();
+        let p3 = table.lines().find(|l| l.starts_with("P3")).unwrap();
+        assert!(p3.contains("  0.0%"), "no spurious busy time: {p3}");
+        assert!(p3.contains("100.0%"), "fully idle against trace end: {p3}");
     }
 
     #[test]
@@ -474,6 +534,39 @@ mod tests {
         assert!(lines[1].starts_with("0,0,P1,work:60,"));
         assert!(lines[2].contains("blocked,0"));
         assert!(lines[3].contains("acquired,0"));
+    }
+
+    #[test]
+    fn events_csv_quotes_delimiters_in_process_names() {
+        // Regression: a comma or quote in a process name used to shift
+        // every later column of that row.
+        let mut t = sample_trace();
+        t.procs[0].name = "P1, \"helper\"".into();
+        let csv = t.events_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row, "0,0,\"P1, \"\"helper\"\"\",work:60,");
+        // Every row still has exactly five columns once quoted fields
+        // are parsed RFC-4180-style.
+        for line in csv.lines().skip(1) {
+            let mut cols = 1;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => cols += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(cols, 5, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_field_quoting_rules() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   omitted some instructor questions).
 //! * [`transition`] — pre/post quiz transition matrices (retained /
 //!   gained / lost / stayed-incorrect), the exact quantities of Fig. 8.
+//! * [`stats`] / [`streaming`] — mean ± stddev summaries of repeated
+//!   runs, batch ([`RunStats::from_sample`]) or one observation at a
+//!   time in O(1) memory ([`StreamingStats`], for huge parallel sweeps).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@ pub mod inference;
 pub mod likert;
 pub mod perf;
 pub mod stats;
+pub mod streaming;
 pub mod transition;
 
 pub use inference::{mcnemar, normal_cdf, two_proportion_z, TestResult};
@@ -30,4 +34,5 @@ pub use perf::{
     load_imbalance, speedup,
 };
 pub use stats::{clearly_different, RunStats};
+pub use streaming::StreamingStats;
 pub use transition::TransitionMatrix;

@@ -46,8 +46,10 @@ pub fn karp_flatt(measured_speedup: f64, p: usize) -> f64 {
     (1.0 / measured_speedup - 1.0 / p) / (1.0 - 1.0 / p)
 }
 
-/// Fit Amdahl's law to measured `(p, speedup)` points: the least-squares
-/// serial fraction over the Karp–Flatt estimates of each point (p > 1).
+/// Fit Amdahl's law to measured `(p, speedup)` points: the plain mean of
+/// the Karp–Flatt serial-fraction estimates of each usable point (p > 1),
+/// clamped to `[0, 1]` — not a least-squares fit, every point counts
+/// equally regardless of `p`.
 /// Returns `None` if no usable points exist. This is how the harness
 /// turns a team-size sweep into "the activity behaves like a program
 /// that is X% serial".

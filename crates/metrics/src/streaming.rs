@@ -1,0 +1,342 @@
+//! One-pass streaming statistics.
+//!
+//! The parallel sweep engine can run hundreds of thousands of
+//! repetitions; retaining every [`RunStats`] input (let alone every run
+//! report) would make memory the bottleneck instead of the CPU. A
+//! [`StreamingStats`] accumulates a sample one observation at a time in
+//! O(1) memory per metric: an exact running sum for the mean, Welford's
+//! recurrence for the variance, exact min/max, and a P² (Jain &
+//! Chlamtac 1985) marker estimate for the median.
+//!
+//! Exactness contract, relied on by the sweep determinism tests:
+//!
+//! * `n`, `min`, `max` are exact;
+//! * `mean` is bit-for-bit identical to [`RunStats::from_sample`] (both
+//!   are a left-to-right sum divided by `n`);
+//! * `stddev` agrees with the two-pass computation to ~1e-9 relative
+//!   (Welford is at least as accurate, but rounds differently);
+//! * `median` is exact for samples of up to five observations and a P²
+//!   estimate beyond that.
+
+use crate::stats::RunStats;
+
+/// P² single-quantile estimator (five markers). Exact until five
+/// observations have been seen, then O(1) per observation.
+#[derive(Debug, Clone)]
+struct P2Quantile {
+    /// Target quantile in (0, 1).
+    q: f64,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Actual marker positions, 1-based.
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    incr: [f64; 5],
+    /// Observations seen so far.
+    count: usize,
+}
+
+impl P2Quantile {
+    fn new(q: f64) -> Self {
+        debug_assert!(q > 0.0 && q < 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            incr: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the cell k such that heights[k] <= x < heights[k+1], and
+        // clamp x into the current extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Offset within 1..5 equals the 0-based cell index k such
+            // that heights[k] <= x < heights[k+1].
+            (1..5).position(|i| x < self.heights[i]).unwrap_or(3)
+        };
+        for (i, d) in self.desired.iter_mut().enumerate() {
+            *d += self.incr[i];
+        }
+        for i in (k + 1)..4 {
+            self.pos[i] += 1.0;
+        }
+        self.pos[4] += 1.0;
+        // Adjust the three interior markers toward their desired
+        // positions with the parabolic formula, falling back to linear.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.heights[i]
+                    + d / (self.pos[i + 1] - self.pos[i - 1])
+                        * ((self.pos[i] - self.pos[i - 1] + d)
+                            * (self.heights[i + 1] - self.heights[i])
+                            / (self.pos[i + 1] - self.pos[i])
+                            + (self.pos[i + 1] - self.pos[i] - d)
+                                * (self.heights[i] - self.heights[i - 1])
+                                / (self.pos[i] - self.pos[i - 1]));
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    // Linear adjustment toward the neighbor in direction d.
+                    let j = if d > 0.0 { i + 1 } else { i - 1 };
+                    self.heights[i] += d * (self.heights[j] - self.heights[i])
+                        / (self.pos[j] - self.pos[i]);
+                }
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// The current quantile estimate. Exact (sorted-sample definition,
+    /// with midpoint averaging for the median of an even count) while
+    /// fewer than six observations have been seen.
+    fn estimate(&self) -> f64 {
+        assert!(self.count > 0, "no observations");
+        if self.count <= 5 {
+            let mut sorted = self.heights[..self.count].to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let n = sorted.len();
+            // Matches RunStats::from_sample's median for q = 0.5.
+            if (self.q - 0.5).abs() < f64::EPSILON {
+                if n % 2 == 1 {
+                    return sorted[n / 2];
+                }
+                return (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+            }
+            let idx = ((n as f64 - 1.0) * self.q).round() as usize;
+            return sorted[idx.min(n - 1)];
+        }
+        self.heights[2]
+    }
+}
+
+/// One-pass accumulator producing the same summary as
+/// [`RunStats::from_sample`] without retaining the sample.
+#[derive(Debug, Clone)]
+pub struct StreamingStats {
+    n: u64,
+    sum: f64,
+    /// Welford running mean (kept separately from `sum / n` because the
+    /// variance recurrence needs its own rounding sequence).
+    w_mean: f64,
+    /// Welford sum of squared deviations.
+    m2: f64,
+    min: f64,
+    max: f64,
+    median: P2Quantile,
+}
+
+impl Default for StreamingStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            n: 0,
+            sum: 0.0,
+            w_mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            median: P2Quantile::new(0.5),
+        }
+    }
+
+    /// Add one observation. Panics on non-finite values, like
+    /// [`RunStats::from_sample`].
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "sample contains non-finite values");
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.w_mean;
+        self.w_mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.w_mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.median.push(x);
+    }
+
+    /// Observations seen so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (bit-identical to the two-pass mean).
+    pub fn mean(&self) -> f64 {
+        assert!(self.n > 0, "no observations");
+        self.sum / self.n as f64
+    }
+
+    /// Sample variance (n−1 denominator; 0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        assert!(self.n > 0, "no observations");
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        assert!(self.n > 0, "no observations");
+        self.max
+    }
+
+    /// Median: exact for up to five observations, P² estimate beyond.
+    pub fn median_estimate(&self) -> f64 {
+        self.median.estimate()
+    }
+
+    /// Freeze into a [`RunStats`] summary. Panics if no observations
+    /// were pushed, mirroring `from_sample`'s empty-sample panic.
+    pub fn to_stats(&self) -> RunStats {
+        assert!(self.n > 0, "empty sample");
+        RunStats {
+            n: self.n as usize,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            min: self.min,
+            max: self.max,
+            median: self.median_estimate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize) -> Vec<f64> {
+        // Deterministic full-period LCG; values spread over [0, 1e4).
+        let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 * 1e4
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_from_sample_exactly_where_promised() {
+        for n in [1, 2, 3, 4, 5, 6, 17, 100] {
+            let xs = pseudo_random(n);
+            let exact = RunStats::from_sample(&xs);
+            let mut s = StreamingStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            let got = s.to_stats();
+            assert_eq!(got.n, exact.n);
+            assert_eq!(got.mean.to_bits(), exact.mean.to_bits(), "n={n}");
+            assert_eq!(got.min, exact.min);
+            assert_eq!(got.max, exact.max);
+            let tol = 1e-9 * exact.stddev.max(1.0);
+            assert!((got.stddev - exact.stddev).abs() < tol, "n={n}");
+            if n <= 5 {
+                assert_eq!(got.median, exact.median, "small-n median is exact");
+            }
+        }
+    }
+
+    #[test]
+    fn p2_median_close_on_large_uniform_sample() {
+        let xs = pseudo_random(10_000);
+        let exact = RunStats::from_sample(&xs);
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let est = s.median_estimate();
+        // P² on a well-behaved distribution: within 1% of the range.
+        let range = exact.max - exact.min;
+        assert!(
+            (est - exact.median).abs() < 0.01 * range,
+            "estimate {est} vs exact {}",
+            exact.median
+        );
+        assert!(est >= exact.min && est <= exact.max);
+    }
+
+    #[test]
+    fn p2_exact_on_sorted_quintet() {
+        let mut s = StreamingStats::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        assert_eq!(s.median_estimate(), 3.0);
+    }
+
+    #[test]
+    fn even_small_sample_median_matches_midpoint() {
+        let mut s = StreamingStats::new();
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.median_estimate(), 2.5);
+    }
+
+    #[test]
+    fn variance_of_constant_sample_is_zero() {
+        let mut s = StreamingStats::new();
+        for _ in 0..1000 {
+            s.push(7.5);
+        }
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.median_estimate(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        StreamingStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_to_stats_panics() {
+        let _ = StreamingStats::new().to_stats();
+    }
+}

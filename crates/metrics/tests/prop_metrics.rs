@@ -4,7 +4,7 @@
 use flagsim_metrics::inference::{mcnemar, normal_cdf, two_proportion_z};
 use flagsim_metrics::{
     amdahl_speedup, efficiency, gustafson_speedup, karp_flatt, median, speedup, RunStats,
-    TransitionMatrix,
+    StreamingStats, TransitionMatrix,
 };
 use proptest::prelude::*;
 
@@ -58,6 +58,34 @@ proptest! {
         prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
         prop_assert!(s.stddev >= 0.0);
         prop_assert!(s.ci95_half_width() >= 0.0);
+    }
+
+    /// Streaming statistics match the batch `RunStats::from_sample` on
+    /// arbitrary samples: n/min/max exactly, the mean bit-for-bit (both
+    /// are a left fold divided by n), the stddev to 1e-9 relative
+    /// (Welford vs two-pass round differently), and the median exactly
+    /// while the P² estimator is still in its exact (n ≤ 5) regime —
+    /// beyond that it is an estimate bounded by [min, max].
+    #[test]
+    fn streaming_matches_from_sample(xs in proptest::collection::vec(0.0f64..1e6, 1..80)) {
+        let exact = RunStats::from_sample(&xs);
+        let mut acc = StreamingStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let got = acc.to_stats();
+        prop_assert_eq!(got.n, exact.n);
+        prop_assert_eq!(got.mean.to_bits(), exact.mean.to_bits(), "mean not bit-identical");
+        prop_assert_eq!(got.min, exact.min);
+        prop_assert_eq!(got.max, exact.max);
+        let tol = 1e-9 * exact.stddev.max(1.0);
+        prop_assert!((got.stddev - exact.stddev).abs() <= tol,
+                     "stddev {} vs {}", got.stddev, exact.stddev);
+        if xs.len() <= 5 {
+            prop_assert_eq!(got.median, exact.median);
+        } else {
+            prop_assert!(got.median >= exact.min && got.median <= exact.max);
+        }
     }
 
     /// Transition percentages always total 100 for nonempty cohorts, and
