@@ -1,0 +1,59 @@
+//! Telemetry no-op overhead gate.
+//!
+//! ```text
+//! cargo run -p flagsim-bench --release --bin telemetry_bench -- \
+//!     [--reps N] [--iters N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Defaults: 64 reps, 5M disabled-call iterations, `BENCH_telemetry.json`.
+//! `--smoke` shrinks the run (8 reps, 500k iterations) for CI. Exits
+//! non-zero when disabled instrumentation claims more than 5% of the
+//! workload — permanently-on telemetry must stay free when nobody is
+//! profiling.
+
+fn main() {
+    let mut reps: u64 = 64;
+    let mut iters: u64 = 5_000_000;
+    let mut out_path = String::from("BENCH_telemetry.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a number");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            "--smoke" => {
+                reps = 8;
+                iters = 500_000;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: telemetry_bench [--reps N] [--iters N] [--out PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = flagsim_bench::run_telemetry_bench(reps, iters);
+    println!("{}", bench.summary());
+    std::fs::write(&out_path, bench.to_json()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    if !bench.pass {
+        eprintln!(
+            "FAIL: disabled-telemetry overhead {:.4} exceeds the {:.2} gate",
+            bench.noop_overhead_ratio,
+            flagsim_bench::telemetry_bench::NOOP_OVERHEAD_THRESHOLD
+        );
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,8 @@
 
 pub mod experiments;
 pub mod sweep_bench;
+pub mod telemetry_bench;
 
 pub use experiments::{all_experiments, experiments_to_json};
 pub use sweep_bench::{run_sweep_bench, SweepBench};
+pub use telemetry_bench::{run_telemetry_bench, TelemetryBench};

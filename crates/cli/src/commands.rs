@@ -45,15 +45,18 @@ USAGE:
   flagsim flags
   flagsim render <flag> [ascii|ansi|ppm|svg] [WxH]
   flagsim slides [<flag>]
-  flagsim run <1|2|3|4|pipelined|alternating> [--flag NAME] [--kind KIND]
-              [--seed N] [--markers N] [--gantt]
-  flagsim faults <1|2|3|4|pipelined|alternating> (--plan SPEC | --random)
+  flagsim run <SCENARIO> [--flag NAME] [--kind KIND]
+              [--seed N] [--markers N] [--gantt] [--trace-out FILE]
+  flagsim faults <SCENARIO> (--plan SPEC | --random)
                  [--policy rebalance|spare:SECS|abort] [--flag NAME]
-                 [--kind KIND] [--seed N]
+                 [--kind KIND] [--seed N] [--trace-out FILE]
   flagsim faults --demo-deadlock
-  flagsim sweep <1|2|3|4|pipelined|alternating> [--reps M] [--jobs N]
+  flagsim sweep <SCENARIO> [--reps M] [--jobs N]
                 [--flag NAME] [--kind KIND] [--seed N] [--team N]
-                [--warmup] [--stream] [--progress]
+                [--warmup] [--stream] [--progress] [--trace-out FILE]
+  flagsim profile <SCENARIO> [--out FILE] [--format chrome|folded|table]
+                  [--metrics] [--reps M] [--jobs N] [--flag NAME]
+                  [--kind KIND] [--seed N]
   flagsim session [--repeat] [--seed N]
   flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]
   flagsim graph <flag> [--procs N]
@@ -62,8 +65,11 @@ USAGE:
   flagsim pack --out DIR [--flag NAME] [--kind KIND] [--seed N]
   flagsim vocab [<term>]
   flagsim report [--seed N]
-  flagsim replay <1|2|3|4|pipelined|alternating> [--flag NAME] [--frames N]
+  flagsim replay <SCENARIO> [--flag NAME] [--frames N]
                  [--seed N]
+
+SCENARIO: 1 | 2 | 3 | 4 | pipelined | alternating
+          (onestripe = 3, fourslice = 4)
 
 KIND: dauber | thick | thin | crayon (default thick)
 
@@ -86,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "run" => cmd_run(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
@@ -165,6 +172,28 @@ impl Opts {
     }
 }
 
+/// Run `body` with a telemetry collector installed when `--trace-out FILE`
+/// was given, then write the recorded Chrome trace to the file. The
+/// confirmation note goes to stderr so stdout stays machine-readable.
+fn with_optional_trace<T>(
+    path: Option<&str>,
+    body: impl FnOnce() -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    let Some(path) = path else {
+        return body();
+    };
+    let collector = flagsim_telemetry::Collector::install();
+    let result = body();
+    let set = collector.finish();
+    if result.is_ok() {
+        std::fs::write(path, set.chrome_trace()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+        })?;
+        eprintln!("trace: {} span(s) written to {path}", set.len());
+    }
+    result
+}
+
 fn cmd_flags() -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
@@ -242,20 +271,24 @@ fn cmd_slides(args: &[String]) -> Result<String, CliError> {
 fn build_scenario(which: &str, flag: &PreparedFlag) -> Result<Scenario, CliError> {
     Ok(match which {
         "1" | "2" | "3" | "4" => Scenario::fig1(which.parse::<u8>().expect("digit")),
+        // Mnemonic aliases for the two scenarios most scripts profile.
+        "onestripe" => Scenario::fig1(3),
+        "fourslice" => Scenario::fig1(4),
         "pipelined" => Scenario::pipelined_slices(flag, 4, 4),
         "alternating" => Scenario::alternating_slices(),
         other => {
             return err(format!(
-                "unknown scenario {other:?} (use 1-4, pipelined, alternating)"
+                "unknown scenario {other:?} (use 1-4, onestripe, fourslice, pipelined, \
+                 alternating)"
             ))
         }
     })
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["flag", "kind", "seed", "markers"])?;
+    let opts = parse_opts(args, &["flag", "kind", "seed", "markers", "trace-out"])?;
     let Some(which) = opts.positional.first() else {
-        return err("usage: flagsim run <1|2|3|4|pipelined|alternating> [options]");
+        return err("usage: flagsim run <SCENARIO> [options]");
     };
     let spec = match opts.value("flag") {
         Some(name) => find_flag(name)?,
@@ -286,9 +319,11 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     let mut team: Vec<StudentProfile> =
         (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
     let kit = TeamKit::uniform(kind, &flag.colors_needed(&[])).with_count_all(markers);
-    let report = scenario
-        .run(&flag, &mut team, &kit, &cfg)
-        .map_err(|message| CliError { message })?;
+    let report = with_optional_trace(opts.value("trace-out"), || {
+        scenario
+            .run(&flag, &mut team, &kit, &cfg)
+            .map_err(|message| CliError { message })
+    })?;
     let mut out = report.detail();
     if opts.flag("gantt") {
         let _ = writeln!(out, "\n{}", report.trace.gantt(72));
@@ -374,7 +409,7 @@ fn demo_deadlock() -> String {
 }
 
 fn cmd_faults(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["plan", "policy", "flag", "kind", "seed"])?;
+    let opts = parse_opts(args, &["plan", "policy", "flag", "kind", "seed", "trace-out"])?;
     if opts.flag("demo-deadlock") {
         return Ok(demo_deadlock());
     }
@@ -415,9 +450,11 @@ fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     let mut team: Vec<StudentProfile> =
         (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
     let kit = TeamKit::uniform(kind, &colors);
-    let report = scenario
-        .run_with_faults(&flag, &mut team, &kit, &cfg, &plan)
-        .map_err(|message| CliError { message })?;
+    let report = with_optional_trace(opts.value("trace-out"), || {
+        scenario
+            .run_with_faults(&flag, &mut team, &kit, &cfg, &plan)
+            .map_err(|message| CliError { message })
+    })?;
     // detail() already appends the resilience report's render.
     Ok(report.detail())
 }
@@ -431,13 +468,13 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
 
     let opts = parse_opts(
         args,
-        &["flag", "kind", "seed", "reps", "jobs", "team"],
+        &["flag", "kind", "seed", "reps", "jobs", "team", "trace-out"],
     )?;
     let Some(which) = opts.positional.first() else {
         return err(
-            "usage: flagsim sweep <1|2|3|4|pipelined|alternating> [--reps M] [--jobs N] \
+            "usage: flagsim sweep <SCENARIO> [--reps M] [--jobs N] \
              [--flag NAME] [--kind KIND] [--seed N] [--team N] [--warmup] [--stream] \
-             [--progress]",
+             [--progress] [--trace-out FILE]",
         );
     };
     let spec = match opts.value("flag") {
@@ -496,8 +533,10 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
             }
         });
     }
-    let result = runner.run().map_err(|e| CliError {
-        message: e.to_string(),
+    let result = with_optional_trace(opts.value("trace-out"), || {
+        runner.run().map_err(|e| CliError {
+            message: e.to_string(),
+        })
     })?;
     let mut out = format!(
         "{} — {}, {} rep(s), {} job(s), seed {}{}\n\n",
@@ -529,15 +568,124 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         "\ncompletion {} (mean ± 95% CI)",
         result.completion.display_secs()
     );
+    // Failure diagnostics go to stderr (and the `sweep.failures` counter
+    // when telemetry is on) so `flagsim sweep ... > results.txt` stays
+    // machine-readable.
     if !result.failures.is_empty() {
         let first = &result.failures[0];
-        let _ = writeln!(
-            out,
-            "{} repetition(s) failed; first: rep {}: {}",
+        eprintln!(
+            "sweep: {} repetition(s) failed; first: rep {}: {}",
             result.failures.len(),
             first.rep,
             first.error
         );
+    }
+    Ok(out)
+}
+
+/// `flagsim profile` — run a scenario sweep under an installed telemetry
+/// collector and export what the simulator did: Chrome `trace_event`
+/// JSON (load it in `chrome://tracing` or Perfetto), collapsed
+/// flamegraph stacks, or an aggregated self-time table. `--metrics`
+/// appends the metrics registry in text exposition.
+fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::sweep::SweepRunner;
+
+    let opts = parse_opts(
+        args,
+        &["out", "format", "reps", "jobs", "flag", "kind", "seed"],
+    )?;
+    let Some(which) = opts.positional.first() else {
+        return err(
+            "usage: flagsim profile <SCENARIO> [--out FILE] \
+             [--format chrome|folded|table] [--metrics] [--reps M] [--jobs N] \
+             [--flag NAME] [--kind KIND] [--seed N]",
+        );
+    };
+    let format = opts.value("format").unwrap_or("chrome");
+    if !matches!(format, "chrome" | "folded" | "table") {
+        return err(format!(
+            "unknown format {format:?} (use chrome, folded, or table)"
+        ));
+    }
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let reps: u64 = opts
+        .value("reps")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --reps".into(),
+        })?;
+    if reps == 0 {
+        return err("--reps must be at least 1");
+    }
+    let jobs: usize = opts
+        .value("jobs")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --jobs".into(),
+        })?;
+    if jobs == 0 {
+        return err("--jobs must be at least 1");
+    }
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let runner = SweepRunner::new(&scenario, &flag, &kit, &cfg)
+        .team_size(scenario.team_size(&flag, &cfg))
+        .reps(reps)
+        .jobs(jobs)
+        .retain_reports(false);
+    let collector = flagsim_telemetry::Collector::install();
+    let metrics = collector.metrics();
+    let run_result = runner.run();
+    // Always finish the collector (disabling telemetry) before surfacing
+    // any sweep error.
+    let set = collector.finish();
+    run_result.map_err(|e| CliError {
+        message: e.to_string(),
+    })?;
+    let rendered = match format {
+        "folded" => set.folded_stacks(),
+        "table" => set.self_time_table(),
+        _ => set.chrome_trace(),
+    };
+    let mut out = String::new();
+    match opts.value("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| CliError {
+                message: format!("cannot write {path}: {e}"),
+            })?;
+            let _ = writeln!(
+                out,
+                "profile: {} — {} rep(s), {} job(s); {} span(s) written to {path} ({format})",
+                scenario.name,
+                reps,
+                jobs,
+                set.len()
+            );
+        }
+        None => out.push_str(&rendered),
+    }
+    if opts.flag("metrics") {
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("\n--- metrics ---\n");
+        out.push_str(&metrics.render_text());
     }
     Ok(out)
 }
@@ -1238,5 +1386,89 @@ mod tests {
         assert!(runv(&["grade"]).is_err());
         assert!(runv(&["parse"]).is_err());
         assert!(runv(&["grade", "/nonexistent/file"]).is_err());
+    }
+
+    /// Serialize tests that install the process-global telemetry
+    /// collector (`profile`, `--trace-out`): concurrent installs would
+    /// steal each other's spans.
+    fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn scenario_aliases_resolve() {
+        let out = runv(&["run", "onestripe", "--seed", "7"]).unwrap();
+        assert!(out.contains("scenario 3"), "{out}");
+        let out = runv(&["run", "fourslice", "--seed", "7"]).unwrap();
+        assert!(out.contains("scenario 4"), "{out}");
+    }
+
+    #[test]
+    fn profile_chrome_trace_is_valid_and_balanced() {
+        let _serial = telemetry_lock();
+        let out = runv(&["profile", "fourslice", "--reps", "2", "--seed", "7"]).unwrap();
+        let events =
+            flagsim_telemetry::json::validate_chrome_trace(&out).expect("valid chrome trace");
+        assert!(events > 0, "expected events in:\n{out}");
+        assert!(out.contains("sweep.rep"), "{out}");
+        assert!(out.contains("desim.run"), "{out}");
+    }
+
+    #[test]
+    fn profile_table_folded_and_metrics() {
+        let _serial = telemetry_lock();
+        let table = runv(&[
+            "profile", "onestripe", "--reps", "2", "--format", "table", "--metrics",
+        ])
+        .unwrap();
+        assert!(table.contains("sweep.rep"), "{table}");
+        assert!(table.contains("--- metrics ---"), "{table}");
+        assert!(table.contains("desim.runs"), "{table}");
+        let folded =
+            runv(&["profile", "onestripe", "--reps", "2", "--format", "folded"]).unwrap();
+        assert!(
+            folded.lines().any(|l| l.contains("sweep;sweep.rep")),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn profile_out_writes_file() {
+        let _serial = telemetry_lock();
+        let path = std::env::temp_dir()
+            .join(format!("flagsim-profile-{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let out = runv(&["profile", "onestripe", "--reps", "2", "--out", &path_s]).unwrap();
+        assert!(out.contains("span(s) written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(flagsim_telemetry::json::validate_chrome_trace(&text).unwrap() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_rejects_bad_input() {
+        assert!(runv(&["profile"]).is_err());
+        assert!(runv(&["profile", "4", "--format", "xml"]).is_err());
+        assert!(runv(&["profile", "4", "--reps", "0"]).is_err());
+        assert!(runv(&["profile", "4", "--jobs", "0"]).is_err());
+        assert!(runv(&["profile", "9"]).is_err());
+    }
+
+    #[test]
+    fn run_trace_out_writes_chrome_trace() {
+        let _serial = telemetry_lock();
+        let path = std::env::temp_dir()
+            .join(format!("flagsim-run-trace-{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let out = runv(&["run", "4", "--seed", "7", "--trace-out", &path_s]).unwrap();
+        assert!(out.contains("scenario 4"), "stdout stays the report: {out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(flagsim_telemetry::json::validate_chrome_trace(&text).unwrap() > 0);
+        assert!(text.contains("run.activity"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 }

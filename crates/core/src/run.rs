@@ -294,6 +294,9 @@ pub fn run_activity_with_faults(
     plan: &FaultPlan,
 ) -> Result<RunReport, String> {
     let label = label.into();
+    let _activity_span = flagsim_telemetry::span("sim", "run.activity")
+        .arg("label", &label)
+        .arg("students", team.len());
     if assignments.len() != team.len() {
         return Err(format!(
             "{} assignments for {} students",
@@ -546,6 +549,14 @@ pub fn run_activity_with_faults(
         state
             .incidents
             .sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
+        if flagsim_telemetry::enabled() {
+            flagsim_telemetry::count("faults.incidents", state.incidents.len() as u64);
+            flagsim_telemetry::count("faults.recovery_actions", state.actions.len() as u64);
+            flagsim_telemetry::observe("faults.time_lost_secs", state.time_lost_secs);
+            if state.aborted.is_some() {
+                flagsim_telemetry::count("faults.aborted_runs", 1);
+            }
+        }
         Some(ResilienceReport {
             plan_label: plan.label.clone(),
             policy: plan.policy,
@@ -557,6 +568,7 @@ pub fn run_activity_with_faults(
         })
     };
 
+    flagsim_telemetry::count("run.breakages", breakages);
     Ok(RunReport {
         label,
         flag_name: flag.name.clone(),

@@ -226,16 +226,35 @@ impl<'a> SweepRunner<'a> {
         if self.reps == 0 {
             return Err(SweepError::NoRepetitions);
         }
+        // The sweep span's args hold only values independent of the job
+        // count (reps, scenario), and every rep span links to it as its
+        // *logical* parent — so the canonical span tree is identical at
+        // any `--jobs`, which prop_telemetry asserts. Job count and
+        // thread placement are runtime detail: a gauge and the worker
+        // spans' `"runtime"` category.
+        let sweep_span = flagsim_telemetry::span("sim", "sweep")
+            .arg("scenario", &self.scenario.name)
+            .arg("reps", self.reps);
+        let sweep_id = sweep_span.id();
         let mut collector = Collector::new(self.retain_reports, self.reps);
         let jobs = self.jobs.clamp(1, self.reps as usize);
+        flagsim_telemetry::gauge_set("sweep.jobs", jobs as f64);
         if jobs == 1 {
             for rep in 0..self.reps {
-                collector.accept(rep, self.run_rep(rep));
+                let rep_span =
+                    flagsim_telemetry::span_linked("sim", "sweep.rep", sweep_id).arg("rep", rep);
+                let outcome = self.run_rep(rep);
+                drop(rep_span);
+                collector.accept(rep, outcome);
                 self.emit(collector.snapshot());
             }
         } else {
-            self.run_parallel(jobs, &mut collector);
+            self.run_parallel(jobs, sweep_id, &mut collector);
         }
+        let snap = collector.snapshot();
+        flagsim_telemetry::count("sweep.reps_completed", snap.completed);
+        flagsim_telemetry::count("sweep.failures", snap.failed);
+        drop(sweep_span);
         collector.finish(self.reps)
     }
 
@@ -269,7 +288,12 @@ impl<'a> SweepRunner<'a> {
     /// The buffer holds at most ~`jobs` outcomes at a time, keeping the
     /// streaming path's memory bounded by the job count, not the
     /// repetition count.
-    fn run_parallel(&self, jobs: usize, collector: &mut Collector) {
+    fn run_parallel(
+        &self,
+        jobs: usize,
+        sweep_id: Option<flagsim_telemetry::SpanId>,
+        collector: &mut Collector,
+    ) {
         struct Reorder<'c> {
             pending: BTreeMap<u64, Result<RunReport, String>>,
             next_emit: u64,
@@ -282,26 +306,40 @@ impl<'a> SweepRunner<'a> {
             collector,
         });
         std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let rep = next_rep.fetch_add(1, Ordering::Relaxed);
-                    if rep >= self.reps {
-                        break;
-                    }
-                    let outcome = self.run_rep(rep);
-                    let snapshot = {
-                        let mut guard = shared.lock().expect("no worker panicked mid-merge");
-                        let s = &mut *guard;
-                        s.pending.insert(rep, outcome);
-                        while let Some(ready) = s.pending.remove(&s.next_emit) {
-                            s.collector.accept(s.next_emit, ready);
-                            s.next_emit += 1;
+            let next_rep = &next_rep;
+            let shared = &shared;
+            for w in 0..jobs {
+                scope.spawn(move || {
+                    flagsim_telemetry::set_thread_track(&format!("worker-{w}"));
+                    let worker_span =
+                        flagsim_telemetry::span_linked("runtime", "sweep.worker", sweep_id)
+                            .arg("worker", w);
+                    loop {
+                        let rep = next_rep.fetch_add(1, Ordering::Relaxed);
+                        if rep >= self.reps {
+                            break;
                         }
-                        s.collector.snapshot()
-                    };
-                    // Callback outside the lock: a slow observer must not
-                    // serialize the workers.
-                    self.emit(snapshot);
+                        let rep_span =
+                            flagsim_telemetry::span_linked("sim", "sweep.rep", sweep_id)
+                                .arg("rep", rep);
+                        let outcome = self.run_rep(rep);
+                        drop(rep_span);
+                        let snapshot = {
+                            let mut guard = shared.lock().expect("no worker panicked mid-merge");
+                            let s = &mut *guard;
+                            s.pending.insert(rep, outcome);
+                            while let Some(ready) = s.pending.remove(&s.next_emit) {
+                                s.collector.accept(s.next_emit, ready);
+                                s.next_emit += 1;
+                            }
+                            s.collector.snapshot()
+                        };
+                        // Callback outside the lock: a slow observer must
+                        // not serialize the workers.
+                        self.emit(snapshot);
+                    }
+                    drop(worker_span);
+                    flagsim_telemetry::flush_thread();
                 });
             }
         });

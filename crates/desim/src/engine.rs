@@ -252,6 +252,12 @@ impl Engine {
     /// Stall detection only applies to runs that drain naturally: a run
     /// cut off by the bell legitimately leaves processes blocked.
     pub fn try_run_until(mut self, deadline: SimTime) -> Result<Trace, SimError> {
+        // One span per run, counters folded in at the end from stats the
+        // engine already keeps — the event loop itself stays untouched,
+        // so instrumentation cost is independent of event count.
+        let run_span = flagsim_telemetry::span("sim", "desim.run")
+            .arg("procs", self.procs.len())
+            .arg("resources", self.resources.len());
         let mut cut_off = false;
         while let Some(&Reverse((t, _, _))) = self.queue.peek() {
             if t > deadline {
@@ -291,7 +297,31 @@ impl Engine {
                 return Err(SimError::Stalled { waiters });
             }
         }
+        self.record_run_metrics();
+        drop(run_span);
         Ok(self.into_trace())
+    }
+
+    /// Fold the run's already-collected statistics into the telemetry
+    /// registry. No-op (one atomic load) when telemetry is disabled.
+    fn record_run_metrics(&self) {
+        if !flagsim_telemetry::enabled() {
+            return;
+        }
+        flagsim_telemetry::count("desim.runs", 1);
+        flagsim_telemetry::count("desim.events_processed", self.processed);
+        flagsim_telemetry::observe("desim.events_per_run", self.processed as f64);
+        let mut acquisitions = 0u64;
+        let mut contended = 0u64;
+        let mut handoffs = 0u64;
+        for res in &self.resources {
+            acquisitions += res.stats.acquisitions;
+            contended += res.stats.contended_acquisitions;
+            handoffs += res.stats.handoffs;
+        }
+        flagsim_telemetry::count("desim.resource.acquisitions", acquisitions);
+        flagsim_telemetry::count("desim.resource.contended", contended);
+        flagsim_telemetry::count("desim.resource.handoffs", handoffs);
     }
 
     /// Snapshot the wait-for graph: one edge per process blocked on a

@@ -45,4 +45,4 @@ pub use engine::{Action, Engine, FnProcess, ProcId, Process};
 pub use error::{SimError, WaitEdge, WaitForGraph};
 pub use resource::ResourceId;
 pub use time::{SimDuration, SimTime};
-pub use trace::{csv_field, EventKind, Trace, TraceEvent};
+pub use trace::{csv_field, xml_escape, EventKind, Trace, TraceEvent};

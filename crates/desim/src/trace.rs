@@ -24,6 +24,28 @@ pub fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
     std::borrow::Cow::Owned(quoted)
 }
 
+/// Escape a string for interpolation into XML/SVG text content or a
+/// double-quoted attribute: `&`, `<`, `>`, `"`, and `'` become entity
+/// references. Strings without special characters pass through unchanged
+/// (mirroring [`csv_field`]'s borrow-when-clean contract).
+pub fn xml_escape(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains(['&', '<', '>', '"', '\'']) {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut escaped = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => escaped.push_str("&amp;"),
+            '<' => escaped.push_str("&lt;"),
+            '>' => escaped.push_str("&gt;"),
+            '"' => escaped.push_str("&quot;"),
+            '\'' => escaped.push_str("&apos;"),
+            c => escaped.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(escaped)
+}
+
 /// What happened at one moment, for one process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -154,7 +176,9 @@ impl Trace {
     /// equivalent is a terminal), not a precise plot: each character cell
     /// shows the dominant state in its time bucket.
     pub fn gantt(&self, width: usize) -> String {
-        assert!(width > 0, "gantt width must be nonzero");
+        // Degenerate widths clamp to a one-column chart rather than
+        // panicking or dividing by zero.
+        let width = width.max(1);
         let total = self.end_time.millis().max(1);
         let name_w = self
             .procs
@@ -244,7 +268,8 @@ impl Trace {
     /// where some process holds it (including hand-off transit), `.` where
     /// it sits free. Shows at a glance which marker is the bottleneck.
     pub fn resource_gantt(&self, width: usize) -> String {
-        assert!(width > 0, "gantt width must be nonzero");
+        // Same degenerate-width clamp as `gantt`.
+        let width = width.max(1);
         let total = self.end_time.millis().max(1);
         let name_w = self
             .resources
@@ -297,6 +322,10 @@ impl Trace {
             "{:<16}{:>8}{:>8}{:>8}\n",
             "process", "busy%", "wait%", "idle%"
         );
+        if self.procs.is_empty() {
+            out.push_str("(no processes)\n");
+            return out;
+        }
         for p in &self.procs {
             let lifetime = p.lifetime(self.end_time).millis().max(1) as f64;
             let _ = writeln!(
@@ -315,10 +344,12 @@ impl Trace {
     /// color, waiting bars hatched gray) — a projectable version of
     /// [`Trace::gantt`]. Pure text output.
     pub fn svg_gantt(&self, width_px: u32) -> String {
-        assert!(width_px > 0);
         let total = self.end_time.millis().max(1) as f64;
         let row_h = 24u32;
         let label_w = 120u32;
+        // A chart narrower than its label column (or zero-width) would
+        // underflow the plot area; clamp to label column + a sliver.
+        let width_px = width_px.max(label_w + 40);
         let height = row_h * (self.procs.len() as u32 + 1);
         let scale = |ms: u64| label_w as f64 + (ms as f64 / total) * (width_px - label_w) as f64;
         let mut out = format!(
@@ -332,7 +363,7 @@ impl Trace {
                 out,
                 "  <text x=\"4\" y=\"{}\">{}</text>",
                 y + 12,
-                proc.name
+                xml_escape(&proc.name)
             );
             let mut blocked_since: Option<u64> = None;
             for e in self.events_for(pid) {
@@ -587,6 +618,57 @@ mod tests {
         assert!(svg.contains("#c0c0c0"), "wait bars present");
         assert!(svg.contains(">P1<"));
         assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn xml_escape_rules() {
+        assert_eq!(xml_escape("plain"), "plain");
+        assert!(matches!(xml_escape("plain"), std::borrow::Cow::Borrowed(_)));
+        assert_eq!(xml_escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(xml_escape("say \"hi\" & 'bye'"), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn svg_gantt_escapes_process_names() {
+        // Regression: a name like `P<1> & "co"` used to be interpolated
+        // raw into the SVG, corrupting the document.
+        let mut t = sample_trace();
+        t.procs[0].name = "P<1> & \"co\"".into();
+        let svg = t.svg_gantt(600);
+        assert!(svg.contains(">P&lt;1&gt; &amp; &quot;co&quot;<"), "{svg}");
+        assert!(!svg.contains(">P<1>"), "{svg}");
+    }
+
+    #[test]
+    fn degenerate_chart_widths_clamp_instead_of_panicking() {
+        let t = sample_trace();
+        // Regression: width 0 used to assert; tiny svg widths underflowed
+        // the plot area (u32 subtraction) and panicked.
+        let g = t.gantt(0);
+        assert_eq!(g.lines().count(), 3, "{g}");
+        let rg = t.resource_gantt(0);
+        assert!(rg.is_empty() || rg.lines().all(|l| l.ends_with('|')), "{rg}");
+        let svg = t.svg_gantt(0);
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.trim_end().ends_with("</svg>"), "{svg}");
+        let svg_small = t.svg_gantt(40); // smaller than the label column
+        assert!(svg_small.contains("width=\"160\""), "{svg_small}");
+    }
+
+    #[test]
+    fn utilization_table_handles_empty_trace() {
+        let t = Trace {
+            end_time: SimTime::ZERO,
+            procs: vec![],
+            resources: vec![],
+            events: vec![],
+        };
+        let table = t.utilization_table();
+        assert!(table.starts_with("process"), "{table}");
+        assert!(table.contains("(no processes)"), "{table}");
+        // The charts are degenerate but valid too.
+        assert!(t.gantt(10).contains('|'));
+        assert_eq!(t.resource_gantt(10), "");
     }
 
     #[test]

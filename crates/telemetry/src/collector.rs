@@ -1,0 +1,202 @@
+//! The global collector: where flushed span batches and metric updates
+//! land while a profiling session is active.
+//!
+//! Exactly one [`Collector`] is installed at a time (installing a new one
+//! supersedes the old). The fast path for *disabled* telemetry is a
+//! single relaxed load of [`enabled`]; span batches travel over an mpsc
+//! channel so producing threads never block on the consumer.
+
+use crate::export::SpanSet;
+use crate::metrics::MetricsRegistry;
+use crate::span::SpanRecord;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+static GLOBAL: Mutex<Option<Global>> = Mutex::new(None);
+
+struct Global {
+    generation: u64,
+    tx: Sender<Vec<SpanRecord>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+fn lock_global() -> MutexGuard<'static, Option<Global>> {
+    match GLOBAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// True when a collector is installed. Every instrumentation entry point
+/// checks this first; the disabled path is one relaxed atomic load.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Ship a batch of finished spans to the installed collector, if any.
+pub(crate) fn submit(batch: Vec<SpanRecord>) {
+    if let Some(g) = lock_global().as_ref() {
+        // A send can only fail if the collector was dropped without
+        // `finish`; the batch is discarded, matching disabled telemetry.
+        let _ = g.tx.send(batch);
+    }
+}
+
+/// Bump the named counter on the installed collector's registry.
+/// No-op (one atomic load) when telemetry is disabled.
+pub fn count(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(g) = lock_global().as_ref() {
+        g.metrics.counter(name).add(delta);
+    }
+}
+
+/// Set the named gauge on the installed collector's registry.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(g) = lock_global().as_ref() {
+        g.metrics.gauge(name).set(value);
+    }
+}
+
+/// Record an observation in the named histogram on the installed
+/// collector's registry.
+pub fn observe(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(g) = lock_global().as_ref() {
+        g.metrics.histogram(name).observe(value);
+    }
+}
+
+/// An active profiling session: owns the receiving end of the span
+/// channel and the metrics registry instrumentation writes into.
+#[derive(Debug)]
+pub struct Collector {
+    generation: u64,
+    rx: Receiver<Vec<SpanRecord>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Collector {
+    /// Install a fresh collector as the process-global sink and enable
+    /// telemetry. Supersedes any previously installed collector (whose
+    /// later `finish` then only returns what it had already received).
+    pub fn install() -> Collector {
+        let (tx, rx) = channel();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let generation = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
+        *lock_global() = Some(Global {
+            generation,
+            tx,
+            metrics: Arc::clone(&metrics),
+        });
+        ENABLED.store(true, Ordering::Relaxed);
+        Collector {
+            generation,
+            rx,
+            metrics,
+        }
+    }
+
+    /// The registry instrumented code writes metrics into. Keep a clone
+    /// to render metrics after [`Collector::finish`].
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Disable telemetry (if this collector is still the installed one),
+    /// drain every span received, and return them as a [`SpanSet`].
+    pub fn finish(self) -> SpanSet {
+        crate::span::flush_thread();
+        {
+            let mut g = lock_global();
+            if g.as_ref().map(|x| x.generation) == Some(self.generation) {
+                *g = None;
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+        let mut spans = Vec::new();
+        while let Ok(batch) = self.rx.try_recv() {
+            spans.extend(batch);
+        }
+        spans.sort_by_key(|s| s.id);
+        SpanSet::new(spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::span;
+
+    #[test]
+    fn metrics_helpers_reach_installed_registry() {
+        let _serial = crate::test_lock();
+        let col = Collector::install();
+        count("events", 3);
+        count("events", 2);
+        gauge_set("jobs", 4.0);
+        observe("ms", 1.5);
+        let metrics = col.metrics();
+        assert_eq!(metrics.counter("events").get(), 5);
+        assert_eq!(metrics.gauge("jobs").get(), 4.0);
+        assert_eq!(metrics.histogram("ms").count(), 1);
+        let _ = col.finish();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn metrics_helpers_are_noops_when_disabled() {
+        let _serial = crate::test_lock();
+        assert!(!enabled());
+        count("ghost", 1);
+        gauge_set("ghost", 1.0);
+        observe("ghost", 1.0);
+        let col = Collector::install();
+        assert!(col.metrics().is_empty());
+        let _ = col.finish();
+    }
+
+    #[test]
+    fn newer_collector_supersedes_older() {
+        let _serial = crate::test_lock();
+        let old = Collector::install();
+        {
+            let _s = span("sim", "to-old");
+        }
+        let new = Collector::install();
+        {
+            let _s = span("sim", "to-new");
+        }
+        let new_set = new.finish();
+        assert!(!enabled(), "finishing the live collector disables telemetry");
+        let old_set = old.finish();
+        assert_eq!(new_set.spans().len(), 1);
+        assert_eq!(new_set.spans()[0].name, "to-new");
+        assert_eq!(old_set.spans().len(), 1);
+        assert_eq!(old_set.spans()[0].name, "to-old");
+    }
+
+    #[test]
+    fn finish_collects_unflushed_main_thread_buffer() {
+        let _serial = crate::test_lock();
+        let col = Collector::install();
+        let outer = span("sim", "outer");
+        {
+            let _inner = span("sim", "inner");
+        }
+        // `outer` is still open, so `inner` sits in the thread buffer;
+        // dropping outer empties the stack and flushes both.
+        drop(outer);
+        assert_eq!(col.finish().spans().len(), 2);
+    }
+}

@@ -1,0 +1,518 @@
+//! Exporters over a drained set of spans: Chrome `trace_event` JSON,
+//! collapsed-stack flamegraph text, an aggregated self-time table, and
+//! the canonical logical tree used for determinism checks.
+//!
+//! Two parent relations coexist (see [`SpanRecord`]): the *stack* parent
+//! (same thread) drives Chrome B/E nesting per track, while the
+//! *logical* parent (`link`, falling back to stack parent) drives the
+//! flamegraph and the canonical tree. Span ids are assigned from a
+//! monotonic counter and a parent always opens before its child, so both
+//! relations are acyclic by construction (`parent < id`); exporters still
+//! cap traversal depth defensively.
+
+use crate::json::json_escape_into;
+use crate::span::{SpanId, SpanRecord};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Hard cap on ancestor-chain walks; real nesting is single digits.
+const MAX_DEPTH: usize = 128;
+
+/// A drained, id-ordered set of completed spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    spans: Vec<SpanRecord>,
+}
+
+impl SpanSet {
+    /// Wrap spans already sorted by id.
+    pub(crate) fn new(spans: Vec<SpanRecord>) -> Self {
+        SpanSet { spans }
+    }
+
+    /// Build a set from arbitrary records (sorts by id). Public so tests
+    /// and benches can assemble synthetic sets.
+    pub fn from_records(mut spans: Vec<SpanRecord>) -> Self {
+        spans.sort_by_key(|s| s.id);
+        SpanSet { spans }
+    }
+
+    /// The spans, ordered by id.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn index_by_id(&self) -> BTreeMap<SpanId, usize> {
+        self.spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect()
+    }
+
+    /// The logical parent of span `i`: its explicit `link` when present,
+    /// else its stack parent — either way only if that span is in the set.
+    fn logical_parent(&self, i: usize, by_id: &BTreeMap<SpanId, usize>) -> Option<usize> {
+        let s = &self.spans[i];
+        s.link
+            .or(s.parent)
+            .and_then(|id| by_id.get(&id).copied())
+    }
+
+    /// Chrome `trace_event` JSON: `{"traceEvents": [...]}`, loadable in
+    /// `chrome://tracing` and Perfetto. Spans nest by stack parent per
+    /// thread track and are emitted as recursive B/E pairs, so the
+    /// output is structurally balanced whatever the timestamps say.
+    pub fn chrome_trace(&self) -> String {
+        let by_id = self.index_by_id();
+        // Track names in natural order -> stable small tids.
+        let mut track_names: Vec<&str> = self.spans.iter().map(|s| s.track.as_str()).collect();
+        track_names.sort_by(|a, b| natural_cmp(a, b));
+        track_names.dedup();
+        let tid_of: BTreeMap<&str, usize> = track_names
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i + 1))
+            .collect();
+
+        // Per-track forests keyed on the stack parent; a span whose
+        // recorded parent is absent or lives on another track roots its
+        // own track so per-tid nesting stays balanced.
+        let mut children: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut roots: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let stack_parent = s
+                .parent
+                .and_then(|id| by_id.get(&id).copied())
+                .filter(|&p| self.spans[p].track == s.track);
+            match stack_parent {
+                Some(p) => children.entry(p).or_default().push(i),
+                None => roots.entry(s.track.as_str()).or_default().push(i),
+            }
+        }
+        for v in children.values_mut() {
+            v.sort_by_key(|&i| (self.spans[i].start_ns, self.spans[i].id));
+        }
+        for v in roots.values_mut() {
+            v.sort_by_key(|&i| (self.spans[i].start_ns, self.spans[i].id));
+        }
+
+        let mut out = String::from("{\"traceEvents\": [\n");
+        out.push_str(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+             \"args\": {\"name\": \"flagsim\"}}",
+        );
+        for name in &track_names {
+            out.push_str(",\n");
+            let _ = write!(
+                out,
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                 \"args\": {{\"name\": ",
+                tid_of[name]
+            );
+            push_json_string(&mut out, name);
+            out.push_str("}}");
+        }
+        for name in &track_names {
+            for &root in roots.get(name).map(Vec::as_slice).unwrap_or(&[]) {
+                self.emit_chrome_span(&mut out, root, tid_of[name], &children, 0);
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    fn emit_chrome_span(
+        &self,
+        out: &mut String,
+        i: usize,
+        tid: usize,
+        children: &BTreeMap<usize, Vec<usize>>,
+        depth: usize,
+    ) {
+        let s = &self.spans[i];
+        let start = s.start_ns;
+        // A span never ends before it starts or before its children do;
+        // clamp anyway so a malformed record cannot unbalance the trace.
+        let mut end = s.end_ns.max(start);
+        let kids: &[usize] = if depth < MAX_DEPTH {
+            children.get(&i).map(Vec::as_slice).unwrap_or(&[])
+        } else {
+            &[]
+        };
+        for &k in kids {
+            end = end.max(self.spans[k].end_ns);
+        }
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "{{\"name\": ",
+        );
+        push_json_string(out, s.name);
+        let _ = write!(
+            out,
+            ", \"cat\": \"{}\", \"ph\": \"B\", \"ts\": {:.3}, \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"id\": {}",
+            s.category,
+            start as f64 / 1_000.0,
+            tid,
+            s.id
+        );
+        if let Some(link) = s.link {
+            let _ = write!(out, ", \"link\": {link}");
+        }
+        for (k, v) in &s.args {
+            out.push_str(", ");
+            push_json_string(out, k);
+            out.push_str(": ");
+            push_json_string(out, v);
+        }
+        out.push_str("}}");
+        for &k in kids {
+            self.emit_chrome_span(out, k, tid, children, depth + 1);
+        }
+        out.push_str(",\n");
+        let _ = write!(out, "{{\"name\": ");
+        push_json_string(out, s.name);
+        let _ = write!(
+            out,
+            ", \"cat\": \"{}\", \"ph\": \"E\", \"ts\": {:.3}, \"pid\": 1, \"tid\": {}}}",
+            s.category,
+            end as f64 / 1_000.0,
+            tid
+        );
+    }
+
+    /// Self time per span in nanoseconds: duration minus the durations
+    /// of its logical children.
+    fn self_times_ns(&self, by_id: &BTreeMap<SpanId, usize>) -> Vec<u64> {
+        let mut child_sum = vec![0u64; self.spans.len()];
+        for i in 0..self.spans.len() {
+            if let Some(p) = self.logical_parent(i, by_id) {
+                child_sum[p] = child_sum[p].saturating_add(self.spans[i].duration_ns());
+            }
+        }
+        self.spans
+            .iter()
+            .zip(&child_sum)
+            .map(|(s, &c)| s.duration_ns().saturating_sub(c))
+            .collect()
+    }
+
+    /// Collapsed-stack flamegraph text: one line per distinct logical
+    /// stack, `root;child;leaf <self-time-µs>`, suitable for
+    /// `flamegraph.pl` or speedscope.
+    pub fn folded_stacks(&self) -> String {
+        let by_id = self.index_by_id();
+        let self_ns = self.self_times_ns(&by_id);
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for (i, &self_i) in self_ns.iter().enumerate() {
+            let mut frames = vec![self.spans[i].name];
+            let mut cur = i;
+            for _ in 0..MAX_DEPTH {
+                match self.logical_parent(cur, &by_id) {
+                    Some(p) => {
+                        frames.push(self.spans[p].name);
+                        cur = p;
+                    }
+                    None => break,
+                }
+            }
+            frames.reverse();
+            *agg.entry(frames.join(";")).or_default() += self_i / 1_000;
+        }
+        let mut out = String::new();
+        for (path, micros) in &agg {
+            let _ = writeln!(out, "{path} {micros}");
+        }
+        out
+    }
+
+    /// Aggregated profile table: per span name, call count, total and
+    /// self wall time, and self share — sorted by self time descending.
+    pub fn self_time_table(&self) -> String {
+        let by_id = self.index_by_id();
+        let self_ns = self.self_times_ns(&by_id);
+        #[derive(Default)]
+        struct Row {
+            calls: u64,
+            total_ns: u64,
+            self_ns: u64,
+        }
+        let mut rows: BTreeMap<&str, Row> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let row = rows.entry(s.name).or_default();
+            row.calls += 1;
+            row.total_ns += s.duration_ns();
+            row.self_ns += self_ns[i];
+        }
+        let grand_self: u64 = rows.values().map(|r| r.self_ns).sum();
+        let mut ordered: Vec<(&str, Row)> = rows.into_iter().collect();
+        ordered.sort_by(|(an, a), (bn, b)| b.self_ns.cmp(&a.self_ns).then(an.cmp(bn)));
+
+        let name_w = ordered
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(std::iter::once("span".len()))
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>7}",
+            "span", "calls", "total ms", "self ms", "self %"
+        );
+        for (name, row) in &ordered {
+            let pct = if grand_self > 0 {
+                row.self_ns as f64 * 100.0 / grand_self as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8}  {:>12.3}  {:>12.3}  {:>6.1}%",
+                name,
+                row.calls,
+                row.total_ns as f64 / 1e6,
+                row.self_ns as f64 / 1e6,
+                pct
+            );
+        }
+        out
+    }
+
+    /// The canonical logical span tree: every non-`"runtime"` span,
+    /// parented by `link`-then-`parent` (climbing over any runtime
+    /// ancestors), rendered as an indented outline with timestamps, ids,
+    /// and thread assignment stripped. Children are ordered by their
+    /// rendered subtree (natural numeric order), so two runs doing the
+    /// same simulated work produce byte-identical trees regardless of
+    /// `--jobs`, scheduling, or wall-clock timing.
+    pub fn canonical_tree(&self) -> String {
+        let by_id = self.index_by_id();
+        let retained: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| self.spans[i].category != "runtime")
+            .collect();
+        // Nearest retained logical ancestor.
+        let mut children: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for &i in &retained {
+            let mut anc = self.logical_parent(i, &by_id);
+            for _ in 0..MAX_DEPTH {
+                match anc {
+                    Some(a) if self.spans[a].category == "runtime" => {
+                        anc = self.logical_parent(a, &by_id);
+                    }
+                    _ => break,
+                }
+            }
+            match anc {
+                Some(a) => children.entry(a).or_default().push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut rendered: Vec<String> = roots
+            .iter()
+            .map(|&r| self.render_canonical(r, &children, 0))
+            .collect();
+        rendered.sort_by(|a, b| natural_cmp(a, b));
+        rendered.concat()
+    }
+
+    fn render_canonical(
+        &self,
+        i: usize,
+        children: &BTreeMap<usize, Vec<usize>>,
+        depth: usize,
+    ) -> String {
+        let s = &self.spans[i];
+        let mut line = format!("{}{}", "  ".repeat(depth), s.name);
+        for (k, v) in &s.args {
+            let _ = write!(line, " {k}={v}");
+        }
+        line.push('\n');
+        if depth >= MAX_DEPTH {
+            return line;
+        }
+        let mut subtrees: Vec<String> = children
+            .get(&i)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&c| self.render_canonical(c, children, depth + 1))
+            .collect();
+        subtrees.sort_by(|a, b| natural_cmp(a, b));
+        let mut out = line;
+        out.extend(subtrees);
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    json_escape_into(s, out);
+    out.push('"');
+}
+
+/// Compare strings with digit runs ordered numerically, so
+/// `rep=2 < rep=10` (plain lexical order would interleave them and make
+/// tree output depend on how many digits an index happens to have).
+fn natural_cmp(a: &str, b: &str) -> Ordering {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let si = i;
+            while i < a.len() && a[i].is_ascii_digit() {
+                i += 1;
+            }
+            let sj = j;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+            let na = trim_leading_zeros(&a[si..i]);
+            let nb = trim_leading_zeros(&b[sj..j]);
+            let ord = na.len().cmp(&nb.len()).then_with(|| na.cmp(nb));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        } else {
+            let ord = a[i].cmp(&b[j]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}
+
+fn trim_leading_zeros(digits: &[u8]) -> &[u8] {
+    let first = digits.iter().position(|&d| d != b'0').unwrap_or(digits.len() - 1);
+    &digits[first..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        id: SpanId,
+        parent: Option<SpanId>,
+        link: Option<SpanId>,
+        category: &'static str,
+        name: &'static str,
+        track: &str,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            link,
+            category,
+            name,
+            track: track.to_owned(),
+            start_ns,
+            end_ns,
+            args: Vec::new(),
+        }
+    }
+
+    fn sample_set() -> SpanSet {
+        // main:     sweep [0..100]
+        // worker-0:   worker [5..95] > rep(link->sweep) [10..50]
+        // worker-1:   worker [5..90] > rep(link->sweep) [12..60]
+        let mut sweep = rec(1, None, None, "sim", "sweep", "main", 0, 100_000);
+        sweep.args.push(("reps", "2".to_owned()));
+        let w0 = rec(2, None, None, "runtime", "sweep.worker", "worker-0", 5_000, 95_000);
+        let w1 = rec(3, None, None, "runtime", "sweep.worker", "worker-1", 5_000, 90_000);
+        let mut r0 = rec(4, Some(2), Some(1), "sim", "rep", "worker-0", 10_000, 50_000);
+        r0.args.push(("rep", "0".to_owned()));
+        let mut r1 = rec(5, Some(3), Some(1), "sim", "rep", "worker-1", 12_000, 60_000);
+        r1.args.push(("rep", "1".to_owned()));
+        SpanSet::from_records(vec![sweep, w0, w1, r0, r1])
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_balanced() {
+        let set = sample_set();
+        let json = set.chrome_trace();
+        let n = crate::json::validate_chrome_trace(&json).expect("valid chrome trace");
+        // 2 B/E per span + process_name + 3 thread_name metadata events.
+        assert_eq!(n, set.len() * 2 + 4);
+    }
+
+    #[test]
+    fn folded_stacks_follow_logical_parents() {
+        let set = sample_set();
+        let folded = set.folded_stacks();
+        assert!(folded.contains("sweep;rep "), "{folded}");
+        assert!(folded.contains("sweep.worker "), "{folded}");
+        // The reps are NOT under the workers in the logical view.
+        assert!(!folded.contains("sweep.worker;rep"), "{folded}");
+        for line in folded.lines() {
+            let (_, count) = line.rsplit_once(' ').expect("path count");
+            count.parse::<u64>().expect("numeric self time");
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let set = sample_set();
+        let table = set.self_time_table();
+        // sweep total 100µs; children (reps) 40+48 = 88µs; self = 12µs.
+        let sweep_row = table.lines().find(|l| l.starts_with("sweep ")).expect("row");
+        assert!(sweep_row.contains("0.100"), "{table}");
+        assert!(sweep_row.contains("0.012"), "{table}");
+        assert!(table.lines().next().unwrap().contains("self %"), "{table}");
+    }
+
+    #[test]
+    fn canonical_tree_ignores_runtime_ids_and_order() {
+        let a = sample_set();
+        // Same logical work: different ids, insertion order, timings, and
+        // worker layout (all on one worker).
+        let mut sweep = rec(10, None, None, "sim", "sweep", "main", 0, 999_000);
+        sweep.args.push(("reps", "2".to_owned()));
+        let w = rec(11, None, None, "runtime", "sweep.worker", "worker-0", 1, 999);
+        let mut r1 = rec(12, Some(11), Some(10), "sim", "rep", "worker-0", 2, 30);
+        r1.args.push(("rep", "1".to_owned()));
+        let mut r0 = rec(13, Some(11), Some(10), "sim", "rep", "worker-0", 31, 60);
+        r0.args.push(("rep", "0".to_owned()));
+        let b = SpanSet::from_records(vec![r1, w, sweep, r0]);
+        assert_eq!(a.canonical_tree(), b.canonical_tree());
+        let tree = a.canonical_tree();
+        assert!(tree.starts_with("sweep reps=2\n"), "{tree}");
+        assert!(tree.contains("  rep rep=0\n"), "{tree}");
+        assert!(!tree.contains("worker"), "{tree}");
+    }
+
+    #[test]
+    fn natural_cmp_orders_digit_runs_numerically() {
+        assert_eq!(natural_cmp("rep=2", "rep=10"), Ordering::Less);
+        assert_eq!(natural_cmp("rep=10", "rep=10"), Ordering::Equal);
+        assert_eq!(natural_cmp("a2b", "a2c"), Ordering::Less);
+        assert_eq!(natural_cmp("rep=002", "rep=2"), Ordering::Equal);
+        assert_eq!(natural_cmp("w-9", "w-11"), Ordering::Less);
+    }
+
+    #[test]
+    fn empty_set_exports_are_valid() {
+        let set = SpanSet::from_records(Vec::new());
+        assert!(set.is_empty());
+        assert!(crate::json::validate_chrome_trace(&set.chrome_trace()).is_ok());
+        assert_eq!(set.folded_stacks(), "");
+        assert_eq!(set.canonical_tree(), "");
+        assert!(set.self_time_table().contains("span"));
+    }
+}

@@ -1,0 +1,51 @@
+//! flagsim-telemetry: zero-dependency observability for the flagsim
+//! workspace — a metrics registry, structured spans, and profiling
+//! exporters (Chrome `trace_event`, collapsed flamegraph stacks, and a
+//! self-time table).
+//!
+//! # Model
+//!
+//! A profiling session is a [`Collector`]: install one, run instrumented
+//! code, then [`Collector::finish`] to get the recorded [`SpanSet`] and
+//! render its [`MetricsRegistry`]. Instrumented code calls [`span`] /
+//! [`span_linked`] for timing scopes and [`count`] / [`gauge_set`] /
+//! [`observe`] for metrics; with no collector installed every call is a
+//! no-op gated on a single relaxed atomic load, so permanently
+//! instrumented hot paths cost nothing in normal runs (the overhead gate
+//! in `flagsim-bench` asserts this stays under 5%).
+//!
+//! # Determinism
+//!
+//! Spans carry two parent edges: the per-thread *stack* parent (drives
+//! Chrome-trace nesting) and an optional logical *link* (drives the
+//! flamegraph and [`SpanSet::canonical_tree`]). Work that is logically
+//! the same — e.g. a parameter sweep at `--jobs 1` vs `--jobs 4` —
+//! produces the same canonical tree; only timestamps and thread
+//! placement differ. Host-execution scopes (worker lifecycles) use the
+//! `"runtime"` category, which the canonical tree excludes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use collector::{count, enabled, gauge_set, observe, Collector};
+pub use export::SpanSet;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_BUCKETS};
+pub use span::{
+    current_span, flush_thread, set_thread_track, span, span_linked, SpanGuard, SpanId, SpanRecord,
+};
+
+/// Serialize tests that install the process-global collector.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

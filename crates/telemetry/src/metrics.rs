@@ -1,0 +1,374 @@
+//! A thread-safe registry of counters, gauges, and fixed-bucket
+//! histograms, with text and JSON exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! over atomics: register once, then update without touching the registry
+//! lock. The registry lock is only taken on registration and exposition,
+//! so instrumented hot paths that cache their handles pay one atomic
+//! add per update.
+
+use crate::json::json_escape_into;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a floating-point value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge to `value`.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds (a 1-2-5 decade ladder), chosen
+/// to cover both millisecond wall times and small counts.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+    10_000.0,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a final overflow (+Inf) bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, accumulated as integer micro-units so the
+    /// atomics stay lock-free (an f64 CAS loop would also work, but this
+    /// keeps every update a single `fetch_add`).
+    sum_micros: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() && value > 0.0 {
+            self.0
+                .sum_micros
+                .fetch_add((value * 1e6) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry's bound is
+    /// `f64::INFINITY`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.0
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The registry: named metrics, created on first touch.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    tables: Mutex<Tables>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Tables> {
+        // A panic while holding this lock can only come from another
+        // metric call panicking, which none do; recover rather than
+        // poison every later exposition.
+        match self.tables.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.lock().counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.lock().gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name` with [`DEFAULT_BUCKETS`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, DEFAULT_BUCKETS)
+    }
+
+    /// The histogram named `name`; `bounds` apply only on first creation.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        let t = self.lock();
+        t.counters.is_empty() && t.gauges.is_empty() && t.histograms.is_empty()
+    }
+
+    /// Plain-text exposition, one metric per line, sorted by name:
+    ///
+    /// ```text
+    /// counter desim.events 5321
+    /// gauge sweep.jobs 4
+    /// histogram desim.run_ms count=8 sum=123.456 le0.5=0 ... le+inf=1
+    /// ```
+    pub fn render_text(&self) -> String {
+        let t = self.lock();
+        let mut out = String::new();
+        for (name, c) in &t.counters {
+            let _ = writeln!(out, "counter {} {}", name, c.get());
+        }
+        for (name, g) in &t.gauges {
+            let _ = writeln!(out, "gauge {} {}", name, g.get());
+        }
+        for (name, h) in &t.histograms {
+            let _ = write!(out, "histogram {} count={} sum={:.6}", name, h.count(), h.sum());
+            for (bound, count) in h.buckets() {
+                if bound.is_finite() {
+                    let _ = write!(out, " le{bound}={count}");
+                } else {
+                    let _ = write!(out, " le+inf={count}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON exposition (hand-rolled, like every serializer in this
+    /// workspace): `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let t = self.lock();
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, c) in &t.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            json_escape_into(name, &mut out);
+            let _ = write!(out, "\": {}", c.get());
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (name, g) in &t.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            json_escape_into(name, &mut out);
+            let _ = write!(out, "\": {}", fmt_f64(g.get()));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (name, h) in &t.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            json_escape_into(name, &mut out);
+            let _ = write!(out, "\": {{\"count\": {}, \"sum\": {}, \"buckets\": [", h.count(), fmt_f64(h.sum()));
+            for (i, (bound, count)) in h.buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if bound.is_finite() {
+                    let _ = write!(out, "{{\"le\": {}, \"count\": {count}}}", fmt_f64(*bound));
+                } else {
+                    let _ = write!(out, "{{\"le\": \"+inf\", \"count\": {count}}}");
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}");
+        out
+    }
+}
+
+/// Format an `f64` so it is always valid JSON (no `NaN`/`inf` literals,
+/// always a digit before and after any decimal point).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.events");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        // Same name, same underlying counter.
+        assert_eq!(reg.counter("a.events").get(), 4);
+    }
+
+    #[test]
+    fn gauge_set_and_get() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(reg.gauge("depth").get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with_buckets("ms", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(500.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 505.5).abs() < 1e-3);
+        assert_eq!(
+            h.buckets()
+                .iter()
+                .map(|&(_, c)| c)
+                .collect::<Vec<_>>(),
+            vec![1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("hits");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("hits").get(), 4000);
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("g").set(1.5);
+        reg.histogram_with_buckets("h", &[10.0]).observe(3.0);
+        let text = reg.render_text();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "{text}");
+        assert!(text.contains("gauge g 1.5"), "{text}");
+        assert!(text.contains("histogram h count=1"), "{text}");
+        assert!(text.contains("le10=1"), "{text}");
+        assert!(text.contains("le+inf=0"), "{text}");
+    }
+
+    #[test]
+    fn json_exposition_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c\"quoted").add(7);
+        reg.gauge("g").set(0.25);
+        reg.histogram("h").observe(2.0);
+        let json = reg.to_json();
+        crate::json::parse(&json).expect("valid JSON");
+        assert!(json.contains("\"c\\\"quoted\": 7"), "{json}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Structured spans: RAII guards, per-thread LIFO stacks, and batched
+//! lock-free hand-off to the installed [`crate::collector::Collector`].
+//!
+//! A span is opened with [`span`] (or [`span_linked`] to attach a
+//! *logical* parent across threads) and closed when the returned
+//! [`SpanGuard`] drops. Each thread keeps its own span stack and record
+//! buffer; buffers are flushed to the global collector in batches over an
+//! mpsc channel — never while holding a lock on the hot path — whenever
+//! the stack empties or the buffer grows past a threshold.
+//!
+//! When no collector is installed every entry point degrades to a single
+//! relaxed atomic load (see the overhead gate in `flagsim-bench`).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Identifier of a span, unique within the process lifetime.
+pub type SpanId = u64;
+
+/// A completed span as shipped to the collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique id.
+    pub id: SpanId,
+    /// Stack parent: the span that was open on the *same thread* when
+    /// this one started. Drives Chrome-trace B/E nesting per track.
+    pub parent: Option<SpanId>,
+    /// Logical parent: an explicit cross-thread link (e.g. a sweep rep
+    /// running on a worker thread links to the sweep span on the main
+    /// thread). Preferred over `parent` when building logical trees.
+    pub link: Option<SpanId>,
+    /// Coarse category. `"sim"` spans describe deterministic simulated
+    /// work and form the canonical tree; `"runtime"` spans describe host
+    /// execution (worker lifecycles) whose count varies with `--jobs`.
+    pub category: &'static str,
+    /// Span name (static so the disabled path never allocates).
+    pub name: &'static str,
+    /// Track label of the thread that ran the span.
+    pub track: String,
+    /// Start, nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the process telemetry epoch.
+    pub end_ns: u64,
+    /// Key/value annotations added via [`SpanGuard::arg`].
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (saturating).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the (lazily initialised) process telemetry epoch.
+pub(crate) fn now_ns() -> u64 {
+    // u64 nanoseconds cover ~584 years of process uptime.
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Flush when a thread's buffer reaches this many records even if its
+/// span stack has not emptied yet.
+const FLUSH_THRESHOLD: usize = 128;
+
+struct ThreadState {
+    stack: Vec<SpanId>,
+    buf: Vec<SpanRecord>,
+    track: String,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState {
+        stack: Vec::new(),
+        buf: Vec::new(),
+        track: default_track(),
+    });
+}
+
+fn default_track() -> String {
+    let cur = std::thread::current();
+    match cur.name() {
+        Some(name) => name.to_owned(),
+        None => format!("{:?}", cur.id()),
+    }
+}
+
+/// Label the current thread's track in exported traces (e.g.
+/// `"worker-0"`). Affects spans opened after the call.
+pub fn set_thread_track(label: &str) {
+    let _ = TLS.try_with(|tls| {
+        if let Ok(mut t) = tls.try_borrow_mut() {
+            t.track = label.to_owned();
+        }
+    });
+}
+
+/// The innermost span currently open on this thread, if any. Pass it to
+/// [`span_linked`] on another thread to record a logical parent edge.
+pub fn current_span() -> Option<SpanId> {
+    if !crate::collector::enabled() {
+        return None;
+    }
+    TLS.try_with(|tls| tls.try_borrow().ok().and_then(|t| t.stack.last().copied()))
+        .ok()
+        .flatten()
+}
+
+/// Open a span; it closes when the returned guard drops. A no-op (one
+/// relaxed atomic load, no allocation) when no collector is installed.
+pub fn span(category: &'static str, name: &'static str) -> SpanGuard {
+    span_linked(category, name, None)
+}
+
+/// Open a span with an explicit logical parent (`link`), typically a
+/// span id captured on another thread via [`current_span`].
+pub fn span_linked(category: &'static str, name: &'static str, link: Option<SpanId>) -> SpanGuard {
+    if !crate::collector::enabled() {
+        return SpanGuard { rec: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut parent = None;
+    let mut track = String::new();
+    let _ = TLS.try_with(|tls| {
+        if let Ok(mut t) = tls.try_borrow_mut() {
+            parent = t.stack.last().copied();
+            t.stack.push(id);
+            track.clone_from(&t.track);
+        }
+    });
+    SpanGuard {
+        rec: Some(SpanRecord {
+            id,
+            parent,
+            link,
+            category,
+            name,
+            track,
+            start_ns: now_ns(),
+            end_ns: 0,
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// RAII guard for an open span; records the span on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope of its guard; dropping it immediately records an empty span"]
+pub struct SpanGuard {
+    rec: Option<SpanRecord>,
+}
+
+impl SpanGuard {
+    /// The span's id, or `None` when telemetry is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.rec.as_ref().map(|r| r.id)
+    }
+
+    /// Attach a key/value annotation (builder style). Free when
+    /// telemetry is disabled — the value is never formatted.
+    pub fn arg(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.args.push((key, value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(mut rec) = self.rec.take() else {
+            return;
+        };
+        rec.end_ns = now_ns();
+        let stray = TLS
+            .try_with(move |tls| {
+                let Ok(mut t) = tls.try_borrow_mut() else {
+                    return Some(rec);
+                };
+                // Guards close LIFO in normal use; tolerate a guard that
+                // was moved to (and dropped on) another thread.
+                if t.stack.last() == Some(&rec.id) {
+                    t.stack.pop();
+                } else if let Some(pos) = t.stack.iter().rposition(|&x| x == rec.id) {
+                    t.stack.remove(pos);
+                }
+                t.buf.push(rec);
+                if t.stack.is_empty() || t.buf.len() >= FLUSH_THRESHOLD {
+                    let batch = std::mem::take(&mut t.buf);
+                    drop(t);
+                    crate::collector::submit(batch);
+                }
+                None
+            })
+            .ok()
+            .flatten();
+        // TLS inaccessible (borrowed re-entrantly): ship directly.
+        if let Some(stray) = stray {
+            crate::collector::submit(vec![stray]);
+        }
+    }
+}
+
+/// Force-flush the current thread's buffered spans to the collector.
+/// Called automatically whenever the thread's span stack empties; call
+/// manually before joining a thread that parks with spans buffered.
+pub fn flush_thread() {
+    let _ = TLS.try_with(|tls| {
+        if let Ok(mut t) = tls.try_borrow_mut() {
+            if !t.buf.is_empty() {
+                let batch = std::mem::take(&mut t.buf);
+                drop(t);
+                crate::collector::submit(batch);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _serial = crate::test_lock();
+        assert!(!crate::collector::enabled());
+        let g = span("sim", "noop").arg("k", 42);
+        assert_eq!(g.id(), None);
+        assert_eq!(current_span(), None);
+        drop(g);
+    }
+
+    #[test]
+    fn nesting_and_args_are_recorded() {
+        let _serial = crate::test_lock();
+        let col = Collector::install();
+        let outer = span("sim", "outer");
+        let outer_id = outer.id();
+        {
+            let _inner = span("sim", "inner").arg("rep", 3);
+            assert_eq!(current_span(), _inner.id());
+        }
+        drop(outer);
+        let set = col.finish();
+        let spans = set.spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner");
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        assert_eq!(inner.parent, outer_id);
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.args, vec![("rep", "3".to_owned())]);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn cross_thread_link_is_preserved() {
+        let _serial = crate::test_lock();
+        let col = Collector::install();
+        let root = span("sim", "root");
+        let root_id = root.id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_thread_track("worker-test");
+                let _child = span_linked("sim", "child", root_id);
+            });
+        });
+        drop(root);
+        let set = col.finish();
+        let child = set.spans().iter().find(|s| s.name == "child").expect("child");
+        assert_eq!(child.link, root_id);
+        assert_eq!(child.parent, None);
+        assert_eq!(child.track, "worker-test");
+    }
+
+    #[test]
+    fn flush_threshold_does_not_drop_records() {
+        let _serial = crate::test_lock();
+        let col = Collector::install();
+        let root = span("sim", "root");
+        for _ in 0..(FLUSH_THRESHOLD * 2 + 7) {
+            let _s = span("sim", "leaf");
+        }
+        drop(root);
+        let set = col.finish();
+        assert_eq!(set.spans().len(), FLUSH_THRESHOLD * 2 + 7 + 1);
+    }
+}

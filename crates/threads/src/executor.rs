@@ -42,6 +42,28 @@ fn trip_injected(inject: Injection, worker: usize, done: usize) {
     }
 }
 
+/// Telemetry name for a mode (static so the disabled path is free).
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Sequential => "sequential",
+        ExecMode::Static => "static",
+        ExecMode::SharedImplements => "shared-implements",
+        ExecMode::DynamicChunks { .. } => "dynamic-chunks",
+    }
+}
+
+/// Open the per-worker telemetry scope: label the thread's trace track
+/// and start a `"runtime"` span linked to the executor's run span.
+fn worker_telemetry(
+    w: usize,
+    run_id: Option<flagsim_telemetry::SpanId>,
+) -> flagsim_telemetry::SpanGuard {
+    if flagsim_telemetry::enabled() {
+        flagsim_telemetry::set_thread_track(&format!("threads-worker-{w}"));
+    }
+    flagsim_telemetry::span_linked("runtime", "threads.worker", run_id).arg("worker", w)
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -147,6 +169,9 @@ impl<'a> ParallelColorer<'a> {
     /// concatenated into a shared queue served by `assignments.len()`
     /// threads.
     pub fn run(&self, assignments: &[Vec<WorkItem>], mode: ExecMode) -> Outcome {
+        let _run_span = flagsim_telemetry::span("sim", "threads.run")
+            .arg("mode", mode_name(mode))
+            .arg("parts", assignments.len());
         match mode {
             ExecMode::Sequential => {
                 let all: Vec<WorkItem> =
@@ -164,6 +189,7 @@ impl<'a> ParallelColorer<'a> {
     fn run_static(&self, assignments: &[Vec<WorkItem>], mode: ExecMode) -> Outcome {
         let workload = self.workload;
         let inject = self.inject;
+        let run_id = flagsim_telemetry::current_span();
         let start = Instant::now();
         let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
@@ -171,6 +197,7 @@ impl<'a> ParallelColorer<'a> {
                 .enumerate()
                 .map(|(w, items)| {
                     scope.spawn(move || {
+                        let _worker_span = worker_telemetry(w, run_id);
                         catch_unwind(AssertUnwindSafe(|| {
                             trip_injected(inject, w, 0);
                             let t0 = Instant::now();
@@ -212,6 +239,7 @@ impl<'a> ParallelColorer<'a> {
             colors.iter().map(|&c| (c, Mutex::new(()))).collect();
         let markers = &markers;
 
+        let run_id = flagsim_telemetry::current_span();
         let start = Instant::now();
         let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
@@ -219,6 +247,7 @@ impl<'a> ParallelColorer<'a> {
                 .enumerate()
                 .map(|(w, items)| {
                     scope.spawn(move || {
+                        let _worker_span = worker_telemetry(w, run_id);
                         catch_unwind(AssertUnwindSafe(|| {
                             trip_injected(inject, w, 0);
                             let t0 = Instant::now();
@@ -268,11 +297,13 @@ impl<'a> ParallelColorer<'a> {
         let cursor = AtomicUsize::new(0);
         let (all_ref, cursor_ref) = (&all, &cursor);
 
+        let run_id = flagsim_telemetry::current_span();
         let start = Instant::now();
         let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
+                        let _worker_span = worker_telemetry(w, run_id);
                         catch_unwind(AssertUnwindSafe(|| {
                             trip_injected(inject, w, 0);
                             let t0 = Instant::now();
@@ -342,6 +373,12 @@ impl<'a> ParallelColorer<'a> {
                     worker_faults.push(WorkerFault { worker, message });
                 }
             }
+        }
+        if flagsim_telemetry::enabled() {
+            flagsim_telemetry::count("threads.runs", 1);
+            flagsim_telemetry::count("threads.cells_colored", cells as u64);
+            flagsim_telemetry::count("threads.worker_faults", worker_faults.len() as u64);
+            flagsim_telemetry::observe("threads.wall_ms", wall.as_secs_f64() * 1e3);
         }
         Outcome {
             mode,
