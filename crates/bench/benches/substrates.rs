@@ -145,6 +145,33 @@ fn bench_jordan_grading_rubric(c: &mut Criterion) {
     });
 }
 
+/// Causal analysis over real scenario traces: the full pipeline
+/// (timelines, critical-path walk, blame, what-if) must stay cheap
+/// enough to run after every `flagsim run` without anyone noticing.
+fn bench_causal_analysis(c: &mut Criterion) {
+    use flagsim_core::config::{ActivityConfig, TeamKit};
+    use flagsim_core::scenario::Scenario;
+    use flagsim_core::work::PreparedFlag;
+
+    let flag = PreparedFlag::new(&library::mauritius());
+    let cfg = ActivityConfig::default().with_seed(7);
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+    let mut g = c.benchmark_group("substrate_causal_analysis");
+    for n in [3u8, 4] {
+        let scenario = Scenario::fig1(n);
+        let mut team: Vec<StudentProfile> = (1..=scenario.team_size(&flag, &cfg))
+            .map(|i| StudentProfile::new(format!("P{i}")))
+            .collect();
+        let report = scenario
+            .run(&flag, &mut team, &kit, &cfg)
+            .expect("scenario runs");
+        g.bench_function(format!("analyze_scenario_{n}"), |b| {
+            b.iter(|| black_box(flagsim_desim::analyze(&report.trace)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_rasterize,
@@ -153,5 +180,6 @@ criterion_group!(
     bench_cost_model,
     bench_canvas_and_parse,
     bench_jordan_grading_rubric,
+    bench_causal_analysis,
 );
 criterion_main!(substrates);

@@ -53,7 +53,10 @@ USAGE:
   flagsim faults --demo-deadlock
   flagsim sweep <SCENARIO> [--reps M] [--jobs N]
                 [--flag NAME] [--kind KIND] [--seed N] [--team N]
-                [--warmup] [--stream] [--progress] [--trace-out FILE]
+                [--warmup] [--stream] [--progress] [--dashboard]
+                [--trace-out FILE]
+  flagsim explain <SCENARIO> [--format text|json] [--flag NAME]
+                  [--kind KIND] [--seed N] [--team N] [--jobs N]
   flagsim profile <SCENARIO> [--out FILE] [--format chrome|folded|table]
                   [--metrics] [--reps M] [--jobs N] [--flag NAME]
                   [--kind KIND] [--seed N]
@@ -92,6 +95,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "run" => cmd_run(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "check" => cmd_check(&args[1..]),
@@ -324,6 +328,17 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             .run(&flag, &mut team, &kit, &cfg)
             .map_err(|message| CliError { message })
     })?;
+    // Human diagnostics go to stderr (PR-3 sweep convention) so stdout
+    // stays the machine-readable report.
+    if !report.correct {
+        eprintln!(
+            "run: finished grid does not match {} — wrong flag on the wall",
+            report.flag_name
+        );
+    }
+    if report.breakages > 0 {
+        eprintln!("run: {} implement breakage(s) during the run", report.breakages);
+    }
     let mut out = report.detail();
     if opts.flag("gantt") {
         let _ = writeln!(out, "\n{}", report.trace.gantt(72));
@@ -455,8 +470,15 @@ fn cmd_faults(args: &[String]) -> Result<String, CliError> {
             .run_with_faults(&flag, &mut team, &kit, &cfg, &plan)
             .map_err(|message| CliError { message })
     })?;
-    // detail() already appends the resilience report's render.
-    Ok(report.detail())
+    // Measurements on stdout; the blow-by-blow incident narrative is
+    // human diagnostics and goes to stderr (PR-3 sweep convention), so
+    // `flagsim faults ... > results.txt` stays machine-readable.
+    let mut out = report.detail_core();
+    if let Some(res) = &report.resilience {
+        out.push_str(&res.summary());
+        eprint!("{}", res.narrative());
+    }
+    Ok(out)
 }
 
 /// `flagsim sweep` — the measurement campaign front door: run a scenario
@@ -474,7 +496,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         return err(
             "usage: flagsim sweep <SCENARIO> [--reps M] [--jobs N] \
              [--flag NAME] [--kind KIND] [--seed N] [--team N] [--warmup] [--stream] \
-             [--progress] [--trace-out FILE]",
+             [--progress] [--dashboard] [--trace-out FILE]",
         );
     };
     let spec = match opts.value("flag") {
@@ -518,6 +540,8 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         None => scenario.team_size(&flag, &cfg),
     };
     let stream = opts.flag("stream");
+    let dashboard = opts.flag("dashboard");
+    let trace_out = opts.value("trace-out");
     let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
     let mut runner = SweepRunner::new(&scenario, &flag, &kit, &cfg)
         .team_size(team)
@@ -525,19 +549,48 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         .reps(reps)
         .jobs(jobs)
         .retain_reports(!stream);
-    let step = (reps / 10).max(1);
-    if opts.flag("progress") {
+    // Both the trace file and the dashboard's live mean/CI gauges need a
+    // telemetry collector; the global slot is generation-guarded, so
+    // install exactly one and share it.
+    let collector =
+        (dashboard || trace_out.is_some()).then(flagsim_telemetry::Collector::install);
+    let dash = match (&collector, dashboard) {
+        (Some(c), true) => Some(std::sync::Arc::new(crate::dashboard::Dashboard::new(
+            jobs,
+            reps,
+            c.metrics(),
+        ))),
+        _ => None,
+    };
+    if let Some(d) = &dash {
+        let d = std::sync::Arc::clone(d);
+        runner = runner.on_progress(move |p| d.update(p));
+    } else if opts.flag("progress") {
+        let step = (reps / 10).max(1);
         runner = runner.on_progress(move |p| {
             if p.completed % step == 0 || p.completed == p.total {
                 eprintln!("sweep: {}/{} rep(s) done, {} failed", p.completed, p.total, p.failed);
             }
         });
     }
-    let result = with_optional_trace(opts.value("trace-out"), || {
-        runner.run().map_err(|e| CliError {
-            message: e.to_string(),
-        })
-    })?;
+    let result = runner.run().map_err(|e| CliError {
+        message: e.to_string(),
+    });
+    if let Some(d) = &dash {
+        d.finish();
+    }
+    if let Some(c) = collector {
+        let set = c.finish();
+        if result.is_ok() {
+            if let Some(path) = trace_out {
+                std::fs::write(path, set.chrome_trace()).map_err(|e| CliError {
+                    message: format!("cannot write {path}: {e}"),
+                })?;
+                eprintln!("trace: {} span(s) written to {path}", set.len());
+            }
+        }
+    }
+    let result = result?;
     let mut out = format!(
         "{} — {}, {} rep(s), {} job(s), seed {}{}\n\n",
         scenario.name,
@@ -581,6 +634,65 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// `flagsim explain` — run a scenario once, deterministically, and show
+/// *why* it took as long as it did: the executed critical path overlaid
+/// on the gantt, the per-marker contention blame table, and the what-if
+/// bounds (infinite implements, zero warmup, perfect balance),
+/// cross-checked against the trace-derived task graph's span.
+/// `--format json` emits the same analysis machine-readably.
+fn cmd_explain(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["flag", "kind", "seed", "team", "jobs", "format"])?;
+    let Some(which) = opts.positional.first() else {
+        return err(
+            "usage: flagsim explain <SCENARIO> [--format text|json] [--flag NAME] \
+             [--kind KIND] [--seed N] [--team N] [--jobs N]",
+        );
+    };
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(which, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let jobs: usize = opts
+        .value("jobs")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --jobs".into(),
+        })?;
+    if jobs == 0 {
+        return err("--jobs must be at least 1");
+    }
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let team: usize = match opts.value("team") {
+        Some(t) => t.parse().map_err(|_| CliError {
+            message: "bad --team".into(),
+        })?,
+        None => scenario.team_size(&flag, &cfg),
+    };
+    if team == 0 {
+        return err("--team must be at least 1");
+    }
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let explanation =
+        flagsim_core::explain::explain_scenario(&scenario, &flag, &kit, &cfg, team, jobs)
+            .map_err(|message| CliError { message })?;
+    match opts.value("format").unwrap_or("text") {
+        "text" => Ok(explanation.render_text(72)),
+        "json" => Ok(explanation.to_json()),
+        other => err(format!("unknown format {other:?} (use text or json)")),
+    }
 }
 
 /// `flagsim profile` — run a scenario sweep under an installed telemetry
@@ -1134,9 +1246,11 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("fault(s) planned"), "{out}");
-        assert!(out.contains("blue implement broke"), "{out}");
-        assert!(out.contains("dropped out"), "{out}");
+        assert!(out.contains("recovery overhead"), "{out}");
         assert!(out.contains("correct"), "survivors still finish: {out}");
+        // The incident narrative now goes to stderr (see
+        // bin_integration::faults_narrative_lands_on_stderr), not stdout.
+        assert!(!out.contains("blue implement broke"), "{out}");
     }
 
     #[test]
@@ -1198,6 +1312,85 @@ mod tests {
         let stats = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
         assert_eq!(stats(&serial), stats(&par));
         assert_ne!(serial.lines().next(), par.lines().next());
+    }
+
+    #[test]
+    fn sweep_dashboard_runs_with_and_without_progress() {
+        // --dashboard installs a collector; serialize with the other
+        // telemetry-touching tests.
+        let _guard = telemetry_lock();
+        let out =
+            runv(&["sweep", "4", "--reps", "4", "--jobs", "2", "--seed", "3", "--dashboard"])
+                .unwrap();
+        assert!(out.contains("completion"), "{out}");
+        // Dashboard output is stderr-only; stdout stays the stats table.
+        assert!(!out.contains("worker 0"), "{out}");
+        // The numbers are identical to a plain sweep: the dashboard is
+        // pure observability.
+        let plain = runv(&["sweep", "4", "--reps", "4", "--jobs", "2", "--seed", "3"]).unwrap();
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn explain_text_reports_path_blame_and_bounds() {
+        let out = runv(&["explain", "4", "--seed", "7"]).unwrap();
+        assert!(out.contains("executed critical path"), "{out}");
+        assert!(out.contains("blame:"), "{out}");
+        assert!(out.contains("what-if:"), "{out}");
+        assert!(out.contains("[ok]"), "bounds must hold: {out}");
+        assert!(out.contains("X/W/o"), "gantt legend: {out}");
+    }
+
+    #[test]
+    fn explain_json_is_valid_and_job_count_invariant() {
+        let a = runv(&["explain", "fourslice", "--format", "json", "--seed", "7"]).unwrap();
+        let b = runv(&[
+            "explain", "fourslice", "--format", "json", "--seed", "7", "--jobs", "4",
+        ])
+        .unwrap();
+        assert_eq!(a, b, "explain output must not depend on --jobs");
+        let v = flagsim_telemetry::json::parse(&a).expect("valid JSON");
+        assert!(v.get("whatif").is_some(), "{a}");
+        assert_eq!(
+            v.get("seed").and_then(|s| s.as_f64()),
+            Some(7.0),
+            "{a}"
+        );
+    }
+
+    #[test]
+    fn explain_matches_run_completion() {
+        // `explain` analyzes exactly the run `run` reports: same seed,
+        // same completion header.
+        let run_out = runv(&["run", "4", "--seed", "9"]).unwrap();
+        let explain_out = runv(&["explain", "4", "--seed", "9"]).unwrap();
+        let completion: f64 = run_out
+            .lines()
+            .next()
+            .and_then(|l| l.split("completion ").nth(1))
+            .and_then(|l| l.split('s').next())
+            .and_then(|v| v.parse().ok())
+            .expect("run header has a completion");
+        let makespan: f64 = explain_out
+            .lines()
+            .find_map(|l| l.split("makespan ").nth(1))
+            .and_then(|l| l.split('s').next())
+            .and_then(|v| v.parse().ok())
+            .expect("explain echoes the trace summary");
+        // run prints one decimal, explain three; agree to rounding.
+        assert!(
+            (completion - makespan).abs() < 0.06,
+            "run said {completion}s, explain said {makespan}s"
+        );
+    }
+
+    #[test]
+    fn explain_rejects_bad_input() {
+        assert!(runv(&["explain"]).is_err());
+        assert!(runv(&["explain", "9"]).is_err());
+        assert!(runv(&["explain", "4", "--format", "yaml"]).is_err());
+        assert!(runv(&["explain", "4", "--jobs", "0"]).is_err());
+        assert!(runv(&["explain", "4", "--team", "0"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Live sweep dashboard: an in-place ANSI status panel for
+//! `flagsim sweep --dashboard`.
+//!
+//! While the sweep runs, the panel shows per-worker activity (which
+//! repetition each worker last finished), overall progress, and the
+//! streaming completion-time mean ± 95% CI with a sparkline of the mean's
+//! recent history — read live from the telemetry
+//! [`MetricsRegistry`] gauges that
+//! [`flagsim_core::sweep`]'s collector publishes
+//! (`sweep.completion.mean_s` / `sweep.completion.ci95_s`).
+//!
+//! Everything is drawn on **stderr** so stdout stays machine-readable,
+//! and the in-place redraw (cursor-up escapes) only happens when stderr
+//! is a real terminal; piped or redirected, the dashboard degrades to
+//! occasional plain `sweep: c/t rep(s) done ...` lines — the same shape
+//! `--progress` prints — so CI logs stay diff-friendly.
+
+use flagsim_core::sweep::SweepProgress;
+use flagsim_telemetry::MetricsRegistry;
+use std::io::{IsTerminal, Write as _};
+use std::sync::{Arc, Mutex};
+
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+
+/// How many mean samples the sparkline keeps.
+const HISTORY: usize = 32;
+
+/// Mutable dashboard state behind the [`Dashboard`]'s mutex.
+#[derive(Debug)]
+struct State {
+    /// Last repetition each worker finished (`None` until its first).
+    last_rep: Vec<Option<u64>>,
+    /// Repetitions each worker has finished.
+    per_worker: Vec<u64>,
+    /// Recent history of the streaming mean, for the sparkline.
+    mean_history: Vec<f64>,
+    /// Lines the previous frame drew (0 before the first frame).
+    drawn_lines: usize,
+    /// Completed count at the last plain-mode line.
+    last_plain: u64,
+}
+
+/// A live, in-place progress panel for a sweep. Construct once, hand
+/// [`Dashboard::update`] to [`flagsim_core::sweep::SweepRunner::on_progress`],
+/// and call [`Dashboard::finish`] when the sweep returns.
+#[derive(Debug)]
+pub struct Dashboard {
+    jobs: usize,
+    total: u64,
+    metrics: Arc<MetricsRegistry>,
+    interactive: bool,
+    state: Mutex<State>,
+}
+
+impl Dashboard {
+    /// A dashboard for `jobs` workers over `total` repetitions, reading
+    /// live statistics from `metrics`. Interactive (in-place ANSI
+    /// redraw) exactly when stderr is a terminal.
+    pub fn new(jobs: usize, total: u64, metrics: Arc<MetricsRegistry>) -> Self {
+        Dashboard {
+            jobs: jobs.max(1),
+            total,
+            metrics,
+            interactive: std::io::stderr().is_terminal(),
+            state: Mutex::new(State {
+                last_rep: vec![None; jobs.max(1)],
+                per_worker: vec![0; jobs.max(1)],
+                mean_history: Vec::new(),
+                drawn_lines: 0,
+                last_plain: 0,
+            }),
+        }
+    }
+
+    /// Whether the dashboard will redraw in place (stderr is a TTY) or
+    /// fall back to plain progress lines.
+    pub fn is_interactive(&self) -> bool {
+        self.interactive
+    }
+
+    /// Record one progress snapshot and redraw. Safe to call from the
+    /// sweep's worker threads (the runner already serializes callbacks).
+    pub fn update(&self, p: SweepProgress) {
+        let mut st = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(slot) = st.last_rep.get_mut(p.worker % self.jobs.max(1)) {
+            *slot = Some(p.rep);
+        }
+        if let Some(n) = st.per_worker.get_mut(p.worker % self.jobs.max(1)) {
+            *n += 1;
+        }
+        let mean = self.metrics.gauge("sweep.completion.mean_s").get();
+        if mean > 0.0 {
+            st.mean_history.push(mean);
+            let excess = st.mean_history.len().saturating_sub(HISTORY);
+            if excess > 0 {
+                st.mean_history.drain(..excess);
+            }
+        }
+        if self.interactive {
+            let frame = self.render_frame(&st, &p);
+            let up = st.drawn_lines;
+            st.drawn_lines = frame.lines().count();
+            let mut err = std::io::stderr().lock();
+            if up > 0 {
+                let _ = write!(err, "\x1b[{up}A\r");
+            }
+            // Clear-to-end-of-line on every row so shrinking text never
+            // leaves stale characters behind.
+            let _ = write!(err, "{}", frame.replace('\n', "\x1b[K\n"));
+            let _ = err.flush();
+        } else {
+            // Plain fallback: one line every ~10% (and the final rep),
+            // mirroring --progress so piped output stays log-friendly.
+            let step = (self.total / 10).max(1);
+            if p.completed == p.total || p.completed >= st.last_plain + step {
+                st.last_plain = p.completed;
+                eprintln!(
+                    "sweep: {}/{} rep(s) done, {} failed{}",
+                    p.completed,
+                    p.total,
+                    p.failed,
+                    self.stats_suffix()
+                );
+            }
+        }
+    }
+
+    /// Finish the panel: leave the last frame on screen and move to a
+    /// fresh line (interactive), or print the final plain line.
+    pub fn finish(&self) {
+        let st = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if self.interactive {
+            if st.drawn_lines > 0 {
+                eprintln!();
+            }
+        } else if st.last_plain == 0 {
+            // A sweep short enough that no step line fired still gets
+            // one closing line.
+            eprintln!("sweep: done{}", self.stats_suffix());
+        }
+    }
+
+    /// ` | mean 12.34s ± 0.56s` once the streaming gauges are live.
+    fn stats_suffix(&self) -> String {
+        let mean = self.metrics.gauge("sweep.completion.mean_s").get();
+        if mean <= 0.0 {
+            return String::new();
+        }
+        let ci = self.metrics.gauge("sweep.completion.ci95_s").get();
+        format!(" | mean {mean:.2}s \u{b1} {ci:.2}s")
+    }
+
+    /// One full frame of the interactive panel.
+    fn render_frame(&self, st: &State, p: &SweepProgress) -> String {
+        let mut out = String::new();
+        let filled = (p.completed * 24).checked_div(self.total).unwrap_or(0) as usize;
+        out.push_str(&format!(
+            "sweep [{}{}] {}/{} rep(s), {} failed\n",
+            "#".repeat(filled.min(24)),
+            "-".repeat(24 - filled.min(24)),
+            p.completed,
+            p.total,
+            p.failed,
+        ));
+        for (w, (last, n)) in st.last_rep.iter().zip(&st.per_worker).enumerate() {
+            match last {
+                Some(rep) => out.push_str(&format!(
+                    "  worker {w}: rep {rep:>4} done  ({n} so far)\n"
+                )),
+                None => out.push_str(&format!("  worker {w}: idle\n")),
+            }
+        }
+        out.push_str(&format!(
+            "  completion{}  {}\n",
+            self.stats_suffix(),
+            sparkline(&st.mean_history)
+        ));
+        out
+    }
+}
+
+/// Render `values` as a fixed-height sparkline (empty string for no
+/// data). Scaling is min..max of the window, so the line shows the
+/// streaming mean settling as repetitions accumulate.
+fn sparkline(values: &[f64]) -> String {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if values.is_empty() || !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
+    let span = (hi - lo).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * (SPARKS.len() - 1) as f64).round() as usize;
+            SPARKS[idx.min(SPARKS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(completed: u64, total: u64, worker: usize, rep: u64) -> SweepProgress {
+        SweepProgress {
+            completed,
+            failed: 0,
+            total,
+            worker,
+            rep,
+        }
+    }
+
+    #[test]
+    fn sparkline_scales_between_min_and_max() {
+        let s = sparkline(&[1.0, 2.0, 3.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], SPARKS[0]);
+        assert_eq!(chars[2], SPARKS[7]);
+    }
+
+    #[test]
+    fn sparkline_of_nothing_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_of_constant_series_stays_low() {
+        let s = sparkline(&[5.0, 5.0]);
+        assert!(s.chars().all(|c| c == SPARKS[0]), "{s}");
+    }
+
+    #[test]
+    fn update_tracks_workers_and_history() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.gauge("sweep.completion.mean_s").set(12.5);
+        let dash = Dashboard::new(2, 8, Arc::clone(&metrics));
+        dash.update(progress(1, 8, 0, 0));
+        dash.update(progress(2, 8, 1, 1));
+        dash.update(progress(3, 8, 0, 2));
+        let st = dash.state.lock().unwrap();
+        assert_eq!(st.last_rep, vec![Some(2), Some(1)]);
+        assert_eq!(st.per_worker, vec![2, 1]);
+        assert_eq!(st.mean_history.len(), 3);
+    }
+
+    #[test]
+    fn frame_mentions_every_worker_and_the_bar() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let dash = Dashboard::new(3, 10, metrics);
+        let st = dash.state.lock().unwrap();
+        let frame = dash.render_frame(&st, &progress(5, 10, 0, 4));
+        assert!(frame.contains("5/10"), "{frame}");
+        assert!(frame.contains("worker 0"), "{frame}");
+        assert!(frame.contains("worker 2"), "{frame}");
+        assert!(frame.contains('#'), "{frame}");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.gauge("sweep.completion.mean_s").set(1.0);
+        let dash = Dashboard::new(1, 100, Arc::clone(&metrics));
+        for i in 0..(HISTORY as u64 + 20) {
+            metrics
+                .gauge("sweep.completion.mean_s")
+                .set(1.0 + i as f64);
+            dash.update(progress(i + 1, 100, 0, i));
+        }
+        let st = dash.state.lock().unwrap();
+        assert_eq!(st.mean_history.len(), HISTORY);
+    }
+}

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod dashboard;
 pub mod submission;
 
 pub use commands::{run, CliError};
+pub use dashboard::Dashboard;

@@ -37,6 +37,50 @@ fn run_scenario_exits_zero_with_report() {
 }
 
 #[test]
+fn faults_narrative_lands_on_stderr() {
+    let (stdout, stderr, ok) = flagsim(&[
+        "faults", "3", "--plan", "break:blue@10,dropout:2@20", "--seed", "7",
+    ]);
+    assert!(ok);
+    // stdout: the measurements — header, per-student table, resilience
+    // summary with the overhead total.
+    assert!(stdout.contains("fault(s) planned"), "{stdout}");
+    assert!(stdout.contains("recovery overhead"), "{stdout}");
+    // stderr: the blow-by-blow incident narrative.
+    assert!(stderr.contains("blue implement broke"), "{stderr}");
+    assert!(stderr.contains("dropped out"), "{stderr}");
+    assert!(!stdout.contains("blue implement broke"), "{stdout}");
+}
+
+#[test]
+fn explain_json_round_trips_and_is_seed_stable() {
+    let (a, _, ok_a) = flagsim(&["explain", "fourslice", "--format", "json", "--seed", "7"]);
+    let (b, _, ok_b) = flagsim(&["explain", "fourslice", "--format", "json", "--seed", "7"]);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "explain JSON must be deterministic per seed");
+    assert!(a.trim_start().starts_with('{'), "{a}");
+    assert!(a.contains("\"critical_path\""), "{a}");
+}
+
+#[test]
+fn sweep_dashboard_degrades_to_plain_lines_when_piped() {
+    // The test harness captures stderr through a pipe, so the binary
+    // must take the non-TTY path: plain `sweep: ...` lines, no ANSI
+    // cursor movement, and stdout identical to a dashboard-less sweep.
+    let (stdout, stderr, ok) = flagsim(&[
+        "sweep", "onestripe", "--reps", "4", "--jobs", "2", "--seed", "3", "--dashboard",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("completion"), "{stdout}");
+    assert!(stderr.contains("sweep:"), "fallback lines expected: {stderr}");
+    assert!(!stderr.contains("\x1b["), "no ANSI when piped: {stderr:?}");
+    let (plain, _, _) = flagsim(&[
+        "sweep", "onestripe", "--reps", "4", "--jobs", "2", "--seed", "3",
+    ]);
+    assert_eq!(stdout, plain, "dashboard must not change the numbers");
+}
+
+#[test]
 fn bad_command_exits_nonzero_with_stderr() {
     let (_, stderr, ok) = flagsim(&["frobnicate"]);
     assert!(!ok);

@@ -487,12 +487,26 @@ pub struct ResilienceReport {
 }
 
 impl ResilienceReport {
-    /// Multi-line, human-readable rendering for the debrief.
-    pub fn render(&self) -> String {
+    /// The machine-relevant one-glance part: the plan header and the
+    /// recovery-overhead total. This is what belongs on stdout.
+    pub fn summary(&self) -> String {
         let mut out = format!(
             "resilience: plan \"{}\" ({} fault(s) planned, policy: {})\n",
             self.plan_label, self.faults_planned, self.policy
         );
+        let _ = writeln!(
+            out,
+            "  recovery overhead: {:.1}s{}",
+            self.time_lost_secs,
+            if self.aborted { " (run aborted)" } else { "" }
+        );
+        out
+    }
+
+    /// The blow-by-blow incident log and recovery actions — diagnostic
+    /// narration, which the CLI routes to stderr.
+    pub fn narrative(&self) -> String {
+        let mut out = String::new();
         if self.incidents.is_empty() {
             out.push_str("  no fault actually bit\n");
         }
@@ -502,6 +516,18 @@ impl ResilienceReport {
         for a in &self.actions {
             let _ = writeln!(out, "  -> {a}");
         }
+        out
+    }
+
+    /// Multi-line, human-readable rendering for the debrief:
+    /// [`summary`](Self::summary) header, then the
+    /// [`narrative`](Self::narrative), then the overhead footer.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "resilience: plan \"{}\" ({} fault(s) planned, policy: {})\n",
+            self.plan_label, self.faults_planned, self.policy
+        );
+        out.push_str(&self.narrative());
         let _ = writeln!(
             out,
             "  recovery overhead: {:.1}s{}",

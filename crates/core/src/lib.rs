@@ -27,6 +27,7 @@ pub mod advice;
 pub mod classroom;
 pub mod config;
 pub mod discussion;
+pub mod explain;
 pub mod faults;
 pub mod glossary;
 pub mod layered;
@@ -40,6 +41,7 @@ pub mod sweep;
 pub mod work;
 
 pub use config::{ActivityConfig, ReleasePolicy, TeamKit};
+pub use explain::{explain_report, explain_scenario, Explanation};
 pub use faults::{FaultEvent, FaultPlan, RecoveryPolicy, ResilienceReport};
 pub use partition::{CellOrder, PartitionStrategy};
 pub use report::RunReport;

@@ -164,6 +164,17 @@ impl RunReport {
 
     /// A multi-line breakdown for the post-activity discussion.
     pub fn detail(&self) -> String {
+        let mut out = self.detail_core();
+        if let Some(res) = &self.resilience {
+            out.push_str(&res.render());
+        }
+        out
+    }
+
+    /// [`detail`](Self::detail) minus the resilience block — the part
+    /// that is pure measurement. The CLI uses this for stdout and routes
+    /// the resilience narrative to stderr separately.
+    pub fn detail_core(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -192,9 +203,6 @@ impl RunReport {
                     c.stats.max_queue_len
                 );
             }
-        }
-        if let Some(res) = &self.resilience {
-            out.push_str(&res.render());
         }
         out
     }

@@ -106,6 +106,12 @@ pub struct SweepProgress {
     pub failed: u64,
     /// Total repetitions requested.
     pub total: u64,
+    /// Index of the worker that finished the repetition triggering this
+    /// snapshot (0 on the serial path).
+    pub worker: usize,
+    /// The repetition that worker just finished (not necessarily the
+    /// highest merged index — workers complete out of order).
+    pub rep: u64,
 }
 
 type ProgressFn<'a> = dyn Fn(SweepProgress) + Send + Sync + 'a;
@@ -246,7 +252,9 @@ impl<'a> SweepRunner<'a> {
                 let outcome = self.run_rep(rep);
                 drop(rep_span);
                 collector.accept(rep, outcome);
-                self.emit(collector.snapshot());
+                let mut p = collector.snapshot();
+                p.rep = rep;
+                self.emit(p);
             }
         } else {
             self.run_parallel(jobs, sweep_id, &mut collector);
@@ -332,7 +340,10 @@ impl<'a> SweepRunner<'a> {
                                 s.collector.accept(s.next_emit, ready);
                                 s.next_emit += 1;
                             }
-                            s.collector.snapshot()
+                            let mut p = s.collector.snapshot();
+                            p.worker = w;
+                            p.rep = rep;
+                            p
                         };
                         // Callback outside the lock: a slow observer must
                         // not serialize the workers.
@@ -385,19 +396,30 @@ impl Collector {
 
     /// Fold in one repetition's outcome. Must be called in repetition
     /// order — the reorder buffer guarantees it on the parallel path.
+    /// The streaming accumulators run even in retained mode: they are
+    /// O(1) per repetition and feed the live `sweep.completion.*`
+    /// gauges the dashboard reads mid-sweep.
     fn accept(&mut self, rep: u64, outcome: Result<RunReport, String>) {
         self.completed += 1;
         match outcome {
             Ok(report) => {
                 let completion = report.completion_secs();
                 let wait = report.total_wait_secs();
+                self.completion_stream.push(completion);
+                self.waiting_stream.push(wait);
                 if self.retain {
                     self.completions.push(completion);
                     self.waits.push(wait);
                     self.reports.push(report);
-                } else {
-                    self.completion_stream.push(completion);
-                    self.waiting_stream.push(wait);
+                }
+                if flagsim_telemetry::enabled() {
+                    let stats = self.completion_stream.to_stats();
+                    flagsim_telemetry::gauge_set("sweep.completion.mean_s", stats.mean);
+                    flagsim_telemetry::gauge_set(
+                        "sweep.completion.ci95_s",
+                        stats.ci95_half_width(),
+                    );
+                    flagsim_telemetry::observe("sweep.completion_secs", completion);
                 }
             }
             Err(error) => self.failures.push(SweepFailure { rep, error }),
@@ -409,6 +431,8 @@ impl Collector {
             completed: self.completed,
             failed: self.failures.len() as u64,
             total: self.total,
+            worker: 0,
+            rep: self.completed.saturating_sub(1),
         }
     }
 

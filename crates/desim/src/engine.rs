@@ -479,6 +479,8 @@ impl Engine {
             .iter()
             .map(|r| ResourceReport {
                 label: r.label.clone(),
+                capacity: r.capacity,
+                handoff: r.handoff,
                 stats: r.stats.clone(),
             })
             .collect();

@@ -35,12 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod engine;
 pub mod error;
 pub mod resource;
 pub mod time;
 pub mod trace;
 
+pub use causal::{
+    analyze, blame_table_text, critical_gantt, CausalAnalysis, CriticalKind, CriticalSegment,
+    HolderBlame, ResourceBlame, Segment, SegmentKind, WhatIf,
+};
 pub use engine::{Action, Engine, FnProcess, ProcId, Process};
 pub use error::{SimError, WaitEdge, WaitForGraph};
 pub use resource::ResourceId;

@@ -126,6 +126,10 @@ impl ProcReport {
 pub struct ResourceReport {
     /// Display label.
     pub label: String,
+    /// Number of interchangeable copies in the pool.
+    pub capacity: usize,
+    /// Hand-off latency charged on each contended grant.
+    pub handoff: SimDuration,
     /// Contention statistics.
     pub stats: ResourceStats,
 }
@@ -162,6 +166,14 @@ impl Trace {
         self.procs
             .iter()
             .fold(SimDuration::ZERO, |acc, p| acc + p.waiting)
+    }
+
+    /// Sum of all processes' idle time (lifetime not spent busy or
+    /// waiting) — the third column of the classroom work/wait/idle split.
+    pub fn total_idle(&self) -> SimDuration {
+        self.procs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.idle(self.end_time))
     }
 
     /// Events for one process, in order.
@@ -408,13 +420,110 @@ impl Trace {
     /// A compact one-line summary, e.g. for classroom "times on the board".
     pub fn summary(&self) -> String {
         format!(
-            "makespan {} | work {} | waiting {} | {} procs",
+            "makespan {} | work {} | waiting {} | idle {} | {} procs",
             self.makespan(),
             self.total_busy(),
             self.total_waiting(),
+            self.total_idle(),
             self.procs.len()
         )
     }
+
+    /// Export the simulated timeline as Chrome `trace_event` JSON: one
+    /// track per process (`tid` = process index) under a single
+    /// `"flagsim"` pid, with balanced `B`/`E` pairs for work and wait
+    /// phases and `"M"`-phase `process_name`/`thread_name` metadata so
+    /// Perfetto / `chrome://tracing` show student names instead of bare
+    /// thread ids. Times are in microseconds as the format requires.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("[\n");
+        let us = |ms: u64| ms * 1000;
+        // Metadata first: process + one thread_name per process.
+        out.push_str(
+            "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"flagsim\"}}",
+        );
+        for (idx, p) in self.procs.iter().enumerate() {
+            let _ = write!(
+                out,
+                ",\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{idx},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string_basic(&p.name)
+            );
+        }
+        for (idx, _) in self.procs.iter().enumerate() {
+            let pid = ProcId(idx as u32);
+            let mut blocked_since: Option<(u64, usize)> = None;
+            for e in self.events_for(pid) {
+                match e.kind {
+                    EventKind::WorkStart { dur } => {
+                        let _ = write!(
+                            out,
+                            ",\n  {{\"name\":\"work\",\"cat\":\"sim\",\"ph\":\"B\",\
+                             \"pid\":1,\"tid\":{idx},\"ts\":{}}}",
+                            us(e.time.millis())
+                        );
+                        let _ = write!(
+                            out,
+                            ",\n  {{\"name\":\"work\",\"cat\":\"sim\",\"ph\":\"E\",\
+                             \"pid\":1,\"tid\":{idx},\"ts\":{}}}",
+                            us(e.time.millis() + dur.millis())
+                        );
+                    }
+                    EventKind::Blocked(r) => blocked_since = Some((e.time.millis(), r.index())),
+                    EventKind::Acquired(_) => {
+                        if let Some((since, ri)) = blocked_since.take() {
+                            let label = self
+                                .resources
+                                .get(ri)
+                                .map(|r| r.label.as_str())
+                                .unwrap_or("resource");
+                            let _ = write!(
+                                out,
+                                ",\n  {{\"name\":{},\"cat\":\"wait\",\"ph\":\"B\",\
+                                 \"pid\":1,\"tid\":{idx},\"ts\":{}}}",
+                                json_string_basic(&format!("wait: {label}")),
+                                us(since)
+                            );
+                            let _ = write!(
+                                out,
+                                ",\n  {{\"name\":{},\"cat\":\"wait\",\"ph\":\"E\",\
+                                 \"pid\":1,\"tid\":{idx},\"ts\":{}}}",
+                                json_string_basic(&format!("wait: {label}")),
+                                us(e.time.millis())
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Minimal JSON string quoting for trace export (escapes quotes,
+/// backslashes, and control characters). Kept local so desim stays
+/// dependency-free; `telemetry::json` validates the result in tests.
+fn json_string_basic(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -545,10 +654,34 @@ mod tests {
         assert!(t.summary().contains("makespan 0.100s"));
     }
 
+    #[test]
+    fn summary_includes_idle_total() {
+        let t = sample_trace();
+        // P1 idle 20ms (100 lifetime − 60 busy − 20 wait); P2 finished
+        // at 50 with 50 busy, so 0 idle within its lifetime.
+        assert_eq!(t.total_idle(), SimDuration(20));
+        assert!(t.summary().contains("idle 0.020s"), "{}", t.summary());
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_balanced_phases() {
+        let t = trace_with_resource();
+        let json = t.chrome_trace();
+        assert!(json.contains("\"process_name\""), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"name\":\"P1\""), "{json}");
+        assert!(json.contains("wait: red marker"), "{json}");
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e, "balanced begin/end: {json}");
+    }
+
     fn trace_with_resource() -> Trace {
         let mut t = sample_trace();
         t.resources = vec![ResourceReport {
             label: "red marker".into(),
+            capacity: 1,
+            handoff: SimDuration(0),
             stats: Default::default(),
         }];
         // P1 acquires at 80 and never releases (runs to end at 100).
