@@ -13,6 +13,7 @@ use flagsim_core::slides;
 use flagsim_core::work::PreparedFlag;
 use flagsim_core::TeamKit;
 use flagsim_flags::{library, FlagSpec};
+use flagsim_simcheck as simcheck;
 use flagsim_grid::render;
 use flagsim_taskgraph::{analysis, classify, list_schedule, Priority};
 use std::fmt::Write as _;
@@ -47,21 +48,27 @@ USAGE:
   flagsim slides [<flag>]
   flagsim run <SCENARIO> [--flag NAME] [--kind KIND]
               [--seed N] [--markers N] [--gantt] [--trace-out FILE]
+              [--no-check]
   flagsim faults <SCENARIO> (--plan SPEC | --random)
                  [--policy rebalance|spare:SECS|abort] [--flag NAME]
-                 [--kind KIND] [--seed N] [--trace-out FILE]
+                 [--kind KIND] [--seed N] [--trace-out FILE] [--no-check]
   flagsim faults --demo-deadlock
   flagsim sweep <SCENARIO> [--reps M] [--jobs N]
                 [--flag NAME] [--kind KIND] [--seed N] [--team N]
                 [--warmup] [--stream] [--progress] [--dashboard]
-                [--trace-out FILE]
+                [--trace-out FILE] [--no-check]
   flagsim explain <SCENARIO> [--format text|json] [--flag NAME]
                   [--kind KIND] [--seed N] [--team N] [--jobs N]
   flagsim profile <SCENARIO> [--out FILE] [--format chrome|folded|table]
                   [--metrics] [--reps M] [--jobs N] [--flag NAME]
                   [--kind KIND] [--seed N]
   flagsim session [--repeat] [--seed N]
-  flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]
+  flagsim check <SCENARIO|FLAG|PLAN|demo-deadlock>
+                [--format text|json] [--deny note|warning|error]
+                [--allow IDS] [--static-only] [--flag NAME] [--kind KIND]
+                [--team N] [--seed N] [--jobs N] [--plan SPEC] [--policy P]
+  flagsim lint <flag|file> [--size WxH] [--format text|json]
+               [--deny note|warning|error] [--allow IDS]
   flagsim graph <flag> [--procs N]
   flagsim grade <file>
   flagsim parse <file>
@@ -99,6 +106,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
         "grade" => cmd_grade(&args[1..]),
         "parse" => cmd_parse(&args[1..]),
@@ -323,6 +331,9 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     let mut team: Vec<StudentProfile> =
         (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
     let kit = TeamKit::uniform(kind, &flag.colors_needed(&[])).with_count_all(markers);
+    if !opts.flag("no-check") {
+        preflight_static(&spec, &flag, &scenario, &kit, size + 1, &cfg, &FaultPlan::none())?;
+    }
     let report = with_optional_trace(opts.value("trace-out"), || {
         scenario
             .run(&flag, &mut team, &kit, &cfg)
@@ -465,6 +476,9 @@ fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     let mut team: Vec<StudentProfile> =
         (1..=size).map(|i| StudentProfile::new(format!("P{i}"))).collect();
     let kit = TeamKit::uniform(kind, &colors);
+    if !opts.flag("no-check") {
+        preflight_static(&spec, &flag, &scenario, &kit, size + 1, &cfg, &plan)?;
+    }
     let report = with_optional_trace(opts.value("trace-out"), || {
         scenario
             .run_with_faults(&flag, &mut team, &kit, &cfg, &plan)
@@ -543,6 +557,9 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     let dashboard = opts.flag("dashboard");
     let trace_out = opts.value("trace-out");
     let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    if !opts.flag("no-check") {
+        preflight_static(&spec, &flag, &scenario, &kit, team + 1, &cfg, &FaultPlan::none())?;
+    }
     let mut runner = SweepRunner::new(&scenario, &flag, &kit, &cfg)
         .team_size(team)
         .warmup(opts.flag("warmup"))
@@ -839,30 +856,272 @@ fn cmd_session(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_check(args: &[String]) -> Result<String, CliError> {
-    use flagsim_core::advice;
-    let opts = parse_opts(args, &["flag", "kind", "team"])?;
-    let Some(which) = opts.positional.first() else {
-        return err("usage: flagsim check <1|2|3|4> [--flag NAME] [--kind KIND] [--team N]");
+/// Parse `--deny LEVEL` / `--allow IDS` / `--format F` shared by `check`
+/// and `lint`.
+fn parse_diag_opts(opts: &Opts) -> Result<(simcheck::Severity, Vec<String>, String), CliError> {
+    let deny_name = opts.value("deny").unwrap_or("error");
+    let Some(deny) = simcheck::Severity::parse(deny_name) else {
+        return err(format!(
+            "unknown --deny level {deny_name:?} (use note, warning, or error)"
+        ));
     };
+    let allow: Vec<String> = opts
+        .value("allow")
+        .map(|s| s.split(',').map(|a| a.trim().to_owned()).collect())
+        .unwrap_or_default();
+    let format = opts.value("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return err(format!("unknown format {format:?} (use text or json)"));
+    }
+    Ok((deny, allow, format.to_owned()))
+}
+
+/// Render a finished report and enforce `--deny`: the report is always
+/// the command's stdout output; when it trips the deny level it is
+/// printed here and the command fails (nonzero exit) with a short
+/// summary on stderr.
+fn finish_report(
+    mut report: simcheck::Report,
+    deny: simcheck::Severity,
+    allow: &[String],
+    format: &str,
+) -> Result<String, CliError> {
+    report.allow(allow);
+    report.sort();
+    let rendered = match format {
+        "json" => {
+            let mut j = report.to_json();
+            j.push('\n');
+            j
+        }
+        _ => report.render_text(),
+    };
+    if report.denies(deny) {
+        print!("{rendered}");
+        return err(format!(
+            "check failed for {}: {}",
+            report.target,
+            report.summary()
+        ));
+    }
+    Ok(rendered)
+}
+
+/// `flagsim check` — the static analyzer front door. The positional
+/// argument picks the target: a scenario (full static checks, the §IV
+/// advice, and — unless `--static-only` — one deterministic run for the
+/// happens-before race analysis), a library flag (spec lints), a fault
+/// plan string (plan validation), or `demo-deadlock` (the lock-order
+/// cycle the drill is built to have).
+fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::sweep::SweepRunner;
+
+    let opts = parse_opts(
+        args,
+        &[
+            "flag", "kind", "team", "seed", "jobs", "plan", "policy", "format", "deny", "allow",
+        ],
+    )?;
+    let Some(what) = opts.positional.first() else {
+        return err(
+            "usage: flagsim check <SCENARIO|FLAG|PLAN|demo-deadlock> \
+             [--format text|json] [--deny note|warning|error] [--allow IDS] \
+             [--static-only] [--flag NAME] [--kind KIND] [--team N] [--seed N] \
+             [--jobs N] [--plan SPEC] [--policy P] [--no-check is for run/sweep/faults]",
+        );
+    };
+    let (deny, allow, format) = parse_diag_opts(&opts)?;
+
+    // Target: the demo-deadlock drill — purely static.
+    if what == "demo-deadlock" {
+        let graph = simcheck::LockOrderGraph::build(&simcheck::demo_deadlock_seqs());
+        let mut report = simcheck::Report::new("demo-deadlock drill");
+        report.extend(graph.diags());
+        return finish_report(report, deny, &allow, &format);
+    }
+
+    // Target: a library flag — spec lints only. (No flag is named like a
+    // scenario token, so this cannot shadow the scenario branch.)
+    if let Some(spec) = library::by_name(what) {
+        let mut report = simcheck::Report::new(format!("flag {}", spec.name));
+        report.extend(simcheck::check_flag_spec(
+            &spec,
+            spec.default_width,
+            spec.default_height,
+        ));
+        return finish_report(report, deny, &allow, &format);
+    }
+
     let spec = match opts.value("flag") {
         Some(name) => find_flag(name)?,
         None => library::mauritius(),
     };
     let flag = PreparedFlag::new(&spec);
-    let scenario = build_scenario(which, &flag)?;
     let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
-    let team: usize = opts
-        .value("team")
-        .unwrap_or("5")
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
         .parse()
         .map_err(|_| CliError {
-            message: "bad --team".into(),
+            message: "bad --seed".into(),
         })?;
-    let cfg = ActivityConfig::default();
-    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
-    let results = advice::preflight(&flag, &scenario, &kit, team, &cfg);
-    Ok(advice::render_checklist(&results))
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let mut plan = match opts.value("plan") {
+        Some(s) => FaultPlan::parse(s, "cli plan").map_err(|message| CliError { message })?,
+        None => FaultPlan::none(),
+    };
+    if let Some(p) = opts.value("policy") {
+        plan = plan.with_policy(parse_policy(p)?);
+    }
+
+    // Target: a bare fault-plan string — validate it against the team
+    // and colors the options describe (defaults: scenario 4's four
+    // coloring students on Mauritius). Scenario tokens contain neither
+    // ':' nor '@', so this cannot shadow the scenario branch either.
+    if what.contains(':') || what.contains('@') {
+        let mut plan =
+            FaultPlan::parse(what, "cli plan").map_err(|message| CliError { message })?;
+        if let Some(p) = opts.value("policy") {
+            plan = plan.with_policy(parse_policy(p)?);
+        }
+        let coloring: usize = match opts.value("team") {
+            Some(t) => t.parse().map_err(|_| CliError {
+                message: "bad --team".into(),
+            })?,
+            None => 4,
+        };
+        let mut report = simcheck::Report::new(format!("fault plan {what:?}"));
+        report.extend(simcheck::check_fault_plan(
+            &plan,
+            coloring,
+            &flag.colors_needed(&cfg.skip_colors),
+            &kit,
+        ));
+        return finish_report(report, deny, &allow, &format);
+    }
+
+    // Target: a scenario — the full battery.
+    let scenario = build_scenario(what, &flag)?;
+    let team: usize = match opts.value("team") {
+        Some(t) => t.parse().map_err(|_| CliError {
+            message: "bad --team".into(),
+        })?,
+        None => scenario.team_size(&flag, &cfg).max(1) + 1, // + the timer
+    };
+    let target = simcheck::CheckTarget {
+        spec: &spec,
+        flag: &flag,
+        scenario: &scenario,
+        kit: &kit,
+        team_size: team,
+        config: &cfg,
+        plan: &plan,
+    };
+    let mut report = simcheck::full_report(&target);
+    if !opts.flag("static-only") {
+        // One deterministic repetition through the sweep runner: rep 0
+        // derives the same seed on any job count, so `--jobs` can never
+        // change the findings (asserted byte-for-byte in the tests).
+        let jobs: usize = opts
+            .value("jobs")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| CliError {
+                message: "bad --jobs".into(),
+            })?;
+        if jobs == 0 {
+            return err("--jobs must be at least 1");
+        }
+        // Chatter to stderr: stdout is the report.
+        eprintln!(
+            "check: running {} once (seed {seed}) for happens-before analysis",
+            scenario.name
+        );
+        let run = SweepRunner::new(&scenario, &flag, &kit, &cfg)
+            .team_size(scenario.team_size(&flag, &cfg).min(team))
+            .reps(1)
+            .jobs(jobs)
+            .plan(&plan)
+            .retain_reports(true)
+            .run();
+        match run {
+            Ok(result) if !result.reports.is_empty() => {
+                report.extend(simcheck::check_run(&result.reports[0]).diags());
+                report.sort();
+            }
+            Ok(_) | Err(_) => {
+                eprintln!(
+                    "check: the observation run failed — static findings only \
+                     (they usually explain why)"
+                );
+            }
+        }
+    }
+    finish_report(report, deny, &allow, &format)
+}
+
+/// `flagsim lint` — flag-spec lints for a library flag or a custom flag
+/// file, through the same diagnostics framework as `check`.
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["size", "format", "deny", "allow"])?;
+    let Some(name) = opts.positional.first() else {
+        return err(
+            "usage: flagsim lint <flag|file> [--size WxH] [--format text|json] \
+             [--deny note|warning|error] [--allow IDS]",
+        );
+    };
+    let (deny, allow, format) = parse_diag_opts(&opts)?;
+    let spec = match library::by_name(name) {
+        Some(spec) => spec,
+        None => {
+            let text = std::fs::read_to_string(name).map_err(|e| CliError {
+                message: format!("{name:?} is not a library flag and cannot be read: {e}"),
+            })?;
+            flagsim_flags::parse(&text).map_err(|e| CliError {
+                message: e.to_string(),
+            })?
+        }
+    };
+    let (w, h) = match opts.value("size") {
+        Some(s) => parse_size(s)?,
+        None => (spec.default_width, spec.default_height),
+    };
+    let mut report = simcheck::Report::new(format!("flag {} at {w}x{h}", spec.name));
+    report.extend(simcheck::from_flag_lints(&flagsim_flags::lint_at(&spec, w, h)));
+    finish_report(report, deny, &allow, &format)
+}
+
+/// Static preflight for `run`/`sweep`/`faults`: the same checks as
+/// `flagsim check --static-only` minus the advisory `SC4xx` checklist,
+/// failing only on Error-level findings. `--no-check` skips it.
+fn preflight_static(
+    spec: &FlagSpec,
+    flag: &PreparedFlag,
+    scenario: &Scenario,
+    kit: &TeamKit,
+    team_size: usize,
+    cfg: &ActivityConfig,
+    plan: &FaultPlan,
+) -> Result<(), CliError> {
+    let report = simcheck::static_report(&simcheck::CheckTarget {
+        spec,
+        flag,
+        scenario,
+        kit,
+        team_size,
+        config: cfg,
+        plan,
+    });
+    let (errors, _, _) = report.counts();
+    if errors > 0 {
+        return err(format!(
+            "preflight: {errors} error-level finding(s) — the run cannot work as \
+             configured (re-run with --no-check to try anyway)\n{}",
+            report.render_text()
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_graph(args: &[String]) -> Result<String, CliError> {
@@ -1431,14 +1690,133 @@ mod tests {
     }
 
     #[test]
-    fn check_runs_the_preflight() {
-        let out = runv(&["check", "4"]).unwrap();
-        assert!(out.contains("Dry-run checklist"));
-        assert!(out.contains("overall: Pass"));
-        let crayons = runv(&["check", "4", "--kind", "crayon"]).unwrap();
-        assert!(crayons.contains("overall: Warning"));
-        let small = runv(&["check", "4", "--team", "2"]).unwrap();
-        assert!(small.contains("overall: Blocker"));
+    fn check_scenario_reports_clean_and_warns() {
+        // A clean scenario: no error-level findings, exit Ok.
+        let out = runv(&["check", "4", "--seed", "7"]).unwrap();
+        assert!(out.contains("check:"), "{out}");
+        assert!(!out.contains("error["), "{out}");
+        // Crayons are a warning (SC403) but not a deny at the default
+        // --deny error…
+        let crayons = runv(&["check", "4", "--kind", "crayon", "--seed", "7"]).unwrap();
+        assert!(crayons.contains("warning[SC403]"), "{crayons}");
+        // …and do fail under --deny warning.
+        let e = runv(&[
+            "check", "4", "--kind", "crayon", "--seed", "7", "--deny", "warning",
+        ])
+        .unwrap_err();
+        assert!(e.message.contains("check failed"), "{e}");
+        // An under-staffed team is an error (SC404) and denies by default.
+        let e = runv(&["check", "4", "--team", "2", "--seed", "7"]).unwrap_err();
+        assert!(e.message.contains("check failed"), "{e}");
+    }
+
+    #[test]
+    fn check_every_builtin_scenario_is_error_free() {
+        for s in ["1", "2", "3", "4", "pipelined", "alternating"] {
+            let out = runv(&["check", s, "--seed", "7"]).unwrap();
+            assert!(!out.contains("error["), "{s}: {out}");
+        }
+    }
+
+    #[test]
+    fn check_demo_deadlock_finds_the_lock_order_cycle() {
+        let e = runv(&["check", "demo-deadlock"]).unwrap_err();
+        assert!(e.message.contains("1 error(s)"), "{e}");
+        // The diagnostics themselves went to stdout; the summary names
+        // the target.
+        assert!(e.message.contains("demo-deadlock"), "{e}");
+        // Allow-listing the cycle turns the drill green.
+        let out = runv(&["check", "demo-deadlock", "--allow", "SC204"]).unwrap();
+        assert!(out.contains("no findings"), "{out}");
+        // JSON rendering carries the cycle and parses.
+        let e = runv(&["check", "demo-deadlock", "--format", "json"]).unwrap_err();
+        assert!(e.message.contains("check failed"), "{e}");
+    }
+
+    #[test]
+    fn check_flag_and_plan_targets() {
+        // A library flag target: spec lints only.
+        let out = runv(&["check", "mauritius"]).unwrap();
+        assert!(out.contains("flag Mauritius"), "{out}");
+        // A fault-plan target: validated without running anything.
+        let e = runv(&["check", "dropout:9@10"]).unwrap_err();
+        assert!(e.message.contains("check failed"), "targets student 9 of 4: {e}");
+        let out = runv(&["check", "break:red@30,bell@120"]).unwrap();
+        assert!(!out.contains("error["), "{out}");
+        // Nonsense plan strings are parse errors, not findings.
+        assert!(runv(&["check", "explode:now@5"]).is_err());
+    }
+
+    #[test]
+    fn check_static_only_skips_the_observation_run() {
+        let out = runv(&["check", "4", "--static-only"]).unwrap();
+        assert!(out.contains("check:"), "{out}");
+        assert!(!out.contains("error["), "{out}");
+    }
+
+    #[test]
+    fn check_json_is_identical_across_job_counts() {
+        let one = runv(&[
+            "check", "4", "--format", "json", "--seed", "7", "--jobs", "1",
+        ])
+        .unwrap();
+        let four = runv(&[
+            "check", "4", "--format", "json", "--seed", "7", "--jobs", "4",
+        ])
+        .unwrap();
+        assert_eq!(one, four, "--jobs must never change the findings");
+        let v = flagsim_telemetry::json::parse(&one).expect("valid JSON");
+        assert!(v.get("counts").is_some());
+        assert!(v.get("diagnostics").and_then(|d| d.as_array()).is_some());
+    }
+
+    #[test]
+    fn check_rejects_bad_input() {
+        assert!(runv(&["check"]).is_err());
+        assert!(runv(&["check", "4", "--deny", "fatal"]).is_err());
+        assert!(runv(&["check", "4", "--format", "xml"]).is_err());
+        assert!(runv(&["check", "narnia"]).is_err());
+        assert!(runv(&["check", "4", "--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn lint_reports_flag_spec_diagnostics() {
+        // Library flags are clean at their recommended raster.
+        let out = runv(&["lint", "mauritius"]).unwrap();
+        assert!(out.contains("no findings"), "{out}");
+        // The same flag at a coarse raster loses stripes: SC102 warnings
+        // that trip --deny warning…
+        let out = runv(&["lint", "mauritius", "--size", "2x2"]).unwrap();
+        assert!(out.contains("warning[SC102]"), "{out}");
+        let e = runv(&["lint", "mauritius", "--size", "2x2", "--deny", "warning"])
+            .unwrap_err();
+        assert!(e.message.contains("check failed"), "{e}");
+        // …unless the allow-list waves them through.
+        let out = runv(&[
+            "lint", "mauritius", "--size", "2x2", "--deny", "warning", "--allow", "SC102",
+        ])
+        .unwrap();
+        assert!(out.contains("flag Mauritius at 2x2"), "{out}");
+        // JSON mode parses.
+        let out = runv(&["lint", "poland", "--format", "json"]).unwrap();
+        assert!(flagsim_telemetry::json::parse(&out).is_ok(), "{out}");
+        // Unknown flags that are also unreadable files error out.
+        assert!(runv(&["lint", "narnia"]).is_err());
+        assert!(runv(&["lint"]).is_err());
+    }
+
+    #[test]
+    fn run_and_sweep_honor_no_check() {
+        // The preflight passes for the built-ins, so --no-check changes
+        // nothing observable here — it must still be accepted.
+        let checked = runv(&["run", "4", "--seed", "7"]).unwrap();
+        let unchecked = runv(&["run", "4", "--seed", "7", "--no-check"]).unwrap();
+        assert_eq!(checked, unchecked);
+        let out = runv(&[
+            "sweep", "3", "--reps", "2", "--jobs", "1", "--no-check", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("rep(s)"), "{out}");
     }
 
     #[test]

@@ -81,6 +81,36 @@ fn sweep_dashboard_degrades_to_plain_lines_when_piped() {
 }
 
 #[test]
+fn check_json_on_stdout_parses_with_chatter_on_stderr() {
+    // `flagsim check 4 --format json > report.json` must yield pure
+    // JSON: the report on stdout, every progress line on stderr.
+    let (stdout, stderr, ok) = flagsim(&["check", "4", "--format", "json", "--seed", "7"]);
+    assert!(ok, "{stderr}");
+    let v = flagsim_telemetry::json::parse(&stdout)
+        .unwrap_or_else(|e| panic!("stdout is not valid JSON ({e}):\n{stdout}"));
+    assert!(v.get("diagnostics").and_then(|d| d.as_array()).is_some());
+    assert_eq!(
+        v.get("counts").and_then(|c| c.get("error")).and_then(|e| e.as_f64()),
+        Some(0.0),
+        "{stdout}"
+    );
+    // The observation-run announcement is chatter, not output.
+    assert!(stderr.contains("check:"), "{stderr}");
+    assert!(!stdout.contains("happens-before analysis"), "{stdout}");
+}
+
+#[test]
+fn check_deny_exits_nonzero_with_diagnostics_on_stdout() {
+    // A denied check still prints the full report to stdout (so CI can
+    // archive it) and fails with a short summary on stderr.
+    let (stdout, stderr, ok) = flagsim(&["check", "demo-deadlock"]);
+    assert!(!ok);
+    assert!(stdout.contains("error[SC204]"), "{stdout}");
+    assert!(stdout.contains("lock-order cycle"), "{stdout}");
+    assert!(stderr.contains("check failed"), "{stderr}");
+}
+
+#[test]
 fn bad_command_exits_nonzero_with_stderr() {
     let (_, stderr, ok) = flagsim(&["frobnicate"]);
     assert!(!ok);

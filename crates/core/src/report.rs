@@ -61,6 +61,12 @@ pub struct RunReport {
     pub resilience: Option<ResilienceReport>,
     /// The raw engine trace (Gantt, event log).
     pub trace: Trace,
+    /// Per-student cells in the order their coloring *started* — the
+    /// `k`-th entry of `cell_log[i]` is the cell behind student `i`'s
+    /// `k`-th `WorkStart` trace event. Unlike the static assignments this
+    /// includes adopted orphan work and the cell cut off by a bell, so a
+    /// race detector can map trace events back to grid cells.
+    pub cell_log: Vec<Vec<crate::work::WorkItem>>,
 }
 
 impl RunReport {
@@ -237,6 +243,7 @@ mod tests {
                 resources: vec![],
                 events: vec![],
             },
+            cell_log: vec![],
         }
     }
 

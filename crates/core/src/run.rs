@@ -472,6 +472,7 @@ pub fn run_activity_with_faults(
             grid.paint(item.cell, item.color);
         }
     }
+    let cell_log = state.started.clone();
     let correct = grid.iter().all(|(id, got)| {
         let want = flag.reference.get(id);
         if config.skip_colors.contains(&want) {
@@ -580,6 +581,7 @@ pub fn run_activity_with_faults(
         breakages,
         resilience,
         trace,
+        cell_log,
     })
 }
 

@@ -345,6 +345,100 @@ pub fn build_timelines(trace: &Trace) -> Vec<Vec<Segment>> {
         .collect()
 }
 
+/// One synchronization edge recovered from the event log: the `to`
+/// process's `Acquired` happens-after the `from` process's `Released` on
+/// the same resource.
+///
+/// Two flavours:
+///
+/// * **Contended hand-off** (`contended: true`) — the engine logs a
+///   waiter's `Acquired` at the instant the holder's `Released` is
+///   processed, so the same-timestamp pairing (the one
+///   [`build_timelines`] uses for blame) identifies the exact releaser.
+/// * **Uncontended re-acquire** (`contended: false`) — the resource sat
+///   free between the release and the grant. Only emitted for
+///   capacity-1 resources: with one copy, whoever acquires next is
+///   ordered after the previous release (mutex semantics). For pools
+///   with several interchangeable copies the engine does not track which
+///   copy a grant hands over, so no edge is claimed — under-approximating
+///   the happens-before order rather than inventing edges that would
+///   hide races.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncEdge {
+    /// The resource the edge travels through.
+    pub resource: ResourceId,
+    /// The releasing process.
+    pub from: ProcId,
+    /// When `from` released.
+    pub released_at: SimTime,
+    /// The acquiring process.
+    pub to: ProcId,
+    /// When `to`'s grant was logged.
+    pub acquired_at: SimTime,
+    /// True for a same-timestamp hand-off to a blocked waiter.
+    pub contended: bool,
+}
+
+/// Extract every synchronization edge from a trace, in event-log order.
+///
+/// This is the happens-before substrate race detectors build vector
+/// clocks on: program order within each process plus these cross-process
+/// edges is the full ordering the simulation guarantees.
+pub fn sync_edges(trace: &Trace) -> Vec<SyncEdge> {
+    let nprocs = trace.procs.len();
+    let mut last_released_by: Vec<Option<(ProcId, SimTime)>> =
+        vec![None; trace.resources.len()];
+    let mut pending_block: Vec<Option<ResourceId>> = vec![None; nprocs];
+    let mut out = Vec::new();
+
+    for e in &trace.events {
+        let pi = e.proc.index();
+        if pi >= nprocs {
+            continue;
+        }
+        match e.kind {
+            EventKind::Blocked(r) => pending_block[pi] = Some(r),
+            EventKind::Acquired(r) => {
+                let was_blocked = pending_block[pi].take().is_some_and(|br| br == r);
+                let last = last_released_by.get(r.index()).copied().flatten();
+                let capacity = trace.resources.get(r.index()).map_or(1, |res| res.capacity);
+                let edge = if was_blocked {
+                    // Contended grant: the engine logged this `Acquired`
+                    // while processing the releaser's `Released`, so the
+                    // timestamps match exactly.
+                    last.filter(|&(_, rel)| rel == e.time).map(|(from, rel)| SyncEdge {
+                        resource: r,
+                        from,
+                        released_at: rel,
+                        to: e.proc,
+                        acquired_at: e.time,
+                        contended: true,
+                    })
+                } else if capacity == 1 {
+                    last.map(|(from, rel)| SyncEdge {
+                        resource: r,
+                        from,
+                        released_at: rel,
+                        to: e.proc,
+                        acquired_at: e.time,
+                        contended: false,
+                    })
+                } else {
+                    None
+                };
+                out.extend(edge);
+            }
+            EventKind::Released(r) => {
+                if let Some(slot) = last_released_by.get_mut(r.index()) {
+                    *slot = Some((e.proc, e.time));
+                }
+            }
+            EventKind::WorkStart { .. } | EventKind::Finished => {}
+        }
+    }
+    out
+}
+
 /// Walk backward from the makespan-defining finish, producing the
 /// executed critical path in chronological order.
 fn walk_critical_path(trace: &Trace, timelines: &[Vec<Segment>]) -> Vec<CriticalSegment> {
@@ -765,6 +859,59 @@ mod tests {
         } else {
             unreachable!("wait must carry a hand-off edge: {:?}", waits[0]);
         }
+    }
+
+    #[test]
+    fn sync_edges_pair_contended_handoffs() {
+        let trace = contended_trace();
+        let edges = sync_edges(&trace);
+        // B's grant is a contended hand-off from A at A's release time;
+        // no other cross-process order exists.
+        let contended: Vec<&SyncEdge> = edges.iter().filter(|e| e.contended).collect();
+        assert_eq!(contended.len(), 1, "{edges:?}");
+        let e = contended[0];
+        assert_ne!(e.from, e.to);
+        assert_eq!(e.released_at, e.acquired_at);
+    }
+
+    #[test]
+    fn sync_edges_order_uncontended_mutex_reuse_but_not_pools() {
+        // One capacity-1 resource reused without overlap -> an
+        // uncontended edge; one capacity-2 pool grabbed by both at once
+        // -> no edge (copy identity unknown).
+        let mut eng = Engine::new();
+        let mutex = eng.add_resource("mutex", SimDuration::ZERO);
+        let pool = eng.add_resource_pool("pool", 2, SimDuration::ZERO);
+        for (name, delay) in [("first", 0u64), ("second", 100)] {
+            let mut step = 0;
+            eng.add_process(Box::new(FnProcess::new(name, move |now| {
+                step += 1;
+                match step {
+                    1 if delay > 0 && now < SimTime(delay) => {
+                        step = 0;
+                        Action::WaitUntil(SimTime(delay))
+                    }
+                    1 => Action::Acquire(pool),
+                    2 => Action::Acquire(mutex),
+                    3 => Action::Work(SimDuration::from_millis(10)),
+                    4 => Action::Release(mutex),
+                    5 => Action::Release(pool),
+                    _ => Action::Done,
+                }
+            })));
+        }
+        let trace = eng.run();
+        let edges = sync_edges(&trace);
+        assert!(
+            edges.iter().all(|e| e.resource == mutex),
+            "pool grants must not claim order: {edges:?}"
+        );
+        // `second` starts at t=100, well after `first` released at t=10:
+        // an uncontended mutex edge first -> second.
+        assert!(
+            edges.iter().any(|e| !e.contended && e.from != e.to),
+            "expected an uncontended mutex edge: {edges:?}"
+        );
     }
 
     #[test]

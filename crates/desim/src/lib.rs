@@ -43,8 +43,8 @@ pub mod time;
 pub mod trace;
 
 pub use causal::{
-    analyze, blame_table_text, critical_gantt, CausalAnalysis, CriticalKind, CriticalSegment,
-    HolderBlame, ResourceBlame, Segment, SegmentKind, WhatIf,
+    analyze, blame_table_text, critical_gantt, sync_edges, CausalAnalysis, CriticalKind,
+    CriticalSegment, HolderBlame, ResourceBlame, Segment, SegmentKind, SyncEdge, WhatIf,
 };
 pub use engine::{Action, Engine, FnProcess, ProcId, Process};
 pub use error::{SimError, WaitEdge, WaitForGraph};

@@ -31,7 +31,7 @@ pub mod shape;
 pub mod spec;
 
 pub use layer::Layer;
-pub use lint::{lint, render_lints, Lint, LintLevel};
+pub use lint::{lint, lint_at, render_lints, Lint, LintLevel};
 pub use parse::{parse, to_text, ParseError};
 pub use shape::Shape;
 pub use spec::FlagSpec;

@@ -2,24 +2,46 @@
 //!
 //! Custom flags arrive via the text DSL; before an instructor prints 30
 //! handouts, lint the spec: invisible layers (fully overpainted — wasted
-//! coloring), empty layers (shapes that miss every cell at the default
-//! raster), out-of-unit-square geometry, and blank cells (regions no
-//! layer covers, fine only if that's the intended paper-white).
+//! coloring), empty layers (shapes that miss every cell at the raster),
+//! out-of-unit-square geometry, and blank cells (regions no layer
+//! covers, fine only if that's the intended paper-white).
+//!
+//! Findings carry **stable lint IDs** (`SC1xx`, the flag-spec block of
+//! the `simcheck` diagnostics catalog) and one of three severities, so
+//! the same lints flow through `flagsim lint`, `flagsim check`, and CI
+//! unchanged:
+//!
+//! | id    | level   | finding                                          |
+//! |-------|---------|--------------------------------------------------|
+//! | SC101 | error   | the flag paints no cells at all at this raster   |
+//! | SC102 | warning | a layer paints no cells                          |
+//! | SC103 | warning | a layer is completely overpainted                |
+//! | SC104 | note    | heavy overpainting (under ¼ of painted visible)  |
+//! | SC105 | note    | blank cells (no layer covers them)               |
+//!
+//! [`lint`] checks at the spec's recommended raster; [`lint_at`] checks
+//! at any raster — a scenario that rasterizes the flag at a different
+//! size can hit `SC102` even when the default size is clean (a thin
+//! stripe can fall between cell centers of a coarser grid).
 
 use crate::FlagSpec;
 
 /// Lint severities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LintLevel {
-    /// Probably a mistake.
-    Warning,
     /// Worth knowing, often intentional.
     Note,
+    /// Probably a mistake.
+    Warning,
+    /// The flag cannot be used for the activity as specified.
+    Error,
 }
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lint {
+    /// Stable catalog ID ("SC102").
+    pub id: &'static str,
     /// Severity.
     pub level: LintLevel,
     /// Layer index the finding concerns (None = whole flag).
@@ -28,17 +50,25 @@ pub struct Lint {
     pub message: String,
 }
 
-/// Lint a flag at its default raster size.
+/// Lint a flag at its recommended raster size.
 pub fn lint(flag: &FlagSpec) -> Vec<Lint> {
+    lint_at(flag, flag.default_width, flag.default_height)
+}
+
+/// Lint a flag at an explicit raster size — the size a scenario will
+/// actually rasterize it at, which may differ from the recommended one.
+pub fn lint_at(flag: &FlagSpec, w: u32, h: u32) -> Vec<Lint> {
     let mut out = Vec::new();
-    let (w, h) = (flag.default_width, flag.default_height);
+    let mut total_visible = 0usize;
 
     for li in 0..flag.layer_count() {
         let painted = flag.layer_cells_at(li, w, h);
         let visible = flag.visible_cells_at(li, w, h);
+        total_visible += visible.len();
         let name = &flag.layers[li].name;
         if painted.is_empty() {
             out.push(Lint {
+                id: "SC102",
                 level: LintLevel::Warning,
                 layer: Some(li),
                 message: format!(
@@ -48,6 +78,7 @@ pub fn lint(flag: &FlagSpec) -> Vec<Lint> {
             });
         } else if visible.is_empty() {
             out.push(Lint {
+                id: "SC103",
                 level: LintLevel::Warning,
                 layer: Some(li),
                 message: format!(
@@ -58,6 +89,7 @@ pub fn lint(flag: &FlagSpec) -> Vec<Lint> {
             });
         } else if visible.len() * 4 < painted.len() {
             out.push(Lint {
+                id: "SC104",
                 level: LintLevel::Note,
                 layer: Some(li),
                 message: format!(
@@ -70,9 +102,20 @@ pub fn lint(flag: &FlagSpec) -> Vec<Lint> {
         }
     }
 
-    let blank = (w as usize * h as usize) - flag.painted_region().len();
-    if blank > 0 {
+    if total_visible == 0 {
         out.push(Lint {
+            id: "SC101",
+            level: LintLevel::Error,
+            layer: None,
+            message: format!(
+                "the flag paints no cells at all at {w}x{h} — there is nothing to color"
+            ),
+        });
+    }
+    let blank = (w as usize * h as usize) - total_visible;
+    if blank > 0 && total_visible > 0 {
+        out.push(Lint {
+            id: "SC105",
             level: LintLevel::Note,
             layer: None,
             message: format!(
@@ -93,10 +136,11 @@ pub fn render_lints(lints: &[Lint]) -> String {
     let mut out = String::new();
     for l in lints {
         let tag = match l.level {
+            LintLevel::Error => "error",
             LintLevel::Warning => "warning",
             LintLevel::Note => "note",
         };
-        let _ = writeln!(out, "{tag}: {}", l.message);
+        let _ = writeln!(out, "{tag}[{}]: {}", l.id, l.message);
     }
     out
 }
@@ -113,7 +157,7 @@ mod tests {
         for flag in library::all() {
             let warnings: Vec<_> = lint(&flag)
                 .into_iter()
-                .filter(|l| l.level == LintLevel::Warning)
+                .filter(|l| l.level >= LintLevel::Warning)
                 .collect();
             assert!(warnings.is_empty(), "{}: {warnings:?}", flag.name);
         }
@@ -133,7 +177,9 @@ mod tests {
         let lints = lint(&flag);
         assert!(lints
             .iter()
-            .any(|l| l.level == LintLevel::Warning && l.message.contains("overpainted")));
+            .any(|l| l.id == "SC103"
+                && l.level == LintLevel::Warning
+                && l.message.contains("overpainted")));
     }
 
     #[test]
@@ -158,7 +204,66 @@ mod tests {
         let lints = lint(&flag);
         assert!(lints
             .iter()
-            .any(|l| l.level == LintLevel::Warning && l.message.contains("paints no cells")));
+            .any(|l| l.id == "SC102" && l.message.contains("paints no cells")));
+    }
+
+    #[test]
+    fn nothing_to_color_is_an_error() {
+        let flag = FlagSpec::new(
+            "void",
+            4,
+            4,
+            vec![Layer::new(
+                "speck",
+                Color::Red,
+                Shape::Disc {
+                    center: pt(0.5, 0.5),
+                    r: 0.001,
+                    aspect: 1.0,
+                },
+            )],
+        );
+        let lints = lint(&flag);
+        assert!(
+            lints.iter().any(|l| l.id == "SC101" && l.level == LintLevel::Error),
+            "{lints:?}"
+        );
+        assert!(render_lints(&lints).contains("error[SC101]"));
+    }
+
+    #[test]
+    fn raster_size_changes_the_verdict() {
+        // A narrow vertical stripe around x=0.5: the recommended 12-wide
+        // raster has cell centers inside it (0.458, 0.542), but a 2-wide
+        // raster's centers (0.25, 0.75) both miss it — the scenario
+        // raster matters.
+        let flag = FlagSpec::new(
+            "pinstripe",
+            12,
+            4,
+            vec![
+                Layer::new("bg", Color::Blue, Shape::Full),
+                Layer::new(
+                    "stripe",
+                    Color::White,
+                    Shape::Rect {
+                        u0: 0.4,
+                        v0: 0.0,
+                        u1: 0.6,
+                        v1: 1.0,
+                    },
+                ),
+            ],
+        );
+        assert!(
+            !lint(&flag).iter().any(|l| l.id == "SC102"),
+            "clean at the recommended raster"
+        );
+        let coarse = lint_at(&flag, 2, 2);
+        assert!(
+            coarse.iter().any(|l| l.id == "SC102"),
+            "the stripe drops out at 2x2: {coarse:?}"
+        );
     }
 
     #[test]
@@ -181,8 +286,10 @@ mod tests {
         let lints = lint(&flag);
         assert!(lints
             .iter()
-            .any(|l| l.level == LintLevel::Note && l.message.contains("32 cells are blank")));
-        assert!(render_lints(&lints).contains("note:"));
+            .any(|l| l.id == "SC105"
+                && l.level == LintLevel::Note
+                && l.message.contains("32 cells are blank")));
+        assert!(render_lints(&lints).contains("note[SC105]:"));
     }
 
     #[test]

@@ -167,8 +167,7 @@ pub fn verify_partition(whole: &Region, parts: &[Region]) -> Result<(), String> 
             }
         }
     }
-    if seen.len() != whole.len() {
-        let missing = whole.iter().find(|id| !seen.contains(id)).unwrap();
+    if let Some(missing) = whole.iter().find(|id| !seen.contains(id)) {
         return Err(format!("cell {missing} not covered by any part"));
     }
     Ok(())

@@ -1,0 +1,173 @@
+//! The lint catalog: every stable `SC###` ID this crate (or
+//! `flagsim_flags::lint`) can emit, with its default severity and a
+//! one-line description.
+//!
+//! IDs are grouped by analyzer:
+//!
+//! * `SC1xx` — flag-spec lints (emitted by `flagsim_flags::lint`)
+//! * `SC2xx` — static pre-run checks (partition, lock order, fault plan)
+//! * `SC3xx` — dynamic happens-before analysis over a run's trace
+//! * `SC4xx` — the §IV dry-run advice checklist, mapped into the framework
+//!
+//! IDs are append-only: an ID, once shipped, keeps its meaning forever
+//! (allow-lists and CI greps depend on that), and retired IDs are never
+//! reused.
+
+use crate::diag::Severity;
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The stable ID.
+    pub id: &'static str,
+    /// Severity the analyzer assigns by default.
+    pub severity: Severity,
+    /// What the lint means.
+    pub summary: &'static str,
+}
+
+/// Every lint this crate knows about, in ID order.
+pub const CATALOG: &[CatalogEntry] = &[
+    // SC1xx — flag-spec lints.
+    CatalogEntry {
+        id: "SC101",
+        severity: Severity::Error,
+        summary: "the flag paints no cells at all at this raster — nothing to color",
+    },
+    CatalogEntry {
+        id: "SC102",
+        severity: Severity::Warning,
+        summary: "a layer paints no cells at this raster (shape too small or off the flag)",
+    },
+    CatalogEntry {
+        id: "SC103",
+        severity: Severity::Warning,
+        summary: "a layer is completely overpainted by later layers",
+    },
+    CatalogEntry {
+        id: "SC104",
+        severity: Severity::Note,
+        summary: "heavy overpainting: under a quarter of a layer's painted cells stay visible",
+    },
+    CatalogEntry {
+        id: "SC105",
+        severity: Severity::Note,
+        summary: "blank cells no layer covers (fine if paper-white is intended)",
+    },
+    // SC2xx — static pre-run checks.
+    CatalogEntry {
+        id: "SC201",
+        severity: Severity::Error,
+        summary: "partition leaves colorable cells uncovered",
+    },
+    CatalogEntry {
+        id: "SC202",
+        severity: Severity::Error,
+        summary: "a cell is assigned to more than one student",
+    },
+    CatalogEntry {
+        id: "SC203",
+        severity: Severity::Error,
+        summary: "an assignment's color disagrees with the flag's reference raster",
+    },
+    CatalogEntry {
+        id: "SC204",
+        severity: Severity::Error,
+        summary: "the lock-order graph has a cycle — a potential deadlock",
+    },
+    CatalogEntry {
+        id: "SC205",
+        severity: Severity::Note,
+        summary: "a student has an empty assignment (sits the scenario out)",
+    },
+    CatalogEntry {
+        id: "SC210",
+        severity: Severity::Error,
+        summary: "a fault targets a student outside the team",
+    },
+    CatalogEntry {
+        id: "SC211",
+        severity: Severity::Warning,
+        summary: "a fault targets a color the scenario never uses — it can never bite",
+    },
+    CatalogEntry {
+        id: "SC212",
+        severity: Severity::Error,
+        summary: "the recovery policy cannot succeed (every student drops out, nobody left to rebalance onto)",
+    },
+    CatalogEntry {
+        id: "SC213",
+        severity: Severity::Warning,
+        summary: "spare exhaustion: more implement failures of one color than spares on hand",
+    },
+    CatalogEntry {
+        id: "SC214",
+        severity: Severity::Error,
+        summary: "a fault has a nonsensical time (negative, non-finite, or a bell at/before the start)",
+    },
+    // SC3xx — happens-before analysis.
+    CatalogEntry {
+        id: "SC301",
+        severity: Severity::Error,
+        summary: "data race: the same cell written by two students with no happens-before order",
+    },
+    CatalogEntry {
+        id: "SC302",
+        severity: Severity::Note,
+        summary: "acquire-order tie: simultaneous requests resolved only by event-queue insertion order",
+    },
+    // SC4xx — dry-run advice checklist.
+    CatalogEntry {
+        id: "SC401",
+        severity: Severity::Error,
+        summary: "the kit is missing (or has dead) implements for a needed color",
+    },
+    CatalogEntry {
+        id: "SC402",
+        severity: Severity::Warning,
+        summary: "worn implements slow every stroke",
+    },
+    CatalogEntry {
+        id: "SC403",
+        severity: Severity::Warning,
+        summary: "crayons in the kit — expect breakage (the paper's students preferred markers)",
+    },
+    CatalogEntry {
+        id: "SC404",
+        severity: Severity::Error,
+        summary: "the team is too small for the scenario",
+    },
+    CatalogEntry {
+        id: "SC409",
+        severity: Severity::Warning,
+        summary: "other dry-run advice finding",
+    },
+];
+
+/// Look up a catalog entry by ID.
+pub fn describe(id: &str) -> Option<&'static CatalogEntry> {
+    CATALOG.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_sorted_and_well_formed() {
+        for pair in CATALOG.windows(2) {
+            assert!(pair[0].id < pair[1].id, "{} !< {}", pair[0].id, pair[1].id);
+        }
+        for e in CATALOG {
+            assert!(e.id.starts_with("SC") && e.id.len() == 5, "bad id {}", e.id);
+            assert!(e.id[2..].chars().all(|c| c.is_ascii_digit()));
+            assert!(!e.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn describe_finds_known_and_rejects_unknown() {
+        assert_eq!(describe("SC301").map(|e| e.severity), Some(Severity::Error));
+        assert!(describe("SC999").is_none());
+    }
+}

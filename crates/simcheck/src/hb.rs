@@ -1,0 +1,426 @@
+//! Vector-clock happens-before race detection over a `desim` trace.
+//!
+//! The engine guarantees exactly two orderings: program order within
+//! each process, and release-to-acquire synchronization on resources
+//! (recovered by [`flagsim_desim::sync_edges`] — the same
+//! same-timestamp `Released`/`Acquired` hand-off pairing the causal
+//! analyzer uses for blame). Everything else is concurrency the
+//! deterministic event queue merely *hides*: ties between simultaneous
+//! requests are broken by event insertion order, so a student-authored
+//! configuration can look correct on every run while two students'
+//! writes to the same cell have no happens-before order at all.
+//!
+//! This module replays a trace through per-process vector clocks,
+//! joining at every synchronization edge, then checks each pair of
+//! writes to the same grid cell: unordered writes from different
+//! students are **SC301 data races**, reported with both access stacks
+//! and the scheduler tie that hid them. Simultaneous acquire requests
+//! resolved only by insertion order are surfaced as **SC302** notes —
+//! the nondeterminism the paper's scenario 4 is designed to make
+//! students feel.
+
+use crate::diag::{Diag, Severity};
+use flagsim_core::RunReport;
+use flagsim_desim::{sync_edges, EventKind, SimTime, Trace};
+use flagsim_grid::{CellId, Color};
+use std::collections::BTreeMap;
+
+/// One write to a grid cell, recovered from a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellAccess {
+    /// Index of the writing student (trace process index).
+    pub student: usize,
+    /// The student's display name.
+    pub name: String,
+    /// The cell written.
+    pub cell: CellId,
+    /// The color painted.
+    pub color: Color,
+    /// When the coloring stroke started.
+    pub start: SimTime,
+    /// When it ended.
+    pub end: SimTime,
+}
+
+/// Recover every cell write from a finished run by pairing each
+/// student's `WorkStart` trace events (in order) with the run's
+/// [`RunReport::cell_log`] (the cells in start order).
+pub fn cell_accesses(report: &RunReport) -> Vec<CellAccess> {
+    let trace = &report.trace;
+    let n = trace.procs.len();
+    let mut out = Vec::new();
+    let mut seen = vec![0usize; n];
+    for e in &trace.events {
+        let p = e.proc.index();
+        if p >= n {
+            continue;
+        }
+        if let EventKind::WorkStart { dur } = e.kind {
+            let k = seen[p];
+            seen[p] += 1;
+            if let Some(item) = report.cell_log.get(p).and_then(|log| log.get(k)) {
+                out.push(CellAccess {
+                    student: p,
+                    name: trace.procs[p].name.clone(),
+                    cell: item.cell,
+                    color: item.color,
+                    start: e.time,
+                    end: e.time + dur,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A group of simultaneous requests for the same resource whose FIFO
+/// order was decided only by event-queue insertion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcquireTie {
+    /// The contested resource's label.
+    pub resource: String,
+    /// When the simultaneous requests landed.
+    pub at: SimTime,
+    /// The requesting processes, in insertion (= resolution) order.
+    pub procs: Vec<usize>,
+}
+
+/// The race detector's result: the races, the ties, and the clocks that
+/// proved them.
+#[derive(Debug, Clone, Default)]
+pub struct HbAnalysis {
+    /// Unordered conflicting writes, one entry per (cell, student pair).
+    pub races: Vec<Diag>,
+    /// Acquire-order ties (SC302 notes).
+    pub ties: Vec<AcquireTie>,
+}
+
+impl HbAnalysis {
+    /// All findings as diagnostics: races first, then one note per tie.
+    pub fn diags(&self) -> Vec<Diag> {
+        let mut out = self.races.clone();
+        for t in &self.ties {
+            out.push(Diag::new(
+                "SC302",
+                Severity::Note,
+                t.resource.clone(),
+                format!(
+                    "{} processes requested \"{}\" at t={}ms simultaneously; \
+                     FIFO order fell to event-queue insertion order",
+                    t.procs.len(),
+                    t.resource,
+                    t.at.millis()
+                ),
+            ));
+        }
+        out
+    }
+}
+
+fn join(into: &mut [u64], other: &[u64]) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+fn ordered(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) || b.iter().zip(a).all(|(x, y)| x <= y)
+}
+
+/// Run the happens-before analysis: vector clocks over the trace's
+/// program order plus its synchronization edges, then a pairwise check
+/// of `accesses` for unordered same-cell writes.
+pub fn analyze_hb(trace: &Trace, accesses: &[CellAccess]) -> HbAnalysis {
+    let n = trace.procs.len();
+    if n == 0 {
+        return HbAnalysis::default();
+    }
+
+    // Synchronization edges, keyed by the acquiring side.
+    let edges: BTreeMap<(usize, SimTime, usize), (usize, SimTime)> = sync_edges(trace)
+        .into_iter()
+        .map(|e| {
+            (
+                (e.to.index(), e.acquired_at, e.resource.index()),
+                (e.from.index(), e.released_at),
+            )
+        })
+        .collect();
+
+    let mut vc: Vec<Vec<u64>> = vec![vec![0; n]; n];
+    // Clock snapshot at each release, keyed by (proc, time, resource).
+    let mut rel_snap: BTreeMap<(usize, SimTime, usize), Vec<u64>> = BTreeMap::new();
+    // Pending `Blocked` per process (waits on one resource at a time).
+    let mut pending: Vec<Option<usize>> = vec![None; n];
+    // Clock snapshot of each WorkStart, in per-process order.
+    let mut ws_clocks: Vec<BTreeMap<SimTime, Vec<u64>>> = vec![BTreeMap::new(); n];
+    // Simultaneous-request groups: (resource, time) -> requesters with
+    // their clocks at request time.
+    type RequestGroups = BTreeMap<(usize, SimTime), Vec<(usize, Vec<u64>)>>;
+    let mut requests: RequestGroups = BTreeMap::new();
+
+    for e in &trace.events {
+        let p = e.proc.index();
+        if p >= n {
+            continue;
+        }
+        vc[p][p] += 1;
+        match e.kind {
+            EventKind::WorkStart { .. } => {
+                ws_clocks[p].insert(e.time, vc[p].clone());
+            }
+            EventKind::Blocked(r) => {
+                pending[p] = Some(r.index());
+                requests
+                    .entry((r.index(), e.time))
+                    .or_default()
+                    .push((p, vc[p].clone()));
+            }
+            EventKind::Acquired(r) => {
+                let was_blocked = pending[p].take().is_some_and(|b| b == r.index());
+                if !was_blocked {
+                    // An uncontended grant doubles as the request itself.
+                    requests
+                        .entry((r.index(), e.time))
+                        .or_default()
+                        .push((p, vc[p].clone()));
+                }
+                if let Some(&(from, rel_at)) = edges.get(&(p, e.time, r.index())) {
+                    if let Some(snap) = rel_snap.get(&(from, rel_at, r.index())) {
+                        let snap = snap.clone();
+                        join(&mut vc[p], &snap);
+                    }
+                }
+            }
+            EventKind::Released(r) => {
+                rel_snap.insert((p, e.time, r.index()), vc[p].clone());
+            }
+            EventKind::Finished => {}
+        }
+    }
+
+    // Ties: >= 2 distinct requesters whose request-time clocks are not
+    // all mutually ordered (a tie between causally ordered requests is
+    // no tie at all — the queue order was forced).
+    let mut ties = Vec::new();
+    for (&(ri, at), group) in &requests {
+        let distinct: Vec<usize> = {
+            let mut d: Vec<usize> = group.iter().map(|(p, _)| *p).collect();
+            d.dedup();
+            d
+        };
+        if distinct.len() < 2 {
+            continue;
+        }
+        let unordered_pair = group.iter().enumerate().any(|(i, (pa, ca))| {
+            group[i + 1..]
+                .iter()
+                .any(|(pb, cb)| pa != pb && !ordered(ca, cb))
+        });
+        if unordered_pair {
+            ties.push(AcquireTie {
+                resource: trace
+                    .resources
+                    .get(ri)
+                    .map_or_else(|| format!("resource {ri}"), |r| r.label.clone()),
+                at,
+                procs: distinct,
+            });
+        }
+    }
+
+    // Races: unordered same-cell writes from different students.
+    let mut by_cell: BTreeMap<CellId, Vec<&CellAccess>> = BTreeMap::new();
+    for a in accesses {
+        by_cell.entry(a.cell).or_default().push(a);
+    }
+    let mut races = Vec::new();
+    for (cell, list) in &by_cell {
+        let mut reported: Vec<(usize, usize)> = Vec::new();
+        for (i, a) in list.iter().enumerate() {
+            for b in &list[i + 1..] {
+                if a.student == b.student {
+                    continue;
+                }
+                let pair = (a.student.min(b.student), a.student.max(b.student));
+                if reported.contains(&pair) {
+                    continue;
+                }
+                let (Some(ca), Some(cb)) = (
+                    ws_clocks[a.student].get(&a.start),
+                    ws_clocks[b.student].get(&b.start),
+                ) else {
+                    continue;
+                };
+                if ordered(ca, cb) {
+                    continue;
+                }
+                reported.push(pair);
+                let mut d = Diag::new(
+                    "SC301",
+                    Severity::Error,
+                    format!("cell {cell}"),
+                    format!(
+                        "data race: {} and {} both write cell {cell} with no \
+                         happens-before order",
+                        a.name, b.name
+                    ),
+                )
+                .with_detail(format!(
+                    "{} paints {cell} {} over {}..{}ms",
+                    a.name,
+                    a.color,
+                    a.start.millis(),
+                    a.end.millis()
+                ))
+                .with_detail(format!(
+                    "{} paints {cell} {} over {}..{}ms",
+                    b.name,
+                    b.color,
+                    b.start.millis(),
+                    b.end.millis()
+                ));
+                // The tie that hid it: the latest simultaneous-request
+                // group involving both students at or before the writes.
+                let hid = ties.iter().rfind(|t| {
+                    t.at <= a.start.max(b.start)
+                        && t.procs.contains(&a.student)
+                        && t.procs.contains(&b.student)
+                });
+                d = match hid {
+                    Some(t) => d.with_detail(format!(
+                        "hidden by the acquire-order tie on \"{}\" at t={}ms — a \
+                         different event insertion order flips which write lands last",
+                        t.resource,
+                        t.at.millis()
+                    )),
+                    None => d.with_detail(
+                        "no scheduler tie involved — the writes are concurrent under \
+                         every event ordering"
+                            .to_owned(),
+                    ),
+                };
+                races.push(d);
+            }
+        }
+    }
+
+    HbAnalysis { races, ties }
+}
+
+/// Convenience: run the full happens-before check on a finished run.
+pub fn check_run(report: &RunReport) -> HbAnalysis {
+    let accesses = cell_accesses(report);
+    analyze_hb(&report.trace, &accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_desim::{Action, Engine, FnProcess, SimDuration};
+
+    fn script(actions: Vec<Action>) -> impl FnMut(SimTime) -> Action {
+        let mut queue: std::collections::VecDeque<Action> = actions.into();
+        move |_| queue.pop_front().unwrap_or(Action::Done)
+    }
+
+    fn access(student: usize, name: &str, cell: u32, start: u64, end: u64) -> CellAccess {
+        CellAccess {
+            student,
+            name: name.to_owned(),
+            cell: CellId(cell),
+            color: Color::Red,
+            start: SimTime(start),
+            end: SimTime(end),
+        }
+    }
+
+    /// Two painters share a capacity-2 pool (two red markers): their
+    /// writes to the same cell are unordered — a race, hidden by the
+    /// t=0 acquire tie.
+    #[test]
+    fn pool_writes_to_same_cell_race() {
+        let mut eng = Engine::new();
+        let pool = eng.add_resource_pool("red marker", 2, SimDuration::ZERO);
+        for name in ["P1", "P2"] {
+            eng.add_process(Box::new(FnProcess::new(
+                name,
+                script(vec![
+                    Action::Acquire(pool),
+                    Action::Work(SimDuration::from_millis(10)),
+                    Action::Release(pool),
+                ]),
+            )));
+        }
+        let trace = eng.run();
+        let accesses = vec![access(0, "P1", 0, 0, 10), access(1, "P2", 0, 0, 10)];
+        let hb = analyze_hb(&trace, &accesses);
+        assert_eq!(hb.races.len(), 1, "{:?}", hb.races);
+        assert_eq!(hb.races[0].id, "SC301");
+        let detail = hb.races[0].detail.join("\n");
+        assert!(detail.contains("P1"), "{detail}");
+        assert!(detail.contains("acquire-order tie"), "{detail}");
+        assert!(!hb.ties.is_empty());
+    }
+
+    /// The same two writes through a capacity-1 marker are lock-ordered:
+    /// no race, even though the grant order itself was a tie.
+    #[test]
+    fn mutex_writes_to_same_cell_do_not_race() {
+        let mut eng = Engine::new();
+        let marker = eng.add_resource("red marker", SimDuration::ZERO);
+        for name in ["P1", "P2"] {
+            eng.add_process(Box::new(FnProcess::new(
+                name,
+                script(vec![
+                    Action::Acquire(marker),
+                    Action::Work(SimDuration::from_millis(10)),
+                    Action::Release(marker),
+                ]),
+            )));
+        }
+        let trace = eng.run();
+        // P2's work starts after the hand-off at t=10.
+        let accesses = vec![access(0, "P1", 0, 0, 10), access(1, "P2", 0, 10, 20)];
+        let hb = analyze_hb(&trace, &accesses);
+        assert!(hb.races.is_empty(), "{:?}", hb.races);
+        // The t=0 tie on the marker is still visible as a note.
+        assert_eq!(hb.ties.len(), 1);
+        assert_eq!(hb.diags().len(), 1);
+        assert_eq!(hb.diags()[0].id, "SC302");
+    }
+
+    /// Writes to different cells never race.
+    #[test]
+    fn disjoint_cells_do_not_race() {
+        let mut eng = Engine::new();
+        let pool = eng.add_resource_pool("red marker", 2, SimDuration::ZERO);
+        for name in ["P1", "P2"] {
+            eng.add_process(Box::new(FnProcess::new(
+                name,
+                script(vec![
+                    Action::Acquire(pool),
+                    Action::Work(SimDuration::from_millis(10)),
+                    Action::Release(pool),
+                ]),
+            )));
+        }
+        let trace = eng.run();
+        let accesses = vec![access(0, "P1", 0, 0, 10), access(1, "P2", 1, 0, 10)];
+        assert!(analyze_hb(&trace, &accesses).races.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let hb = analyze_hb(
+            &Trace {
+                end_time: SimTime(0),
+                procs: vec![],
+                resources: vec![],
+                events: vec![],
+            },
+            &[],
+        );
+        assert!(hb.races.is_empty() && hb.ties.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Static lock-order analysis: predict deadlocks without simulating.
+//!
+//! Each process contributes an ordered sequence of acquire/release
+//! operations on named resources (for a scenario: the marker colors its
+//! work list demands, under the configured release policy). An edge
+//! `A -> B` is recorded whenever some process requests `B` while still
+//! holding `A`. A cycle in that graph is the classic circular-wait
+//! precondition: some interleaving can deadlock, even if the FIFO event
+//! queue happens to dodge it on every seed you tried.
+//!
+//! The runtime counterpart is the engine's wait-for graph
+//! (`flagsim_desim::WaitForGraph`, reported by the stall detector): the
+//! static cycle names exactly the resources a stalled run's waiters are
+//! parked on — `prop_check.rs` pins that agreement on the classic
+//! demo-deadlock setup.
+
+use crate::diag::{Diag, Severity};
+use flagsim_core::{ActivityConfig, ReleasePolicy, Scenario};
+use flagsim_core::work::PreparedFlag;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock operation in a process's script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockOp {
+    /// Request (and eventually hold) the named resource.
+    Acquire(String),
+    /// Release it.
+    Release(String),
+}
+
+/// One process's ordered lock script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSeq {
+    /// Display name ("P1", "grabs-red-then-blue").
+    pub name: String,
+    /// The operations, in program order.
+    pub ops: Vec<LockOp>,
+}
+
+/// The lock-order graph: resources as nodes, held-while-requesting as
+/// edges, each edge remembering one witnessing process.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderGraph {
+    /// Node labels, sorted.
+    pub resources: Vec<String>,
+    /// Edges `held -> requested` with one witness name per edge.
+    pub edges: BTreeMap<(String, String), String>,
+}
+
+impl LockOrderGraph {
+    /// Build the graph from every process's script.
+    pub fn build(seqs: &[LockSeq]) -> LockOrderGraph {
+        let mut resources = BTreeSet::new();
+        let mut edges = BTreeMap::new();
+        for seq in seqs {
+            let mut held: Vec<String> = Vec::new();
+            for op in &seq.ops {
+                match op {
+                    LockOp::Acquire(r) => {
+                        resources.insert(r.clone());
+                        for h in &held {
+                            if h != r {
+                                edges
+                                    .entry((h.clone(), r.clone()))
+                                    .or_insert_with(|| seq.name.clone());
+                            }
+                        }
+                        held.push(r.clone());
+                    }
+                    LockOp::Release(r) => {
+                        if let Some(pos) = held.iter().rposition(|h| h == r) {
+                            held.remove(pos);
+                        }
+                    }
+                }
+            }
+        }
+        LockOrderGraph {
+            resources: resources.into_iter().collect(),
+            edges,
+        }
+    }
+
+    /// Every elementary cycle's node set, as sorted resource-name lists
+    /// (deduplicated). Deterministic: nodes are visited in sorted order.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        // Iterative DFS with an explicit stack over the (small) graph:
+        // standard color marking, recording the stack slice when a back
+        // edge closes a cycle.
+        let index: BTreeMap<&str, usize> = self
+            .resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.as_str(), i))
+            .collect();
+        let n = self.resources.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (h, r) in self.edges.keys() {
+            if let (Some(&a), Some(&b)) = (index.get(h.as_str()), index.get(r.as_str())) {
+                adj[a].push(b);
+            }
+        }
+        let mut found: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+
+        // Depth-first walk from every root; path-based cycle extraction.
+        fn dfs(
+            v: usize,
+            adj: &[Vec<usize>],
+            on_stack: &mut [bool],
+            stack: &mut Vec<usize>,
+            names: &[String],
+            found: &mut BTreeSet<Vec<String>>,
+            depth: usize,
+        ) {
+            if depth > names.len() {
+                return;
+            }
+            on_stack[v] = true;
+            stack.push(v);
+            for &w in &adj[v] {
+                if on_stack[w] {
+                    if let Some(pos) = stack.iter().position(|&s| s == w) {
+                        let mut cycle: Vec<String> =
+                            stack[pos..].iter().map(|&i| names[i].clone()).collect();
+                        cycle.sort();
+                        found.insert(cycle);
+                    }
+                } else {
+                    dfs(w, adj, on_stack, stack, names, found, depth + 1);
+                }
+            }
+            stack.pop();
+            on_stack[v] = false;
+        }
+        for v in 0..n {
+            dfs(v, &adj, &mut on_stack, &mut stack, &self.resources, &mut found, 0);
+        }
+        found.into_iter().collect()
+    }
+
+    /// Cycle findings as SC204 diagnostics (empty when deadlock-free).
+    pub fn diags(&self) -> Vec<Diag> {
+        self.cycles()
+            .into_iter()
+            .map(|cycle| {
+                let mut d = Diag::new(
+                    "SC204",
+                    Severity::Error,
+                    cycle.join(" / "),
+                    format!(
+                        "lock-order cycle between {{{}}} — some interleaving deadlocks",
+                        cycle.join(", ")
+                    ),
+                );
+                for ((h, r), witness) in &self.edges {
+                    if cycle.contains(h) && cycle.contains(r) {
+                        d = d.with_detail(format!(
+                            "{witness} requests \"{r}\" while holding \"{h}\""
+                        ));
+                    }
+                }
+                d
+            })
+            .collect()
+    }
+}
+
+/// Derive each student's lock script from a scenario, statically: the
+/// work list's color sequence becomes marker acquire/releases under the
+/// configured [`ReleasePolicy`]. (Students hold one implement at a time,
+/// so scenario scripts are always deadlock-free — the analyzer earns its
+/// keep on custom scripts like the demo-deadlock drill.)
+pub fn scenario_lock_seqs(
+    scenario: &Scenario,
+    flag: &PreparedFlag,
+    config: &ActivityConfig,
+) -> Vec<LockSeq> {
+    let assignments = scenario
+        .strategy
+        .assignments(flag, scenario.order, &config.skip_colors);
+    assignments
+        .iter()
+        .enumerate()
+        .map(|(i, items)| {
+            let mut ops = Vec::new();
+            let mut held: Option<String> = None;
+            for item in items {
+                let marker = format!("{} marker", item.color);
+                match config.policy {
+                    ReleasePolicy::ReleaseEachCell => {
+                        ops.push(LockOp::Acquire(marker.clone()));
+                        ops.push(LockOp::Release(marker));
+                    }
+                    ReleasePolicy::KeepUntilColorChange => {
+                        if held.as_ref() != Some(&marker) {
+                            if let Some(old) = held.take() {
+                                ops.push(LockOp::Release(old));
+                            }
+                            ops.push(LockOp::Acquire(marker.clone()));
+                            held = Some(marker);
+                        }
+                    }
+                }
+            }
+            if let Some(old) = held {
+                ops.push(LockOp::Release(old));
+            }
+            LockSeq {
+                name: format!("P{}", i + 1),
+                ops,
+            }
+        })
+        .collect()
+}
+
+/// The classic two-students/two-markers circular-wait drill (the same
+/// setup `flagsim faults --demo-deadlock` runs live).
+pub fn demo_deadlock_seqs() -> Vec<LockSeq> {
+    vec![
+        LockSeq {
+            name: "grabs-red-then-blue".to_owned(),
+            ops: vec![
+                LockOp::Acquire("red marker".to_owned()),
+                LockOp::Acquire("blue marker".to_owned()),
+            ],
+        },
+        LockSeq {
+            name: "grabs-blue-then-red".to_owned(),
+            ops: vec![
+                LockOp::Acquire("blue marker".to_owned()),
+                LockOp::Acquire("red marker".to_owned()),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_core::partition::{CellOrder, PartitionStrategy};
+    use flagsim_flags::library;
+
+    #[test]
+    fn demo_deadlock_has_exactly_one_cycle() {
+        let g = LockOrderGraph::build(&demo_deadlock_seqs());
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert_eq!(cycles[0], vec!["blue marker".to_owned(), "red marker".to_owned()]);
+        let diags = g.diags();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].id, "SC204");
+        assert!(diags[0].detail.iter().any(|l| l.contains("while holding")));
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let seqs = vec![
+            LockSeq {
+                name: "a".into(),
+                ops: vec![
+                    LockOp::Acquire("x".into()),
+                    LockOp::Acquire("y".into()),
+                    LockOp::Release("y".into()),
+                    LockOp::Release("x".into()),
+                ],
+            },
+            LockSeq {
+                name: "b".into(),
+                ops: vec![LockOp::Acquire("x".into()), LockOp::Acquire("y".into())],
+            },
+        ];
+        assert!(LockOrderGraph::build(&seqs).cycles().is_empty());
+    }
+
+    #[test]
+    fn three_way_rotation_cycles() {
+        let names = ["x", "y", "z"];
+        let seqs: Vec<LockSeq> = (0..3)
+            .map(|i| LockSeq {
+                name: format!("p{i}"),
+                ops: vec![
+                    LockOp::Acquire(names[i].to_owned()),
+                    LockOp::Acquire(names[(i + 1) % 3].to_owned()),
+                ],
+            })
+            .collect();
+        let cycles = LockOrderGraph::build(&seqs).cycles();
+        assert!(
+            cycles.iter().any(|c| c.len() == 3),
+            "expected the 3-cycle: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn scenario_scripts_hold_one_marker_and_are_acyclic() {
+        let flag = PreparedFlag::new(&library::mauritius());
+        let cfg = ActivityConfig::default();
+        for scenario in [
+            Scenario::fig1(4),
+            Scenario::alternating_slices(),
+            Scenario::new(
+                "by color",
+                PartitionStrategy::ByColor,
+                CellOrder::RowMajor,
+            ),
+        ] {
+            let seqs = scenario_lock_seqs(&scenario, &flag, &cfg);
+            assert!(!seqs.is_empty());
+            let g = LockOrderGraph::build(&seqs);
+            assert!(g.edges.is_empty(), "{}: {:?}", scenario.name, g.edges);
+            assert!(g.cycles().is_empty());
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The static pre-run checker: everything that can be verified about a
+//! planned session *without simulating it*.
+//!
+//! Orchestrates, in a fixed order:
+//!
+//! 1. flag-spec lints (`SC1xx`) at the recommended raster **and** at the
+//!    raster the scenario actually uses — a thin stripe can vanish
+//!    between the cell centers of a coarser grid;
+//! 2. partition coverage (`SC201`/`SC202`/`SC203`/`SC205`) — a
+//!    report-everything generalization of
+//!    `flagsim_core::partition::verify_assignments`, which stops at the
+//!    first problem;
+//! 3. lock-order cycles (`SC204`) via [`crate::lockorder`];
+//! 4. fault-plan validation (`SC210`–`SC214`);
+//! 5. optionally, the §IV dry-run advice checklist mapped into the
+//!    framework (`SC4xx`) — advisory, so [`static_report`] skips it and
+//!    the CLI preflight only blocks on the rest.
+
+use crate::diag::{from_flag_lints, Diag, Report, Severity};
+use crate::lockorder::{scenario_lock_seqs, LockOrderGraph};
+use flagsim_core::advice;
+use flagsim_core::faults::{FaultEvent, FaultPlan};
+use flagsim_core::work::PreparedFlag;
+use flagsim_core::{ActivityConfig, Scenario, TeamKit};
+use flagsim_flags::FlagSpec;
+use flagsim_grid::Color;
+use std::collections::BTreeMap;
+
+/// Everything the static checker needs to know about a planned session.
+pub struct CheckTarget<'a> {
+    /// The flag spec (linted at both rasters).
+    pub spec: &'a FlagSpec,
+    /// The prepared flag at the raster the scenario will use.
+    pub flag: &'a PreparedFlag,
+    /// The task decomposition.
+    pub scenario: &'a Scenario,
+    /// The team's drawing kit.
+    pub kit: &'a TeamKit,
+    /// Students available (coloring roles plus the timer).
+    pub team_size: usize,
+    /// Run configuration (skip colors, release policy, …).
+    pub config: &'a ActivityConfig,
+    /// The fault plan, if the session is a drill ([`FaultPlan::none`]
+    /// otherwise).
+    pub plan: &'a FaultPlan,
+}
+
+/// Lint a flag spec at its recommended raster, and — when different — at
+/// the raster a scenario actually uses.
+pub fn check_flag_spec(spec: &FlagSpec, width: u32, height: u32) -> Vec<Diag> {
+    let mut out = from_flag_lints(&flagsim_flags::lint(spec));
+    if (width, height) != (spec.default_width, spec.default_height) {
+        out.extend(from_flag_lints(&flagsim_flags::lint_at(spec, width, height)));
+    }
+    out
+}
+
+/// Check that the scenario's assignments cover every colorable cell
+/// exactly once with the right color. Unlike
+/// `partition::verify_assignments` this reports *all* problems, not just
+/// the first.
+pub fn check_partition(
+    flag: &PreparedFlag,
+    scenario: &Scenario,
+    config: &ActivityConfig,
+) -> Vec<Diag> {
+    let assignments = scenario
+        .strategy
+        .assignments(flag, scenario.order, &config.skip_colors);
+    let mut out = Vec::new();
+    let mut owners: BTreeMap<flagsim_grid::CellId, Vec<usize>> = BTreeMap::new();
+    for (i, part) in assignments.iter().enumerate() {
+        if part.is_empty() {
+            out.push(Diag::new(
+                "SC205",
+                Severity::Note,
+                format!("student {}", i + 1),
+                "empty assignment — this student sits the scenario out",
+            ));
+        }
+        for item in part {
+            owners.entry(item.cell).or_default().push(i);
+            let expected = flag.reference.get(item.cell);
+            if expected != item.color {
+                out.push(Diag::new(
+                    "SC203",
+                    Severity::Error,
+                    format!("cell {}", item.cell),
+                    format!(
+                        "student {} is told to color it {} but the flag wants {expected}",
+                        i + 1,
+                        item.color
+                    ),
+                ));
+            }
+        }
+    }
+    for (cell, who) in &owners {
+        if who.len() > 1 {
+            let names: Vec<String> =
+                who.iter().map(|i| format!("student {}", i + 1)).collect();
+            out.push(Diag::new(
+                "SC202",
+                Severity::Error,
+                format!("cell {cell}"),
+                format!("assigned to {} at once", names.join(" and ")),
+            ));
+        }
+    }
+    let uncovered: Vec<String> = flag
+        .reference
+        .iter()
+        .filter(|(id, c)| {
+            c.is_painted() && !config.skip_colors.contains(c) && !owners.contains_key(id)
+        })
+        .map(|(id, c)| format!("cell {id} ({c})"))
+        .collect();
+    if !uncovered.is_empty() {
+        let mut d = Diag::new(
+            "SC201",
+            Severity::Error,
+            "",
+            format!(
+                "{} colorable cell(s) are assigned to nobody — the flag cannot come out right",
+                uncovered.len()
+            ),
+        );
+        for cell in uncovered.iter().take(5) {
+            d = d.with_detail(cell.clone());
+        }
+        if uncovered.len() > 5 {
+            d = d.with_detail(format!("… and {} more", uncovered.len() - 5));
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Build the scenario's lock-order graph and report any cycle.
+pub fn check_lock_order(
+    flag: &PreparedFlag,
+    scenario: &Scenario,
+    config: &ActivityConfig,
+) -> Vec<Diag> {
+    LockOrderGraph::build(&scenario_lock_seqs(scenario, flag, config)).diags()
+}
+
+/// Validate a fault plan against the session it will be injected into:
+/// `coloring` students, the colors the scenario actually uses, and the
+/// kit's stock of spares. Reports every problem.
+pub fn check_fault_plan(
+    plan: &FaultPlan,
+    coloring: usize,
+    needed_colors: &[Color],
+    kit: &TeamKit,
+) -> Vec<Diag> {
+    let mut out = Vec::new();
+    let mut failures_by_color: BTreeMap<Color, usize> = BTreeMap::new();
+    let mut dropouts: Vec<usize> = Vec::new();
+    for e in &plan.events {
+        let (t, who, color) = match e {
+            FaultEvent::ImplementBreaks { color, at_secs }
+            | FaultEvent::ImplementDriesOut { color, at_secs } => {
+                *failures_by_color.entry(*color).or_default() += 1;
+                (*at_secs, None, Some(*color))
+            }
+            FaultEvent::HandoffFumble { color, extra_secs } => {
+                (*extra_secs, None, Some(*color))
+            }
+            FaultEvent::Dropout { student, at_secs } => {
+                dropouts.push(*student);
+                (*at_secs, Some(*student), None)
+            }
+            FaultEvent::LateArrival { student, at_secs } => (*at_secs, Some(*student), None),
+            FaultEvent::DeadlineBell { at_secs } => (*at_secs, None, None),
+        };
+        if !t.is_finite() || t < 0.0 {
+            out.push(Diag::new(
+                "SC214",
+                Severity::Error,
+                format!("{e}"),
+                "the fault's time is negative or not a number",
+            ));
+        } else if matches!(e, FaultEvent::DeadlineBell { .. }) && t == 0.0 {
+            out.push(Diag::new(
+                "SC214",
+                Severity::Error,
+                format!("{e}"),
+                "the bell must ring after the start",
+            ));
+        }
+        if let Some(s) = who {
+            if s >= coloring {
+                out.push(Diag::new(
+                    "SC210",
+                    Severity::Error,
+                    format!("student #{}", s + 1),
+                    format!(
+                        "the fault targets student #{} but only {coloring} students color",
+                        s + 1
+                    ),
+                ));
+            }
+        }
+        if let Some(c) = color {
+            if !needed_colors.contains(&c) {
+                out.push(Diag::new(
+                    "SC211",
+                    Severity::Warning,
+                    format!("{c}"),
+                    format!("\"{e}\" targets a color this scenario never uses — it can never bite"),
+                ));
+            }
+        }
+    }
+    dropouts.sort_unstable();
+    dropouts.dedup();
+    let everyone_leaves = coloring > 0 && dropouts.len() >= coloring;
+    if everyone_leaves && !plan.policy.aborts() {
+        out.push(Diag::new(
+            "SC212",
+            Severity::Error,
+            "",
+            format!(
+                "every coloring student drops out and the policy is \"{}\" — \
+                 there is nobody left to rebalance onto",
+                plan.policy
+            ),
+        ));
+    }
+    for (c, failures) in &failures_by_color {
+        let stocked = kit.count(*c);
+        if *failures > stocked {
+            out.push(Diag::new(
+                "SC213",
+                Severity::Warning,
+                format!("{c}"),
+                format!(
+                    "{failures} {c} implement failure(s) but the kit stocks only {stocked} — \
+                     spares run out before the plan does"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Run the §IV dry-run advice checklist and map each non-passing finding
+/// to its `SC4xx` ID.
+pub fn check_advice(
+    flag: &PreparedFlag,
+    scenario: &Scenario,
+    kit: &TeamKit,
+    team_size: usize,
+    config: &ActivityConfig,
+) -> Vec<Diag> {
+    advice::preflight(flag, scenario, kit, team_size, config)
+        .into_iter()
+        .filter(|r| r.severity != advice::Severity::Pass)
+        .map(|r| {
+            let (id, severity) = match r.check.as_str() {
+                "implements present and usable" => ("SC401", Severity::Error),
+                "implement condition" => ("SC402", Severity::Warning),
+                "crayon warning" => ("SC403", Severity::Warning),
+                "team size" => ("SC404", Severity::Error),
+                _ => (
+                    "SC409",
+                    if r.severity == advice::Severity::Blocker {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    },
+                ),
+            };
+            Diag::new(id, severity, r.check, r.detail)
+        })
+        .collect()
+}
+
+/// How many students actually color under this scenario (extras are the
+/// timer and sit out).
+fn coloring_students(t: &CheckTarget<'_>) -> usize {
+    t.scenario
+        .strategy
+        .assignments(t.flag, t.scenario.order, &t.config.skip_colors)
+        .len()
+}
+
+/// The static-only report: flag lints, partition coverage, lock order,
+/// fault plan. This is what `run`/`sweep`/`faults` preflight — it never
+/// includes the advisory `SC4xx` checklist, so a deliberately
+/// under-provisioned drill still reaches the runner.
+pub fn static_report(t: &CheckTarget<'_>) -> Report {
+    let mut report = Report::new(format!("{} / {}", t.flag.name, t.scenario.name));
+    report.extend(check_flag_spec(t.spec, t.flag.width, t.flag.height));
+    report.extend(check_partition(t.flag, t.scenario, t.config));
+    report.extend(check_lock_order(t.flag, t.scenario, t.config));
+    report.extend(check_fault_plan(
+        t.plan,
+        coloring_students(t),
+        &t.flag.colors_needed(&t.config.skip_colors),
+        t.kit,
+    ));
+    report.sort();
+    report
+}
+
+/// The full static report: [`static_report`] plus the `SC4xx` dry-run
+/// advice. (Dynamic `SC3xx` findings come from [`crate::hb`] and are
+/// appended by the caller, which owns the run.)
+pub fn full_report(t: &CheckTarget<'_>) -> Report {
+    let mut report = static_report(t);
+    report.extend(check_advice(t.flag, t.scenario, t.kit, t.team_size, t.config));
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_agents::ImplementKind;
+    use flagsim_core::partition::{CellOrder, PartitionStrategy};
+    use flagsim_core::RecoveryPolicy;
+    use flagsim_flags::library;
+    use flagsim_grid::Region;
+
+    fn mauritius_target(
+        spec: &FlagSpec,
+        flag: &PreparedFlag,
+        scenario: &Scenario,
+        kit: &TeamKit,
+        plan: &FaultPlan,
+        config: &ActivityConfig,
+    ) -> Report {
+        full_report(&CheckTarget {
+            spec,
+            flag,
+            scenario,
+            kit,
+            team_size: 5,
+            config,
+            plan,
+        })
+    }
+
+    #[test]
+    fn clean_session_has_no_errors() {
+        let spec = library::mauritius();
+        let flag = PreparedFlag::new(&spec);
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let cfg = ActivityConfig::default();
+        for n in 1..=4 {
+            let sc = Scenario::fig1(n);
+            let r = mauritius_target(&spec, &flag, &sc, &kit, &FaultPlan::none(), &cfg);
+            let (errors, _, _) = r.counts();
+            assert_eq!(errors, 0, "{}: {}", sc.name, r.render_text());
+        }
+    }
+
+    #[test]
+    fn bad_partition_reports_every_problem() {
+        let spec = library::mauritius();
+        let flag = PreparedFlag::new(&spec);
+        // Custom partition: only the top-left cell, assigned twice.
+        let one_cell = Region::from_ids([flagsim_grid::CellId(0)]);
+        let sc = Scenario::new(
+            "broken",
+            PartitionStrategy::Custom(vec![one_cell.clone(), one_cell, Region::new()]),
+            CellOrder::RowMajor,
+        );
+        let diags = check_partition(&flag, &sc, &ActivityConfig::default());
+        let ids: Vec<&str> = diags.iter().map(|d| d.id).collect();
+        assert!(ids.contains(&"SC201"), "uncovered: {ids:?}");
+        assert!(ids.contains(&"SC202"), "double: {ids:?}");
+        assert!(ids.contains(&"SC205"), "empty: {ids:?}");
+        // 95 uncovered cells summarized in one finding, not 95.
+        assert_eq!(ids.iter().filter(|&&i| i == "SC201").count(), 1);
+        let uncovered = diags.iter().find(|d| d.id == "SC201").unwrap();
+        assert!(uncovered.message.contains("95 colorable cell(s)"));
+        assert!(uncovered.detail.iter().any(|l| l.contains("more")));
+    }
+
+    #[test]
+    fn fault_plan_problems_are_itemized() {
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let plan = FaultPlan::new("bad drill")
+            .dropout(7, 30.0) // team has 4
+            .break_implement(Color::Orange, 10.0) // scenario never uses orange
+            .break_implement(Color::Red, 20.0)
+            .break_implement(Color::Red, 40.0) // 2 failures, 1 stocked
+            .bell(0.0); // at the start
+        let diags = check_fault_plan(&plan, 4, &Color::MAURITIUS, &kit);
+        let ids: Vec<&str> = diags.iter().map(|d| d.id).collect();
+        assert!(ids.contains(&"SC210"), "{ids:?}");
+        assert!(ids.contains(&"SC211"), "{ids:?}");
+        assert!(ids.contains(&"SC213"), "{ids:?}");
+        assert!(ids.contains(&"SC214"), "{ids:?}");
+    }
+
+    #[test]
+    fn everyone_dropping_out_is_unrecoverable_unless_aborting() {
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let all_gone = FaultPlan::new("exodus").dropout(0, 10.0).dropout(1, 20.0);
+        let diags = check_fault_plan(&all_gone, 2, &Color::MAURITIUS, &kit);
+        assert!(diags.iter().any(|d| d.id == "SC212"), "{diags:?}");
+        let aborting = all_gone.with_policy(RecoveryPolicy::AbortAndReport);
+        let diags = check_fault_plan(&aborting, 2, &Color::MAURITIUS, &kit);
+        assert!(!diags.iter().any(|d| d.id == "SC212"), "{diags:?}");
+    }
+
+    #[test]
+    fn stocked_spares_silence_sc213() {
+        let kit = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS)
+            .with_count(Color::Red, 2);
+        let plan = FaultPlan::new("drill")
+            .break_implement(Color::Red, 20.0)
+            .dry_out(Color::Red, 40.0);
+        let diags = check_fault_plan(&plan, 4, &Color::MAURITIUS, &kit);
+        assert!(!diags.iter().any(|d| d.id == "SC213"), "{diags:?}");
+    }
+
+    #[test]
+    fn advice_maps_to_stable_ids() {
+        let spec = library::mauritius();
+        let flag = PreparedFlag::new(&spec);
+        let sc = Scenario::fig1(4);
+        let cfg = ActivityConfig::default();
+        let crayons = TeamKit::uniform(ImplementKind::Crayon, &Color::MAURITIUS);
+        let diags = check_advice(&flag, &sc, &crayons, 5, &cfg);
+        assert!(diags.iter().any(|d| d.id == "SC403" && d.severity == Severity::Warning));
+        let markers = TeamKit::uniform(ImplementKind::ThickMarker, &Color::MAURITIUS);
+        let diags = check_advice(&flag, &sc, &markers, 2, &cfg);
+        assert!(diags.iter().any(|d| d.id == "SC404" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn static_report_excludes_advice() {
+        let spec = library::mauritius();
+        let flag = PreparedFlag::new(&spec);
+        let sc = Scenario::fig1(4);
+        let cfg = ActivityConfig::default();
+        // Crayons would be SC403 in the full report…
+        let kit = TeamKit::uniform(ImplementKind::Crayon, &Color::MAURITIUS);
+        let t = CheckTarget {
+            spec: &spec,
+            flag: &flag,
+            scenario: &sc,
+            kit: &kit,
+            team_size: 5,
+            config: &cfg,
+            plan: &FaultPlan::none(),
+        };
+        assert!(!static_report(&t).diags.iter().any(|d| d.id.starts_with("SC4")));
+        assert!(full_report(&t).diags.iter().any(|d| d.id == "SC403"));
+    }
+
+    #[test]
+    fn scenario_raster_is_linted_too() {
+        let spec = library::mauritius();
+        // At 2x2 there are only two rows of cell centers (v = 0.25 and
+        // 0.75) for four stripes — two stripe layers paint nothing.
+        let coarse = PreparedFlag::at_size(&spec, 2, 2);
+        let diags = check_flag_spec(&spec, coarse.width, coarse.height);
+        assert!(
+            diags.iter().any(|d| d.id == "SC102" && d.message.contains("2x2")),
+            "{diags:?}"
+        );
+    }
+}

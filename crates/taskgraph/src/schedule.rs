@@ -295,15 +295,18 @@ pub fn list_schedule(g: &TaskGraph, p: usize, priority: Priority) -> Schedule {
             .expect("acyclic graph always has a ready task");
         let ready_at = g
             .preds(candidate)
-            .map(|pr| placed[pr.index()].unwrap().finish)
+            .map(|pr| placed[pr.index()].map_or(0, |p| p.finish))
             .max()
             .unwrap_or(0);
-        // Earliest-start processor.
-        let (proc, &free) = proc_free
+        // Earliest-start processor (`p > 0` is asserted above, so the
+        // minimum always exists).
+        let Some((proc, &free)) = proc_free
             .iter()
             .enumerate()
             .min_by_key(|&(i, &f)| (f.max(ready_at), i))
-            .unwrap();
+        else {
+            break;
+        };
         let start = free.max(ready_at);
         let finish = start + g.weight(candidate);
         let pl = Placement {

@@ -37,7 +37,9 @@ type Injection = Option<(usize, usize)>;
 fn trip_injected(inject: Injection, worker: usize, done: usize) {
     if let Some((fw, after)) = inject {
         if fw == worker && done >= after {
-            panic!("injected fault: worker {worker} downed after {done} cells");
+            // lint-gate: allow — the panic IS the injected fault; it is
+            // caught by catch_unwind and surfaced as a WorkerFault.
+            panic!("injected fault: worker {worker} downed after {done} cells"); // lint-gate: allow
         }
     }
 }

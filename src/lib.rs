@@ -26,5 +26,6 @@ pub use flagsim_desim as desim;
 pub use flagsim_flags as flags;
 pub use flagsim_grid as grid;
 pub use flagsim_metrics as metrics;
+pub use flagsim_simcheck as simcheck;
 pub use flagsim_taskgraph as taskgraph;
 pub use flagsim_threads as threads;
