@@ -10,9 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod shard_bench;
 pub mod sweep_bench;
 pub mod telemetry_bench;
 
 pub use experiments::{all_experiments, experiments_to_json};
+pub use shard_bench::{run_shard_bench, ShardBench};
 pub use sweep_bench::{run_sweep_bench, SweepBench};
 pub use telemetry_bench::{run_telemetry_bench, TelemetryBench};

@@ -6,7 +6,9 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            // Usage/runtime errors exit 2; a soft-deadline expiry exits 3
+            // so wrapper scripts know the sweep is resumable.
+            std::process::exit(e.exit_code());
         }
     }
 }

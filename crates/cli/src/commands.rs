@@ -33,6 +33,25 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Exit code for a soft-deadline expiry (`sweep --max-wall-secs`):
+/// distinct from usage/runtime errors so scripts can tell "resume me"
+/// apart from "you did it wrong".
+pub const EXIT_DEADLINE: i32 = 3;
+
+/// Exit code for every other CLI error.
+pub const EXIT_USAGE: i32 = 2;
+
+impl CliError {
+    /// The process exit status this error asks for.
+    pub fn exit_code(&self) -> i32 {
+        if self.message.starts_with("soft deadline") {
+            EXIT_DEADLINE
+        } else {
+            EXIT_USAGE
+        }
+    }
+}
+
 fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
     Err(CliError {
         message: message.into(),
@@ -57,6 +76,11 @@ USAGE:
                 [--flag NAME] [--kind KIND] [--seed N] [--team N]
                 [--warmup] [--stream] [--progress] [--dashboard]
                 [--trace-out FILE] [--no-check]
+                [--workers N | --connect ADDR[,ADDR..]]
+                [--checkpoint FILE] [--checkpoint-every K]
+                [--resume FILE] [--max-wall-secs S]
+                [--policy rebalance|spare:SECS|abort] [--chunk K]
+  flagsim worker --listen ADDR [--once] [--quiet] [--name NAME]
   flagsim explain <SCENARIO> [--format text|json] [--flag NAME]
                   [--kind KIND] [--seed N] [--team N] [--jobs N]
   flagsim profile <SCENARIO> [--out FILE] [--format chrome|folded|table]
@@ -102,6 +126,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "run" => cmd_run(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "worker" => cmd_worker(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "session" => cmd_session(&args[1..]),
@@ -181,6 +206,13 @@ impl Opts {
     }
     fn flag(&self, key: &str) -> bool {
         self.options.iter().any(|(k, _)| k == key)
+    }
+    /// Every value given for a repeatable option, in order.
+    fn values<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.options
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .filter_map(|(_, v)| v.as_deref())
     }
 }
 
@@ -504,8 +536,20 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
 
     let opts = parse_opts(
         args,
-        &["flag", "kind", "seed", "reps", "jobs", "team", "trace-out"],
+        &[
+            "flag", "kind", "seed", "reps", "jobs", "team", "trace-out", "workers", "connect",
+            "checkpoint", "checkpoint-every", "resume", "max-wall-secs", "policy", "chunk",
+        ],
     )?;
+    // Any distribution/durability flag routes through the shard
+    // coordinator (which also runs plain in-process sweeps, so
+    // `--checkpoint` alone works without any workers).
+    if ["workers", "connect", "checkpoint", "checkpoint-every", "resume", "max-wall-secs"]
+        .iter()
+        .any(|k| opts.flag(k))
+    {
+        return cmd_sweep_shard(&opts);
+    }
     let Some(which) = opts.positional.first() else {
         return err(
             "usage: flagsim sweep <SCENARIO> [--reps M] [--jobs N] \
@@ -651,6 +695,305 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// `flagsim sweep` with distribution/durability flags: run the campaign
+/// through the shard coordinator. Handles `--workers N` (spawn local
+/// worker processes), `--connect ADDR` (use an existing cluster),
+/// `--checkpoint`/`--checkpoint-every`/`--resume` (durable progress),
+/// and `--max-wall-secs` (soft deadline → checkpoint + exit code 3).
+/// Statistics are bit-for-bit identical to the in-process streaming
+/// sweep at any worker count.
+fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
+    use flagsim_shard::{
+        run_sweep, Checkpoint, CoordinatorConfig, JobSpec, LeaseConfig, ShardOutcome,
+    };
+
+    // The job: from the checkpoint on --resume (its spec is the source
+    // of truth — the fingerprint guards against splicing campaigns), or
+    // from the command line.
+    let resume = match opts.value("resume") {
+        Some(path) => Some(
+            Checkpoint::load(std::path::Path::new(path)).map_err(|message| CliError { message })?,
+        ),
+        None => None,
+    };
+    let job = match &resume {
+        Some(ck) => ck.job.clone(),
+        None => {
+            let Some(which) = opts.positional.first() else {
+                return err(
+                    "usage: flagsim sweep <SCENARIO> [--workers N | --connect ADDR,..] \
+                     [--checkpoint FILE] [--checkpoint-every K] [--resume FILE] \
+                     [--max-wall-secs S] [--reps M] [--jobs N] [--flag NAME] [--kind KIND] \
+                     [--seed N] [--team N] [--warmup]",
+                );
+            };
+            let spec = match opts.value("flag") {
+                Some(name) => find_flag(name)?,
+                None => library::mauritius(),
+            };
+            let flag = PreparedFlag::new(&spec);
+            let scenario = build_scenario(which, &flag)?;
+            parse_kind(opts.value("kind").unwrap_or("thick"))?;
+            let seed: u64 = opts
+                .value("seed")
+                .unwrap_or("2025")
+                .parse()
+                .map_err(|_| CliError { message: "bad --seed".into() })?;
+            let reps: u64 = opts
+                .value("reps")
+                .unwrap_or("32")
+                .parse()
+                .map_err(|_| CliError { message: "bad --reps".into() })?;
+            if reps == 0 {
+                return err("--reps must be at least 1");
+            }
+            let cfg0 = ActivityConfig::default().with_seed(seed);
+            let team: usize = match opts.value("team") {
+                Some(t) => t.parse().map_err(|_| CliError { message: "bad --team".into() })?,
+                None => scenario.team_size(&flag, &cfg0),
+            };
+            if team == 0 {
+                return err("--team must be at least 1");
+            }
+            JobSpec {
+                scenario: which.clone(),
+                flag: spec.name.clone(),
+                kind: opts.value("kind").unwrap_or("thick").to_owned(),
+                seed,
+                reps,
+                team,
+                warmup: opts.flag("warmup"),
+            }
+        }
+    };
+    // One validation point for both paths; also names the scenario for
+    // the summary header.
+    let mat = job.materialize().map_err(|message| CliError { message })?;
+
+    let mut endpoints: Vec<String> = Vec::new();
+    for value in opts.values("connect") {
+        for part in value.split(',').filter(|p| !p.is_empty()) {
+            part.parse::<std::net::SocketAddr>().map_err(|_| CliError {
+                message: format!("bad --connect address {part:?} (want host:port)"),
+            })?;
+            endpoints.push(part.to_owned());
+        }
+    }
+    if opts.flag("connect") && endpoints.is_empty() {
+        return err("--connect got no usable address");
+    }
+    let workers: Option<usize> = opts
+        .value("workers")
+        .map(|w| w.parse().map_err(|_| CliError { message: "bad --workers".into() }))
+        .transpose()?;
+    if workers == Some(0) {
+        return err("--workers must be at least 1");
+    }
+    let jobs: usize = match opts.value("jobs") {
+        Some(j) => j.parse().map_err(|_| CliError { message: "bad --jobs".into() })?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    if jobs == 0 {
+        return err("--jobs must be at least 1");
+    }
+    let checkpoint_every: u64 = opts
+        .value("checkpoint-every")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| CliError { message: "bad --checkpoint-every".into() })?;
+    if checkpoint_every == 0 {
+        return err("--checkpoint-every must be at least 1");
+    }
+    let chunk: u64 = opts
+        .value("chunk")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| CliError { message: "bad --chunk".into() })?;
+    if chunk == 0 {
+        return err("--chunk must be at least 1");
+    }
+    let max_wall = match opts.value("max-wall-secs") {
+        Some(s) => {
+            let secs: f64 = s
+                .parse()
+                .map_err(|_| CliError { message: "bad --max-wall-secs".into() })?;
+            if !secs.is_finite() || secs < 0.0 {
+                return err("--max-wall-secs must be finite and non-negative");
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+        None => None,
+    };
+    let policy = parse_policy(opts.value("policy").unwrap_or("rebalance"))?;
+    // Resuming keeps checkpointing to the resume file unless overridden,
+    // so a twice-killed sweep stays resumable.
+    let checkpoint_path = opts
+        .value("checkpoint")
+        .or_else(|| opts.value("resume"))
+        .map(std::path::PathBuf::from);
+
+    let mut children = Vec::new();
+    if let Some(n) = workers {
+        let (spawned, procs) = spawn_local_workers(n)?;
+        endpoints.extend(spawned);
+        children = procs;
+    }
+    let worker_count = endpoints.len();
+
+    let cfg = CoordinatorConfig {
+        endpoints,
+        local_jobs: jobs,
+        checkpoint_path,
+        checkpoint_every,
+        resume,
+        max_wall,
+        lease: LeaseConfig { chunk, policy, ..LeaseConfig::default() },
+        halt_after_reps: None,
+        quiet: false,
+    };
+    let outcome = with_optional_trace(opts.value("trace-out"), || {
+        run_sweep(&job, &cfg).map_err(|message| CliError { message })
+    });
+    // Spawned workers are `--once`: a clean shutdown already ended them,
+    // and kill() on an exited child is a harmless no-op. Always reap.
+    for child in &mut children {
+        child.kill().ok();
+        child.wait().ok();
+    }
+    match outcome? {
+        ShardOutcome::Completed(r) => {
+            if !r.failures.is_empty() {
+                let first = &r.failures[0];
+                eprintln!(
+                    "sweep: {} repetition(s) failed; first: rep {}: {}",
+                    r.failures.len(),
+                    first.rep,
+                    first.error
+                );
+            }
+            let mut out = format!(
+                "{} — {}, {} rep(s), {} worker(s), {} job(s), seed {}, sharded\n\n",
+                mat.scenario.name, mat.spec.name, job.reps, worker_count, jobs, job.seed,
+            );
+            let _ = writeln!(
+                out,
+                "{:<12}{:>6}{:>10}{:>10}{:>10}{:>10}{:>10}",
+                "metric", "n", "mean s", "stddev", "min", "median", "max"
+            );
+            for (label, s) in [("completion", &r.completion), ("waiting", &r.waiting)] {
+                let _ = writeln!(
+                    out,
+                    "{:<12}{:>6}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+                    label, s.n, s.mean, s.stddev, s.min, s.median, s.max
+                );
+            }
+            let _ = writeln!(
+                out,
+                "\ncompletion {} (mean ± 95% CI)",
+                r.completion.display_secs()
+            );
+            Ok(out)
+        }
+        ShardOutcome::DeadlineExpired { merged, total, checkpoint } => {
+            let hint = match checkpoint {
+                Some(path) => format!(
+                    "; resume with: flagsim sweep --resume {}",
+                    path.display()
+                ),
+                None => "; add --checkpoint FILE to make expiry resumable".to_owned(),
+            };
+            // The "soft deadline" prefix selects exit code 3.
+            err(format!(
+                "soft deadline expired with {merged}/{total} rep(s) merged{hint}"
+            ))
+        }
+        ShardOutcome::Halted { merged } => {
+            err(format!("sweep halted unexpectedly at {merged} rep(s)"))
+        }
+    }
+}
+
+/// Spawn `n` `flagsim worker --once` child processes on ephemeral
+/// loopback ports; each prints its bound address on stdout, which is
+/// how the coordinator learns where to connect.
+fn spawn_local_workers(
+    n: usize,
+) -> Result<(Vec<String>, Vec<std::process::Child>), CliError> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe().map_err(|e| CliError {
+        message: format!("cannot locate own executable to spawn workers: {e}"),
+    })?;
+    let mut endpoints = Vec::new();
+    let mut children = Vec::new();
+    for i in 0..n {
+        let mut child = std::process::Command::new(&exe)
+            .args([
+                "worker",
+                "--listen",
+                "127.0.0.1:0",
+                "--once",
+                "--quiet",
+                "--name",
+            ])
+            .arg(format!("local-{i}"))
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| CliError { message: format!("cannot spawn worker {i}: {e}") })?;
+        let stdout = child.stdout.take().ok_or_else(|| CliError {
+            message: format!("worker {i} has no stdout"),
+        })?;
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| CliError { message: format!("worker {i} said nothing: {e}") })?;
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .filter(|a| a.parse::<std::net::SocketAddr>().is_ok())
+            .ok_or_else(|| CliError {
+                message: format!("worker {i} printed no listen address (got {line:?})"),
+            })?;
+        endpoints.push(addr.to_owned());
+        children.push(child);
+    }
+    Ok((endpoints, children))
+}
+
+/// `flagsim worker` — serve sweep repetitions to a coordinator. Binds
+/// `--listen ADDR` (port 0 picks an ephemeral port), prints the bound
+/// address on stdout, and answers `hello`/`lease` frames until the
+/// coordinator shuts the session down (`--once`) or forever.
+fn cmd_worker(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["listen", "name"])?;
+    let Some(addr) = opts.value("listen") else {
+        return err("usage: flagsim worker --listen ADDR [--once] [--quiet] [--name NAME]");
+    };
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| CliError {
+        message: format!("cannot listen on {addr}: {e}"),
+    })?;
+    let local = listener.local_addr().map_err(|e| CliError {
+        message: format!("cannot resolve bound address: {e}"),
+    })?;
+    // Printed (and flushed) before serving: a spawning coordinator
+    // parses this line to learn the ephemeral port.
+    println!("worker: listening on {local}");
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    let worker_opts = flagsim_shard::WorkerOptions {
+        once: opts.flag("once"),
+        name: opts
+            .value("name")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        quiet: opts.flag("quiet"),
+    };
+    flagsim_shard::serve(&listener, &worker_opts).map_err(|e| CliError {
+        message: format!("worker failed: {e}"),
+    })?;
+    Ok(String::new())
 }
 
 /// `flagsim explain` — run a scenario once, deterministically, and show

@@ -148,3 +148,115 @@ fn parse_lints_a_custom_flag_file() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("cells are blank"), "{stdout}");
 }
+
+fn flagsim_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flagsim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn sweep_argument_errors_exit_2_with_one_line_stderr() {
+    for args in [
+        &["sweep", "4", "--reps", "0"][..],
+        &["sweep", "4", "--jobs", "0"],
+        &["sweep", "4", "--workers", "0"],
+        &["sweep", "4", "--connect", "not-an-address"],
+        &["sweep", "4", "--connect", "127.0.0.1"], // port missing
+        &["sweep", "4", "--checkpoint-every", "0", "--checkpoint", "/tmp/x"],
+        &["sweep", "4", "--max-wall-secs", "-1"],
+        &["worker"], // missing --listen
+    ] {
+        let (_, stderr, code) = flagsim_code(args);
+        assert_eq!(code, 2, "args {args:?} must exit 2, stderr: {stderr}");
+        assert_eq!(
+            stderr.trim_end().lines().count(),
+            1,
+            "one-line stderr for {args:?}, got: {stderr}"
+        );
+        assert!(stderr.starts_with("error: "), "{stderr}");
+    }
+}
+
+#[test]
+fn sweep_soft_deadline_exits_3_checkpoints_and_resumes_bit_identically() {
+    let dir = std::env::temp_dir();
+    let ckpt = dir.join(format!("flagsim-deadline-{}.ckpt", std::process::id()));
+    let ckpt_s = ckpt.to_str().unwrap();
+    // A zero-second wall budget expires before any repetition merges.
+    let (_, stderr, code) = flagsim_code(&[
+        "sweep", "3", "--reps", "6", "--seed", "5", "--jobs", "1",
+        "--checkpoint", ckpt_s, "--checkpoint-every", "1", "--max-wall-secs", "0",
+    ]);
+    assert_eq!(code, 3, "deadline expiry has a distinct exit code: {stderr}");
+    assert!(stderr.contains("soft deadline"), "{stderr}");
+    assert!(stderr.contains("--resume"), "resume hint expected: {stderr}");
+    assert!(ckpt.exists(), "deadline expiry must leave a checkpoint");
+    // Resuming finishes the campaign with statistics identical to an
+    // uninterrupted streaming sweep (compare everything below the
+    // run-description header line).
+    let (resumed, stderr, code) = flagsim_code(&["sweep", "--resume", ckpt_s]);
+    assert_eq!(code, 0, "{stderr}");
+    let (fresh, _, ok) = flagsim(&["sweep", "3", "--reps", "6", "--seed", "5", "--stream"]);
+    std::fs::remove_file(&ckpt).ok();
+    assert!(ok);
+    let tail = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap_or_default();
+    assert_eq!(
+        tail(&resumed),
+        tail(&fresh),
+        "resumed stats must match uninterrupted:\n{resumed}\nvs\n{fresh}"
+    );
+}
+
+#[test]
+fn sweep_with_spawned_workers_matches_serial_statistics() {
+    let shard = flagsim_code(&[
+        "sweep", "onestripe", "--reps", "6", "--seed", "5", "--workers", "2", "--chunk", "2",
+    ]);
+    assert_eq!(shard.2, 0, "sharded sweep failed: {}", shard.1);
+    assert!(shard.0.contains("2 worker(s)"), "{}", shard.0);
+    let (serial, _, ok) = flagsim(&["sweep", "onestripe", "--reps", "6", "--seed", "5", "--stream"]);
+    assert!(ok);
+    let tail = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap_or_default();
+    assert_eq!(
+        tail(&shard.0),
+        tail(&serial),
+        "worker-sharded stats must be bit-identical to serial:\n{}\nvs\n{serial}",
+        shard.0
+    );
+}
+
+#[test]
+fn worker_prints_its_bound_address_and_serves_a_connect_sweep() {
+    use std::io::BufRead as _;
+    // Start a standalone worker on an ephemeral port.
+    let mut worker = Command::new(env!("CARGO_BIN_EXE_flagsim"))
+        .args(["worker", "--listen", "127.0.0.1:0", "--once", "--quiet"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("worker spawns");
+    let mut line = String::new();
+    std::io::BufReader::new(worker.stdout.take().expect("stdout"))
+        .read_line(&mut line)
+        .expect("worker announces");
+    let addr = line.trim().rsplit(' ').next().expect("address token").to_owned();
+    assert!(line.starts_with("worker: listening on "), "{line}");
+    // Drive a sweep through it.
+    let (stdout, stderr, code) = flagsim_code(&[
+        "sweep", "onestripe", "--reps", "4", "--seed", "9", "--connect", &addr,
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("1 worker(s)"), "{stdout}");
+    worker.wait().expect("worker exits after --once session");
+    let (serial, _, ok) = flagsim(&["sweep", "onestripe", "--reps", "4", "--seed", "9", "--stream"]);
+    assert!(ok);
+    let tail = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap_or_default();
+    assert_eq!(tail(&stdout), tail(&serial));
+}

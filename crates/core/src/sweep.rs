@@ -268,8 +268,13 @@ impl<'a> SweepRunner<'a> {
 
     /// One repetition: fresh team, derived seed — the exact recipe the
     /// serial sweep has always used, so seeds are independent of the
-    /// job count.
-    fn run_rep(&self, rep: u64) -> Result<RunReport, String> {
+    /// job count. Public so out-of-process executors (the
+    /// `flagsim-shard` worker) run the *same* repetition function the
+    /// in-process sweep runs: a shard worker handed rep `i` produces the
+    /// identical [`RunReport`] this runner would have produced for rep
+    /// `i`, which is what keeps distributed sweeps bit-for-bit equal to
+    /// serial ones.
+    pub fn run_rep(&self, rep: u64) -> Result<RunReport, String> {
         let mut team: Vec<StudentProfile> = (1..=self.team_size)
             .map(|i| {
                 let s = StudentProfile::new(format!("P{i}"));

@@ -18,7 +18,18 @@
 //! * `median` is exact for samples of up to five observations and a P²
 //!   estimate beyond that.
 
+//!
+//! Snapshots: [`StreamingStats::to_json`] serializes the *entire*
+//! accumulator state (count, exact sum, Welford mean/M2, min/max, and
+//! all five P² markers) with every float as its IEEE-754 bit pattern, so
+//! [`StreamingStats::from_json`] restores it bit-for-bit. Snapshot →
+//! restore → keep pushing is indistinguishable from never having
+//! stopped — the property the sharded sweep's checkpoint/resume gate is
+//! built on.
+
 use crate::stats::RunStats;
+use flagsim_telemetry::json::{self, f64_bits_hex, f64_from_bits_hex, Value};
+use std::fmt::Write as _;
 
 /// P² single-quantile estimator (five markers). Exact until five
 /// observations have been seen, then O(1) per observation.
@@ -132,6 +143,86 @@ impl P2Quantile {
         }
         self.heights[2]
     }
+
+    /// Serialize the full marker state into `out` as a JSON object.
+    fn snapshot_into(&self, out: &mut String) {
+        out.push('{');
+        let _ = write!(out, "\"q\":\"{}\",\"count\":{}", f64_bits_hex(self.q), self.count);
+        for (key, arr) in [
+            ("heights", &self.heights),
+            ("pos", &self.pos),
+            ("desired", &self.desired),
+            ("incr", &self.incr),
+        ] {
+            let _ = write!(out, ",\"{key}\":[");
+            for (i, x) in arr.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", f64_bits_hex(*x));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+
+    /// Restore a marker state serialized by [`P2Quantile::snapshot_into`].
+    fn from_snapshot(v: &Value) -> Result<Self, String> {
+        let q = bits_field(v, "q")?;
+        if !(q > 0.0 && q < 1.0) {
+            return Err(format!("p2 snapshot: quantile {q} out of (0, 1)"));
+        }
+        let count = count_field(v, "count")?;
+        Ok(P2Quantile {
+            q,
+            heights: bits_array5(v, "heights")?,
+            pos: bits_array5(v, "pos")?,
+            desired: bits_array5(v, "desired")?,
+            incr: bits_array5(v, "incr")?,
+            count: count as usize,
+        })
+    }
+}
+
+/// Read a hex-bits f64 field out of a snapshot object.
+fn bits_field(v: &Value, key: &str) -> Result<f64, String> {
+    let s = v
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("snapshot: missing string field {key:?}"))?;
+    f64_from_bits_hex(s).map_err(|e| format!("snapshot field {key:?}: {e}"))
+}
+
+/// Read an exact non-negative integer count (stored as a JSON number;
+/// exact up to 2^53, far beyond any real repetition count).
+fn count_field(v: &Value, key: &str) -> Result<u64, String> {
+    let n = v
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("snapshot: missing numeric field {key:?}"))?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 9.007_199_254_740_992e15) {
+        return Err(format!("snapshot field {key:?}: {n} is not an exact count"));
+    }
+    Ok(n as u64)
+}
+
+/// Read a fixed five-element array of hex-bits f64s.
+fn bits_array5(v: &Value, key: &str) -> Result<[f64; 5], String> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("snapshot: missing array field {key:?}"))?;
+    if arr.len() != 5 {
+        return Err(format!("snapshot field {key:?}: want 5 elements, got {}", arr.len()));
+    }
+    let mut out = [0.0; 5];
+    for (i, e) in arr.iter().enumerate() {
+        let s = e
+            .as_str()
+            .ok_or_else(|| format!("snapshot field {key:?}[{i}]: not a string"))?;
+        out[i] = f64_from_bits_hex(s).map_err(|e| format!("snapshot field {key:?}[{i}]: {e}"))?;
+    }
+    Ok(out)
 }
 
 /// One-pass accumulator producing the same summary as
@@ -224,6 +315,57 @@ impl StreamingStats {
     /// Median: exact for up to five observations, P² estimate beyond.
     pub fn median_estimate(&self) -> f64 {
         self.median.estimate()
+    }
+
+    /// Serialize the complete accumulator state as one JSON object.
+    /// Every float is shipped as its IEEE-754 bit pattern
+    /// ([`f64_bits_hex`]), so [`StreamingStats::from_json`] restores the
+    /// accumulator *bit-for-bit*: continuing to push after a restore
+    /// produces exactly the statistics an uninterrupted accumulator
+    /// would (property-tested in `tests/prop_metrics.rs`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        let _ = write!(
+            out,
+            "\"n\":{},\"sum\":\"{}\",\"w_mean\":\"{}\",\"m2\":\"{}\",\"min\":\"{}\",\"max\":\"{}\",\"median\":",
+            self.n,
+            f64_bits_hex(self.sum),
+            f64_bits_hex(self.w_mean),
+            f64_bits_hex(self.m2),
+            f64_bits_hex(self.min),
+            f64_bits_hex(self.max),
+        );
+        self.median.snapshot_into(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Restore an accumulator serialized by [`StreamingStats::to_json`].
+    /// The restored state is bit-identical: `n()`, `mean()`, `stddev()`,
+    /// `min()`, `max()`, and `median_estimate()` all return exactly what
+    /// the snapshotted accumulator returned, and further `push`es follow
+    /// the identical rounding sequence.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| format!("streaming snapshot: {e}"))?;
+        Self::from_value(&v)
+    }
+
+    /// Restore from an already-parsed snapshot [`Value`] (checkpoint
+    /// files embed several snapshots in one document).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let median = v
+            .get("median")
+            .ok_or("streaming snapshot: missing field \"median\"")?;
+        Ok(StreamingStats {
+            n: count_field(v, "n")?,
+            sum: bits_field(v, "sum")?,
+            w_mean: bits_field(v, "w_mean")?,
+            m2: bits_field(v, "m2")?,
+            min: bits_field(v, "min")?,
+            max: bits_field(v, "max")?,
+            median: P2Quantile::from_snapshot(median)?,
+        })
     }
 
     /// Freeze into a [`RunStats`] summary. Panics if no observations
@@ -332,6 +474,77 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn non_finite_rejected() {
         StreamingStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_for_bit() {
+        for n in [0, 1, 3, 5, 6, 17, 1000] {
+            let mut s = StreamingStats::new();
+            for x in pseudo_random(n) {
+                s.push(x);
+            }
+            let restored = StreamingStats::from_json(&s.to_json()).unwrap();
+            assert_eq!(restored.n, s.n, "n={n}");
+            assert_eq!(restored.sum.to_bits(), s.sum.to_bits());
+            assert_eq!(restored.w_mean.to_bits(), s.w_mean.to_bits());
+            assert_eq!(restored.m2.to_bits(), s.m2.to_bits());
+            assert_eq!(restored.min.to_bits(), s.min.to_bits());
+            assert_eq!(restored.max.to_bits(), s.max.to_bits());
+            assert_eq!(restored.median.count, s.median.count);
+            for i in 0..5 {
+                assert_eq!(restored.median.heights[i].to_bits(), s.median.heights[i].to_bits());
+                assert_eq!(restored.median.pos[i].to_bits(), s.median.pos[i].to_bits());
+                assert_eq!(restored.median.desired[i].to_bits(), s.median.desired[i].to_bits());
+                assert_eq!(restored.median.incr[i].to_bits(), s.median.incr[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_then_continue_equals_uninterrupted() {
+        // The checkpoint/resume contract in miniature: split the stream
+        // at every prefix length and the final summary must be
+        // bit-identical to never having stopped.
+        let xs = pseudo_random(200);
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        for cut in [0, 1, 4, 5, 6, 99, 200] {
+            let mut first = StreamingStats::new();
+            for &x in &xs[..cut] {
+                first.push(x);
+            }
+            let mut resumed = StreamingStats::from_json(&first.to_json()).unwrap();
+            for &x in &xs[cut..] {
+                resumed.push(x);
+            }
+            let (a, b) = (resumed.to_stats(), whole.to_stats());
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "cut={cut}");
+            assert_eq!(a.stddev.to_bits(), b.stddev.to_bits(), "cut={cut}");
+            assert_eq!(a.median.to_bits(), b.median.to_bits(), "cut={cut}");
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+            assert_eq!(a.n, b.n);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_snapshots() {
+        assert!(StreamingStats::from_json("not json").is_err());
+        assert!(StreamingStats::from_json("{}").is_err());
+        // Truncated bits string.
+        let mut s = StreamingStats::new();
+        s.push(1.0);
+        let good = s.to_json();
+        let bad = good.replacen("\"sum\":\"", "\"sum\":\"zz", 1);
+        assert!(StreamingStats::from_json(&bad).is_err());
+        // Wrong marker-array arity.
+        let bad = good.replacen("\"heights\":[", "\"heights\":[\"0000000000000000\",", 1);
+        assert!(StreamingStats::from_json(&bad).is_err());
+        // A count that is not an exact integer.
+        let bad = good.replacen("\"n\":1", "\"n\":1.5", 1);
+        assert!(StreamingStats::from_json(&bad).is_err());
     }
 
     #[test]

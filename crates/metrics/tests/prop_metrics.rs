@@ -88,6 +88,44 @@ proptest! {
         }
     }
 
+    /// Snapshot → restore → continue pushing is indistinguishable from an
+    /// uninterrupted push sequence: for an arbitrary sample and an
+    /// arbitrary cut point, serializing the accumulator at the cut and
+    /// resuming from the JSON yields bit-identical final statistics
+    /// (mean, stddev, median, min, max, n) — the checkpoint/resume
+    /// contract the sharded sweep relies on.
+    #[test]
+    fn snapshot_restore_continue_equals_uninterrupted(
+        xs in proptest::collection::vec(0.0f64..1e6, 1..120),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let cut = ((xs.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(xs.len());
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut first = StreamingStats::new();
+        for &x in &xs[..cut] {
+            first.push(x);
+        }
+        let snapshot = first.to_json();
+        let mut resumed = StreamingStats::from_json(&snapshot)
+            .expect("snapshot must round-trip");
+        for &x in &xs[cut..] {
+            resumed.push(x);
+        }
+        let (a, b) = (resumed.to_stats(), whole.to_stats());
+        prop_assert_eq!(a.n, b.n);
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "mean diverged");
+        prop_assert_eq!(a.stddev.to_bits(), b.stddev.to_bits(), "stddev diverged");
+        prop_assert_eq!(a.median.to_bits(), b.median.to_bits(), "median diverged");
+        prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
+        prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+        // And a second snapshot taken at the end agrees byte-for-byte.
+        prop_assert_eq!(resumed.to_json(), whole.to_json());
+    }
+
     /// Transition percentages always total 100 for nonempty cohorts, and
     /// net gain equals gained% − lost%.
     #[test]

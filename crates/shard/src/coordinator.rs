@@ -1,0 +1,830 @@
+//! The coordinator: shard a sweep across worker processes, survive
+//! their deaths, and land the exact serial answer.
+//!
+//! One OS thread per endpoint runs the connect → hello → lease loop,
+//! feeding every reported repetition through the shared [`MergeState`];
+//! the main thread supervises heartbeat deadlines, the wall-clock
+//! budget, and the checkpoint cadence. Failure handling is layered:
+//!
+//! 1. connect failures back off exponentially with an attempt budget;
+//! 2. a session that errors or goes silent past the heartbeat timeout
+//!    marks its worker dead, and the unfinished part of its lease is
+//!    redistributed per the campaign's `RecoveryPolicy`;
+//! 3. a dead session's endpoint thread re-registers and reconnects
+//!    (bounded by the same attempt budget);
+//! 4. when every endpoint thread has given up and work remains, the
+//!    coordinator degrades to running the missing repetitions
+//!    in-process — same [`run_rep`], same answer, no cluster.
+//!
+//! [`run_rep`]: flagsim_core::sweep::SweepRunner::run_rep
+//!
+//! The same code path runs pure in-process sweeps (no endpoints), which
+//! is how `--checkpoint`/`--resume`/`--max-wall-secs` work without any
+//! workers at all.
+
+use crate::checkpoint::Checkpoint;
+use crate::job::{JobSpec, MaterializedJob};
+use crate::lease::{LeaseConfig, LeaseGrant, LeaseTable, WorkerId};
+use crate::merge::{MergeState, RepOutcome};
+use crate::wire::{self, Message, PROTOCOL_VERSION};
+use flagsim_core::sweep::SweepFailure;
+use flagsim_metrics::RunStats;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Everything that shapes a sharded campaign besides the job itself.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Worker endpoints (`host:port`). Empty means run in-process.
+    pub endpoints: Vec<String>,
+    /// Threads for the in-process path (and the degradation path).
+    pub local_jobs: usize,
+    /// Where to write checkpoints; `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint whenever this many new reps have merged since the
+    /// last save.
+    pub checkpoint_every: u64,
+    /// Resume from this checkpoint instead of starting fresh.
+    pub resume: Option<Checkpoint>,
+    /// Soft wall-clock budget: on expiry the coordinator checkpoints
+    /// and reports [`ShardOutcome::DeadlineExpired`].
+    pub max_wall: Option<Duration>,
+    /// Lease sizing, heartbeat/backoff tuning, and the recovery policy.
+    pub lease: LeaseConfig,
+    /// Test/bench hook: stop abruptly (no final checkpoint — simulating
+    /// a kill) once this many reps have merged.
+    pub halt_after_reps: Option<u64>,
+    /// Suppress stderr progress notes.
+    pub quiet: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            endpoints: Vec::new(),
+            local_jobs: 1,
+            checkpoint_path: None,
+            checkpoint_every: 64,
+            resume: None,
+            max_wall: None,
+            lease: LeaseConfig::default(),
+            halt_after_reps: None,
+            quiet: true,
+        }
+    }
+}
+
+/// Summary statistics of a completed campaign — bit-identical to what
+/// the serial streaming sweep would report.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Completion-time statistics.
+    pub completion: RunStats,
+    /// Waiting-time statistics.
+    pub waiting: RunStats,
+    /// Per-rep failures (recorded, not fatal).
+    pub failures: Vec<SweepFailure>,
+    /// Total repetitions merged (equals the job's rep count).
+    pub reps: u64,
+}
+
+/// How a campaign ended.
+#[derive(Debug)]
+pub enum ShardOutcome {
+    /// Every repetition merged.
+    Completed(ShardResult),
+    /// The wall-clock budget expired first; a checkpoint (if configured)
+    /// holds the progress.
+    DeadlineExpired {
+        /// Reps merged before expiry.
+        merged: u64,
+        /// Total reps in the campaign.
+        total: u64,
+        /// The checkpoint written on expiry, if checkpointing was on.
+        checkpoint: Option<PathBuf>,
+    },
+    /// `halt_after_reps` tripped (test/bench kill simulation): stopped
+    /// abruptly with no final checkpoint.
+    Halted {
+        /// Reps merged before the simulated kill.
+        merged: u64,
+    },
+}
+
+struct Shared {
+    table: LeaseTable,
+    merge: MergeState,
+    last_ckpt: u64,
+    halted: bool,
+    deadline_hit: bool,
+    fatal: Option<String>,
+}
+
+fn now_ms(start: Instant) -> u64 {
+    start.elapsed().as_millis() as u64
+}
+
+fn lock(shared: &Mutex<Shared>) -> std::sync::MutexGuard<'_, Shared> {
+    shared.lock().expect("shard state lock poisoned")
+}
+
+/// Fold one outcome into the merge, honoring checkpoint cadence and the
+/// halt hook. Call with the state lock held.
+fn record(sh: &mut Shared, job: &JobSpec, cfg: &CoordinatorConfig, rep: u64, outcome: RepOutcome) {
+    sh.merge.accept(rep, outcome);
+    if let (Some(path), true) = (&cfg.checkpoint_path, cfg.checkpoint_every > 0) {
+        if sh.merge.merged().saturating_sub(sh.last_ckpt) >= cfg.checkpoint_every {
+            match Checkpoint::from_merge(job, &sh.merge).save(path) {
+                Ok(()) => sh.last_ckpt = sh.merge.merged(),
+                Err(e) => sh.fatal = Some(format!("checkpoint save failed: {e}")),
+            }
+        }
+    }
+    if let Some(n) = cfg.halt_after_reps {
+        if sh.merge.merged() >= n && !sh.merge.is_complete() {
+            sh.halted = true;
+        }
+    }
+}
+
+fn stop_requested(sh: &Shared) -> bool {
+    sh.halted || sh.deadline_hit || sh.fatal.is_some()
+}
+
+/// Run `job` under `cfg`. Statistics in [`ShardOutcome::Completed`] are
+/// bit-for-bit those of the serial streaming sweep, regardless of
+/// worker count, failures, or resume history.
+pub fn run_sweep(job: &JobSpec, cfg: &CoordinatorConfig) -> Result<ShardOutcome, String> {
+    let _span = flagsim_telemetry::span("shard", "coordinate");
+    let mat = job.materialize()?;
+    let merge = match &cfg.resume {
+        Some(ck) => {
+            if ck.job.fingerprint() != job.fingerprint() {
+                return Err(format!(
+                    "resume: checkpoint is for a different campaign \
+                     (checkpoint {}, requested {})",
+                    ck.job.fingerprint(),
+                    job.fingerprint()
+                ));
+            }
+            ck.clone().into_merge()
+        }
+        None => MergeState::new(job.reps),
+    };
+    if flagsim_telemetry::enabled() {
+        flagsim_telemetry::gauge_set("shard.total_reps", job.reps as f64);
+        flagsim_telemetry::gauge_set("shard.endpoints", cfg.endpoints.len() as f64);
+    }
+    let start = Instant::now();
+    let table = LeaseTable::with_missing(job.reps, &merge.missing_ranges(), cfg.lease.clone());
+    let shared = Mutex::new(Shared {
+        table,
+        merge,
+        last_ckpt: cfg.resume.as_ref().map(|c| c.watermark).unwrap_or(0),
+        halted: false,
+        deadline_hit: false,
+        fatal: None,
+    });
+
+    if !lock(&shared).merge.is_complete() {
+        if cfg.endpoints.is_empty() {
+            run_local(&mat, job, cfg, &shared, start);
+        } else {
+            run_remote(&mat, job, cfg, &shared, start);
+        }
+    }
+
+    // Everything has stopped; freeze the outcome.
+    let sh = shared.into_inner().expect("shard state lock poisoned");
+    if let Some(fatal) = sh.fatal {
+        return Err(fatal);
+    }
+    if let Some(reason) = sh.table.abort_reason() {
+        return Err(reason.to_owned());
+    }
+    if sh.halted {
+        return Ok(ShardOutcome::Halted { merged: sh.merge.merged() });
+    }
+    if sh.deadline_hit && !sh.merge.is_complete() {
+        let checkpoint = match &cfg.checkpoint_path {
+            Some(path) => {
+                Checkpoint::from_merge(job, &sh.merge)
+                    .save(path)
+                    .map_err(|e| format!("checkpoint save on deadline: {e}"))?;
+                Some(path.clone())
+            }
+            None => None,
+        };
+        return Ok(ShardOutcome::DeadlineExpired {
+            merged: sh.merge.merged(),
+            total: sh.merge.total(),
+            checkpoint,
+        });
+    }
+    if !sh.merge.is_complete() {
+        return Err(format!(
+            "campaign stalled at {}/{} reps with no workers left",
+            sh.merge.merged(),
+            sh.merge.total()
+        ));
+    }
+    if let Some(path) = &cfg.checkpoint_path {
+        // Final checkpoint: resuming a finished campaign is a no-op.
+        Checkpoint::from_merge(job, &sh.merge)
+            .save(path)
+            .map_err(|e| format!("final checkpoint save: {e}"))?;
+    }
+    let (completion, waiting) = sh
+        .merge
+        .finish()
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    Ok(ShardOutcome::Completed(ShardResult {
+        completion,
+        waiting,
+        failures: sh.merge.failures().to_vec(),
+        reps: sh.merge.total(),
+    }))
+}
+
+/// In-process execution of whatever the merge still owes. Also the
+/// degradation path when the cluster is gone.
+fn run_local(
+    mat: &MaterializedJob,
+    job: &JobSpec,
+    cfg: &CoordinatorConfig,
+    shared: &Mutex<Shared>,
+    start: Instant,
+) {
+    let queue: Mutex<Vec<(u64, u64)>> = Mutex::new(lock(shared).merge.missing_ranges());
+    let pop = || -> Option<u64> {
+        let mut q = queue.lock().expect("rep queue lock poisoned");
+        let first = q.first_mut()?;
+        let rep = first.0;
+        first.0 += 1;
+        if first.0 >= first.1 {
+            q.remove(0);
+        }
+        Some(rep)
+    };
+    let stop = AtomicBool::new(false);
+    let jobs = cfg.local_jobs.max(1);
+    thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                let runner = mat.runner();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(budget) = cfg.max_wall {
+                        if start.elapsed() >= budget {
+                            lock(shared).deadline_hit = true;
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    let Some(rep) = pop() else { return };
+                    let outcome = match runner.run_rep(rep) {
+                        Ok(report) => RepOutcome::Ok {
+                            completion: report.completion_secs(),
+                            waiting: report.total_wait_secs(),
+                        },
+                        Err(error) => RepOutcome::Failed { error },
+                    };
+                    let mut sh = lock(shared);
+                    record(&mut sh, job, cfg, rep, outcome);
+                    if stop_requested(&sh) {
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Drive the endpoint sessions plus the supervisor loop; returns once
+/// every thread has stopped and a terminal condition holds.
+fn run_remote(
+    mat: &MaterializedJob,
+    job: &JobSpec,
+    cfg: &CoordinatorConfig,
+    shared: &Mutex<Shared>,
+    start: Instant,
+) {
+    let done = AtomicBool::new(false);
+    let threads_alive = AtomicUsize::new(cfg.endpoints.len());
+    thread::scope(|s| {
+        for endpoint in &cfg.endpoints {
+            let done = &done;
+            let threads_alive = &threads_alive;
+            s.spawn(move || {
+                endpoint_sessions(endpoint, job, cfg, shared, done, start);
+                threads_alive.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        // Supervisor.
+        loop {
+            thread::sleep(Duration::from_millis(5));
+            let now = now_ms(start);
+            let mut sh = lock(shared);
+            sh.table.check_deadlines(now);
+            if let Some(budget) = cfg.max_wall {
+                if start.elapsed() >= budget && !sh.merge.is_complete() {
+                    sh.deadline_hit = true;
+                }
+            }
+            let terminal = sh.merge.is_complete()
+                || stop_requested(&sh)
+                || sh.table.abort_reason().is_some();
+            if terminal {
+                done.store(true, Ordering::Relaxed);
+                break;
+            }
+            let cluster_gone = threads_alive.load(Ordering::Relaxed) == 0;
+            if cluster_gone {
+                if !cfg.quiet {
+                    eprintln!(
+                        "shard: no workers reachable; degrading to in-process execution \
+                         ({} of {} reps remain)",
+                        sh.merge.total() - sh.merge.merged(),
+                        sh.merge.total()
+                    );
+                }
+                drop(sh);
+                run_local(mat, job, cfg, shared, start);
+                done.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        // Scope exit joins the endpoint threads (they observe `done`).
+    });
+}
+
+/// One endpoint's lifetime: connect (with backoff), serve sessions,
+/// re-register on death, give up when the attempt budget is spent.
+fn endpoint_sessions(
+    endpoint: &str,
+    job: &JobSpec,
+    cfg: &CoordinatorConfig,
+    shared: &Mutex<Shared>,
+    done: &AtomicBool,
+    start: Instant,
+) {
+    let Ok(addr) = endpoint.parse::<SocketAddr>() else {
+        let mut sh = lock(shared);
+        let w = sh.table.add_worker(endpoint);
+        sh.table.mark_dead(w, "unparseable endpoint address", now_ms(start));
+        return;
+    };
+    let mut sessions: u32 = 0;
+    while !done.load(Ordering::Relaxed) && sessions < cfg.lease.max_connect_attempts.max(1) {
+        sessions += 1;
+        let w = lock(shared).table.add_worker(endpoint);
+        let Some(stream) = connect_with_backoff(addr, w, cfg, shared, done, start) else {
+            return; // attempt budget exhausted (slot marked dead) or done
+        };
+        // A broken session falls through and the loop re-registers.
+        let _ = drive_session(stream, w, job, cfg, shared, done, start);
+        if lock(shared).merge.is_complete() || !lock(shared).table.is_dead(w) {
+            return; // clean shutdown path already ran
+        }
+    }
+}
+
+fn connect_with_backoff(
+    addr: SocketAddr,
+    w: WorkerId,
+    cfg: &CoordinatorConfig,
+    shared: &Mutex<Shared>,
+    done: &AtomicBool,
+    start: Instant,
+) -> Option<TcpStream> {
+    loop {
+        if done.load(Ordering::Relaxed) {
+            return None;
+        }
+        let now = now_ms(start);
+        let (may, scheduled) = {
+            let sh = lock(shared);
+            (sh.table.may_connect(w, now), sh.table.next_attempt_at(w))
+        };
+        if may {
+            match TcpStream::connect_timeout(
+                &addr,
+                Duration::from_millis(cfg.lease.heartbeat_timeout_ms.max(1)),
+            ) {
+                Ok(stream) => {
+                    lock(shared).table.on_connected(w, now_ms(start));
+                    return Some(stream);
+                }
+                Err(_) => {
+                    let mut sh = lock(shared);
+                    sh.table.on_connect_failed(w, now_ms(start));
+                    if flagsim_telemetry::enabled() {
+                        flagsim_telemetry::count("shard.connect_failures", 1);
+                    }
+                }
+            }
+        } else if scheduled.is_none() {
+            return None; // budget exhausted; slot is dead
+        } else {
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// Serve one established session until the campaign finishes, the
+/// session breaks (worker marked dead), or `done` is raised.
+fn drive_session(
+    stream: TcpStream,
+    w: WorkerId,
+    job: &JobSpec,
+    cfg: &CoordinatorConfig,
+    shared: &Mutex<Shared>,
+    done: &AtomicBool,
+    start: Instant,
+) -> Result<(), ()> {
+    let dead = |reason: &str| {
+        lock(shared).table.mark_dead(w, reason, now_ms(start));
+    };
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(cfg.lease.heartbeat_timeout_ms.max(1))))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        dead("could not clone stream");
+        return Err(());
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    if wire::send(
+        &mut writer,
+        &Message::Hello { protocol: PROTOCOL_VERSION, job: job.clone() },
+    )
+    .is_err()
+    {
+        dead("hello write failed");
+        return Err(());
+    }
+    match wire::recv(&mut reader) {
+        Ok(Some(Message::HelloOk { .. })) => {}
+        Ok(Some(Message::Error { message })) => {
+            dead(&format!("worker refused session: {message}"));
+            return Err(());
+        }
+        _ => {
+            dead("no hello_ok");
+            return Err(());
+        }
+    }
+
+    loop {
+        if done.load(Ordering::Relaxed) {
+            // Best-effort goodbye; the worker survives for other sweeps.
+            let _ = wire::send(&mut writer, &Message::Shutdown);
+            let _ = wire::recv(&mut reader);
+            return Ok(());
+        }
+        let grant = {
+            let mut sh = lock(shared);
+            if sh.table.is_dead(w) {
+                return Err(()); // supervisor timed us out while idle
+            }
+            sh.table.request_lease(w, now_ms(start))
+        };
+        match grant {
+            LeaseGrant::Finished => {
+                let _ = wire::send(&mut writer, &Message::Shutdown);
+                let _ = wire::recv(&mut reader);
+                return Ok(());
+            }
+            LeaseGrant::Wait => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            LeaseGrant::Range { start: s, end: e } => {
+                if wire::send(&mut writer, &Message::Lease { start: s, end: e }).is_err() {
+                    dead("lease write failed");
+                    return Err(());
+                }
+                if flagsim_telemetry::enabled() {
+                    flagsim_telemetry::count("shard.leases_granted", 1);
+                }
+                loop {
+                    match wire::recv(&mut reader) {
+                        Ok(Some(Message::Rep { rep, outcome })) => {
+                            let mut sh = lock(shared);
+                            sh.table.on_rep_done(w, rep, now_ms(start));
+                            record(&mut sh, job, cfg, rep, outcome);
+                            if stop_requested(&sh) {
+                                done.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(Some(Message::LeaseDone { .. })) => {
+                            lock(shared).table.on_lease_done(w, now_ms(start));
+                            break;
+                        }
+                        Ok(Some(Message::Heartbeat)) => {
+                            lock(shared).table.on_heartbeat(w, now_ms(start));
+                        }
+                        Ok(Some(Message::Error { message })) => {
+                            dead(&format!("worker error: {message}"));
+                            return Err(());
+                        }
+                        Ok(Some(other)) => {
+                            dead(&format!("unexpected frame {other:?}"));
+                            return Err(());
+                        }
+                        Ok(None) => {
+                            dead("connection closed mid-lease");
+                            return Err(());
+                        }
+                        Err(_) => {
+                            // Read timeout or transport error: the lease
+                            // supervisor's verdict, delivered locally.
+                            dead("heartbeat timeout");
+                            return Err(());
+                        }
+                    }
+                    if done.load(Ordering::Relaxed) {
+                        let _ = wire::send(&mut writer, &Message::Shutdown);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{serve, WorkerOptions};
+    use flagsim_core::sweep::SweepRunner;
+    use std::net::TcpListener;
+
+    fn job(reps: u64) -> JobSpec {
+        JobSpec {
+            scenario: "4".into(),
+            flag: "Mauritius".into(),
+            kind: "dauber".into(),
+            seed: 20260808,
+            reps,
+            team: 4,
+            warmup: false,
+        }
+    }
+
+    fn serial_stats(job: &JobSpec) -> (RunStats, RunStats) {
+        let mat = job.materialize().expect("job materializes");
+        let result = mat.runner().run().expect("serial sweep runs");
+        (result.completion, result.waiting)
+    }
+
+    fn spawn_workers(n: usize) -> (Vec<String>, Vec<thread::JoinHandle<()>>) {
+        let mut endpoints = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            endpoints.push(listener.local_addr().expect("addr").to_string());
+            handles.push(thread::spawn(move || {
+                let opts = WorkerOptions {
+                    once: true,
+                    name: format!("w{i}"),
+                    quiet: true,
+                };
+                serve(&listener, &opts).ok();
+            }));
+        }
+        (endpoints, handles)
+    }
+
+    fn assert_stats_bits_equal(a: &RunStats, b: &RunStats) {
+        assert_eq!(a.n, b.n);
+        for (x, y) in [
+            (a.mean, b.mean),
+            (a.stddev, b.stddev),
+            (a.min, b.min),
+            (a.max, b.max),
+            (a.median, b.median),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "stats differ: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn local_path_matches_serial_sweep() {
+        let j = job(16);
+        let (serial_c, serial_w) = serial_stats(&j);
+        for jobs in [1usize, 3] {
+            let cfg = CoordinatorConfig { local_jobs: jobs, ..CoordinatorConfig::default() };
+            match run_sweep(&j, &cfg).expect("local sweep") {
+                ShardOutcome::Completed(r) => {
+                    assert_stats_bits_equal(&r.completion, &serial_c);
+                    assert_stats_bits_equal(&r.waiting, &serial_w);
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_worker_sweep_is_bit_identical_to_serial() {
+        let j = job(20);
+        let (serial_c, serial_w) = serial_stats(&j);
+        let (endpoints, handles) = spawn_workers(3);
+        let cfg = CoordinatorConfig {
+            endpoints,
+            lease: LeaseConfig { chunk: 3, ..LeaseConfig::default() },
+            ..CoordinatorConfig::default()
+        };
+        match run_sweep(&j, &cfg).expect("sharded sweep") {
+            ShardOutcome::Completed(r) => {
+                assert_stats_bits_equal(&r.completion, &serial_c);
+                assert_stats_bits_equal(&r.waiting, &serial_w);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+    }
+
+    #[test]
+    fn unreachable_workers_degrade_to_local_and_still_match_serial() {
+        let j = job(8);
+        let (serial_c, _) = serial_stats(&j);
+        let cfg = CoordinatorConfig {
+            // Nothing listens here; connect_timeout + backoff burn the
+            // attempt budget fast.
+            endpoints: vec!["127.0.0.1:9".into()],
+            local_jobs: 2,
+            lease: LeaseConfig {
+                backoff_base_ms: 1,
+                backoff_cap_ms: 4,
+                max_connect_attempts: 2,
+                heartbeat_timeout_ms: 200,
+                ..LeaseConfig::default()
+            },
+            ..CoordinatorConfig::default()
+        };
+        match run_sweep(&j, &cfg).expect("degraded sweep") {
+            ShardOutcome::Completed(r) => assert_stats_bits_equal(&r.completion, &serial_c),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_death_mid_sweep_reassigns_and_stays_bit_identical() {
+        let j = job(18);
+        let (serial_c, _) = serial_stats(&j);
+        // One real worker, one endpoint that accepts the connection and
+        // then drops it after the handshake (a worker that dies holding
+        // its first lease).
+        let (mut endpoints, handles) = spawn_workers(1);
+        let flaky = TcpListener::bind("127.0.0.1:0").expect("bind flaky");
+        endpoints.push(flaky.local_addr().expect("addr").to_string());
+        let flaky_thread = thread::spawn(move || {
+            // Accept, answer the hello, then vanish mid-lease.
+            let (stream, _) = flaky.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            if let Ok(Some(Message::Hello { .. })) = wire::recv(&mut reader) {
+                wire::send(&mut writer, &Message::HelloOk { worker: "flaky".into() }).ok();
+                // Take the lease and hang up without reporting a rep.
+                let _ = wire::recv(&mut reader);
+            }
+            // Dropping the streams closes the connection.
+        });
+        let cfg = CoordinatorConfig {
+            endpoints,
+            lease: LeaseConfig {
+                chunk: 4,
+                heartbeat_timeout_ms: 300,
+                backoff_base_ms: 1,
+                backoff_cap_ms: 8,
+                max_connect_attempts: 2,
+                ..LeaseConfig::default()
+            },
+            ..CoordinatorConfig::default()
+        };
+        match run_sweep(&j, &cfg).expect("sweep with a dying worker") {
+            ShardOutcome::Completed(r) => assert_stats_bits_equal(&r.completion, &serial_c),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        flaky_thread.join().expect("flaky thread");
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+    }
+
+    #[test]
+    fn halt_then_resume_is_bit_identical_to_uninterrupted() {
+        let j = job(14);
+        let (serial_c, serial_w) = serial_stats(&j);
+        let dir = std::env::temp_dir().join(format!("flagsim-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("halt.ckpt");
+        let halted = run_sweep(
+            &j,
+            &CoordinatorConfig {
+                checkpoint_path: Some(ckpt.clone()),
+                checkpoint_every: 1,
+                halt_after_reps: Some(5),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .expect("halted sweep");
+        assert!(matches!(halted, ShardOutcome::Halted { merged } if merged >= 5));
+        let resume = Checkpoint::load(&ckpt).expect("load checkpoint");
+        assert!(resume.watermark >= 1 && resume.watermark < 14, "mid-campaign checkpoint");
+        let jr = resume.job.clone();
+        let outcome = run_sweep(
+            &jr,
+            &CoordinatorConfig {
+                resume: Some(resume),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .expect("resumed sweep");
+        match outcome {
+            ShardOutcome::Completed(r) => {
+                assert_stats_bits_equal(&r.completion, &serial_c);
+                assert_stats_bits_equal(&r.waiting, &serial_w);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately_with_a_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("flagsim-shard-dl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("deadline.ckpt");
+        let j = job(10);
+        let outcome = run_sweep(
+            &j,
+            &CoordinatorConfig {
+                checkpoint_path: Some(ckpt.clone()),
+                max_wall: Some(Duration::from_secs(0)),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .expect("deadline sweep");
+        match outcome {
+            ShardOutcome::DeadlineExpired { merged, total, checkpoint } => {
+                assert_eq!(total, 10);
+                assert!(merged < 10);
+                let path = checkpoint.expect("checkpoint written");
+                let ck = Checkpoint::load(&path).expect("checkpoint loads");
+                assert_eq!(ck.watermark, merged);
+            }
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_campaign() {
+        let mut m = MergeState::new(5);
+        m.accept(0, RepOutcome::Ok { completion: 1.0, waiting: 0.5 });
+        let ck = Checkpoint::from_merge(&job(5), &m);
+        let other = job(7); // different rep count → different fingerprint
+        let err = run_sweep(
+            &other,
+            &CoordinatorConfig { resume: Some(ck), ..CoordinatorConfig::default() },
+        )
+        .unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
+    }
+
+    #[test]
+    fn sweep_runner_serial_equals_streaming_serial() {
+        // The anchor for every bit-for-bit claim above: the runner's
+        // retained serial stats vs its streaming stats path — our gates
+        // compare against the streaming path, which run() uses when
+        // reports are not retained.
+        let j = job(12);
+        let mat = j.materialize().expect("materialize");
+        let streaming = mat.runner().run().expect("streaming run");
+        let retained = SweepRunner::new(&mat.scenario, &mat.flag, &mat.kit, &mat.config)
+            .team_size(mat.team)
+            .warmup(mat.warmup)
+            .reps(mat.reps)
+            .retain_reports(true)
+            .run()
+            .expect("retained run");
+        assert_eq!(streaming.completion.n, retained.completion.n);
+        assert_eq!(
+            streaming.completion.mean.to_bits(),
+            retained.completion.mean.to_bits()
+        );
+    }
+}

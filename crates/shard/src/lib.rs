@@ -1,0 +1,59 @@
+//! # flagsim-shard
+//!
+//! Scale a sweep past one OS process without changing a single digit of
+//! its output. A *coordinator* shards a sweep's repetition range into
+//! leases, farms them out to `flagsim worker` processes over a
+//! hand-rolled length-prefixed JSON-over-TCP protocol (the workspace is
+//! offline — no serde, no tonic), and merges the per-repetition metrics
+//! back through a rep-indexed reorder buffer, so the final statistics
+//! are **bit-for-bit identical to the serial sweep** at any worker
+//! count — the same determinism contract `core::sweep` already makes
+//! for threads, extended to processes.
+//!
+//! The paper's scenario 4 teaches that real parallel systems lose
+//! workers; this crate survives failure at every layer:
+//!
+//! * **Leases + heartbeats** ([`lease`]): every worker holds at most one
+//!   rep-range lease; any frame it sends refreshes its heartbeat, and a
+//!   deadline miss declares it dead and returns the unfinished part of
+//!   its lease to the pool under the same [`RecoveryPolicy`] vocabulary
+//!   the in-simulation fault drills use — `rebalance` hands the work to
+//!   the survivors immediately, `spare:SECS` embargoes it while a
+//!   replacement is fetched, `abort` stops the campaign and reports.
+//! * **Reconnects** ([`coordinator`]): connection attempts back off
+//!   exponentially with a cap and an attempt budget.
+//! * **Degradation**: when no worker is reachable at all, the
+//!   coordinator runs the repetitions in-process (the same
+//!   [`SweepRunner::run_rep`](flagsim_core::sweep::SweepRunner::run_rep)
+//!   the workers call), so a dead cluster costs wall-clock time, never a
+//!   campaign.
+//! * **Checkpoint/resume** ([`checkpoint`]): the coordinator
+//!   periodically serializes its [`StreamingStats`] accumulators (exact
+//!   bit-level snapshots), the merged-rep watermark, recorded failures,
+//!   and any completed-but-unmerged repetitions to a checkpoint file;
+//!   `flagsim sweep --resume <ckpt>` continues a killed million-rep
+//!   sweep from where it stopped and finishes with statistics
+//!   bit-identical to an uninterrupted run (the `shard_bench` hard
+//!   gate).
+//!
+//! [`StreamingStats`]: flagsim_metrics::StreamingStats
+//! [`RecoveryPolicy`]: flagsim_core::faults::RecoveryPolicy
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod coordinator;
+pub mod job;
+pub mod lease;
+pub mod merge;
+pub mod wire;
+pub mod worker;
+
+pub use checkpoint::Checkpoint;
+pub use coordinator::{run_sweep, CoordinatorConfig, ShardOutcome, ShardResult};
+pub use job::{JobSpec, MaterializedJob};
+pub use lease::{LeaseConfig, LeaseGrant, LeaseTable, WorkerId};
+pub use merge::{MergeState, RepOutcome};
+pub use wire::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+pub use worker::{serve, WorkerOptions};

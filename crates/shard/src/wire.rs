@@ -1,0 +1,367 @@
+//! The coordinator↔worker wire protocol.
+//!
+//! Framing is deliberately primitive: a 4-byte big-endian length prefix
+//! followed by that many bytes of UTF-8 JSON. The JSON is written by
+//! hand and parsed back with `telemetry::json` (the workspace is
+//! offline — no serde), and every float crosses the wire as its IEEE-754
+//! bit pattern via [`f64_bits_hex`], because the merged statistics must
+//! be *bit-for-bit* identical to a serial sweep and decimal round-trips
+//! are lossy.
+//!
+//! Session shape (coordinator drives, worker answers):
+//!
+//! ```text
+//! C → W   hello   {protocol, job}
+//! W → C   hello_ok {worker}
+//! C → W   lease   {start, end}          # end exclusive
+//! W → C   rep     {rep, ok, completion, waiting | error}   × (end-start)
+//! W → C   lease_done {start, end}
+//! ...more leases...
+//! C → W   shutdown
+//! W → C   bye
+//! ```
+//!
+//! Any frame a worker sends doubles as a heartbeat: repetitions take
+//! milliseconds, so a healthy worker is never silent for long, and the
+//! coordinator's lease supervisor treats prolonged silence as death.
+
+use crate::job::JobSpec;
+use crate::merge::RepOutcome;
+use flagsim_telemetry::json::{self, f64_bits_hex, f64_from_bits_hex, json_string, Value};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+
+/// Protocol revision; both sides must agree exactly.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a frame body, to fail fast on a corrupt or hostile
+/// length prefix instead of attempting a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    let len = body.len() as u64;
+    if len > MAX_FRAME_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    w.write_all(&(len as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary (the peer closed the connection); timeouts and
+/// mid-frame EOFs surface as `Err`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Every message either side can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Coordinator → worker: open a session for `job`.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        protocol: u64,
+        /// The campaign both sides will compute identically.
+        job: JobSpec,
+    },
+    /// Worker → coordinator: session accepted.
+    HelloOk {
+        /// Worker's self-chosen name (diagnostics only).
+        worker: String,
+    },
+    /// Coordinator → worker: run reps `start..end` (end exclusive).
+    Lease {
+        /// First repetition of the lease.
+        start: u64,
+        /// One past the last repetition.
+        end: u64,
+    },
+    /// Worker → coordinator: one repetition's outcome.
+    Rep {
+        /// Repetition index.
+        rep: u64,
+        /// Metrics or failure, bit-exact.
+        outcome: RepOutcome,
+    },
+    /// Worker → coordinator: every rep of the lease has been reported.
+    LeaseDone {
+        /// Echo of the lease start.
+        start: u64,
+        /// Echo of the lease end.
+        end: u64,
+    },
+    /// Worker → coordinator: still alive (sent when idle; any other
+    /// frame also refreshes the heartbeat).
+    Heartbeat,
+    /// Coordinator → worker: wind down the session.
+    Shutdown,
+    /// Worker → coordinator: acknowledging shutdown, about to close.
+    Bye,
+    /// Either direction: a protocol-level failure, before closing.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Message {
+    /// Encode as one JSON object (the body of one frame).
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        match self {
+            Message::Hello { protocol, job } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"hello\",\"protocol\":{protocol},\"job\":{}}}",
+                    job.to_json()
+                );
+            }
+            Message::HelloOk { worker } => {
+                let _ = write!(out, "{{\"type\":\"hello_ok\",\"worker\":{}}}", json_string(worker));
+            }
+            Message::Lease { start, end } => {
+                let _ = write!(out, "{{\"type\":\"lease\",\"start\":\"{start}\",\"end\":\"{end}\"}}");
+            }
+            Message::Rep { rep, outcome } => match outcome {
+                RepOutcome::Ok { completion, waiting } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"rep\",\"rep\":\"{rep}\",\"ok\":true,\"completion\":\"{}\",\"waiting\":\"{}\"}}",
+                        f64_bits_hex(*completion),
+                        f64_bits_hex(*waiting)
+                    );
+                }
+                RepOutcome::Failed { error } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"rep\",\"rep\":\"{rep}\",\"ok\":false,\"error\":{}}}",
+                        json_string(error)
+                    );
+                }
+            },
+            Message::LeaseDone { start, end } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"lease_done\",\"start\":\"{start}\",\"end\":\"{end}\"}}"
+                );
+            }
+            Message::Heartbeat => out.push_str("{\"type\":\"heartbeat\"}"),
+            Message::Shutdown => out.push_str("{\"type\":\"shutdown\"}"),
+            Message::Bye => out.push_str("{\"type\":\"bye\"}"),
+            Message::Error { message } => {
+                let _ = write!(out, "{{\"type\":\"error\",\"message\":{}}}", json_string(message));
+            }
+        }
+        out
+    }
+
+    /// Decode one frame body.
+    pub fn decode(body: &str) -> Result<Message, String> {
+        let v = json::parse(body).map_err(|e| format!("bad frame: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("bad frame: missing \"type\"")?;
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("bad {ty:?} frame: missing field {key:?}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("bad {ty:?} frame: field {key:?} is not a u64"))
+        };
+        match ty {
+            "hello" => {
+                let protocol = v
+                    .get("protocol")
+                    .and_then(Value::as_f64)
+                    .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                    .ok_or("bad hello frame: missing protocol")? as u64;
+                let job = v.get("job").ok_or("bad hello frame: missing job")?;
+                Ok(Message::Hello {
+                    protocol,
+                    job: JobSpec::from_value(job)?,
+                })
+            }
+            "hello_ok" => Ok(Message::HelloOk {
+                worker: v
+                    .get("worker")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+            }),
+            "lease" => Ok(Message::Lease {
+                start: u64_field("start")?,
+                end: u64_field("end")?,
+            }),
+            "rep" => {
+                let rep = u64_field("rep")?;
+                let ok = match v.get("ok") {
+                    Some(Value::Bool(b)) => *b,
+                    _ => return Err("bad rep frame: missing bool \"ok\"".into()),
+                };
+                let outcome = if ok {
+                    let bits = |key: &str| -> Result<f64, String> {
+                        let s = v
+                            .get(key)
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| format!("bad rep frame: missing {key:?}"))?;
+                        f64_from_bits_hex(s)
+                    };
+                    RepOutcome::Ok {
+                        completion: bits("completion")?,
+                        waiting: bits("waiting")?,
+                    }
+                } else {
+                    RepOutcome::Failed {
+                        error: v
+                            .get("error")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unknown worker error")
+                            .to_owned(),
+                    }
+                };
+                Ok(Message::Rep { rep, outcome })
+            }
+            "lease_done" => Ok(Message::LeaseDone {
+                start: u64_field("start")?,
+                end: u64_field("end")?,
+            }),
+            "heartbeat" => Ok(Message::Heartbeat),
+            "shutdown" => Ok(Message::Shutdown),
+            "bye" => Ok(Message::Bye),
+            "error" => Ok(Message::Error {
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown peer error")
+                    .to_owned(),
+            }),
+            other => Err(format!("bad frame: unknown type {other:?}")),
+        }
+    }
+}
+
+/// Write one encoded [`Message`] as a frame.
+pub fn send(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    write_frame(w, &msg.encode())
+}
+
+/// Read and decode one [`Message`]; `Ok(None)` on clean EOF.
+pub fn recv(r: &mut impl Read) -> io::Result<Option<Message>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(body) => Message::decode(&body)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> JobSpec {
+        JobSpec {
+            scenario: "4".into(),
+            flag: "Mauritius".into(),
+            kind: "thick".into(),
+            seed: 0xDEAD_BEEF_DEAD_BEEF,
+            reps: 1 << 60,
+            team: 4,
+            warmup: true,
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let messages = vec![
+            Message::Hello { protocol: PROTOCOL_VERSION, job: job() },
+            Message::HelloOk { worker: "w-1".into() },
+            Message::Lease { start: u64::MAX - 8, end: u64::MAX },
+            Message::Rep {
+                rep: 7,
+                outcome: RepOutcome::Ok { completion: 123.456789, waiting: -0.0 },
+            },
+            Message::Rep {
+                rep: 8,
+                outcome: RepOutcome::Failed { error: "team too small \"quoted\"".into() },
+            },
+            Message::LeaseDone { start: 0, end: 16 },
+            Message::Heartbeat,
+            Message::Shutdown,
+            Message::Bye,
+            Message::Error { message: "protocol 2 != 1".into() },
+        ];
+        for m in messages {
+            let back = Message::decode(&m.encode()).unwrap_or_else(|e| {
+                panic!("{e} for {:?}", m.encode());
+            });
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn rep_metrics_cross_the_wire_bit_exactly() {
+        let x = 1.0f64 / 3.0;
+        let m = Message::Rep {
+            rep: 0,
+            outcome: RepOutcome::Ok { completion: x, waiting: x * 1e-300 },
+        };
+        match Message::decode(&m.encode()).unwrap() {
+            Message::Rep { outcome: RepOutcome::Ok { completion, waiting }, .. } => {
+                assert_eq!(completion.to_bits(), x.to_bits());
+                assert_eq!(waiting.to_bits(), (x * 1e-300).to_bits());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"heartbeat\"}").unwrap();
+        write_frame(&mut buf, "{\"type\":\"bye\"}").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"type\":\"heartbeat\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"type\":\"bye\"}");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        // A hostile length prefix must not allocate.
+        let mut r = io::Cursor::new(vec![0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(read_frame(&mut r).is_err());
+        // EOF mid-frame is an error, not a clean close.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"bye\"}").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+        // Garbage bodies fail to decode.
+        assert!(Message::decode("{\"type\":\"warp\"}").is_err());
+        assert!(Message::decode("not json").is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! The worker side: accept a session, run leased repetitions, report
+//! each one.
+//!
+//! A worker is deliberately stateless between sessions: everything it
+//! needs arrives in the `hello` frame's [`JobSpec`], it materializes the
+//! job through the same code path the coordinator uses, and every
+//! repetition runs through
+//! [`SweepRunner::run_rep`](flagsim_core::sweep::SweepRunner::run_rep) —
+//! so its answers are bit-identical to the coordinator computing the
+//! same rep locally. Reps inside a lease run in ascending order and are
+//! reported one frame each; that ordering is what lets the coordinator
+//! shrink a dead worker's lease to only the genuinely unfinished reps.
+//!
+//! A failed repetition is reported (`ok:false`) and the lease continues:
+//! per-rep failures are campaign data, not worker faults.
+
+use crate::job::JobSpec;
+use crate::merge::RepOutcome;
+use crate::wire::{self, Message, PROTOCOL_VERSION};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+
+/// How `serve` behaves.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Handle exactly one session, then return (used by
+    /// coordinator-spawned workers so they exit with their sweep).
+    pub once: bool,
+    /// Name reported in `hello_ok` (diagnostics only).
+    pub name: String,
+    /// Suppress per-session stderr notes.
+    pub quiet: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            once: false,
+            name: format!("worker-{}", std::process::id()),
+            quiet: false,
+        }
+    }
+}
+
+/// Accept coordinator sessions on `listener` until `opts.once` says
+/// stop. Each accepted connection is served to completion before the
+/// next `accept` (a worker process serves one coordinator at a time —
+/// parallelism comes from running more workers, not threading one).
+pub fn serve(listener: &TcpListener, opts: &WorkerOptions) -> io::Result<()> {
+    loop {
+        let (stream, peer) = listener.accept()?;
+        if !opts.quiet {
+            eprintln!("worker {}: session from {peer}", opts.name);
+        }
+        if let Err(e) = serve_session(&stream, opts) {
+            if !opts.quiet {
+                eprintln!("worker {}: session ended: {e}", opts.name);
+            }
+        }
+        if opts.once {
+            return Ok(());
+        }
+    }
+}
+
+/// Serve one coordinator session on an established stream.
+pub fn serve_session(stream: &TcpStream, opts: &WorkerOptions) -> io::Result<()> {
+    let _span = flagsim_telemetry::span("shard", "worker_session");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+
+    // Handshake: hello carries the whole job.
+    let job: JobSpec = match wire::recv(&mut reader)? {
+        Some(Message::Hello { protocol, job }) if protocol == PROTOCOL_VERSION => job,
+        Some(Message::Hello { protocol, .. }) => {
+            let msg = format!("protocol {protocol} != {PROTOCOL_VERSION}");
+            wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        }
+        Some(other) => {
+            let msg = format!("expected hello, got {other:?}");
+            wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        }
+        None => return Ok(()), // peer connected and left; nothing owed
+    };
+    let mat = match job.materialize() {
+        Ok(m) => m,
+        Err(e) => {
+            wire::send(&mut writer, &Message::Error { message: e.clone() })?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+    };
+    wire::send(&mut writer, &Message::HelloOk { worker: opts.name.clone() })?;
+
+    let runner = mat.runner();
+    loop {
+        match wire::recv(&mut reader)? {
+            Some(Message::Lease { start, end }) => {
+                if start >= end || end > mat.reps {
+                    let msg = format!("bad lease {start}..{end} for {} reps", mat.reps);
+                    wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+                }
+                for rep in start..end {
+                    let outcome = match runner.run_rep(rep) {
+                        Ok(report) => RepOutcome::Ok {
+                            completion: report.completion_secs(),
+                            waiting: report.total_wait_secs(),
+                        },
+                        Err(error) => RepOutcome::Failed { error },
+                    };
+                    wire::send(&mut writer, &Message::Rep { rep, outcome })?;
+                    if flagsim_telemetry::enabled() {
+                        flagsim_telemetry::count("shard.worker_reps", 1);
+                    }
+                }
+                wire::send(&mut writer, &Message::LeaseDone { start, end })?;
+            }
+            Some(Message::Shutdown) => {
+                wire::send(&mut writer, &Message::Bye)?;
+                return Ok(());
+            }
+            Some(Message::Heartbeat) => {} // coordinator probing liveness
+            Some(Message::Error { message }) => {
+                return Err(io::Error::other(message));
+            }
+            Some(other) => {
+                let msg = format!("unexpected frame {other:?}");
+                wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
+                return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+            }
+            None => return Ok(()), // coordinator hung up (or died); leases lapse
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn job() -> JobSpec {
+        JobSpec {
+            scenario: "4".into(),
+            flag: "Mauritius".into(),
+            kind: "dauber".into(),
+            seed: 7,
+            reps: 6,
+            team: 4,
+            warmup: false,
+        }
+    }
+
+    fn spawn_worker(once: bool) -> (std::net::SocketAddr, thread::JoinHandle<io::Result<()>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            serve(
+                &listener,
+                &WorkerOptions { once, name: "t".into(), quiet: true },
+            )
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn full_session_reports_bit_identical_reps() {
+        let (addr, handle) = spawn_worker(true);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: job() }).unwrap();
+        assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::HelloOk { .. })));
+        wire::send(&mut w, &Message::Lease { start: 1, end: 4 }).unwrap();
+        let local = job().materialize().unwrap();
+        let runner = local.runner();
+        for expect_rep in 1u64..4 {
+            match wire::recv(&mut r).unwrap() {
+                Some(Message::Rep { rep, outcome: RepOutcome::Ok { completion, waiting } }) => {
+                    assert_eq!(rep, expect_rep);
+                    let mine = runner.run_rep(rep).unwrap();
+                    assert_eq!(completion.to_bits(), mine.completion_secs().to_bits());
+                    assert_eq!(waiting.to_bits(), mine.total_wait_secs().to_bits());
+                }
+                other => panic!("expected rep {expect_rep}, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            wire::recv(&mut r).unwrap(),
+            Some(Message::LeaseDone { start: 1, end: 4 })
+        );
+        wire::send(&mut w, &Message::Shutdown).unwrap();
+        assert_eq!(wire::recv(&mut r).unwrap(), Some(Message::Bye));
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn protocol_mismatch_is_refused() {
+        let (addr, handle) = spawn_worker(true);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        wire::send(&mut w, &Message::Hello { protocol: 999, job: job() }).unwrap();
+        match wire::recv(&mut r).unwrap() {
+            Some(Message::Error { message }) => assert!(message.contains("999"), "{message}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        handle.join().unwrap().unwrap(); // serve itself survives bad sessions
+    }
+
+    #[test]
+    fn bad_job_and_bad_lease_are_refused() {
+        // Unknown flag in the job.
+        let (addr, handle) = spawn_worker(true);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        let bad = JobSpec { flag: "Atlantis".into(), ..job() };
+        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: bad }).unwrap();
+        assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::Error { .. })));
+        handle.join().unwrap().unwrap();
+
+        // Lease beyond the job's rep range.
+        let (addr, handle) = spawn_worker(true);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: job() }).unwrap();
+        assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::HelloOk { .. })));
+        wire::send(&mut w, &Message::Lease { start: 0, end: 99 }).unwrap();
+        assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::Error { .. })));
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -39,6 +39,26 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// Encode an `f64` as its exact IEEE-754 bit pattern in fixed-width
+/// lowercase hex. JSON numbers round-trip through decimal text, which is
+/// lossy in general; anything that must restore a float *bit-for-bit*
+/// (statistics snapshots, checkpoint files, the shard wire protocol)
+/// ships this string instead.
+pub fn f64_bits_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Decode a string produced by [`f64_bits_hex`] back into the exact
+/// `f64`. Rejects anything that is not 16 hex digits.
+pub fn f64_from_bits_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("bad f64 bits {s:?}: want 16 hex digits"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bits {s:?}"))
+}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -358,6 +378,19 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for x in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1e300, -3.7e-12, f64::NAN] {
+            let hex = f64_bits_hex(x);
+            assert_eq!(hex.len(), 16);
+            let back = f64_from_bits_hex(&hex).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        assert!(f64_from_bits_hex("nonsense").is_err());
+        assert!(f64_from_bits_hex("3ff").is_err());
+        assert!(f64_from_bits_hex("zzzzzzzzzzzzzzzz").is_err());
+    }
 
     #[test]
     fn parses_scalars_and_nesting() {
