@@ -98,6 +98,16 @@ impl CostModel {
         (self.standard_normal() * sigma).exp()
     }
 
+    /// The per-cell lognormal sigma implied by a fill style. RNG-free,
+    /// so callers sampling many cells can hoist it out of the loop.
+    pub fn cell_sigma(&self, fill: FillStyle) -> f64 {
+        if fill.uniform_timing() {
+            self.params.noise_sigma
+        } else {
+            self.params.noise_sigma + self.params.minimal_extra_sigma
+        }
+    }
+
     /// Seconds for `student` to color one cell with `implement`, advancing
     /// the student's warm-up curve. Panics if the implement is dead —
     /// detecting dead markers is the caller's failure-injection hook, not
@@ -113,16 +123,35 @@ impl CostModel {
             implement.is_usable(),
             "cannot sample time for a dead implement"
         );
-        let sigma = if fill.uniform_timing() {
-            self.params.noise_sigma
-        } else {
-            self.params.noise_sigma + self.params.minimal_extra_sigma
-        };
-        let secs = implement.effective_base_secs()
-            * student.skill
+        let sigma = self.cell_sigma(fill);
+        self.sample_cell_secs_resolved(
+            student,
+            implement.effective_base_secs() * student.skill,
+            fill.work_factor(),
+            sigma,
+            kind,
+        )
+    }
+
+    /// Pre-resolved fast path for [`CostModel::sample_cell_secs`]: callers
+    /// hoist `implement.effective_base_secs() * student.skill` (constant
+    /// per student/implement pair) and the fill-style factors (constant
+    /// per run) out of their per-cell loop. Bit-for-bit identical to
+    /// `sample_cell_secs` because `f64` multiplication chains evaluate
+    /// left to right — `base_skill` is exactly the chain's first two
+    /// factors — and the RNG draw order is unchanged.
+    pub fn sample_cell_secs_resolved(
+        &mut self,
+        student: &mut StudentProfile,
+        base_skill: f64,
+        fill_factor: f64,
+        sigma: f64,
+        kind: CellKind,
+    ) -> f64 {
+        let secs = base_skill
             * student.warmup_multiplier()
             * student.fatigue_multiplier()
-            * fill.work_factor()
+            * fill_factor
             * kind.multiplier()
             * self.lognormal(sigma);
         student.record_cell();
@@ -280,6 +309,39 @@ mod tests {
         }
         assert!(crayon_breaks > 0, "crayons should break occasionally");
         assert!(crayon_breaks < 200, "but not constantly");
+    }
+
+    #[test]
+    fn resolved_path_matches_classic_sampling_bitwise() {
+        // The hot-path variant with hoisted factors must reproduce the
+        // classic per-cell sampler exactly — same RNG stream, same f64
+        // bit patterns — or trace determinism across the rewrite breaks.
+        let imp = Implement::good(ImplementKind::Crayon);
+        let fill = FillStyle::Minimal;
+        let kinds = |i: usize| {
+            if i.is_multiple_of(3) {
+                CellKind::Boundary
+            } else {
+                CellKind::Interior
+            }
+        };
+        let mut classic = CostModel::new(42);
+        let mut s1 = StudentProfile::new("s");
+        let a: Vec<u64> = (0..64)
+            .map(|i| classic.sample_cell_secs(&mut s1, imp, fill, kinds(i)).to_bits())
+            .collect();
+        let mut fast = CostModel::new(42);
+        let mut s2 = StudentProfile::new("s");
+        let sigma = fast.cell_sigma(fill);
+        let fill_factor = fill.work_factor();
+        let base_skill = imp.effective_base_secs() * s2.skill;
+        let b: Vec<u64> = (0..64)
+            .map(|i| {
+                fast.sample_cell_secs_resolved(&mut s2, base_skill, fill_factor, sigma, kinds(i))
+                    .to_bits()
+            })
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Engine hot-path benchmark.
+//!
+//! ```text
+//! cargo run -p flagsim-bench --release --bin engine_bench -- \
+//!     [--reps N] [--e2e-reps N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Defaults: 200000 engine reps, 2000 end-to-end reps,
+//! `BENCH_engine.json`. `--smoke` shrinks the run (200 engine reps, 16
+//! end-to-end reps) and skips the throughput floor so CI can run the
+//! determinism gate on every push without burning minutes.
+//!
+//! Exits non-zero if any determinism cross-check fails (always), or if
+//! a full run falls below 7× the pre-rewrite 31k reps/sec baseline —
+//! a guard band under the 10× target, because wall clocks on shared
+//! 1-core hosts swing ±20-30% while the determinism gates stay exact.
+
+fn main() {
+    let mut reps: u64 = 200_000;
+    let mut e2e_reps: u64 = 2_000;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            "--e2e-reps" => {
+                e2e_reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--e2e-reps needs a number");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            "--smoke" => {
+                smoke = true;
+                reps = 200;
+                e2e_reps = 16;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: engine_bench [--reps N] [--e2e-reps N] [--out PATH] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = flagsim_bench::run_engine_bench(reps, e2e_reps);
+    println!("{}", bench.summary());
+    std::fs::write(&out_path, bench.to_json()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    if !bench.deterministic {
+        eprintln!("FAIL: engine determinism gate (repeat traces / trace sink / sweep stats)");
+        std::process::exit(1);
+    }
+    // The target is 10x the pre-rewrite baseline and the committed
+    // BENCH_engine.json demonstrates it, but shared-host wall clocks
+    // swing ±20-30% (invisible throttling/steal), so the hard failure
+    // uses a guard band: a genuine regression from 10x lands well below
+    // 7x, while a throttled-host run of a true-10x build does not.
+    if !smoke && bench.speedup_vs_baseline < 7.0 {
+        eprintln!(
+            "FAIL: engine throughput regression: {:.1}x vs the 10x target over {:.0} reps/s \
+             (hard floor 7x to absorb shared-host clock noise)",
+            bench.speedup_vs_baseline, bench.baseline_reps_per_sec
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,11 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_bench;
 pub mod experiments;
 pub mod shard_bench;
 pub mod sweep_bench;
 pub mod telemetry_bench;
 
+pub use engine_bench::{run_engine_bench, EngineBench};
 pub use experiments::{all_experiments, experiments_to_json};
 pub use shard_bench::{run_shard_bench, ShardBench};
 pub use sweep_bench::{run_sweep_bench, SweepBench};

@@ -113,6 +113,12 @@ pub struct ActivityConfig {
     /// Optional class-period bell, in seconds: work not completed by then
     /// is cut off (the paper's first Knox section "had less time").
     pub deadline_secs: Option<f64>,
+    /// Record the full per-event trace (default). Stats-only callers —
+    /// streaming sweeps that never look at `RunReport::trace.events` —
+    /// set this false to skip every event push; all aggregate accounting
+    /// (busy, waiting, completed cells, contention stats, completion
+    /// time, grid correctness) is bit-identical either way.
+    pub trace_events: bool,
 }
 
 impl Default for ActivityConfig {
@@ -124,6 +130,7 @@ impl Default for ActivityConfig {
             cost_params: CostParams::default(),
             skip_colors: Vec::new(),
             deadline_secs: None,
+            trace_events: true,
         }
     }
 }
@@ -157,6 +164,12 @@ impl ActivityConfig {
     pub fn with_deadline_secs(mut self, secs: f64) -> Self {
         assert!(secs > 0.0, "deadline must be positive");
         self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// Opt out of per-event trace recording (stats-only mode).
+    pub fn with_trace_events(mut self, record: bool) -> Self {
+        self.trace_events = record;
         self
     }
 }

@@ -20,7 +20,7 @@ use crate::faults::{
 };
 use crate::report::{ColorContention, RunReport, StudentStats};
 use crate::work::{PreparedFlag, WorkItem};
-use flagsim_agents::{CostModel, StudentProfile};
+use flagsim_agents::{CostModel, Implement, StudentProfile};
 use flagsim_desim::{Action, Engine, Process, ResourceId, SimDuration, SimTime};
 use flagsim_grid::{Color, Grid};
 use std::cell::RefCell;
@@ -253,8 +253,8 @@ impl Process for StudentProc {
         }
     }
 
-    fn name(&self) -> String {
-        self.name.clone()
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -339,8 +339,25 @@ pub fn run_activity_with_faults(
     let mut cost = CostModel::with_params(config.seed, config.cost_params.clone());
 
     // One resource per needed color; hand-off latency sampled per marker.
-    let mut engine = Engine::new();
+    // Sizing the engine up front (one slot per student, one resource per
+    // color, ~4 events per cell) keeps the hot loop free of buffer growth.
+    let total_cells: usize = assignments.iter().map(Vec::len).sum();
+    let mut engine = Engine::with_capacity(
+        team.len(),
+        needed.len(),
+        if config.trace_events {
+            total_cells * 4 + team.len() * 2
+        } else {
+            0
+        },
+    );
+    engine.set_trace_events(config.trace_events);
     let mut res_of_color: BTreeMap<Color, ResourceId> = BTreeMap::new();
+    // Per-color tables resolved once per run, in `needed` order: the
+    // implement and resource id the per-cell loop below indexes into
+    // instead of re-querying the kit and color map per cell.
+    let mut color_implements: Vec<Implement> = Vec::with_capacity(needed.len());
+    let mut color_rids: Vec<ResourceId> = Vec::with_capacity(needed.len());
     for &c in &needed {
         let implement = kit.implement(c).expect("checked above");
         let mut handoff_secs = cost.sample_handoff_secs(implement);
@@ -351,6 +368,8 @@ pub fn run_activity_with_faults(
             SimDuration::from_secs_f64(handoff_secs),
         );
         res_of_color.insert(c, rid);
+        color_implements.push(implement);
+        color_rids.push(rid);
     }
 
     // The shared live fault state, primed from the plan.
@@ -396,20 +415,39 @@ pub fn run_activity_with_faults(
     // Pre-sample durations student-major (deterministic, interleaving-free).
     // Crayons occasionally break mid-cell (§V: "to avoid breakage"); a
     // break costs the student a fetch-a-replacement delay on that cell.
+    // The fill-style factors are constant for the run and the
+    // `base × skill` cost prefix is constant per (student, color), so
+    // both are resolved outside the per-cell loop; the RNG draw order —
+    // and therefore every sampled duration — is unchanged.
+    let fill_factor = config.fill.work_factor();
+    let sigma = cost.cell_sigma(config.fill);
     let mut breakages: u64 = 0;
     let mut procs: Vec<StudentProc> = Vec::with_capacity(team.len());
     for (idx, (student, items)) in team.iter_mut().zip(assignments).enumerate() {
+        let base_skill: Vec<f64> = color_implements
+            .iter()
+            .map(|imp| imp.effective_base_secs() * student.skill)
+            .collect();
         let timed: Vec<TimedItem> = items
             .iter()
             .map(|item| {
-                let implement = kit.implement(item.color).expect("checked above");
-                let mut secs = cost.sample_cell_secs(student, implement, config.fill, item.kind);
-                if cost.sample_breakage(implement) {
+                let ci = needed
+                    .iter()
+                    .position(|&c| c == item.color)
+                    .expect("collected above");
+                let mut secs = cost.sample_cell_secs_resolved(
+                    student,
+                    base_skill[ci],
+                    fill_factor,
+                    sigma,
+                    item.kind,
+                );
+                if cost.sample_breakage(color_implements[ci]) {
                     breakages += 1;
                     secs += REPLACEMENT_DELAY_SECS;
                 }
                 TimedItem {
-                    resource: res_of_color[&item.color],
+                    resource: color_rids[ci],
                     dur: SimDuration::from_secs_f64(secs),
                     work: *item,
                 }
@@ -446,21 +484,15 @@ pub fn run_activity_with_faults(
         .map_err(|_| "fault state still shared after the run".to_owned())?
         .into_inner();
 
-    // Cells each student actually completed: one WorkStart per started
-    // cell, in start order; a cell counts if its work finished by the end
-    // of the trace (with a deadline, in-flight work at the bell is lost).
-    let completed: Vec<usize> = (0..team.len())
-        .map(|i| {
-            trace
-                .events
-                .iter()
-                .filter(|e| e.proc.index() == i)
-                .filter(|e| {
-                    matches!(e.kind, flagsim_desim::EventKind::WorkStart { dur }
-                        if e.time + dur <= trace.end_time)
-                })
-                .count()
-        })
+    // Cells each student actually completed, straight from the engine's
+    // per-process counter (with a deadline, in-flight work at the bell is
+    // lost). Every `Work` a student issues is one cell, so the counter
+    // replaces the old O(procs × events) trace scan and — unlike that
+    // scan — also works with the event sink off.
+    let completed: Vec<usize> = trace
+        .procs
+        .iter()
+        .map(|p| p.completed_work as usize)
         .collect();
 
     // Reconstruct the colored grid from the per-student started-cell logs
@@ -472,7 +504,9 @@ pub fn run_activity_with_faults(
             grid.paint(item.cell, item.color);
         }
     }
-    let cell_log = state.started.clone();
+    // The painting loop above was `started`'s last reader; move, don't
+    // clone, the per-student logs into the report.
+    let cell_log = std::mem::take(&mut state.started);
     let correct = grid.iter().all(|(id, got)| {
         let want = flag.reference.get(id);
         if config.skip_colors.contains(&want) {

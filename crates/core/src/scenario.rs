@@ -140,11 +140,57 @@ impl Scenario {
         config: &ActivityConfig,
         plan: &FaultPlan,
     ) -> Result<RunReport, String> {
+        self.compile(flag, config)?.run_with_faults(team, kit, config, plan)
+    }
+
+    /// Partition the flag and verify the assignments once, for reuse
+    /// across many repetitions. The result depends only on the flag, the
+    /// strategy, the cell order, and `skip_colors` — never on the seed —
+    /// so a sweep compiles once and runs [`CompiledScenario`] per rep
+    /// instead of re-partitioning and re-verifying every time.
+    pub fn compile(
+        &self,
+        flag: &PreparedFlag,
+        config: &ActivityConfig,
+    ) -> Result<CompiledScenario, String> {
         let assignments = self
             .strategy
             .assignments(flag, self.order, &config.skip_colors);
         verify_assignments(flag, &assignments, &config.skip_colors)?;
-        let needed = assignments.len();
+        Ok(CompiledScenario {
+            name: self.name.clone(),
+            flag: flag.clone(),
+            assignments,
+        })
+    }
+}
+
+/// A [`Scenario`] bound to one flag with its partition computed and
+/// verified — the reusable per-rep unit of a sweep.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    name: String,
+    flag: PreparedFlag,
+    assignments: Vec<Vec<crate::work::WorkItem>>,
+}
+
+impl CompiledScenario {
+    /// The scenario's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Run the compiled partition with a team. Same contract as
+    /// [`Scenario::run_with_faults`], minus the per-call partition and
+    /// verification work.
+    pub fn run_with_faults(
+        &self,
+        team: &mut [StudentProfile],
+        kit: &TeamKit,
+        config: &ActivityConfig,
+        plan: &FaultPlan,
+    ) -> Result<RunReport, String> {
+        let needed = self.assignments.len();
         if team.len() < needed {
             return Err(format!(
                 "{} needs {needed} coloring students, team has {}",
@@ -154,8 +200,8 @@ impl Scenario {
         }
         run_activity_with_faults(
             self.name.clone(),
-            flag,
-            &assignments,
+            &self.flag,
+            &self.assignments,
             &mut team[..needed],
             kit,
             config,

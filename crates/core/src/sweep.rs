@@ -24,13 +24,13 @@
 use crate::config::{ActivityConfig, TeamKit};
 use crate::faults::FaultPlan;
 use crate::report::RunReport;
-use crate::scenario::Scenario;
+use crate::scenario::{CompiledScenario, Scenario};
 use crate::work::PreparedFlag;
 use flagsim_agents::StudentProfile;
 use flagsim_metrics::{RunStats, StreamingStats};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// One repetition of a sweep that failed to produce a report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +151,9 @@ pub struct SweepRunner<'a> {
     jobs: usize,
     retain_reports: bool,
     progress: Option<Box<ProgressFn<'a>>>,
+    /// The scenario partitioned and verified once, shared by every rep
+    /// (and every worker thread — the partition is seed-independent).
+    compiled: OnceLock<Result<CompiledScenario, String>>,
 }
 
 impl<'a> SweepRunner<'a> {
@@ -175,6 +178,7 @@ impl<'a> SweepRunner<'a> {
             jobs: 1,
             retain_reports: true,
             progress: None,
+            compiled: OnceLock::new(),
         }
     }
 
@@ -275,6 +279,11 @@ impl<'a> SweepRunner<'a> {
     /// `i`, which is what keeps distributed sweeps bit-for-bit equal to
     /// serial ones.
     pub fn run_rep(&self, rep: u64) -> Result<RunReport, String> {
+        let compiled = self
+            .compiled
+            .get_or_init(|| self.scenario.compile(self.flag, self.config))
+            .as_ref()
+            .map_err(Clone::clone)?;
         let mut team: Vec<StudentProfile> = (1..=self.team_size)
             .map(|i| {
                 let s = StudentProfile::new(format!("P{i}"));
@@ -285,12 +294,17 @@ impl<'a> SweepRunner<'a> {
                 }
             })
             .collect();
-        let cfg = ActivityConfig {
+        let mut cfg = ActivityConfig {
             seed: self.config.seed.wrapping_add(rep.wrapping_mul(0x9E37_79B9)),
             ..self.config.clone()
         };
-        self.scenario
-            .run_with_faults(self.flag, &mut team, self.kit, &cfg, &self.plan)
+        if !self.retain_reports {
+            // Streaming mode drops each report after extracting its
+            // aggregate metrics, so recording per-event traces is pure
+            // waste; accounting is bit-identical with the sink off.
+            cfg.trace_events = false;
+        }
+        compiled.run_with_faults(&mut team, self.kit, &cfg, &self.plan)
     }
 
     /// Fan repetitions across `jobs` scoped worker threads. Workers pull

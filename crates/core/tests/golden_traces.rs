@@ -1,0 +1,161 @@
+//! Golden event-by-event traces for the six built-in scenarios.
+//!
+//! Each file under `tests/golden/` pins the complete trace of one
+//! scenario at a fixed seed: the full event log (CSV), per-process
+//! accounting, per-resource contention statistics, and the end time.
+//! The engine rewrite (ISSUE 7) must reproduce every byte — these files
+//! were generated with the pre-rewrite engine and act as the hard
+//! determinism gate alongside the par-vs-serial property tests.
+//!
+//! To regenerate after an *intentional* trace-semantics change, run:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p flagsim-core --test golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use flagsim_agents::{ImplementKind, StudentProfile};
+use flagsim_core::config::{ActivityConfig, TeamKit};
+use flagsim_core::scenario::Scenario;
+use flagsim_core::work::PreparedFlag;
+use flagsim_desim::Trace;
+use flagsim_flags::library;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 7;
+
+/// The six built-in scenarios, named as the CLI names them.
+fn builtins(flag: &PreparedFlag) -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("scenario1", Scenario::fig1(1)),
+        ("scenario2", Scenario::fig1(2)),
+        ("scenario3", Scenario::fig1(3)),
+        ("scenario4", Scenario::fig1(4)),
+        ("pipelined", Scenario::pipelined_slices(flag, 4, 4)),
+        ("alternating", Scenario::alternating_slices()),
+    ]
+}
+
+/// Run one scenario exactly the way `SweepRunner::run_rep(0)` (and the
+/// `flagsim run` CLI) does: fresh no-warm-up team, uniform thick-marker
+/// kit, default config at [`GOLDEN_SEED`].
+fn run_builtin(scenario: &Scenario) -> Trace {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+    let cfg = ActivityConfig::default().with_seed(GOLDEN_SEED);
+    let n = scenario.team_size(&flag, &cfg);
+    let mut team: Vec<StudentProfile> = (1..=n)
+        .map(|i| StudentProfile::new(format!("P{i}")).without_warmup())
+        .collect();
+    let report = scenario
+        .run(&flag, &mut team, &kit, &cfg)
+        .expect("built-in scenario must run");
+    report.trace
+}
+
+/// Serialize everything the golden file pins: events, accounting, stats.
+fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&trace.events_csv());
+    out.push_str("# procs name,busy_ms,waiting_ms,finished_at_ms\n");
+    for p in &trace.procs {
+        let finished = p
+            .finished_at
+            .map_or("none".to_owned(), |t| t.millis().to_string());
+        let _ = writeln!(
+            out,
+            "# {},{},{},{}",
+            p.name,
+            p.busy.millis(),
+            p.waiting.millis(),
+            finished
+        );
+    }
+    out.push_str(
+        "# resources label,capacity,handoff_ms,acquisitions,contended,handoffs,\
+         total_wait_ms,max_queue\n",
+    );
+    for r in &trace.resources {
+        let _ = writeln!(
+            out,
+            "# {},{},{},{},{},{},{},{}",
+            r.label,
+            r.capacity,
+            r.handoff.millis(),
+            r.stats.acquisitions,
+            r.stats.contended_acquisitions,
+            r.stats.handoffs,
+            r.stats.total_wait.millis(),
+            r.stats.max_queue_len
+        );
+    }
+    let _ = writeln!(out, "# end_time_ms {}", trace.end_time.millis());
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.csv"))
+}
+
+#[test]
+fn all_six_builtin_scenarios_match_golden_traces() {
+    let flag = PreparedFlag::new(&library::mauritius());
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for (name, scenario) in builtins(&flag) {
+        let got = render(&run_builtin(&scenario));
+        let path = golden_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        if got != want {
+            // Find the first differing line for a readable failure.
+            let diff_line = got
+                .lines()
+                .zip(want.lines())
+                .position(|(g, w)| g != w)
+                .map_or_else(
+                    || "trailing content differs".to_owned(),
+                    |i| {
+                        format!(
+                            "first diff at line {}: got {:?}, want {:?}",
+                            i + 1,
+                            got.lines().nth(i).unwrap_or(""),
+                            want.lines().nth(i).unwrap_or("")
+                        )
+                    },
+                );
+            mismatches.push(format!("{name}: {diff_line}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden trace mismatch (run GOLDEN_BLESS=1 only for intentional changes):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_traces_are_nontrivial() {
+    // The gate is only as strong as the files: every golden trace must
+    // hold a real event log, and scenario 4 must show real contention.
+    for (name, scenario) in builtins(&PreparedFlag::new(&library::mauritius())) {
+        let trace = run_builtin(&scenario);
+        assert!(
+            trace.events.len() > 100,
+            "{name} golden trace suspiciously small: {} events",
+            trace.events.len()
+        );
+        assert!(trace.end_time.millis() > 0, "{name} ended at t=0");
+    }
+    let four = run_builtin(&Scenario::fig1(4));
+    assert!(four.total_waiting().millis() > 0, "scenario 4 must contend");
+}

@@ -185,8 +185,9 @@ impl CausalAnalysis {
     }
 
     /// Sum of all blame-table totals. Equals `Trace::total_waiting()`
-    /// for any trace whose waits all resolved (the engine never charges
-    /// waiting for a block still pending at cutoff).
+    /// for any trace whose waits all resolved; a wait still pending at
+    /// cutoff is charged to `waiting` by the engine but has no hand-off
+    /// edge to pin the time on, so blame excludes it.
     pub fn blame_total(&self) -> SimDuration {
         self.blame
             .iter()
@@ -259,10 +260,13 @@ pub fn build_timelines(trace: &Trace) -> Vec<Vec<Segment>> {
                             .copied()
                             .flatten()
                             .filter(|&(_, rel)| rel == e.time);
+                        // A grant whose hand-off was still in transit at
+                        // the bell is clamped to the trace end, matching
+                        // the engine's cutoff settlement of `waiting`.
                         raw[pi].push(Segment {
                             proc: e.proc,
                             start: blocked_at,
-                            end: e.time + handoff,
+                            end: (e.time + handoff).min(trace.end_time),
                             kind: SegmentKind::Wait {
                                 resource: r,
                                 handoff_from: from,
@@ -285,8 +289,10 @@ pub fn build_timelines(trace: &Trace) -> Vec<Vec<Segment>> {
     }
 
     // Waits never resolved (deadline cutoff / stall) run to the trace
-    // end; the engine charges no waiting for them, so blame excludes
-    // them (`handoff_from: None`).
+    // end. The engine charges that blocked tail to `waiting` on cutoff,
+    // so these segments mirror its accounting — but there is no hand-off
+    // edge to pin the time on, so blame excludes them
+    // (`handoff_from: None`).
     for (pi, pending) in pending_block.iter().enumerate() {
         if let Some((r, blocked_at)) = *pending {
             if blocked_at < trace.end_time {
@@ -1034,15 +1040,17 @@ mod tests {
 
     #[test]
     fn unresolved_wait_is_excluded_from_blame() {
-        // Hand-built cutoff trace: P0 blocked at 50, never granted; the
-        // engine charged no waiting, so blame must stay empty while the
-        // critical path still classifies the trailing stretch.
+        // Hand-built cutoff trace: P0 blocked at 50, never granted. The
+        // engine charges the blocked tail `[50, 100]` to waiting, but
+        // with no hand-off edge to pin it on, blame must stay empty
+        // while the critical path still classifies the trailing stretch.
         let trace = Trace {
             end_time: SimTime(100),
             procs: vec![ProcReport {
                 name: "P0".into(),
                 busy: SimDuration(50),
-                waiting: SimDuration::ZERO,
+                waiting: SimDuration(50),
+                completed_work: 1,
                 finished_at: None,
             }],
             resources: vec![ResourceReport {
@@ -1067,8 +1075,11 @@ mod tests {
             ],
         };
         let a = analyze(&trace);
-        assert_eq!(a.blame_total(), trace.total_waiting());
+        // The engine charged the tail to waiting, but no holder can be
+        // blamed for it: blame stays empty, strictly below total waiting.
         assert!(a.blame.is_empty());
+        assert_eq!(a.blame_total(), SimDuration::ZERO);
+        assert_eq!(trace.total_waiting(), SimDuration(50));
         let total: SimDuration = a
             .critical_path
             .iter()

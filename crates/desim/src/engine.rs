@@ -1,11 +1,31 @@
 //! The event loop.
+//!
+//! Hot-path layout (the trainspotting-style rewrite, DESIGN.md §12):
+//!
+//! - **Slab-stored process slots.** Every process lives in a flat
+//!   `Vec<ProcSlot>` addressed by its `usize` index; [`ProcId`] is a thin
+//!   wrapper over that index and the loop never chases pointers beyond
+//!   the one `Box<dyn Process>` per slot.
+//! - **Index-keyed scheduler.** The ready queue is a
+//!   flat `Vec<QueueEntry>` keyed `(time, seq)` with a monotonic
+//!   tiebreak counter, scanned for its minimum each step — a process has
+//!   at most one pending wake-up, so the queue never outgrows the team
+//!   and a linear scan beats heap sifts. Equal-time events fire in
+//!   schedule order; a compare touches two integers, never process
+//!   state.
+//! - **Integer time throughout** ([`SimTime`] is `u64` milliseconds).
+//! - **Borrowed names.** [`Process::name`] returns `&str`; the poll path
+//!   allocates no strings. Owned names are materialized only when a
+//!   trace or error report is built (once per run, off the hot path).
+//! - **Opt-out trace sink.** Event emission is a branch on a flag:
+//!   stats-only runs ([`Engine::set_trace_events`]`(false)`) skip every
+//!   event-vector push while keeping busy/waiting/completed accounting
+//!   bit-identical to a recording run.
 
 use crate::error::{SimError, WaitEdge, WaitForGraph};
 use crate::resource::{ResourceId, ResourceState};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventKind, ProcReport, ResourceReport, Trace, TraceEvent};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Identifies a process within an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,9 +65,10 @@ pub trait Process {
     /// The next action, given the current simulation time.
     fn next(&mut self, now: SimTime) -> Action;
 
-    /// Display name used in traces.
-    fn name(&self) -> String {
-        "process".to_owned()
+    /// Display name used in traces. Borrowed: the engine calls this on
+    /// poll-adjacent paths and must not pay a `String` allocation for it.
+    fn name(&self) -> &str {
+        "process"
     }
 }
 
@@ -88,9 +109,27 @@ impl<F: FnMut(SimTime) -> Action> Process for FnProcess<F> {
     fn next(&mut self, now: SimTime) -> Action {
         (self.f)(now)
     }
-    fn name(&self) -> String {
-        self.name.clone()
+    fn name(&self) -> &str {
+        &self.name
     }
+}
+
+/// One scheduled wake-up, keyed on `(at, seq)`: `seq` is unique per
+/// entry, so two entries never compare equal and the process id stays
+/// payload, not key.
+///
+/// The scheduler is a flat `Vec` scanned for its `(at, seq)` minimum at
+/// each step, not a binary heap: a process has at most one pending
+/// wake-up (it is blocked until its event fires), so the queue never
+/// holds more entries than there are live processes — classroom scale,
+/// a handful. At that size one branchy linear scan plus a `swap_remove`
+/// beats a heap's sift-up/sift-down writes, and extraction order is
+/// identical because `(at, seq)` is a strict total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueueEntry {
+    at: SimTime,
+    seq: u64,
+    pid: ProcId,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,16 +137,26 @@ enum ProcState {
     Runnable,
     Working,
     WaitingFor(ResourceId),
+    /// Granted a contended resource; the hand-off is in transit until
+    /// the slot's `wake_at`.
+    InTransit(ResourceId),
     Sleeping,
     Finished,
 }
 
+/// One slab entry. Everything the loop touches per event sits here,
+/// addressed by the process index.
 struct ProcSlot {
     process: Box<dyn Process>,
     state: ProcState,
     busy: SimDuration,
     waiting: SimDuration,
     wait_started: Option<SimTime>,
+    /// When the pending `Work` chunk or in-transit hand-off completes.
+    /// Meaningful only in the `Working` / `InTransit` states.
+    wake_at: SimTime,
+    /// `Work` chunks that ran to completion (the wake event fired).
+    completed_work: u64,
     finished_at: Option<SimTime>,
 }
 
@@ -120,10 +169,11 @@ struct ProcSlot {
 pub struct Engine {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<(SimTime, u64, ProcId)>>,
+    queue: Vec<QueueEntry>,
     procs: Vec<ProcSlot>,
     resources: Vec<ResourceState>,
     events: Vec<TraceEvent>,
+    record_events: bool,
     max_events: u64,
     processed: u64,
 }
@@ -137,13 +187,22 @@ impl Default for Engine {
 impl Engine {
     /// A fresh engine at time zero.
     pub fn new() -> Self {
+        Engine::with_capacity(0, 0, 0)
+    }
+
+    /// A fresh engine with pre-sized buffers: `procs` process slots,
+    /// `resources` resource slots, and room for `events` trace entries.
+    /// Callers that know their workload (one slot per student, ~4 events
+    /// per cell) avoid every mid-run buffer growth.
+    pub fn with_capacity(procs: usize, resources: usize, events: usize) -> Self {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            procs: Vec::new(),
-            resources: Vec::new(),
-            events: Vec::new(),
+            queue: Vec::with_capacity(procs),
+            procs: Vec::with_capacity(procs),
+            resources: Vec::with_capacity(resources),
+            events: Vec::with_capacity(events),
+            record_events: true,
             // Generous live-lock guard; a classroom run is ~1e3 events.
             max_events: 50_000_000,
             processed: 0,
@@ -155,6 +214,21 @@ impl Engine {
     /// spinning forever on a live-locked workload.
     pub fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
+    }
+
+    /// Opt out of (or back into) trace-event emission. With the sink off
+    /// the returned [`Trace`] has an empty event log but identical
+    /// accounting (busy, waiting, completed work, resource stats, end
+    /// time) — the mode stats-only sweep repetitions run in.
+    pub fn set_trace_events(&mut self, record: bool) {
+        self.record_events = record;
+    }
+
+    /// Pre-reserve room for `additional` trace events.
+    pub fn reserve_events(&mut self, additional: usize) {
+        if self.record_events {
+            self.events.reserve(additional);
+        }
     }
 
     /// Register an exclusive resource with a hand-off latency applied when
@@ -192,23 +266,59 @@ impl Engine {
             busy: SimDuration::ZERO,
             waiting: SimDuration::ZERO,
             wait_started: None,
+            wake_at: SimTime::ZERO,
+            completed_work: 0,
             finished_at: None,
         });
         self.schedule(start, id);
         id
     }
 
+    #[inline]
     fn schedule(&mut self, at: SimTime, pid: ProcId) {
         self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, pid)));
+        self.queue.push(QueueEntry {
+            at,
+            seq: self.seq,
+            pid,
+        });
     }
 
+    /// Index of the earliest-`(at, seq)` entry, or `None` when the queue
+    /// is empty. `(at, seq)` is a strict total order (`seq` is unique),
+    /// so the minimum — and with it the whole extraction sequence — is
+    /// exactly what the old binary heap produced.
+    #[inline]
+    fn min_entry(queue: &[QueueEntry]) -> Option<usize> {
+        // One u128 per entry keeps the scan's compare branchless: time in
+        // the high bits, tiebreak sequence in the low bits — the same
+        // lexicographic `(at, seq)` order as a tuple compare.
+        let key = |e: &QueueEntry| ((e.at.millis() as u128) << 64) | e.seq as u128;
+        let mut it = queue.iter().enumerate();
+        let (mut best, first) = it.next()?;
+        let mut best_key = key(first);
+        // Written as two selects (not a conditional block) so the
+        // data-dependent comparison compiles to conditional moves:
+        // wake-up times are effectively random, and a mispredicted
+        // branch per compare would dominate the whole extraction.
+        for (i, e) in it {
+            let k = key(e);
+            let lt = k < best_key;
+            best = if lt { i } else { best };
+            best_key = if lt { k } else { best_key };
+        }
+        Some(best)
+    }
+
+    #[inline]
     fn record(&mut self, pid: ProcId, kind: EventKind) {
-        self.events.push(TraceEvent {
-            time: self.now,
-            proc: pid,
-            kind,
-        });
+        if self.record_events {
+            self.events.push(TraceEvent {
+                time: self.now,
+                proc: pid,
+                kind,
+            });
+        }
     }
 
     /// Run until no events remain, consuming the engine and returning the
@@ -249,6 +359,12 @@ impl Engine {
     /// time". The trace's `end_time` is the deadline when work was cut
     /// off, and unfinished processes report `finished_at: None`.
     ///
+    /// A cut-off run settles its in-flight accounting to the wall clock:
+    /// busy time for work still under way is clamped to the deadline, and
+    /// processes still queued at the bell are charged their blocked tail
+    /// — so `busy ≤ elapsed` and waiting matches the causal timeline
+    /// reconstruction, per process and in aggregate.
+    ///
     /// Stall detection only applies to runs that drain naturally: a run
     /// cut off by the bell legitimately leaves processes blocked.
     pub fn try_run_until(mut self, deadline: SimTime) -> Result<Trace, SimError> {
@@ -259,15 +375,13 @@ impl Engine {
             .arg("procs", self.procs.len())
             .arg("resources", self.resources.len());
         let mut cut_off = false;
-        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+        while let Some(min) = Self::min_entry(&self.queue) {
+            let t = self.queue[min].at;
             if t > deadline {
                 cut_off = true;
                 break;
             }
-            let Some(Reverse((t, _, pid))) = self.queue.pop() else {
-                // peek() just returned Some; pop() cannot fail.
-                break;
-            };
+            let QueueEntry { pid, .. } = self.queue.swap_remove(min);
             if t < self.now {
                 return Err(SimError::InvariantViolated {
                     detail: format!(
@@ -287,10 +401,11 @@ impl Engine {
                     at: self.now,
                 });
             }
-            self.advance(pid)?;
+            self.advance(pid).map_err(|e| *e)?;
         }
         if cut_off {
             self.now = deadline;
+            self.settle_cutoff(deadline);
         } else {
             let waiters = self.wait_for_graph();
             if !waiters.is_empty() {
@@ -300,6 +415,45 @@ impl Engine {
         self.record_run_metrics();
         drop(run_span);
         Ok(self.into_trace())
+    }
+
+    /// The bell rang at `deadline` with events still queued: reconcile
+    /// every in-flight slot's accounting with the wall clock. Any slot
+    /// still `Working`/`InTransit` here has `wake_at > deadline` — its
+    /// wake event is exactly what the cutoff refused to process.
+    fn settle_cutoff(&mut self, deadline: SimTime) {
+        for slot in &mut self.procs {
+            match slot.state {
+                ProcState::Working => {
+                    // Busy over-charge fix: `WorkStart` booked the full
+                    // chunk up front; the part past the bell never ran.
+                    let unrun = slot.wake_at.since(deadline);
+                    slot.busy = SimDuration(slot.busy.millis().saturating_sub(unrun.millis()));
+                }
+                ProcState::WaitingFor(rid) => {
+                    // Waiting under-count fix: a process still queued at
+                    // the bell has been waiting since it blocked; charge
+                    // the tail to it and to the resource.
+                    if let Some(started) = slot.wait_started.take() {
+                        let tail = deadline.since(started);
+                        slot.waiting += tail;
+                        self.resources[rid.index()].stats.total_wait += tail;
+                    }
+                }
+                ProcState::InTransit(rid) => {
+                    // The grant charged wait through the hand-off's end;
+                    // the transit portion past the bell never elapsed.
+                    let overshoot = slot.wake_at.since(deadline).millis();
+                    slot.waiting = SimDuration(slot.waiting.millis().saturating_sub(overshoot));
+                    let stats = &mut self.resources[rid.index()].stats;
+                    stats.total_wait =
+                        SimDuration(stats.total_wait.millis().saturating_sub(overshoot));
+                    stats.handoff_time =
+                        SimDuration(stats.handoff_time.millis().saturating_sub(overshoot));
+                }
+                ProcState::Runnable | ProcState::Sleeping | ProcState::Finished => {}
+            }
+        }
     }
 
     /// Fold the run's already-collected statistics into the telemetry
@@ -332,10 +486,10 @@ impl Engine {
             for (queue_position, &wpid) in res.waiters.iter().enumerate() {
                 edges.push(WaitEdge {
                     proc: wpid,
-                    proc_name: self.procs[wpid.index()].process.name(),
+                    proc_name: self.procs[wpid.index()].process.name().to_owned(),
                     resource: ResourceId(ridx as u32),
                     resource_label: res.label.clone(),
-                    holders: res.holders.clone(),
+                    holders: res.holders.to_vec(),
                     queue_position,
                 });
             }
@@ -347,35 +501,63 @@ impl Engine {
     }
 
     /// Poll `pid` repeatedly until it blocks, sleeps, works, or finishes.
-    fn advance(&mut self, pid: ProcId) -> Result<(), SimError> {
-        loop {
-            let state = self.procs[pid.index()].state;
-            if state == ProcState::Finished {
-                return Err(SimError::ActedAfterDone {
-                    proc: pid,
-                    at: self.now,
-                });
+    ///
+    /// Errors come back boxed: `SimError` is a 72-byte enum, and an
+    /// unboxed `Result` would be returned through memory on every event
+    /// this loop processes. Boxed, the happy path fits in a register;
+    /// the allocation only happens on the (cold, run-ending) error path.
+    fn advance(&mut self, pid: ProcId) -> Result<(), Box<SimError>> {
+        {
+            // Resolve what this wake-up means before polling: a `Working`
+            // slot's chunk just completed (count it); an `InTransit`
+            // slot's hand-off just landed. `Finished` means the process
+            // was scheduled after `Done` — a misuse error. A process
+            // cannot become `Finished` mid-loop and be polled again
+            // (Done returns immediately), so this entry check is the
+            // only one needed.
+            let slot = &mut self.procs[pid.index()];
+            match slot.state {
+                ProcState::Finished => {
+                    return Err(Box::new(SimError::ActedAfterDone {
+                        proc: pid,
+                        at: self.now,
+                    }));
+                }
+                ProcState::Working => {
+                    slot.completed_work += 1;
+                    slot.state = ProcState::Runnable;
+                }
+                ProcState::InTransit(_) => slot.state = ProcState::Runnable,
+                ProcState::Runnable | ProcState::WaitingFor(_) | ProcState::Sleeping => {}
             }
-            let action = self.procs[pid.index()].process.next(self.now);
+        }
+        // `now` is constant for the whole call; keep it in a local so
+        // the poll loop never reloads it through `&mut self`.
+        let now = self.now;
+        let idx = pid.index();
+        loop {
+            let action = self.procs[idx].process.next(now);
             match action {
                 Action::Work(dur) => {
-                    self.procs[pid.index()].state = ProcState::Working;
-                    self.procs[pid.index()].busy += dur;
+                    let wake = now + dur;
+                    let slot = &mut self.procs[idx];
+                    slot.state = ProcState::Working;
+                    slot.busy += dur;
+                    slot.wake_at = wake;
                     self.record(pid, EventKind::WorkStart { dur });
-                    let wake = self.now + dur;
                     self.schedule(wake, pid);
                     return Ok(());
                 }
                 Action::Acquire(rid) => {
                     let res = &mut self.resources[rid.index()];
                     if res.holds(pid) {
-                        return Err(SimError::ReacquireHeld {
+                        return Err(Box::new(SimError::ReacquireHeld {
                             proc: pid,
-                            proc_name: self.procs[pid.index()].process.name(),
+                            proc_name: self.procs[idx].process.name().to_owned(),
                             resource: rid,
                             resource_label: self.resources[rid.index()].label.clone(),
-                            at: self.now,
-                        });
+                            at: now,
+                        }));
                     }
                     if res.has_free_unit() && res.waiters.is_empty() {
                         res.holders.push(pid);
@@ -384,23 +566,24 @@ impl Engine {
                         // Granted instantly; keep polling at the same time.
                         continue;
                     }
-                    res.waiters.push_back(pid);
+                    res.waiters.push(pid);
                     res.stats.max_queue_len = res.stats.max_queue_len.max(res.waiters.len());
-                    self.procs[pid.index()].state = ProcState::WaitingFor(rid);
-                    self.procs[pid.index()].wait_started = Some(self.now);
+                    let slot = &mut self.procs[idx];
+                    slot.state = ProcState::WaitingFor(rid);
+                    slot.wait_started = Some(now);
                     self.record(pid, EventKind::Blocked(rid));
                     return Ok(());
                 }
                 Action::Release(rid) => {
                     let res = &mut self.resources[rid.index()];
                     let Some(pos) = res.holders.iter().position(|&h| h == pid) else {
-                        return Err(SimError::ReleaseWithoutHold {
+                        return Err(Box::new(SimError::ReleaseWithoutHold {
                             proc: pid,
-                            proc_name: self.procs[pid.index()].process.name(),
+                            proc_name: self.procs[idx].process.name().to_owned(),
                             resource: rid,
                             resource_label: self.resources[rid.index()].label.clone(),
-                            at: self.now,
-                        });
+                            at: now,
+                        }));
                     };
                     res.holders.swap_remove(pos);
                     self.record(pid, EventKind::Released(rid));
@@ -411,20 +594,21 @@ impl Engine {
                     continue;
                 }
                 Action::WaitUntil(t) => {
-                    if t < self.now {
-                        return Err(SimError::WaitUntilPast {
+                    if t < now {
+                        return Err(Box::new(SimError::WaitUntilPast {
                             proc: pid,
                             target: t,
-                            at: self.now,
-                        });
+                            at: now,
+                        }));
                     }
-                    self.procs[pid.index()].state = ProcState::Sleeping;
+                    self.procs[idx].state = ProcState::Sleeping;
                     self.schedule(t, pid);
                     return Ok(());
                 }
                 Action::Done => {
-                    self.procs[pid.index()].state = ProcState::Finished;
-                    self.procs[pid.index()].finished_at = Some(self.now);
+                    let slot = &mut self.procs[idx];
+                    slot.state = ProcState::Finished;
+                    slot.finished_at = Some(now);
                     self.record(pid, EventKind::Finished);
                     return Ok(());
                 }
@@ -434,18 +618,18 @@ impl Engine {
 
     /// Hand a released resource to the next FIFO waiter, charging the
     /// hand-off latency before the waiter is polled again.
-    fn grant_after_handoff(&mut self, rid: ResourceId, pid: ProcId) -> Result<(), SimError> {
+    fn grant_after_handoff(&mut self, rid: ResourceId, pid: ProcId) -> Result<(), Box<SimError>> {
         let handoff = self.resources[rid.index()].handoff;
         let grant_time = self.now + handoff;
         let Some(started) = self.procs[pid.index()].wait_started.take() else {
-            return Err(SimError::InvariantViolated {
+            return Err(Box::new(SimError::InvariantViolated {
                 detail: format!(
                     "waiter {} granted \"{}\" without a recorded wait start",
                     pid.0,
                     self.resources[rid.index()].label
                 ),
                 at: self.now,
-            });
+            }));
         };
         // Wait covers queue time plus the hand-off itself.
         let waited = grant_time - started;
@@ -455,9 +639,11 @@ impl Engine {
         res.stats.contended_acquisitions += 1;
         res.stats.handoffs += 1;
         res.stats.total_wait += waited;
+        res.stats.handoff_time += handoff;
         let slot = &mut self.procs[pid.index()];
         slot.waiting += waited;
-        slot.state = ProcState::Runnable;
+        slot.state = ProcState::InTransit(rid);
+        slot.wake_at = grant_time;
         self.record(pid, EventKind::Acquired(rid));
         self.schedule(grant_time, pid);
         Ok(())
@@ -468,20 +654,23 @@ impl Engine {
             .procs
             .iter()
             .map(|p| ProcReport {
-                name: p.process.name(),
+                name: p.process.name().to_owned(),
                 busy: p.busy,
                 waiting: p.waiting,
+                completed_work: p.completed_work,
                 finished_at: p.finished_at,
             })
             .collect();
+        // The engine is consumed: labels and stats move into the report
+        // rather than cloning per run.
         let resources = self
             .resources
-            .iter()
+            .into_iter()
             .map(|r| ResourceReport {
-                label: r.label.clone(),
+                label: r.label,
                 capacity: r.capacity,
                 handoff: r.handoff,
-                stats: r.stats.clone(),
+                stats: r.stats,
             })
             .collect();
         Trace {
@@ -520,8 +709,8 @@ mod tests {
             self.cursor += 1;
             a
         }
-        fn name(&self) -> String {
-            self.name.clone()
+        fn name(&self) -> &str {
+            &self.name
         }
     }
 
@@ -540,6 +729,7 @@ mod tests {
         assert_eq!(trace.end_time, SimTime(150));
         assert_eq!(trace.procs[0].busy, ms(150));
         assert_eq!(trace.procs[0].waiting, ms(0));
+        assert_eq!(trace.procs[0].completed_work, 2);
         assert_eq!(trace.procs[0].finished_at, Some(SimTime(150)));
     }
 
@@ -607,6 +797,31 @@ mod tests {
         assert_eq!(trace.procs[1].waiting, ms(130));
         // First acquisition was uncontended (no hand-off).
         assert_eq!(trace.resources[0].stats.handoffs, 1);
+    }
+
+    #[test]
+    fn total_wait_splits_queue_time_from_handoff_transit() {
+        // Same workload as `handoff_latency_delays_the_waiter`, pinning
+        // the documented `total_wait` semantics: queue + hand-off
+        // combined, with `handoff_time` isolating the transit portion
+        // and `queue_wait()` the pure queue component.
+        let mut eng = Engine::new();
+        let marker = eng.add_resource("marker", ms(30));
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(marker),
+                    Action::Work(ms(100)),
+                    Action::Release(marker),
+                    Action::Done,
+                ],
+            ));
+        }
+        let stats = eng.run().resources[0].stats.clone();
+        assert_eq!(stats.total_wait, ms(130));
+        assert_eq!(stats.handoff_time, ms(30));
+        assert_eq!(stats.queue_wait(), ms(100));
     }
 
     #[test]
@@ -828,6 +1043,68 @@ mod tests {
     }
 
     #[test]
+    fn cutoff_charges_blocked_tail_to_waiting() {
+        // b has been queued on m since t=0 when the bell rings at 50: the
+        // engine must charge the in-progress wait `[0, 50]` to both the
+        // process and the resource — and clamp a's in-flight work chunk,
+        // so nobody's busy or waiting exceeds the elapsed wall clock.
+        let mut eng = Engine::new();
+        let m = eng.add_resource("m", ms(0));
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(m),
+                    Action::Work(ms(100)),
+                    Action::Release(m),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.try_run_until(SimTime(50)).expect("cutoff is ok");
+        assert_eq!(trace.procs[1].waiting, ms(50));
+        assert_eq!(trace.resources[0].stats.total_wait, ms(50));
+        assert_eq!(trace.total_waiting(), ms(50));
+        assert_eq!(trace.procs[0].busy, ms(50));
+        for p in &trace.procs {
+            assert!(p.busy <= trace.makespan(), "{}: busy > elapsed", p.name);
+            assert!(p.waiting <= trace.makespan(), "{}: waiting > elapsed", p.name);
+        }
+    }
+
+    #[test]
+    fn cutoff_clamps_in_transit_handoff() {
+        // a releases at 100; b's grant lands at 130 after the 30ms
+        // hand-off — but the bell rings at 110, mid-transit. The grant
+        // charged b the full 130ms of wait up front; the 20ms of transit
+        // past the bell never elapsed and must be refunded everywhere:
+        // process waiting, resource total_wait, and the hand-off split.
+        let mut eng = Engine::new();
+        let m = eng.add_resource("m", ms(30));
+        for name in ["a", "b"] {
+            eng.add_process(Scripted::new(
+                name,
+                vec![
+                    Action::Acquire(m),
+                    Action::Work(ms(100)),
+                    Action::Release(m),
+                    Action::Done,
+                ],
+            ));
+        }
+        let trace = eng.try_run_until(SimTime(110)).expect("cutoff is ok");
+        assert_eq!(trace.end_time, SimTime(110));
+        assert_eq!(trace.procs[1].waiting, ms(110));
+        let stats = &trace.resources[0].stats;
+        assert_eq!(stats.total_wait, ms(110));
+        assert_eq!(stats.handoff_time, ms(10));
+        assert_eq!(stats.queue_wait(), ms(100));
+        for p in &trace.procs {
+            assert!(p.waiting <= trace.makespan(), "{}: waiting > elapsed", p.name);
+        }
+    }
+
+    #[test]
     fn try_run_matches_run_on_clean_workloads() {
         let build = || {
             let mut eng = Engine::new();
@@ -911,16 +1188,53 @@ mod tests {
             ));
             eng
         };
-        // Bell at 150ms: only the first work completed.
+        // Bell at 150ms: the first chunk completed, the second is cut off
+        // halfway. Busy is clamped to the wall clock — 100ms of finished
+        // work plus 50ms of the chunk under way, never more than elapsed.
         let cut = build().run_until(SimTime(150));
         assert_eq!(cut.end_time, SimTime(150));
         assert_eq!(cut.procs[0].finished_at, None);
-        // Work *started* before the bell still counts as busy time booked.
-        assert_eq!(cut.procs[0].busy, ms(200));
+        assert_eq!(cut.procs[0].busy, ms(150));
+        assert_eq!(cut.procs[0].completed_work, 1);
+        assert!(cut.procs[0].busy <= cut.makespan());
         // Bell after the end: identical to run().
         let full = build().run_until(SimTime(10_000));
         assert_eq!(full.end_time, SimTime(300));
         assert_eq!(full.procs[0].finished_at, Some(SimTime(300)));
+        assert_eq!(full.procs[0].busy, ms(300));
+        assert_eq!(full.procs[0].completed_work, 3);
+    }
+
+    #[test]
+    fn trace_sink_opt_out_keeps_accounting() {
+        // With the event sink off the trace has no events but identical
+        // accounting — the contract that lets stats-only sweep reps skip
+        // event pushes entirely.
+        let build = |record: bool| {
+            let mut eng = Engine::new();
+            let m = eng.add_resource("m", ms(7));
+            eng.set_trace_events(record);
+            for name in ["a", "b", "c"] {
+                eng.add_process(Scripted::new(
+                    name,
+                    vec![
+                        Action::Acquire(m),
+                        Action::Work(ms(40)),
+                        Action::Release(m),
+                        Action::Work(ms(5)),
+                        Action::Done,
+                    ],
+                ));
+            }
+            eng.run()
+        };
+        let on = build(true);
+        let off = build(false);
+        assert!(!on.events.is_empty());
+        assert!(off.events.is_empty());
+        assert_eq!(on.end_time, off.end_time);
+        assert_eq!(on.procs, off.procs);
+        assert_eq!(on.resources, off.resources);
     }
 
     #[test]

@@ -8,7 +8,97 @@
 
 use crate::engine::ProcId;
 use crate::time::SimDuration;
-use std::collections::VecDeque;
+
+/// Inline capacity of a [`ProcList`] — sized for a classroom team.
+const INLINE_PROCS: usize = 8;
+
+/// An ordered list of process ids with inline storage for the first
+/// [`INLINE_PROCS`] entries, spilling to the heap only beyond that.
+/// Holder sets and FIFO wait queues are classroom-sized (a handful of
+/// students), so the common case adds zero allocations to a run.
+#[derive(Debug)]
+pub(crate) enum ProcList {
+    Inline { len: u8, buf: [ProcId; INLINE_PROCS] },
+    Heap(Vec<ProcId>),
+}
+
+impl ProcList {
+    pub(crate) fn new() -> Self {
+        ProcList::Inline {
+            len: 0,
+            buf: [ProcId(0); INLINE_PROCS],
+        }
+    }
+
+    /// Append at the back (FIFO enqueue).
+    pub(crate) fn push(&mut self, pid: ProcId) {
+        match self {
+            ProcList::Inline { len, buf } => {
+                let l = *len as usize;
+                if l < INLINE_PROCS {
+                    buf[l] = pid;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_PROCS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(pid);
+                    *self = ProcList::Heap(v);
+                }
+            }
+            ProcList::Heap(v) => v.push(pid),
+        }
+    }
+
+    /// Remove the entry at `i`, replacing it with the last entry.
+    /// Panics if `i` is out of bounds, like [`Vec::swap_remove`].
+    pub(crate) fn swap_remove(&mut self, i: usize) -> ProcId {
+        match self {
+            ProcList::Inline { len, buf } => {
+                let l = *len as usize;
+                assert!(i < l, "swap_remove index {i} out of bounds (len {l})");
+                let out = buf[i];
+                buf[i] = buf[l - 1];
+                *len -= 1;
+                out
+            }
+            ProcList::Heap(v) => v.swap_remove(i),
+        }
+    }
+
+    /// Remove and return the front entry (FIFO dequeue).
+    pub(crate) fn pop_front(&mut self) -> Option<ProcId> {
+        match self {
+            ProcList::Inline { len, buf } => {
+                if *len == 0 {
+                    return None;
+                }
+                let out = buf[0];
+                let l = *len as usize;
+                buf.copy_within(1..l, 0);
+                *len -= 1;
+                Some(out)
+            }
+            ProcList::Heap(v) => {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.remove(0))
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for ProcList {
+    type Target = [ProcId];
+
+    fn deref(&self) -> &[ProcId] {
+        match self {
+            ProcList::Inline { len, buf } => &buf[..*len as usize],
+            ProcList::Heap(v) => v,
+        }
+    }
+}
 
 /// Identifies a resource within an [`Engine`](crate::Engine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,8 +118,8 @@ impl ResourceId {
 pub(crate) struct ResourceState {
     pub(crate) label: String,
     pub(crate) capacity: usize,
-    pub(crate) holders: Vec<ProcId>,
-    pub(crate) waiters: VecDeque<ProcId>,
+    pub(crate) holders: ProcList,
+    pub(crate) waiters: ProcList,
     pub(crate) handoff: SimDuration,
     pub(crate) stats: ResourceStats,
 }
@@ -43,10 +133,23 @@ pub struct ResourceStats {
     pub contended_acquisitions: u64,
     /// Grants that involved a hand-off from another process.
     pub handoffs: u64,
-    /// Total time processes spent queued on this resource (ms).
+    /// Total time processes spent blocked on this resource (ms): queue
+    /// time **plus** the hand-off transit that follows each contended
+    /// grant. Use [`ResourceStats::queue_wait`] for the pure queue
+    /// component and [`ResourceStats::handoff_time`] for the transit.
     pub total_wait: SimDuration,
+    /// The hand-off-transit portion of [`ResourceStats::total_wait`]
+    /// (ms): time grants spent in flight between releaser and waiter.
+    pub handoff_time: SimDuration,
     /// Longest the queue ever got.
     pub max_queue_len: usize,
+}
+
+impl ResourceStats {
+    /// Time processes spent queued, excluding hand-off transit (ms).
+    pub fn queue_wait(&self) -> SimDuration {
+        SimDuration(self.total_wait.millis().saturating_sub(self.handoff_time.millis()))
+    }
 }
 
 impl ResourceState {
@@ -55,8 +158,8 @@ impl ResourceState {
         ResourceState {
             label,
             capacity,
-            holders: Vec::with_capacity(capacity),
-            waiters: VecDeque::new(),
+            holders: ProcList::new(),
+            waiters: ProcList::new(),
             handoff,
             stats: ResourceStats::default(),
         }

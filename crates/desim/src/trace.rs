@@ -85,6 +85,10 @@ pub struct ProcReport {
     pub busy: SimDuration,
     /// Total time spent blocked on resources (including hand-offs).
     pub waiting: SimDuration,
+    /// `Work` chunks that ran to completion — counted by the engine as
+    /// wake events fire, so it is exact even when the event sink is off
+    /// or a bell cut the run mid-chunk.
+    pub completed_work: u64,
     /// When the process issued `Done` (None if it never finished).
     pub finished_at: Option<SimTime>,
 }
@@ -538,12 +542,14 @@ mod tests {
                     name: "P1".into(),
                     busy: SimDuration(60),
                     waiting: SimDuration(20),
+                    completed_work: 1,
                     finished_at: Some(SimTime(100)),
                 },
                 ProcReport {
                     name: "P2".into(),
                     busy: SimDuration(50),
                     waiting: SimDuration(0),
+                    completed_work: 1,
                     finished_at: Some(SimTime(50)),
                 },
             ],
@@ -603,6 +609,7 @@ mod tests {
             name: "downed".into(),
             busy: SimDuration(30),
             waiting: SimDuration(10),
+            completed_work: 0,
             finished_at: None,
         };
         let end = SimTime(100);
@@ -620,6 +627,7 @@ mod tests {
             name: "P3".into(),
             busy: SimDuration(0),
             waiting: SimDuration(0),
+            completed_work: 0,
             finished_at: None,
         });
         let table = t.utilization_table();
