@@ -1,0 +1,92 @@
+//! Distributed-observability overhead-and-correctness benchmark.
+//!
+//! ```text
+//! cargo run -p flagsim-bench --release --bin obs_bench -- \
+//!     [--reps N] [--workers N] [--chunk K] [--trials N] \
+//!     [--out PATH] [--smoke]
+//! ```
+//!
+//! Defaults: 20000 reps, 3 workers, chunk 128, best of 3 trials,
+//! `BENCH_obs.json` — a campaign large enough that the coordinator's
+//! automatic rep sampling engages (~256 instrumented reps), which is
+//! the configuration the ≤5% overhead gate is about. `--smoke` shrinks
+//! the run (16 reps, 2 workers, chunk 3, 1 trial) and skips the
+//! wall-clock overhead gate — CI boxes are noisy — while keeping the
+//! determinism gates hard.
+//!
+//! Exits non-zero on gate failure: shipping-on and forced-loss
+//! statistics must be bit-for-bit identical to serial, and (full mode
+//! only) telemetry shipping may cost at most 5% wall-clock over the
+//! same sharded run with shipping off.
+
+fn main() {
+    let mut reps: u64 = 20_000;
+    let mut workers: usize = 3;
+    let mut chunk: u64 = 128;
+    let mut trials: u32 = 3;
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_obs.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+            }
+            "--chunk" => {
+                chunk = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--chunk needs a number");
+            }
+            "--trials" => {
+                trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials needs a number");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            "--smoke" => {
+                reps = 16;
+                workers = 2;
+                chunk = 3;
+                trials = 1;
+                smoke = true;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: obs_bench [--reps N] [--workers N] [--chunk K] [--trials N] \
+                     [--out PATH] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = flagsim_bench::run_obs_bench(reps, workers, chunk, trials);
+    println!("{}", bench.summary());
+    std::fs::write(&out_path, bench.to_json()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    if !bench.gates_pass(smoke) {
+        eprintln!(
+            "FAIL: shipping_identical={} lossy_identical={} frames_shipped={} \
+             overhead_frac={:.4} (max {})",
+            bench.shipping_identical,
+            bench.lossy_identical,
+            bench.frames_shipped,
+            bench.overhead_frac,
+            flagsim_bench::obs_bench::MAX_OVERHEAD_FRAC,
+        );
+        std::process::exit(1);
+    }
+}

@@ -140,6 +140,7 @@ fn spawn_workers(
                 once: true,
                 name: format!("bench-w{i}"),
                 quiet: true,
+                drop_telemetry_every: 0,
             };
             serve(&listener, &opts).ok();
         }));

@@ -80,7 +80,10 @@ USAGE:
                 [--checkpoint FILE] [--checkpoint-every K]
                 [--resume FILE] [--max-wall-secs S]
                 [--policy rebalance|spare:SECS|abort] [--chunk K]
+                [--obs-out FILE] [--trace-sample N]
+                [--log-level error|warn|info|debug|trace]
   flagsim worker --listen ADDR [--once] [--quiet] [--name NAME]
+                 [--log-level error|warn|info|debug|trace]
   flagsim explain <SCENARIO> [--format text|json] [--flag NAME]
                   [--kind KIND] [--seed N] [--team N] [--jobs N]
   flagsim profile <SCENARIO> [--out FILE] [--format chrome|folded|table]
@@ -539,14 +542,23 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         &[
             "flag", "kind", "seed", "reps", "jobs", "team", "trace-out", "workers", "connect",
             "checkpoint", "checkpoint-every", "resume", "max-wall-secs", "policy", "chunk",
+            "obs-out", "log-level", "trace-sample",
         ],
     )?;
-    // Any distribution/durability flag routes through the shard
-    // coordinator (which also runs plain in-process sweeps, so
+    if let Some(level) = opts.value("log-level") {
+        let parsed = flagsim_telemetry::Level::parse(level)
+            .map_err(|message| CliError { message })?;
+        flagsim_telemetry::log::set_level(parsed);
+    }
+    // Any distribution/durability/observability flag routes through the
+    // shard coordinator (which also runs plain in-process sweeps, so
     // `--checkpoint` alone works without any workers).
-    if ["workers", "connect", "checkpoint", "checkpoint-every", "resume", "max-wall-secs"]
-        .iter()
-        .any(|k| opts.flag(k))
+    if [
+        "workers", "connect", "checkpoint", "checkpoint-every", "resume", "max-wall-secs",
+        "obs-out",
+    ]
+    .iter()
+    .any(|k| opts.flag(k))
     {
         return cmd_sweep_shard(&opts);
     }
@@ -554,7 +566,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         return err(
             "usage: flagsim sweep <SCENARIO> [--reps M] [--jobs N] \
              [--flag NAME] [--kind KIND] [--seed N] [--team N] [--warmup] [--stream] \
-             [--progress] [--dashboard] [--trace-out FILE]",
+             [--progress] [--dashboard] [--trace-out FILE] [--log-level LEVEL]",
         );
     };
     let spec = match opts.value("flag") {
@@ -726,7 +738,8 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
                     "usage: flagsim sweep <SCENARIO> [--workers N | --connect ADDR,..] \
                      [--checkpoint FILE] [--checkpoint-every K] [--resume FILE] \
                      [--max-wall-secs S] [--reps M] [--jobs N] [--flag NAME] [--kind KIND] \
-                     [--seed N] [--team N] [--warmup]",
+                     [--seed N] [--team N] [--warmup] [--dashboard] [--trace-out FILE] \
+                     [--trace-sample N] [--obs-out FILE] [--log-level LEVEL]",
                 );
             };
             let spec = match opts.value("flag") {
@@ -842,6 +855,25 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
     }
     let worker_count = endpoints.len();
 
+    let dashboard = opts.flag("dashboard");
+    let trace_out = opts.value("trace-out");
+    let obs_out = opts.value("obs-out");
+    // 0 = auto: the coordinator aims for ~256 instrumented reps per
+    // campaign so shipping cost stays bounded on huge sweeps.
+    let trace_sample: u64 = opts
+        .value("trace-sample")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError { message: "bad --trace-sample".into() })?;
+    // Trace file and dashboard both need the telemetry collector; the
+    // global slot is generation-guarded, so install exactly one. The
+    // fleet hub is independent of the collector (it only powers the
+    // dashboard rows and the --obs-out dump) and is cheap, so it is
+    // always on for sharded runs.
+    let collector =
+        (dashboard || trace_out.is_some()).then(flagsim_telemetry::Collector::install);
+    let hub = flagsim_shard::ObsHub::new();
+
     let cfg = CoordinatorConfig {
         endpoints,
         local_jobs: jobs,
@@ -852,10 +884,88 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
         lease: LeaseConfig { chunk, policy, ..LeaseConfig::default() },
         halt_after_reps: None,
         quiet: false,
+        obs: Some(hub.clone()),
+        trace_sample,
     };
-    let outcome = with_optional_trace(opts.value("trace-out"), || {
-        run_sweep(&job, &cfg).map_err(|message| CliError { message })
+
+    let started = std::time::Instant::now();
+    let dash = match (&collector, dashboard) {
+        (Some(c), true) => Some(std::sync::Arc::new(crate::dashboard::Dashboard::new(
+            worker_count.max(1),
+            job.reps,
+            c.metrics(),
+        ))),
+        _ => None,
+    };
+    // Structured logs print *above* the live panel so interleaved
+    // output never shears the frame.
+    if let Some(d) = &dash {
+        let d = std::sync::Arc::clone(d);
+        flagsim_telemetry::log::set_sink(Some(Box::new(move |rec| {
+            d.println_above(&rec.render());
+        })));
+    }
+    let poller = dash.as_ref().map(|d| {
+        let d = std::sync::Arc::clone(d);
+        let hub = hub.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                let now = started.elapsed().as_millis() as u64;
+                let (merged, rows) = hub.with(|fv| (fv.merged, fleet_rows(fv, now)));
+                d.update_fleet(merged, 0, &rows);
+                std::thread::sleep(std::time::Duration::from_millis(150));
+            }
+        });
+        (stop, handle)
     });
+
+    let outcome = run_sweep(&job, &cfg).map_err(|message| CliError { message });
+
+    if let Some((stop, handle)) = poller {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        handle.join().ok();
+    }
+    if dash.is_some() {
+        flagsim_telemetry::log::set_sink(None);
+    }
+    if let Some(d) = &dash {
+        d.finish();
+    }
+    // A dashboard-aware stderr writer: while the panel is live, lines
+    // scroll out above it instead of shearing the frame.
+    let emit = |line: &str| match &dash {
+        Some(d) => d.println_above(line),
+        None => eprintln!("{line}"),
+    };
+    if let Some(c) = collector {
+        let set = c.finish();
+        if outcome.is_ok() {
+            if let Some(path) = trace_out {
+                let trace = set.chrome_trace();
+                // The merged multi-process trace is validated before it
+                // lands on disk: a malformed trace here is a bug worth
+                // failing loudly on, not something to hand to a viewer.
+                flagsim_telemetry::json::validate_chrome_trace(&trace).map_err(|e| CliError {
+                    message: format!("merged trace failed validation: {e}"),
+                })?;
+                std::fs::write(path, trace).map_err(|e| CliError {
+                    message: format!("cannot write {path}: {e}"),
+                })?;
+                emit(&format!("trace: {} span(s) written to {path}", set.len()));
+            }
+        }
+    }
+    if outcome.is_ok() {
+        if let Some(path) = obs_out {
+            let now = started.elapsed().as_millis() as u64;
+            std::fs::write(path, hub.snapshot_json(now)).map_err(|e| CliError {
+                message: format!("cannot write {path}: {e}"),
+            })?;
+            emit(&format!("fleet: observability snapshot written to {path}"));
+        }
+    }
     // Spawned workers are `--once`: a clean shutdown already ended them,
     // and kill() on an exited child is a harmless no-op. Always reap.
     for child in &mut children {
@@ -866,12 +976,12 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
         ShardOutcome::Completed(r) => {
             if !r.failures.is_empty() {
                 let first = &r.failures[0];
-                eprintln!(
+                emit(&format!(
                     "sweep: {} repetition(s) failed; first: rep {}: {}",
                     r.failures.len(),
                     first.rep,
                     first.error
-                );
+                ));
             }
             let mut out = format!(
                 "{} — {}, {} rep(s), {} worker(s), {} job(s), seed {}, sharded\n\n",
@@ -913,6 +1023,24 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
             err(format!("sweep halted unexpectedly at {merged} rep(s)"))
         }
     }
+}
+
+/// Render a [`FleetView`](flagsim_shard::FleetView) snapshot down to
+/// the dashboard's per-worker rows.
+fn fleet_rows(fv: &flagsim_shard::FleetView, now_ms: u64) -> Vec<crate::dashboard::FleetRow> {
+    fv.workers()
+        .map(|w| crate::dashboard::FleetRow {
+            name: w.name.clone(),
+            connected: w.connected,
+            reps_done: w.reps_done,
+            reps_per_sec: w.reps_per_sec(),
+            heartbeat_age_ms: w.silence_ms(now_ms),
+            reconnects: w.reconnects,
+            shipped: w.shipped_frames,
+            dropped: w.dropped_records,
+            spark: w.series.points().map(|(_, v)| v).collect(),
+        })
+        .collect()
 }
 
 /// Spawn `n` `flagsim worker --once` child processes on ephemeral
@@ -968,10 +1096,18 @@ fn spawn_local_workers(
 /// address on stdout, and answers `hello`/`lease` frames until the
 /// coordinator shuts the session down (`--once`) or forever.
 fn cmd_worker(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["listen", "name"])?;
+    let opts = parse_opts(args, &["listen", "name", "log-level"])?;
     let Some(addr) = opts.value("listen") else {
-        return err("usage: flagsim worker --listen ADDR [--once] [--quiet] [--name NAME]");
+        return err(
+            "usage: flagsim worker --listen ADDR [--once] [--quiet] [--name NAME] \
+             [--log-level LEVEL]",
+        );
     };
+    if let Some(level) = opts.value("log-level") {
+        let parsed = flagsim_telemetry::Level::parse(level)
+            .map_err(|message| CliError { message })?;
+        flagsim_telemetry::log::set_level(parsed);
+    }
     let listener = std::net::TcpListener::bind(addr).map_err(|e| CliError {
         message: format!("cannot listen on {addr}: {e}"),
     })?;
@@ -989,6 +1125,7 @@ fn cmd_worker(args: &[String]) -> Result<String, CliError> {
             .map(str::to_owned)
             .unwrap_or_else(|| format!("worker-{}", std::process::id())),
         quiet: opts.flag("quiet"),
+        drop_telemetry_every: 0,
     };
     flagsim_shard::serve(&listener, &worker_opts).map_err(|e| CliError {
         message: format!("worker failed: {e}"),

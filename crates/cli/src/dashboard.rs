@@ -9,22 +9,85 @@
 //! [`flagsim_core::sweep`]'s collector publishes
 //! (`sweep.completion.mean_s` / `sweep.completion.ci95_s`).
 //!
+//! For **sharded** sweeps the panel switches to a fleet view
+//! ([`Dashboard::update_fleet`]): one row per worker process with its
+//! connection state, merged-rep throughput, heartbeat age, reconnect
+//! count, and telemetry shipping counters — fed from the coordinator's
+//! [`ObsHub`](flagsim_shard::ObsHub) snapshots by a poller thread.
+//!
 //! Everything is drawn on **stderr** so stdout stays machine-readable,
 //! and the in-place redraw (cursor-up escapes) only happens when stderr
 //! is a real terminal; piped or redirected, the dashboard degrades to
 //! occasional plain `sweep: c/t rep(s) done ...` lines — the same shape
-//! `--progress` prints — so CI logs stay diff-friendly.
+//! `--progress` prints — so CI logs stay diff-friendly. Out-of-band
+//! lines (failure reports, structured logs) go through
+//! [`Dashboard::println_above`], which scrolls them out above the panel
+//! and repaints, so interleaved output never shears the frame. Every
+//! frame line is clamped to the detected terminal width (`COLUMNS`,
+//! fallback 80) so a narrow terminal never wraps the redraw out of
+//! alignment.
 
 use flagsim_core::sweep::SweepProgress;
 use flagsim_telemetry::MetricsRegistry;
 use std::io::{IsTerminal, Write as _};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Sparkline glyphs, lowest to highest.
 const SPARKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
 
 /// How many mean samples the sparkline keeps.
 const HISTORY: usize = 32;
+
+/// Detected terminal width: `COLUMNS` when set and sane, else 80.
+/// (The CLI is offline and dependency-free, so no ioctl probing; the
+/// shell exports `COLUMNS` in the interactive case that matters.)
+fn detect_width() -> usize {
+    std::env::var("COLUMNS")
+        .ok()
+        .and_then(|c| c.trim().parse::<usize>().ok())
+        .filter(|w| (20..=1000).contains(w))
+        .unwrap_or(80)
+}
+
+/// Truncate every line of `frame` to `width` characters so the in-place
+/// redraw never wraps (a wrapped line breaks the cursor-up arithmetic).
+fn clamp_frame(frame: &str, width: usize) -> String {
+    let mut out = String::with_capacity(frame.len());
+    for line in frame.lines() {
+        if line.chars().count() > width {
+            out.extend(line.chars().take(width.saturating_sub(1)));
+            out.push('\u{2026}');
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One worker row of the fleet panel (a rendered-down
+/// [`WorkerObs`](flagsim_shard::WorkerObs) snapshot).
+#[derive(Debug, Clone, Default)]
+pub struct FleetRow {
+    /// Worker name from its `hello_ok`.
+    pub name: String,
+    /// Session currently open.
+    pub connected: bool,
+    /// Repetitions merged from this worker.
+    pub reps_done: u64,
+    /// Recent throughput, repetitions per second.
+    pub reps_per_sec: f64,
+    /// Milliseconds since the last frame from this worker.
+    pub heartbeat_age_ms: u64,
+    /// Sessions beyond the first.
+    pub reconnects: u64,
+    /// Telemetry frames shipped by this worker.
+    pub shipped: u64,
+    /// Telemetry records dropped (bounded buffers / forced loss).
+    pub dropped: u64,
+    /// Recent throughput series for the row's sparkline.
+    pub spark: Vec<f64>,
+}
 
 /// Mutable dashboard state behind the [`Dashboard`]'s mutex.
 #[derive(Debug)]
@@ -37,17 +100,21 @@ struct State {
     mean_history: Vec<f64>,
     /// Lines the previous frame drew (0 before the first frame).
     drawn_lines: usize,
+    /// The previous frame, for repainting under [`Dashboard::println_above`].
+    last_frame: String,
     /// Completed count at the last plain-mode line.
     last_plain: u64,
 }
 
 /// A live, in-place progress panel for a sweep. Construct once, hand
-/// [`Dashboard::update`] to [`flagsim_core::sweep::SweepRunner::on_progress`],
-/// and call [`Dashboard::finish`] when the sweep returns.
+/// [`Dashboard::update`] to [`flagsim_core::sweep::SweepRunner::on_progress`]
+/// (or poll [`Dashboard::update_fleet`] for sharded sweeps), and call
+/// [`Dashboard::finish`] when the sweep returns.
 #[derive(Debug)]
 pub struct Dashboard {
     jobs: usize,
     total: u64,
+    width: usize,
     metrics: Arc<MetricsRegistry>,
     interactive: bool,
     state: Mutex<State>,
@@ -58,9 +125,20 @@ impl Dashboard {
     /// live statistics from `metrics`. Interactive (in-place ANSI
     /// redraw) exactly when stderr is a terminal.
     pub fn new(jobs: usize, total: u64, metrics: Arc<MetricsRegistry>) -> Self {
+        Self::with_width(jobs, total, metrics, detect_width())
+    }
+
+    /// [`Dashboard::new`] with an explicit width (tests; `new` detects).
+    pub fn with_width(
+        jobs: usize,
+        total: u64,
+        metrics: Arc<MetricsRegistry>,
+        width: usize,
+    ) -> Self {
         Dashboard {
             jobs: jobs.max(1),
             total,
+            width: width.max(20),
             metrics,
             interactive: std::io::stderr().is_terminal(),
             state: Mutex::new(State {
@@ -68,6 +146,7 @@ impl Dashboard {
                 per_worker: vec![0; jobs.max(1)],
                 mean_history: Vec::new(),
                 drawn_lines: 0,
+                last_frame: String::new(),
                 last_plain: 0,
             }),
         }
@@ -79,13 +158,55 @@ impl Dashboard {
         self.interactive
     }
 
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Repaint `frame` over the previous one (interactive mode only).
+    fn draw(&self, st: &mut State, frame: String) {
+        let frame = clamp_frame(&frame, self.width);
+        let up = st.drawn_lines;
+        st.drawn_lines = frame.lines().count();
+        st.last_frame = frame.clone();
+        let mut err = std::io::stderr().lock();
+        if up > 0 {
+            let _ = write!(err, "\x1b[{up}A\r");
+        }
+        // Clear-to-end-of-line on every row so shrinking text never
+        // leaves stale characters behind.
+        let _ = write!(err, "{}", frame.replace('\n', "\x1b[K\n"));
+        let _ = err.flush();
+    }
+
+    /// Print a line *above* the live panel and repaint it: the line
+    /// scrolls away like normal output while the panel stays put at the
+    /// bottom. Non-interactive (or before the first frame) this is a
+    /// plain stderr line. This is the dashboard-aware writer that
+    /// failure reports and structured logs route through, so
+    /// interleaved output never shears the frame.
+    pub fn println_above(&self, line: &str) {
+        let st = self.lock_state();
+        if self.interactive && st.drawn_lines > 0 {
+            let up = st.drawn_lines;
+            let frame = st.last_frame.clone();
+            drop(st);
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\x1b[{up}A\r\x1b[K{line}\n");
+            let _ = write!(err, "{}", frame.replace('\n', "\x1b[K\n"));
+            let _ = err.flush();
+        } else {
+            drop(st);
+            eprintln!("{line}");
+        }
+    }
+
     /// Record one progress snapshot and redraw. Safe to call from the
     /// sweep's worker threads (the runner already serializes callbacks).
     pub fn update(&self, p: SweepProgress) {
-        let mut st = match self.state.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut st = self.lock_state();
         if let Some(slot) = st.last_rep.get_mut(p.worker % self.jobs.max(1)) {
             *slot = Some(p.rep);
         }
@@ -102,16 +223,7 @@ impl Dashboard {
         }
         if self.interactive {
             let frame = self.render_frame(&st, &p);
-            let up = st.drawn_lines;
-            st.drawn_lines = frame.lines().count();
-            let mut err = std::io::stderr().lock();
-            if up > 0 {
-                let _ = write!(err, "\x1b[{up}A\r");
-            }
-            // Clear-to-end-of-line on every row so shrinking text never
-            // leaves stale characters behind.
-            let _ = write!(err, "{}", frame.replace('\n', "\x1b[K\n"));
-            let _ = err.flush();
+            self.draw(&mut st, frame);
         } else {
             // Plain fallback: one line every ~10% (and the final rep),
             // mirroring --progress so piped output stays log-friendly.
@@ -129,17 +241,51 @@ impl Dashboard {
         }
     }
 
+    /// Redraw the panel from a fleet snapshot (sharded sweeps): one row
+    /// per worker process instead of one per thread.
+    pub fn update_fleet(&self, merged: u64, failed: u64, rows: &[FleetRow]) {
+        let mut st = self.lock_state();
+        let mean = self.metrics.gauge("sweep.completion.mean_s").get();
+        if mean > 0.0 && st.mean_history.last() != Some(&mean) {
+            st.mean_history.push(mean);
+            let excess = st.mean_history.len().saturating_sub(HISTORY);
+            if excess > 0 {
+                st.mean_history.drain(..excess);
+            }
+        }
+        if self.interactive {
+            let frame = self.render_fleet_frame(&st, merged, failed, rows);
+            self.draw(&mut st, frame);
+        } else {
+            let step = (self.total / 10).max(1);
+            if merged == self.total || merged >= st.last_plain + step {
+                st.last_plain = merged;
+                let live = rows.iter().filter(|r| r.connected).count();
+                eprintln!(
+                    "sweep: {}/{} rep(s) merged, {} failed, {}/{} worker(s) live{}",
+                    merged,
+                    self.total,
+                    failed,
+                    live,
+                    rows.len(),
+                    self.stats_suffix()
+                );
+            }
+        }
+    }
+
     /// Finish the panel: leave the last frame on screen and move to a
     /// fresh line (interactive), or print the final plain line.
     pub fn finish(&self) {
-        let st = match self.state.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut st = self.lock_state();
         if self.interactive {
             if st.drawn_lines > 0 {
                 eprintln!();
             }
+            // The panel is closed: later println_above calls fall back
+            // to plain lines instead of repainting a stale frame.
+            st.drawn_lines = 0;
+            st.last_frame.clear();
         } else if st.last_plain == 0 {
             // A sweep short enough that no step line fired still gets
             // one closing line.
@@ -157,18 +303,23 @@ impl Dashboard {
         format!(" | mean {mean:.2}s \u{b1} {ci:.2}s")
     }
 
-    /// One full frame of the interactive panel.
-    fn render_frame(&self, st: &State, p: &SweepProgress) -> String {
-        let mut out = String::new();
-        let filled = (p.completed * 24).checked_div(self.total).unwrap_or(0) as usize;
-        out.push_str(&format!(
-            "sweep [{}{}] {}/{} rep(s), {} failed\n",
+    /// `sweep [###---] c/t rep(s), f failed` — shared by both frames.
+    fn progress_bar(&self, completed: u64, failed: u64, verb: &str) -> String {
+        let filled = (completed * 24).checked_div(self.total).unwrap_or(0) as usize;
+        format!(
+            "sweep [{}{}] {}/{} rep(s) {}, {} failed\n",
             "#".repeat(filled.min(24)),
             "-".repeat(24 - filled.min(24)),
-            p.completed,
-            p.total,
-            p.failed,
-        ));
+            completed,
+            self.total,
+            verb,
+            failed,
+        )
+    }
+
+    /// One full frame of the interactive per-thread panel.
+    fn render_frame(&self, st: &State, p: &SweepProgress) -> String {
+        let mut out = self.progress_bar(p.completed, p.failed, "done");
         for (w, (last, n)) in st.last_rep.iter().zip(&st.per_worker).enumerate() {
             match last {
                 Some(rep) => out.push_str(&format!(
@@ -176,6 +327,41 @@ impl Dashboard {
                 )),
                 None => out.push_str(&format!("  worker {w}: idle\n")),
             }
+        }
+        out.push_str(&format!(
+            "  completion{}  {}\n",
+            self.stats_suffix(),
+            sparkline(&st.mean_history)
+        ));
+        out
+    }
+
+    /// One full frame of the interactive fleet panel.
+    fn render_fleet_frame(
+        &self,
+        st: &State,
+        merged: u64,
+        failed: u64,
+        rows: &[FleetRow],
+    ) -> String {
+        let mut out = self.progress_bar(merged, failed, "merged");
+        let name_w = rows.iter().map(|r| r.name.chars().count()).max().unwrap_or(6).max(6);
+        for r in rows {
+            let state = if r.connected { '\u{25cf}' } else { '\u{25cb}' };
+            let mut line = format!(
+                "  {state} {:<name_w$}  {:>6} reps  {:>7.1}/s  hb {:>5}ms  rc {}",
+                r.name, r.reps_done, r.reps_per_sec, r.heartbeat_age_ms, r.reconnects,
+            );
+            if r.shipped > 0 || r.dropped > 0 {
+                line.push_str(&format!("  tx {} ({} dropped)", r.shipped, r.dropped));
+            }
+            let spark = sparkline(&r.spark);
+            if !spark.is_empty() {
+                line.push_str("  ");
+                line.push_str(&spark);
+            }
+            out.push_str(&line);
+            out.push('\n');
         }
         out.push_str(&format!(
             "  completion{}  {}\n",
@@ -281,5 +467,53 @@ mod tests {
         }
         let st = dash.state.lock().unwrap();
         assert_eq!(st.mean_history.len(), HISTORY);
+    }
+
+    #[test]
+    fn frames_are_clamped_to_the_terminal_width() {
+        let long = format!("short\n{}\n", "x".repeat(300));
+        let clamped = clamp_frame(&long, 40);
+        for line in clamped.lines() {
+            assert!(line.chars().count() <= 40, "line too wide: {line:?}");
+        }
+        assert!(clamped.contains("short\n"));
+        assert!(clamped.contains('\u{2026}'), "truncation marker missing");
+    }
+
+    #[test]
+    fn fleet_frame_shows_rows_state_and_shipping() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let dash = Dashboard::with_width(1, 100, metrics, 200);
+        let rows = vec![
+            FleetRow {
+                name: "local-0".into(),
+                connected: true,
+                reps_done: 42,
+                reps_per_sec: 8.25,
+                heartbeat_age_ms: 13,
+                reconnects: 1,
+                shipped: 7,
+                dropped: 2,
+                spark: vec![1.0, 2.0, 3.0],
+            },
+            FleetRow { name: "local-1".into(), ..FleetRow::default() },
+        ];
+        let st = dash.state.lock().unwrap();
+        let frame = dash.render_fleet_frame(&st, 50, 0, &rows);
+        assert!(frame.contains("50/100"), "{frame}");
+        assert!(frame.contains("merged"), "{frame}");
+        assert!(frame.contains('\u{25cf}'), "connected marker: {frame}");
+        assert!(frame.contains('\u{25cb}'), "disconnected marker: {frame}");
+        assert!(frame.contains("local-0"), "{frame}");
+        assert!(frame.contains("tx 7 (2 dropped)"), "{frame}");
+        assert!(frame.contains("rc 1"), "{frame}");
+    }
+
+    #[test]
+    fn detect_width_falls_back_sanely() {
+        // Whatever COLUMNS says in this environment, the result is the
+        // documented clamp range.
+        let w = detect_width();
+        assert!((20..=1000).contains(&w), "width {w}");
     }
 }

@@ -260,3 +260,44 @@ fn worker_prints_its_bound_address_and_serves_a_connect_sweep() {
     let tail = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap_or_default();
     assert_eq!(tail(&stdout), tail(&serial));
 }
+
+#[test]
+fn distributed_sweep_merges_one_trace_with_worker_tracks_and_obs_snapshot() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("flagsim-dist-trace-{}.json", std::process::id()));
+    let obs = dir.join(format!("flagsim-dist-obs-{}.json", std::process::id()));
+    let (stdout, stderr, code) = flagsim_code(&[
+        "sweep", "onestripe", "--reps", "6", "--seed", "11", "--workers", "2", "--chunk", "2",
+        "--trace-out", trace.to_str().unwrap(), "--obs-out", obs.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+
+    // Shipping telemetry must not move a single statistics bit.
+    let (serial, _, ok) =
+        flagsim(&["sweep", "onestripe", "--reps", "6", "--seed", "11", "--stream"]);
+    assert!(ok);
+    let tail = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap_or_default();
+    assert_eq!(
+        tail(&stdout),
+        tail(&serial),
+        "stats must be bit-identical with telemetry shipping on:\n{stdout}\nvs\n{serial}"
+    );
+
+    // The merged trace is one valid Chrome trace spanning the
+    // coordinator and both worker processes.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    flagsim_telemetry::json::validate_chrome_trace(&text).expect("merged trace validates");
+    assert!(text.contains("\"process_name\""), "process metadata expected: {}", &text[..200]);
+    for worker in ["local-0", "local-1"] {
+        assert!(text.contains(worker), "trace lacks a {worker} track group");
+    }
+    assert!(text.contains("\"sweep.rep\""), "worker rep spans expected");
+
+    // The fleet snapshot names both workers and the campaign.
+    let snap = std::fs::read_to_string(&obs).expect("obs file written");
+    std::fs::remove_file(&obs).ok();
+    for key in ["\"campaign\"", "\"workers\"", "\"local-0\"", "\"local-1\"", "\"series\""] {
+        assert!(snap.contains(key), "obs snapshot lacks {key}: {snap}");
+    }
+}

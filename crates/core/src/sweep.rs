@@ -441,7 +441,14 @@ impl Collector {
                     flagsim_telemetry::observe("sweep.completion_secs", completion);
                 }
             }
-            Err(error) => self.failures.push(SweepFailure { rep, error }),
+            Err(error) => {
+                flagsim_telemetry::log::warn(
+                    "core.sweep",
+                    "repetition failed",
+                    &[("rep", rep.to_string()), ("error", error.clone())],
+                );
+                self.failures.push(SweepFailure { rep, error });
+            }
         }
     }
 

@@ -23,16 +23,19 @@
 //! workers at all.
 
 use crate::checkpoint::Checkpoint;
+use crate::fleet::ObsHub;
 use crate::job::{JobSpec, MaterializedJob};
 use crate::lease::{LeaseConfig, LeaseGrant, LeaseTable, WorkerId};
 use crate::merge::{MergeState, RepOutcome};
-use crate::wire::{self, Message, PROTOCOL_VERSION};
+use crate::wire::{self, Message, TelemetryBatch, TraceConfig, PROTOCOL_VERSION};
 use flagsim_core::sweep::SweepFailure;
 use flagsim_metrics::RunStats;
+use flagsim_telemetry::log;
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -61,6 +64,15 @@ pub struct CoordinatorConfig {
     pub halt_after_reps: Option<u64>,
     /// Suppress stderr progress notes.
     pub quiet: bool,
+    /// Fleet-observability hub the coordinator publishes worker state
+    /// into (dashboard / `--obs-out`); `None` disables fleet tracking.
+    pub obs: Option<ObsHub>,
+    /// Rep-sampling stride propagated in the hello trace context:
+    /// workers instrument every `trace_sample`-th repetition. 0 picks
+    /// automatically (about 256 sampled reps per campaign) so shipping
+    /// cost stays bounded no matter how large the sweep; 1 means full
+    /// fidelity.
+    pub trace_sample: u64,
 }
 
 impl Default for CoordinatorConfig {
@@ -75,8 +87,23 @@ impl Default for CoordinatorConfig {
             lease: LeaseConfig::default(),
             halt_after_reps: None,
             quiet: true,
+            obs: None,
+            trace_sample: 0,
         }
     }
+}
+
+/// Resolve the rep-sampling stride for a campaign: an explicit setting
+/// wins; auto (0) aims for about 256 instrumented reps per campaign so
+/// per-rep spans never dominate a large sweep's wall clock.
+fn resolve_sample(cfg: &CoordinatorConfig, reps: u64) -> u64 {
+    if cfg.trace_sample > 0 { cfg.trace_sample } else { (reps / 256).max(1) }
+}
+
+/// The campaign's trace id: the hex job fingerprint, identical on every
+/// process that materializes the same job.
+pub fn campaign_id(job: &JobSpec) -> String {
+    job.fingerprint()
 }
 
 /// Summary statistics of a completed campaign — bit-identical to what
@@ -180,6 +207,9 @@ pub fn run_sweep(job: &JobSpec, cfg: &CoordinatorConfig) -> Result<ShardOutcome,
         flagsim_telemetry::gauge_set("shard.total_reps", job.reps as f64);
         flagsim_telemetry::gauge_set("shard.endpoints", cfg.endpoints.len() as f64);
     }
+    if let Some(hub) = &cfg.obs {
+        hub.with(|fv| fv.reset(campaign_id(job), job.reps));
+    }
     let start = Instant::now();
     let table = LeaseTable::with_missing(job.reps, &merge.missing_ranges(), cfg.lease.clone());
     let shared = Mutex::new(Shared {
@@ -201,6 +231,10 @@ pub fn run_sweep(job: &JobSpec, cfg: &CoordinatorConfig) -> Result<ShardOutcome,
 
     // Everything has stopped; freeze the outcome.
     let sh = shared.into_inner().expect("shard state lock poisoned");
+    if let Some(hub) = &cfg.obs {
+        let merged = sh.merge.merged();
+        hub.with(|fv| fv.merged = merged);
+    }
     if let Some(fatal) = sh.fatal {
         return Err(fatal);
     }
@@ -339,6 +373,15 @@ fn run_remote(
                     sh.deadline_hit = true;
                 }
             }
+            if let Some(hub) = &cfg.obs {
+                let merged = sh.merge.merged();
+                hub.with(|fv| {
+                    fv.merged = merged;
+                    if fv.sample(now) {
+                        fv.publish_gauges(now);
+                    }
+                });
+            }
             let terminal = sh.merge.is_complete()
                 || stop_requested(&sh)
                 || sh.table.abort_reason().is_some();
@@ -349,11 +392,13 @@ fn run_remote(
             let cluster_gone = threads_alive.load(Ordering::Relaxed) == 0;
             if cluster_gone {
                 if !cfg.quiet {
-                    eprintln!(
-                        "shard: no workers reachable; degrading to in-process execution \
-                         ({} of {} reps remain)",
-                        sh.merge.total() - sh.merge.merged(),
-                        sh.merge.total()
+                    log::warn(
+                        "shard.coordinator",
+                        "no workers reachable; degrading to in-process execution",
+                        &[
+                            ("remaining", (sh.merge.total() - sh.merge.merged()).to_string()),
+                            ("total", sh.merge.total().to_string()),
+                        ],
                     );
                 }
                 drop(sh);
@@ -439,6 +484,88 @@ fn connect_with_backoff(
     }
 }
 
+/// Grant ids pairing a lease's flow-arrow halves across the trace;
+/// process-global so concurrent sessions never collide.
+static NEXT_GRANT: AtomicU64 = AtomicU64::new(1);
+
+fn map_id(remap: &mut BTreeMap<u64, u64>, old: u64) -> u64 {
+    // A parent/link may reference a span that arrives in a *later*
+    // batch (children complete first); reserving its id on first sight
+    // keeps cross-batch edges intact.
+    *remap
+        .entry(old)
+        .or_insert_with(|| flagsim_telemetry::alloc_span_ids(1))
+}
+
+/// Merge one worker telemetry batch into the coordinator's collector
+/// and fleet view: remap span ids into this process's space, stamp
+/// every record with the worker's process label, and fold counter
+/// deltas in. Strictly observational — nothing here calls [`record`] or
+/// touches the merge, which is the determinism argument for shipping
+/// being on, off, or lossy.
+fn absorb_telemetry(
+    batch: TelemetryBatch,
+    worker_name: &str,
+    remap: &mut BTreeMap<u64, u64>,
+    obs: Option<&ObsHub>,
+    now: u64,
+) {
+    if let Some(hub) = obs {
+        hub.with(|fv| fv.on_telemetry(worker_name, batch.dropped, now));
+    }
+    if !flagsim_telemetry::enabled() {
+        return;
+    }
+    flagsim_telemetry::count("shard.telemetry_frames", 1);
+    if batch.dropped > 0 {
+        flagsim_telemetry::count("shard.telemetry_dropped_records", batch.dropped);
+    }
+    let spans: Vec<_> = batch
+        .spans
+        .into_iter()
+        .map(|mut s| {
+            s.id = map_id(remap, s.id);
+            s.parent = s.parent.map(|p| map_id(remap, p));
+            s.link = s.link.map(|l| map_id(remap, l));
+            s.process = worker_name.to_owned();
+            s
+        })
+        .collect();
+    if !spans.is_empty() {
+        flagsim_telemetry::submit_spans(spans);
+    }
+    for mut l in batch.logs {
+        l.process = worker_name.to_owned();
+        flagsim_telemetry::submit_log(l);
+    }
+    for mut f in batch.flows {
+        f.process = worker_name.to_owned();
+        flagsim_telemetry::submit_flow(f);
+    }
+    for (name, delta) in batch.counters {
+        flagsim_telemetry::count(&name, delta);
+    }
+}
+
+/// After `shutdown`, drain the worker's final telemetry frames until
+/// `bye` (or EOF/error). Best-effort: the session is ending either way.
+fn drain_goodbye(
+    reader: &mut impl std::io::Read,
+    worker_name: &str,
+    remap: &mut BTreeMap<u64, u64>,
+    obs: Option<&ObsHub>,
+    now: u64,
+) {
+    loop {
+        match wire::recv(reader) {
+            Ok(Some(Message::Telemetry(batch))) => {
+                absorb_telemetry(batch, worker_name, remap, obs, now);
+            }
+            _ => return, // bye, EOF, or anything else: done
+        }
+    }
+}
+
 /// Serve one established session until the campaign finishes, the
 /// session breaks (worker marked dead), or `done` is raised.
 fn drive_session(
@@ -464,17 +591,29 @@ fn drive_session(
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
 
+    // Propagate trace context only while this process is collecting;
+    // otherwise the worker stays in its disabled fast path.
+    let trace = if flagsim_telemetry::enabled() {
+        Some(TraceConfig {
+            campaign: campaign_id(job),
+            level: log::max_level(),
+            spans: true,
+            sample: resolve_sample(cfg, job.reps),
+        })
+    } else {
+        None
+    };
     if wire::send(
         &mut writer,
-        &Message::Hello { protocol: PROTOCOL_VERSION, job: job.clone() },
+        &Message::Hello { protocol: PROTOCOL_VERSION, job: job.clone(), trace },
     )
     .is_err()
     {
         dead("hello write failed");
         return Err(());
     }
-    match wire::recv(&mut reader) {
-        Ok(Some(Message::HelloOk { .. })) => {}
+    let worker_name = match wire::recv(&mut reader) {
+        Ok(Some(Message::HelloOk { worker })) => worker,
         Ok(Some(Message::Error { message })) => {
             dead(&format!("worker refused session: {message}"));
             return Err(());
@@ -483,13 +622,60 @@ fn drive_session(
             dead("no hello_ok");
             return Err(());
         }
+    };
+    let obs = cfg.obs.as_ref();
+    if let Some(hub) = obs {
+        hub.with(|fv| fv.on_connected(&worker_name, now_ms(start)));
     }
+    log::debug(
+        "shard.coordinator",
+        "session established",
+        &[("worker", worker_name.clone())],
+    );
+    // Worker-local span ids → this process's id space, for the session.
+    let mut remap: BTreeMap<u64, u64> = BTreeMap::new();
 
+    let result = drive_leases(
+        &mut reader,
+        &mut writer,
+        w,
+        &worker_name,
+        &mut remap,
+        job,
+        cfg,
+        shared,
+        done,
+        start,
+    );
+    if let Some(hub) = obs {
+        hub.with(|fv| fv.on_disconnected(&worker_name));
+    }
+    result
+}
+
+/// The lease grant/report loop of an established session.
+#[allow(clippy::too_many_arguments)]
+fn drive_leases(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    w: WorkerId,
+    worker_name: &str,
+    remap: &mut BTreeMap<u64, u64>,
+    job: &JobSpec,
+    cfg: &CoordinatorConfig,
+    shared: &Mutex<Shared>,
+    done: &AtomicBool,
+    start: Instant,
+) -> Result<(), ()> {
+    let dead = |reason: &str| {
+        lock(shared).table.mark_dead(w, reason, now_ms(start));
+    };
+    let obs = cfg.obs.as_ref();
     loop {
         if done.load(Ordering::Relaxed) {
             // Best-effort goodbye; the worker survives for other sweeps.
-            let _ = wire::send(&mut writer, &Message::Shutdown);
-            let _ = wire::recv(&mut reader);
+            let _ = wire::send(writer, &Message::Shutdown);
+            drain_goodbye(reader, worker_name, remap, obs, now_ms(start));
             return Ok(());
         }
         let grant = {
@@ -501,37 +687,70 @@ fn drive_session(
         };
         match grant {
             LeaseGrant::Finished => {
-                let _ = wire::send(&mut writer, &Message::Shutdown);
-                let _ = wire::recv(&mut reader);
+                let _ = wire::send(writer, &Message::Shutdown);
+                drain_goodbye(reader, worker_name, remap, obs, now_ms(start));
                 return Ok(());
             }
             LeaseGrant::Wait => {
                 thread::sleep(Duration::from_millis(2));
             }
             LeaseGrant::Range { start: s, end: e } => {
-                if wire::send(&mut writer, &Message::Lease { start: s, end: e }).is_err() {
+                let grant_id = if flagsim_telemetry::enabled() {
+                    let id = NEXT_GRANT.fetch_add(1, Ordering::Relaxed);
+                    // Start half of the grant arrow; the worker records
+                    // the finish half when it picks the lease up.
+                    flagsim_telemetry::flow("lease", id, true);
+                    id
+                } else {
+                    0
+                };
+                if wire::send(writer, &Message::Lease { start: s, end: e, grant: grant_id })
+                    .is_err()
+                {
                     dead("lease write failed");
                     return Err(());
+                }
+                if let Some(hub) = obs {
+                    hub.with(|fv| fv.on_lease(worker_name, now_ms(start)));
                 }
                 if flagsim_telemetry::enabled() {
                     flagsim_telemetry::count("shard.leases_granted", 1);
                 }
                 loop {
-                    match wire::recv(&mut reader) {
+                    match wire::recv(reader) {
                         Ok(Some(Message::Rep { rep, outcome })) => {
+                            let now = now_ms(start);
+                            if let Some(hub) = obs {
+                                hub.with(|fv| fv.on_rep(worker_name, now));
+                            }
                             let mut sh = lock(shared);
-                            sh.table.on_rep_done(w, rep, now_ms(start));
+                            sh.table.on_rep_done(w, rep, now);
                             record(&mut sh, job, cfg, rep, outcome);
                             if stop_requested(&sh) {
                                 done.store(true, Ordering::Relaxed);
                             }
                         }
                         Ok(Some(Message::LeaseDone { .. })) => {
-                            lock(shared).table.on_lease_done(w, now_ms(start));
+                            let now = now_ms(start);
+                            if let Some(hub) = obs {
+                                hub.with(|fv| fv.on_lease_done(worker_name, now));
+                            }
+                            lock(shared).table.on_lease_done(w, now);
                             break;
                         }
+                        Ok(Some(Message::Telemetry(batch))) => {
+                            // Observational only; doubles as a heartbeat
+                            // like every other worker frame.
+                            let now = now_ms(start);
+                            lock(shared).table.on_heartbeat(w, now);
+                            absorb_telemetry(batch, worker_name, remap, obs, now);
+                        }
                         Ok(Some(Message::Heartbeat)) => {
-                            lock(shared).table.on_heartbeat(w, now_ms(start));
+                            let now = now_ms(start);
+                            if let Some(hub) = obs {
+                                hub.with(|fv| fv.on_heard(worker_name, now));
+                            }
+                            lock(shared).table.on_heartbeat(w, now);
                         }
                         Ok(Some(Message::Error { message })) => {
                             dead(&format!("worker error: {message}"));
@@ -553,7 +772,8 @@ fn drive_session(
                         }
                     }
                     if done.load(Ordering::Relaxed) {
-                        let _ = wire::send(&mut writer, &Message::Shutdown);
+                        let _ = wire::send(writer, &Message::Shutdown);
+                        drain_goodbye(reader, worker_name, remap, obs, now_ms(start));
                         return Ok(());
                     }
                 }
@@ -588,6 +808,13 @@ mod tests {
     }
 
     fn spawn_workers(n: usize) -> (Vec<String>, Vec<thread::JoinHandle<()>>) {
+        spawn_workers_dropping(n, 0)
+    }
+
+    fn spawn_workers_dropping(
+        n: usize,
+        drop_telemetry_every: u64,
+    ) -> (Vec<String>, Vec<thread::JoinHandle<()>>) {
         let mut endpoints = Vec::new();
         let mut handles = Vec::new();
         for i in 0..n {
@@ -598,6 +825,7 @@ mod tests {
                     once: true,
                     name: format!("w{i}"),
                     quiet: true,
+                    drop_telemetry_every,
                 };
                 serve(&listener, &opts).ok();
             }));
@@ -653,6 +881,44 @@ mod tests {
         }
         for h in handles {
             h.join().expect("worker thread");
+        }
+    }
+
+    #[test]
+    fn telemetry_shipping_on_off_or_lossy_never_moves_stats() {
+        let j = job(24);
+        let (serial_c, serial_w) = serial_stats(&j);
+        // Shipping off, shipping on, and shipping with forced
+        // whole-batch drops must all merge to bit-identical statistics:
+        // telemetry frames are observational and never reach the merge.
+        for drop_every in [None, Some(0u64), Some(2)] {
+            let collector = drop_every.map(|_| flagsim_telemetry::Collector::install());
+            let (endpoints, handles) = spawn_workers_dropping(2, drop_every.unwrap_or(0));
+            let hub = ObsHub::new();
+            let cfg = CoordinatorConfig {
+                endpoints,
+                lease: LeaseConfig { chunk: 4, ..LeaseConfig::default() },
+                obs: Some(hub.clone()),
+                ..CoordinatorConfig::default()
+            };
+            match run_sweep(&j, &cfg).expect("sharded sweep") {
+                ShardOutcome::Completed(r) => {
+                    assert_stats_bits_equal(&r.completion, &serial_c);
+                    assert_stats_bits_equal(&r.waiting, &serial_w);
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+            for h in handles {
+                h.join().expect("worker thread");
+            }
+            // Fleet view saw both worker sessions regardless of mode.
+            let snap = hub.snapshot_json(1_000);
+            assert!(snap.contains("\"w0\""), "fleet snapshot missing w0: {snap}");
+            assert!(snap.contains("\"w1\""), "fleet snapshot missing w1: {snap}");
+            assert!(snap.contains(&format!("\"campaign\": \"{}\"", campaign_id(&j))));
+            if let Some(col) = collector {
+                let _ = col.finish();
+            }
         }
     }
 

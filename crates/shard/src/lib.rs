@@ -36,6 +36,15 @@
 //!   bit-identical to an uninterrupted run (the `shard_bench` hard
 //!   gate).
 //!
+//! * **Distributed observability** ([`wire`], [`fleet`]): when the
+//!   coordinator is collecting telemetry, its `hello` propagates the
+//!   campaign trace context and workers ship their spans, structured
+//!   logs, flow events, and counter deltas back as `telemetry` frames —
+//!   merged into one Chrome trace with a track group per worker process
+//!   and lease grants drawn as flow arrows. Telemetry frames are
+//!   strictly observational (they never reach the merge), so shipping
+//!   on, off, or lossy cannot move a single bit of the statistics.
+//!
 //! [`StreamingStats`]: flagsim_metrics::StreamingStats
 //! [`RecoveryPolicy`]: flagsim_core::faults::RecoveryPolicy
 
@@ -44,6 +53,7 @@
 
 pub mod checkpoint;
 pub mod coordinator;
+pub mod fleet;
 pub mod job;
 pub mod lease;
 pub mod merge;
@@ -51,9 +61,10 @@ pub mod wire;
 pub mod worker;
 
 pub use checkpoint::Checkpoint;
-pub use coordinator::{run_sweep, CoordinatorConfig, ShardOutcome, ShardResult};
+pub use coordinator::{campaign_id, run_sweep, CoordinatorConfig, ShardOutcome, ShardResult};
+pub use fleet::{FleetView, ObsHub, WorkerObs};
 pub use job::{JobSpec, MaterializedJob};
 pub use lease::{LeaseConfig, LeaseGrant, LeaseTable, WorkerId};
 pub use merge::{MergeState, RepOutcome};
-pub use wire::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+pub use wire::{read_frame, write_frame, Message, TelemetryBatch, TraceConfig, PROTOCOL_VERSION};
 pub use worker::{serve, WorkerOptions};

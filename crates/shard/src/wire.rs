@@ -11,10 +11,11 @@
 //! Session shape (coordinator drives, worker answers):
 //!
 //! ```text
-//! C → W   hello   {protocol, job}
+//! C → W   hello   {protocol, job, trace?}
 //! W → C   hello_ok {worker}
-//! C → W   lease   {start, end}          # end exclusive
+//! C → W   lease   {start, end, grant}   # end exclusive
 //! W → C   rep     {rep, ok, completion, waiting | error}   × (end-start)
+//! W → C   telemetry {seq, dropped, spans, logs, flows, counters}  # 0+
 //! W → C   lease_done {start, end}
 //! ...more leases...
 //! C → W   shutdown
@@ -24,10 +25,17 @@
 //! Any frame a worker sends doubles as a heartbeat: repetitions take
 //! milliseconds, so a healthy worker is never silent for long, and the
 //! coordinator's lease supervisor treats prolonged silence as death.
+//!
+//! `telemetry` frames are strictly *observational*: the coordinator
+//! routes them into its collector and fleet view only — never into the
+//! statistics merge — so shipping (on, off, or lossy) cannot perturb the
+//! bit-for-bit result. The optional `trace` field on `hello` is likewise
+//! ignored by older decoders, so [`PROTOCOL_VERSION`] stays at 1.
 
 use crate::job::JobSpec;
 use crate::merge::RepOutcome;
 use flagsim_telemetry::json::{self, f64_bits_hex, f64_from_bits_hex, json_string, Value};
+use flagsim_telemetry::{intern, FlowRecord, Level, LogRecord, SpanRecord};
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 
@@ -76,6 +84,43 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
+/// Trace context a coordinator propagates to its workers in `hello`:
+/// the campaign identity plus what the worker should record and ship.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Campaign trace id (hex of the job fingerprint); every span a
+    /// worker ships is stamped with it.
+    pub campaign: String,
+    /// Minimum severity of log records worth shipping.
+    pub level: Level,
+    /// Whether the worker should record and ship spans at all.
+    pub spans: bool,
+    /// Rep-sampling stride: instrument every `sample`-th repetition
+    /// (0 and 1 both mean every rep). Sampling bounds shipping cost on
+    /// large campaigns; lease spans and logs are never sampled away.
+    pub sample: u64,
+}
+
+/// One batch of observability records shipped worker → coordinator.
+/// Contents are ids/timestamps from the *worker's* counters and epoch;
+/// the coordinator remaps ids into its own space on receipt.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryBatch {
+    /// Batch sequence number within the session (1-based, monotonic) —
+    /// lets the coordinator count gaps a lossy worker dropped.
+    pub seq: u64,
+    /// Records the worker discarded (bounded buffers) before this batch.
+    pub dropped: u64,
+    /// Completed spans since the previous batch.
+    pub spans: Vec<SpanRecord>,
+    /// Structured log records since the previous batch.
+    pub logs: Vec<LogRecord>,
+    /// Flow-arrow halves since the previous batch.
+    pub flows: Vec<FlowRecord>,
+    /// Counter deltas since the previous batch, `(name, delta)`.
+    pub counters: Vec<(String, u64)>,
+}
+
 /// Every message either side can send.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -85,6 +130,9 @@ pub enum Message {
         protocol: u64,
         /// The campaign both sides will compute identically.
         job: JobSpec,
+        /// Trace context when the coordinator is collecting telemetry;
+        /// `None` (and absent on the wire) otherwise.
+        trace: Option<TraceConfig>,
     },
     /// Worker → coordinator: session accepted.
     HelloOk {
@@ -97,7 +145,12 @@ pub enum Message {
         start: u64,
         /// One past the last repetition.
         end: u64,
+        /// Grant id pairing the coordinator's flow-arrow start with the
+        /// worker's finish in a merged trace. Zero when untraced.
+        grant: u64,
     },
+    /// Worker → coordinator: a batch of observability records.
+    Telemetry(TelemetryBatch),
     /// Worker → coordinator: one repetition's outcome.
     Rep {
         /// Repetition index.
@@ -131,19 +184,34 @@ impl Message {
     pub fn encode(&self) -> String {
         let mut out = String::with_capacity(64);
         match self {
-            Message::Hello { protocol, job } => {
+            Message::Hello { protocol, job, trace } => {
                 let _ = write!(
                     out,
-                    "{{\"type\":\"hello\",\"protocol\":{protocol},\"job\":{}}}",
+                    "{{\"type\":\"hello\",\"protocol\":{protocol},\"job\":{}",
                     job.to_json()
                 );
+                if let Some(t) = trace {
+                    let _ = write!(
+                        out,
+                        ",\"trace\":{{\"campaign\":{},\"level\":\"{}\",\"spans\":{},\"sample\":\"{}\"}}",
+                        json_string(&t.campaign),
+                        t.level,
+                        t.spans,
+                        t.sample
+                    );
+                }
+                out.push('}');
             }
             Message::HelloOk { worker } => {
                 let _ = write!(out, "{{\"type\":\"hello_ok\",\"worker\":{}}}", json_string(worker));
             }
-            Message::Lease { start, end } => {
-                let _ = write!(out, "{{\"type\":\"lease\",\"start\":\"{start}\",\"end\":\"{end}\"}}");
+            Message::Lease { start, end, grant } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"lease\",\"start\":\"{start}\",\"end\":\"{end}\",\"grant\":\"{grant}\"}}"
+                );
             }
+            Message::Telemetry(batch) => encode_telemetry(&mut out, batch),
             Message::Rep { rep, outcome } => match outcome {
                 RepOutcome::Ok { completion, waiting } => {
                     let _ = write!(
@@ -199,9 +267,14 @@ impl Message {
                     .filter(|n| n.fract() == 0.0 && *n >= 0.0)
                     .ok_or("bad hello frame: missing protocol")? as u64;
                 let job = v.get("job").ok_or("bad hello frame: missing job")?;
+                // `trace` is optional: its absence means "don't collect",
+                // and a malformed one is ignored rather than fatal — the
+                // campaign must not fail over observability config.
+                let trace = v.get("trace").and_then(decode_trace_config);
                 Ok(Message::Hello {
                     protocol,
                     job: JobSpec::from_value(job)?,
+                    trace,
                 })
             }
             "hello_ok" => Ok(Message::HelloOk {
@@ -214,7 +287,10 @@ impl Message {
             "lease" => Ok(Message::Lease {
                 start: u64_field("start")?,
                 end: u64_field("end")?,
+                // Absent from pre-observability coordinators: untraced.
+                grant: u64_field("grant").unwrap_or(0),
             }),
+            "telemetry" => decode_telemetry(&v).map(Message::Telemetry),
             "rep" => {
                 let rep = u64_field("rep")?;
                 let ok = match v.get("ok") {
@@ -263,6 +339,189 @@ impl Message {
     }
 }
 
+fn encode_telemetry(out: &mut String, batch: &TelemetryBatch) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"telemetry\",\"seq\":\"{}\",\"dropped\":\"{}\",\"spans\":[",
+        batch.seq, batch.dropped
+    );
+    for (i, s) in batch.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":\"{}\"", s.id);
+        if let Some(p) = s.parent {
+            let _ = write!(out, ",\"parent\":\"{p}\"");
+        }
+        if let Some(l) = s.link {
+            let _ = write!(out, ",\"link\":\"{l}\"");
+        }
+        let _ = write!(
+            out,
+            ",\"cat\":{},\"name\":{},\"track\":{},\"start\":\"{}\",\"end\":\"{}\",\"args\":[",
+            json_string(s.category),
+            json_string(s.name),
+            json_string(&s.track),
+            s.start_ns,
+            s.end_ns
+        );
+        for (j, (k, val)) in s.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", json_string(k), json_string(val));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"logs\":[");
+    for (i, l) in batch.logs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ts\":\"{}\",\"level\":\"{}\",\"target\":{},\"msg\":{},\"track\":{},\"fields\":[",
+            l.ts_ns,
+            l.level,
+            json_string(&l.target),
+            json_string(&l.message),
+            json_string(&l.track)
+        );
+        for (j, (k, val)) in l.fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", json_string(k), json_string(val));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"flows\":[");
+    for (i, f) in batch.flows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"name\":{},\"ts\":\"{}\",\"track\":{},\"start\":{}}}",
+            f.id,
+            json_string(f.name),
+            f.ts_ns,
+            json_string(&f.track),
+            f.start
+        );
+    }
+    out.push_str("],\"counters\":[");
+    for (i, (name, delta)) in batch.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},\"{delta}\"]", json_string(name));
+    }
+    out.push_str("]}");
+}
+
+/// A u64 shipped as a decimal string (the JSON parser is f64-based, so
+/// bare numbers would lose precision past 2^53).
+fn u64_of(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_str).and_then(|s| s.parse().ok())
+}
+
+fn str_of<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+fn pairs_of(v: &Value, key: &str) -> Vec<(String, String)> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|pair| {
+                    let kv = pair.as_array()?;
+                    match kv {
+                        [k, val] => Some((k.as_str()?.to_owned(), val.as_str()?.to_owned())),
+                        _ => None,
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn decode_trace_config(v: &Value) -> Option<TraceConfig> {
+    Some(TraceConfig {
+        campaign: str_of(v, "campaign")?.to_owned(),
+        level: Level::parse(str_of(v, "level")?).ok()?,
+        spans: matches!(v.get("spans"), Some(Value::Bool(true))),
+        // Absent on frames from a pre-sampling coordinator: every rep.
+        sample: u64_of(v, "sample").unwrap_or(1),
+    })
+}
+
+fn decode_span(v: &Value) -> Option<SpanRecord> {
+    Some(SpanRecord {
+        id: u64_of(v, "id")?,
+        parent: u64_of(v, "parent"),
+        link: u64_of(v, "link"),
+        category: intern(str_of(v, "cat")?),
+        name: intern(str_of(v, "name")?),
+        track: str_of(v, "track").unwrap_or_default().to_owned(),
+        process: String::new(),
+        start_ns: u64_of(v, "start")?,
+        end_ns: u64_of(v, "end")?,
+        args: pairs_of(v, "args")
+            .into_iter()
+            .map(|(k, val)| (intern(&k), val))
+            .collect(),
+    })
+}
+
+fn decode_log(v: &Value) -> Option<LogRecord> {
+    Some(LogRecord {
+        ts_ns: u64_of(v, "ts")?,
+        level: Level::parse(str_of(v, "level")?).ok()?,
+        target: str_of(v, "target")?.to_owned(),
+        message: str_of(v, "msg")?.to_owned(),
+        fields: pairs_of(v, "fields"),
+        track: str_of(v, "track").unwrap_or_default().to_owned(),
+        process: String::new(),
+    })
+}
+
+fn decode_flow(v: &Value) -> Option<FlowRecord> {
+    Some(FlowRecord {
+        id: u64_of(v, "id")?,
+        name: intern(str_of(v, "name")?),
+        ts_ns: u64_of(v, "ts")?,
+        track: str_of(v, "track").unwrap_or_default().to_owned(),
+        process: String::new(),
+        start: matches!(v.get("start"), Some(Value::Bool(true))),
+    })
+}
+
+fn decode_telemetry(v: &Value) -> Result<TelemetryBatch, String> {
+    let records = |key: &str| -> Vec<Value> {
+        v.get(key)
+            .and_then(Value::as_array)
+            .map(|a| a.to_vec())
+            .unwrap_or_default()
+    };
+    // Individually malformed records are skipped, not fatal: telemetry
+    // is observational, and a coordinator must not kill a session (and
+    // re-run its reps) over one bad record from a skewed worker build.
+    Ok(TelemetryBatch {
+        seq: u64_of(v, "seq").ok_or("bad telemetry frame: missing seq")?,
+        dropped: u64_of(v, "dropped").unwrap_or(0),
+        spans: records("spans").iter().filter_map(decode_span).collect(),
+        logs: records("logs").iter().filter_map(decode_log).collect(),
+        flows: records("flows").iter().filter_map(decode_flow).collect(),
+        counters: pairs_of(v, "counters")
+            .into_iter()
+            .filter_map(|(name, delta)| Some((name, delta.parse().ok()?)))
+            .collect(),
+    })
+}
+
 /// Write one encoded [`Message`] as a frame.
 pub fn send(w: &mut impl Write, msg: &Message) -> io::Result<()> {
     write_frame(w, &msg.encode())
@@ -297,9 +556,54 @@ mod tests {
     #[test]
     fn every_message_round_trips() {
         let messages = vec![
-            Message::Hello { protocol: PROTOCOL_VERSION, job: job() },
+            Message::Hello { protocol: PROTOCOL_VERSION, job: job(), trace: None },
+            Message::Hello {
+                protocol: PROTOCOL_VERSION,
+                job: job(),
+                trace: Some(TraceConfig {
+                    campaign: "00c0ffee00c0ffee".into(),
+                    level: Level::Debug,
+                    spans: true,
+                    sample: u64::MAX - 3,
+                }),
+            },
             Message::HelloOk { worker: "w-1".into() },
-            Message::Lease { start: u64::MAX - 8, end: u64::MAX },
+            Message::Lease { start: u64::MAX - 8, end: u64::MAX, grant: 17 },
+            Message::Telemetry(TelemetryBatch {
+                seq: 3,
+                dropped: 2,
+                spans: vec![SpanRecord {
+                    id: u64::MAX - 1,
+                    parent: Some(4),
+                    link: None,
+                    category: "sim",
+                    name: "rep",
+                    track: "session \"q\"".into(),
+                    process: String::new(),
+                    start_ns: 1,
+                    end_ns: u64::MAX,
+                    args: vec![("rep", "9".into())],
+                }],
+                logs: vec![LogRecord {
+                    ts_ns: 5,
+                    level: Level::Warn,
+                    target: "shard.worker".into(),
+                    message: "lease retried".into(),
+                    fields: vec![("attempt".into(), "2".into())],
+                    track: "session".into(),
+                    process: String::new(),
+                }],
+                flows: vec![FlowRecord {
+                    id: 17,
+                    name: "lease",
+                    ts_ns: 6,
+                    track: "session".into(),
+                    process: String::new(),
+                    start: false,
+                }],
+                counters: vec![("shard.worker_reps".into(), u64::MAX)],
+            }),
+            Message::Telemetry(TelemetryBatch::default()),
             Message::Rep {
                 rep: 7,
                 outcome: RepOutcome::Ok { completion: 123.456789, waiting: -0.0 },
@@ -333,6 +637,45 @@ mod tests {
             Message::Rep { outcome: RepOutcome::Ok { completion, waiting }, .. } => {
                 assert_eq!(completion.to_bits(), x.to_bits());
                 assert_eq!(waiting.to_bits(), (x * 1e-300).to_bits());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_observability_frames_still_decode() {
+        // A coordinator from before telemetry shipping sends leases with
+        // no grant and hellos with no trace; both must decode cleanly.
+        let lease = Message::decode("{\"type\":\"lease\",\"start\":\"0\",\"end\":\"8\"}").unwrap();
+        assert_eq!(lease, Message::Lease { start: 0, end: 8, grant: 0 });
+        let hello = Message::Hello { protocol: PROTOCOL_VERSION, job: job(), trace: None };
+        match Message::decode(&hello.encode()).unwrap() {
+            Message::Hello { trace, .. } => assert_eq!(trace, None),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // A malformed trace config is ignored, not fatal.
+        let mut body = hello.encode();
+        body.truncate(body.len() - 1);
+        body.push_str(",\"trace\":{\"campaign\":\"x\",\"level\":\"loud\",\"spans\":true}}");
+        match Message::decode(&body).unwrap() {
+            Message::Hello { trace, .. } => assert_eq!(trace, None),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_decode_skips_malformed_records() {
+        let body = "{\"type\":\"telemetry\",\"seq\":\"1\",\"dropped\":\"0\",\
+                    \"spans\":[{\"id\":\"1\",\"cat\":\"sim\",\"name\":\"ok\",\"track\":\"t\",\
+                    \"start\":\"0\",\"end\":\"1\",\"args\":[]},{\"name\":\"no id\"}],\
+                    \"logs\":[{\"level\":\"nope\"}],\"flows\":[],\
+                    \"counters\":[[\"good\",\"3\"],[\"bad\",\"x\"]]}";
+        match Message::decode(body).unwrap() {
+            Message::Telemetry(batch) => {
+                assert_eq!(batch.spans.len(), 1);
+                assert_eq!(batch.spans[0].name, "ok");
+                assert!(batch.logs.is_empty());
+                assert_eq!(batch.counters, vec![("good".to_owned(), 3)]);
             }
             other => panic!("wrong decode: {other:?}"),
         }

@@ -13,12 +13,32 @@
 //!
 //! A failed repetition is reported (`ok:false`) and the lease continues:
 //! per-rep failures are campaign data, not worker faults.
+//!
+//! When the coordinator's `hello` carries a [`TraceConfig`], the worker
+//! installs its own telemetry collector for the session and ships what
+//! it records — spans, logs, flows, counter deltas — back as `telemetry`
+//! frames, drained every [`SHIP_EVERY_REPS`] reps and at each lease
+//! boundary. Pending records are capped ([`MAX_PENDING`]); overflow is
+//! *dropped and counted*, never buffered without bound, so a slow or
+//! inattentive coordinator can cost trace fidelity but never stall the
+//! repetitions themselves.
 
 use crate::job::JobSpec;
 use crate::merge::RepOutcome;
-use crate::wire::{self, Message, PROTOCOL_VERSION};
-use std::io::{self, BufReader, BufWriter};
+use crate::wire::{self, Message, TelemetryBatch, TraceConfig, PROTOCOL_VERSION};
+use flagsim_telemetry::{log, Collector, FlowRecord, LogRecord, SpanRecord};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+
+/// Drain-and-ship cadence within a lease, in repetitions. Every lease
+/// boundary also flushes, so this only bounds staleness inside one
+/// long lease; keeping it coarse keeps frame overhead off the rep hot
+/// path (the obs bench gates shipping at ≤5% wall-clock).
+const SHIP_EVERY_REPS: u64 = 512;
+
+/// Cap on pending records of each kind between ships; overflow is
+/// dropped and counted in the next batch's `dropped` field.
+const MAX_PENDING: usize = 8192;
 
 /// How `serve` behaves.
 #[derive(Debug, Clone)]
@@ -30,6 +50,10 @@ pub struct WorkerOptions {
     pub name: String,
     /// Suppress per-session stderr notes.
     pub quiet: bool,
+    /// Test hook for forced telemetry loss: when `n > 0`, every `n`-th
+    /// batch is discarded (counted as dropped) instead of shipped —
+    /// merged statistics must come out identical anyway.
+    pub drop_telemetry_every: u64,
 }
 
 impl Default for WorkerOptions {
@@ -38,7 +62,97 @@ impl Default for WorkerOptions {
             once: false,
             name: format!("worker-{}", std::process::id()),
             quiet: false,
+            drop_telemetry_every: 0,
         }
+    }
+}
+
+/// Per-session shipping state: the worker-side collector plus bounded
+/// pending buffers between `telemetry` frames.
+struct Shipper {
+    collector: Collector,
+    config: TraceConfig,
+    seq: u64,
+    dropped: u64,
+    reps_since_ship: u64,
+    pending_spans: Vec<SpanRecord>,
+    pending_logs: Vec<LogRecord>,
+    pending_flows: Vec<FlowRecord>,
+    drop_every: u64,
+}
+
+impl Shipper {
+    fn new(config: TraceConfig, drop_every: u64) -> Shipper {
+        log::set_level(config.level);
+        Shipper {
+            collector: Collector::install(),
+            config,
+            seq: 0,
+            dropped: 0,
+            reps_since_ship: 0,
+            pending_spans: Vec::new(),
+            pending_logs: Vec::new(),
+            pending_flows: Vec::new(),
+            drop_every,
+        }
+    }
+
+    /// Move drained records into the bounded pending buffers.
+    fn absorb(&mut self) {
+        fn take_bounded<T>(pending: &mut Vec<T>, mut fresh: Vec<T>, dropped: &mut u64) {
+            let room = MAX_PENDING.saturating_sub(pending.len());
+            if fresh.len() > room {
+                *dropped += (fresh.len() - room) as u64;
+                fresh.truncate(room);
+            }
+            pending.append(&mut fresh);
+        }
+        let spans = if self.config.spans {
+            self.collector.drain_spans()
+        } else {
+            // Spans disabled by config: drain and discard (not counted
+            // as drops — the coordinator asked for none).
+            let _ = self.collector.drain_spans();
+            Vec::new()
+        };
+        take_bounded(&mut self.pending_spans, spans, &mut self.dropped);
+        take_bounded(&mut self.pending_logs, self.collector.drain_logs(), &mut self.dropped);
+        take_bounded(&mut self.pending_flows, self.collector.drain_flows(), &mut self.dropped);
+    }
+
+    /// Drain, batch, and ship one `telemetry` frame (or drop it whole
+    /// when the forced-loss hook fires). Quietly skips empty batches.
+    fn ship(&mut self, writer: &mut impl Write) -> io::Result<()> {
+        self.absorb();
+        let reps = std::mem::take(&mut self.reps_since_ship);
+        if self.pending_spans.is_empty()
+            && self.pending_logs.is_empty()
+            && self.pending_flows.is_empty()
+            && reps == 0
+            && self.dropped == 0
+        {
+            return Ok(());
+        }
+        self.seq += 1;
+        let batch = TelemetryBatch {
+            seq: self.seq,
+            dropped: std::mem::take(&mut self.dropped),
+            spans: std::mem::take(&mut self.pending_spans),
+            logs: std::mem::take(&mut self.pending_logs),
+            flows: std::mem::take(&mut self.pending_flows),
+            counters: if reps > 0 {
+                vec![("shard.worker_reps".to_owned(), reps)]
+            } else {
+                Vec::new()
+            },
+        };
+        if self.drop_every > 0 && self.seq.is_multiple_of(self.drop_every) {
+            // Forced loss: the whole batch evaporates; only the count
+            // survives into the next frame.
+            self.dropped += (batch.spans.len() + batch.logs.len() + batch.flows.len()) as u64;
+            return Ok(());
+        }
+        wire::send(writer, &Message::Telemetry(batch))
     }
 }
 
@@ -50,11 +164,19 @@ pub fn serve(listener: &TcpListener, opts: &WorkerOptions) -> io::Result<()> {
     loop {
         let (stream, peer) = listener.accept()?;
         if !opts.quiet {
-            eprintln!("worker {}: session from {peer}", opts.name);
+            log::info(
+                "shard.worker",
+                "session accepted",
+                &[("worker", opts.name.clone()), ("peer", peer.to_string())],
+            );
         }
         if let Err(e) = serve_session(&stream, opts) {
             if !opts.quiet {
-                eprintln!("worker {}: session ended: {e}", opts.name);
+                log::warn(
+                    "shard.worker",
+                    "session ended with error",
+                    &[("worker", opts.name.clone()), ("error", e.to_string())],
+                );
             }
         }
         if opts.once {
@@ -70,9 +192,11 @@ pub fn serve_session(stream: &TcpStream, opts: &WorkerOptions) -> io::Result<()>
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream.try_clone()?);
 
-    // Handshake: hello carries the whole job.
-    let job: JobSpec = match wire::recv(&mut reader)? {
-        Some(Message::Hello { protocol, job }) if protocol == PROTOCOL_VERSION => job,
+    // Handshake: hello carries the whole job (and the trace context).
+    let (job, trace): (JobSpec, Option<TraceConfig>) = match wire::recv(&mut reader)? {
+        Some(Message::Hello { protocol, job, trace }) if protocol == PROTOCOL_VERSION => {
+            (job, trace)
+        }
         Some(Message::Hello { protocol, .. }) => {
             let msg = format!("protocol {protocol} != {PROTOCOL_VERSION}");
             wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
@@ -94,46 +218,105 @@ pub fn serve_session(stream: &TcpStream, opts: &WorkerOptions) -> io::Result<()>
     };
     wire::send(&mut writer, &Message::HelloOk { worker: opts.name.clone() })?;
 
+    // With a trace context, everything recorded from here on is shipped
+    // back; without one, instrumentation stays in its disabled
+    // (one-atomic-load) state.
+    let mut shipper = trace.map(|t| Shipper::new(t, opts.drop_telemetry_every));
+    if let Some(s) = shipper.as_ref() {
+        // Recorded through the just-installed collector, so even a
+        // worker that never wins a lease ships one frame on shutdown —
+        // the merged trace then shows a track for every fleet member,
+        // not just the ones the scheduler favored.
+        log::info(
+            "shard.worker",
+            "session start",
+            &[("worker", opts.name.clone()), ("campaign", s.config.campaign.clone())],
+        );
+    }
+
     let runner = mat.runner();
-    loop {
+    let result = loop {
         match wire::recv(&mut reader)? {
-            Some(Message::Lease { start, end }) => {
+            Some(Message::Lease { start, end, grant }) => {
                 if start >= end || end > mat.reps {
                     let msg = format!("bad lease {start}..{end} for {} reps", mat.reps);
                     wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+                    break Err(io::Error::new(io::ErrorKind::InvalidData, msg));
                 }
+                let lease_span = shipper.as_ref().map(|s| {
+                    if grant != 0 {
+                        // Finish half of the coordinator's grant arrow.
+                        flagsim_telemetry::flow("lease", grant, false);
+                    }
+                    flagsim_telemetry::span("shard", "lease")
+                        .arg("campaign", &s.config.campaign)
+                        .arg("worker", &opts.name)
+                        .arg("lease", format!("{start}..{end}"))
+                        .arg("grant", grant)
+                });
                 for rep in start..end {
-                    let outcome = match runner.run_rep(rep) {
-                        Ok(report) => RepOutcome::Ok {
-                            completion: report.completion_secs(),
-                            waiting: report.total_wait_secs(),
-                        },
-                        Err(error) => RepOutcome::Failed { error },
+                    // Rep sampling: unsampled reps run with recording
+                    // paused, so neither the rep span nor the engine's
+                    // inner spans cost anything. Purely observational —
+                    // the rep itself always runs and reports.
+                    let sampled = shipper
+                        .as_ref()
+                        .is_some_and(|s| s.config.sample <= 1 || rep % s.config.sample == 0);
+                    let _pause = (shipper.is_some() && !sampled)
+                        .then(flagsim_telemetry::pause_recording);
+                    let outcome = {
+                        let _rep_span = sampled
+                            .then(|| flagsim_telemetry::span("sim", "sweep.rep").arg("rep", rep));
+                        match runner.run_rep(rep) {
+                            Ok(report) => RepOutcome::Ok {
+                                completion: report.completion_secs(),
+                                waiting: report.total_wait_secs(),
+                            },
+                            Err(error) => RepOutcome::Failed { error },
+                        }
                     };
                     wire::send(&mut writer, &Message::Rep { rep, outcome })?;
                     if flagsim_telemetry::enabled() {
                         flagsim_telemetry::count("shard.worker_reps", 1);
                     }
+                    if let Some(s) = shipper.as_mut() {
+                        s.reps_since_ship += 1;
+                        if s.reps_since_ship >= SHIP_EVERY_REPS {
+                            s.ship(&mut writer)?;
+                        }
+                    }
+                }
+                drop(lease_span);
+                if let Some(s) = shipper.as_mut() {
+                    s.ship(&mut writer)?;
                 }
                 wire::send(&mut writer, &Message::LeaseDone { start, end })?;
             }
             Some(Message::Shutdown) => {
+                if let Some(s) = shipper.as_mut() {
+                    s.ship(&mut writer)?;
+                }
                 wire::send(&mut writer, &Message::Bye)?;
-                return Ok(());
+                break Ok(());
             }
             Some(Message::Heartbeat) => {} // coordinator probing liveness
             Some(Message::Error { message }) => {
-                return Err(io::Error::other(message));
+                break Err(io::Error::other(message));
             }
             Some(other) => {
                 let msg = format!("unexpected frame {other:?}");
                 wire::send(&mut writer, &Message::Error { message: msg.clone() })?;
-                return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+                break Err(io::Error::new(io::ErrorKind::InvalidData, msg));
             }
-            None => return Ok(()), // coordinator hung up (or died); leases lapse
+            None => break Ok(()), // coordinator hung up (or died); leases lapse
         }
+    };
+    if let Some(s) = shipper {
+        // End the session's collector so the next session (or the
+        // process's own tooling) starts clean.
+        let _ = s.collector.finish();
     }
+    result
 }
 
 #[cfg(test)]
@@ -160,7 +343,12 @@ mod tests {
         let handle = thread::spawn(move || {
             serve(
                 &listener,
-                &WorkerOptions { once, name: "t".into(), quiet: true },
+                &WorkerOptions {
+                    once,
+                    name: "t".into(),
+                    quiet: true,
+                    drop_telemetry_every: 0,
+                },
             )
         });
         (addr, handle)
@@ -172,9 +360,9 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let mut r = BufReader::new(stream.try_clone().unwrap());
         let mut w = BufWriter::new(stream);
-        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: job() }).unwrap();
+        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: job(), trace: None }).unwrap();
         assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::HelloOk { .. })));
-        wire::send(&mut w, &Message::Lease { start: 1, end: 4 }).unwrap();
+        wire::send(&mut w, &Message::Lease { start: 1, end: 4, grant: 0 }).unwrap();
         let local = job().materialize().unwrap();
         let runner = local.runner();
         for expect_rep in 1u64..4 {
@@ -203,7 +391,7 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let mut r = BufReader::new(stream.try_clone().unwrap());
         let mut w = BufWriter::new(stream);
-        wire::send(&mut w, &Message::Hello { protocol: 999, job: job() }).unwrap();
+        wire::send(&mut w, &Message::Hello { protocol: 999, job: job(), trace: None }).unwrap();
         match wire::recv(&mut r).unwrap() {
             Some(Message::Error { message }) => assert!(message.contains("999"), "{message}"),
             other => panic!("expected error, got {other:?}"),
@@ -219,7 +407,7 @@ mod tests {
         let mut r = BufReader::new(stream.try_clone().unwrap());
         let mut w = BufWriter::new(stream);
         let bad = JobSpec { flag: "Atlantis".into(), ..job() };
-        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: bad }).unwrap();
+        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: bad, trace: None }).unwrap();
         assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::Error { .. })));
         handle.join().unwrap().unwrap();
 
@@ -228,9 +416,9 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let mut r = BufReader::new(stream.try_clone().unwrap());
         let mut w = BufWriter::new(stream);
-        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: job() }).unwrap();
+        wire::send(&mut w, &Message::Hello { protocol: PROTOCOL_VERSION, job: job(), trace: None }).unwrap();
         assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::HelloOk { .. })));
-        wire::send(&mut w, &Message::Lease { start: 0, end: 99 }).unwrap();
+        wire::send(&mut w, &Message::Lease { start: 0, end: 99, grant: 0 }).unwrap();
         assert!(matches!(wire::recv(&mut r).unwrap(), Some(Message::Error { .. })));
         handle.join().unwrap().unwrap();
     }

@@ -7,8 +7,9 @@
 //! channel so producing threads never block on the consumer.
 
 use crate::export::SpanSet;
+use crate::log::LogRecord;
 use crate::metrics::MetricsRegistry;
-use crate::span::SpanRecord;
+use crate::span::{FlowRecord, SpanRecord};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -17,10 +18,25 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 static GLOBAL: Mutex<Option<Global>> = Mutex::new(None);
 
+/// Bound on captured-but-undrained logs/flows, so an unobserved session
+/// cannot grow without limit. Drops are silent counts in the buffer's
+/// place — observability must never become a memory hazard.
+const EVENT_BUFFER_CAP: usize = 65_536;
+
+/// Logs and flows captured since the last drain, behind one lock (these
+/// are low-rate events; spans keep their lock-free channel).
+#[derive(Debug, Default)]
+struct EventBuffers {
+    logs: Vec<LogRecord>,
+    flows: Vec<FlowRecord>,
+    dropped: u64,
+}
+
 struct Global {
     generation: u64,
     tx: Sender<Vec<SpanRecord>>,
     metrics: Arc<MetricsRegistry>,
+    events: Arc<Mutex<EventBuffers>>,
 }
 
 fn lock_global() -> MutexGuard<'static, Option<Global>> {
@@ -38,11 +54,53 @@ pub fn enabled() -> bool {
 
 /// Ship a batch of finished spans to the installed collector, if any.
 pub(crate) fn submit(batch: Vec<SpanRecord>) {
+    submit_spans(batch);
+}
+
+/// Ship externally produced span records (e.g. spans decoded off a
+/// shard-worker session and re-id-mapped) to the installed collector.
+/// Silently discarded when no collector is installed.
+pub fn submit_spans(batch: Vec<SpanRecord>) {
     if let Some(g) = lock_global().as_ref() {
         // A send can only fail if the collector was dropped without
         // `finish`; the batch is discarded, matching disabled telemetry.
         let _ = g.tx.send(batch);
     }
+}
+
+fn with_events(f: impl FnOnce(&mut EventBuffers)) {
+    let events = match lock_global().as_ref() {
+        Some(g) => Arc::clone(&g.events),
+        None => return,
+    };
+    let mut buf = match events.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut buf);
+}
+
+/// Capture a log record (local or shipped from a worker process).
+/// Discarded when no collector is installed or the buffer cap is hit.
+pub fn submit_log(rec: LogRecord) {
+    with_events(|buf| {
+        if buf.logs.len() < EVENT_BUFFER_CAP {
+            buf.logs.push(rec);
+        } else {
+            buf.dropped += 1;
+        }
+    });
+}
+
+/// Capture a flow event (local or shipped from a worker process).
+pub fn submit_flow(rec: FlowRecord) {
+    with_events(|buf| {
+        if buf.flows.len() < EVENT_BUFFER_CAP {
+            buf.flows.push(rec);
+        } else {
+            buf.dropped += 1;
+        }
+    });
 }
 
 /// Bump the named counter on the installed collector's registry.
@@ -77,6 +135,32 @@ pub fn observe(name: &str, value: f64) {
     }
 }
 
+/// RAII guard from [`pause_recording`]: recording resumes on drop if it
+/// was live when the pause began.
+#[derive(Debug)]
+pub struct RecordingPause {
+    was_enabled: bool,
+}
+
+/// Temporarily flip instrumentation off without uninstalling the
+/// collector — the sampling fast path for instrumented loops (a shard
+/// worker skips whole unsampled repetitions this way). Two relaxed
+/// atomic ops total, so it is safe on a per-iteration hot path; any
+/// spans already open keep recording normally when they close after
+/// the pause. Concurrent pauses can shorten each other's windows —
+/// recording is observational, so that only trims a trace, never data.
+pub fn pause_recording() -> RecordingPause {
+    RecordingPause { was_enabled: ENABLED.swap(false, Ordering::Relaxed) }
+}
+
+impl Drop for RecordingPause {
+    fn drop(&mut self) {
+        if self.was_enabled {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
 /// An active profiling session: owns the receiving end of the span
 /// channel and the metrics registry instrumentation writes into.
 #[derive(Debug)]
@@ -84,6 +168,7 @@ pub struct Collector {
     generation: u64,
     rx: Receiver<Vec<SpanRecord>>,
     metrics: Arc<MetricsRegistry>,
+    events: Arc<Mutex<EventBuffers>>,
 }
 
 impl Collector {
@@ -93,17 +178,20 @@ impl Collector {
     pub fn install() -> Collector {
         let (tx, rx) = channel();
         let metrics = Arc::new(MetricsRegistry::new());
+        let events = Arc::new(Mutex::new(EventBuffers::default()));
         let generation = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
         *lock_global() = Some(Global {
             generation,
             tx,
             metrics: Arc::clone(&metrics),
+            events: Arc::clone(&events),
         });
         ENABLED.store(true, Ordering::Relaxed);
         Collector {
             generation,
             rx,
             metrics,
+            events,
         }
     }
 
@@ -113,8 +201,39 @@ impl Collector {
         Arc::clone(&self.metrics)
     }
 
+    /// Drain the spans received so far *without* ending the session.
+    /// This is the worker-side shipping path: a shard worker drains
+    /// between repetitions and forwards the batch over the wire.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        crate::span::flush_thread();
+        let mut spans = Vec::new();
+        while let Ok(batch) = self.rx.try_recv() {
+            spans.extend(batch);
+        }
+        spans
+    }
+
+    /// Drain the log records captured so far without ending the session.
+    pub fn drain_logs(&self) -> Vec<LogRecord> {
+        let mut buf = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::take(&mut buf.logs)
+    }
+
+    /// Drain the flow events captured so far without ending the session.
+    pub fn drain_flows(&self) -> Vec<FlowRecord> {
+        let mut buf = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::take(&mut buf.flows)
+    }
+
     /// Disable telemetry (if this collector is still the installed one),
-    /// drain every span received, and return them as a [`SpanSet`].
+    /// drain everything received — spans, logs, flows — and return them
+    /// as a [`SpanSet`].
     pub fn finish(self) -> SpanSet {
         crate::span::flush_thread();
         {
@@ -129,7 +248,14 @@ impl Collector {
             spans.extend(batch);
         }
         spans.sort_by_key(|s| s.id);
-        SpanSet::new(spans)
+        let (logs, flows) = {
+            let mut buf = match self.events.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            (std::mem::take(&mut buf.logs), std::mem::take(&mut buf.flows))
+        };
+        SpanSet::with_events(spans, logs, flows)
     }
 }
 
@@ -184,6 +310,30 @@ mod tests {
         assert_eq!(new_set.spans()[0].name, "to-new");
         assert_eq!(old_set.spans().len(), 1);
         assert_eq!(old_set.spans()[0].name, "to-old");
+    }
+
+    #[test]
+    fn incremental_drains_do_not_lose_or_duplicate() {
+        let _serial = crate::test_lock();
+        let col = Collector::install();
+        {
+            let _a = span("sim", "first");
+        }
+        let early = col.drain_spans();
+        assert_eq!(early.len(), 1);
+        assert_eq!(early[0].name, "first");
+        crate::log::info("t", "early log", &[]);
+        assert_eq!(col.drain_logs().len(), 1);
+        assert!(col.drain_logs().is_empty(), "drain consumes");
+        {
+            let _b = span("sim", "second");
+        }
+        crate::span::flow("lease", 3, true);
+        let set = col.finish();
+        assert_eq!(set.spans().len(), 1, "already-drained span not re-collected");
+        assert_eq!(set.spans()[0].name, "second");
+        assert_eq!(set.flows().len(), 1);
+        assert!(set.logs().is_empty());
     }
 
     #[test]

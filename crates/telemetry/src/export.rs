@@ -11,7 +11,8 @@
 //! cap traversal depth defensively.
 
 use crate::json::json_escape_into;
-use crate::span::{SpanId, SpanRecord};
+use crate::log::LogRecord;
+use crate::span::{FlowRecord, SpanId, SpanRecord};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,28 +20,45 @@ use std::fmt::Write as _;
 /// Hard cap on ancestor-chain walks; real nesting is single digits.
 const MAX_DEPTH: usize = 128;
 
-/// A drained, id-ordered set of completed spans.
+/// A drained, id-ordered set of completed spans, plus the log records
+/// and flow events captured alongside them.
 #[derive(Debug, Clone, Default)]
 pub struct SpanSet {
     spans: Vec<SpanRecord>,
+    logs: Vec<LogRecord>,
+    flows: Vec<FlowRecord>,
 }
 
 impl SpanSet {
-    /// Wrap spans already sorted by id.
-    pub(crate) fn new(spans: Vec<SpanRecord>) -> Self {
-        SpanSet { spans }
-    }
-
     /// Build a set from arbitrary records (sorts by id). Public so tests
     /// and benches can assemble synthetic sets.
-    pub fn from_records(mut spans: Vec<SpanRecord>) -> Self {
+    pub fn from_records(spans: Vec<SpanRecord>) -> Self {
+        Self::with_events(spans, Vec::new(), Vec::new())
+    }
+
+    /// Build a set from spans plus captured logs and flow events.
+    pub fn with_events(
+        mut spans: Vec<SpanRecord>,
+        logs: Vec<LogRecord>,
+        flows: Vec<FlowRecord>,
+    ) -> Self {
         spans.sort_by_key(|s| s.id);
-        SpanSet { spans }
+        SpanSet { spans, logs, flows }
     }
 
     /// The spans, ordered by id.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
+    }
+
+    /// Captured log records, in capture order.
+    pub fn logs(&self) -> &[LogRecord] {
+        &self.logs
+    }
+
+    /// Captured flow events, in capture order.
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
     }
 
     /// Number of spans.
@@ -70,31 +88,75 @@ impl SpanSet {
     /// `chrome://tracing` and Perfetto. Spans nest by stack parent per
     /// thread track and are emitted as recursive B/E pairs, so the
     /// output is structurally balanced whatever the timestamps say.
+    ///
+    /// Records are grouped into *processes* by their `process` label:
+    /// empty means this process (rendered as `"flagsim"`, always pid 1);
+    /// a coordinator merging worker-shipped telemetry stamps each batch
+    /// with the worker's name, so a distributed sweep renders as one
+    /// timeline with a track group per worker. Log records become
+    /// instant (`"i"`) events and flow events become `"s"`/`"f"` arrow
+    /// pairs (lease grants drawn coordinator → worker).
     pub fn chrome_trace(&self) -> String {
         let by_id = self.index_by_id();
-        // Track names in natural order -> stable small tids.
-        let mut track_names: Vec<&str> = self.spans.iter().map(|s| s.track.as_str()).collect();
-        track_names.sort_by(|a, b| natural_cmp(a, b));
-        track_names.dedup();
-        let tid_of: BTreeMap<&str, usize> = track_names
+        // Distinct process labels; "" (the local process) sorts first
+        // under natural_cmp and is always present, so it keeps pid 1.
+        let mut proc_names: Vec<&str> = self
+            .spans
+            .iter()
+            .map(|s| s.process.as_str())
+            .chain(self.logs.iter().map(|l| l.process.as_str()))
+            .chain(self.flows.iter().map(|f| f.process.as_str()))
+            .chain(std::iter::once(""))
+            .collect();
+        proc_names.sort_by(|a, b| natural_cmp(a, b));
+        proc_names.dedup();
+        let pid_of: BTreeMap<&str, usize> = proc_names
             .iter()
             .enumerate()
-            .map(|(i, &t)| (t, i + 1))
+            .map(|(i, &p)| (p, i + 1))
             .collect();
 
-        // Per-track forests keyed on the stack parent; a span whose
-        // recorded parent is absent or lives on another track roots its
-        // own track so per-tid nesting stays balanced.
+        // Track names per process in natural order -> stable small tids.
+        let mut tracks_of: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (process, track) in self
+            .spans
+            .iter()
+            .map(|s| (s.process.as_str(), s.track.as_str()))
+            .chain(self.logs.iter().map(|l| (l.process.as_str(), l.track.as_str())))
+            .chain(self.flows.iter().map(|f| (f.process.as_str(), f.track.as_str())))
+        {
+            tracks_of.entry(pid_of[process]).or_default().push(track);
+        }
+        for v in tracks_of.values_mut() {
+            v.sort_by(|a, b| natural_cmp(a, b));
+            v.dedup();
+        }
+        let tid_of: BTreeMap<(usize, &str), usize> = tracks_of
+            .iter()
+            .flat_map(|(&pid, tracks)| {
+                tracks.iter().enumerate().map(move |(i, &t)| ((pid, t), i + 1))
+            })
+            .collect();
+
+        // Per-(process, track) forests keyed on the stack parent; a span
+        // whose recorded parent is absent or lives on another track (or
+        // in another process) roots its own track so per-tid nesting
+        // stays balanced.
         let mut children: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        let mut roots: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut roots: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
         for (i, s) in self.spans.iter().enumerate() {
             let stack_parent = s
                 .parent
                 .and_then(|id| by_id.get(&id).copied())
-                .filter(|&p| self.spans[p].track == s.track);
+                .filter(|&p| {
+                    self.spans[p].track == s.track && self.spans[p].process == s.process
+                });
             match stack_parent {
                 Some(p) => children.entry(p).or_default().push(i),
-                None => roots.entry(s.track.as_str()).or_default().push(i),
+                None => roots
+                    .entry((pid_of[s.process.as_str()], s.track.as_str()))
+                    .or_default()
+                    .push(i),
             }
         }
         for v in children.values_mut() {
@@ -105,25 +167,74 @@ impl SpanSet {
         }
 
         let mut out = String::from("{\"traceEvents\": [\n");
-        out.push_str(
-            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
-             \"args\": {\"name\": \"flagsim\"}}",
-        );
-        for name in &track_names {
-            out.push_str(",\n");
+        let mut first = true;
+        for name in &proc_names {
+            let pid = pid_of[name];
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
             let _ = write!(
                 out,
-                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
                  \"args\": {{\"name\": ",
-                tid_of[name]
             );
-            push_json_string(&mut out, name);
+            push_json_string(&mut out, if name.is_empty() { "flagsim" } else { name });
+            out.push_str("}}");
+            for track in tracks_of.get(&pid).map(Vec::as_slice).unwrap_or(&[]) {
+                out.push_str(",\n");
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {}, \
+                     \"args\": {{\"name\": ",
+                    tid_of[&(pid, *track)]
+                );
+                push_json_string(&mut out, track);
+                out.push_str("}}");
+            }
+        }
+        for (&(pid, _), indices) in &roots {
+            for &root in indices {
+                self.emit_chrome_span(&mut out, root, pid, &tid_of, &children, 0);
+            }
+        }
+        for l in &self.logs {
+            let pid = pid_of[l.process.as_str()];
+            out.push_str(",\n");
+            let _ = write!(out, "{{\"name\": ");
+            push_json_string(&mut out, &l.target);
+            let _ = write!(
+                out,
+                ", \"cat\": \"log\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {:.3}, \
+                 \"pid\": {pid}, \"tid\": {}, \"args\": {{\"level\": \"{}\", \"message\": ",
+                l.ts_ns as f64 / 1_000.0,
+                tid_of.get(&(pid, l.track.as_str())).copied().unwrap_or(0),
+                l.level
+            );
+            push_json_string(&mut out, &l.message);
+            for (k, v) in &l.fields {
+                out.push_str(", ");
+                push_json_string(&mut out, k);
+                out.push_str(": ");
+                push_json_string(&mut out, v);
+            }
             out.push_str("}}");
         }
-        for name in &track_names {
-            for &root in roots.get(name).map(Vec::as_slice).unwrap_or(&[]) {
-                self.emit_chrome_span(&mut out, root, tid_of[name], &children, 0);
-            }
+        for f in &self.flows {
+            let pid = pid_of[f.process.as_str()];
+            out.push_str(",\n");
+            let _ = write!(out, "{{\"name\": ");
+            push_json_string(&mut out, f.name);
+            let _ = write!(
+                out,
+                ", \"cat\": \"flow\", \"ph\": \"{}\", \"id\": {}, \"ts\": {:.3}, \
+                 \"pid\": {pid}, \"tid\": {}{}}}",
+                if f.start { 's' } else { 'f' },
+                f.id,
+                f.ts_ns as f64 / 1_000.0,
+                tid_of.get(&(pid, f.track.as_str())).copied().unwrap_or(0),
+                if f.start { "" } else { ", \"bp\": \"e\"" }
+            );
         }
         out.push_str("\n]}\n");
         out
@@ -133,11 +244,13 @@ impl SpanSet {
         &self,
         out: &mut String,
         i: usize,
-        tid: usize,
+        pid: usize,
+        tid_of: &BTreeMap<(usize, &str), usize>,
         children: &BTreeMap<usize, Vec<usize>>,
         depth: usize,
     ) {
         let s = &self.spans[i];
+        let tid = tid_of.get(&(pid, s.track.as_str())).copied().unwrap_or(0);
         let start = s.start_ns;
         // A span never ends before it starts or before its children do;
         // clamp anyway so a malformed record cannot unbalance the trace.
@@ -158,7 +271,7 @@ impl SpanSet {
         push_json_string(out, s.name);
         let _ = write!(
             out,
-            ", \"cat\": \"{}\", \"ph\": \"B\", \"ts\": {:.3}, \"pid\": 1, \"tid\": {}, \
+            ", \"cat\": \"{}\", \"ph\": \"B\", \"ts\": {:.3}, \"pid\": {pid}, \"tid\": {}, \
              \"args\": {{\"id\": {}",
             s.category,
             start as f64 / 1_000.0,
@@ -176,14 +289,14 @@ impl SpanSet {
         }
         out.push_str("}}");
         for &k in kids {
-            self.emit_chrome_span(out, k, tid, children, depth + 1);
+            self.emit_chrome_span(out, k, pid, tid_of, children, depth + 1);
         }
         out.push_str(",\n");
         let _ = write!(out, "{{\"name\": ");
         push_json_string(out, s.name);
         let _ = write!(
             out,
-            ", \"cat\": \"{}\", \"ph\": \"E\", \"ts\": {:.3}, \"pid\": 1, \"tid\": {}}}",
+            ", \"cat\": \"{}\", \"ph\": \"E\", \"ts\": {:.3}, \"pid\": {pid}, \"tid\": {}}}",
             s.category,
             end as f64 / 1_000.0,
             tid
@@ -422,6 +535,7 @@ mod tests {
             category,
             name,
             track: track.to_owned(),
+            process: String::new(),
             start_ns,
             end_ns,
             args: Vec::new(),
@@ -504,6 +618,90 @@ mod tests {
         assert_eq!(natural_cmp("a2b", "a2c"), Ordering::Less);
         assert_eq!(natural_cmp("rep=002", "rep=2"), Ordering::Equal);
         assert_eq!(natural_cmp("w-9", "w-11"), Ordering::Less);
+    }
+
+    #[test]
+    fn chrome_trace_groups_processes_and_keeps_local_pid_1() {
+        // One local span plus two spans shipped from worker processes.
+        let local = rec(1, None, None, "sim", "sweep", "main", 0, 100_000);
+        let mut wa = rec(2, None, None, "sim", "rep", "session", 5_000, 40_000);
+        wa.process = "w-alpha".to_owned();
+        let mut wb = rec(3, None, None, "sim", "rep", "session", 6_000, 50_000);
+        wb.process = "w-beta".to_owned();
+        let json = SpanSet::from_records(vec![local, wa, wb]).chrome_trace();
+        crate::json::validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(json.contains("\"args\": {\"name\": \"flagsim\"}"), "{json}");
+        assert!(json.contains("\"args\": {\"name\": \"w-alpha\"}"), "{json}");
+        assert!(json.contains("\"args\": {\"name\": \"w-beta\"}"), "{json}");
+        // Local process is pid 1; workers get their own pids.
+        assert!(json.contains("\"pid\": 1"), "{json}");
+        assert!(json.contains("\"pid\": 2"), "{json}");
+        assert!(json.contains("\"pid\": 3"), "{json}");
+        // Same track name in different processes must not share a pid.
+        let parsed = crate::json::parse(&json).expect("parses");
+        let events = parsed.get("traceEvents").and_then(|v| v.as_array()).expect("array");
+        let rep_pids: Vec<f64> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("rep")
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("B")
+            })
+            .map(|e| e.get("pid").and_then(|p| p.as_f64()).expect("pid"))
+            .collect();
+        assert_eq!(rep_pids.len(), 2, "{json}");
+        assert_ne!(rep_pids[0], rep_pids[1], "{json}");
+    }
+
+    #[test]
+    fn logs_export_as_instant_events() {
+        let mut log = crate::log::LogRecord {
+            ts_ns: 7_000,
+            level: crate::log::Level::Warn,
+            target: "shard.coordinator".to_owned(),
+            message: "worker lost".to_owned(),
+            fields: vec![("worker".to_owned(), "w-0".to_owned())],
+            track: "main".to_owned(),
+            process: String::new(),
+        };
+        log.fields.push(("attempt".to_owned(), "2".to_owned()));
+        let set = SpanSet::with_events(
+            vec![rec(1, None, None, "sim", "sweep", "main", 0, 100_000)],
+            vec![log],
+            Vec::new(),
+        );
+        let json = set.chrome_trace();
+        crate::json::validate_chrome_trace(&json).expect("instant events do not unbalance");
+        assert!(json.contains("\"ph\": \"i\""), "{json}");
+        assert!(json.contains("\"level\": \"warn\""), "{json}");
+        assert!(json.contains("\"message\": \"worker lost\""), "{json}");
+        assert!(json.contains("\"worker\": \"w-0\""), "{json}");
+    }
+
+    #[test]
+    fn flows_export_as_start_finish_pairs() {
+        let start = FlowRecord {
+            id: 42,
+            name: "lease",
+            ts_ns: 1_000,
+            track: "main".to_owned(),
+            process: String::new(),
+            start: true,
+        };
+        let mut finish = start.clone();
+        finish.ts_ns = 9_000;
+        finish.track = "session".to_owned();
+        finish.process = "w-0".to_owned();
+        finish.start = false;
+        let set = SpanSet::with_events(
+            vec![rec(1, None, None, "sim", "sweep", "main", 0, 100_000)],
+            Vec::new(),
+            vec![start, finish],
+        );
+        let json = set.chrome_trace();
+        crate::json::validate_chrome_trace(&json).expect("flow events do not unbalance");
+        assert!(json.contains("\"ph\": \"s\", \"id\": 42"), "{json}");
+        assert!(json.contains("\"ph\": \"f\", \"id\": 42"), "{json}");
+        assert!(json.contains("\"bp\": \"e\""), "{json}");
     }
 
     #[test]

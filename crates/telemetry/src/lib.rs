@@ -23,6 +23,17 @@
 //! produces the same canonical tree; only timestamps and thread
 //! placement differ. Host-execution scopes (worker lifecycles) use the
 //! `"runtime"` category, which the canonical tree excludes.
+//!
+//! # Distributed sweeps
+//!
+//! A shard coordinator merges telemetry shipped from worker processes
+//! into its own collector: worker records carry a `process` label so the
+//! exported Chrome trace shows one timeline with a track group per
+//! worker, lease hand-offs drawn as [`flow`] arrows, and structured
+//! [`log`] records interleaved as instant events. The [`TimeSeries`]
+//! ring buffer backs the fleet gauges behind `sweep --dashboard` and
+//! `--obs-out` (caller-supplied integer-ms clocks, so dumps are
+//! byte-deterministic under a fake clock).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,15 +41,23 @@
 pub mod collector;
 pub mod export;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 
-pub use collector::{count, enabled, gauge_set, observe, Collector};
+pub use collector::{
+    count, enabled, gauge_set, observe, pause_recording, submit_flow, submit_log, submit_spans,
+    Collector, RecordingPause,
+};
 pub use export::SpanSet;
+pub use log::{Level, LogRecord};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_BUCKETS};
 pub use span::{
-    current_span, flush_thread, set_thread_track, span, span_linked, SpanGuard, SpanId, SpanRecord,
+    alloc_span_ids, current_span, current_track, flow, flush_thread, intern, set_thread_track,
+    span, span_linked, FlowRecord, SpanGuard, SpanId, SpanRecord,
 };
+pub use timeseries::TimeSeries;
 
 /// Serialize tests that install the process-global collector.
 #[cfg(test)]

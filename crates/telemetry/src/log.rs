@@ -1,0 +1,255 @@
+//! Leveled structured logging: `(target, level, message, key=value…)`
+//! records that replace ad-hoc `eprintln!` diagnostics.
+//!
+//! A record below the configured [`max_level`] costs one relaxed atomic
+//! load. A record at or above it is rendered to **stderr** (or handed to
+//! an installed [`set_sink`] writer — e.g. the CLI's dashboard-aware
+//! writer, which repaints its panel after interleaved output) and, when
+//! a [`Collector`](crate::Collector) is installed, also captured so
+//! exporters can interleave logs into the Chrome trace as instant
+//! events.
+//!
+//! Values are escaped with [`crate::json`] when they need quoting, so a
+//! rendered line is always one line.
+
+use crate::span::now_ns;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation cannot continue as requested.
+    Error = 0,
+    /// Degraded but continuing (e.g. a worker died and was rebalanced).
+    Warn = 1,
+    /// Campaign-level milestones. The default threshold.
+    Info = 2,
+    /// Per-session / per-lease detail.
+    Debug = 3,
+    /// Per-frame detail.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lower-case name, as accepted by [`Level::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (want error|warn|info|debug|trace)"
+            )),
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Nanoseconds since the process telemetry epoch.
+    pub ts_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Module-ish origin, e.g. `"shard::coordinator"`.
+    pub target: String,
+    /// Human-readable message (no trailing newline).
+    pub message: String,
+    /// Structured key/value annotations.
+    pub fields: Vec<(String, String)>,
+    /// Track label of the thread that logged (see
+    /// [`SpanRecord::track`](crate::SpanRecord::track)).
+    pub track: String,
+    /// Process label; empty for local records (see
+    /// [`SpanRecord::process`](crate::SpanRecord::process)).
+    pub process: String,
+}
+
+impl LogRecord {
+    /// One-line rendering: `[level target] message key=value …`.
+    /// Values containing spaces, quotes, or control characters are
+    /// JSON-quoted so the line stays machine-splittable.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(out, "[{} {}] {}", self.level, self.target, self.message);
+        for (k, v) in &self.fields {
+            if v.is_empty() || v.contains([' ', '"', '\\']) || v.chars().any(char::is_control) {
+                let _ = write!(out, " {k}={}", crate::json::json_string(v));
+            } else {
+                let _ = write!(out, " {k}={v}");
+            }
+        }
+        out
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// A pluggable destination for rendered records (instead of stderr).
+pub type Sink = Box<dyn Fn(&LogRecord) + Send + Sync>;
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// The current threshold: records *above* it (less severe) are dropped.
+pub fn max_level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Set the threshold (process-wide).
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Install (or with `None`, remove) the process-wide sink that replaces
+/// the default stderr writer. The collector capture path is unaffected.
+pub fn set_sink(sink: Option<Sink>) {
+    let mut slot = match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *slot = sink;
+}
+
+/// Emit one record. Dropped (one atomic load) when `level` is below the
+/// configured threshold. Otherwise the record goes to the sink (default:
+/// stderr) and — when a collector is installed — into the trace.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+    if level > max_level() {
+        return;
+    }
+    let rec = LogRecord {
+        ts_ns: now_ns(),
+        level,
+        target: target.to_owned(),
+        message: message.to_owned(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+        track: crate::span::current_track(),
+        process: String::new(),
+    };
+    {
+        let slot = match SINK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match slot.as_ref() {
+            Some(sink) => sink(&rec),
+            None => eprintln!("{}", rec.render()),
+        }
+    }
+    if crate::collector::enabled() {
+        crate::collector::submit_log(rec);
+    }
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Error, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("WARN").unwrap(), Level::Warn);
+        assert_eq!(Level::parse("warning").unwrap(), Level::Warn);
+        assert!(Level::parse("loud").is_err());
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::Debug.to_string(), "debug");
+    }
+
+    #[test]
+    fn render_quotes_awkward_values() {
+        let rec = LogRecord {
+            ts_ns: 0,
+            level: Level::Warn,
+            target: "shard::coordinator".into(),
+            message: "worker died".into(),
+            fields: vec![
+                ("worker".into(), "w-1".into()),
+                ("reason".into(), "heartbeat timeout".into()),
+            ],
+            track: String::new(),
+            process: String::new(),
+        };
+        assert_eq!(
+            rec.render(),
+            "[warn shard::coordinator] worker died worker=w-1 reason=\"heartbeat timeout\""
+        );
+    }
+
+    #[test]
+    fn sink_threshold_and_collector_capture() {
+        let _serial = crate::test_lock();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        set_sink(Some(Box::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        })));
+        set_level(Level::Info);
+        let col = crate::Collector::install();
+        info("t", "visible", &[("k", "v".to_owned())]);
+        debug("t", "dropped by threshold", &[]);
+        set_level(Level::Debug);
+        debug("t", "visible now", &[]);
+        set_level(Level::Info);
+        set_sink(None);
+        let set = col.finish();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(set.logs().len(), 2);
+        assert_eq!(set.logs()[0].message, "visible");
+        assert_eq!(set.logs()[1].level, Level::Debug);
+    }
+}

@@ -274,7 +274,7 @@ impl MetricsRegistry {
 
 /// Format an `f64` so it is always valid JSON (no `NaN`/`inf` literals,
 /// always a digit before and after any decimal point).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_owned();
     }

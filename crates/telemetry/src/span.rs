@@ -12,8 +12,9 @@
 //! relaxed atomic load (see the overhead gate in `flagsim-bench`).
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Identifier of a span, unique within the process lifetime.
@@ -39,6 +40,11 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Track label of the thread that ran the span.
     pub track: String,
+    /// Process label in exported traces. Empty for spans recorded in
+    /// this process; a coordinator merging spans shipped from worker
+    /// processes stamps each batch with the worker's name so the Chrome
+    /// trace shows one track group per process.
+    pub process: String,
     /// Start, nanoseconds since the process telemetry epoch.
     pub start_ns: u64,
     /// End, nanoseconds since the process telemetry epoch.
@@ -54,7 +60,78 @@ impl SpanRecord {
     }
 }
 
+/// A point event binding two trace locations into one *flow arrow*
+/// (Chrome `ph:"s"`/`ph:"f"`): e.g. a coordinator granting a lease
+/// (start) and the worker picking it up (finish). Matching `id`s pair
+/// the two halves across tracks and processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRecord {
+    /// Pairing key shared by the start and finish halves.
+    pub id: u64,
+    /// Flow name (e.g. `"lease"`).
+    pub name: &'static str,
+    /// Event time, nanoseconds since the process telemetry epoch.
+    pub ts_ns: u64,
+    /// Track label of the thread that recorded the event.
+    pub track: String,
+    /// Process label (see [`SpanRecord::process`]).
+    pub process: String,
+    /// True for the flow's start half, false for its finish.
+    pub start: bool,
+}
+
+/// Record one half of a flow arrow on the current thread's track.
+/// A no-op (one relaxed atomic load) when no collector is installed.
+pub fn flow(name: &'static str, id: u64, start: bool) {
+    if !crate::collector::enabled() {
+        return;
+    }
+    crate::collector::submit_flow(FlowRecord {
+        id,
+        name,
+        ts_ns: now_ns(),
+        track: current_track(),
+        process: String::new(),
+        start,
+    });
+}
+
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Reserve a contiguous block of `n` fresh span ids and return the first.
+/// Used when merging spans recorded in *another* process (whose ids came
+/// from that process's counter) into this process's collector: remapping
+/// into a fresh block keeps ids unique without coordinating counters.
+pub fn alloc_span_ids(n: u64) -> SpanId {
+    NEXT_ID.fetch_add(n.max(1), Ordering::Relaxed)
+}
+
+/// How many distinct strings [`intern`] will leak before refusing.
+/// Span/category names form a small closed vocabulary; the cap only
+/// exists so a hostile peer cannot grow the leak without bound.
+const INTERN_CAP: usize = 4096;
+
+/// Intern `s` into a `&'static str`. [`SpanRecord`] keeps its name and
+/// category static so the disabled hot path never allocates; spans
+/// decoded off a wire arrive as owned strings and pass through here.
+/// Interning leaks each *distinct* string once (bounded by
+/// `INTERN_CAP`; past the cap every new string maps to `"interned"`).
+pub fn intern(s: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = match INTERNED.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&found) = set.get(s) {
+        return found;
+    }
+    if set.len() >= INTERN_CAP {
+        return "interned";
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
 
 fn epoch() -> &'static Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -103,6 +180,15 @@ pub fn set_thread_track(label: &str) {
     });
 }
 
+/// The current thread's track label (thread name unless overridden via
+/// [`set_thread_track`]).
+pub fn current_track() -> String {
+    TLS.try_with(|tls| tls.try_borrow().ok().map(|t| t.track.clone()))
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
 /// The innermost span currently open on this thread, if any. Pass it to
 /// [`span_linked`] on another thread to record a logical parent edge.
 pub fn current_span() -> Option<SpanId> {
@@ -144,6 +230,7 @@ pub fn span_linked(category: &'static str, name: &'static str, link: Option<Span
             category,
             name,
             track,
+            process: String::new(),
             start_ns: now_ns(),
             end_ns: 0,
             args: Vec::new(),
@@ -280,6 +367,38 @@ mod tests {
         assert_eq!(child.link, root_id);
         assert_eq!(child.parent, None);
         assert_eq!(child.track, "worker-test");
+    }
+
+    #[test]
+    fn intern_returns_the_same_static_for_equal_strings() {
+        let a = intern("shard.lease-test");
+        // A runtime-built string must still intern to the same static.
+        let b = intern(&format!("shard.lease-{}", "test"));
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "shard.lease-test");
+    }
+
+    #[test]
+    fn alloc_span_ids_reserves_disjoint_blocks() {
+        let a = alloc_span_ids(10);
+        let b = alloc_span_ids(10);
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn flows_reach_the_collector_with_track_labels() {
+        let _serial = crate::test_lock();
+        flow("lease", 1, true); // disabled: inert
+        let col = Collector::install();
+        set_thread_track("coord-test");
+        flow("lease", 7, true);
+        flow("lease", 7, false);
+        let set = col.finish();
+        let flows = set.flows();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].id, 7);
+        assert!(flows[0].start && !flows[1].start);
+        assert_eq!(flows[0].track, "coord-test");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A fixed-capacity time series: `(integer-ms timestamp, f64 value)`
+//! points in a ring buffer, oldest evicted first.
+//!
+//! Timestamps are caller-supplied milliseconds (relative to whatever
+//! epoch the caller chooses), never wall clock read internally — the
+//! same fake-clock discipline as `shard`'s lease table, so a series fed
+//! from deterministic inputs serializes byte-identically every run
+//! (the `--obs-out` contract).
+
+use crate::metrics::fmt_f64;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A bounded series of `(t_ms, value)` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    cap: usize,
+    points: VecDeque<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// A series holding at most `cap` points (min 1).
+    pub fn new(cap: usize) -> Self {
+        TimeSeries {
+            cap: cap.max(1),
+            points: VecDeque::new(),
+        }
+    }
+
+    /// Append a sample, evicting the oldest when full. Out-of-order
+    /// timestamps are accepted as-is (the caller owns the clock).
+    pub fn push(&mut self, t_ms: u64, value: f64) {
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+        }
+        self.points.push_back((t_ms, value));
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum retained points.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        self.points.back().copied()
+    }
+
+    /// Iterate points oldest → newest.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Average change in value per second over the trailing `window_ms`
+    /// (for cumulative series — e.g. reps completed — this is the rate).
+    /// Zero with fewer than two in-window points or a zero time delta.
+    pub fn rate_per_sec(&self, window_ms: u64) -> f64 {
+        let Some(&(t_last, v_last)) = self.points.back() else {
+            return 0.0;
+        };
+        let cutoff = t_last.saturating_sub(window_ms);
+        let first = self.points.iter().find(|(t, _)| *t >= cutoff);
+        match first {
+            Some(&(t0, v0)) if t_last > t0 => {
+                (v_last - v0) / ((t_last - t0) as f64 / 1000.0)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// JSON array of `[t_ms, value]` pairs, oldest first. Deterministic
+    /// for identical inputs (integer timestamps, JSON-safe floats).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (t, v)) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{t},{}]", fmt_f64(*v));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut ts = TimeSeries::new(3);
+        for i in 0..5u64 {
+            ts.push(i * 100, i as f64);
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.capacity(), 3);
+        let pts: Vec<_> = ts.points().collect();
+        assert_eq!(pts, vec![(200, 2.0), (300, 3.0), (400, 4.0)]);
+        assert_eq!(ts.latest(), Some((400, 4.0)));
+    }
+
+    #[test]
+    fn rate_over_window_is_delta_per_second() {
+        let mut ts = TimeSeries::new(16);
+        ts.push(0, 0.0);
+        ts.push(500, 10.0);
+        ts.push(1000, 30.0);
+        // Full window: 30 reps over 1s.
+        assert!((ts.rate_per_sec(10_000) - 30.0).abs() < 1e-9);
+        // Trailing 500ms: 20 reps over 0.5s.
+        assert!((ts.rate_per_sec(500) - 40.0).abs() < 1e-9);
+        assert_eq!(TimeSeries::new(4).rate_per_sec(1000), 0.0);
+        let mut single = TimeSeries::new(4);
+        single.push(10, 1.0);
+        assert_eq!(single.rate_per_sec(1000), 0.0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parses() {
+        let mut a = TimeSeries::new(8);
+        let mut b = TimeSeries::new(8);
+        for (t, v) in [(0u64, 1.5f64), (250, 2.0), (500, 2.25)] {
+            a.push(t, v);
+            b.push(t, v);
+        }
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_json(), "[[0,1.5],[250,2.0],[500,2.25]]");
+        crate::json::parse(&a.to_json()).expect("valid JSON");
+        assert_eq!(TimeSeries::new(2).to_json(), "[]");
+    }
+}
