@@ -80,7 +80,7 @@ USAGE:
                 [--checkpoint FILE] [--checkpoint-every K]
                 [--resume FILE] [--max-wall-secs S]
                 [--policy rebalance|spare:SECS|abort] [--chunk K]
-                [--obs-out FILE] [--trace-sample N]
+                [--obs-out FILE] [--obs-serve ADDR] [--trace-sample N]
                 [--log-level error|warn|info|debug|trace]
   flagsim worker --listen ADDR [--once] [--quiet] [--name NAME]
                  [--log-level error|warn|info|debug|trace]
@@ -104,6 +104,10 @@ USAGE:
   flagsim report [--seed N]
   flagsim replay <SCENARIO> [--flag NAME] [--frames N]
                  [--seed N]
+  flagsim watch <SCENARIO> [--flag NAME] [--kind KIND] [--seed N]
+                [--script KEYS] [--frames-out FILE] [--width N]
+  flagsim watch --trace FILE [--script KEYS] [--frames-out FILE]
+  flagsim watch (--connect ADDR | --follow FILE) [--once] [--width N]
 
 SCENARIO: 1 | 2 | 3 | 4 | pipelined | alternating
           (onestripe = 3, fourslice = 4)
@@ -142,6 +146,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "vocab" => cmd_vocab(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -542,7 +547,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         &[
             "flag", "kind", "seed", "reps", "jobs", "team", "trace-out", "workers", "connect",
             "checkpoint", "checkpoint-every", "resume", "max-wall-secs", "policy", "chunk",
-            "obs-out", "log-level", "trace-sample",
+            "obs-out", "obs-serve", "log-level", "trace-sample",
         ],
     )?;
     if let Some(level) = opts.value("log-level") {
@@ -555,7 +560,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     // `--checkpoint` alone works without any workers).
     if [
         "workers", "connect", "checkpoint", "checkpoint-every", "resume", "max-wall-secs",
-        "obs-out",
+        "obs-out", "obs-serve",
     ]
     .iter()
     .any(|k| opts.flag(k))
@@ -889,6 +894,23 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
     };
 
     let started = std::time::Instant::now();
+    // `--obs-serve ADDR`: push fleet snapshots to attached watchers
+    // (`flagsim watch --connect`). Strictly one-way — the server never
+    // parses client bytes, so a watcher cannot touch the merge path.
+    let obs_server = match opts.value("obs-serve") {
+        Some(addr) => {
+            let t0 = started;
+            let server = flagsim_shard::ObsServer::start(hub.clone(), addr, 250, move || {
+                t0.elapsed().as_millis() as u64
+            })
+            .map_err(|e| CliError {
+                message: format!("cannot serve observability on {addr}: {e}"),
+            })?;
+            eprintln!("obs: serving fleet snapshots on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let dash = match (&collector, dashboard) {
         (Some(c), true) => Some(std::sync::Arc::new(crate::dashboard::Dashboard::new(
             worker_count.max(1),
@@ -923,6 +945,9 @@ fn cmd_sweep_shard(opts: &Opts) -> Result<String, CliError> {
 
     let outcome = run_sweep(&job, &cfg).map_err(|message| CliError { message });
 
+    if let Some(mut server) = obs_server {
+        server.stop(); // closes watcher connections: their cue to exit
+    }
     if let Some((stop, handle)) = poller {
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         handle.join().ok();
@@ -1666,28 +1691,20 @@ pub fn grade_text(text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_replay(args: &[String]) -> Result<String, CliError> {
-    use flagsim_core::replay::Replay;
-    let opts = parse_opts(args, &["flag", "frames", "seed"])?;
-    let Some(which) = opts.positional.first() else {
-        return err("usage: flagsim replay <1|2|3|4|pipelined|alternating> [--frames N]");
-    };
+/// Re-run a recorded scenario (the scenario, flag, kind, and seed fully
+/// determine the run) and return its display title, report, and
+/// assignments — the shared recorded-run source behind `replay` and
+/// `watch`.
+fn recorded_run(
+    which: &str,
+    opts: &Opts,
+) -> Result<(String, flagsim_core::RunReport, Vec<Vec<flagsim_core::WorkItem>>), CliError> {
     let spec = match opts.value("flag") {
         Some(name) => find_flag(name)?,
         None => library::mauritius(),
     };
     let flag = PreparedFlag::new(&spec);
     let scenario = build_scenario(which, &flag)?;
-    let frames: usize = opts
-        .value("frames")
-        .unwrap_or("6")
-        .parse()
-        .map_err(|_| CliError {
-            message: "bad --frames".into(),
-        })?;
-    if frames == 0 {
-        return err("--frames must be at least 1");
-    }
     let seed: u64 = opts
         .value("seed")
         .unwrap_or("2025")
@@ -1715,6 +1732,27 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
         &cfg,
     )
     .map_err(|message| CliError { message })?;
+    let title = format!("{} — {} (seed {seed})", report.label, spec.name);
+    Ok((title, report, assignments))
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    use flagsim_core::replay::Replay;
+    let opts = parse_opts(args, &["flag", "kind", "frames", "seed"])?;
+    let Some(which) = opts.positional.first() else {
+        return err("usage: flagsim replay <1|2|3|4|pipelined|alternating> [--frames N]");
+    };
+    let frames: usize = opts
+        .value("frames")
+        .unwrap_or("6")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --frames".into(),
+        })?;
+    if frames == 0 {
+        return err("--frames must be at least 1");
+    }
+    let (_, report, assignments) = recorded_run(which, &opts)?;
     let replay = Replay::new(&report, &assignments);
     let mut out = format!("{} — the flag filling in:\n\n", report.label);
     for frame in replay.ascii_frames(frames) {
@@ -1722,6 +1760,135 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
         out.push('\n');
     }
     Ok(out)
+}
+
+const WATCH_USAGE: &str = "usage: flagsim watch <SCENARIO> [--flag NAME] [--kind KIND] [--seed N]\n\
+       \x20      [--script KEYS] [--frames-out FILE] [--width N]\n\
+       flagsim watch --trace FILE [--script KEYS] [--frames-out FILE]\n\
+       flagsim watch (--connect ADDR | --follow FILE) [--once] [--width N]";
+
+fn cmd_watch(args: &[String]) -> Result<String, CliError> {
+    use flagsim_watch::{app, chrome, frame, input};
+    use std::io::IsTerminal;
+    let opts = parse_opts(
+        args,
+        &[
+            "flag", "kind", "seed", "script", "frames-out", "width", "trace", "connect",
+            "follow",
+        ],
+    )?;
+    let width = match opts.value("width") {
+        Some(w) => w
+            .parse::<usize>()
+            .ok()
+            .filter(|w| (20..=1000).contains(w))
+            .ok_or(CliError {
+                message: "bad --width (20..=1000)".into(),
+            })?,
+        None => flagsim_watch::term::detect_width(),
+    };
+    if opts.value("connect").is_some() || opts.value("follow").is_some() {
+        return watch_live(&opts, width);
+    }
+    let data = if let Some(path) = opts.value("trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError {
+            message: format!("cannot read {path}: {e}"),
+        })?;
+        let trace =
+            chrome::parse_chrome_trace(&text).map_err(|message| CliError { message })?;
+        app::ReplayData::from_trace(format!("trace file {path}"), trace)
+    } else {
+        let Some(which) = opts.positional.first() else {
+            return err(WATCH_USAGE);
+        };
+        let (title, report, assignments) = recorded_run(which, &opts)?;
+        app::ReplayData::from_report(title, &report, &assignments)
+    };
+    // Scripted mode: a fixed key sequence, one frame per key, no clock —
+    // byte-deterministic, for tests and CI.
+    if let Some(script) = opts.value("script") {
+        let keys = input::script_keys(script).map_err(|message| CliError { message })?;
+        let frames = app::run_script(&data, &keys, width);
+        let dump = frame::dump_frames(&frames);
+        if let Some(path) = opts.value("frames-out") {
+            std::fs::write(path, &dump).map_err(|e| CliError {
+                message: format!("cannot write {path}: {e}"),
+            })?;
+            return Ok(format!("watch: {} frame(s) written to {path}\n", frames.len()));
+        }
+        return Ok(dump);
+    }
+    if std::io::stdout().is_terminal() {
+        if let Err(e) = app::run_interactive(&data) {
+            // No raw-mode terminal after all (no /dev/tty, no stty):
+            // fall through to the plain final frame.
+            eprintln!("watch: cannot go interactive ({e}); printing the final frame");
+        } else {
+            return Ok(String::new());
+        }
+    }
+    // Non-TTY (or interactive-failed) fallback: the run's final state as
+    // one plain frame, so piped output stays useful.
+    let mut state = app::App::new(data.end_ms());
+    state.handle_key(input::Key::End);
+    Ok(app::render(&data, &state, width).render())
+}
+
+/// Live mode: tail fleet snapshots from a socket (`--connect`) or a
+/// rewritten snapshot file (`--follow`) and render the fleet panel.
+/// Interactive stdout repaints in place; piped stdout prints one
+/// summary line per new snapshot. `--once` exits after the first
+/// snapshot (smoke tests). Never writes to the source.
+fn watch_live(opts: &Opts, width: usize) -> Result<String, CliError> {
+    use flagsim_watch::live::{render_fleet, SnapshotSource};
+    use std::io::{IsTerminal, Write as _};
+    let mut src = match (opts.value("connect"), opts.value("follow")) {
+        (Some(addr), _) => SnapshotSource::connect(addr).map_err(|message| CliError { message })?,
+        (_, Some(path)) => SnapshotSource::follow(path),
+        _ => return err(WATCH_USAGE),
+    };
+    let once = opts.flag("once");
+    let mut out = std::io::stdout();
+    let mut panel =
+        flagsim_watch::term::Panel::new(std::io::stdout().is_terminal() && !once, width);
+    let mut last_line = String::new();
+    let mut last_frame = String::new();
+    loop {
+        match src.next_snapshot() {
+            Ok(Some(snap)) => {
+                let frame = render_fleet(&snap, width).render();
+                if panel.is_interactive() {
+                    panel.draw(&frame, &mut out);
+                } else if once {
+                    return Ok(frame);
+                } else {
+                    // Plain fallback: one log-friendly line per change.
+                    let line = frame.lines().nth(1).unwrap_or("").to_owned();
+                    if line != last_line {
+                        let _ = writeln!(out, "{line}");
+                        let _ = out.flush();
+                        last_line = line;
+                    }
+                }
+                last_frame = frame;
+            }
+            Ok(None) => continue,
+            Err(e) => {
+                // The source ending (sweep finished, file removed) is
+                // the normal way out; leave the last state on screen.
+                panel.finish(&mut out);
+                if last_frame.is_empty() {
+                    return err(e);
+                }
+                eprintln!("watch: {e}");
+                return Ok(if panel.is_interactive() {
+                    String::new()
+                } else {
+                    last_frame
+                });
+            }
+        }
+    }
 }
 
 fn cmd_report(args: &[String]) -> Result<String, CliError> {

@@ -15,55 +15,29 @@
 //! count, and telemetry shipping counters — fed from the coordinator's
 //! [`ObsHub`](flagsim_shard::ObsHub) snapshots by a poller thread.
 //!
+//! The terminal mechanics — width detection, line clamping, the
+//! cursor-up/clear-to-EOL repaint, scroll-above interleaving, and
+//! sparklines — live in [`flagsim_watch::term`], shared with the
+//! `flagsim watch` TUI so the two cannot diverge. This module keeps
+//! only the sweep-specific state and frame layout.
+//!
 //! Everything is drawn on **stderr** so stdout stays machine-readable,
-//! and the in-place redraw (cursor-up escapes) only happens when stderr
-//! is a real terminal; piped or redirected, the dashboard degrades to
-//! occasional plain `sweep: c/t rep(s) done ...` lines — the same shape
-//! `--progress` prints — so CI logs stay diff-friendly. Out-of-band
-//! lines (failure reports, structured logs) go through
-//! [`Dashboard::println_above`], which scrolls them out above the panel
-//! and repaints, so interleaved output never shears the frame. Every
-//! frame line is clamped to the detected terminal width (`COLUMNS`,
-//! fallback 80) so a narrow terminal never wraps the redraw out of
-//! alignment.
+//! and the in-place redraw only happens when stderr is a real terminal;
+//! piped or redirected, the dashboard degrades to occasional plain
+//! `sweep: c/t rep(s) done ...` lines — the same shape `--progress`
+//! prints — so CI logs stay diff-friendly. Out-of-band lines (failure
+//! reports, structured logs) go through [`Dashboard::println_above`],
+//! which scrolls them out above the panel and repaints, so interleaved
+//! output never shears the frame.
 
 use flagsim_core::sweep::SweepProgress;
 use flagsim_telemetry::MetricsRegistry;
-use std::io::{IsTerminal, Write as _};
+use flagsim_watch::term::{detect_width, sparkline, Panel};
+use std::io::IsTerminal;
 use std::sync::{Arc, Mutex, MutexGuard};
-
-/// Sparkline glyphs, lowest to highest.
-const SPARKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
 
 /// How many mean samples the sparkline keeps.
 const HISTORY: usize = 32;
-
-/// Detected terminal width: `COLUMNS` when set and sane, else 80.
-/// (The CLI is offline and dependency-free, so no ioctl probing; the
-/// shell exports `COLUMNS` in the interactive case that matters.)
-fn detect_width() -> usize {
-    std::env::var("COLUMNS")
-        .ok()
-        .and_then(|c| c.trim().parse::<usize>().ok())
-        .filter(|w| (20..=1000).contains(w))
-        .unwrap_or(80)
-}
-
-/// Truncate every line of `frame` to `width` characters so the in-place
-/// redraw never wraps (a wrapped line breaks the cursor-up arithmetic).
-fn clamp_frame(frame: &str, width: usize) -> String {
-    let mut out = String::with_capacity(frame.len());
-    for line in frame.lines() {
-        if line.chars().count() > width {
-            out.extend(line.chars().take(width.saturating_sub(1)));
-            out.push('\u{2026}');
-        } else {
-            out.push_str(line);
-        }
-        out.push('\n');
-    }
-    out
-}
 
 /// One worker row of the fleet panel (a rendered-down
 /// [`WorkerObs`](flagsim_shard::WorkerObs) snapshot).
@@ -98,10 +72,8 @@ struct State {
     per_worker: Vec<u64>,
     /// Recent history of the streaming mean, for the sparkline.
     mean_history: Vec<f64>,
-    /// Lines the previous frame drew (0 before the first frame).
-    drawn_lines: usize,
-    /// The previous frame, for repainting under [`Dashboard::println_above`].
-    last_frame: String,
+    /// The repaintable stderr panel (shared plumbing with `watch`).
+    panel: Panel,
     /// Completed count at the last plain-mode line.
     last_plain: u64,
 }
@@ -114,7 +86,6 @@ struct State {
 pub struct Dashboard {
     jobs: usize,
     total: u64,
-    width: usize,
     metrics: Arc<MetricsRegistry>,
     interactive: bool,
     state: Mutex<State>,
@@ -135,18 +106,17 @@ impl Dashboard {
         metrics: Arc<MetricsRegistry>,
         width: usize,
     ) -> Self {
+        let interactive = std::io::stderr().is_terminal();
         Dashboard {
             jobs: jobs.max(1),
             total,
-            width: width.max(20),
             metrics,
-            interactive: std::io::stderr().is_terminal(),
+            interactive,
             state: Mutex::new(State {
                 last_rep: vec![None; jobs.max(1)],
                 per_worker: vec![0; jobs.max(1)],
                 mean_history: Vec::new(),
-                drawn_lines: 0,
-                last_frame: String::new(),
+                panel: Panel::new(interactive, width),
                 last_plain: 0,
             }),
         }
@@ -165,22 +135,6 @@ impl Dashboard {
         }
     }
 
-    /// Repaint `frame` over the previous one (interactive mode only).
-    fn draw(&self, st: &mut State, frame: String) {
-        let frame = clamp_frame(&frame, self.width);
-        let up = st.drawn_lines;
-        st.drawn_lines = frame.lines().count();
-        st.last_frame = frame.clone();
-        let mut err = std::io::stderr().lock();
-        if up > 0 {
-            let _ = write!(err, "\x1b[{up}A\r");
-        }
-        // Clear-to-end-of-line on every row so shrinking text never
-        // leaves stale characters behind.
-        let _ = write!(err, "{}", frame.replace('\n', "\x1b[K\n"));
-        let _ = err.flush();
-    }
-
     /// Print a line *above* the live panel and repaint it: the line
     /// scrolls away like normal output while the panel stays put at the
     /// bottom. Non-interactive (or before the first frame) this is a
@@ -188,19 +142,9 @@ impl Dashboard {
     /// failure reports and structured logs route through, so
     /// interleaved output never shears the frame.
     pub fn println_above(&self, line: &str) {
-        let st = self.lock_state();
-        if self.interactive && st.drawn_lines > 0 {
-            let up = st.drawn_lines;
-            let frame = st.last_frame.clone();
-            drop(st);
-            let mut err = std::io::stderr().lock();
-            let _ = write!(err, "\x1b[{up}A\r\x1b[K{line}\n");
-            let _ = write!(err, "{}", frame.replace('\n', "\x1b[K\n"));
-            let _ = err.flush();
-        } else {
-            drop(st);
-            eprintln!("{line}");
-        }
+        let mut st = self.lock_state();
+        let mut err = std::io::stderr().lock();
+        st.panel.println_above(line, &mut err);
     }
 
     /// Record one progress snapshot and redraw. Safe to call from the
@@ -223,7 +167,8 @@ impl Dashboard {
         }
         if self.interactive {
             let frame = self.render_frame(&st, &p);
-            self.draw(&mut st, frame);
+            let mut err = std::io::stderr().lock();
+            st.panel.draw(&frame, &mut err);
         } else {
             // Plain fallback: one line every ~10% (and the final rep),
             // mirroring --progress so piped output stays log-friendly.
@@ -255,7 +200,8 @@ impl Dashboard {
         }
         if self.interactive {
             let frame = self.render_fleet_frame(&st, merged, failed, rows);
-            self.draw(&mut st, frame);
+            let mut err = std::io::stderr().lock();
+            st.panel.draw(&frame, &mut err);
         } else {
             let step = (self.total / 10).max(1);
             if merged == self.total || merged >= st.last_plain + step {
@@ -279,13 +225,10 @@ impl Dashboard {
     pub fn finish(&self) {
         let mut st = self.lock_state();
         if self.interactive {
-            if st.drawn_lines > 0 {
-                eprintln!();
-            }
-            // The panel is closed: later println_above calls fall back
-            // to plain lines instead of repainting a stale frame.
-            st.drawn_lines = 0;
-            st.last_frame.clear();
+            // The panel closes: later println_above calls fall back to
+            // plain lines instead of repainting a stale frame.
+            let mut err = std::io::stderr().lock();
+            st.panel.finish(&mut err);
         } else if st.last_plain == 0 {
             // A sweep short enough that no step line fired still gets
             // one closing line.
@@ -372,28 +315,6 @@ impl Dashboard {
     }
 }
 
-/// Render `values` as a fixed-height sparkline (empty string for no
-/// data). Scaling is min..max of the window, so the line shows the
-/// streaming mean settling as repetitions accumulate.
-fn sparkline(values: &[f64]) -> String {
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &v in values {
-        lo = lo.min(v);
-        hi = hi.max(v);
-    }
-    if values.is_empty() || !lo.is_finite() || !hi.is_finite() {
-        return String::new();
-    }
-    let span = (hi - lo).max(f64::EPSILON);
-    values
-        .iter()
-        .map(|&v| {
-            let idx = (((v - lo) / span) * (SPARKS.len() - 1) as f64).round() as usize;
-            SPARKS[idx.min(SPARKS.len() - 1)]
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,26 +327,6 @@ mod tests {
             worker,
             rep,
         }
-    }
-
-    #[test]
-    fn sparkline_scales_between_min_and_max() {
-        let s = sparkline(&[1.0, 2.0, 3.0]);
-        let chars: Vec<char> = s.chars().collect();
-        assert_eq!(chars.len(), 3);
-        assert_eq!(chars[0], SPARKS[0]);
-        assert_eq!(chars[2], SPARKS[7]);
-    }
-
-    #[test]
-    fn sparkline_of_nothing_is_empty() {
-        assert_eq!(sparkline(&[]), "");
-    }
-
-    #[test]
-    fn sparkline_of_constant_series_stays_low() {
-        let s = sparkline(&[5.0, 5.0]);
-        assert!(s.chars().all(|c| c == SPARKS[0]), "{s}");
     }
 
     #[test]
@@ -470,17 +371,6 @@ mod tests {
     }
 
     #[test]
-    fn frames_are_clamped_to_the_terminal_width() {
-        let long = format!("short\n{}\n", "x".repeat(300));
-        let clamped = clamp_frame(&long, 40);
-        for line in clamped.lines() {
-            assert!(line.chars().count() <= 40, "line too wide: {line:?}");
-        }
-        assert!(clamped.contains("short\n"));
-        assert!(clamped.contains('\u{2026}'), "truncation marker missing");
-    }
-
-    #[test]
     fn fleet_frame_shows_rows_state_and_shipping() {
         let metrics = Arc::new(MetricsRegistry::new());
         let dash = Dashboard::with_width(1, 100, metrics, 200);
@@ -510,10 +400,16 @@ mod tests {
     }
 
     #[test]
-    fn detect_width_falls_back_sanely() {
-        // Whatever COLUMNS says in this environment, the result is the
-        // documented clamp range.
-        let w = detect_width();
-        assert!((20..=1000).contains(&w), "width {w}");
+    fn panel_plumbing_is_the_shared_watch_implementation() {
+        // The dashboard's clamping/sparkline/repaint behavior is
+        // exactly flagsim_watch::term's — spot-check the re-used pieces
+        // so a fork of the plumbing would fail here.
+        let s = sparkline(&[1.0, 3.0]);
+        assert_eq!(s.chars().count(), 2);
+        let mut panel = Panel::new(true, 80);
+        let mut out: Vec<u8> = Vec::new();
+        panel.draw("a\nb\n", &mut out);
+        panel.draw("c\nd\n", &mut out);
+        assert!(String::from_utf8(out).unwrap().contains("\x1b[2A"));
     }
 }

@@ -301,3 +301,119 @@ fn distributed_sweep_merges_one_trace_with_worker_tracks_and_obs_snapshot() {
         assert!(snap.contains(key), "obs snapshot lacks {key}: {snap}");
     }
 }
+
+#[test]
+fn watch_scripted_dump_is_byte_identical_and_ends_at_the_run_grid() {
+    // The determinism contract: same scenario, seed, script, and width
+    // must dump byte-identical frames, and jumping to the end must show
+    // the same completed grid `render` prints.
+    let args = &[
+        "watch", "fourslice", "--seed", "7", "--script", "p ttt G q", "--width", "100",
+    ];
+    let (a, stderr, ok_a) = flagsim(args);
+    let (b, _, ok_b) = flagsim(args);
+    assert!(ok_a && ok_b, "{stderr}");
+    assert_eq!(a, b, "scripted watch must be byte-deterministic");
+    assert!(a.contains("== frame 0 =="), "{a}");
+    assert!(a.contains("96/96 cells"), "the G frame completes the grid: {a}");
+    // The final frame's grid rows are the finished Mauritius flag.
+    let (flag, _, _) = flagsim(&["render", "mauritius"]);
+    let last = a.rsplit("== frame ").next().unwrap();
+    for row in flag.lines().filter(|l| l.len() == 12) {
+        assert!(last.contains(row), "completed grid row {row:?} missing:\n{last}");
+    }
+}
+
+#[test]
+fn watch_degrades_to_a_plain_final_frame_when_piped() {
+    // stdout is a pipe here, so watch must skip raw mode and print the
+    // run's final state as one escape-free frame.
+    let (stdout, stderr, ok) = flagsim(&["watch", "fourslice", "--seed", "7", "--width", "80"]);
+    assert!(ok, "{stderr}");
+    assert!(!stdout.contains("\x1b["), "no ANSI when piped: {stdout:?}");
+    assert!(stdout.contains("watch: scenario 4"), "{stdout}");
+    assert!(stdout.contains("96/96 cells"), "final frame expected: {stdout}");
+    assert!(stdout.contains("gantt"), "{stdout}");
+}
+
+#[test]
+fn watch_frames_out_writes_the_same_dump_to_a_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("flagsim-watch-frames-{}.txt", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let (stdout, stderr, ok) = flagsim(&[
+        "watch", "onestripe", "--seed", "3", "--script", "G q", "--width", "90",
+        "--frames-out", path_s,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("2 frame(s) written"), "{stdout}");
+    let dump = std::fs::read_to_string(&path).expect("frames file written");
+    let (inline, _, _) = flagsim(&[
+        "watch", "onestripe", "--seed", "3", "--script", "G q", "--width", "90",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(dump, inline, "--frames-out must write exactly the stdout dump");
+}
+
+#[test]
+fn watch_replays_a_recorded_trace_file() {
+    // `run --trace-out` writes the telemetry Chrome trace; watch must
+    // re-parse it and scrub it, with the cell/race panes degraded
+    // (a trace file has spans, not grid cells).
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("flagsim-watch-trace-{}.json", std::process::id()));
+    let trace_s = trace.to_str().unwrap();
+    let (_, stderr, ok) = flagsim(&["run", "4", "--seed", "7", "--trace-out", trace_s]);
+    assert!(ok, "{stderr}");
+    let (stdout, stderr, ok) = flagsim(&["watch", "--trace", trace_s, "--script", "G q"]);
+    std::fs::remove_file(&trace).ok();
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("trace file"), "{stdout}");
+    assert!(stdout.contains("gantt"), "{stdout}");
+    assert!(stdout.contains("race check skipped"), "{stdout}");
+    assert!(!stdout.contains("cells"), "no cell data from a span trace: {stdout}");
+}
+
+#[test]
+fn watch_follow_once_renders_a_fleet_snapshot_read_only() {
+    // A written FleetView snapshot is all live mode needs: --follow
+    // tails the file, --once exits after the first frame, and the file
+    // is never written back to.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("flagsim-watch-fleet-{}.json", std::process::id()));
+    let mut fv = flagsim_shard::FleetView::default();
+    fv.reset("0ddba11".into(), 32);
+    fv.on_connected("w-0", 10);
+    fv.on_lease("w-0", 20);
+    for t in 0..8u64 {
+        fv.on_rep("w-0", 30 + t * 100);
+        fv.sample(30 + t * 100);
+    }
+    fv.merged = 8;
+    let snapshot = fv.to_json(1_000);
+    std::fs::write(&path, &snapshot).unwrap();
+    let (stdout, stderr, ok) =
+        flagsim(&["watch", "--follow", path.to_str().unwrap(), "--once", "--width", "100"]);
+    let after = std::fs::read_to_string(&path).expect("snapshot still there");
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stderr}");
+    assert_eq!(after, snapshot, "watch must never write to its source");
+    assert!(stdout.contains("fleet: campaign 0ddba11"), "{stdout}");
+    assert!(stdout.contains("merged 8/32 reps (25%)"), "{stdout}");
+    assert!(stdout.contains("* w-0"), "{stdout}");
+    assert!(!stdout.contains("\x1b["), "no ANSI when piped: {stdout:?}");
+}
+
+#[test]
+fn watch_argument_errors_exit_2() {
+    for args in [
+        &["watch"][..],                               // no source at all
+        &["watch", "4", "--width", "7"],              // width out of range
+        &["watch", "4", "--script", "pz"],            // unknown key
+        &["watch", "--trace", "/nonexistent.json"],   // unreadable trace
+    ] {
+        let (_, stderr, code) = flagsim_code(args);
+        assert_eq!(code, 2, "args {args:?} must exit 2, stderr: {stderr}");
+        assert!(stderr.starts_with("error: "), "{stderr}");
+    }
+}

@@ -36,6 +36,14 @@ impl ProcId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Build from a raw index — for reconstructing a [`Trace`] from an
+    /// external source (e.g. re-parsing an exported Chrome trace). Ids
+    /// built this way are only meaningful against a trace whose `procs`
+    /// table uses the same indexing.
+    pub fn from_index(index: usize) -> ProcId {
+        ProcId(index as u32)
+    }
 }
 
 /// What a process wants to do next. The engine performs the action and

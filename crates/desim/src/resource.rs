@@ -109,6 +109,14 @@ impl ResourceId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Build from a raw index — for reconstructing a [`Trace`](crate::Trace)
+    /// from an external source (e.g. re-parsing an exported Chrome
+    /// trace). Ids built this way are only meaningful against a trace
+    /// whose `resources` table uses the same indexing.
+    pub fn from_index(index: usize) -> ResourceId {
+        ResourceId(index as u32)
+    }
 }
 
 /// Internal state of one resource (capacity ≥ 1 interchangeable units —

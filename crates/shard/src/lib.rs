@@ -57,6 +57,7 @@ pub mod fleet;
 pub mod job;
 pub mod lease;
 pub mod merge;
+pub mod obs_serve;
 pub mod wire;
 pub mod worker;
 
@@ -66,5 +67,6 @@ pub use fleet::{FleetView, ObsHub, WorkerObs};
 pub use job::{JobSpec, MaterializedJob};
 pub use lease::{LeaseConfig, LeaseGrant, LeaseTable, WorkerId};
 pub use merge::{MergeState, RepOutcome};
+pub use obs_serve::ObsServer;
 pub use wire::{read_frame, write_frame, Message, TelemetryBatch, TraceConfig, PROTOCOL_VERSION};
 pub use worker::{serve, WorkerOptions};

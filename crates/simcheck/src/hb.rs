@@ -91,6 +91,11 @@ pub struct AcquireTie {
 pub struct HbAnalysis {
     /// Unordered conflicting writes, one entry per (cell, student pair).
     pub races: Vec<Diag>,
+    /// The time span each race covers — `race_spans[i]` is the union of
+    /// both conflicting strokes behind `races[i]`, `(earliest start,
+    /// latest end)`. Lets a timeline view anchor a finding to the
+    /// instant it happened without re-parsing the diagnostic text.
+    pub race_spans: Vec<(SimTime, SimTime)>,
     /// Acquire-order ties (SC302 notes).
     pub ties: Vec<AcquireTie>,
 }
@@ -235,6 +240,7 @@ pub fn analyze_hb(trace: &Trace, accesses: &[CellAccess]) -> HbAnalysis {
         by_cell.entry(a.cell).or_default().push(a);
     }
     let mut races = Vec::new();
+    let mut race_spans = Vec::new();
     for (cell, list) in &by_cell {
         let mut reported: Vec<(usize, usize)> = Vec::new();
         for (i, a) in list.iter().enumerate() {
@@ -301,11 +307,16 @@ pub fn analyze_hb(trace: &Trace, accesses: &[CellAccess]) -> HbAnalysis {
                     ),
                 };
                 races.push(d);
+                race_spans.push((a.start.min(b.start), a.end.max(b.end)));
             }
         }
     }
 
-    HbAnalysis { races, ties }
+    HbAnalysis {
+        races,
+        race_spans,
+        ties,
+    }
 }
 
 /// Convenience: run the full happens-before check on a finished run.
@@ -357,6 +368,8 @@ mod tests {
         let hb = analyze_hb(&trace, &accesses);
         assert_eq!(hb.races.len(), 1, "{:?}", hb.races);
         assert_eq!(hb.races[0].id, "SC301");
+        assert_eq!(hb.race_spans.len(), hb.races.len());
+        assert_eq!(hb.race_spans[0], (SimTime(0), SimTime(10)));
         let detail = hb.races[0].detail.join("\n");
         assert!(detail.contains("P1"), "{detail}");
         assert!(detail.contains("acquire-order tie"), "{detail}");

@@ -1,0 +1,165 @@
+//! The frame buffer every watch pane renders into.
+//!
+//! A [`Frame`] is plain text — no escape codes — so the same bytes
+//! serve three consumers: the interactive repaint loop (which adds
+//! cursor addressing around it), the non-TTY plain fallback, and the
+//! `--frames-out` scripted dump that CI diffs byte-for-byte. Keeping
+//! escapes out of the frame is what makes the determinism contract
+//! checkable: two runs agree iff the dumped text agrees.
+
+use crate::term::clamp_line;
+
+/// A fixed-width text frame built line by line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    lines: Vec<String>,
+}
+
+impl Frame {
+    /// An empty frame clamping every pushed line to `width` characters.
+    pub fn new(width: usize) -> Frame {
+        Frame {
+            width: width.max(20),
+            lines: Vec::new(),
+        }
+    }
+
+    /// The clamping width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of lines pushed so far.
+    pub fn height(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Append one line, clamped to the frame width.
+    pub fn line(&mut self, text: &str) {
+        self.lines.push(clamp_line(text, self.width));
+    }
+
+    /// Append a blank separator line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// Append every line of a multi-line block.
+    pub fn extend_text(&mut self, text: &str) {
+        for line in text.lines() {
+            self.line(line);
+        }
+    }
+
+    /// Append `left` and `right` blocks side by side, `left` padded to
+    /// `left_w` columns and the pair separated by two spaces. Shorter
+    /// blocks are padded with empty rows so the other column keeps its
+    /// horizontal position.
+    pub fn extend_columns(&mut self, left: &str, left_w: usize, right: &str) {
+        let lhs: Vec<&str> = left.lines().collect();
+        let rhs: Vec<&str> = right.lines().collect();
+        for i in 0..lhs.len().max(rhs.len()) {
+            let l = lhs.get(i).copied().unwrap_or("");
+            let r = rhs.get(i).copied().unwrap_or("");
+            if r.is_empty() {
+                self.line(l);
+            } else {
+                let pad = left_w.saturating_sub(l.chars().count());
+                self.line(&format!("{l}{}  {r}", " ".repeat(pad)));
+            }
+        }
+    }
+
+    /// The frame as plain text: one `\n`-terminated row per line,
+    /// trailing blank lines trimmed. This is the byte-deterministic
+    /// artifact the scripted mode dumps.
+    pub fn render(&self) -> String {
+        let last = self
+            .lines
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let mut out = String::new();
+        for line in &self.lines[..last] {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serialize a sequence of rendered frames for `--frames-out`: each
+/// frame preceded by a `== frame N ==` marker so tests and humans can
+/// split the dump unambiguously (frame text never starts a line with
+/// `== `).
+pub fn dump_frames(frames: &[String]) -> String {
+    let mut out = String::new();
+    for (i, f) in frames.iter().enumerate() {
+        out.push_str(&format!("== frame {i} ==\n"));
+        out.push_str(f);
+    }
+    out
+}
+
+/// Split a [`dump_frames`] artifact back into frames (used by tests to
+/// round-trip the dump).
+pub fn split_frames(dump: &str) -> Vec<String> {
+    let mut frames: Vec<String> = Vec::new();
+    for line in dump.lines() {
+        if line.starts_with("== frame ") && line.ends_with(" ==") {
+            frames.push(String::new());
+        } else if let Some(cur) = frames.last_mut() {
+            cur.push_str(line);
+            cur.push('\n');
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_clamped_and_rendered_in_order() {
+        let mut f = Frame::new(20);
+        f.line("hello");
+        f.line(&"x".repeat(40));
+        assert_eq!(f.height(), 2);
+        let text = f.render();
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows[0], "hello");
+        assert!(rows[1].chars().count() <= 20);
+        assert!(rows[1].ends_with('\u{2026}'));
+    }
+
+    #[test]
+    fn trailing_blanks_are_trimmed() {
+        let mut f = Frame::new(40);
+        f.line("a");
+        f.blank();
+        f.blank();
+        assert_eq!(f.render(), "a\n");
+    }
+
+    #[test]
+    fn columns_align_left_block() {
+        let mut f = Frame::new(80);
+        f.extend_columns("ab\ncdef", 6, "R1\nR2\nR3");
+        let text = f.render();
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows[0], "ab      R1");
+        assert_eq!(rows[1], "cdef    R2");
+        assert_eq!(rows[2], "        R3");
+    }
+
+    #[test]
+    fn dump_and_split_round_trip() {
+        let frames = vec!["a\nb\n".to_owned(), "c\n".to_owned()];
+        let dump = dump_frames(&frames);
+        assert_eq!(split_frames(&dump), frames);
+        assert!(dump.starts_with("== frame 0 ==\n"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The watch gantt pane: per-process timelines with the executed
+//! critical path highlighted, scrubbed to the current instant.
+//!
+//! `desim::causal::critical_gantt` renders the same chart with ANSI
+//! color for one-shot CLI output; this pane re-renders the model as
+//! *plain text only* (the watch determinism contract forbids escapes
+//! inside a frame) and additionally masks everything after the scrub
+//! time, so the chart fills in as the user plays the run forward. The
+//! glyph alphabet matches the CLI chart: `#` busy / `~` waiting / `.`
+//! idle, upper-cased to `X` / `W` / `o` on the critical path.
+
+use flagsim_desim::causal::{CausalAnalysis, SegmentKind};
+use flagsim_desim::Trace;
+use std::fmt::Write as _;
+
+/// Precomputed per-process intervals, ready to render at any instant.
+#[derive(Debug, Clone)]
+pub struct GanttModel {
+    names: Vec<String>,
+    busy: Vec<Vec<(u64, u64)>>,
+    wait: Vec<Vec<(u64, u64)>>,
+    crit: Vec<Vec<(u64, u64)>>,
+    end_ms: u64,
+    name_w: usize,
+}
+
+fn overlap(ivs: &[(u64, u64)], t0: u64, t1: u64) -> u64 {
+    ivs.iter()
+        .map(|&(a, b)| b.min(t1).saturating_sub(a.max(t0)))
+        .sum()
+}
+
+impl GanttModel {
+    /// Build the interval model from a trace and its causal analysis.
+    pub fn new(trace: &Trace, analysis: &CausalAnalysis) -> GanttModel {
+        let nprocs = trace.procs.len();
+        let mut busy = vec![Vec::new(); nprocs];
+        let mut wait = vec![Vec::new(); nprocs];
+        for (pi, segs) in analysis.timelines.iter().enumerate().take(nprocs) {
+            for s in segs {
+                let iv = (s.start.millis(), s.end.millis());
+                match s.kind {
+                    SegmentKind::Compute => busy[pi].push(iv),
+                    SegmentKind::Wait { .. } => wait[pi].push(iv),
+                    SegmentKind::Idle => {}
+                }
+            }
+        }
+        let mut crit = vec![Vec::new(); nprocs];
+        for seg in &analysis.critical_path {
+            if let Some(ivs) = crit.get_mut(seg.proc.index()) {
+                ivs.push((seg.start.millis(), seg.end.millis()));
+            }
+        }
+        let names: Vec<String> = trace.procs.iter().map(|p| p.name.clone()).collect();
+        let name_w = names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+        GanttModel {
+            names,
+            busy,
+            wait,
+            crit,
+            end_ms: trace.end_time.millis(),
+            name_w,
+        }
+    }
+
+    /// Number of process rows.
+    pub fn rows(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Render the chart `width` buckets wide, showing only what has
+    /// happened by `t_ms`: buckets past the scrub point stay blank, the
+    /// bucket containing `t_ms` is marked on the axis row with `^`.
+    pub fn render_at(&self, width: usize, t_ms: u64) -> String {
+        let width = width.max(1);
+        let total = self.end_ms.max(1);
+        let name_w = self.name_w;
+        let mut out = String::new();
+        for (pi, name) in self.names.iter().enumerate() {
+            let _ = write!(out, "{name:>name_w$} |");
+            for i in 0..width {
+                let t0 = total * i as u64 / width as u64;
+                let t1 = (total * (i + 1) as u64 / width as u64).max(t0 + 1);
+                if t0 >= t_ms {
+                    out.push(' ');
+                    continue;
+                }
+                // A bucket the scrub point bisects is rendered from its
+                // elapsed part only, so play-forward never shows the
+                // future.
+                let t1 = t1.min(t_ms);
+                let b = overlap(&self.busy[pi], t0, t1);
+                let w = overlap(&self.wait[pi], t0, t1);
+                let c = overlap(&self.crit[pi], t0, t1);
+                let base = if b == 0 && w == 0 {
+                    '.'
+                } else if b >= w {
+                    '#'
+                } else {
+                    '~'
+                };
+                out.push(if c * 2 >= t1 - t0 {
+                    match base {
+                        '#' => 'X',
+                        '~' => 'W',
+                        _ => 'o',
+                    }
+                } else {
+                    base
+                });
+            }
+            out.push_str("|\n");
+        }
+        // Axis row with the scrub cursor.
+        let cursor = ((t_ms.min(total)) * width as u64 / total).min(width as u64 - 1) as usize;
+        let mut axis = String::with_capacity(width);
+        for i in 0..width {
+            axis.push(if i == cursor { '^' } else { '-' });
+        }
+        let _ = writeln!(out, "{:>name_w$} |{axis}|", "");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flagsim_desim::causal::analyze;
+    use flagsim_desim::{Action, Engine, FnProcess, SimDuration};
+
+    fn contended_trace() -> Trace {
+        let mut eng = Engine::new();
+        let marker = eng.add_resource("marker", SimDuration::from_millis(5));
+        for name in ["A", "B"] {
+            let mut step = 0;
+            eng.add_process(Box::new(FnProcess::new(name, move |_| {
+                step += 1;
+                match step {
+                    1 => Action::Acquire(marker),
+                    2 => Action::Work(SimDuration::from_millis(40)),
+                    3 => Action::Release(marker),
+                    _ => Action::Done,
+                }
+            })));
+        }
+        eng.run()
+    }
+
+    #[test]
+    fn full_scrub_matches_trace_states_and_has_no_ansi() {
+        let trace = contended_trace();
+        let model = GanttModel::new(&trace, &analyze(&trace));
+        let g = model.render_at(40, trace.end_time.millis());
+        assert!(!g.contains('\x1b'), "frames must be escape-free: {g:?}");
+        assert!(g.contains('X'), "critical compute visible: {g}");
+        assert!(g.contains('~') || g.contains('W'), "waiting visible: {g}");
+        assert_eq!(g.lines().count(), 3, "{g}");
+        assert!(g.lines().last().unwrap().contains('^'));
+    }
+
+    #[test]
+    fn scrubbing_to_zero_blanks_the_chart() {
+        let trace = contended_trace();
+        let model = GanttModel::new(&trace, &analyze(&trace));
+        let g = model.render_at(40, 0);
+        for line in g.lines().take(model.rows()) {
+            let body: String = line.chars().skip_while(|&c| c != '|').collect();
+            assert!(
+                body.chars().all(|c| c == '|' || c == ' '),
+                "nothing drawn at t=0: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn play_forward_reveals_monotonically() {
+        let trace = contended_trace();
+        let model = GanttModel::new(&trace, &analyze(&trace));
+        let end = trace.end_time.millis();
+        let drawn = |g: &str| {
+            g.lines()
+                .take(model.rows())
+                .map(|l| l.chars().filter(|c| "#~.XWo".contains(*c)).count())
+                .sum::<usize>()
+        };
+        let mut last = 0;
+        for i in 0..=8 {
+            let n = drawn(&model.render_at(40, end * i / 8));
+            assert!(n >= last, "chart un-drew between steps");
+            last = n;
+        }
+        assert!(last > 0);
+    }
+}

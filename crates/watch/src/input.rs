@@ -1,0 +1,197 @@
+//! Key input: the watch key set, the `--script` parser, and a byte
+//! decoder for interactive raw-mode stdin.
+//!
+//! The same [`Key`] enum drives both paths, so a scripted run and an
+//! interactive session exercise identical app logic — the only
+//! difference is where the keys come from.
+
+/// A watch key press, after decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Key {
+    /// `q` (or Ctrl-C / Esc interactively): quit.
+    Quit,
+    /// `p` / space: toggle play/pause.
+    PlayPause,
+    /// `l` / right arrow: step forward one instant.
+    StepFwd,
+    /// `h` / left arrow: step back one instant.
+    StepBack,
+    /// `L`: jump forward one tenth of the run.
+    JumpFwd,
+    /// `H`: jump back one tenth of the run.
+    JumpBack,
+    /// `g` / Home: scrub to the start.
+    Home,
+    /// `G` / End: scrub to the end.
+    End,
+    /// `+`: double playback speed.
+    Faster,
+    /// `-`: halve playback speed.
+    Slower,
+    /// `=`: reset playback speed to 1x.
+    SpeedReset,
+    /// `t`: one fake-clock tick (advances playback when playing;
+    /// scripted runs use this to animate deterministically).
+    Tick,
+}
+
+impl Key {
+    /// The script character for this key (inverse of [`from_script_char`]).
+    pub fn script_char(self) -> char {
+        match self {
+            Key::Quit => 'q',
+            Key::PlayPause => 'p',
+            Key::StepFwd => 'l',
+            Key::StepBack => 'h',
+            Key::JumpFwd => 'L',
+            Key::JumpBack => 'H',
+            Key::Home => 'g',
+            Key::End => 'G',
+            Key::Faster => '+',
+            Key::Slower => '-',
+            Key::SpeedReset => '=',
+            Key::Tick => 't',
+        }
+    }
+}
+
+/// Decode one `--script` character. Whitespace is not a key (the
+/// script parser skips it); unknown characters are an error so typos
+/// fail loudly instead of silently dropping frames.
+pub fn from_script_char(c: char) -> Result<Key, String> {
+    Ok(match c {
+        'q' => Key::Quit,
+        'p' | ' ' => Key::PlayPause,
+        'l' => Key::StepFwd,
+        'h' => Key::StepBack,
+        'L' => Key::JumpFwd,
+        'H' => Key::JumpBack,
+        'g' => Key::Home,
+        'G' => Key::End,
+        '+' => Key::Faster,
+        '-' => Key::Slower,
+        '=' => Key::SpeedReset,
+        't' => Key::Tick,
+        other => return Err(format!("unknown watch key {other:?} in --script")),
+    })
+}
+
+/// Parse a full `--script KEYS` string into a key sequence.
+/// Whitespace separates groups for readability and is ignored.
+pub fn script_keys(script: &str) -> Result<Vec<Key>, String> {
+    script
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .map(from_script_char)
+        .collect()
+}
+
+/// Incremental decoder for raw-mode stdin bytes: plain keys map like
+/// the script alphabet, and the three-byte arrow/Home/End escape
+/// sequences map onto the same [`Key`]s. A lone Esc quits.
+#[derive(Debug, Default)]
+pub struct KeyDecoder {
+    // Pending escape-sequence bytes (ESC, then '[').
+    esc: Vec<u8>,
+}
+
+impl KeyDecoder {
+    /// A decoder with no pending state.
+    pub fn new() -> KeyDecoder {
+        KeyDecoder::default()
+    }
+
+    /// Feed one byte; returns a key when one completes.
+    pub fn feed(&mut self, byte: u8) -> Option<Key> {
+        if !self.esc.is_empty() {
+            return self.feed_escape(byte);
+        }
+        match byte {
+            0x1b => {
+                self.esc.push(byte);
+                None
+            }
+            0x03 => Some(Key::Quit), // Ctrl-C (raw mode delivers it as a byte)
+            b' ' => Some(Key::PlayPause),
+            _ => from_script_char(byte as char).ok(),
+        }
+    }
+
+    fn feed_escape(&mut self, byte: u8) -> Option<Key> {
+        if self.esc.len() == 1 {
+            if byte == b'[' {
+                self.esc.push(byte);
+                return None;
+            }
+            // Lone Esc (next byte is not a CSI introducer): quit, and
+            // re-feed the byte as a fresh keypress.
+            self.esc.clear();
+            return Some(Key::Quit);
+        }
+        self.esc.clear();
+        match byte {
+            b'C' => Some(Key::StepFwd),  // right arrow
+            b'D' => Some(Key::StepBack), // left arrow
+            b'H' => Some(Key::Home),
+            b'F' => Some(Key::End),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_parses_all_keys_and_skips_whitespace() {
+        let keys = script_keys("p ttt  h l G q").unwrap();
+        assert_eq!(
+            keys,
+            vec![
+                Key::PlayPause,
+                Key::Tick,
+                Key::Tick,
+                Key::Tick,
+                Key::StepBack,
+                Key::StepFwd,
+                Key::End,
+                Key::Quit,
+            ]
+        );
+    }
+
+    #[test]
+    fn script_round_trips_through_script_char() {
+        let all = "qplhLHgG+-=t";
+        let keys = script_keys(all).unwrap();
+        let back: String = keys.iter().map(|k| k.script_char()).collect();
+        assert_eq!(back, all);
+    }
+
+    #[test]
+    fn script_rejects_unknown_keys() {
+        let err = script_keys("pz").unwrap_err();
+        assert!(err.contains("'z'"), "{err}");
+    }
+
+    #[test]
+    fn decoder_handles_plain_keys_and_arrows() {
+        let mut d = KeyDecoder::new();
+        assert_eq!(d.feed(b'p'), Some(Key::PlayPause));
+        assert_eq!(d.feed(0x1b), None);
+        assert_eq!(d.feed(b'['), None);
+        assert_eq!(d.feed(b'C'), Some(Key::StepFwd));
+        assert_eq!(d.feed(0x1b), None);
+        assert_eq!(d.feed(b'['), None);
+        assert_eq!(d.feed(b'D'), Some(Key::StepBack));
+        assert_eq!(d.feed(0x03), Some(Key::Quit));
+    }
+
+    #[test]
+    fn lone_escape_quits() {
+        let mut d = KeyDecoder::new();
+        assert_eq!(d.feed(0x1b), None);
+        assert_eq!(d.feed(b'q'), Some(Key::Quit));
+    }
+}

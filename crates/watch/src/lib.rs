@@ -1,0 +1,26 @@
+//! flagsim-watch: a hand-rolled terminal UI for watching runs.
+//!
+//! Two modes, one rendering pipeline:
+//!
+//! - **Replay** ([`app`]): reconstruct a recorded run (scenario+seed
+//!   via `core::replay`, or a Chrome-trace file via [`chrome`]) and
+//!   scrub through it — grid filling in, gantt with the executed
+//!   critical path, blame/races anchored to the current instant.
+//! - **Live** ([`live`]): attach read-only to a running sharded sweep
+//!   and render the `shard::fleet` observability stream as a fleet
+//!   panel with per-worker sparklines.
+//!
+//! Everything renders into a plain-text [`frame::Frame`]; escape codes
+//! exist only in [`term`], wrapped around frames at the last moment.
+//! Under `--script` the app consumes a fixed key sequence and no wall
+//! clock, which makes the whole UI byte-deterministic and testable
+//! headless. The terminal plumbing in [`term`] is shared with the
+//! `flagsim sweep` dashboard so the two never diverge.
+
+pub mod app;
+pub mod chrome;
+pub mod frame;
+pub mod gantt;
+pub mod input;
+pub mod live;
+pub mod term;
