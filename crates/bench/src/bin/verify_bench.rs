@@ -1,0 +1,61 @@
+//! Schedule-space explorer benchmark.
+//!
+//! ```text
+//! cargo run -p flagsim-bench --release --bin verify_bench -- \
+//!     [--workers N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Defaults: 6 independent workers (720 naive schedules),
+//! `BENCH_verify.json`. `--smoke` shrinks to 4 workers (24 naive
+//! schedules) so CI can run both gates on every push — the gates are
+//! count-based, not wall-clock-based, so they hold at smoke scale.
+//!
+//! Exits non-zero if the DPOR reduction factor falls below 10× or if
+//! any soundness cross-check fails (reduced exploration losing an
+//! outcome class, or the known scenario-4 divergence going unfound).
+
+fn main() {
+    let mut workers: usize = 6;
+    let mut out_path = String::from("BENCH_verify.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|w| (2..=8).contains(w))
+                    .expect("--workers needs a number in 2..=8");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            "--smoke" => {
+                workers = 4;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: verify_bench [--workers N] [--out PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = flagsim_bench::run_verify_bench(workers);
+    println!("{}", bench.summary());
+    std::fs::write(&out_path, bench.to_json()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    if !bench.sound {
+        eprintln!("FAIL: verify soundness gate (outcome classes / known divergence)");
+        std::process::exit(1);
+    }
+    // The reduction gate is exact — schedule counts, not wall clocks —
+    // so there is no noise guard band and no smoke exemption.
+    if bench.reduction_factor < 10.0 {
+        eprintln!(
+            "FAIL: DPOR reduction factor {:.1}x below the 10x gate \
+             ({} naive vs {} reduced schedule(s))",
+            bench.reduction_factor, bench.naive_schedules, bench.dpor_schedules
+        );
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,7 @@ pub mod obs_bench;
 pub mod shard_bench;
 pub mod sweep_bench;
 pub mod telemetry_bench;
+pub mod verify_bench;
 
 pub use engine_bench::{run_engine_bench, EngineBench};
 pub use experiments::{all_experiments, experiments_to_json};
@@ -22,3 +23,4 @@ pub use obs_bench::{run_obs_bench, ObsBench};
 pub use shard_bench::{run_shard_bench, ShardBench};
 pub use sweep_bench::{run_sweep_bench, SweepBench};
 pub use telemetry_bench::{run_telemetry_bench, TelemetryBench};
+pub use verify_bench::{run_verify_bench, VerifyBench};

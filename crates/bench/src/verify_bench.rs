@@ -1,0 +1,250 @@
+//! Schedule-space explorer benchmark (the `flagsim verify` scoreboard).
+//!
+//! Two measurements, two hard gates:
+//!
+//! - **DPOR reduction factor**: N independent workers with pairwise
+//!   disjoint resource footprints all wake at t=0 — naive enumeration
+//!   visits every one of the N! wakeup orderings, while the sleep-set
+//!   partial-order reduction proves them all commuting and runs exactly
+//!   one schedule. The factor is schedule-count based (naive runs /
+//!   DPOR runs), so it is exact and wall-clock-noise-free; the gate is
+//!   **≥ 10×** and holds even in `--smoke` (4 workers → 24×).
+//! - **Explored schedules/sec**: wall-clock throughput of the naive
+//!   sweep over the independent-worker space, plus the same number for
+//!   a real divergent workload (scenario 4's flow shop, 44 schedules).
+//!
+//! The second gate is soundness: the reduced exploration must discover
+//! exactly the outcome classes the naive one does, and the scenario-4
+//! run must find the known divergence. The `verify_bench` binary writes
+//! the result as `BENCH_verify.json`.
+
+use flagsim_agents::ImplementKind;
+use flagsim_core::config::{ActivityConfig, TeamKit};
+use flagsim_core::scenario::Scenario;
+use flagsim_core::work::PreparedFlag;
+use flagsim_desim::{Action, Engine, FnProcess, SimDuration};
+use flagsim_flags::library;
+use flagsim_simcheck::{explore_activity, explore_engine, ExploreConfig, Exploration};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Build N workers, each acquiring its own private marker for a
+/// distinct-duration stroke. Every wakeup tie is between commuting
+/// processes, so the whole N!-schedule space is one equivalence class.
+fn independent_workers(n: usize) -> Engine {
+    let mut eng = Engine::new();
+    for i in 0..n {
+        let rid = eng.add_resource(format!("marker-{i}"), SimDuration::ZERO);
+        let mut queue: std::collections::VecDeque<Action> = vec![
+            Action::Acquire(rid),
+            Action::Work(SimDuration::from_millis(10 + 3 * i as u64)),
+            Action::Release(rid),
+        ]
+        .into();
+        eng.add_process(Box::new(FnProcess::new(format!("w{i}"), move |_| {
+            queue.pop_front().unwrap_or(Action::Done)
+        })));
+    }
+    eng
+}
+
+/// Explore the independent-worker space once per mode, timed.
+fn timed_explore(n: usize, naive: bool, bound: usize) -> (Exploration, f64) {
+    let cfg = ExploreConfig {
+        max_schedules: bound,
+        naive,
+    };
+    let t = Instant::now();
+    let ex = explore_engine(|| independent_workers(n), &cfg).expect("exploration runs");
+    (ex, t.elapsed().as_secs_f64().max(f64::MIN_POSITIVE))
+}
+
+/// One verify-bench measurement.
+#[derive(Debug, Clone)]
+pub struct VerifyBench {
+    /// Independent workers in the reduction workload.
+    pub workers: usize,
+    /// Schedules the naive full enumeration ran (= workers!).
+    pub naive_schedules: usize,
+    /// Schedules the DPOR-reduced exploration ran (1, ideally).
+    pub dpor_schedules: usize,
+    /// `naive_schedules / dpor_schedules` — the headline gate, ≥ 10×.
+    pub reduction_factor: f64,
+    /// Wall-clock seconds for the naive sweep.
+    pub naive_secs: f64,
+    /// Wall-clock seconds for the reduced sweep.
+    pub dpor_secs: f64,
+    /// Naive schedules explored per second (full engine runs).
+    pub schedules_per_sec: f64,
+    /// Choice states the scenario-4 exploration hashed and visited
+    /// (naive mode skips the state-hash set, so the reduced run is the
+    /// one with a meaningful state count).
+    pub visited_states: usize,
+    /// Choice states visited per second, scenario-4 exploration.
+    pub states_per_sec: f64,
+    /// Schedules the scenario-4 flow-shop exploration ran.
+    pub scenario_schedules: usize,
+    /// Distinct outcome classes scenario 4 produced (divergent: > 1).
+    pub scenario_classes: usize,
+    /// Wall-clock seconds for the scenario-4 exploration.
+    pub scenario_secs: f64,
+    /// Scenario-4 schedules explored per second (full activity runs).
+    pub scenario_schedules_per_sec: f64,
+    /// The soundness gate: DPOR found exactly the naive outcome classes,
+    /// neither sweep truncated, and scenario 4's known divergence (with
+    /// its witness pair) was found.
+    pub sound: bool,
+}
+
+/// Run the benchmark: the N-worker reduction workload in both modes
+/// plus one full scenario-4 exploration, with the soundness
+/// cross-checks. Panics if an exploration fails outright (this measures
+/// the healthy path).
+pub fn run_verify_bench(workers: usize) -> VerifyBench {
+    // Bound: comfortably above workers! so the naive sweep completes.
+    let bound = (1..=workers).product::<usize>() * 4;
+    let (naive, naive_secs) = timed_explore(workers, true, bound);
+    let (dpor, dpor_secs) = timed_explore(workers, false, bound);
+
+    // Soundness gate 1: the reduction loses no outcome class.
+    let naive_keys: BTreeSet<_> = naive.outcomes.iter().map(|c| c.outcome.key()).collect();
+    let dpor_keys: BTreeSet<_> = dpor.outcomes.iter().map(|c| c.outcome.key()).collect();
+    let classes_ok = naive_keys == dpor_keys && !naive.truncated && !dpor.truncated;
+    if !classes_ok {
+        eprintln!(
+            "soundness: DPOR outcome classes diverged from naive \
+             (naive {} class(es), dpor {}, truncated {}/{})",
+            naive_keys.len(),
+            dpor_keys.len(),
+            naive.truncated,
+            dpor.truncated
+        );
+    }
+
+    // Real workload: the scenario-4 flow shop, known divergent.
+    let flag = PreparedFlag::new(&library::mauritius());
+    let kit = TeamKit::uniform(ImplementKind::ThickMarker, &flag.colors_needed(&[]));
+    let cfg = ActivityConfig::default().with_seed(0x5EED);
+    let compiled = Scenario::fig1(4)
+        .compile(&flag, &cfg)
+        .expect("scenario 4 compiles");
+    let t = Instant::now();
+    let ax = explore_activity(&compiled, &kit, &cfg, &ExploreConfig::default())
+        .expect("scenario exploration runs");
+    let scenario_secs = t.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let sx = &ax.exploration;
+    // Soundness gate 2: the known flow-shop divergence is found, with
+    // its minimal witness pair.
+    let scenario_ok = !sx.truncated && sx.outcomes.len() > 1 && sx.witness.is_some();
+    if !scenario_ok {
+        eprintln!(
+            "soundness: scenario 4 exploration missed the known divergence \
+             ({} class(es), truncated {}, witness {})",
+            sx.outcomes.len(),
+            sx.truncated,
+            sx.witness.is_some()
+        );
+    }
+
+    VerifyBench {
+        workers,
+        naive_schedules: naive.schedules_run,
+        dpor_schedules: dpor.schedules_run,
+        reduction_factor: naive.schedules_run as f64 / dpor.schedules_run.max(1) as f64,
+        naive_secs,
+        dpor_secs,
+        schedules_per_sec: naive.schedules_run as f64 / naive_secs,
+        visited_states: sx.visited_states,
+        states_per_sec: sx.visited_states as f64 / scenario_secs,
+        scenario_schedules: sx.schedules_run,
+        scenario_classes: sx.outcomes.len(),
+        scenario_secs,
+        scenario_schedules_per_sec: sx.schedules_run as f64 / scenario_secs,
+        sound: classes_ok && scenario_ok,
+    }
+}
+
+impl VerifyBench {
+    /// Hand-rolled JSON (the build environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"verify_explorer\",");
+        let _ = writeln!(
+            out,
+            "  \"workload\": \"independent workers (reduction) + scenario 4 (divergence)\","
+        );
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"naive_schedules\": {},", self.naive_schedules);
+        let _ = writeln!(out, "  \"dpor_schedules\": {},", self.dpor_schedules);
+        let _ = writeln!(out, "  \"reduction_factor\": {:.1},", self.reduction_factor);
+        let _ = writeln!(out, "  \"naive_secs\": {:.6},", self.naive_secs);
+        let _ = writeln!(out, "  \"dpor_secs\": {:.6},", self.dpor_secs);
+        let _ = writeln!(out, "  \"schedules_per_sec\": {:.1},", self.schedules_per_sec);
+        let _ = writeln!(out, "  \"visited_states\": {},", self.visited_states);
+        let _ = writeln!(out, "  \"states_per_sec\": {:.1},", self.states_per_sec);
+        let _ = writeln!(out, "  \"scenario_schedules\": {},", self.scenario_schedules);
+        let _ = writeln!(out, "  \"scenario_classes\": {},", self.scenario_classes);
+        let _ = writeln!(out, "  \"scenario_secs\": {:.6},", self.scenario_secs);
+        let _ = writeln!(
+            out,
+            "  \"scenario_schedules_per_sec\": {:.1},",
+            self.scenario_schedules_per_sec
+        );
+        let _ = writeln!(out, "  \"sound\": {}", self.sound);
+        out.push('}');
+        out
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "verify bench: {} independent workers\n\
+             naive  {} schedule(s) in {:.3}s  ({:.0} schedules/s)\n\
+             dpor   {} schedule(s) in {:.3}s  → {:.0}x reduction\n\
+             scenario 4: {} schedule(s), {} class(es), {} state(s) in {:.3}s  \
+             ({:.0} schedules/s, {:.0} states/s)\n\
+             sound: {}",
+            self.workers,
+            self.naive_schedules,
+            self.naive_secs,
+            self.schedules_per_sec,
+            self.dpor_schedules,
+            self.dpor_secs,
+            self.reduction_factor,
+            self.scenario_schedules,
+            self.scenario_classes,
+            self.visited_states,
+            self.scenario_secs,
+            self.scenario_schedules_per_sec,
+            self.states_per_sec,
+            self.sound,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_holds_both_gates_and_serializes() {
+        let b = run_verify_bench(4);
+        assert!(b.sound, "verify bench soundness gate failed");
+        assert_eq!(b.naive_schedules, 24, "4 workers must enumerate 4! orderings");
+        assert_eq!(b.dpor_schedules, 1, "disjoint workers must collapse to one run");
+        assert!(b.reduction_factor >= 10.0, "{}", b.reduction_factor);
+        assert!(b.scenario_classes > 1);
+        let json = b.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"workers\": 4",
+            "\"naive_schedules\": 24",
+            "\"dpor_schedules\": 1",
+            "\"reduction_factor\": 24.0",
+            "\"sound\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -94,6 +94,10 @@ USAGE:
                 [--format text|json] [--deny note|warning|error]
                 [--allow IDS] [--static-only] [--flag NAME] [--kind KIND]
                 [--team N] [--seed N] [--jobs N] [--plan SPEC] [--policy P]
+  flagsim verify <SCENARIO|demo-deadlock> [--flag NAME] [--kind KIND]
+                 [--seed N] [--max-schedules N] [--naive]
+                 [--format text|json] [--deny note|warning|error]
+                 [--allow IDS] [--witness-out PREFIX]
   flagsim lint <flag|file> [--size WxH] [--format text|json]
                [--deny note|warning|error] [--allow IDS]
   flagsim graph <flag> [--procs N]
@@ -105,7 +109,7 @@ USAGE:
   flagsim replay <SCENARIO> [--flag NAME] [--frames N]
                  [--seed N]
   flagsim watch <SCENARIO> [--flag NAME] [--kind KIND] [--seed N]
-                [--script KEYS] [--frames-out FILE] [--width N]
+                [--script KEYS] [--frames-out FILE] [--width N] [--no-check]
   flagsim watch --trace FILE [--script KEYS] [--frames-out FILE]
   flagsim watch (--connect ADDR | --follow FILE) [--once] [--width N]
 
@@ -138,6 +142,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
         "grade" => cmd_grade(&args[1..]),
@@ -1597,6 +1602,173 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     finish_report(report, deny, &allow, &format)
 }
 
+/// `flagsim verify` — the bounded model checker. Where `check` analyzes
+/// one observed run, `verify` explores *every* resolution of the
+/// engine's scheduler ties (equal-time wakeups, acquire-order ties) with
+/// sleep-set partial-order reduction, then reports either outcome
+/// invariance (SC412) or a minimal divergent witness pair (SC410). The
+/// `demo-deadlock` target re-proves the SC204 lock-order cycle
+/// dynamically: a concrete schedule that reaches the stall (SC411),
+/// cross-checked against the live wait-for graph.
+fn cmd_verify(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(
+        args,
+        &[
+            "flag", "kind", "seed", "max-schedules", "format", "deny", "allow", "witness-out",
+        ],
+    )?;
+    let Some(what) = opts.positional.first() else {
+        return err(
+            "usage: flagsim verify <SCENARIO|demo-deadlock> [--flag NAME] [--kind KIND] \
+             [--seed N] [--max-schedules N] [--naive] [--format text|json] \
+             [--deny note|warning|error] [--allow IDS] [--witness-out PREFIX]",
+        );
+    };
+    let (deny, allow, format) = parse_diag_opts(&opts)?;
+    let max_schedules: usize = opts
+        .value("max-schedules")
+        .unwrap_or("4096")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --max-schedules".into(),
+        })?;
+    if max_schedules == 0 {
+        return err("--max-schedules must be at least 1");
+    }
+    let explore_cfg = simcheck::ExploreConfig {
+        max_schedules,
+        naive: opts.flag("naive"),
+    };
+
+    // Target: the demo-deadlock drill — the static SC204 cycle plus a
+    // live exploration proving a schedule actually reaches the stall.
+    if what == "demo-deadlock" {
+        let graph = simcheck::LockOrderGraph::build(&simcheck::demo_deadlock_seqs());
+        let cycles = graph.cycles();
+        let ex = simcheck::explore_engine(simcheck::demo_deadlock_engine, &explore_cfg)
+            .map_err(|message| CliError { message })?;
+        eprintln!(
+            "verify: demo-deadlock drill — {} schedule(s) explored, {} outcome class(es)",
+            ex.schedules_run,
+            ex.outcomes.len()
+        );
+        let mut report = simcheck::Report::new("demo-deadlock drill (schedule space)");
+        for mut d in graph.diags() {
+            if let Some(class) = ex.deadlock() {
+                if let simcheck::Outcome::Stalled { graph: wfg, .. } = &class.outcome {
+                    if simcheck::deadlock_matches_cycle(wfg, &cycles) {
+                        d = d.with_detail(format!(
+                            "dynamically confirmed: schedule {} reaches exactly this \
+                             deadlock (see SC411)",
+                            simcheck::format_script(&class.schedule)
+                        ));
+                    }
+                }
+            }
+            report.push(d);
+        }
+        report.extend(simcheck::verify_diags(&ex));
+        return finish_report(report, deny, &allow, &format);
+    }
+
+    // Target: a scenario — explore its full schedule space.
+    let spec = match opts.value("flag") {
+        Some(name) => find_flag(name)?,
+        None => library::mauritius(),
+    };
+    let flag = PreparedFlag::new(&spec);
+    let scenario = build_scenario(what, &flag)?;
+    let kind = parse_kind(opts.value("kind").unwrap_or("thick"))?;
+    let kit = TeamKit::uniform(kind, &flag.colors_needed(&[]));
+    let seed: u64 = opts
+        .value("seed")
+        .unwrap_or("2025")
+        .parse()
+        .map_err(|_| CliError {
+            message: "bad --seed".into(),
+        })?;
+    let cfg = ActivityConfig::default().with_seed(seed);
+    let compiled = scenario
+        .compile(&flag, &cfg)
+        .map_err(|message| CliError { message })?;
+    eprintln!(
+        "verify: exploring {} on {} (seed {seed}, bound {max_schedules}{})",
+        scenario.name,
+        spec.name,
+        if explore_cfg.naive { ", naive" } else { "" }
+    );
+    let ax = simcheck::explore_activity(&compiled, &kit, &cfg, &explore_cfg)
+        .map_err(|message| CliError { message })?;
+    let ex = &ax.exploration;
+    eprintln!(
+        "verify: {} schedule(s) run, {} outcome class(es), {} choice state(s), \
+         {} sleep-pruned, {} state-hash-pruned",
+        ex.schedules_run,
+        ex.outcomes.len(),
+        ex.visited_states,
+        ex.pruned_sleep,
+        ex.pruned_visited
+    );
+    let mut report = simcheck::Report::new(format!(
+        "verify {} on {} (seed {seed})",
+        scenario.name, spec.name
+    ));
+    report.extend(simcheck::verify_diags(ex));
+    report.extend(simcheck::annotate_ties(&ax.ties, ex));
+    if let Some(prefix) = opts.value("witness-out") {
+        match &ex.witness {
+            Some(w) => write_witness_traces(&compiled, &kit, &cfg, w, prefix)?,
+            None => eprintln!(
+                "verify: no witness to write — every explored schedule converges"
+            ),
+        }
+    }
+    finish_report(report, deny, &allow, &format)
+}
+
+/// Replay both sides of a witness pair with trace events on and write
+/// each as a Chrome trace (`PREFIX-a.json`, `PREFIX-b.json`) that
+/// `flagsim watch --trace` can scrub through.
+fn write_witness_traces(
+    compiled: &flagsim_core::scenario::CompiledScenario,
+    kit: &TeamKit,
+    cfg: &ActivityConfig,
+    w: &simcheck::WitnessPair,
+    prefix: &str,
+) -> Result<(), CliError> {
+    use flagsim_core::ActivityOutcome;
+    for (suffix, script) in [("a", &w.baseline), ("b", &w.divergent)] {
+        let mut team = simcheck::explore::scenario_team(compiled);
+        let (policy, _log) = flagsim_desim::ForcedSchedule::new(script.clone());
+        let outcome = compiled
+            .run_scheduled(&mut team, kit, cfg, &FaultPlan::none(), Some(policy))
+            .map_err(|message| CliError { message })?;
+        let path = format!("{prefix}-{suffix}.json");
+        match outcome {
+            ActivityOutcome::Completed(report) => {
+                std::fs::write(&path, report.trace.chrome_trace()).map_err(|e| CliError {
+                    message: format!("cannot write {path}: {e}"),
+                })?;
+                eprintln!(
+                    "verify: witness {} (schedule {}) written to {path} — open with \
+                     `flagsim watch --trace {path}`",
+                    suffix.to_uppercase(),
+                    simcheck::format_script(script)
+                );
+            }
+            ActivityOutcome::Stalled(g) => {
+                eprintln!(
+                    "verify: witness {} (schedule {}) stalls at t={}ms — no trace to write",
+                    suffix.to_uppercase(),
+                    simcheck::format_script(script),
+                    g.at.millis()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Static preflight for `run`/`sweep`/`faults`: the same checks as
 /// `flagsim check --static-only` minus the advisory `SC4xx` checklist,
 /// failing only on Error-level findings. `--no-check` skips it.
@@ -1698,6 +1870,7 @@ pub fn grade_text(text: &str) -> Result<String, CliError> {
 fn recorded_run(
     which: &str,
     opts: &Opts,
+    check: bool,
 ) -> Result<(String, flagsim_core::RunReport, Vec<Vec<flagsim_core::WorkItem>>), CliError> {
     let spec = match opts.value("flag") {
         Some(name) => find_flag(name)?,
@@ -1723,6 +1896,17 @@ fn recorded_run(
         parse_kind(opts.value("kind").unwrap_or("thick"))?,
         &flag.colors_needed(&[]),
     );
+    if check {
+        preflight_static(
+            &spec,
+            &flag,
+            &scenario,
+            &kit,
+            size + 1,
+            &cfg,
+            &FaultPlan::none(),
+        )?;
+    }
     let report = flagsim_core::run_activity(
         scenario.name.clone(),
         &flag,
@@ -1752,7 +1936,7 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     if frames == 0 {
         return err("--frames must be at least 1");
     }
-    let (_, report, assignments) = recorded_run(which, &opts)?;
+    let (_, report, assignments) = recorded_run(which, &opts, false)?;
     let replay = Replay::new(&report, &assignments);
     let mut out = format!("{} — the flag filling in:\n\n", report.label);
     for frame in replay.ascii_frames(frames) {
@@ -1763,7 +1947,7 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
 }
 
 const WATCH_USAGE: &str = "usage: flagsim watch <SCENARIO> [--flag NAME] [--kind KIND] [--seed N]\n\
-       \x20      [--script KEYS] [--frames-out FILE] [--width N]\n\
+       \x20      [--script KEYS] [--frames-out FILE] [--width N] [--no-check]\n\
        flagsim watch --trace FILE [--script KEYS] [--frames-out FILE]\n\
        flagsim watch (--connect ADDR | --follow FILE) [--once] [--width N]";
 
@@ -1801,7 +1985,7 @@ fn cmd_watch(args: &[String]) -> Result<String, CliError> {
         let Some(which) = opts.positional.first() else {
             return err(WATCH_USAGE);
         };
-        let (title, report, assignments) = recorded_run(which, &opts)?;
+        let (title, report, assignments) = recorded_run(which, &opts, !opts.flag("no-check"))?;
         app::ReplayData::from_report(title, &report, &assignments)
     };
     // Scripted mode: a fixed key sequence, one frame per key, no clock —

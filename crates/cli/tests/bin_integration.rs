@@ -417,3 +417,106 @@ fn watch_argument_errors_exit_2() {
         assert!(stderr.starts_with("error: "), "{stderr}");
     }
 }
+
+#[test]
+fn verify_invariant_scenario_reports_sc412() {
+    // Scenario 1 gives every student disjoint work: exploration proves
+    // schedule invariance, chatter goes to stderr, verdict to stdout.
+    let (stdout, stderr, ok) = flagsim(&["verify", "1", "--seed", "7"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("note[SC412]"), "{stdout}");
+    assert!(stdout.contains("schedule-invariant"), "{stdout}");
+    assert!(stderr.contains("verify: exploring"), "{stderr}");
+    assert!(!stdout.contains("verify: exploring"), "{stdout}");
+}
+
+#[test]
+fn verify_divergent_scenario_shows_minimal_witness_pair() {
+    // The vertical-slices flow shop is order-dependent: SC410 with a
+    // witness pair, and the observed SC302 tie cross-linked "divergent".
+    let (stdout, stderr, ok) = flagsim(&["verify", "fourslice", "--seed", "7"]);
+    assert!(ok, "warnings alone must not fail the default deny: {stderr}");
+    assert!(stdout.contains("warning[SC410]"), "{stdout}");
+    assert!(stdout.contains("witness A"), "{stdout}");
+    assert!(stdout.contains("witness B"), "{stdout}");
+    assert!(
+        stdout.contains("differ in exactly one tie resolution"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("verify: divergent — some resolution changes the outcome"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn verify_json_is_deterministic_and_parses() {
+    let (a, _, ok_a) = flagsim(&["verify", "alternating", "--format", "json", "--seed", "5"]);
+    let (b, _, ok_b) = flagsim(&["verify", "alternating", "--format", "json", "--seed", "5"]);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "verify JSON must be deterministic per seed");
+    let v = flagsim_telemetry::json::parse(&a)
+        .unwrap_or_else(|e| panic!("stdout is not valid JSON ({e}):\n{a}"));
+    let diags = v.get("diagnostics").and_then(|d| d.as_array()).expect("diagnostics");
+    assert!(!diags.is_empty(), "{a}");
+}
+
+#[test]
+fn verify_demo_deadlock_confirms_the_static_cycle_dynamically() {
+    // SC204 (static prediction) and SC411 (reachable schedule) must name
+    // the same deadlock, and the cross-link must say so.
+    let (stdout, stderr, ok) = flagsim(&["verify", "demo-deadlock"]);
+    assert!(!ok, "a reachable deadlock is an error-level finding");
+    assert!(stdout.contains("error[SC204]"), "{stdout}");
+    assert!(stdout.contains("error[SC411]"), "{stdout}");
+    assert!(stdout.contains("dynamically confirmed"), "{stdout}");
+    assert!(stderr.contains("check failed"), "{stderr}");
+}
+
+#[test]
+fn verify_witness_out_traces_replay_in_watch() {
+    let dir = std::env::temp_dir();
+    let prefix = dir.join(format!("flagsim-wit-{}", std::process::id()));
+    let prefix = prefix.to_str().unwrap();
+    let (_, stderr, ok) = flagsim(&[
+        "verify", "fourslice", "--seed", "7", "--witness-out", prefix,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("witness A"), "{stderr}");
+    let a = format!("{prefix}-a.json");
+    let b = format!("{prefix}-b.json");
+    let ta = std::fs::read_to_string(&a).expect("witness A written");
+    let tb = std::fs::read_to_string(&b).expect("witness B written");
+    assert_ne!(ta, tb, "the two witness schedules must differ observably");
+    // Both sides load in the replay scrubber.
+    for path in [&a, &b] {
+        let (stdout, stderr, ok) = flagsim(&["watch", "--trace", path, "--script", "l"]);
+        assert!(ok, "{stderr}");
+        assert!(stdout.contains("== frame 0 =="), "{stdout}");
+    }
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn verify_argument_errors_exit_2() {
+    for args in [
+        &["verify"][..],                         // no target
+        &["verify", "nope"],                     // unknown scenario
+        &["verify", "1", "--max-schedules", "0"] // bound must be positive
+    ] {
+        let (_, stderr, code) = flagsim_code(args);
+        assert_eq!(code, 2, "args {args:?} must exit 2, stderr: {stderr}");
+        assert!(stderr.starts_with("error: "), "{stderr}");
+    }
+}
+
+#[test]
+fn watch_scenario_accepts_no_check() {
+    // The replay source preflights by default; --no-check must still work
+    // and produce the same frames on a clean scenario.
+    let (with_check, _, ok_a) = flagsim(&["watch", "4", "--script", "l", "--seed", "7"]);
+    let (without, _, ok_b) = flagsim(&["watch", "4", "--script", "l", "--seed", "7", "--no-check"]);
+    assert!(ok_a && ok_b);
+    assert_eq!(with_check, without, "preflight must not change the replay");
+}

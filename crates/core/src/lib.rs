@@ -45,6 +45,6 @@ pub use explain::{explain_report, explain_scenario, Explanation};
 pub use faults::{FaultEvent, FaultPlan, RecoveryPolicy, ResilienceReport};
 pub use partition::{CellOrder, PartitionStrategy};
 pub use report::RunReport;
-pub use run::{run_activity, run_activity_with_faults};
+pub use run::{run_activity, run_activity_scheduled, run_activity_with_faults, ActivityOutcome};
 pub use scenario::Scenario;
 pub use work::WorkItem;

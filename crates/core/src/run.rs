@@ -21,7 +21,10 @@ use crate::faults::{
 use crate::report::{ColorContention, RunReport, StudentStats};
 use crate::work::{PreparedFlag, WorkItem};
 use flagsim_agents::{CostModel, Implement, StudentProfile};
-use flagsim_desim::{Action, Engine, Process, ResourceId, SimDuration, SimTime};
+use flagsim_desim::{
+    Action, Engine, Process, ResourceId, SchedulePolicy, SimDuration, SimError, SimTime,
+    WaitForGraph,
+};
 use flagsim_grid::{Color, Grid};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -293,6 +296,49 @@ pub fn run_activity_with_faults(
     config: &ActivityConfig,
     plan: &FaultPlan,
 ) -> Result<RunReport, String> {
+    match run_activity_scheduled(label, flag, assignments, team, kit, config, plan, None)? {
+        ActivityOutcome::Completed(report) => Ok(*report),
+        ActivityOutcome::Stalled(waiters) => Err(format!(
+            "simulation failed: {}",
+            SimError::Stalled { waiters }
+        )),
+    }
+}
+
+/// How a scheduled run ended: normally, with the full report, or stalled
+/// with every remaining process blocked — the structured form of the
+/// deadlock [`run_activity_with_faults`] flattens into an error string.
+/// `flagsim verify` needs the wait-for graph itself, not its rendering.
+#[derive(Debug)]
+pub enum ActivityOutcome {
+    /// The run drained (or the bell cut it off) and produced a report.
+    Completed(Box<RunReport>),
+    /// The run stalled: the event queue emptied with processes still
+    /// blocked on resources. Carries the wait-for graph at the stall.
+    Stalled(WaitForGraph),
+}
+
+/// [`run_activity_with_faults`] with an optional [`SchedulePolicy`]
+/// threaded through to the engine, and with deadlock surfaced
+/// structurally instead of as an error string. This is the entry point
+/// schedule-space exploration drives: a [`ForcedSchedule`]
+/// (`flagsim_desim::ForcedSchedule`) policy replays one concrete
+/// resolution of every scheduling tie, and a stall under some resolution
+/// is a *result* (a reachable deadlock), not a failure.
+///
+/// With `policy: None` the engine behaves exactly as in
+/// [`run_activity_with_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_activity_scheduled(
+    label: impl Into<String>,
+    flag: &PreparedFlag,
+    assignments: &[Vec<WorkItem>],
+    team: &mut [StudentProfile],
+    kit: &TeamKit,
+    config: &ActivityConfig,
+    plan: &FaultPlan,
+    policy: Option<Box<dyn SchedulePolicy>>,
+) -> Result<ActivityOutcome, String> {
     let label = label.into();
     let _activity_span = flagsim_telemetry::span("sim", "run.activity")
         .arg("label", &label)
@@ -469,6 +515,9 @@ pub fn run_activity_with_faults(
     for (idx, p) in procs.into_iter().enumerate() {
         engine.add_process_at(Box::new(p), start_at[idx]);
     }
+    if let Some(policy) = policy {
+        engine.set_schedule_policy(policy);
+    }
 
     let result = match deadline_secs {
         Some(secs) => {
@@ -477,7 +526,13 @@ pub fn run_activity_with_faults(
         }
         None => engine.try_run(),
     };
-    let trace = result.map_err(|e| format!("simulation failed: {e}"))?;
+    let trace = match result {
+        Ok(trace) => trace,
+        // A stall is a structured outcome for the verification layer; the
+        // engine (and every process's Rc handle) is already dropped.
+        Err(SimError::Stalled { waiters }) => return Ok(ActivityOutcome::Stalled(waiters)),
+        Err(e) => return Err(format!("simulation failed: {e}")),
+    };
 
     // The engine (and every boxed process) is gone; reclaim the log.
     let mut state = Rc::try_unwrap(live)
@@ -604,7 +659,7 @@ pub fn run_activity_with_faults(
     };
 
     flagsim_telemetry::count("run.breakages", breakages);
-    Ok(RunReport {
+    Ok(ActivityOutcome::Completed(Box::new(RunReport {
         label,
         flag_name: flag.name.clone(),
         completion: trace.makespan(),
@@ -616,7 +671,7 @@ pub fn run_activity_with_faults(
         resilience,
         trace,
         cell_log,
-    })
+    })))
 }
 
 #[cfg(test)]

@@ -4,9 +4,10 @@ use crate::config::{ActivityConfig, TeamKit};
 use crate::faults::FaultPlan;
 use crate::partition::{verify_assignments, CellOrder, PartitionStrategy};
 use crate::report::RunReport;
-use crate::run::run_activity_with_faults;
+use crate::run::{run_activity_scheduled, run_activity_with_faults, ActivityOutcome};
 use crate::work::PreparedFlag;
 use flagsim_agents::StudentProfile;
+use flagsim_desim::SchedulePolicy;
 
 /// A named task decomposition: what the instructor projects on the slide.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +181,16 @@ impl CompiledScenario {
         &self.name
     }
 
+    /// How many coloring students the compiled partition needs.
+    pub fn parts(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The flag this scenario was compiled against.
+    pub fn flag(&self) -> &PreparedFlag {
+        &self.flag
+    }
+
     /// Run the compiled partition with a team. Same contract as
     /// [`Scenario::run_with_faults`], minus the per-call partition and
     /// verification work.
@@ -206,6 +217,38 @@ impl CompiledScenario {
             kit,
             config,
             plan,
+        )
+    }
+
+    /// Run the compiled partition under a forced (or otherwise custom)
+    /// [`SchedulePolicy`], surfacing a stall as a structured
+    /// [`ActivityOutcome`] — the per-schedule unit of `flagsim verify`'s
+    /// exploration. See [`run_activity_scheduled`].
+    pub fn run_scheduled(
+        &self,
+        team: &mut [StudentProfile],
+        kit: &TeamKit,
+        config: &ActivityConfig,
+        plan: &FaultPlan,
+        policy: Option<Box<dyn SchedulePolicy>>,
+    ) -> Result<ActivityOutcome, String> {
+        let needed = self.assignments.len();
+        if team.len() < needed {
+            return Err(format!(
+                "{} needs {needed} coloring students, team has {}",
+                self.name,
+                team.len()
+            ));
+        }
+        run_activity_scheduled(
+            self.name.clone(),
+            &self.flag,
+            &self.assignments,
+            &mut team[..needed],
+            kit,
+            config,
+            plan,
+            policy,
         )
     }
 }

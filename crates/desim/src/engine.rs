@@ -24,6 +24,7 @@
 
 use crate::error::{SimError, WaitEdge, WaitForGraph};
 use crate::resource::{ResourceId, ResourceState};
+use crate::schedule::{ChoiceKind, ChoicePoint, SchedulePolicy};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventKind, ProcReport, ResourceReport, Trace, TraceEvent};
 
@@ -166,6 +167,11 @@ struct ProcSlot {
     /// `Work` chunks that ran to completion (the wake event fired).
     completed_work: u64,
     finished_at: Option<SimTime>,
+    /// FNV-1a fingerprint of the poll history `(time, action)*` — a
+    /// canonical proxy for the process's opaque internal state, since a
+    /// deterministic process is a function of what it was asked and
+    /// answered. Maintained only while a schedule policy is installed.
+    history: u64,
 }
 
 /// The deterministic discrete-event engine.
@@ -184,6 +190,16 @@ pub struct Engine {
     record_events: bool,
     max_events: u64,
     processed: u64,
+    /// Installed tie-breaker, if any. `None` (the default) leaves the
+    /// engine's behavior — and its hot path — exactly as before.
+    policy: Option<Box<dyn SchedulePolicy>>,
+    /// `policy.is_some()`, cached as a plain bool so the hot loop's
+    /// guard is one predictable branch.
+    policed: bool,
+    /// Scratch: resources touched by the poll cascade in flight.
+    cascade_buf: Vec<ResourceId>,
+    /// Scratch: did the cascade in flight schedule an event at `now`?
+    cascade_spawned: bool,
 }
 
 impl Default for Engine {
@@ -214,7 +230,22 @@ impl Engine {
             // Generous live-lock guard; a classroom run is ~1e3 events.
             max_events: 50_000_000,
             processed: 0,
+            policy: None,
+            policed: false,
+            cascade_buf: Vec::new(),
+            cascade_spawned: false,
         }
+    }
+
+    /// Install a [`SchedulePolicy`]: from here on the engine's two
+    /// tie-break rules (equal-time wake-ups; grants among waiters blocked
+    /// since the same instant) become explicit choice points the policy
+    /// resolves, with candidates presented in canonical (process-id)
+    /// order. Without a policy those ties fall to insertion order, and
+    /// the run is bit-for-bit what it always was.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = Some(policy);
+        self.policed = true;
     }
 
     /// Configure the event-budget watchdog: runs that process more than
@@ -277,6 +308,7 @@ impl Engine {
             wake_at: SimTime::ZERO,
             completed_work: 0,
             finished_at: None,
+            history: crate::schedule::FNV_OFFSET,
         });
         self.schedule(start, id);
         id
@@ -285,6 +317,9 @@ impl Engine {
     #[inline]
     fn schedule(&mut self, at: SimTime, pid: ProcId) {
         self.seq += 1;
+        if self.policed && at == self.now {
+            self.cascade_spawned = true;
+        }
         self.queue.push(QueueEntry {
             at,
             seq: self.seq,
@@ -383,7 +418,10 @@ impl Engine {
             .arg("procs", self.procs.len())
             .arg("resources", self.resources.len());
         let mut cut_off = false;
-        while let Some(min) = Self::min_entry(&self.queue) {
+        while let Some(mut min) = Self::min_entry(&self.queue) {
+            if self.policed {
+                min = self.choose_tied_wakeup(min);
+            }
             let t = self.queue[min].at;
             if t > deadline {
                 cut_off = true;
@@ -486,6 +524,174 @@ impl Engine {
         flagsim_telemetry::count("desim.resource.handoffs", handoffs);
     }
 
+    /// With a policy installed: if several wake-ups are due at the
+    /// minimum time, let the policy pick which fires first. Candidates
+    /// are presented sorted by process id — a canonical order
+    /// independent of the insertion sequence that the default tie-break
+    /// uses — so equivalent states present identical choice points.
+    /// Returns the queue index to extract. Cold: only runs under a
+    /// policy, and only allocates when there is a real tie.
+    #[cold]
+    fn choose_tied_wakeup(&mut self, min: usize) -> usize {
+        let t = self.queue[min].at;
+        let mut tied: Vec<(ProcId, usize)> = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.at == t)
+            .map(|(i, e)| (e.pid, i))
+            .collect();
+        if tied.len() < 2 {
+            return min;
+        }
+        tied.sort_unstable_by_key(|&(pid, _)| pid);
+        let candidates: Vec<ProcId> = tied.iter().map(|&(pid, _)| pid).collect();
+        let state_hash = self.state_hash();
+        let Some(policy) = self.policy.as_mut() else {
+            return min;
+        };
+        let chosen = policy
+            .choose(&ChoicePoint {
+                kind: ChoiceKind::Wakeup,
+                at: t,
+                candidates: &candidates,
+                state_hash,
+            })
+            .min(candidates.len() - 1);
+        tied[chosen].1
+    }
+
+    /// With a policy installed: pick which waiter a freed unit of `rid`
+    /// goes to. FIFO order between *distinct* blocking instants is
+    /// semantic (first-come-first-served) and preserved; only waiters
+    /// blocked since the same instant as the queue head are candidates
+    /// (arrival order keeps equal wait-starts contiguous at the front).
+    /// Removal is order-preserving so the rest of the queue keeps its
+    /// FIFO discipline.
+    #[cold]
+    fn choose_tied_grant(&mut self, rid: ResourceId) -> Option<ProcId> {
+        let res = &self.resources[rid.index()];
+        let front = *res.waiters.first()?;
+        let front_started = self.procs[front.index()].wait_started;
+        let mut tied: Vec<(ProcId, usize)> = Vec::new();
+        for (i, &w) in res.waiters.iter().enumerate() {
+            if self.procs[w.index()].wait_started == front_started {
+                tied.push((w, i));
+            } else {
+                break;
+            }
+        }
+        if tied.len() < 2 {
+            return self.resources[rid.index()].waiters.pop_front();
+        }
+        tied.sort_unstable_by_key(|&(pid, _)| pid);
+        let candidates: Vec<ProcId> = tied.iter().map(|&(pid, _)| pid).collect();
+        let state_hash = self.state_hash();
+        let at = self.now;
+        let chosen = match self.policy.as_mut() {
+            Some(policy) => policy
+                .choose(&ChoicePoint {
+                    kind: ChoiceKind::Grant(rid),
+                    at,
+                    candidates: &candidates,
+                    state_hash,
+                })
+                .min(candidates.len() - 1),
+            None => 0,
+        };
+        self.resources[rid.index()].waiters.remove(tied[chosen].1)
+    }
+
+    /// Canonical FNV-1a fingerprint of the semantic engine state —
+    /// everything that determines the rest of the run, nothing that is
+    /// an accident of how this state was reached. Insertion sequence
+    /// numbers, queue slot order, and event-log contents are excluded;
+    /// pending wake-ups are hashed as a sorted `(time, pid)` multiset,
+    /// holders sorted by pid, and waiters by `(wait-start, pid)` (FIFO
+    /// order within an equal-start run is the accident being abstracted
+    /// away — the grant choice point re-exposes it explicitly). Process
+    /// internals are represented by the slot's poll-history hash.
+    fn state_hash(&self) -> u64 {
+        use crate::schedule::{fnv_mix, FNV_OFFSET};
+        let mut h = fnv_mix(FNV_OFFSET, self.now.millis());
+        let mut pending: Vec<(u64, u32)> = self
+            .queue
+            .iter()
+            .map(|e| (e.at.millis(), e.pid.0))
+            .collect();
+        pending.sort_unstable();
+        h = fnv_mix(h, pending.len() as u64);
+        for (at, pid) in pending {
+            h = fnv_mix(fnv_mix(h, at), u64::from(pid));
+        }
+        for slot in &self.procs {
+            let (disc, rid) = match slot.state {
+                ProcState::Runnable => (0u64, 0u64),
+                ProcState::Working => (1, 0),
+                ProcState::WaitingFor(r) => (2, u64::from(r.0) + 1),
+                ProcState::InTransit(r) => (3, u64::from(r.0) + 1),
+                ProcState::Sleeping => (4, 0),
+                ProcState::Finished => (5, 0),
+            };
+            h = fnv_mix(h, disc);
+            h = fnv_mix(h, rid);
+            h = fnv_mix(h, slot.busy.millis());
+            h = fnv_mix(h, slot.waiting.millis());
+            h = fnv_mix(h, slot.wait_started.map_or(0, |t| t.millis() + 1));
+            // `wake_at` is stale outside Working/InTransit; canonicalize.
+            let wake = match slot.state {
+                ProcState::Working | ProcState::InTransit(_) => slot.wake_at.millis() + 1,
+                _ => 0,
+            };
+            h = fnv_mix(h, wake);
+            h = fnv_mix(h, slot.completed_work);
+            h = fnv_mix(h, slot.finished_at.map_or(0, |t| t.millis() + 1));
+            h = fnv_mix(h, slot.history);
+        }
+        for res in &self.resources {
+            let mut holders: Vec<u32> = res.holders.iter().map(|p| p.0).collect();
+            holders.sort_unstable();
+            h = fnv_mix(h, holders.len() as u64);
+            for p in holders {
+                h = fnv_mix(h, u64::from(p));
+            }
+            let mut canon: Vec<(u64, u32)> = res
+                .waiters
+                .iter()
+                .map(|&w| {
+                    let start = self.procs[w.index()].wait_started;
+                    (start.map_or(0, |t| t.millis() + 1), w.0)
+                })
+                .collect();
+            canon.sort_unstable();
+            h = fnv_mix(h, canon.len() as u64);
+            for (start, pid) in canon {
+                h = fnv_mix(fnv_mix(h, start), u64::from(pid));
+            }
+            let s = &res.stats;
+            h = fnv_mix(h, s.acquisitions);
+            h = fnv_mix(h, s.contended_acquisitions);
+            h = fnv_mix(h, s.handoffs);
+            h = fnv_mix(h, s.total_wait.millis());
+            h = fnv_mix(h, s.handoff_time.millis());
+            h = fnv_mix(h, s.max_queue_len as u64);
+        }
+        h
+    }
+
+    /// Fold one poll result into a slot's history fingerprint.
+    fn mix_action(h: u64, now: SimTime, action: &Action) -> u64 {
+        use crate::schedule::fnv_mix;
+        let h = fnv_mix(h, now.millis());
+        match action {
+            Action::Work(d) => fnv_mix(fnv_mix(h, 1), d.millis()),
+            Action::Acquire(r) => fnv_mix(fnv_mix(h, 2), u64::from(r.0)),
+            Action::Release(r) => fnv_mix(fnv_mix(h, 3), u64::from(r.0)),
+            Action::WaitUntil(t) => fnv_mix(fnv_mix(h, 4), t.millis()),
+            Action::Done => fnv_mix(h, 5),
+        }
+    }
+
     /// Snapshot the wait-for graph: one edge per process blocked on a
     /// resource, with the resource's current holders.
     fn wait_for_graph(&self) -> WaitForGraph {
@@ -514,7 +720,27 @@ impl Engine {
     /// unboxed `Result` would be returned through memory on every event
     /// this loop processes. Boxed, the happy path fits in a register;
     /// the allocation only happens on the (cold, run-ending) error path.
+    ///
+    /// Under a schedule policy the cascade's resource footprint is
+    /// collected and reported to the policy afterwards — the raw
+    /// material for exploration's commutativity pruning.
     fn advance(&mut self, pid: ProcId) -> Result<(), Box<SimError>> {
+        if !self.policed {
+            return self.advance_inner(pid);
+        }
+        self.cascade_buf.clear();
+        self.cascade_spawned = false;
+        let result = self.advance_inner(pid);
+        let buf = std::mem::take(&mut self.cascade_buf);
+        let (now, spawned) = (self.now, self.cascade_spawned);
+        if let Some(policy) = self.policy.as_mut() {
+            policy.observe_cascade(pid, now, &buf, spawned);
+        }
+        self.cascade_buf = buf;
+        result
+    }
+
+    fn advance_inner(&mut self, pid: ProcId) -> Result<(), Box<SimError>> {
         {
             // Resolve what this wake-up means before polling: a `Working`
             // slot's chunk just completed (count it); an `InTransit`
@@ -545,6 +771,10 @@ impl Engine {
         let idx = pid.index();
         loop {
             let action = self.procs[idx].process.next(now);
+            if self.policed {
+                let slot = &mut self.procs[idx];
+                slot.history = Self::mix_action(slot.history, now, &action);
+            }
             match action {
                 Action::Work(dur) => {
                     let wake = now + dur;
@@ -557,6 +787,9 @@ impl Engine {
                     return Ok(());
                 }
                 Action::Acquire(rid) => {
+                    if self.policed {
+                        self.cascade_buf.push(rid);
+                    }
                     let res = &mut self.resources[rid.index()];
                     if res.holds(pid) {
                         return Err(Box::new(SimError::ReacquireHeld {
@@ -583,6 +816,9 @@ impl Engine {
                     return Ok(());
                 }
                 Action::Release(rid) => {
+                    if self.policed {
+                        self.cascade_buf.push(rid);
+                    }
                     let res = &mut self.resources[rid.index()];
                     let Some(pos) = res.holders.iter().position(|&h| h == pid) else {
                         return Err(Box::new(SimError::ReleaseWithoutHold {
@@ -595,7 +831,12 @@ impl Engine {
                     };
                     res.holders.swap_remove(pos);
                     self.record(pid, EventKind::Released(rid));
-                    if let Some(next_pid) = self.resources[rid.index()].waiters.pop_front() {
+                    let next_pid = if self.policed {
+                        self.choose_tied_grant(rid)
+                    } else {
+                        self.resources[rid.index()].waiters.pop_front()
+                    };
+                    if let Some(next_pid) = next_pid {
                         self.grant_after_handoff(rid, next_pid)?;
                     }
                     // The releasing process keeps going at the same time.
@@ -739,6 +980,95 @@ mod tests {
         assert_eq!(trace.procs[0].waiting, ms(0));
         assert_eq!(trace.procs[0].completed_work, 2);
         assert_eq!(trace.procs[0].finished_at, Some(SimTime(150)));
+    }
+
+    /// A capacity-1 pool with three same-instant contenders: the forced
+    /// schedule's grant decisions pick service order, and the engine's
+    /// decision log records both choice points (3-way then 2-way) with
+    /// FIFO preserved for everyone else.
+    #[test]
+    fn forced_schedule_steers_grant_order() {
+        use crate::schedule::{ChoiceKind, ForcedSchedule};
+        let build = || {
+            let mut eng = Engine::new();
+            let pool = eng.add_resource("marker", SimDuration::ZERO);
+            for (name, dur) in [("a", 10), ("b", 20), ("c", 30)] {
+                eng.add_process(Scripted::new(
+                    name,
+                    vec![
+                        Action::Acquire(pool),
+                        Action::Work(ms(dur)),
+                        Action::Release(pool),
+                        Action::Done,
+                    ],
+                ));
+            }
+            eng
+        };
+        // Default script: wake order a,b,c (pid order) — a holds, b and c
+        // queue; grants then go b, c.
+        let (policy, log) = ForcedSchedule::new(vec![]);
+        let mut eng = build();
+        eng.set_schedule_policy(policy);
+        let base = eng.try_run().expect("runs");
+        assert_eq!(base.procs[0].finished_at, Some(SimTime(10)));
+        assert_eq!(base.procs[1].finished_at, Some(SimTime(30)));
+        assert_eq!(base.procs[2].finished_at, Some(SimTime(60)));
+        {
+            let log = log.borrow();
+            // Decision 0: the 3-way wake-up tie; decision 1: the 2-way
+            // tie among the remaining same-instant wake-ups (b, c);
+            // decision 2: the 2-way grant tie when a releases at t=10.
+            // The final grant is a singleton, not a choice point.
+            assert_eq!(log.decisions.len(), 3);
+            assert_eq!(log.decisions[0].kind, ChoiceKind::Wakeup);
+            assert_eq!(log.decisions[0].candidates.len(), 3);
+            assert_eq!(log.decisions[1].kind, ChoiceKind::Wakeup);
+            assert!(matches!(log.decisions[2].kind, ChoiceKind::Grant(_)));
+            assert_eq!(log.decisions[2].candidates.len(), 2);
+            // Cascades carry the pool in their footprints.
+            assert!(log.cascades.iter().any(|c| !c.resources.is_empty()));
+        }
+        // Alternative: same wake order, but grant c before b.
+        let (policy, _log) = ForcedSchedule::new(vec![0, 0, 1]);
+        let mut eng = build();
+        eng.set_schedule_policy(policy);
+        let alt = eng.try_run().expect("runs");
+        assert_eq!(alt.procs[2].finished_at, Some(SimTime(40)), "c served second");
+        assert_eq!(alt.procs[1].finished_at, Some(SimTime(60)), "b served last");
+        assert_eq!(alt.end_time, base.end_time, "work conserved");
+    }
+
+    /// Replaying the same forced schedule is byte-deterministic, and the
+    /// canonical state hash at each choice point matches run for run.
+    #[test]
+    fn forced_schedule_replay_is_deterministic() {
+        use crate::schedule::ForcedSchedule;
+        let run = || {
+            let mut eng = Engine::new();
+            let pool = eng.add_resource("marker", ms(5));
+            for name in ["a", "b"] {
+                eng.add_process(Scripted::new(
+                    name,
+                    vec![
+                        Action::Acquire(pool),
+                        Action::Work(ms(10)),
+                        Action::Release(pool),
+                        Action::Done,
+                    ],
+                ));
+            }
+            let (policy, log) = ForcedSchedule::new(vec![1]);
+            eng.set_schedule_policy(policy);
+            let trace = eng.try_run().expect("runs");
+            let log = std::rc::Rc::try_unwrap(log).expect("engine dropped").into_inner();
+            (trace, log)
+        };
+        let (t1, l1) = run();
+        let (t2, l2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(l1, l2);
+        assert!(!l1.decisions.is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod causal;
 pub mod engine;
 pub mod error;
 pub mod resource;
+pub mod schedule;
 pub mod time;
 pub mod trace;
 
@@ -49,5 +50,8 @@ pub use causal::{
 pub use engine::{Action, Engine, FnProcess, ProcId, Process};
 pub use error::{SimError, WaitEdge, WaitForGraph};
 pub use resource::ResourceId;
+pub use schedule::{
+    CascadeRec, ChoiceKind, ChoicePoint, Decision, ForcedSchedule, ScheduleLog, SchedulePolicy,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{csv_field, xml_escape, EventKind, Trace, TraceEvent};

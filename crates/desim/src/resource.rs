@@ -65,6 +65,32 @@ impl ProcList {
         }
     }
 
+    /// Remove the entry at `i`, shifting later entries down — the
+    /// order-preserving sibling of [`ProcList::swap_remove`], used when a
+    /// schedule policy grants to a waiter mid-queue (the rest of the FIFO
+    /// queue must keep its order). Returns `None` if `i` is out of bounds.
+    pub(crate) fn remove(&mut self, i: usize) -> Option<ProcId> {
+        match self {
+            ProcList::Inline { len, buf } => {
+                let l = *len as usize;
+                if i >= l {
+                    return None;
+                }
+                let out = buf[i];
+                buf.copy_within(i + 1..l, i);
+                *len -= 1;
+                Some(out)
+            }
+            ProcList::Heap(v) => {
+                if i >= v.len() {
+                    None
+                } else {
+                    Some(v.remove(i))
+                }
+            }
+        }
+    }
+
     /// Remove and return the front entry (FIFO dequeue).
     pub(crate) fn pop_front(&mut self) -> Option<ProcId> {
         match self {
@@ -201,5 +227,23 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _ = ResourceState::new("none".into(), 0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn remove_preserves_queue_order() {
+        let mut list = ProcList::new();
+        for i in 0..4 {
+            list.push(ProcId(i));
+        }
+        assert_eq!(list.remove(1), Some(ProcId(1)));
+        assert_eq!(&list[..], &[ProcId(0), ProcId(2), ProcId(3)]);
+        assert_eq!(list.remove(9), None);
+        // Spill to the heap and remove there too.
+        for i in 4..12 {
+            list.push(ProcId(i));
+        }
+        assert_eq!(list.remove(0), Some(ProcId(0)));
+        assert_eq!(list[0], ProcId(2));
+        assert_eq!(list.len(), 10);
     }
 }

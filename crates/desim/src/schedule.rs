@@ -1,0 +1,255 @@
+//! Schedule policies: the engine's tie-breaks as explicit choice points.
+//!
+//! The engine is deterministic, but two of its rules are arbitrary in a
+//! way the classroom is not: when several students' wake-ups land on the
+//! same millisecond, insertion order picks who moves first, and when a
+//! marker frees up with several students having asked for it *at the same
+//! instant*, queue order picks who gets it. Both are exactly the ties
+//! simcheck's SC302 flags on a single observed trace. A [`SchedulePolicy`]
+//! makes those ties explicit: with a policy installed the engine stops
+//! silently tie-breaking and instead asks the policy to choose among the
+//! *semantically unordered* candidates, reporting enough context (a
+//! canonical state hash, the cascade footprints) for a model checker to
+//! enumerate every resolution. Without a policy the engine's behavior is
+//! bit-for-bit what it always was.
+//!
+//! Candidate lists are canonicalized by process id, *not* by insertion
+//! sequence: two schedules that reach the same semantic state through
+//! different interleavings present identical choice points, which is what
+//! makes state hashing and partial-order reduction sound.
+
+use crate::engine::ProcId;
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one `u64` into an FNV-1a 64-bit hash, byte by byte.
+#[inline]
+pub fn fnv_mix(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Fold a string into an FNV-1a 64-bit hash.
+#[inline]
+pub fn fnv_mix_str(mut hash: u64, s: &str) -> u64 {
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    // Length terminator so "ab","c" and "a","bc" hash differently.
+    fnv_mix(hash, s.len() as u64)
+}
+
+/// Which of the engine's two tie-break rules a choice point comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceKind {
+    /// Several wake-ups are due at the same instant: who fires first?
+    Wakeup,
+    /// A unit of this resource freed up with several waiters blocked
+    /// since the same instant: who is granted?
+    Grant(ResourceId),
+}
+
+/// One choice point, presented to a [`SchedulePolicy`].
+#[derive(Debug)]
+pub struct ChoicePoint<'a> {
+    /// Wake-up tie or grant tie.
+    pub kind: ChoiceKind,
+    /// Simulation time at which the tie occurs.
+    pub at: SimTime,
+    /// The tied processes, sorted by process id (canonical order,
+    /// independent of how the tie was reached). Always ≥ 2 entries —
+    /// singletons are not choice points.
+    pub candidates: &'a [ProcId],
+    /// Canonical FNV-1a hash of the engine state at this choice point
+    /// (see `Engine::state_hash`): equal hashes mean the remaining
+    /// schedule space is identical.
+    pub state_hash: u64,
+}
+
+/// A pluggable tie-breaker for the engine's two nondeterministic rules.
+///
+/// Installed with `Engine::set_schedule_policy`. The engine only consults
+/// the policy when a tie has two or more candidates, so the sequence of
+/// [`ChoicePoint`]s a run presents is exactly its decision vector.
+pub trait SchedulePolicy {
+    /// Pick a candidate by index into `choice.candidates`. Out-of-range
+    /// answers are clamped by the engine.
+    fn choose(&mut self, choice: &ChoicePoint<'_>) -> usize;
+
+    /// Observe one completed poll cascade: process `pid` was advanced at
+    /// `at` and touched `resources` (acquired, blocked on, or released,
+    /// in order, duplicates preserved). `spawned_same_time` reports
+    /// whether the cascade scheduled any event at `at` itself (zero-length
+    /// work, an immediate hand-off, a `WaitUntil(now)`). Exploration uses
+    /// these footprints for its commutativity pruning; the default does
+    /// nothing.
+    fn observe_cascade(
+        &mut self,
+        pid: ProcId,
+        at: SimTime,
+        resources: &[ResourceId],
+        spawned_same_time: bool,
+    ) {
+        let _ = (pid, at, resources, spawned_same_time);
+    }
+}
+
+/// One recorded decision: where the tie was, who was tied, and which
+/// candidate was picked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Wake-up tie or grant tie.
+    pub kind: ChoiceKind,
+    /// When the tie occurred.
+    pub at: SimTime,
+    /// The tied processes in canonical (pid) order.
+    pub candidates: Vec<ProcId>,
+    /// Index into `candidates` that was chosen.
+    pub chosen: usize,
+    /// Canonical state hash at the choice point.
+    pub state_hash: u64,
+}
+
+/// One recorded poll cascade, for footprint-based pruning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeRec {
+    /// The advanced process.
+    pub pid: ProcId,
+    /// When the cascade ran.
+    pub at: SimTime,
+    /// Resources the cascade touched, in order.
+    pub resources: Vec<ResourceId>,
+    /// Whether the cascade scheduled an event at its own timestamp.
+    pub spawned_same_time: bool,
+}
+
+/// Everything a [`ForcedSchedule`] run observed: the decision vector and
+/// the cascade log, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleLog {
+    /// Every choice point the run hit, with what was chosen.
+    pub decisions: Vec<Decision>,
+    /// Every poll cascade, with its resource footprint.
+    pub cascades: Vec<CascadeRec>,
+}
+
+impl ScheduleLog {
+    /// The chosen indices of the first `n` decisions — the script that
+    /// replays this run's prefix.
+    pub fn script_prefix(&self, n: usize) -> Vec<usize> {
+        self.decisions.iter().take(n).map(|d| d.chosen).collect()
+    }
+}
+
+/// A scripted tie-breaker: decision `i` picks `script[i]`, and every
+/// decision past the end of the script picks candidate 0 (the canonical
+/// default). Records the full [`ScheduleLog`] through a shared handle so
+/// the log survives the engine consuming itself in `try_run`.
+///
+/// Replaying the same script against the same engine build is
+/// byte-deterministic: same trace, same log.
+#[derive(Debug)]
+pub struct ForcedSchedule {
+    script: Vec<usize>,
+    cursor: usize,
+    log: Rc<RefCell<ScheduleLog>>,
+}
+
+impl ForcedSchedule {
+    /// A forced schedule following `script`, plus the shared log handle
+    /// to read after the run completes.
+    pub fn new(script: Vec<usize>) -> (Box<ForcedSchedule>, Rc<RefCell<ScheduleLog>>) {
+        let log = Rc::new(RefCell::new(ScheduleLog::default()));
+        (
+            Box::new(ForcedSchedule {
+                script,
+                cursor: 0,
+                log: Rc::clone(&log),
+            }),
+            log,
+        )
+    }
+}
+
+impl SchedulePolicy for ForcedSchedule {
+    fn choose(&mut self, choice: &ChoicePoint<'_>) -> usize {
+        let raw = self.script.get(self.cursor).copied().unwrap_or(0);
+        self.cursor += 1;
+        // Clamp defensively: within an exploration the script is always
+        // in range (the prefix replays deterministically), but a stale
+        // hand-written script must not crash the run.
+        let chosen = raw.min(choice.candidates.len().saturating_sub(1));
+        self.log.borrow_mut().decisions.push(Decision {
+            kind: choice.kind,
+            at: choice.at,
+            candidates: choice.candidates.to_vec(),
+            chosen,
+            state_hash: choice.state_hash,
+        });
+        chosen
+    }
+
+    fn observe_cascade(
+        &mut self,
+        pid: ProcId,
+        at: SimTime,
+        resources: &[ResourceId],
+        spawned_same_time: bool,
+    ) {
+        self.log.borrow_mut().cascades.push(CascadeRec {
+            pid,
+            at,
+            resources: resources.to_vec(),
+            spawned_same_time,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_mix_is_order_sensitive() {
+        let a = fnv_mix(fnv_mix(FNV_OFFSET, 1), 2);
+        let b = fnv_mix(fnv_mix(FNV_OFFSET, 2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fnv_str_terminator_prevents_concat_collisions() {
+        let a = fnv_mix_str(fnv_mix_str(FNV_OFFSET, "ab"), "c");
+        let b = fnv_mix_str(fnv_mix_str(FNV_OFFSET, "a"), "bc");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn forced_schedule_defaults_to_zero_and_clamps() {
+        let (mut policy, log) = ForcedSchedule::new(vec![1, 99]);
+        let cands = [ProcId::from_index(0), ProcId::from_index(1)];
+        let choice = |hash| ChoicePoint {
+            kind: ChoiceKind::Wakeup,
+            at: SimTime::ZERO,
+            candidates: &cands,
+            state_hash: hash,
+        };
+        assert_eq!(policy.choose(&choice(7)), 1);
+        assert_eq!(policy.choose(&choice(8)), 1, "99 clamps to last candidate");
+        assert_eq!(policy.choose(&choice(9)), 0, "past the script: default 0");
+        let log = log.borrow();
+        assert_eq!(log.decisions.len(), 3);
+        assert_eq!(log.script_prefix(2), vec![1, 1]);
+        assert_eq!(log.decisions[0].state_hash, 7);
+    }
+}

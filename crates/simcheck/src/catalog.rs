@@ -142,6 +142,26 @@ pub const CATALOG: &[CatalogEntry] = &[
         severity: Severity::Warning,
         summary: "other dry-run advice finding",
     },
+    CatalogEntry {
+        id: "SC410",
+        severity: Severity::Warning,
+        summary: "schedule-divergent: some tie resolution changes the outcome (witness pair attached)",
+    },
+    CatalogEntry {
+        id: "SC411",
+        severity: Severity::Error,
+        summary: "deadlock is reachable: a concrete schedule stalls the run (witness attached)",
+    },
+    CatalogEntry {
+        id: "SC412",
+        severity: Severity::Note,
+        summary: "schedule-invariant: every explored tie resolution produces the same outcome",
+    },
+    CatalogEntry {
+        id: "SC413",
+        severity: Severity::Warning,
+        summary: "exploration bound exhausted before the schedule space was covered",
+    },
 ];
 
 /// Look up a catalog entry by ID.

@@ -17,6 +17,11 @@
 //!   `Released`/`Acquired` hand-off pairing, and same-cell writes that
 //!   are not HB-ordered are reported as races together with the
 //!   acquire-order tie that hid them.
+//! * [`explore`] — the bounded model checker behind `flagsim verify`:
+//!   enumerate every resolution of the engine's scheduler ties (with
+//!   sleep-set partial-order reduction and state-hash cutting) and prove
+//!   outcome invariance or produce a minimal divergent witness pair /
+//!   reachable-deadlock schedule.
 //! * [`lockorder`] — the lock-order graph the static checker builds,
 //!   usable directly for custom scripts like the demo-deadlock drill.
 //! * [`diag`] — the shared diagnostics framework: stable `SC###` IDs,
@@ -32,12 +37,18 @@
 
 pub mod catalog;
 pub mod diag;
+pub mod explore;
 pub mod hb;
 pub mod lockorder;
 pub mod scenario_check;
 
 pub use catalog::{describe, CatalogEntry, CATALOG};
 pub use diag::{from_flag_lints, Diag, Report, Severity};
+pub use explore::{
+    annotate_ties, deadlock_matches_cycle, demo_deadlock_engine, explore, explore_activity,
+    explore_engine, format_script, verify_diags, ActivityExploration, Exploration, ExploreConfig,
+    Outcome, OutcomeClass, WitnessPair,
+};
 pub use hb::{analyze_hb, cell_accesses, check_run, CellAccess, HbAnalysis};
 pub use lockorder::{
     demo_deadlock_seqs, scenario_lock_seqs, LockOp, LockOrderGraph, LockSeq,
